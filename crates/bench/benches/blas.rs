@@ -1,0 +1,86 @@
+//! Criterion wall-clock benches of the BLAS substrate (CPU routines and
+//! their simulated-GPU counterparts). These measure the *reproduction's own
+//! code*; simulated device time is the repro harness's job.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gpu_sim::{DeviceSpec, Gpu};
+use linalg::gpu::{self as gblas, DeviceMatrix, GemvTStrategy, Layout};
+use linalg::{blas, DenseMatrix};
+
+fn filled(m: usize, n: usize) -> DenseMatrix<f32> {
+    let mut a = DenseMatrix::zeros(m, n);
+    for j in 0..n {
+        for i in 0..m {
+            a.set(i, j, ((i * 7 + j * 13) % 17) as f32 / 17.0 - 0.4);
+        }
+    }
+    a
+}
+
+fn bench_cpu_blas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu-blas");
+    for &n in &[256usize, 1024] {
+        let a = filled(n, n);
+        let x = vec![1.0f32; n];
+        let mut y = vec![0.0f32; n];
+        g.bench_with_input(BenchmarkId::new("gemv_n", n), &n, |b, _| {
+            b.iter(|| blas::gemv_n(1.0, black_box(&a), black_box(&x), 0.0, &mut y))
+        });
+        g.bench_with_input(BenchmarkId::new("gemv_t", n), &n, |b, _| {
+            b.iter(|| blas::gemv_t(1.0, black_box(&a), black_box(&x), 0.0, &mut y))
+        });
+        g.bench_with_input(BenchmarkId::new("dot", n), &n, |b, _| {
+            b.iter(|| black_box(blas::dot(black_box(&x), black_box(&y))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gauss-jordan-invert");
+    g.sample_size(10);
+    for &n in &[128usize, 512] {
+        // Diagonally dominant → never singular.
+        let mut a = filled(n, n);
+        for i in 0..n {
+            let v = a.get(i, i) + 8.0;
+            a.set(i, i, v);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(blas::gauss_jordan_invert(black_box(&a)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpu_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu-sim-kernels");
+    for &n in &[256usize, 1024] {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let a = DeviceMatrix::upload(&gpu, &filled(n, n), Layout::ColMajor);
+        let x = gpu.htod(&vec![1.0f32; n]);
+        let mut y = gpu.alloc(n, 0.0f32);
+        g.bench_with_input(BenchmarkId::new("gemv_n", n), &n, |b, _| {
+            b.iter(|| gblas::gemv_n(&gpu, 1.0f32, &a, x.view(), 0.0, y.view_mut()))
+        });
+        g.bench_with_input(BenchmarkId::new("gemv_t_two_pass", n), &n, |b, _| {
+            b.iter(|| {
+                gblas::gemv_t(&gpu, 1.0f32, &a, x.view(), 0.0, y.view_mut(), GemvTStrategy::TwoPass)
+            })
+        });
+        let alpha = gpu.htod(&vec![0.5f32; n]);
+        let mut binv = DeviceMatrix::<f32>::identity(&gpu, n, Layout::ColMajor);
+        g.bench_with_input(BenchmarkId::new("pivot_update", n), &n, |b, _| {
+            b.iter(|| gblas::pivot_update(&gpu, &mut binv, alpha.view(), n / 2))
+        });
+        g.bench_with_input(BenchmarkId::new("argmin", n), &n, |b, _| {
+            b.iter(|| black_box(gblas::argmin(&gpu, x.view(), n)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_blas, bench_inverse, bench_gpu_kernels);
+criterion_main!(benches);

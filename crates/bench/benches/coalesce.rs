@@ -1,0 +1,64 @@
+//! Criterion benches of the coalescing-sensitive kernels in both layouts —
+//! the wall-clock companion to experiment F4 (simulated-time view).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gpu_sim::{DeviceSpec, Gpu, SimTime};
+use linalg::gpu::{self as gblas, DeviceMatrix, GemvTStrategy, Layout};
+use linalg::DenseMatrix;
+
+fn filled(n: usize) -> DenseMatrix<f32> {
+    let mut a = DenseMatrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            a.set(i, j, ((i * 3 + j * 11) % 13) as f32 - 6.0);
+        }
+    }
+    a
+}
+
+/// Simulated time of one transposed gemv per variant, reported through
+/// Criterion's custom-measurement hook as wall time of the functional
+/// execution (the simulated costs are asserted once here so regressions in
+/// the *model* fail loudly too).
+fn bench_gemv_t_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv-t-layouts");
+    for &n in &[256usize, 1024] {
+        let host = filled(n);
+        let x = vec![1.0f32; n];
+        let variants: [(&str, Layout, GemvTStrategy); 3] = [
+            ("col-major/two-pass", Layout::ColMajor, GemvTStrategy::TwoPass),
+            ("col-major/naive", Layout::ColMajor, GemvTStrategy::Naive),
+            ("row-major/naive", Layout::RowMajor, GemvTStrategy::Naive),
+        ];
+        let mut sim_times: Vec<(usize, SimTime)> = Vec::new();
+        for (idx, (name, layout, strat)) in variants.into_iter().enumerate() {
+            let gpu = Gpu::new(DeviceSpec::gtx280());
+            let a = DeviceMatrix::upload(&gpu, &host, layout);
+            let dx = gpu.htod(&x);
+            let mut dy = gpu.alloc(n, 0.0f32);
+            gpu.reset_counters();
+            gblas::gemv_t(&gpu, 1.0f32, &a, dx.view(), 0.0, dy.view_mut(), strat);
+            sim_times.push((idx, gpu.elapsed()));
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    gblas::gemv_t(&gpu, 1.0f32, &a, dx.view(), 0.0, dy.view_mut(), strat);
+                    black_box(())
+                })
+            });
+        }
+        // Model sanity: the paper's variant must be the fastest simulated one.
+        let paper = sim_times[0].1;
+        for &(idx, t) in &sim_times[1..] {
+            assert!(
+                t.as_nanos() >= paper.as_nanos(),
+                "variant {idx} ({t}) beat the coalesced variant ({paper}) at n={n}"
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemv_t_variants);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion wall-clock benches of full solves (T1's workload at bench-safe
+//! sizes) on every backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gplex_bench::measure::{run_standard, Target};
+use gplex_bench::workload::paper_options_for;
+use lp::{generator, StandardForm};
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve-dense");
+    g.sample_size(10);
+    for &m in &[64usize, 128, 256] {
+        let model = generator::dense_random(m, m, 1);
+        let sf = StandardForm::<f32>::from_lp(&model).expect("standardizes");
+        let opts = paper_options_for(m);
+        for target in [Target::cpu(), Target::CpuSparse, Target::gpu()] {
+            g.bench_with_input(
+                BenchmarkId::new(target.label(), m),
+                &m,
+                |b, _| b.iter(|| black_box(run_standard::<f32>(&sf, &target, &opts))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_two_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve-two-phase");
+    g.sample_size(10);
+    let model = generator::transportation(
+        &[30.0, 25.0, 45.0, 20.0],
+        &[20.0, 30.0, 30.0, 20.0, 20.0],
+        7,
+    );
+    let sf = StandardForm::<f64>::from_lp(&model).expect("standardizes");
+    let opts = paper_options_for(sf.num_rows());
+    for target in [Target::cpu(), Target::gpu()] {
+        g.bench_function(target.label(), |b| {
+            b.iter(|| black_box(run_standard::<f64>(&sf, &target, &opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solve, bench_two_phase);
+criterion_main!(benches);

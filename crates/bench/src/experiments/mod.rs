@@ -1,0 +1,58 @@
+//! The reproduced experiments, one module per table/figure of DESIGN.md §3.
+
+mod f2f3;
+mod f4;
+mod f5;
+mod t1f1;
+mod t2;
+mod t3;
+mod t4;
+mod t5;
+
+use std::path::Path;
+
+use crate::table::Table;
+
+/// Output of one experiment: titled tables, printed and saved as CSV.
+pub struct ExpReport {
+    /// Experiment id (`t1`, `f1`, …).
+    pub id: &'static str,
+    /// Tables in presentation order: `(title, file stem, table)`.
+    pub tables: Vec<(String, String, Table)>,
+}
+
+impl ExpReport {
+    /// Print every table and write CSVs under `results_dir`.
+    pub fn print_and_save(&self, results_dir: &Path) {
+        for (title, stem, table) in &self.tables {
+            println!("{}", table.render(title));
+            let path = results_dir.join(format!("{stem}.csv"));
+            match table.write_csv(&path) {
+                Ok(()) => println!("   -> {}\n", path.display()),
+                Err(e) => eprintln!("   !! could not write {}: {e}\n", path.display()),
+            }
+        }
+    }
+}
+
+/// All experiment ids, in DESIGN.md order.
+pub fn all_ids() -> &'static [&'static str] {
+    &["t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5"]
+}
+
+/// Run one experiment by id. `quick` shrinks the grids for smoke runs.
+pub fn run(id: &str, quick: bool) -> Option<ExpReport> {
+    match id {
+        "t1" | "f1" => Some(t1f1::run(id == "f1", quick)),
+        "t1b" => Some(t1f1::run_t1b(quick)),
+        "f2" => Some(f2f3::run_f2(quick)),
+        "f3" => Some(f2f3::run_f3(quick)),
+        "t2" => Some(t2::run(quick)),
+        "t3" => Some(t3::run(quick)),
+        "f4" => Some(f4::run(quick)),
+        "t4" => Some(t4::run(quick)),
+        "f5" => Some(f5::run(quick)),
+        "t5" => Some(t5::run(quick)),
+        _ => None,
+    }
+}

@@ -1,0 +1,14 @@
+//! # gplex-bench — experiment harness for the reproduction
+//!
+//! One module per reproduced table/figure (see `DESIGN.md` §3). The `repro`
+//! binary drives them; Criterion benches under `benches/` wall-clock the
+//! hot kernels. Each experiment prints an aligned table (the "paper view")
+//! and writes a CSV under `results/`.
+
+pub mod experiments;
+pub mod measure;
+pub mod table;
+pub mod workload;
+
+pub use measure::{run_model, GpuConfig, Measurement, Target};
+pub use table::Table;

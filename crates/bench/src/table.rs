@@ -1,0 +1,137 @@
+//! Aligned text tables + CSV output for the experiment reports.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned table that can also serialize itself to CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns under a title.
+    pub fn render(&self, title: &str) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {title} ==");
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{cell:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Write as CSV to `path` (creating parent directories).
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        fs::write(path, out)
+    }
+}
+
+/// Format seconds compactly for a table cell.
+pub fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() {
+        "-".to_string()
+    } else if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["m", "time"]);
+        t.push(vec!["128", "1.2ms"]);
+        t.push(vec!["2048", "300ms"]);
+        let s = t.render("demo");
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("2048"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push(vec!["x,y", "plain"]);
+        let dir = std::env::temp_dir().join("gplex-bench-test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"x,y\""));
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(0.0000005), "0.5µs");
+        assert_eq!(fmt_secs(0.005), "5.00ms");
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(f64::INFINITY), "-");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.push(vec!["1", "2"]);
+    }
+}

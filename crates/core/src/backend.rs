@@ -1,0 +1,113 @@
+//! The backend abstraction: the exact operation set one revised simplex
+//! iteration needs, so the same driver runs on the serial CPU baseline and
+//! on the simulated GPU.
+//!
+//! A backend owns the problem matrices (`A`, `B⁻¹`), the iterate vectors
+//! (`β`, `π`, `d`, `α`) and a notion of *modeled time*. The driver
+//! ([`crate::revised::RevisedSimplex`]) owns the basis bookkeeping, phase
+//! logic and termination; it calls the ops below in a fixed order each
+//! iteration:
+//!
+//! ```text
+//! compute_pricing → entering_* → compute_alpha → ratio_test → update
+//! ```
+
+use gpu_sim::SimTime;
+use linalg::Scalar;
+
+/// Outcome of the ratio test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RatioOutcome<T: Scalar> {
+    /// No positive pivot entry: the problem is unbounded along `x_q`.
+    Unbounded,
+    /// Pivot row `p` with step length `theta = β_p / α_p`.
+    Pivot {
+        /// Leaving row index.
+        p: usize,
+        /// Step length.
+        theta: T,
+    },
+}
+
+/// Linear-algebra backend for the revised simplex driver.
+pub trait Backend<T: Scalar> {
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Current modeled time (simulated GPU clock or modeled CPU clock).
+    /// The driver samples this around each step to build the F2 breakdown.
+    fn clock(&self) -> SimTime;
+
+    /// Number of rows `m`.
+    fn m(&self) -> usize;
+
+    /// Number of columns eligible for pricing (excludes artificials).
+    fn n_active(&self) -> usize;
+
+    /// Install the pricing costs for the current phase (length ≥
+    /// [`Backend::n_active`]; trailing entries ignored).
+    fn set_phase_costs(&mut self, c: &[T]);
+
+    /// Set the cost of the variable basic in `row` (updates `c_B`).
+    fn set_basic_cost(&mut self, row: usize, cost: T);
+
+    /// Record that column `col` is basic in `row` (updates the device-side
+    /// basis mirror used to mask basic columns during pricing).
+    fn set_basic_col(&mut self, row: usize, col: usize);
+
+    /// Compute `π = c_Bᵀ B⁻¹` and the reduced costs `d_j = c_j − πᵀa_j` for
+    /// the `len` active columns starting at `start`
+    /// (`start + len ≤ n_active`). Partial pricing calls this with small
+    /// windows; full pricing is the window `[0, n_active)`.
+    fn compute_pricing_window(&mut self, start: usize, len: usize);
+
+    /// Compute `π = c_Bᵀ B⁻¹` and `d = c − Aᵀπ` over the active columns.
+    fn compute_pricing(&mut self) {
+        self.compute_pricing_window(0, self.n_active());
+    }
+
+    /// Dantzig rule restricted to the window `[start, start + len)`: most
+    /// negative reduced cost below `−tol` among its nonbasic columns.
+    /// Returns the *global* column index and its reduced cost. Only valid
+    /// for windows whose reduced costs are current.
+    fn entering_dantzig_window(&mut self, tol: T, start: usize, len: usize)
+        -> Option<(usize, T)>;
+
+    /// Dantzig rule: most negative reduced cost below `−tol` among nonbasic
+    /// active columns. Returns `(q, d_q)`, or `None` at optimality.
+    fn entering_dantzig(&mut self, tol: T) -> Option<(usize, T)> {
+        let n = self.n_active();
+        self.entering_dantzig_window(tol, 0, n)
+    }
+
+    /// Bland rule: smallest-index reduced cost below `−tol` among nonbasic
+    /// active columns. Returns `(q, d_q)`, or `None` at optimality.
+    fn entering_bland(&mut self, tol: T) -> Option<(usize, T)>;
+
+    /// FTRAN: `α = B⁻¹ a_q`.
+    fn compute_alpha(&mut self, q: usize);
+
+    /// Ratio test over the current `α` and `β`: minimize `β_i/α_i` over
+    /// rows with `α_i > pivot_tol`; ties go to the smallest row index.
+    fn ratio_test(&mut self, pivot_tol: T) -> RatioOutcome<T>;
+
+    /// Apply the pivot: `β_p ← θ`, `β_i ← β_i − θ·α_i (i ≠ p)`, and
+    /// `B⁻¹ ← E·B⁻¹` with the eta column built from `α` and `p`.
+    fn update(&mut self, p: usize, theta: T);
+
+    /// Download the current basic solution `β` (charged like any other
+    /// device→host transfer).
+    fn beta(&mut self) -> Vec<T>;
+
+    /// Current objective `c_Bᵀβ` computed from scratch (used at phase
+    /// transitions and after refactorization to purge drift).
+    fn objective_now(&mut self) -> T;
+
+    /// Rebuild `B⁻¹` and `β` from the basis column set. Returns `Err(())`
+    /// when the basis is numerically singular.
+    fn refactorize(&mut self, basis: &[usize]) -> Result<(), ()>;
+
+    /// One entry of the current `α` vector (used when driving artificials
+    /// out of a degenerate phase-1 basis).
+    fn alpha_at(&mut self, i: usize) -> T;
+}

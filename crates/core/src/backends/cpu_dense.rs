@@ -1,0 +1,347 @@
+//! Serial dense CPU backend — the paper's baseline (the ATLAS role).
+//!
+//! Every operation is an honest serial loop over host memory; *modeled*
+//! time is charged from [`CpuModel`] (roofline: flops vs. bytes), so the
+//! CPU-vs-GPU comparison is machine-independent and calibrated to the
+//! paper-era hardware. Wall-clock of these loops is tracked separately by
+//! the driver as a secondary metric.
+
+use gpu_sim::SimTime;
+use linalg::blas;
+use linalg::cpu_model::{CpuClock, CpuModel};
+use linalg::{DenseMatrix, Scalar};
+
+use crate::backend::{Backend, RatioOutcome};
+
+/// Dense serial CPU backend.
+pub struct CpuDenseBackend<T: Scalar> {
+    /// Full constraint matrix (all columns, including artificials — the
+    /// refactorization path needs them).
+    a: DenseMatrix<T>,
+    b: Vec<T>,
+    binv: DenseMatrix<T>,
+    beta: Vec<T>,
+    pi: Vec<T>,
+    d: Vec<T>,
+    alpha: Vec<T>,
+    costs: Vec<T>,
+    cb: Vec<T>,
+    basic: Vec<bool>,
+    basic_of_row: Vec<usize>,
+    n_active: usize,
+    clock: CpuClock,
+    model: CpuModel,
+    /// Scratch for the in-place eta update.
+    rowp: Vec<T>,
+    eta: Vec<T>,
+}
+
+impl<T: Scalar> CpuDenseBackend<T> {
+    /// Build from standard-form data. `basis0` must be an identity basis
+    /// (slacks/artificials), which standard-form construction guarantees.
+    pub fn new(a: &DenseMatrix<T>, b: &[T], n_active: usize, basis0: &[usize]) -> Self {
+        Self::with_model(a, b, n_active, basis0, CpuModel::core2_era())
+    }
+
+    /// Same, with an explicit CPU cost model (sensitivity experiments).
+    pub fn with_model(
+        a: &DenseMatrix<T>,
+        b: &[T],
+        n_active: usize,
+        basis0: &[usize],
+        model: CpuModel,
+    ) -> Self {
+        let m = a.rows();
+        assert_eq!(b.len(), m, "rhs length mismatch");
+        assert!(n_active <= a.cols(), "n_active exceeds column count");
+        let mut basic = vec![false; a.cols()];
+        for &j in basis0 {
+            basic[j] = true;
+        }
+        CpuDenseBackend {
+            a: a.clone(),
+            b: b.to_vec(),
+            binv: DenseMatrix::identity(m),
+            beta: b.to_vec(),
+            pi: vec![T::ZERO; m],
+            d: vec![T::ZERO; n_active],
+            alpha: vec![T::ZERO; m],
+            costs: vec![T::ZERO; n_active],
+            cb: vec![T::ZERO; m],
+            basic,
+            basic_of_row: basis0.to_vec(),
+            n_active,
+            clock: CpuClock::new(),
+            model,
+            rowp: vec![T::ZERO; m],
+            eta: vec![T::ZERO; m],
+        }
+    }
+
+    fn charge(&self, flops: u64, bytes: u64) {
+        self.clock.charge(self.model.op_time(flops, bytes, T::IS_F64));
+    }
+}
+
+impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
+    fn name(&self) -> &'static str {
+        "cpu-dense"
+    }
+
+    fn clock(&self) -> SimTime {
+        self.clock.elapsed()
+    }
+
+    fn m(&self) -> usize {
+        self.binv.rows()
+    }
+
+    fn n_active(&self) -> usize {
+        self.n_active
+    }
+
+    fn set_phase_costs(&mut self, c: &[T]) {
+        assert!(c.len() >= self.n_active, "phase costs too short");
+        self.costs.copy_from_slice(&c[..self.n_active]);
+        self.charge(0, self.n_active as u64 * T::BYTES);
+    }
+
+    fn set_basic_cost(&mut self, row: usize, cost: T) {
+        self.cb[row] = cost;
+    }
+
+    fn set_basic_col(&mut self, row: usize, col: usize) {
+        let old = self.basic_of_row[row];
+        self.basic[old] = false;
+        self.basic[col] = true;
+        self.basic_of_row[row] = col;
+    }
+
+    fn compute_pricing_window(&mut self, start: usize, len: usize) {
+        assert!(start + len <= self.n_active, "pricing window out of range");
+        let m = self.m() as u64;
+        // π = c_Bᵀ B⁻¹  (a transposed gemv over B⁻¹).
+        blas::gemv_t(T::ONE, &self.binv, &self.cb, T::ZERO, &mut self.pi);
+        self.charge(2 * m * m, m * m * T::BYTES);
+        // d_j = c_j − πᵀ a_j over the window.
+        for j in start..start + len {
+            self.d[j] = self.costs[j] - blas::dot(&self.pi, self.a.col(j));
+        }
+        let work = m * len as u64;
+        self.charge(2 * work, work * T::BYTES);
+    }
+
+    fn entering_dantzig_window(
+        &mut self,
+        tol: T,
+        start: usize,
+        len: usize,
+    ) -> Option<(usize, T)> {
+        assert!(start + len <= self.n_active, "selection window out of range");
+        let mut best: Option<(usize, T)> = None;
+        for (j, &dj) in self.d.iter().enumerate().skip(start).take(len) {
+            if self.basic[j] {
+                continue;
+            }
+            if dj < -tol {
+                match best {
+                    Some((_, bv)) if !(dj < bv) => {}
+                    _ => best = Some((j, dj)),
+                }
+            }
+        }
+        let n = len as u64;
+        self.charge(n, n * T::BYTES);
+        best
+    }
+
+    fn entering_bland(&mut self, tol: T) -> Option<(usize, T)> {
+        let res = self
+            .d
+            .iter()
+            .enumerate()
+            .find(|&(j, &dj)| !self.basic[j] && dj < -tol)
+            .map(|(j, &dj)| (j, dj));
+        let n = self.n_active as u64;
+        self.charge(n, n * T::BYTES);
+        res
+    }
+
+    fn compute_alpha(&mut self, q: usize) {
+        assert!(q < self.n_active, "entering column out of active range");
+        blas::gemv_n(T::ONE, &self.binv, self.a.col(q), T::ZERO, &mut self.alpha);
+        let m = self.m() as u64;
+        self.charge(2 * m * m, m * m * T::BYTES);
+    }
+
+    fn ratio_test(&mut self, pivot_tol: T) -> RatioOutcome<T> {
+        let mut best: Option<(usize, T)> = None;
+        for (i, (&a, &b)) in self.alpha.iter().zip(&self.beta).enumerate() {
+            if a > pivot_tol {
+                let r = if b > T::ZERO { b / a } else { T::ZERO };
+                match best {
+                    Some((_, br)) if !(r < br) => {}
+                    _ => best = Some((i, r)),
+                }
+            }
+        }
+        let m = self.m() as u64;
+        self.charge(2 * m, 2 * m * T::BYTES);
+        match best {
+            None => RatioOutcome::Unbounded,
+            Some((p, theta)) => RatioOutcome::Pivot { p, theta },
+        }
+    }
+
+    fn update(&mut self, p: usize, theta: T) {
+        let m = self.m();
+        // β update.
+        for i in 0..m {
+            if i == p {
+                self.beta[i] = theta;
+            } else {
+                self.beta[i] = (self.beta[i] - theta * self.alpha[i]).maxs(T::ZERO);
+            }
+        }
+        // Eta column.
+        let ap = self.alpha[p];
+        debug_assert!(ap != T::ZERO, "pivot on zero element");
+        for i in 0..m {
+            self.eta[i] = if i == p { T::ONE / ap } else { -self.alpha[i] / ap };
+        }
+        // Save old row p, then B⁻¹ ← E·B⁻¹ in place, column by column.
+        for j in 0..m {
+            self.rowp[j] = self.binv.get(p, j);
+        }
+        for j in 0..m {
+            let rpj = self.rowp[j];
+            let col = self.binv.col_mut(j);
+            for (i, (b, &ei)) in col.iter_mut().zip(&self.eta).enumerate() {
+                let old = if i == p { T::ZERO } else { *b };
+                *b = ei.mul_add(rpj, old);
+            }
+        }
+        let mm = (m * m) as u64;
+        self.charge(2 * mm + 4 * m as u64, 2 * mm * T::BYTES);
+    }
+
+    fn beta(&mut self) -> Vec<T> {
+        self.charge(0, self.m() as u64 * T::BYTES);
+        self.beta.clone()
+    }
+
+    fn objective_now(&mut self) -> T {
+        let m = self.m() as u64;
+        self.charge(2 * m, 2 * m * T::BYTES);
+        blas::dot(&self.cb, &self.beta)
+    }
+
+    fn refactorize(&mut self, basis: &[usize]) -> Result<(), ()> {
+        let m = self.m();
+        // Invert in f64 regardless of T: reinversion exists to *purge*
+        // error, so it runs at the highest precision available.
+        let mut bmat = linalg::DenseMatrix::<f64>::zeros(m, m);
+        for (r, &j) in basis.iter().enumerate() {
+            for i in 0..m {
+                bmat.set(i, r, self.a.get(i, j).to_f64());
+            }
+        }
+        let inv = linalg::blas::gauss_jordan_invert(&bmat).ok_or(())?;
+        for j in 0..m {
+            for i in 0..m {
+                self.binv.set(i, j, T::from_f64(inv.get(i, j)));
+            }
+        }
+        // β = B⁻¹ b, recomputed fresh.
+        blas::gemv_n(T::ONE, &self.binv, &self.b, T::ZERO, &mut self.beta);
+        for v in self.beta.iter_mut() {
+            *v = v.maxs(T::ZERO);
+        }
+        // The reinversion itself runs in f64 whatever T is; charge it as
+        // such so CPU and GPU backends price refactorization identically.
+        let m3 = (m as u64).pow(3);
+        self.clock.charge(self.model.op_time(2 * m3, (m as u64 * m as u64) * 8 * 3, true));
+        Ok(())
+    }
+
+    fn alpha_at(&mut self, i: usize) -> T {
+        self.alpha[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Standard form of: min −3x −5y s.t. x + s1 = 4, 2y + s2 = 12,
+    /// 3x + 2y + s3 = 18 (the Wyndor problem, already standardized).
+    fn wyndor_std() -> (DenseMatrix<f64>, Vec<f64>, Vec<f64>, Vec<usize>) {
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0, 1.0, 0.0],
+            vec![3.0, 2.0, 0.0, 0.0, 1.0],
+        ]);
+        let b = vec![4.0, 12.0, 18.0];
+        let c = vec![-3.0, -5.0, 0.0, 0.0, 0.0];
+        let basis0 = vec![2, 3, 4];
+        (a, b, c, basis0)
+    }
+
+    #[test]
+    fn one_manual_iteration_matches_textbook() {
+        let (a, b, c, basis0) = wyndor_std();
+        let mut be = CpuDenseBackend::new(&a, &b, 5, &basis0);
+        be.set_phase_costs(&c);
+        for (r, &j) in basis0.iter().enumerate() {
+            be.set_basic_cost(r, c[j]);
+        }
+        be.compute_pricing();
+        // All-slack basis: π = 0, d = c.
+        let (q, dq) = be.entering_dantzig(1e-9).unwrap();
+        assert_eq!(q, 1); // y has the most negative cost −5
+        assert_eq!(dq, -5.0);
+        be.compute_alpha(q);
+        // α = a_y = (0, 2, 2).
+        match be.ratio_test(1e-9) {
+            RatioOutcome::Pivot { p, theta } => {
+                assert_eq!(p, 1); // 12/2 = 6 < 18/2 = 9
+                assert_eq!(theta, 6.0);
+                be.update(p, theta);
+                be.set_basic_col(p, q);
+                be.set_basic_cost(p, c[q]);
+            }
+            RatioOutcome::Unbounded => panic!("should pivot"),
+        }
+        // New β = (4, 6, 6); objective = −30.
+        assert_eq!(be.beta(), vec![4.0, 6.0, 6.0]);
+        assert_eq!(be.objective_now(), -30.0);
+        assert!(be.clock().as_nanos() > 0.0);
+    }
+
+    #[test]
+    fn refactorize_identity_basis_is_identity() {
+        let (a, b, _c, basis0) = wyndor_std();
+        let mut be = CpuDenseBackend::new(&a, &b, 5, &basis0);
+        be.refactorize(&basis0).unwrap();
+        assert_eq!(be.beta(), b);
+    }
+
+    #[test]
+    fn refactorize_detects_singular_basis() {
+        let (a, b, _c, _) = wyndor_std();
+        let mut be = CpuDenseBackend::new(&a, &b, 5, &[2, 3, 4]);
+        // Columns 0 and 0 twice → singular.
+        assert!(be.refactorize(&[0, 0, 4]).is_err());
+    }
+
+    #[test]
+    fn bland_picks_smallest_index() {
+        let (a, b, c, basis0) = wyndor_std();
+        let mut be = CpuDenseBackend::new(&a, &b, 5, &basis0);
+        be.set_phase_costs(&c);
+        be.compute_pricing();
+        let (q, dq) = be.entering_bland(1e-9).unwrap();
+        assert_eq!(q, 0); // x comes first even though y is more negative
+        assert_eq!(dq, -3.0);
+    }
+}

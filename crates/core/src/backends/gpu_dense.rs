@@ -1,0 +1,588 @@
+//! The paper's implementation: dense revised simplex on the (simulated)
+//! GPU.
+//!
+//! Device-resident state: the active constraint matrix `A` (column-major so
+//! the one-thread-per-row kernels coalesce), the explicit basis inverse
+//! `B⁻¹`, the iterate vectors, the pricing costs, and a `u32` mirror of the
+//! basis for masking. Per iteration the backend issues the same kernel
+//! sequence the paper describes — two-pass transposed gemv for `π` and `d`,
+//! reductions for the argmins, one gemv for FTRAN, elementwise ratio, and
+//! the O(m²) eta kernel for `B⁻¹` — every launch and every PCIe round-trip
+//! charged by the simulator.
+
+use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig, SimTime, TimeCategory};
+use linalg::gpu::{self as gblas, DeviceMatrix, GemvTStrategy, Layout};
+use linalg::{DenseMatrix, Scalar};
+
+use super::gpu_kernels::{MapNegIdxK, MaskBasicK, RatioK, UpdateBetaK};
+use crate::backend::{Backend, RatioOutcome};
+
+const BLOCK: u32 = 128;
+
+/// Dense simulated-GPU backend.
+pub struct GpuDenseBackend<'g, T: Scalar> {
+    gpu: &'g Gpu,
+    /// Host copy of the *full* matrix (refactorization needs artificials).
+    a_host: DenseMatrix<T>,
+    b_host: Vec<T>,
+    /// Device copy of the active columns only.
+    a_dev: DeviceMatrix<T>,
+    binv: DeviceMatrix<T>,
+    beta: DeviceBuffer<T>,
+    pi: DeviceBuffer<T>,
+    d: DeviceBuffer<T>,
+    alpha: DeviceBuffer<T>,
+    ratios: DeviceBuffer<T>,
+    costs: DeviceBuffer<T>,
+    cb: DeviceBuffer<T>,
+    xb: DeviceBuffer<u32>,
+    n_active: usize,
+    m: usize,
+    /// Layout of the device matrices (col-major normally; row-major for
+    /// the F4 coalescing ablation).
+    layout: Layout,
+    /// Transposed-gemv strategy (two-pass coalesced vs. naive).
+    gemv_t_strategy: GemvTStrategy,
+}
+
+impl<'g, T: Scalar> GpuDenseBackend<'g, T> {
+    /// Build with the paper's configuration: col-major device matrices and
+    /// the coalesced two-pass transposed gemv.
+    pub fn new(
+        gpu: &'g Gpu,
+        a: &DenseMatrix<T>,
+        b: &[T],
+        n_active: usize,
+        basis0: &[usize],
+    ) -> Self {
+        Self::with_layout(gpu, a, b, n_active, basis0, Layout::ColMajor, GemvTStrategy::TwoPass)
+    }
+
+    /// Build with an explicit layout/strategy (coalescing ablation).
+    pub fn with_layout(
+        gpu: &'g Gpu,
+        a: &DenseMatrix<T>,
+        b: &[T],
+        n_active: usize,
+        basis0: &[usize],
+        layout: Layout,
+        gemv_t_strategy: GemvTStrategy,
+    ) -> Self {
+        let m = a.rows();
+        assert_eq!(b.len(), m, "rhs length mismatch");
+        assert!(n_active <= a.cols(), "n_active exceeds column count");
+        if layout == Layout::RowMajor {
+            assert_eq!(
+                gemv_t_strategy,
+                GemvTStrategy::Naive,
+                "two-pass gemv_t requires col-major storage"
+            );
+        }
+        let a_active = a.select_cols(&(0..n_active).collect::<Vec<_>>());
+        let a_dev = DeviceMatrix::upload(gpu, &a_active, layout);
+        let binv = DeviceMatrix::identity(gpu, m, layout);
+        let beta = gpu.htod(b);
+        let pi = gpu.alloc(m, T::ZERO);
+        let d = gpu.alloc(n_active, T::ZERO);
+        let alpha = gpu.alloc(m, T::ZERO);
+        let ratios = gpu.alloc(m, T::ZERO);
+        let costs = gpu.alloc(n_active, T::ZERO);
+        let cb = gpu.alloc(m, T::ZERO);
+        let xb_host: Vec<u32> = basis0.iter().map(|&j| j as u32).collect();
+        let xb = gpu.htod(&xb_host);
+        GpuDenseBackend {
+            gpu,
+            a_host: a.clone(),
+            b_host: b.to_vec(),
+            a_dev,
+            binv,
+            beta,
+            pi,
+            d,
+            alpha,
+            ratios,
+            costs,
+            cb,
+            xb,
+            n_active,
+            m,
+            layout,
+            gemv_t_strategy,
+        }
+    }
+
+    /// The device handle (for counter snapshots in experiments).
+    pub fn gpu(&self) -> &Gpu {
+        self.gpu
+    }
+}
+
+impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
+    fn name(&self) -> &'static str {
+        "gpu-dense"
+    }
+
+    fn clock(&self) -> SimTime {
+        self.gpu.elapsed()
+    }
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn n_active(&self) -> usize {
+        self.n_active
+    }
+
+    fn set_phase_costs(&mut self, c: &[T]) {
+        assert!(c.len() >= self.n_active, "phase costs too short");
+        self.gpu.htod_into(&c[..self.n_active], &mut self.costs);
+    }
+
+    fn set_basic_cost(&mut self, row: usize, cost: T) {
+        self.gpu.htod_elem(&mut self.cb, row, cost);
+    }
+
+    fn set_basic_col(&mut self, row: usize, col: usize) {
+        self.gpu.htod_elem(&mut self.xb, row, col as u32);
+    }
+
+    fn compute_pricing_window(&mut self, start: usize, len: usize) {
+        assert!(start + len <= self.n_active, "pricing window out of range");
+        // π = c_Bᵀ B⁻¹  ⇔  π = (B⁻¹)ᵀ c_B.
+        gblas::gemv_t(
+            self.gpu,
+            T::ONE,
+            &self.binv,
+            self.cb.view(),
+            T::ZERO,
+            self.pi.view_mut(),
+            self.gemv_t_strategy,
+        );
+        // d[start..start+len] = c[window] − A[:, window]ᵀπ. The column-block
+        // product needs contiguous columns (col-major); the row-major
+        // ablation backend always prices the full range.
+        if self.layout == Layout::ColMajor {
+            gblas::copy(
+                self.gpu,
+                self.costs.view().subview(start, len),
+                self.d.view_mut().subview_mut(start, len),
+            );
+            gblas::gemv_t_cols(
+                self.gpu,
+                -T::ONE,
+                &self.a_dev,
+                start,
+                len,
+                self.pi.view(),
+                T::ONE,
+                self.d.view_mut().subview_mut(start, len),
+                self.gemv_t_strategy,
+            );
+        } else {
+            gblas::copy(self.gpu, self.costs.view(), self.d.view_mut());
+            gblas::gemv_t(
+                self.gpu,
+                -T::ONE,
+                &self.a_dev,
+                self.pi.view(),
+                T::ONE,
+                self.d.view_mut(),
+                self.gemv_t_strategy,
+            );
+        }
+    }
+
+    fn entering_dantzig_window(
+        &mut self,
+        tol: T,
+        start: usize,
+        len: usize,
+    ) -> Option<(usize, T)> {
+        assert!(start + len <= self.n_active, "selection window out of range");
+        self.gpu.launch(
+            LaunchConfig::for_elems(self.m, BLOCK),
+            &MaskBasicK { d: self.d.view_mut(), xb: self.xb.view(), m: self.m, n_active: self.n_active },
+        );
+        let (v, q) = gblas::argmin(self.gpu, self.d.view().subview(start, len), len);
+        if v < -tol {
+            Some((start + q as usize, v))
+        } else {
+            None
+        }
+    }
+
+    fn entering_bland(&mut self, tol: T) -> Option<(usize, T)> {
+        self.gpu.launch(
+            LaunchConfig::for_elems(self.m, BLOCK),
+            &MaskBasicK { d: self.d.view_mut(), xb: self.xb.view(), m: self.m, n_active: self.n_active },
+        );
+        let mut idx = self.gpu.alloc(self.n_active, u32::MAX);
+        self.gpu.launch(
+            LaunchConfig::for_elems(self.n_active, BLOCK),
+            &MapNegIdxK { d: self.d.view(), tol, out: idx.view_mut(), n: self.n_active },
+        );
+        let q = gblas::reduce_u32_min(self.gpu, idx.view(), self.n_active);
+        if q == u32::MAX {
+            return None;
+        }
+        // Fetch d_q (one scalar over PCIe, as the era's codes did).
+        let dq = self.gpu.dtoh_range(&self.d, q as usize, 1)[0];
+        Some((q as usize, dq))
+    }
+
+    fn compute_alpha(&mut self, q: usize) {
+        assert!(q < self.n_active, "entering column out of active range");
+        match self.layout {
+            Layout::ColMajor => {
+                let aq = self.a_dev.col_view(q);
+                gblas::gemv_n(self.gpu, T::ONE, &self.binv, aq, T::ZERO, self.alpha.view_mut());
+            }
+            Layout::RowMajor => {
+                // No contiguous column view exists; extract the column with
+                // a strided kernel first (honest extra cost of this layout).
+                let mut aq = self.gpu.alloc(self.m, T::ZERO);
+                self.gpu.launch(
+                    LaunchConfig::for_elems(self.m, BLOCK),
+                    &ColExtractRowMajorK {
+                        mat: self.a_dev.view(),
+                        rows: self.m,
+                        cols: self.n_active,
+                        j: q,
+                        out: aq.view_mut(),
+                    },
+                );
+                gblas::gemv_n(self.gpu, T::ONE, &self.binv, aq.view(), T::ZERO, self.alpha.view_mut());
+            }
+        }
+    }
+
+    fn ratio_test(&mut self, pivot_tol: T) -> RatioOutcome<T> {
+        if self.m == 0 {
+            // Zero-row programs: nothing can block the entering variable.
+            return RatioOutcome::Unbounded;
+        }
+        self.gpu.launch(
+            LaunchConfig::for_elems(self.m, BLOCK),
+            &RatioK {
+                alpha: self.alpha.view(),
+                beta: self.beta.view(),
+                tol: pivot_tol,
+                out: self.ratios.view_mut(),
+                m: self.m,
+            },
+        );
+        let (theta, p) = gblas::argmin(self.gpu, self.ratios.view(), self.m);
+        if theta.is_finite() {
+            RatioOutcome::Pivot { p: p as usize, theta }
+        } else {
+            RatioOutcome::Unbounded
+        }
+    }
+
+    fn update(&mut self, p: usize, theta: T) {
+        self.gpu.launch(
+            LaunchConfig::for_elems(self.m, BLOCK),
+            &UpdateBetaK {
+                beta: self.beta.view_mut(),
+                alpha: self.alpha.view(),
+                theta,
+                p,
+                m: self.m,
+            },
+        );
+        gblas::pivot_update(self.gpu, &mut self.binv, self.alpha.view(), p);
+    }
+
+    fn beta(&mut self) -> Vec<T> {
+        self.gpu.dtoh(&self.beta)
+    }
+
+    fn objective_now(&mut self) -> T {
+        gblas::dot(self.gpu, self.cb.view(), self.beta.view())
+    }
+
+    fn refactorize(&mut self, basis: &[usize]) -> Result<(), ()> {
+        // Fast path: device-resident Gauss–Jordan reinversion over [B | I]
+        // (col-major only; no pivoting — falls back to the pivoting host
+        // path on a small pivot).
+        if self.layout == Layout::ColMajor {
+            if self.refactorize_on_device(basis).is_ok() {
+                return Ok(());
+            }
+        }
+        self.refactorize_on_host(basis)
+    }
+
+    fn alpha_at(&mut self, i: usize) -> T {
+        self.gpu.dtoh_range(&self.alpha, i, 1)[0]
+    }
+}
+
+impl<T: Scalar> GpuDenseBackend<'_, T> {
+    /// Device-side reinversion: assemble B from the resident active columns
+    /// (artificials are unit columns), invert in place, recompute β = B⁻¹b.
+    fn refactorize_on_device(&mut self, basis: &[usize]) -> Result<(), ()> {
+        use super::gpu_kernels::ClampNonNegK;
+        let m = self.m;
+        let mut bmat = DeviceMatrix::<T>::zeros(self.gpu, m, m, Layout::ColMajor);
+        for (r, &j) in basis.iter().enumerate() {
+            if j < self.n_active {
+                gblas::copy(
+                    self.gpu,
+                    self.a_dev.col_view(j),
+                    bmat.view_mut().subview_mut(r * m, m),
+                );
+            } else {
+                // Artificial column of row `row`: e_row, written as one
+                // scalar on top of the zero-initialized column.
+                let row = match basis_artificial_row(&self.a_host, j) {
+                    Some(row) => row,
+                    None => return Err(()),
+                };
+                let view = bmat.view_mut();
+                view.set(r * m + row, T::ONE);
+                self.gpu.charge(
+                    TimeCategory::TransferH2D,
+                    gpu_sim::timing::transfer_time(self.gpu.spec(), T::BYTES),
+                );
+            }
+        }
+        let pivot_tol = T::from_f64(if T::IS_F64 { 1e-11 } else { 1e-6 });
+        let inv = gblas::invert_gauss_jordan(self.gpu, &bmat, pivot_tol).ok_or(())?;
+        self.binv = inv;
+        // β = B⁻¹ b, clamped at zero.
+        let b_dev = self.gpu.htod(&self.b_host);
+        gblas::gemv_n(self.gpu, T::ONE, &self.binv, b_dev.view(), T::ZERO, self.beta.view_mut());
+        self.gpu.launch(
+            LaunchConfig::for_elems(m, BLOCK),
+            &ClampNonNegK { x: self.beta.view_mut(), n: m },
+        );
+        Ok(())
+    }
+
+    /// Host-side pivoting reinversion (fallback; always succeeds on a
+    /// non-singular basis).
+    fn refactorize_on_host(&mut self, basis: &[usize]) -> Result<(), ()> {
+        let m = self.m;
+        // Reinversion runs on the host in f64 (the era's codes pulled the
+        // basis back for a dgetrf-style refactor), then re-uploads B⁻¹ and
+        // β — both PCIe transfers are charged below via htod_into.
+        let mut bmat = DenseMatrix::<f64>::zeros(m, m);
+        for (r, &j) in basis.iter().enumerate() {
+            for i in 0..m {
+                bmat.set(i, r, self.a_host.get(i, j).to_f64());
+            }
+        }
+        let inv = linalg::blas::gauss_jordan_invert(&bmat).ok_or(())?;
+        // Charge the host-side inversion at the modeled CPU rate so the GPU
+        // clock stays the single timeline.
+        let cpu = linalg::CpuModel::core2_era();
+        let m3 = (m as u64).pow(3);
+        self.gpu.charge(
+            TimeCategory::KernelBody,
+            cpu.op_time(2 * m3, (m as u64 * m as u64) * 8, true),
+        );
+
+        let mut inv_t = DenseMatrix::<T>::zeros(m, m);
+        for j in 0..m {
+            for i in 0..m {
+                inv_t.set(i, j, T::from_f64(inv.get(i, j)));
+            }
+        }
+        self.binv = DeviceMatrix::upload(self.gpu, &inv_t, self.layout);
+        let mut beta_h = vec![T::ZERO; m];
+        linalg::blas::gemv_n(T::ONE, &inv_t, &self.b_host, T::ZERO, &mut beta_h);
+        for v in beta_h.iter_mut() {
+            *v = v.maxs(T::ZERO);
+        }
+        self.gpu.htod_into(&beta_h, &mut self.beta);
+        Ok(())
+    }
+}
+
+/// Row carrying the single +1 of an identity (artificial) column, found by
+/// scanning the host copy.
+fn basis_artificial_row<T: Scalar>(a: &DenseMatrix<T>, j: usize) -> Option<usize> {
+    let mut row = None;
+    for (i, &v) in a.col(j).iter().enumerate() {
+        if v == T::ONE && row.is_none() {
+            row = Some(i);
+        } else if v != T::ZERO && v != T::ONE {
+            return None;
+        }
+    }
+    row
+}
+
+/// Column extraction from a row-major device matrix (strided, uncoalesced —
+/// part of the price the F4 ablation pays).
+struct ColExtractRowMajorK<T: Scalar> {
+    mat: gpu_sim::DView<T>,
+    rows: usize,
+    cols: usize,
+    j: usize,
+    out: gpu_sim::DViewMut<T>,
+}
+
+impl<T: Scalar> gpu_sim::Kernel for ColExtractRowMajorK<T> {
+    fn name(&self) -> &'static str {
+        "col_extract_rm"
+    }
+    fn run(&self, t: &gpu_sim::ThreadCtx) {
+        let i = t.global_id();
+        if i < self.rows {
+            self.out.set(i, self.mat.get(self.j + i * self.cols));
+        }
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> gpu_sim::KernelCost {
+        let m = self.rows as u64;
+        gpu_sim::KernelCost::new()
+            .read(gpu_sim::AccessPattern::strided::<T>(m, self.cols as u64 * T::BYTES))
+            .write(gpu_sim::AccessPattern::coalesced::<T>(m))
+            .active_threads(cfg, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    fn wyndor_std() -> (DenseMatrix<f64>, Vec<f64>, Vec<f64>, Vec<usize>) {
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0, 1.0, 0.0],
+            vec![3.0, 2.0, 0.0, 0.0, 1.0],
+        ]);
+        (a, vec![4.0, 12.0, 18.0], vec![-3.0, -5.0, 0.0, 0.0, 0.0], vec![2, 3, 4])
+    }
+
+    #[test]
+    fn gpu_iteration_matches_cpu_backend() {
+        use crate::backends::CpuDenseBackend;
+        let (a, b, c, basis0) = wyndor_std();
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut gb = GpuDenseBackend::new(&gpu, &a, &b, 5, &basis0);
+        let mut cb = CpuDenseBackend::new(&a, &b, 5, &basis0);
+        for be in [&mut gb as &mut dyn Backend<f64>, &mut cb as &mut dyn Backend<f64>] {
+            be.set_phase_costs(&c);
+            for (r, &j) in basis0.iter().enumerate() {
+                be.set_basic_cost(r, c[j]);
+            }
+            be.compute_pricing();
+        }
+        let (gq, gd) = gb.entering_dantzig(1e-9).unwrap();
+        let (cq, cd) = cb.entering_dantzig(1e-9).unwrap();
+        assert_eq!(gq, cq);
+        assert_eq!(gd, cd);
+        gb.compute_alpha(gq);
+        cb.compute_alpha(cq);
+        let gr = gb.ratio_test(1e-9);
+        let cr = cb.ratio_test(1e-9);
+        assert_eq!(gr, cr);
+        if let RatioOutcome::Pivot { p, theta } = gr {
+            gb.update(p, theta);
+            cb.update(p, theta);
+            gb.set_basic_col(p, gq);
+            gb.set_basic_cost(p, c[gq]);
+            cb.set_basic_col(p, cq);
+            cb.set_basic_cost(p, c[cq]);
+        }
+        assert_eq!(gb.beta(), cb.beta());
+        assert_eq!(gb.objective_now(), cb.objective_now());
+        // The GPU backend actually used the device.
+        let counters = gpu.counters();
+        assert!(counters.kernels_launched > 10);
+        assert!(counters.d2h_count >= 2);
+    }
+
+    #[test]
+    fn refactorize_round_trips_binv() {
+        let (a, b, _c, basis0) = wyndor_std();
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut gb = GpuDenseBackend::new(&gpu, &a, &b, 5, &basis0);
+        // Pivot column 0 into row 0, then refactorize and check β = B⁻¹b.
+        gb.set_phase_costs(&[-3.0, -5.0, 0.0, 0.0, 0.0]);
+        gb.compute_alpha(0);
+        gb.update(0, 4.0);
+        gb.set_basic_col(0, 0);
+        gb.refactorize(&[0, 3, 4]).unwrap();
+        let beta = gb.beta();
+        // B = [a0 | e1 | e2] → β = (4, 12, 18 − 3·4) = (4, 12, 6).
+        assert_eq!(beta, vec![4.0, 12.0, 6.0]);
+    }
+
+    #[test]
+    fn device_refactorization_handles_artificial_columns() {
+        // Basis mixing a structural column with artificials (unit columns
+        // beyond n_active) — the device path must assemble e_r correctly.
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, 1.0, 0.0], // cols: x, y | artificials u1, u2
+            vec![1.0, 3.0, 0.0, 1.0],
+        ]);
+        let b = vec![5.0, 10.0];
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut gb = GpuDenseBackend::new(&gpu, &a, &b, 2, &[2, 3]);
+        // Basis = {x (col 0), artificial u2 (col 3)} → B = [[2,0],[1,1]].
+        gb.refactorize(&[0, 3]).unwrap();
+        let beta = gb.beta();
+        // B⁻¹ b = [[0.5,0],[-0.5,1]]·(5,10) = (2.5, 7.5).
+        assert!((beta[0] - 2.5).abs() < 1e-12, "{beta:?}");
+        assert!((beta[1] - 7.5).abs() < 1e-12, "{beta:?}");
+        // The device path was used: no big H2D of a host-inverted matrix —
+        // check it stayed resident by confirming d2h traffic is only the
+        // pivot probes + the beta download (m pivots + m elements).
+        let c = gpu.counters();
+        assert!(c.d2h_count >= 2, "pivot probes happen over PCIe");
+    }
+
+    #[test]
+    fn device_and_host_refactorization_agree() {
+        let a = DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.5, 1.0, 0.0, 0.0],
+            vec![1.0, 5.0, 1.0, 0.0, 1.0, 0.0],
+            vec![0.5, 1.0, 6.0, 0.0, 0.0, 1.0],
+        ]);
+        let b = vec![3.0, 7.0, 11.0];
+        let basis = vec![0usize, 1, 2];
+
+        let gpu1 = Gpu::new(DeviceSpec::gtx280());
+        let mut dev = GpuDenseBackend::new(&gpu1, &a, &b, 3, &[3, 4, 5]);
+        dev.refactorize_on_device(&basis).unwrap();
+        let beta_dev = dev.beta();
+
+        let gpu2 = Gpu::new(DeviceSpec::gtx280());
+        let mut host = GpuDenseBackend::new(&gpu2, &a, &b, 3, &[3, 4, 5]);
+        host.refactorize_on_host(&basis).unwrap();
+        let beta_host = host.beta();
+
+        for (d, h) in beta_dev.iter().zip(&beta_host) {
+            assert!((d - h).abs() < 1e-9, "{beta_dev:?} vs {beta_host:?}");
+        }
+    }
+
+    #[test]
+    fn row_major_backend_produces_same_values() {
+        let (a, b, c, basis0) = wyndor_std();
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut gb = GpuDenseBackend::with_layout(
+            &gpu,
+            &a,
+            &b,
+            5,
+            &basis0,
+            Layout::RowMajor,
+            GemvTStrategy::Naive,
+        );
+        gb.set_phase_costs(&c);
+        for (r, &j) in basis0.iter().enumerate() {
+            gb.set_basic_cost(r, c[j]);
+        }
+        gb.compute_pricing();
+        let (q, d) = gb.entering_dantzig(1e-9).unwrap();
+        assert_eq!((q, d), (1, -5.0));
+        gb.compute_alpha(q);
+        assert_eq!(gb.alpha_at(1), 2.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Solver-specific device kernels (the pieces CUBLAS did not provide in
+//! 2009 and the paper's authors wrote by hand).
+
+use gpu_sim::{AccessPattern, DView, DViewMut, Kernel, KernelCost, LaunchConfig, ThreadCtx};
+use linalg::Scalar;
+
+/// Mask the reduced costs of basic columns to `+∞` so pricing reductions
+/// skip them: `d[xb[i]] = ∞` for every row `i` (when `xb[i]` is an active
+/// column).
+pub struct MaskBasicK<T: Scalar> {
+    pub d: DViewMut<T>,
+    pub xb: DView<u32>,
+    pub m: usize,
+    pub n_active: usize,
+}
+
+impl<T: Scalar> Kernel for MaskBasicK<T> {
+    fn name(&self) -> &'static str {
+        "mask_basic"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let i = t.global_id();
+        if i >= self.m {
+            return;
+        }
+        let col = self.xb.get(i) as usize;
+        if col < self.n_active {
+            self.d.set(col, T::infinity());
+        }
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let m = self.m as u64;
+        KernelCost::new()
+            .read(AccessPattern::coalesced::<u32>(m))
+            .write(AccessPattern::scattered::<T>(m))
+            .active_threads(cfg, m)
+    }
+}
+
+/// Bland stage: `out[j] = (d[j] < −tol) ? j : u32::MAX`.
+pub struct MapNegIdxK<T: Scalar> {
+    pub d: DView<T>,
+    pub tol: T,
+    pub out: DViewMut<u32>,
+    pub n: usize,
+}
+
+impl<T: Scalar> Kernel for MapNegIdxK<T> {
+    fn name(&self) -> &'static str {
+        "map_neg_idx"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let j = t.global_id();
+        if j >= self.n {
+            return;
+        }
+        let v = if self.d.get(j) < -self.tol { j as u32 } else { u32::MAX };
+        self.out.set(j, v);
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let n = self.n as u64;
+        KernelCost::new()
+            .int_ops_total(n)
+            .read(AccessPattern::coalesced::<T>(n))
+            .write(AccessPattern::coalesced::<u32>(n))
+            .active_threads(cfg, n)
+    }
+}
+
+/// Ratio-test map: `r[i] = (α[i] > tol) ? β[i]/α[i] : +∞`.
+pub struct RatioK<T: Scalar> {
+    pub alpha: DView<T>,
+    pub beta: DView<T>,
+    pub tol: T,
+    pub out: DViewMut<T>,
+    pub m: usize,
+}
+
+impl<T: Scalar> Kernel for RatioK<T> {
+    fn name(&self) -> &'static str {
+        "ratio"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let i = t.global_id();
+        if i >= self.m {
+            return;
+        }
+        let a = self.alpha.get(i);
+        let r = if a > self.tol {
+            let b = self.beta.get(i);
+            // Clamp tiny negative β (round-off) to 0 so degenerate pivots
+            // report θ = 0 instead of a spurious negative step.
+            if b > T::ZERO {
+                b / a
+            } else {
+                T::ZERO
+            }
+        } else {
+            T::infinity()
+        };
+        self.out.set(i, r);
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let m = self.m as u64;
+        KernelCost::new()
+            .flops_total(m)
+            .fp64(T::IS_F64)
+            .read(AccessPattern::coalesced::<T>(m))
+            .read(AccessPattern::coalesced::<T>(m))
+            .write(AccessPattern::coalesced::<T>(m))
+            // The α ≤ tol branch diverges within warps.
+            .divergence(1.2)
+            .active_threads(cfg, m)
+    }
+}
+
+/// Basic-solution update: `β[p] = θ`, `β[i] −= θ·α[i]` elsewhere, clamped at
+/// zero to keep round-off from producing slightly negative basics.
+pub struct UpdateBetaK<T: Scalar> {
+    pub beta: DViewMut<T>,
+    pub alpha: DView<T>,
+    pub theta: T,
+    pub p: usize,
+    pub m: usize,
+}
+
+impl<T: Scalar> Kernel for UpdateBetaK<T> {
+    fn name(&self) -> &'static str {
+        "update_beta"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let i = t.global_id();
+        if i >= self.m {
+            return;
+        }
+        if i == self.p {
+            self.beta.set(i, self.theta);
+        } else {
+            let v = self.beta.get(i) - self.theta * self.alpha.get(i);
+            self.beta.set(i, v.maxs(T::ZERO));
+        }
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let m = self.m as u64;
+        KernelCost::new()
+            .flops_total(2 * m)
+            .fp64(T::IS_F64)
+            .read(AccessPattern::coalesced::<T>(m))
+            .read(AccessPattern::coalesced::<T>(m))
+            .write(AccessPattern::coalesced::<T>(m))
+            .active_threads(cfg, m)
+    }
+}
+
+/// Elementwise clamp to non-negative: `x[i] = max(x[i], 0)` — applied to a
+/// freshly recomputed β to keep round-off from seeding negative basics.
+pub struct ClampNonNegK<T: Scalar> {
+    pub x: DViewMut<T>,
+    pub n: usize,
+}
+
+impl<T: Scalar> Kernel for ClampNonNegK<T> {
+    fn name(&self) -> &'static str {
+        "clamp_nonneg"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let i = t.global_id();
+        if i < self.n {
+            self.x.set(i, self.x.get(i).maxs(T::ZERO));
+        }
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let n = self.n as u64;
+        KernelCost::new()
+            .flops_total(n)
+            .fp64(T::IS_F64)
+            .read(AccessPattern::coalesced::<T>(n))
+            .write(AccessPattern::coalesced::<T>(n))
+            .active_threads(cfg, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceSpec, Gpu};
+
+    #[test]
+    fn mask_basic_sets_infinity_only_for_active_basics() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut d = gpu.htod(&[1.0f32, 2.0, 3.0, 4.0]);
+        let xb = gpu.htod(&[1u32, 7]); // column 7 is outside n_active
+        gpu.launch(
+            gpu_sim::LaunchConfig::for_elems(2, 128),
+            &MaskBasicK { d: d.view_mut(), xb: xb.view(), m: 2, n_active: 4 },
+        );
+        let host = gpu.dtoh(&d);
+        assert_eq!(host[0], 1.0);
+        assert!(host[1].is_infinite());
+        assert_eq!(host[2], 3.0);
+    }
+
+    #[test]
+    fn map_neg_idx_thresholds() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let d = gpu.htod(&[0.5f64, -0.05, -2.0]);
+        let mut out = gpu.alloc(3, 0u32);
+        gpu.launch(
+            gpu_sim::LaunchConfig::for_elems(3, 128),
+            &MapNegIdxK { d: d.view(), tol: 0.1, out: out.view_mut(), n: 3 },
+        );
+        assert_eq!(gpu.dtoh(&out), vec![u32::MAX, u32::MAX, 2]);
+    }
+
+    #[test]
+    fn ratio_kernel_filters_and_clamps() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let alpha = gpu.htod(&[2.0f64, -1.0, 1e-12, 4.0]);
+        let beta = gpu.htod(&[6.0, 5.0, 1.0, -1e-9]);
+        let mut out = gpu.alloc(4, 0.0f64);
+        gpu.launch(
+            gpu_sim::LaunchConfig::for_elems(4, 128),
+            &RatioK { alpha: alpha.view(), beta: beta.view(), tol: 1e-9, out: out.view_mut(), m: 4 },
+        );
+        let r = gpu.dtoh(&out);
+        assert_eq!(r[0], 3.0);
+        assert!(r[1].is_infinite()); // negative α filtered
+        assert!(r[2].is_infinite()); // below pivot tolerance
+        assert_eq!(r[3], 0.0); // negative β clamped → degenerate step
+    }
+
+    #[test]
+    fn update_beta_applies_pivot() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut beta = gpu.htod(&[4.0f64, 6.0, 8.0]);
+        let alpha = gpu.htod(&[1.0, 2.0, -1.0]);
+        gpu.launch(
+            gpu_sim::LaunchConfig::for_elems(3, 128),
+            &UpdateBetaK { beta: beta.view_mut(), alpha: alpha.view(), theta: 3.0, p: 1, m: 3 },
+        );
+        assert_eq!(gpu.dtoh(&beta), vec![1.0, 3.0, 11.0]);
+    }
+}

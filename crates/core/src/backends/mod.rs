@@ -1,0 +1,11 @@
+//! Backend implementations: serial CPU (dense and sparse) and the
+//! simulated-GPU dense backend the paper is about.
+
+mod cpu_dense;
+mod cpu_sparse;
+mod gpu_dense;
+pub(crate) mod gpu_kernels;
+
+pub use cpu_dense::CpuDenseBackend;
+pub use cpu_sparse::CpuSparseBackend;
+pub use gpu_dense::GpuDenseBackend;

@@ -1,0 +1,49 @@
+//! # gplex — the revised simplex method on a (simulated) GPU
+//!
+//! Core of the reproduction of *"Linear optimization on modern GPUs"*
+//! (IPDPS 2009): a two-phase revised simplex solver whose per-iteration
+//! linear algebra is delegated to a [`backend::Backend`] —
+//!
+//! * [`backends::CpuDenseBackend`] — the serial CPU baseline (ATLAS role),
+//!   with modeled single-core time from `linalg::CpuModel`;
+//! * [`backends::GpuDenseBackend`] — the paper's implementation: the
+//!   constraint matrix and the explicit basis inverse `B⁻¹` live in
+//!   simulated device memory, every step is a kernel/reduction on
+//!   [`gpu_sim`], and `B⁻¹` is updated in place with the eta
+//!   (Gauss–Jordan column) kernel;
+//! * [`backends::CpuSparseBackend`] — a CSC-pricing CPU variant backing the
+//!   sparse-extension experiment.
+//!
+//! [`tableau`] holds the dense full-tableau simplex: the correctness oracle
+//! and the "why revised?" baseline (CPU and GPU variants).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lp::generator;
+//! use gplex::{solve, SolverOptions};
+//!
+//! let (model, expected) = generator::fixtures::wyndor();
+//! let sol = solve::<f64>(&model, &SolverOptions::default());
+//! assert_eq!(sol.status, gplex::Status::Optimal);
+//! assert!((sol.objective - expected).abs() < 1e-9);
+//! assert!((sol.x[0] - 2.0).abs() < 1e-9 && (sol.x[1] - 6.0).abs() < 1e-9);
+//! ```
+
+pub mod backend;
+pub mod backends;
+pub mod options;
+pub mod result;
+pub mod revised;
+pub mod solver;
+pub mod stats;
+pub mod tableau;
+pub mod tableau_gpu;
+pub mod verify;
+
+pub use backend::{Backend, RatioOutcome};
+pub use options::{PivotRule, SolverOptions};
+pub use result::{LpSolution, Status, StdResult};
+pub use revised::RevisedSimplex;
+pub use solver::{solve, solve_on, solve_standard, solve_standard_with_basis, BackendKind};
+pub use stats::{SolveStats, Step};

@@ -1,0 +1,115 @@
+//! Solver configuration.
+
+use linalg::Scalar;
+
+/// Entering-variable (pricing) rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotRule {
+    /// Most negative reduced cost over *all* columns. Fast convergence,
+    /// can cycle on degenerate problems, and pays O(m·n) pricing per
+    /// iteration.
+    Dantzig,
+    /// Smallest index with negative reduced cost. Anti-cycling, often many
+    /// more iterations.
+    Bland,
+    /// Dantzig until a degeneracy stall is detected, then Bland until the
+    /// objective moves again — the practical compromise the era's
+    /// implementations converged on.
+    Hybrid,
+    /// Partial (windowed) Dantzig: price only `window` columns per
+    /// iteration, rotating through the column set, and declare optimality
+    /// only after a full pass finds no candidate. Cuts per-iteration
+    /// pricing from O(m·n) to O(m·window) — the optimization that lets the
+    /// revised method beat the full tableau when n ≫ m. Falls back to
+    /// Bland on a degeneracy stall like [`PivotRule::Hybrid`].
+    PartialDantzig {
+        /// Columns priced per window (clamped to ≥ 1).
+        window: usize,
+    },
+}
+
+/// Solver options. `Default` reproduces the paper's configuration
+/// (Dantzig pricing with a stall fallback, periodic reinversion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Pricing rule.
+    pub pivot_rule: PivotRule,
+    /// A reduced cost must be below `−opt_tol` to enter the basis.
+    /// `None` picks a precision-appropriate default.
+    pub opt_tol: Option<f64>,
+    /// A column entry must exceed `pivot_tol` to pivot on.
+    /// `None` picks a precision-appropriate default.
+    pub pivot_tol: Option<f64>,
+    /// Phase-1 objective below this counts as feasible.
+    /// `None` picks a precision-appropriate default.
+    pub feas_tol: Option<f64>,
+    /// Recompute `B⁻¹` from the basis columns every this many iterations
+    /// (purges accumulated rank-1-update error). 0 disables.
+    pub refactor_period: usize,
+    /// Hard iteration cap per phase; `None` = `20·(m + n) + 200`.
+    pub max_iterations: Option<usize>,
+    /// Consecutive zero-step iterations before Hybrid switches to Bland.
+    pub stall_threshold: usize,
+    /// Apply geometric-mean scaling in the high-level pipeline.
+    pub scale: bool,
+    /// Run presolve in the high-level pipeline.
+    pub presolve: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            pivot_rule: PivotRule::Hybrid,
+            opt_tol: None,
+            pivot_tol: None,
+            feas_tol: None,
+            refactor_period: 64,
+            max_iterations: None,
+            stall_threshold: 12,
+            scale: true,
+            presolve: true,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Resolved optimality tolerance for scalar type `T`.
+    pub fn opt_tol_for<T: Scalar>(&self) -> T {
+        T::from_f64(self.opt_tol.unwrap_or(if T::IS_F64 { 1e-7 } else { 1e-4 }))
+    }
+
+    /// Resolved pivot tolerance for scalar type `T`.
+    pub fn pivot_tol_for<T: Scalar>(&self) -> T {
+        T::from_f64(self.pivot_tol.unwrap_or(if T::IS_F64 { 1e-9 } else { 1e-5 }))
+    }
+
+    /// Resolved phase-1 feasibility tolerance for scalar type `T`.
+    pub fn feas_tol_for<T: Scalar>(&self) -> T {
+        T::from_f64(self.feas_tol.unwrap_or(if T::IS_F64 { 1e-6 } else { 5e-3 }))
+    }
+
+    /// Resolved iteration cap for a problem with `m` rows and `n` columns.
+    pub fn max_iters_for(&self, m: usize, n: usize) -> usize {
+        self.max_iterations.unwrap_or(20 * (m + n) + 200)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_scale_with_precision() {
+        let o = SolverOptions::default();
+        assert!(o.opt_tol_for::<f32>() > o.opt_tol_for::<f64>() as f32);
+        assert!(o.pivot_tol_for::<f64>() < 1e-6);
+        assert_eq!(o.max_iters_for(10, 20), 20 * 30 + 200);
+    }
+
+    #[test]
+    fn explicit_tolerances_override() {
+        let o = SolverOptions { opt_tol: Some(1e-3), max_iterations: Some(5), ..Default::default() };
+        assert_eq!(o.opt_tol_for::<f64>(), 1e-3);
+        assert_eq!(o.max_iters_for(1000, 1000), 5);
+    }
+}

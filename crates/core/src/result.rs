@@ -1,0 +1,94 @@
+//! Solve outcomes at both the standard-form and original-model level.
+
+use linalg::Scalar;
+
+use crate::stats::SolveStats;
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Optimal solution found.
+    Optimal,
+    /// No feasible point exists (phase-1 optimum above tolerance, or
+    /// presolve found a contradiction).
+    Infeasible,
+    /// The objective is unbounded below (original sense: unbounded).
+    Unbounded,
+    /// The iteration cap was hit before convergence.
+    IterationLimit,
+    /// A basis reinversion found the basis numerically singular.
+    SingularBasis,
+}
+
+impl Status {
+    /// Short machine-friendly tag, used by the repro harness's CSV output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Status::Optimal => "optimal",
+            Status::Infeasible => "infeasible",
+            Status::Unbounded => "unbounded",
+            Status::IterationLimit => "iter-limit",
+            Status::SingularBasis => "singular",
+        }
+    }
+}
+
+/// Result of solving a standard-form program.
+#[derive(Debug, Clone)]
+pub struct StdResult<T: Scalar> {
+    /// Termination status.
+    pub status: Status,
+    /// Standard-form point (length `n`); meaningful for `Optimal` and
+    /// best-effort for `IterationLimit`.
+    pub x_std: Vec<T>,
+    /// Standard-form objective `c̃ᵀx̃`.
+    pub z_std: f64,
+    /// Final basis (column index per row).
+    pub basis: Vec<usize>,
+    /// Statistics.
+    pub stats: SolveStats,
+}
+
+/// Result of solving an original-model LP through the full pipeline.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: Status,
+    /// Values of the original variables, in declaration order.
+    pub x: Vec<f64>,
+    /// Objective in the original sense (max problems report the max).
+    pub objective: f64,
+    /// Statistics from the simplex run (zeroed when presolve decided the
+    /// outcome without any simplex iterations).
+    pub stats: SolveStats,
+    /// Dual values (shadow prices), one per original constraint, in
+    /// declaration order. Present on `Optimal` results when the pipeline
+    /// ran the simplex (absent when presolve removed the constraint system
+    /// or the solve did not reach optimality).
+    pub duals: Option<Vec<f64>>,
+    /// Explanation for Infeasible/Unbounded outcomes, when known.
+    pub reason: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_tags_are_stable() {
+        assert_eq!(Status::Optimal.tag(), "optimal");
+        assert_eq!(Status::SingularBasis.tag(), "singular");
+    }
+
+    #[test]
+    fn std_result_is_constructible() {
+        let r: StdResult<f32> = StdResult {
+            status: Status::Optimal,
+            x_std: vec![1.0, 0.0],
+            z_std: -3.0,
+            basis: vec![0],
+            stats: SolveStats::default(),
+        };
+        assert_eq!(r.x_std.len(), 2);
+    }
+}

@@ -1,0 +1,403 @@
+//! The two-phase revised simplex driver.
+//!
+//! The driver owns basis bookkeeping, phase logic, pivot-rule selection
+//! (including the Dantzig→Bland stall fallback), periodic refactorization
+//! and termination; all linear algebra goes through a [`Backend`]. Time is
+//! sampled from the backend's modeled clock around every step, producing
+//! the per-step breakdown of experiment F2 for CPU and GPU uniformly.
+
+use std::time::Instant;
+
+use linalg::Scalar;
+use lp::StandardForm;
+
+use crate::backend::{Backend, RatioOutcome};
+use crate::options::{PivotRule, SolverOptions};
+use crate::result::{Status, StdResult};
+use crate::stats::{SolveStats, Step};
+
+/// Which phase a simplex loop is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    One,
+    Two,
+}
+
+/// How a phase loop ended.
+enum PhaseEnd {
+    Converged,
+    Unbounded,
+    IterationLimit,
+    Singular,
+}
+
+/// Two-phase revised simplex over an abstract backend.
+pub struct RevisedSimplex<'a, T: Scalar, B: Backend<T>> {
+    backend: &'a mut B,
+    sf: &'a StandardForm<T>,
+    opts: &'a SolverOptions,
+    xb: Vec<usize>,
+    stats: SolveStats,
+    bland_mode: bool,
+    stall: usize,
+    max_iters: usize,
+    warm_basis: Option<Vec<usize>>,
+    /// Rotating start column for partial pricing.
+    price_cursor: usize,
+}
+
+impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
+    /// Create a driver. The backend must have been constructed from the
+    /// same standard form (`sf.a`, `sf.b`, `sf.basis0`).
+    pub fn new(backend: &'a mut B, sf: &'a StandardForm<T>, opts: &'a SolverOptions) -> Self {
+        let max_iters = opts.max_iters_for(sf.num_rows(), sf.num_cols());
+        RevisedSimplex {
+            backend,
+            sf,
+            opts,
+            xb: sf.basis0.clone(),
+            stats: SolveStats::default(),
+            bland_mode: matches!(opts.pivot_rule, PivotRule::Bland),
+            stall: 0,
+            max_iters,
+            warm_basis: None,
+            price_cursor: 0,
+        }
+    }
+
+    /// Like [`RevisedSimplex::new`], but start phase 2 directly from a
+    /// caller-supplied basis (e.g. the final basis of a previous solve of a
+    /// perturbed model). The basis must have one non-artificial column per
+    /// row; if it turns out singular or primal-infeasible, the driver
+    /// silently falls back to the cold two-phase start — a warm start is an
+    /// optimization, never a correctness risk.
+    pub fn with_start_basis(
+        backend: &'a mut B,
+        sf: &'a StandardForm<T>,
+        opts: &'a SolverOptions,
+        basis: Vec<usize>,
+    ) -> Self {
+        let mut driver = RevisedSimplex::new(backend, sf, opts);
+        let n_active = sf.num_cols() - sf.num_artificials;
+        let valid = basis.len() == sf.num_rows() && basis.iter().all(|&j| j < n_active);
+        if valid {
+            driver.warm_basis = Some(basis);
+        }
+        driver
+    }
+
+    /// Attempt to install the warm basis: refactorize onto it and check
+    /// primal feasibility. On success the solve skips phase 1. On any
+    /// failure the backend is restored to the cold-start state.
+    fn try_warm_start(&mut self) -> bool {
+        let Some(basis) = self.warm_basis.take() else {
+            return false;
+        };
+        let t0 = self.backend.clock();
+        let feas_tol = self.opts.feas_tol_for::<T>().to_f64();
+        let ok = self.backend.refactorize(&basis).is_ok()
+            && self.backend.beta().iter().all(|&b| b.to_f64() >= -feas_tol);
+        if ok {
+            for (r, &j) in basis.iter().enumerate() {
+                self.backend.set_basic_col(r, j);
+            }
+            self.xb = basis;
+        } else {
+            // Restore the cold start (the identity basis always refactors).
+            self.backend
+                .refactorize(&self.sf.basis0)
+                .expect("identity start basis is never singular");
+            for (r, &j) in self.sf.basis0.iter().enumerate() {
+                self.backend.set_basic_col(r, j);
+            }
+            self.xb = self.sf.basis0.clone();
+        }
+        self.stats.charge(Step::Other, self.backend.clock() - t0);
+        ok
+    }
+
+    /// Phase-2 cost of a column (artificials price at zero).
+    fn cost_of(&self, col: usize) -> T {
+        if col < self.backend.n_active() {
+            self.sf.c[col]
+        } else {
+            T::ZERO
+        }
+    }
+
+    /// Run to completion.
+    pub fn solve(mut self) -> StdResult<T> {
+        let wall = Instant::now();
+        let m = self.sf.num_rows();
+        let feas_tol = self.opts.feas_tol_for::<T>();
+
+        let warm = self.try_warm_start();
+        if !warm && self.sf.num_artificials > 0 {
+            // ---- phase 1: minimize the sum of artificials ----------------
+            let t0 = self.backend.clock();
+            let zeros = vec![T::ZERO; self.backend.n_active()];
+            self.backend.set_phase_costs(&zeros);
+            for r in 0..m {
+                let cost = if self.sf.is_artificial(self.xb[r]) { T::ONE } else { T::ZERO };
+                self.backend.set_basic_cost(r, cost);
+            }
+            self.stats.charge(Step::Other, self.backend.clock() - t0);
+
+            let end = self.run_phase(Phase::One);
+            self.stats.phase1_iterations = self.stats.iterations;
+            match end {
+                PhaseEnd::IterationLimit => {
+                    return self.finish(Status::IterationLimit, wall);
+                }
+                PhaseEnd::Singular => {
+                    return self.finish(Status::SingularBasis, wall);
+                }
+                // A bounded-below phase-1 objective cannot be unbounded;
+                // reaching this means the numerics collapsed.
+                PhaseEnd::Unbounded => {
+                    return self.finish(Status::SingularBasis, wall);
+                }
+                PhaseEnd::Converged => {}
+            }
+
+            let z1 = self.backend.objective_now();
+            if z1 > feas_tol {
+                return self.finish(Status::Infeasible, wall);
+            }
+            // Best-effort removal of degenerate artificials from the basis;
+            // any that remain sit at value ~0 with phase-2 cost 0 (their
+            // rows are linearly dependent) and stay there.
+            self.drive_out_artificials();
+        }
+
+        // ---- phase 2 ------------------------------------------------------
+        let t0 = self.backend.clock();
+        self.backend.set_phase_costs(&self.sf.c);
+        for r in 0..m {
+            let cost = self.cost_of(self.xb[r]);
+            self.backend.set_basic_cost(r, cost);
+        }
+        self.stats.charge(Step::Other, self.backend.clock() - t0);
+        // Reset the stall/Bland state for the new objective.
+        self.bland_mode = matches!(self.opts.pivot_rule, PivotRule::Bland);
+        self.stall = 0;
+        let mut status = match self.run_phase(Phase::Two) {
+            PhaseEnd::Converged => Status::Optimal,
+            PhaseEnd::Unbounded => Status::Unbounded,
+            PhaseEnd::IterationLimit => Status::IterationLimit,
+            PhaseEnd::Singular => Status::SingularBasis,
+        };
+
+        // Guard: if artificials survived phase 2 with non-trivial value,
+        // the "redundant row" assumption failed — report infeasible rather
+        // than a wrong optimum.
+        if status == Status::Optimal && self.sf.num_artificials > 0 {
+            let beta = self.backend.beta();
+            for (r, &col) in self.xb.iter().enumerate() {
+                if self.sf.is_artificial(col) && beta[r] > feas_tol {
+                    status = Status::Infeasible;
+                    break;
+                }
+            }
+        }
+        self.finish(status, wall)
+    }
+
+    fn finish(mut self, status: Status, wall: Instant) -> StdResult<T> {
+        let beta = self.backend.beta();
+        let mut x_std = vec![T::ZERO; self.sf.num_cols()];
+        for (r, &col) in self.xb.iter().enumerate() {
+            x_std[col] = beta[r];
+        }
+        let z_std: f64 = self
+            .sf
+            .c
+            .iter()
+            .zip(&x_std)
+            .map(|(&cj, &xj)| cj.to_f64() * xj.to_f64())
+            .sum();
+        self.stats.wall_seconds = wall.elapsed().as_secs_f64();
+        StdResult { status, x_std, z_std, basis: self.xb, stats: self.stats }
+    }
+
+    fn run_phase(&mut self, phase: Phase) -> PhaseEnd {
+        let opt_tol = self.opts.opt_tol_for::<T>();
+        let pivot_tol = self.opts.pivot_tol_for::<T>();
+        let mut iters_here = 0usize;
+
+        loop {
+            if iters_here >= self.max_iters {
+                return PhaseEnd::IterationLimit;
+            }
+            // Periodic reinversion.
+            if self.opts.refactor_period > 0
+                && iters_here > 0
+                && iters_here % self.opts.refactor_period == 0
+            {
+                let t0 = self.backend.clock();
+                if self.backend.refactorize(&self.xb).is_err() {
+                    return PhaseEnd::Singular;
+                }
+                self.stats.refactorizations += 1;
+                self.stats.charge(Step::Refactor, self.backend.clock() - t0);
+            }
+
+            // Pricing + entering-variable selection.
+            let use_bland = self.bland_mode;
+            let entering = self.price_and_select(opt_tol, use_bland);
+            let Some((q, dq)) = entering else {
+                return PhaseEnd::Converged;
+            };
+            debug_assert!(dq < T::ZERO, "entering column must improve");
+
+            // FTRAN.
+            let t0 = self.backend.clock();
+            self.backend.compute_alpha(q);
+            self.stats.charge(Step::Ftran, self.backend.clock() - t0);
+
+            // Ratio test.
+            let t0 = self.backend.clock();
+            let outcome = self.backend.ratio_test(pivot_tol);
+            self.stats.charge(Step::RatioTest, self.backend.clock() - t0);
+            let (p, theta) = match outcome {
+                RatioOutcome::Unbounded => return PhaseEnd::Unbounded,
+                RatioOutcome::Pivot { p, theta } => (p, theta),
+            };
+
+            // Update.
+            let t0 = self.backend.clock();
+            self.backend.update(p, theta);
+            self.backend.set_basic_col(p, q);
+            let cost = match phase {
+                Phase::One => T::ZERO, // entering columns are never artificial
+                Phase::Two => self.cost_of(q),
+            };
+            self.backend.set_basic_cost(p, cost);
+            self.xb[p] = q;
+            self.stats.charge(Step::Update, self.backend.clock() - t0);
+
+            // Degeneracy / stall bookkeeping.
+            let degenerate = !(theta > T::ZERO);
+            if degenerate {
+                self.stats.degenerate_steps += 1;
+                self.stall += 1;
+            } else {
+                self.stall = 0;
+                let has_fallback = matches!(
+                    self.opts.pivot_rule,
+                    PivotRule::Hybrid | PivotRule::PartialDantzig { .. }
+                );
+                if has_fallback && self.bland_mode {
+                    // Progress resumed: go back to the fast rule.
+                    self.bland_mode = false;
+                }
+            }
+            if matches!(
+                self.opts.pivot_rule,
+                PivotRule::Hybrid | PivotRule::PartialDantzig { .. }
+            ) && self.stall >= self.opts.stall_threshold
+            {
+                self.bland_mode = true;
+            }
+            if use_bland {
+                self.stats.bland_iterations += 1;
+            }
+
+            self.stats.iterations += 1;
+            iters_here += 1;
+        }
+    }
+
+    /// Price and select the entering variable under the active rule.
+    ///
+    /// Full rules (Dantzig/Bland/Hybrid, or any rule in Bland fallback mode)
+    /// price every active column. Partial pricing walks `window`-sized
+    /// column blocks from a rotating cursor and takes the first block that
+    /// yields a candidate; optimality is declared only after a full pass
+    /// comes up dry (each block's reduced costs are recomputed against the
+    /// current basis, so the certificate is sound).
+    fn price_and_select(&mut self, opt_tol: T, use_bland: bool) -> Option<(usize, T)> {
+        let n = self.backend.n_active();
+        let window = match self.opts.pivot_rule {
+            PivotRule::PartialDantzig { window } if !use_bland && n > 0 => {
+                Some(window.clamp(1, n))
+            }
+            _ => None,
+        };
+        match window {
+            Some(w) if w < n => {
+                let mut scanned = 0;
+                while scanned < n {
+                    let start = self.price_cursor % n;
+                    let len = w.min(n - start);
+                    let t0 = self.backend.clock();
+                    self.backend.compute_pricing_window(start, len);
+                    self.stats.charge(Step::Pricing, self.backend.clock() - t0);
+
+                    let t0 = self.backend.clock();
+                    let hit = self.backend.entering_dantzig_window(opt_tol, start, len);
+                    self.stats.charge(Step::Selection, self.backend.clock() - t0);
+                    if hit.is_some() {
+                        // Stay on this window: it likely has more candidates.
+                        return hit;
+                    }
+                    self.price_cursor = (start + len) % n;
+                    scanned += len;
+                }
+                None
+            }
+            _ => {
+                let t0 = self.backend.clock();
+                self.backend.compute_pricing();
+                self.stats.charge(Step::Pricing, self.backend.clock() - t0);
+
+                let t0 = self.backend.clock();
+                let entering = if use_bland {
+                    self.backend.entering_bland(opt_tol)
+                } else {
+                    self.backend.entering_dantzig(opt_tol)
+                };
+                self.stats.charge(Step::Selection, self.backend.clock() - t0);
+                entering
+            }
+        }
+    }
+
+    /// Degenerate phase-1 cleanup: for each basic artificial, try to swap in
+    /// a nonbasic structural column with a nonzero entry in that row.
+    fn drive_out_artificials(&mut self) {
+        let pivot_tol = self.opts.pivot_tol_for::<T>();
+        let t0 = self.backend.clock();
+        let m = self.backend.m();
+        let n_active = self.backend.n_active();
+        let rows: Vec<usize> =
+            (0..m).filter(|&r| self.sf.is_artificial(self.xb[r])).collect();
+        for r in rows {
+            let basic: Vec<bool> = {
+                let mut b = vec![false; n_active];
+                for &col in &self.xb {
+                    if col < n_active {
+                        b[col] = true;
+                    }
+                }
+                b
+            };
+            for q in 0..n_active {
+                if basic[q] {
+                    continue;
+                }
+                self.backend.compute_alpha(q);
+                if self.backend.alpha_at(r).abs() > pivot_tol {
+                    // Degenerate pivot: θ = 0 keeps β unchanged, the basis
+                    // swap is what we're after.
+                    self.backend.update(r, T::ZERO);
+                    self.backend.set_basic_col(r, q);
+                    self.backend.set_basic_cost(r, T::ZERO);
+                    self.xb[r] = q;
+                    break;
+                }
+            }
+        }
+        self.stats.charge(Step::Other, self.backend.clock() - t0);
+    }
+}

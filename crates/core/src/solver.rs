@@ -1,0 +1,337 @@
+//! High-level pipeline: presolve → standardize → scale → revised simplex →
+//! recover, over a chosen backend.
+
+use gpu_sim::{DeviceSpec, Gpu};
+use linalg::{CsrMatrix, Scalar};
+use lp::presolve::{presolve, PresolveResult};
+use lp::scaling::{scale, ScalingKind};
+use lp::{LinearProgram, StandardForm};
+
+use crate::backends::{CpuDenseBackend, CpuSparseBackend, GpuDenseBackend};
+use crate::options::SolverOptions;
+use crate::result::{LpSolution, Status, StdResult};
+use crate::revised::RevisedSimplex;
+use crate::stats::SolveStats;
+
+/// Which backend the pipeline should run on.
+#[derive(Debug, Clone)]
+pub enum BackendKind {
+    /// Serial dense CPU (the paper's baseline).
+    CpuDense,
+    /// Sparse-pricing CPU (extension).
+    CpuSparse,
+    /// Simulated GPU with the given device.
+    GpuDense(DeviceSpec),
+}
+
+/// Solve an LP through the full pipeline on the dense CPU backend.
+///
+/// # Panics
+/// On models that cannot be standardized (infinite right-hand sides) —
+/// those are modeling errors, not solver outcomes.
+pub fn solve<T: Scalar>(model: &LinearProgram, opts: &SolverOptions) -> LpSolution {
+    solve_on::<T>(model, opts, &BackendKind::CpuDense)
+}
+
+/// Solve an LP through the full pipeline on an explicit backend.
+pub fn solve_on<T: Scalar>(
+    model: &LinearProgram,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+) -> LpSolution {
+    // ---- presolve ---------------------------------------------------------
+    let (work, restore) = if opts.presolve {
+        match presolve(model) {
+            PresolveResult::Infeasible(reason) => {
+                return LpSolution {
+                    status: Status::Infeasible,
+                    x: vec![0.0; model.num_vars()],
+                    objective: f64::NAN,
+                    stats: SolveStats::default(),
+                    duals: None,
+                    reason: Some(reason),
+                };
+            }
+            PresolveResult::Unbounded(reason) => {
+                return LpSolution {
+                    status: Status::Unbounded,
+                    x: vec![0.0; model.num_vars()],
+                    objective: f64::NAN,
+                    stats: SolveStats::default(),
+                    duals: None,
+                    reason: Some(reason),
+                };
+            }
+            PresolveResult::Reduced(p) => {
+                let lp = p.lp.clone();
+                (lp, Some(p))
+            }
+        }
+    } else {
+        (model.clone(), None)
+    };
+
+    // ---- standardize & scale ----------------------------------------------
+    let mut sf = StandardForm::<T>::from_lp(&work).expect("model must standardize");
+    if opts.scale {
+        let _ = scale(&mut sf, ScalingKind::GeometricMean);
+    }
+
+    // ---- solve --------------------------------------------------------------
+    let res = solve_standard::<T>(&sf, opts, kind);
+
+    // ---- recover ------------------------------------------------------------
+    let x_red = sf.recover_x(&res.x_std);
+    let x = match &restore {
+        Some(p) => p.restore(&x_red),
+        None => x_red,
+    };
+    let objective = match res.status {
+        Status::Optimal | Status::IterationLimit => model.objective_value(&x),
+        _ => f64::NAN,
+    };
+    // Duals from the final basis (fresh f64 factorization, so the values
+    // are backend-independent). Reported only when the solved rows are
+    // exactly the original rows (presolve off, or presolve was a no-op).
+    let presolve_was_noop = match &restore {
+        None => true,
+        Some(p) => p.removed_rows.is_empty() && p.vars_removed() == 0,
+    };
+    let duals = if res.status == Status::Optimal && presolve_was_noop {
+        compute_duals(&sf, &res.basis)
+    } else {
+        None
+    };
+    LpSolution { status: res.status, x, objective, stats: res.stats, duals, reason: None }
+}
+
+/// Standard-space duals `y` with `yᵀB = c_Bᵀ`, mapped back through the
+/// standard-form transforms. `None` when the basis is singular (should not
+/// happen on an optimal result).
+fn compute_duals<T: Scalar>(sf: &StandardForm<T>, basis: &[usize]) -> Option<Vec<f64>> {
+    let m = sf.num_rows();
+    if m == 0 {
+        return Some(Vec::new());
+    }
+    // Solve Bᵀ y = c_B in f64.
+    let mut bt = linalg::DenseMatrix::<f64>::zeros(m, m);
+    for (r, &j) in basis.iter().enumerate() {
+        for i in 0..m {
+            bt.set(r, i, sf.a.get(i, j).to_f64());
+        }
+    }
+    let cb: Vec<f64> = basis.iter().map(|&j| sf.c[j].to_f64()).collect();
+    let y = linalg::blas::lu_solve(&bt, &cb)?;
+    Some(sf.recover_duals(&y))
+}
+
+/// Solve a prepared standard form on the chosen backend (experiment entry
+/// point: no presolve/scaling, caller controls everything).
+pub fn solve_standard<T: Scalar>(
+    sf: &StandardForm<T>,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+) -> StdResult<T> {
+    solve_standard_impl(sf, opts, kind, None)
+}
+
+/// Solve a prepared standard form warm-started from `basis` (e.g. the final
+/// basis of a previous solve of a perturbed model). Falls back to the cold
+/// two-phase start if the basis is singular or primal-infeasible.
+pub fn solve_standard_with_basis<T: Scalar>(
+    sf: &StandardForm<T>,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+    basis: Vec<usize>,
+) -> StdResult<T> {
+    solve_standard_impl(sf, opts, kind, Some(basis))
+}
+
+fn drive<T: Scalar, B: crate::backend::Backend<T>>(
+    be: &mut B,
+    sf: &StandardForm<T>,
+    opts: &SolverOptions,
+    warm: Option<Vec<usize>>,
+) -> StdResult<T> {
+    match warm {
+        Some(basis) => RevisedSimplex::with_start_basis(be, sf, opts, basis).solve(),
+        None => RevisedSimplex::new(be, sf, opts).solve(),
+    }
+}
+
+fn solve_standard_impl<T: Scalar>(
+    sf: &StandardForm<T>,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+    warm: Option<Vec<usize>>,
+) -> StdResult<T> {
+    let n_active = sf.num_cols() - sf.num_artificials;
+    match kind {
+        BackendKind::CpuDense => {
+            let mut be = CpuDenseBackend::new(&sf.a, &sf.b, n_active, &sf.basis0);
+            drive(&mut be, sf, opts, warm)
+        }
+        BackendKind::CpuSparse => {
+            let csr = CsrMatrix::from_dense(&sf.a, T::ZERO);
+            let mut be = CpuSparseBackend::new(&csr, &sf.b, n_active, &sf.basis0);
+            drive(&mut be, sf, opts, warm)
+        }
+        BackendKind::GpuDense(spec) => {
+            let gpu = Gpu::new(spec.clone());
+            let mut be = GpuDenseBackend::new(&gpu, &sf.a, &sf.b, n_active, &sf.basis0);
+            drive(&mut be, sf, opts, warm)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::PivotRule;
+    use lp::generator::{self, fixtures};
+
+    fn all_kinds() -> Vec<BackendKind> {
+        vec![
+            BackendKind::CpuDense,
+            BackendKind::CpuSparse,
+            BackendKind::GpuDense(DeviceSpec::gtx280()),
+        ]
+    }
+
+    #[test]
+    fn wyndor_on_every_backend() {
+        let (model, expected) = fixtures::wyndor();
+        for kind in all_kinds() {
+            let sol = solve_on::<f64>(&model, &SolverOptions::default(), &kind);
+            assert_eq!(sol.status, Status::Optimal, "{kind:?}");
+            assert!((sol.objective - expected).abs() < 1e-8, "{kind:?}: {}", sol.objective);
+            assert!((sol.x[0] - 2.0).abs() < 1e-8);
+            assert!((sol.x[1] - 6.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn two_phase_on_every_backend() {
+        let (model, expected) = fixtures::two_phase();
+        for kind in all_kinds() {
+            let sol = solve_on::<f64>(&model, &SolverOptions::default(), &kind);
+            assert_eq!(sol.status, Status::Optimal, "{kind:?}");
+            assert!((sol.objective - expected).abs() < 1e-8, "{kind:?}: {}", sol.objective);
+            assert!(model.check_feasible(&sol.x, 1e-7).is_none());
+            assert!(sol.stats.phase1_iterations > 0);
+        }
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_detected() {
+        let sol = solve::<f64>(&fixtures::infeasible(), &SolverOptions::default());
+        assert_eq!(sol.status, Status::Infeasible);
+        // Presolve caught it; reason recorded.
+        assert!(sol.reason.is_some());
+
+        // With presolve off, the simplex itself must catch both.
+        let raw = SolverOptions { presolve: false, ..Default::default() };
+        let sol = solve::<f64>(&fixtures::infeasible(), &raw);
+        assert_eq!(sol.status, Status::Infeasible);
+        let sol = solve::<f64>(&fixtures::unbounded(), &raw);
+        assert_eq!(sol.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn diet_and_production_fixtures() {
+        for (model, expected) in [fixtures::diet(), fixtures::production(), fixtures::degenerate()]
+        {
+            let sol = solve::<f64>(&model, &SolverOptions::default());
+            assert_eq!(sol.status, Status::Optimal, "{}", model.name);
+            assert!(
+                (sol.objective - expected).abs() < 1e-7,
+                "{}: {} vs {}",
+                model.name,
+                sol.objective,
+                expected
+            );
+            assert!(model.check_feasible(&sol.x, 1e-7).is_none());
+        }
+    }
+
+    #[test]
+    fn beale_cycling_fixture_terminates() {
+        let (model, expected) = fixtures::beale_cycling();
+        for rule in [PivotRule::Bland, PivotRule::Hybrid] {
+            let opts = SolverOptions { pivot_rule: rule, ..Default::default() };
+            let sol = solve::<f64>(&model, &opts);
+            assert_eq!(sol.status, Status::Optimal, "{rule:?}");
+            assert!((sol.objective - expected).abs() < 1e-8, "{rule:?}: {}", sol.objective);
+        }
+    }
+
+    #[test]
+    fn transportation_on_cpu_and_gpu() {
+        // Equality rows + redundancy: the hard two-phase path.
+        let model = generator::transportation(&[30.0, 70.0], &[40.0, 60.0], 3);
+        let cpu = solve_on::<f64>(&model, &SolverOptions::default(), &BackendKind::CpuDense);
+        let gpu = solve_on::<f64>(
+            &model,
+            &SolverOptions::default(),
+            &BackendKind::GpuDense(DeviceSpec::gtx280()),
+        );
+        assert_eq!(cpu.status, Status::Optimal);
+        assert_eq!(gpu.status, Status::Optimal);
+        assert!((cpu.objective - gpu.objective).abs() < 1e-6);
+        assert!(model.check_feasible(&cpu.x, 1e-6).is_none());
+    }
+
+    #[test]
+    fn dense_random_cpu_gpu_agree_with_tableau() {
+        let model = generator::dense_random(12, 16, 9);
+        let opts = SolverOptions::default();
+        let (tstatus, _, tobj, _) = crate::tableau::solve_lp::<f64>(
+            &model,
+            &SolverOptions { presolve: false, scale: false, ..Default::default() },
+        );
+        assert_eq!(tstatus, Status::Optimal);
+        for kind in all_kinds() {
+            let sol = solve_on::<f64>(&model, &opts, &kind);
+            assert_eq!(sol.status, Status::Optimal, "{kind:?}");
+            assert!(
+                (sol.objective - tobj).abs() / tobj.abs().max(1.0) < 1e-7,
+                "{kind:?}: {} vs tableau {}",
+                sol.objective,
+                tobj
+            );
+        }
+    }
+
+    #[test]
+    fn f32_pipeline_matches_f64_loosely() {
+        let model = generator::dense_random(10, 12, 4);
+        let s64 = solve::<f64>(&model, &SolverOptions::default());
+        let s32 = solve::<f32>(&model, &SolverOptions::default());
+        assert_eq!(s64.status, Status::Optimal);
+        assert_eq!(s32.status, Status::Optimal);
+        assert!(
+            (s64.objective - s32.objective).abs() / s64.objective.abs().max(1.0) < 1e-3,
+            "{} vs {}",
+            s64.objective,
+            s32.objective
+        );
+    }
+
+    #[test]
+    fn max_flow_lp_solves() {
+        let model = generator::max_flow(7, 2, 11);
+        let sol = solve::<f64>(&model, &SolverOptions::default());
+        assert_eq!(sol.status, Status::Optimal);
+        // Flow is positive (source always has a forward path).
+        assert!(sol.objective > 0.0);
+        assert!(model.check_feasible(&sol.x, 1e-7).is_none());
+    }
+
+    #[test]
+    fn iteration_limit_reported() {
+        let model = generator::dense_random(16, 20, 1);
+        let opts = SolverOptions { max_iterations: Some(1), ..Default::default() };
+        let sol = solve::<f64>(&model, &opts);
+        assert_eq!(sol.status, Status::IterationLimit);
+    }
+}

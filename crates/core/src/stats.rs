@@ -1,0 +1,165 @@
+//! Per-solve statistics, including the simulated-time breakdown by simplex
+//! step that experiment F2 reports.
+
+use std::fmt;
+
+use gpu_sim::SimTime;
+
+/// The steps of one revised simplex iteration, as the paper decomposes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Step {
+    /// `π = c_Bᵀ B⁻¹` and `d = c − Aᵀπ` (BTRAN + pricing).
+    Pricing,
+    /// Entering-variable selection (reductions and their transfers).
+    Selection,
+    /// `α = B⁻¹ a_q` (FTRAN).
+    Ftran,
+    /// Ratio test (elementwise ratios + argmin).
+    RatioTest,
+    /// `β` and `B⁻¹` updates (the eta kernel).
+    Update,
+    /// Periodic reinversion of the basis.
+    Refactor,
+    /// Setup, phase transitions, bookkeeping transfers.
+    Other,
+}
+
+impl Step {
+    /// All steps in report order.
+    pub const ALL: [Step; 7] = [
+        Step::Pricing,
+        Step::Selection,
+        Step::Ftran,
+        Step::RatioTest,
+        Step::Update,
+        Step::Refactor,
+        Step::Other,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Step::Pricing => "pricing",
+            Step::Selection => "selection",
+            Step::Ftran => "ftran",
+            Step::RatioTest => "ratio-test",
+            Step::Update => "update",
+            Step::Refactor => "refactor",
+            Step::Other => "other",
+        }
+    }
+}
+
+/// Statistics accumulated over one solve.
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Total iterations (both phases).
+    pub iterations: usize,
+    /// Iterations spent in phase 1.
+    pub phase1_iterations: usize,
+    /// Basis reinversions performed.
+    pub refactorizations: usize,
+    /// Iterations where the step length was (numerically) zero.
+    pub degenerate_steps: usize,
+    /// Iterations priced under Bland's rule (Hybrid bookkeeping).
+    pub bland_iterations: usize,
+    /// Modeled/simulated time per step.
+    step_time: [SimTime; 7],
+    /// Wall-clock seconds actually spent in the Rust process (secondary
+    /// metric; the primary metric is simulated time).
+    pub wall_seconds: f64,
+}
+
+impl SolveStats {
+    /// Charge `t` against `step`.
+    pub fn charge(&mut self, step: Step, t: SimTime) {
+        let idx = Step::ALL.iter().position(|s| *s == step).expect("step in ALL");
+        self.step_time[idx] += t;
+    }
+
+    /// Time charged to `step`.
+    pub fn time(&self, step: Step) -> SimTime {
+        let idx = Step::ALL.iter().position(|s| *s == step).expect("step in ALL");
+        self.step_time[idx]
+    }
+
+    /// Total simulated time across all steps.
+    pub fn total_time(&self) -> SimTime {
+        self.step_time.iter().copied().sum()
+    }
+
+    /// Fraction of total simulated time in `step` (0 when total is zero).
+    pub fn fraction(&self, step: Step) -> f64 {
+        let total = self.total_time().as_nanos();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.time(step).as_nanos() / total
+        }
+    }
+
+    /// Average simulated time per iteration.
+    pub fn time_per_iteration(&self) -> SimTime {
+        if self.iterations == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ns(self.total_time().as_nanos() / self.iterations as f64)
+        }
+    }
+}
+
+impl fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} iterations ({} phase-1, {} degenerate, {} Bland), {} refactorizations",
+            self.iterations,
+            self.phase1_iterations,
+            self.degenerate_steps,
+            self.bland_iterations,
+            self.refactorizations
+        )?;
+        writeln!(
+            f,
+            "simulated time {} ({} / iteration):",
+            self.total_time(),
+            self.time_per_iteration()
+        )?;
+        for s in Step::ALL {
+            writeln!(
+                f,
+                "  {:<10} {:>12}  {:5.1}%",
+                s.label(),
+                format!("{}", self.time(s)),
+                100.0 * self.fraction(s)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_fractions() {
+        let mut st = SolveStats::default();
+        st.charge(Step::Pricing, SimTime::from_us(3.0));
+        st.charge(Step::Update, SimTime::from_us(1.0));
+        st.iterations = 2;
+        assert!((st.fraction(Step::Pricing) - 0.75).abs() < 1e-12);
+        assert!((st.total_time().as_micros() - 4.0).abs() < 1e-12);
+        assert!((st.time_per_iteration().as_micros() - 2.0).abs() < 1e-12);
+        let text = format!("{st}");
+        assert!(text.contains("pricing"));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let st = SolveStats::default();
+        assert_eq!(st.total_time(), SimTime::ZERO);
+        assert_eq!(st.fraction(Step::Ftran), 0.0);
+        assert_eq!(st.time_per_iteration(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,240 @@
+//! Independent solution verification — the T4 oracle machinery.
+//!
+//! Deliberately avoids the solver's own data structures: feasibility is
+//! checked against the original model, and optimality is certified from
+//! scratch in `f64` (rebuild `B`, invert, check reduced costs), so a bug in
+//! the iteration path cannot hide itself.
+
+use linalg::{blas, DenseMatrix, Scalar};
+use lp::{LinearProgram, StandardForm};
+
+use crate::result::{LpSolution, Status, StdResult};
+
+/// Check an [`LpSolution`] claims against the original model: status says
+/// optimal ⇒ the point is feasible and the objective matches a fresh
+/// evaluation within `tol`.
+pub fn check_solution(model: &LinearProgram, sol: &LpSolution, tol: f64) -> Result<(), String> {
+    if sol.status != Status::Optimal {
+        return Ok(()); // nothing to certify
+    }
+    if let Some(violation) = model.check_feasible(&sol.x, tol) {
+        return Err(format!("claimed optimal point is infeasible: {violation}"));
+    }
+    let fresh = model.objective_value(&sol.x);
+    if (fresh - sol.objective).abs() > tol * (1.0 + fresh.abs()) {
+        return Err(format!(
+            "objective mismatch: reported {} but point evaluates to {fresh}",
+            sol.objective
+        ));
+    }
+    Ok(())
+}
+
+/// Certify optimality of a standard-form result from first principles:
+///
+/// 1. `x ≥ 0` and `Ax = b` within `tol`;
+/// 2. the basis matrix is invertible;
+/// 3. every reduced cost `d_j = c_j − c_Bᵀ B⁻¹ a_j ≥ −tol` over
+///    non-artificial columns (dual feasibility).
+pub fn certify_optimal<T: Scalar>(
+    sf: &StandardForm<T>,
+    res: &StdResult<T>,
+    tol: f64,
+) -> Result<(), String> {
+    if res.status != Status::Optimal {
+        return Err(format!("result is {:?}, not optimal", res.status));
+    }
+    let m = sf.num_rows();
+    let n = sf.num_cols();
+
+    // Primal feasibility.
+    for (j, &xj) in res.x_std.iter().enumerate() {
+        if xj.to_f64() < -tol {
+            return Err(format!("x[{j}] = {xj} violates non-negativity"));
+        }
+    }
+    for i in 0..m {
+        let mut lhs = 0.0;
+        for j in 0..n {
+            lhs += sf.a.get(i, j).to_f64() * res.x_std[j].to_f64();
+        }
+        let rhs = sf.b[i].to_f64();
+        if (lhs - rhs).abs() > tol * (1.0 + rhs.abs()) {
+            return Err(format!("row {i}: Ax = {lhs} but b = {rhs}"));
+        }
+    }
+
+    // Dual feasibility via a fresh f64 factorization of the final basis.
+    let mut bmat = DenseMatrix::<f64>::zeros(m, m);
+    for (r, &j) in res.basis.iter().enumerate() {
+        for i in 0..m {
+            bmat.set(i, r, sf.a.get(i, j).to_f64());
+        }
+    }
+    let binv = blas::gauss_jordan_invert(&bmat)
+        .ok_or_else(|| "final basis is singular".to_string())?;
+    let cb: Vec<f64> = res.basis.iter().map(|&j| sf.c[j].to_f64()).collect();
+    let mut pi = vec![0.0; m];
+    blas::gemv_t(1.0, &binv, &cb, 0.0, &mut pi);
+    let n_active = n - sf.num_artificials;
+    for j in 0..n_active {
+        let mut d = sf.c[j].to_f64();
+        for i in 0..m {
+            d -= pi[i] * sf.a.get(i, j).to_f64();
+        }
+        if d < -tol {
+            return Err(format!("reduced cost d[{j}] = {d} violates optimality"));
+        }
+    }
+
+    // Strong duality: yᵀb must equal c̃ᵀx̃ at an optimal basis.
+    let yb: f64 = pi.iter().zip(&sf.b).map(|(&y, &bi)| y * bi.to_f64()).sum();
+    if (yb - res.z_std).abs() > tol * (1.0 + res.z_std.abs()) {
+        return Err(format!("strong duality violated: yᵀb = {yb} but z = {}", res.z_std));
+    }
+    Ok(())
+}
+
+/// Check complementary slackness of an original-model optimal solution and
+/// its duals: every constraint with a nonzero dual must be binding, within
+/// `tol` (the converse — slack rows with zero duals — is implied by strong
+/// duality, which [`certify_optimal`] checks in standard space).
+pub fn check_complementary_slackness(
+    model: &LinearProgram,
+    sol: &LpSolution,
+    tol: f64,
+) -> Result<(), String> {
+    let Some(duals) = &sol.duals else {
+        return Err("solution carries no duals".into());
+    };
+    if duals.len() != model.num_constraints() {
+        return Err(format!(
+            "dual count {} does not match constraint count {}",
+            duals.len(),
+            model.num_constraints()
+        ));
+    }
+    for (con, &y) in model.constraints().iter().zip(duals) {
+        if y.abs() <= tol {
+            continue;
+        }
+        let lhs: f64 = con.coeffs.iter().map(|&(v, a)| a * sol.x[v.0]).sum();
+        let slack = (lhs - con.rhs).abs();
+        if slack > tol * (1.0 + con.rhs.abs()) {
+            return Err(format!(
+                "constraint {} has dual {y} but slack {slack} (lhs {lhs}, rhs {})",
+                con.name, con.rhs
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::SolverOptions;
+    use crate::solver::{solve, solve_standard, BackendKind};
+    use lp::generator::{self, fixtures};
+    use lp::scaling::{scale, ScalingKind};
+
+    #[test]
+    fn certifies_wyndor_optimum() {
+        let (model, _) = fixtures::wyndor();
+        let opts = SolverOptions { presolve: false, scale: false, ..Default::default() };
+        let mut sf = StandardForm::<f64>::from_lp(&model).unwrap();
+        let _ = scale(&mut sf, ScalingKind::None);
+        let res = solve_standard::<f64>(&sf, &opts, &BackendKind::CpuDense);
+        certify_optimal(&sf, &res, 1e-8).unwrap();
+    }
+
+    #[test]
+    fn certifies_random_problems_all_backends() {
+        let opts = SolverOptions { presolve: false, scale: false, ..Default::default() };
+        for seed in 0..3 {
+            let model = generator::dense_random(10, 14, seed);
+            let sf = StandardForm::<f64>::from_lp(&model).unwrap();
+            for kind in [
+                BackendKind::CpuDense,
+                BackendKind::CpuSparse,
+                BackendKind::GpuDense(gpu_sim::DeviceSpec::gtx280()),
+            ] {
+                let res = solve_standard::<f64>(&sf, &opts, &kind);
+                certify_optimal(&sf, &res, 1e-7)
+                    .unwrap_or_else(|e| panic!("seed {seed} {kind:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn check_solution_catches_bad_objective() {
+        let (model, _) = fixtures::wyndor();
+        let mut sol = solve::<f64>(&model, &SolverOptions::default());
+        check_solution(&model, &sol, 1e-8).unwrap();
+        sol.objective += 1.0;
+        assert!(check_solution(&model, &sol, 1e-8).is_err());
+    }
+
+    #[test]
+    fn check_solution_catches_infeasible_point() {
+        let (model, _) = fixtures::wyndor();
+        let mut sol = solve::<f64>(&model, &SolverOptions::default());
+        sol.x[0] = 100.0;
+        assert!(check_solution(&model, &sol, 1e-8).is_err());
+    }
+
+    #[test]
+    fn wyndor_duals_match_textbook_shadow_prices() {
+        // max 3x + 5y; binding rows 2y ≤ 12 and 3x + 2y ≤ 18 carry duals
+        // 1.5 and 1; the slack row x ≤ 4 carries 0.
+        let (model, _) = fixtures::wyndor();
+        let opts = SolverOptions { presolve: false, scale: false, ..Default::default() };
+        let sol = solve::<f64>(&model, &opts);
+        let duals = sol.duals.as_ref().expect("optimal solve reports duals");
+        assert!((duals[0] - 0.0).abs() < 1e-8, "{duals:?}");
+        assert!((duals[1] - 1.5).abs() < 1e-8, "{duals:?}");
+        assert!((duals[2] - 1.0).abs() < 1e-8, "{duals:?}");
+        check_complementary_slackness(&model, &sol, 1e-7).unwrap();
+    }
+
+    #[test]
+    fn duals_survive_scaling_and_give_strong_duality() {
+        let model = generator::dense_random(8, 12, 3);
+        for scale_on in [false, true] {
+            let opts =
+                SolverOptions { presolve: false, scale: scale_on, ..Default::default() };
+            let sol = solve::<f64>(&model, &opts);
+            let duals = sol.duals.as_ref().expect("duals present");
+            // Strong duality at the original level: Σ y_i b_i == objective
+            // (all variables have zero lower bounds here, no bound rows bind
+            // with nonzero duals in this family... verify via the identity).
+            let yb: f64 = model.constraints().iter().zip(duals).map(|(c, &y)| y * c.rhs).sum();
+            assert!(
+                (yb - sol.objective).abs() < 1e-6 * (1.0 + sol.objective.abs()),
+                "scale={scale_on}: yᵀb = {yb} vs obj {}",
+                sol.objective
+            );
+            check_complementary_slackness(&model, &sol, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn complementary_slackness_rejects_corrupted_duals() {
+        let (model, _) = fixtures::wyndor();
+        let opts = SolverOptions { presolve: false, scale: false, ..Default::default() };
+        let mut sol = solve::<f64>(&model, &opts);
+        // Claim a dual on the non-binding row x ≤ 4 (x* = 2).
+        sol.duals.as_mut().unwrap()[0] = 5.0;
+        assert!(check_complementary_slackness(&model, &sol, 1e-7).is_err());
+    }
+
+    #[test]
+    fn non_optimal_statuses_are_not_certified() {
+        let (model, _) = fixtures::wyndor();
+        let opts = SolverOptions { presolve: false, scale: false, ..Default::default() };
+        let sf = StandardForm::<f64>::from_lp(&model).unwrap();
+        let mut res = solve_standard::<f64>(&sf, &opts, &BackendKind::CpuDense);
+        res.status = Status::IterationLimit;
+        assert!(certify_optimal(&sf, &res, 1e-8).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Accounting: everything the simulated device did, and where the simulated
+//! time went. Drives the transfer/launch-overhead figures (F3) and the
+//! per-kernel breakdowns (F2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::timing::SimTime;
+
+/// Where a slice of simulated time was spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimeCategory {
+    /// Kernel body execution (the roofline max term).
+    KernelBody,
+    /// Fixed kernel dispatch overhead.
+    LaunchOverhead,
+    /// Host → device PCIe transfer.
+    TransferH2D,
+    /// Device → host PCIe transfer.
+    TransferD2H,
+}
+
+impl TimeCategory {
+    /// All categories, in report order.
+    pub const ALL: [TimeCategory; 4] = [
+        TimeCategory::KernelBody,
+        TimeCategory::LaunchOverhead,
+        TimeCategory::TransferH2D,
+        TimeCategory::TransferD2H,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TimeCategory::KernelBody => "kernel body",
+            TimeCategory::LaunchOverhead => "launch overhead",
+            TimeCategory::TransferH2D => "transfer H2D",
+            TimeCategory::TransferD2H => "transfer D2H",
+        }
+    }
+}
+
+/// Simulated time split across [`TimeCategory`].
+#[derive(Debug, Clone, Default)]
+pub struct TimeBreakdown {
+    kernel_body: SimTime,
+    launch_overhead: SimTime,
+    transfer_h2d: SimTime,
+    transfer_d2h: SimTime,
+}
+
+impl TimeBreakdown {
+    /// Add `t` under `cat`.
+    pub fn add(&mut self, cat: TimeCategory, t: SimTime) {
+        match cat {
+            TimeCategory::KernelBody => self.kernel_body += t,
+            TimeCategory::LaunchOverhead => self.launch_overhead += t,
+            TimeCategory::TransferH2D => self.transfer_h2d += t,
+            TimeCategory::TransferD2H => self.transfer_d2h += t,
+        }
+    }
+
+    /// Time recorded under `cat`.
+    pub fn get(&self, cat: TimeCategory) -> SimTime {
+        match cat {
+            TimeCategory::KernelBody => self.kernel_body,
+            TimeCategory::LaunchOverhead => self.launch_overhead,
+            TimeCategory::TransferH2D => self.transfer_h2d,
+            TimeCategory::TransferD2H => self.transfer_d2h,
+        }
+    }
+
+    /// Sum of all categories.
+    pub fn total(&self) -> SimTime {
+        self.kernel_body + self.launch_overhead + self.transfer_h2d + self.transfer_d2h
+    }
+
+    /// Fraction of total time spent in `cat` (0 when total is zero).
+    pub fn fraction(&self, cat: TimeCategory) -> f64 {
+        let total = self.total().as_nanos();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.get(cat).as_nanos() / total
+        }
+    }
+}
+
+/// Per-kernel aggregate statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// Number of launches of this kernel.
+    pub launches: u64,
+    /// Total simulated time (body + overhead).
+    pub time: SimTime,
+    /// Total memory transactions issued.
+    pub transactions: u64,
+    /// Total bytes moved through global memory.
+    pub bytes: u64,
+    /// Total floating-point operations.
+    pub flops: u64,
+}
+
+/// Everything the simulated device did since construction (or last reset).
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    /// Total simulated device time.
+    pub elapsed: SimTime,
+    /// Time split by category.
+    pub breakdown: TimeBreakdown,
+    /// Kernel launches, total.
+    pub kernels_launched: u64,
+    /// H2D transfer count.
+    pub h2d_count: u64,
+    /// H2D bytes.
+    pub h2d_bytes: u64,
+    /// D2H transfer count.
+    pub d2h_count: u64,
+    /// D2H bytes.
+    pub d2h_bytes: u64,
+    /// Global-memory transactions, total.
+    pub transactions: u64,
+    /// Global-memory bytes moved, total.
+    pub mem_bytes: u64,
+    /// Floating-point operations, total.
+    pub flops: u64,
+    /// Per-kernel-name aggregates.
+    pub per_kernel: BTreeMap<&'static str, KernelStats>,
+    /// Current device memory allocated (bytes).
+    pub allocated_bytes: u64,
+    /// Peak device memory allocated (bytes).
+    pub peak_allocated_bytes: u64,
+}
+
+impl Counters {
+    /// Achieved global-memory bandwidth over the whole history, bytes/sec.
+    pub fn achieved_bandwidth(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.mem_bytes as f64 / s
+        }
+    }
+
+    /// Achieved FLOP/s over the whole history.
+    pub fn achieved_flops(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / s
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "simulated device report")?;
+        writeln!(f, "  elapsed:          {}", self.elapsed)?;
+        for cat in TimeCategory::ALL {
+            writeln!(
+                f,
+                "    {:<16} {:>12}   {:5.1}%",
+                cat.label(),
+                format!("{}", self.breakdown.get(cat)),
+                100.0 * self.breakdown.fraction(cat)
+            )?;
+        }
+        writeln!(f, "  kernels launched: {}", self.kernels_launched)?;
+        writeln!(
+            f,
+            "  transfers:        {} h2d ({} B), {} d2h ({} B)",
+            self.h2d_count, self.h2d_bytes, self.d2h_count, self.d2h_bytes
+        )?;
+        writeln!(
+            f,
+            "  memory traffic:   {} transactions, {} B ({:.2} GB/s achieved)",
+            self.transactions,
+            self.mem_bytes,
+            self.achieved_bandwidth() / 1e9
+        )?;
+        writeln!(
+            f,
+            "  flops:            {} ({:.2} GFLOP/s achieved)",
+            self.flops,
+            self.achieved_flops() / 1e9
+        )?;
+        writeln!(f, "  peak device mem:  {} B", self.peak_allocated_bytes)?;
+        writeln!(f, "  per-kernel:")?;
+        for (name, st) in &self.per_kernel {
+            writeln!(
+                f,
+                "    {:<24} {:>8} launches  {:>12}  {:>14} B",
+                name,
+                st.launches,
+                format!("{}", st.time),
+                st.bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let mut b = TimeBreakdown::default();
+        b.add(TimeCategory::KernelBody, SimTime::from_us(3.0));
+        b.add(TimeCategory::LaunchOverhead, SimTime::from_us(1.0));
+        let s: f64 = TimeCategory::ALL.iter().map(|c| b.fraction(*c)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((b.fraction(TimeCategory::KernelBody) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fractions() {
+        let b = TimeBreakdown::default();
+        assert_eq!(b.fraction(TimeCategory::TransferH2D), 0.0);
+        assert_eq!(b.total(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn achieved_rates_guard_division_by_zero() {
+        let c = Counters::default();
+        assert_eq!(c.achieved_bandwidth(), 0.0);
+        assert_eq!(c.achieved_flops(), 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut c = Counters::default();
+        c.elapsed = SimTime::from_us(10.0);
+        c.per_kernel.insert("saxpy", KernelStats { launches: 2, ..Default::default() });
+        let s = format!("{c}");
+        assert!(s.contains("saxpy"));
+        assert!(s.contains("kernels launched: 0"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Device specifications for the simulated GPUs.
+//!
+//! The primary target is the GeForce GTX 280 (GT200), the card class the
+//! paper evaluated on. Two later cards (GTX 570, GTX TITAN) are included for
+//! the device-sensitivity ablation (experiment T5 in DESIGN.md).
+
+/// Static hardware description of a simulated device.
+///
+/// All rates are *peak* values; the cost model in [`crate::timing`] applies
+/// efficiency factors to turn them into sustained rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Scalar cores ("streaming processors") per SM.
+    pub cores_per_sm: u32,
+    /// Shader clock in GHz (GT200 ran shaders at ~2× core clock).
+    pub shader_clock_ghz: f64,
+    /// Threads per warp. 32 on every NVIDIA architecture simulated here.
+    pub warp_size: u32,
+    /// Maximum resident warps per SM (occupancy ceiling).
+    pub max_warps_per_sm: u32,
+    /// Peak global-memory bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+    /// Global-memory access latency in shader cycles.
+    pub mem_latency_cycles: f64,
+    /// Memory transaction segment size in bytes (GT200 coalescing granule).
+    pub segment_bytes: u64,
+    /// Fixed cost of one kernel launch, in nanoseconds (driver + dispatch).
+    pub launch_overhead_ns: f64,
+    /// Host↔device (PCIe) sustained bandwidth in bytes/second.
+    pub pcie_bandwidth: f64,
+    /// Fixed per-transfer latency in nanoseconds (cudaMemcpy setup cost).
+    pub pcie_latency_ns: f64,
+    /// Fraction of peak FLOP/s sustainable by well-written kernels.
+    pub compute_efficiency: f64,
+    /// Fraction of peak bandwidth sustainable by coalesced streams.
+    pub bandwidth_efficiency: f64,
+    /// FLOPs retired per core per cycle (MAD = 2).
+    pub flops_per_core_cycle: f64,
+    /// Ratio of double- to single-precision throughput (GT200: 1/8).
+    pub fp64_throughput_ratio: f64,
+    /// Device memory capacity in bytes (allocation failures are simulated).
+    pub memory_capacity: u64,
+}
+
+impl DeviceSpec {
+    /// GeForce GTX 280 (GT200, 2008) — the paper-era device.
+    ///
+    /// 30 SMs × 8 SPs at 1.296 GHz, 141.7 GB/s GDDR3, 1 GiB, PCIe 2.0 x16.
+    pub fn gtx280() -> Self {
+        DeviceSpec {
+            name: "GeForce GTX 280",
+            sm_count: 30,
+            cores_per_sm: 8,
+            shader_clock_ghz: 1.296,
+            warp_size: 32,
+            max_warps_per_sm: 32,
+            mem_bandwidth: 141.7e9,
+            mem_latency_cycles: 550.0,
+            segment_bytes: 128,
+            launch_overhead_ns: 7_000.0,
+            pcie_bandwidth: 5.2e9,
+            pcie_latency_ns: 12_000.0,
+            compute_efficiency: 0.55,
+            bandwidth_efficiency: 0.72,
+            flops_per_core_cycle: 2.0,
+            fp64_throughput_ratio: 1.0 / 8.0,
+            memory_capacity: 1 << 30,
+        }
+    }
+
+    /// GeForce GTX 570 (Fermi GF110, 2010) — ablation device.
+    pub fn gtx570() -> Self {
+        DeviceSpec {
+            name: "GeForce GTX 570",
+            sm_count: 15,
+            cores_per_sm: 32,
+            shader_clock_ghz: 1.464,
+            warp_size: 32,
+            max_warps_per_sm: 48,
+            mem_bandwidth: 152.0e9,
+            mem_latency_cycles: 600.0,
+            segment_bytes: 128,
+            launch_overhead_ns: 5_500.0,
+            pcie_bandwidth: 5.8e9,
+            pcie_latency_ns: 10_000.0,
+            compute_efficiency: 0.6,
+            bandwidth_efficiency: 0.75,
+            flops_per_core_cycle: 2.0,
+            fp64_throughput_ratio: 1.0 / 8.0,
+            memory_capacity: 1280 << 20,
+        }
+    }
+
+    /// GeForce GTX TITAN (Kepler GK110, 2013) — ablation device.
+    pub fn gtx_titan() -> Self {
+        DeviceSpec {
+            name: "GeForce GTX TITAN",
+            sm_count: 14,
+            cores_per_sm: 192,
+            shader_clock_ghz: 0.837,
+            warp_size: 32,
+            max_warps_per_sm: 64,
+            mem_bandwidth: 288.4e9,
+            mem_latency_cycles: 400.0,
+            segment_bytes: 128,
+            launch_overhead_ns: 4_000.0,
+            pcie_bandwidth: 11.0e9,
+            pcie_latency_ns: 8_000.0,
+            compute_efficiency: 0.6,
+            bandwidth_efficiency: 0.78,
+            flops_per_core_cycle: 2.0,
+            fp64_throughput_ratio: 1.0 / 3.0,
+            memory_capacity: 6 << 30,
+        }
+    }
+
+    /// Peak single-precision FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.sm_count as f64
+            * self.cores_per_sm as f64
+            * self.shader_clock_ghz
+            * 1e9
+            * self.flops_per_core_cycle
+    }
+
+    /// Shader clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.shader_clock_ghz * 1e9
+    }
+
+    /// Total scalar cores on the device.
+    pub fn total_cores(&self) -> u32 {
+        self.sm_count * self.cores_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx280_peak_flops_matches_datasheet() {
+        // 30 SM × 8 SP × 1.296 GHz × 2 (MAD) = 622.08 GFLOP/s
+        let s = DeviceSpec::gtx280();
+        assert!((s.peak_flops() - 622.08e9).abs() / 622.08e9 < 1e-9);
+        assert_eq!(s.total_cores(), 240);
+    }
+
+    #[test]
+    fn titan_has_more_bandwidth_but_slower_clock_than_gtx570() {
+        // This asymmetry is what the thesis-era observation "TITAN slower on
+        // small problems" hinges on; keep it encoded in the presets.
+        let t = DeviceSpec::gtx_titan();
+        let f = DeviceSpec::gtx570();
+        assert!(t.mem_bandwidth > f.mem_bandwidth);
+        assert!(t.shader_clock_ghz < f.shader_clock_ghz);
+    }
+
+    #[test]
+    fn specs_are_sane() {
+        for s in [DeviceSpec::gtx280(), DeviceSpec::gtx570(), DeviceSpec::gtx_titan()] {
+            assert!(s.warp_size == 32);
+            assert!(s.compute_efficiency > 0.0 && s.compute_efficiency <= 1.0);
+            assert!(s.bandwidth_efficiency > 0.0 && s.bandwidth_efficiency <= 1.0);
+            assert!(s.segment_bytes.is_power_of_two());
+            assert!(s.peak_flops() > 1e11, "{} peak flops too low", s.name);
+        }
+    }
+}

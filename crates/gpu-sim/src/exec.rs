@@ -1,0 +1,417 @@
+//! The device handle and launch engine.
+//!
+//! [`Gpu`] owns the clock, the counters, and the allocation tracker. Launches
+//! are synchronous: `launch` executes every thread of the grid functionally
+//! (optionally across host threads — CUDA blocks are independent by
+//! contract) and charges simulated time from the kernel's cost descriptor.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::counters::{Counters, KernelStats, TimeCategory};
+use crate::device::DeviceSpec;
+use crate::dim::{Dim3, LaunchConfig};
+use crate::kernel::{Kernel, ThreadCtx};
+use crate::memory::{AllocTracker, DeviceBuffer, Pod};
+use crate::timing::{kernel_timing, transfer_time, LaunchTiming, SimTime};
+
+/// How the launch engine executes blocks on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Execute all blocks on the calling thread (deterministic, default).
+    Sequential,
+    /// Execute blocks across `n` host threads via `crossbeam::scope`.
+    /// Requires the kernel to be free of cross-block races, exactly as the
+    /// real device does.
+    Parallel(usize),
+}
+
+/// A simulated GPU: device spec + clock + counters + memory accounting.
+///
+/// All mutation is internal (behind a mutex), so `&Gpu` can be shared freely;
+/// library layers stack on top without threading `&mut` everywhere — the same
+/// ergonomics as a CUDA context.
+pub struct Gpu {
+    spec: DeviceSpec,
+    mode: ExecMode,
+    counters: Mutex<Counters>,
+    tracker: Arc<AllocTracker>,
+}
+
+impl Gpu {
+    /// Create a device with the default sequential engine.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Gpu::with_mode(spec, ExecMode::Sequential)
+    }
+
+    /// Create a device with an explicit execution mode.
+    pub fn with_mode(spec: DeviceSpec, mode: ExecMode) -> Self {
+        Gpu {
+            spec,
+            mode,
+            counters: Mutex::new(Counters::default()),
+            tracker: Arc::new(AllocTracker::default()),
+        }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Total simulated time elapsed on this device.
+    pub fn elapsed(&self) -> SimTime {
+        self.counters.lock().elapsed
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> Counters {
+        self.counters.lock().clone()
+    }
+
+    /// Reset the clock and counters (allocation accounting is preserved).
+    pub fn reset_counters(&self) {
+        let mut c = self.counters.lock();
+        let alloc = c.allocated_bytes;
+        let peak = c.peak_allocated_bytes;
+        *c = Counters::default();
+        c.allocated_bytes = alloc;
+        c.peak_allocated_bytes = peak;
+    }
+
+    /// Advance the simulated clock by an externally computed amount, charged
+    /// to `cat`. Used by library layers for costs the engine cannot see
+    /// (e.g. host-side pivot bookkeeping charged as transfer-latency).
+    pub fn charge(&self, cat: TimeCategory, t: SimTime) {
+        let mut c = self.counters.lock();
+        c.elapsed += t;
+        c.breakdown.add(cat, t);
+    }
+
+    /// Record an allocation of `bytes`, enforcing device capacity. Called
+    /// *before* host-side materialization so a simulated OOM is cheap.
+    fn record_alloc(&self, bytes: u64) {
+        assert!(
+            self.tracker.current() + bytes <= self.spec.memory_capacity,
+            "simulated device out of memory: {} B requested with {} B already \
+             allocated > {} B capacity on {}",
+            bytes,
+            self.tracker.current(),
+            self.spec.memory_capacity,
+            self.spec.name
+        );
+        let current = self.tracker.add(bytes);
+        let mut c = self.counters.lock();
+        c.allocated_bytes = current;
+        c.peak_allocated_bytes = c.peak_allocated_bytes.max(current);
+    }
+
+    /// Allocate `len` elements filled with `fill`. Charges no transfer time
+    /// (as `cudaMalloc` does not move data).
+    pub fn alloc<T: Pod>(&self, len: usize, fill: T) -> DeviceBuffer<T> {
+        self.record_alloc(len as u64 * T::BYTES);
+        let mut buf = DeviceBuffer::new(len, fill);
+        buf.set_tracker(Arc::clone(&self.tracker));
+        buf
+    }
+
+    /// Allocate and upload from a host slice, charging PCIe time.
+    pub fn htod<T: Pod>(&self, src: &[T]) -> DeviceBuffer<T> {
+        self.record_alloc(src.len() as u64 * T::BYTES);
+        let mut buf = DeviceBuffer::from_slice(src);
+        buf.set_tracker(Arc::clone(&self.tracker));
+        self.charge_transfer(TimeCategory::TransferH2D, buf.bytes());
+        buf
+    }
+
+    /// Overwrite an existing buffer from the host, charging PCIe time.
+    pub fn htod_into<T: Pod>(&self, src: &[T], dst: &mut DeviceBuffer<T>) {
+        dst.write_from(src);
+        self.charge_transfer(TimeCategory::TransferH2D, src.len() as u64 * T::BYTES);
+    }
+
+    /// Overwrite a single element from the host — the `cudaMemcpy` of one
+    /// scalar that 2009 solvers issued for basis bookkeeping. Pays the full
+    /// per-transfer latency, which is the point of modeling it.
+    pub fn htod_elem<T: Pod>(&self, dst: &mut DeviceBuffer<T>, idx: usize, val: T) {
+        dst.view_mut().set(idx, val);
+        self.charge_transfer(TimeCategory::TransferH2D, T::BYTES);
+    }
+
+    /// Download a buffer to the host, charging PCIe time.
+    pub fn dtoh<T: Pod>(&self, src: &DeviceBuffer<T>) -> Vec<T> {
+        self.charge_transfer(TimeCategory::TransferD2H, src.bytes());
+        src.to_host_vec()
+    }
+
+    /// Download `count` elements starting at `offset`, charging PCIe time
+    /// for just those bytes (plus the fixed transfer latency).
+    pub fn dtoh_range<T: Pod>(&self, src: &DeviceBuffer<T>, offset: usize, count: usize) -> Vec<T> {
+        assert!(offset + count <= src.len(), "dtoh_range out of bounds");
+        self.charge_transfer(TimeCategory::TransferD2H, count as u64 * T::BYTES);
+        let v = src.view();
+        (offset..offset + count).map(|i| v.get(i)).collect()
+    }
+
+    fn charge_transfer(&self, cat: TimeCategory, bytes: u64) {
+        let t = transfer_time(&self.spec, bytes);
+        let mut c = self.counters.lock();
+        c.elapsed += t;
+        c.breakdown.add(cat, t);
+        match cat {
+            TimeCategory::TransferH2D => {
+                c.h2d_count += 1;
+                c.h2d_bytes += bytes;
+            }
+            TimeCategory::TransferD2H => {
+                c.d2h_count += 1;
+                c.d2h_bytes += bytes;
+            }
+            _ => unreachable!("transfer charged to non-transfer category"),
+        }
+    }
+
+    /// Launch a kernel: execute every thread functionally and charge the
+    /// simulated time from its cost descriptor. Returns the launch timing
+    /// (already recorded) for callers that keep per-step breakdowns.
+    pub fn launch<K: Kernel>(&self, cfg: LaunchConfig, kernel: &K) -> LaunchTiming {
+        let cost = kernel.cost(&cfg);
+        let timing = kernel_timing(&self.spec, &cfg, &cost);
+        let (tx, bytes) = cost.traffic(self.spec.warp_size, self.spec.segment_bytes);
+
+        {
+            let mut c = self.counters.lock();
+            c.kernels_launched += 1;
+            c.elapsed += timing.total();
+            c.breakdown.add(TimeCategory::LaunchOverhead, timing.overhead);
+            c.breakdown.add(TimeCategory::KernelBody, timing.total() - timing.overhead);
+            c.transactions += tx;
+            c.mem_bytes += bytes;
+            c.flops += cost.flops;
+            let st = c.per_kernel.entry(kernel.name()).or_insert_with(KernelStats::default);
+            st.launches += 1;
+            st.time += timing.total();
+            st.transactions += tx;
+            st.bytes += bytes;
+            st.flops += cost.flops;
+        }
+
+        match self.mode {
+            ExecMode::Sequential => self.run_blocks(cfg, kernel, 0, cfg.total_blocks()),
+            ExecMode::Parallel(workers) => self.run_blocks_parallel(cfg, kernel, workers.max(1)),
+        }
+        timing
+    }
+
+    fn run_blocks<K: Kernel>(&self, cfg: LaunchConfig, kernel: &K, first: u64, count: u64) {
+        let g = cfg.grid;
+        let b = cfg.block;
+        for flat in first..first + count {
+            let bz = (flat / (g.x as u64 * g.y as u64)) as u32;
+            let rem = flat % (g.x as u64 * g.y as u64);
+            let by = (rem / g.x as u64) as u32;
+            let bx = (rem % g.x as u64) as u32;
+            let block_idx = Dim3 { x: bx, y: by, z: bz };
+            for tz in 0..b.z {
+                for ty in 0..b.y {
+                    for tx in 0..b.x {
+                        let ctx = ThreadCtx {
+                            thread_idx: Dim3 { x: tx, y: ty, z: tz },
+                            block_idx,
+                            block_dim: b,
+                            grid_dim: g,
+                        };
+                        kernel.run(&ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_blocks_parallel<K: Kernel>(&self, cfg: LaunchConfig, kernel: &K, workers: usize) {
+        let total = cfg.total_blocks();
+        let chunk = total.div_ceil(workers as u64).max(1);
+        crossbeam::thread::scope(|s| {
+            let mut start = 0;
+            while start < total {
+                let count = chunk.min(total - start);
+                let first = start;
+                s.spawn(move |_| self.run_blocks(cfg, kernel, first, count));
+                start += count;
+            }
+        })
+        .expect("kernel block worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::AccessPattern;
+    use crate::kernel::KernelCost;
+    use crate::memory::{DView, DViewMut};
+
+    struct Fill {
+        out: DViewMut<f32>,
+        val: f32,
+        n: usize,
+    }
+    impl Kernel for Fill {
+        fn name(&self) -> &'static str {
+            "fill"
+        }
+        fn run(&self, t: &ThreadCtx) {
+            let i = t.global_id();
+            if i < self.n {
+                self.out.set(i, self.val);
+            }
+        }
+        fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+            KernelCost::new()
+                .write(AccessPattern::coalesced::<f32>(self.n as u64))
+                .active_threads(cfg, self.n as u64)
+        }
+    }
+
+    struct Add {
+        a: DView<f32>,
+        b: DView<f32>,
+        out: DViewMut<f32>,
+        n: usize,
+    }
+    impl Kernel for Add {
+        fn name(&self) -> &'static str {
+            "add"
+        }
+        fn run(&self, t: &ThreadCtx) {
+            let i = t.global_id();
+            if i < self.n {
+                self.out.set(i, self.a.get(i) + self.b.get(i));
+            }
+        }
+        fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+            KernelCost::new()
+                .flops_total(self.n as u64)
+                .read(AccessPattern::coalesced::<f32>(self.n as u64))
+                .read(AccessPattern::coalesced::<f32>(self.n as u64))
+                .write(AccessPattern::coalesced::<f32>(self.n as u64))
+                .active_threads(cfg, self.n as u64)
+        }
+    }
+
+    #[test]
+    fn launch_computes_and_charges() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let n = 1000;
+        let mut a = gpu.alloc(n, 0.0f32);
+        let mut b = gpu.alloc(n, 0.0f32);
+        let mut out = gpu.alloc(n, 0.0f32);
+        gpu.launch(LaunchConfig::for_elems(n, 256), &Fill { out: a.view_mut(), val: 2.0, n });
+        gpu.launch(LaunchConfig::for_elems(n, 256), &Fill { out: b.view_mut(), val: 3.0, n });
+        gpu.launch(
+            LaunchConfig::for_elems(n, 256),
+            &Add { a: a.view(), b: b.view(), out: out.view_mut(), n },
+        );
+        let host = gpu.dtoh(&out);
+        assert!(host.iter().all(|&x| x == 5.0));
+
+        let c = gpu.counters();
+        assert_eq!(c.kernels_launched, 3);
+        assert_eq!(c.d2h_count, 1);
+        assert_eq!(c.flops, n as u64);
+        assert!(c.elapsed.as_micros() > 3.0 * 7.0); // at least 3 launch overheads
+        assert_eq!(c.per_kernel["fill"].launches, 2);
+    }
+
+    #[test]
+    fn parallel_mode_matches_sequential() {
+        let n = 4096;
+        let host: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let mut outputs = Vec::new();
+        for mode in [ExecMode::Sequential, ExecMode::Parallel(4)] {
+            let gpu = Gpu::with_mode(DeviceSpec::gtx280(), mode);
+            let a = gpu.htod(&host);
+            let b = gpu.htod(&host);
+            let mut out = gpu.alloc(n, 0.0f32);
+            gpu.launch(
+                LaunchConfig::for_elems(n, 128),
+                &Add { a: a.view(), b: b.view(), out: out.view_mut(), n },
+            );
+            outputs.push(gpu.dtoh(&out));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0][100], 200.0);
+    }
+
+    #[test]
+    fn transfers_are_charged_with_latency_floor() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let buf = gpu.htod(&[1.0f32]);
+        let t1 = gpu.elapsed();
+        assert!(t1.as_micros() >= 12.0, "small transfer should pay latency");
+        let _ = gpu.dtoh_range(&buf, 0, 1);
+        assert!(gpu.elapsed().as_micros() >= 24.0);
+    }
+
+    #[test]
+    fn reset_preserves_allocation_accounting() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let _buf = gpu.alloc(1024, 0.0f32);
+        gpu.reset_counters();
+        let c = gpu.counters();
+        assert_eq!(c.kernels_launched, 0);
+        assert_eq!(c.allocated_bytes, 4096);
+    }
+
+    #[test]
+    fn buffer_drop_releases_memory() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        {
+            let _buf = gpu.alloc(1 << 20, 0.0f32);
+        }
+        // Next allocation sees the freed space (tracker decremented).
+        let _buf2 = gpu.alloc(1 << 20, 0.0f32);
+        let c = gpu.counters();
+        assert_eq!(c.allocated_bytes, 4 << 20);
+        assert_eq!(c.peak_allocated_bytes, 4 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn device_oom_panics() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        // 2 GiB of f32 on a 1 GiB card.
+        let _ = gpu.alloc(1 << 29, 0.0f32);
+    }
+
+    #[test]
+    fn grid_2d_visits_every_thread_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        struct Count<'a> {
+            hits: &'a [AtomicU32],
+            w: usize,
+        }
+        impl Kernel for Count<'_> {
+            fn name(&self) -> &'static str {
+                "count2d"
+            }
+            fn run(&self, t: &ThreadCtx) {
+                let idx = t.gy() * self.w + t.gx();
+                self.hits[idx].fetch_add(1, Ordering::Relaxed);
+            }
+            fn cost(&self, _: &LaunchConfig) -> KernelCost {
+                KernelCost::new()
+            }
+        }
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let w = 8 * 3;
+        let h = 4 * 2;
+        let hits: Vec<AtomicU32> = (0..w * h).map(|_| AtomicU32::new(0)).collect();
+        gpu.launch(
+            LaunchConfig::new((3u32, 2u32), (8u32, 4u32)),
+            &Count { hits: &hits, w },
+        );
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

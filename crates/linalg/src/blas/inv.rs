@@ -1,0 +1,280 @@
+//! Matrix inversion and linear solves for basis (re)factorization.
+//!
+//! The revised simplex method maintains `B⁻¹` explicitly (the paper's
+//! approach) and periodically recomputes it from the basis columns to purge
+//! accumulated rank-1-update error. Gauss–Jordan with partial pivoting is the
+//! classic choice. The elimination works on an internal row-major copy so
+//! every row operation is a contiguous slice loop — this runs once per
+//! `refactor_period` iterations on an `m × m` matrix and must not dominate
+//! the solve.
+
+use crate::dense::DenseMatrix;
+use crate::scalar::Scalar;
+
+/// Row-major workspace for elimination.
+struct Rows<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Rows<T> {
+    fn from_dense(a: &DenseMatrix<T>) -> Self {
+        Rows { n: a.cols(), data: a.to_row_major() }
+    }
+
+    fn identity(n: usize) -> Self {
+        let mut data = vec![T::ZERO; n * n];
+        for i in 0..n {
+            data[i * n + i] = T::ONE;
+        }
+        Rows { n, data }
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> T {
+        self.data[i * self.n + j]
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let n = self.n;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (left, right) = self.data.split_at_mut(hi * n);
+        left[lo * n..(lo + 1) * n].swap_with_slice(&mut right[..n]);
+    }
+
+    fn scale_row(&mut self, r: usize, s: T) {
+        for v in self.row_mut(r) {
+            *v *= s;
+        }
+    }
+
+    /// `row[i] ← row[i] − f·row[k]` (contiguous slices).
+    fn sub_scaled_row(&mut self, i: usize, k: usize, f: T) {
+        let n = self.n;
+        let (ri, rk) = if i < k {
+            let (left, right) = self.data.split_at_mut(k * n);
+            (&mut left[i * n..(i + 1) * n], &right[..n])
+        } else {
+            let (left, right) = self.data.split_at_mut(i * n);
+            (&mut right[..n], &left[k * n..(k + 1) * n])
+        };
+        for (a, &b) in ri.iter_mut().zip(rk) {
+            *a = *a - f * b;
+        }
+    }
+
+    fn to_dense(&self) -> DenseMatrix<T> {
+        let mut m = DenseMatrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+}
+
+/// Invert a square matrix by Gauss–Jordan elimination with partial pivoting.
+///
+/// Returns `None` when the matrix is numerically singular (best pivot below
+/// a scale-relative threshold).
+pub fn gauss_jordan_invert<T: Scalar>(a: &DenseMatrix<T>) -> Option<DenseMatrix<T>> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "inverse of a non-square matrix");
+    let mut work = Rows::from_dense(a);
+    let mut inv = Rows::<T>::identity(n);
+    let scale = a.max_abs().maxs(T::ONE);
+    let tiny = scale * T::epsilon() * T::from_f64(n as f64 * 16.0);
+
+    for k in 0..n {
+        // Partial pivot: the largest |work[i, k]| for i >= k.
+        let mut piv = k;
+        let mut best = work.get(k, k).abs();
+        for i in k + 1..n {
+            let v = work.get(i, k).abs();
+            if v > best {
+                best = v;
+                piv = i;
+            }
+        }
+        if !(best > tiny) {
+            return None;
+        }
+        work.swap_rows(k, piv);
+        inv.swap_rows(k, piv);
+        let d = T::ONE / work.get(k, k);
+        work.scale_row(k, d);
+        inv.scale_row(k, d);
+        for i in 0..n {
+            if i == k {
+                continue;
+            }
+            let f = work.get(i, k);
+            if f == T::ZERO {
+                continue;
+            }
+            work.sub_scaled_row(i, k, f);
+            inv.sub_scaled_row(i, k, f);
+        }
+    }
+    Some(inv.to_dense())
+}
+
+/// Solve `Ax = b` by Gaussian elimination with partial pivoting (used as an
+/// oracle in tests; the solver itself keeps `B⁻¹`).
+pub fn lu_solve<T: Scalar>(a: &DenseMatrix<T>, b: &[T]) -> Option<Vec<T>> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "lu_solve: non-square matrix");
+    assert_eq!(n, b.len(), "lu_solve: rhs length mismatch");
+    let mut work = Rows::from_dense(a);
+    let mut rhs = b.to_vec();
+    let scale = a.max_abs().maxs(T::ONE);
+    let tiny = scale * T::epsilon() * T::from_f64(n as f64 * 16.0);
+
+    for k in 0..n {
+        let mut piv = k;
+        let mut best = work.get(k, k).abs();
+        for i in k + 1..n {
+            let v = work.get(i, k).abs();
+            if v > best {
+                best = v;
+                piv = i;
+            }
+        }
+        if !(best > tiny) {
+            return None;
+        }
+        work.swap_rows(k, piv);
+        rhs.swap(k, piv);
+        for i in k + 1..n {
+            let f = work.get(i, k) / work.get(k, k);
+            if f == T::ZERO {
+                continue;
+            }
+            work.sub_scaled_row(i, k, f);
+            let rk = rhs[k];
+            rhs[i] = rhs[i] - f * rk;
+        }
+    }
+    let mut x = vec![T::ZERO; n];
+    for k in (0..n).rev() {
+        let mut acc = rhs[k];
+        let row = work.row(k);
+        for j in k + 1..n {
+            acc = acc - row[j] * x[j];
+        }
+        x[k] = acc / row[k];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::gemm;
+
+    #[test]
+    fn invert_identity() {
+        let i = DenseMatrix::<f64>::identity(4);
+        assert_eq!(gauss_jordan_invert(&i).unwrap(), i);
+    }
+
+    #[test]
+    fn invert_known_2x2() {
+        let a = DenseMatrix::from_rows(&[vec![4.0f64, 7.0], vec![2.0, 6.0]]);
+        let inv = gauss_jordan_invert(&a).unwrap();
+        assert!((inv.get(0, 0) - 0.6).abs() < 1e-12);
+        assert!((inv.get(0, 1) + 0.7).abs() < 1e-12);
+        assert!((inv.get(1, 0) + 0.2).abs() < 1e-12);
+        assert!((inv.get(1, 1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        // A needs a row swap (zero on the first pivot) to exercise pivoting.
+        let a = DenseMatrix::from_rows(&[
+            vec![0.0f64, 2.0, 1.0],
+            vec![1.0, 0.0, 3.0],
+            vec![2.0, 1.0, 0.0],
+        ]);
+        let inv = gauss_jordan_invert(&a).unwrap();
+        let mut prod = DenseMatrix::zeros(3, 3);
+        gemm(1.0, &inv, &a, 0.0, &mut prod);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.get(i, j) - expect).abs() < 1e-12, "({i},{j}) = {}", prod.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn larger_random_inverse_is_accurate() {
+        // Deterministic pseudo-random diagonally-dominant matrix.
+        let n = 48;
+        let mut a = DenseMatrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 23.0;
+                a.set(i, j, v + if i == j { 4.0 } else { 0.0 });
+            }
+        }
+        let inv = gauss_jordan_invert(&a).unwrap();
+        let mut prod = DenseMatrix::zeros(n, n);
+        gemm(1.0, &inv, &a, 0.0, &mut prod);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.get(i, j) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = DenseMatrix::from_rows(&[vec![1.0f64, 2.0], vec![2.0, 4.0]]);
+        assert!(gauss_jordan_invert(&a).is_none());
+        assert!(lu_solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn lu_solve_matches_inverse() {
+        let a = DenseMatrix::from_rows(&[
+            vec![3.0f64, 1.0, -2.0],
+            vec![1.0, -5.0, 2.0],
+            vec![2.0, 2.0, 7.0],
+        ]);
+        let b = vec![6.0, -4.0, 23.0];
+        let x = lu_solve(&a, &b).unwrap();
+        for i in 0..3 {
+            let mut acc = 0.0;
+            for j in 0..3 {
+                acc += a.get(i, j) * x[j];
+            }
+            assert!((acc - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn f32_inverse_is_reasonable() {
+        let a = DenseMatrix::from_rows(&[vec![2.0f32, 1.0], vec![1.0, 3.0]]);
+        let inv = gauss_jordan_invert(&a).unwrap();
+        let mut prod = DenseMatrix::zeros(2, 2);
+        gemm(1.0, &inv, &a, 0.0, &mut prod);
+        assert!((prod.get(0, 0) - 1.0).abs() < 1e-5);
+        assert!(prod.get(0, 1).abs() < 1e-5);
+    }
+}

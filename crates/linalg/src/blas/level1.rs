@@ -1,0 +1,93 @@
+//! Level-1 (vector-vector) routines.
+
+use crate::scalar::Scalar;
+
+/// Dot product `xᵀy`.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = T::ZERO;
+    for (&a, &b) in x.iter().zip(y) {
+        acc = a.mul_add(b, acc);
+    }
+    acc
+}
+
+/// `y ← αx + y`.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (&a, b) in x.iter().zip(y.iter_mut()) {
+        *b = alpha.mul_add(a, *b);
+    }
+}
+
+/// `x ← αx`.
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// `y ← x`.
+pub fn copy<T: Scalar>(x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "copy: length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
+    dot(x, x).sqrt()
+}
+
+/// Sum of absolute values `‖x‖₁`.
+pub fn asum<T: Scalar>(x: &[T]) -> T {
+    x.iter().fold(T::ZERO, |acc, v| acc + v.abs())
+}
+
+/// Index of the element with the largest absolute value (first on ties);
+/// `None` on an empty slice.
+pub fn iamax<T: Scalar>(x: &[T]) -> Option<usize> {
+    let mut best: Option<(usize, T)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        let a = v.abs();
+        match best {
+            Some((_, b)) if !(a > b) => {}
+            _ => best = Some((i, a)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_axpy_scal() {
+        let x = vec![1.0f64, 2.0, 3.0];
+        let mut y = vec![4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![6.0, 9.0, 12.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, vec![3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let x = vec![3.0f32, -4.0];
+        assert_eq!(nrm2(&x), 5.0);
+        assert_eq!(asum(&x), 7.0);
+    }
+
+    #[test]
+    fn iamax_prefers_first_tie() {
+        assert_eq!(iamax(&[1.0f64, -3.0, 3.0]), Some(1));
+        assert_eq!(iamax::<f64>(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0f64], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Level-2 (matrix-vector) routines over column-major [`DenseMatrix`].
+
+use crate::dense::DenseMatrix;
+use crate::scalar::Scalar;
+
+/// `y ← αAx + βy` (no transpose).
+///
+/// Walks the matrix column-by-column so the inner loop is contiguous — the
+/// cache-friendly order for column-major storage, mirroring what a tuned
+/// serial sgemv does.
+pub fn gemv_n<T: Scalar>(alpha: T, a: &DenseMatrix<T>, x: &[T], beta: T, y: &mut [T]) {
+    assert_eq!(a.cols(), x.len(), "gemv_n: x length mismatch");
+    assert_eq!(a.rows(), y.len(), "gemv_n: y length mismatch");
+    for v in y.iter_mut() {
+        *v *= beta;
+    }
+    for (j, &xj) in x.iter().enumerate() {
+        let s = alpha * xj;
+        if s == T::ZERO {
+            continue;
+        }
+        for (yi, &aij) in y.iter_mut().zip(a.col(j)) {
+            *yi = s.mul_add(aij, *yi);
+        }
+    }
+}
+
+/// `y ← αAᵀx + βy`.
+pub fn gemv_t<T: Scalar>(alpha: T, a: &DenseMatrix<T>, x: &[T], beta: T, y: &mut [T]) {
+    assert_eq!(a.rows(), x.len(), "gemv_t: x length mismatch");
+    assert_eq!(a.cols(), y.len(), "gemv_t: y length mismatch");
+    for (j, yj) in y.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for (&aij, &xi) in a.col(j).iter().zip(x) {
+            acc = aij.mul_add(xi, acc);
+        }
+        *yj = alpha * acc + beta * *yj;
+    }
+}
+
+/// Rank-1 update `A ← A + αxyᵀ`.
+pub fn ger<T: Scalar>(alpha: T, x: &[T], y: &[T], a: &mut DenseMatrix<T>) {
+    assert_eq!(a.rows(), x.len(), "ger: x length mismatch");
+    assert_eq!(a.cols(), y.len(), "ger: y length mismatch");
+    for (j, &yj) in y.iter().enumerate() {
+        let s = alpha * yj;
+        if s == T::ZERO {
+            continue;
+        }
+        for (aij, &xi) in a.col_mut(j).iter_mut().zip(x) {
+            *aij = s.mul_add(xi, *aij);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat() -> DenseMatrix<f64> {
+        DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]])
+    }
+
+    #[test]
+    fn gemv_n_basic() {
+        let a = mat();
+        let mut y = vec![1.0, 1.0, 1.0];
+        gemv_n(1.0, &a, &[1.0, 2.0], 0.0, &mut y);
+        assert_eq!(y, vec![5.0, 11.0, 17.0]);
+    }
+
+    #[test]
+    fn gemv_n_alpha_beta() {
+        let a = mat();
+        let mut y = vec![10.0, 20.0, 30.0];
+        gemv_n(2.0, &a, &[1.0, 0.0], 0.5, &mut y);
+        assert_eq!(y, vec![5.0 + 2.0, 10.0 + 6.0, 15.0 + 10.0]);
+    }
+
+    #[test]
+    fn gemv_t_basic() {
+        let a = mat();
+        let mut y = vec![0.0, 0.0];
+        gemv_t(1.0, &a, &[1.0, 1.0, 1.0], 0.0, &mut y);
+        assert_eq!(y, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_transpose_gemv_n() {
+        let a = mat();
+        let at = a.transpose();
+        let x = vec![1.0, -2.0, 0.5];
+        let mut y1 = vec![0.0, 0.0];
+        let mut y2 = vec![0.0, 0.0];
+        gemv_t(1.0, &a, &x, 0.0, &mut y1);
+        gemv_n(1.0, &at, &x, 0.0, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = DenseMatrix::<f64>::zeros(2, 2);
+        ger(2.0, &[1.0, 2.0], &[3.0, 4.0], &mut a);
+        assert_eq!(a.get(0, 0), 6.0);
+        assert_eq!(a.get(1, 1), 16.0);
+    }
+}

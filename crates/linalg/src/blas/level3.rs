@@ -1,0 +1,74 @@
+//! Level-3 (matrix-matrix) routine — used by tests and refactorization
+//! checks, not by the per-iteration solver path.
+
+use crate::dense::DenseMatrix;
+use crate::scalar::Scalar;
+
+/// `C ← αAB + βC`.
+pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: &DenseMatrix<T>,
+    b: &DenseMatrix<T>,
+    beta: T,
+    c: &mut DenseMatrix<T>,
+) {
+    assert_eq!(a.cols(), b.rows(), "gemm: inner dimension mismatch");
+    assert_eq!(a.rows(), c.rows(), "gemm: C row mismatch");
+    assert_eq!(b.cols(), c.cols(), "gemm: C col mismatch");
+    let m = a.rows();
+    for j in 0..b.cols() {
+        let cj = c.col_mut(j);
+        for v in cj.iter_mut() {
+            *v *= beta;
+        }
+    }
+    // jki order: innermost loop streams a column of A and C.
+    for j in 0..b.cols() {
+        for k in 0..a.cols() {
+            let s = alpha * b.get(k, j);
+            if s == T::ZERO {
+                continue;
+            }
+            let ak = a.col(k).as_ptr();
+            let cj = c.col_mut(j);
+            for i in 0..m {
+                // SAFETY: i < m = a.rows() and ak points at a column of A.
+                let aik = unsafe { *ak.add(i) };
+                cj[i] = s.mul_add(aik, cj[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_small() {
+        let a = DenseMatrix::from_rows(&[vec![1.0f64, 2.0], vec![3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let mut c = DenseMatrix::zeros(2, 2);
+        gemm(1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c, DenseMatrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let a = DenseMatrix::from_rows(&[vec![1.0f32, 2.0], vec![3.0, 4.0]]);
+        let i = DenseMatrix::identity(2);
+        let mut c = DenseMatrix::zeros(2, 2);
+        gemm(1.0, &a, &i, 0.0, &mut c);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn gemm_beta_accumulates() {
+        let a = DenseMatrix::<f64>::identity(2);
+        let b = DenseMatrix::identity(2);
+        let mut c = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        gemm(2.0, &a, &b, 3.0, &mut c);
+        assert_eq!(c.get(0, 0), 5.0);
+        assert_eq!(c.get(0, 1), 3.0);
+    }
+}

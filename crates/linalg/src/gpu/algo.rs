@@ -1,0 +1,318 @@
+//! Device reduction algorithms, 2009 CUDA style: log-depth passes of
+//! block-tree kernels, each pass a separate launch (kernel launches were the
+//! era's only global barrier), finishing with a small device→host transfer.
+//!
+//! Those per-reduction launches and the final tiny PCIe read are charged in
+//! full — they are a real part of why small LPs run faster on the CPU
+//! (experiment F3).
+
+use gpu_sim::{AccessPattern, DView, DViewMut, DeviceBuffer, Gpu, Kernel, KernelCost, LaunchConfig, ThreadCtx};
+
+use crate::scalar::Scalar;
+
+/// Elements reduced per modeled thread block (256 threads × 2 loads).
+pub const REDUCE_CHUNK: usize = 512;
+
+/// Reduction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of elements.
+    Sum,
+    /// Minimum element.
+    Min,
+    /// Maximum element.
+    Max,
+}
+
+impl ReduceOp {
+    fn identity<T: Scalar>(&self) -> T {
+        match self {
+            ReduceOp::Sum => T::ZERO,
+            ReduceOp::Min => T::infinity(),
+            ReduceOp::Max => -T::infinity(),
+        }
+    }
+
+    fn combine<T: Scalar>(&self, a: T, b: T) -> T {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.mins(b),
+            ReduceOp::Max => a.maxs(b),
+        }
+    }
+}
+
+/// One tree pass: thread `c` reduces `input[c·CHUNK .. (c+1)·CHUNK]`.
+struct ReducePassK<T: Scalar> {
+    input: DView<T>,
+    n: usize,
+    out: DViewMut<T>,
+    op: ReduceOp,
+}
+
+impl<T: Scalar> Kernel for ReducePassK<T> {
+    fn name(&self) -> &'static str {
+        "reduce_pass"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let c = t.global_id();
+        let start = c * REDUCE_CHUNK;
+        if start >= self.n {
+            return;
+        }
+        let end = (start + REDUCE_CHUNK).min(self.n);
+        let data = self.input.as_slice();
+        let mut acc = self.op.identity::<T>();
+        for &v in &data[start..end] {
+            acc = self.op.combine(acc, v);
+        }
+        self.out.set(c, acc);
+    }
+    fn cost(&self, _cfg: &LaunchConfig) -> KernelCost {
+        let n = self.n as u64;
+        let out_len = (self.n).div_ceil(REDUCE_CHUNK) as u64;
+        KernelCost::new()
+            .flops_total(n)
+            .fp64(T::IS_F64)
+            .read(AccessPattern::coalesced::<T>(n))
+            .write(AccessPattern::coalesced::<T>(out_len))
+            .smem(2 * n)
+            .active_threads_raw(n.div_ceil(2))
+    }
+}
+
+/// Tree-reduce a device vector; deterministic combine order.
+pub fn reduce<T: Scalar>(gpu: &Gpu, input: DView<T>, n: usize, op: ReduceOp) -> T {
+    if n == 0 {
+        return op.identity();
+    }
+    // First pass reads the caller's view; subsequent passes ping-pong
+    // between scratch buffers we keep alive in `stages`.
+    let mut stages: Vec<DeviceBuffer<T>> = Vec::new();
+    let mut cur_len = n;
+    let mut cur_view = input;
+    while cur_len > 1 {
+        let out_len = cur_len.div_ceil(REDUCE_CHUNK);
+        let mut out = gpu.alloc(out_len, op.identity::<T>());
+        gpu.launch(
+            LaunchConfig::for_elems(out_len, 128),
+            &ReducePassK { input: cur_view, n: cur_len, out: out.view_mut(), op },
+        );
+        stages.push(out);
+        cur_len = out_len;
+        cur_view = stages.last().expect("stage just pushed").view();
+    }
+    match stages.last() {
+        Some(buf) => gpu.dtoh_range(buf, 0, 1)[0],
+        // n == 1: read the single element straight from the caller's view.
+        None => {
+            // Charge the same tiny transfer a real implementation would pay.
+            let host = cur_view.as_slice()[0];
+            gpu.charge(
+                gpu_sim::TimeCategory::TransferD2H,
+                gpu_sim::timing::transfer_time(gpu.spec(), T::BYTES),
+            );
+            host
+        }
+    }
+}
+
+/// `out[i] = (vals[i] == target) ? i : u32::MAX` — stage two of argmin.
+struct MapEqIdxK<T: Scalar> {
+    vals: DView<T>,
+    target: T,
+    out: DViewMut<u32>,
+    n: usize,
+}
+
+impl<T: Scalar> Kernel for MapEqIdxK<T> {
+    fn name(&self) -> &'static str {
+        "map_eq_idx"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let i = t.global_id();
+        if i < self.n {
+            let v = if self.vals.get(i) == self.target { i as u32 } else { u32::MAX };
+            self.out.set(i, v);
+        }
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let n = self.n as u64;
+        KernelCost::new()
+            .int_ops_total(n)
+            .read(AccessPattern::coalesced::<T>(n))
+            .write(AccessPattern::coalesced::<u32>(n))
+            .active_threads(cfg, n)
+    }
+}
+
+/// One tree pass of a u32 minimum reduction.
+struct ReduceU32MinPassK {
+    input: DView<u32>,
+    n: usize,
+    out: DViewMut<u32>,
+}
+
+impl Kernel for ReduceU32MinPassK {
+    fn name(&self) -> &'static str {
+        "reduce_u32_min"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let c = t.global_id();
+        let start = c * REDUCE_CHUNK;
+        if start >= self.n {
+            return;
+        }
+        let end = (start + REDUCE_CHUNK).min(self.n);
+        let data = self.input.as_slice();
+        let mut acc = u32::MAX;
+        for &v in &data[start..end] {
+            acc = acc.min(v);
+        }
+        self.out.set(c, acc);
+    }
+    fn cost(&self, _cfg: &LaunchConfig) -> KernelCost {
+        let n = self.n as u64;
+        let out_len = self.n.div_ceil(REDUCE_CHUNK) as u64;
+        KernelCost::new()
+            .int_ops_total(n)
+            .read(AccessPattern::coalesced::<u32>(n))
+            .write(AccessPattern::coalesced::<u32>(out_len))
+            .smem(2 * n)
+            .active_threads_raw(n.div_ceil(2))
+    }
+}
+
+/// Tree-reduce a device u32 vector to its minimum.
+pub fn reduce_u32_min(gpu: &Gpu, input: DView<u32>, n: usize) -> u32 {
+    if n == 0 {
+        return u32::MAX;
+    }
+    let mut stages: Vec<DeviceBuffer<u32>> = Vec::new();
+    let mut cur_len = n;
+    let mut cur_view = input;
+    while cur_len > 1 {
+        let out_len = cur_len.div_ceil(REDUCE_CHUNK);
+        let mut out = gpu.alloc(out_len, u32::MAX);
+        gpu.launch(
+            LaunchConfig::for_elems(out_len, 128),
+            &ReduceU32MinPassK { input: cur_view, n: cur_len, out: out.view_mut() },
+        );
+        stages.push(out);
+        cur_len = out_len;
+        cur_view = stages.last().expect("stage just pushed").view();
+    }
+    match stages.last() {
+        Some(buf) => gpu.dtoh_range(buf, 0, 1)[0],
+        None => {
+            let host = cur_view.as_slice()[0];
+            gpu.charge(
+                gpu_sim::TimeCategory::TransferD2H,
+                gpu_sim::timing::transfer_time(gpu.spec(), 4),
+            );
+            host
+        }
+    }
+}
+
+/// Index and value of the minimum element; ties resolved to the smallest
+/// index (Bland-compatible determinism). Three stages, as 2009 code did it:
+/// value min-reduce, equality map, index min-reduce.
+pub fn argmin<T: Scalar>(gpu: &Gpu, vals: DView<T>, n: usize) -> (T, u32) {
+    assert!(n > 0, "argmin of an empty vector");
+    let minv = reduce(gpu, vals, n, ReduceOp::Min);
+    let mut idx = gpu.alloc(n, u32::MAX);
+    gpu.launch(
+        LaunchConfig::for_elems(n, 128),
+        &MapEqIdxK { vals, target: minv, out: idx.view_mut(), n },
+    );
+    let i = reduce_u32_min(gpu, idx.view(), n);
+    (minv, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::gtx280())
+    }
+
+    #[test]
+    fn reduce_sum_matches_host() {
+        let g = gpu();
+        let host: Vec<f64> = (1..=2000).map(|i| i as f64).collect();
+        let d = g.htod(&host);
+        let s = reduce(&g, d.view(), host.len(), ReduceOp::Sum);
+        assert_eq!(s, 2000.0 * 2001.0 / 2.0);
+    }
+
+    #[test]
+    fn reduce_min_max() {
+        let g = gpu();
+        let host = vec![3.0f32, -7.5, 2.0, 9.0, -1.0];
+        let d = g.htod(&host);
+        assert_eq!(reduce(&g, d.view(), 5, ReduceOp::Min), -7.5);
+        assert_eq!(reduce(&g, d.view(), 5, ReduceOp::Max), 9.0);
+    }
+
+    #[test]
+    fn reduce_handles_multi_pass_sizes() {
+        // > CHUNK² elements forces three passes.
+        let g = gpu();
+        let n = REDUCE_CHUNK * REDUCE_CHUNK + 17;
+        let host = vec![1.0f32; n];
+        let d = g.htod(&host);
+        let s = reduce(&g, d.view(), n, ReduceOp::Sum);
+        assert_eq!(s, n as f32);
+    }
+
+    #[test]
+    fn reduce_singleton_and_empty() {
+        let g = gpu();
+        let d = g.htod(&[42.0f64]);
+        assert_eq!(reduce(&g, d.view(), 1, ReduceOp::Sum), 42.0);
+        assert_eq!(reduce::<f64>(&g, d.view(), 0, ReduceOp::Min), f64::INFINITY);
+    }
+
+    #[test]
+    fn argmin_returns_first_of_ties() {
+        let g = gpu();
+        let host = vec![5.0f32, -2.0, 7.0, -2.0, 1.0];
+        let d = g.htod(&host);
+        let (v, i) = argmin(&g, d.view(), 5);
+        assert_eq!(v, -2.0);
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn argmin_large_deterministic() {
+        let g = gpu();
+        let n = 10_000;
+        let host: Vec<f64> = (0..n).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let d = g.htod(&host);
+        let (v, i) = argmin(&g, d.view(), n);
+        let (hi, hv) = host
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+            .map(|(i, &v)| (i, v))
+            .unwrap();
+        assert_eq!(v, hv);
+        assert_eq!(i as usize, hi);
+    }
+
+    #[test]
+    fn reductions_charge_launches_and_transfer() {
+        let g = gpu();
+        let host = vec![1.0f32; 4096];
+        let d = g.htod(&host);
+        g.reset_counters();
+        let _ = reduce(&g, d.view(), 4096, ReduceOp::Sum);
+        let c = g.counters();
+        assert_eq!(c.kernels_launched, 2); // 4096 → 8 → 1
+        assert_eq!(c.d2h_count, 1);
+        assert!(c.elapsed.as_micros() > 2.0 * 7.0);
+    }
+}

@@ -1,0 +1,456 @@
+//! Host-callable wrappers around the simublas kernels — the CUBLAS-shaped
+//! API surface the solver backends program against.
+
+use gpu_sim::{DView, DViewMut, Gpu, LaunchConfig};
+
+use super::algo::{reduce, ReduceOp};
+use super::kernels::{
+    AxpyK, CopyK, EtaK, FillK, GemvNK, GemvTNaiveK, GemvTPass1K, GemvTPass2K, GerK, MulEwK,
+    PivotUpdateK, RowExtractK, ScalK, GEMV_T_STRIPS,
+};
+use super::mat::{DeviceMatrix, Layout};
+use crate::scalar::Scalar;
+
+/// Default block size for elementwise launches.
+const BLOCK: u32 = 128;
+
+/// `x[i] = val` for all `i`.
+pub fn fill<T: Scalar>(gpu: &Gpu, x: DViewMut<T>, val: T) {
+    let n = x.len();
+    gpu.launch(LaunchConfig::for_elems(n, BLOCK), &FillK { out: x, val, n });
+}
+
+/// `x ← αx`.
+pub fn scal<T: Scalar>(gpu: &Gpu, alpha: T, x: DViewMut<T>) {
+    let n = x.len();
+    gpu.launch(LaunchConfig::for_elems(n, BLOCK), &ScalK { x, alpha, n });
+}
+
+/// `y ← αx + y`.
+pub fn axpy<T: Scalar>(gpu: &Gpu, alpha: T, x: DView<T>, y: DViewMut<T>) {
+    let n = x.len();
+    assert_eq!(n, y.len(), "axpy: length mismatch");
+    gpu.launch(LaunchConfig::for_elems(n, BLOCK), &AxpyK { alpha, x, y, n });
+}
+
+/// `dst ← src`.
+pub fn copy<T: Scalar>(gpu: &Gpu, src: DView<T>, dst: DViewMut<T>) {
+    let n = src.len();
+    assert_eq!(n, dst.len(), "copy: length mismatch");
+    gpu.launch(LaunchConfig::for_elems(n, BLOCK), &CopyK { src, dst, n });
+}
+
+/// Device dot product `xᵀy` (elementwise multiply + tree reduction; the
+/// result crosses PCIe, as a 2009 `cublasSdot` result did).
+pub fn dot<T: Scalar>(gpu: &Gpu, x: DView<T>, y: DView<T>) -> T {
+    let n = x.len();
+    assert_eq!(n, y.len(), "dot: length mismatch");
+    if n == 0 {
+        return T::ZERO;
+    }
+    let mut prod = gpu.alloc(n, T::ZERO);
+    gpu.launch(LaunchConfig::for_elems(n, BLOCK), &MulEwK { x, y, out: prod.view_mut(), n });
+    reduce(gpu, prod.view(), n, ReduceOp::Sum)
+}
+
+/// `y ← αAx + βy`.
+pub fn gemv_n<T: Scalar>(
+    gpu: &Gpu,
+    alpha: T,
+    a: &DeviceMatrix<T>,
+    x: DView<T>,
+    beta: T,
+    y: DViewMut<T>,
+) {
+    assert_eq!(a.cols(), x.len(), "gemv_n: x length mismatch");
+    assert_eq!(a.rows(), y.len(), "gemv_n: y length mismatch");
+    let kernel = GemvNK {
+        a: a.view(),
+        layout: a.layout(),
+        m: a.rows(),
+        n: a.cols(),
+        alpha,
+        x,
+        beta,
+        y,
+    };
+    // Functional geometry: single sweep (see module docs); modeled geometry
+    // (one thread per row) is declared in the kernel's cost descriptor.
+    gpu.launch(LaunchConfig::for_elems(a.rows(), BLOCK), &kernel);
+}
+
+/// Strategy for the transposed matrix-vector product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemvTStrategy {
+    /// One thread per column (uncoalesced on col-major storage).
+    Naive,
+    /// Two passes with 32 cooperating threads per column (coalesced);
+    /// col-major only.
+    TwoPass,
+}
+
+/// `y ← αAᵀx + βy`.
+pub fn gemv_t<T: Scalar>(
+    gpu: &Gpu,
+    alpha: T,
+    a: &DeviceMatrix<T>,
+    x: DView<T>,
+    beta: T,
+    y: DViewMut<T>,
+    strategy: GemvTStrategy,
+) {
+    assert_eq!(a.rows(), x.len(), "gemv_t: x length mismatch");
+    assert_eq!(a.cols(), y.len(), "gemv_t: y length mismatch");
+    match strategy {
+        GemvTStrategy::Naive => {
+            let kernel = GemvTNaiveK {
+                a: a.view(),
+                layout: a.layout(),
+                m: a.rows(),
+                n: a.cols(),
+                alpha,
+                x,
+                beta,
+                y,
+            };
+            gpu.launch(LaunchConfig::for_elems(a.cols(), BLOCK), &kernel);
+        }
+        GemvTStrategy::TwoPass => {
+            assert_eq!(
+                a.layout(),
+                Layout::ColMajor,
+                "two-pass gemv_t requires col-major storage"
+            );
+            let strips = GEMV_T_STRIPS;
+            let mut partials = gpu.alloc(a.cols() * strips, T::ZERO);
+            gpu.launch(
+                LaunchConfig::for_elems(a.cols() * strips, BLOCK),
+                &GemvTPass1K {
+                    a: a.view(),
+                    m: a.rows(),
+                    n: a.cols(),
+                    x,
+                    partials: partials.view_mut(),
+                },
+            );
+            gpu.launch(
+                LaunchConfig::for_elems(a.cols(), BLOCK),
+                &GemvTPass2K { partials: partials.view(), n: a.cols(), alpha, beta, y },
+            );
+        }
+    }
+}
+
+/// `y ← αA[:, start..start+len]ᵀ x + βy` — transposed gemv over a
+/// contiguous column block (col-major only, where a column block is a
+/// contiguous sub-buffer). The workhorse of partial pricing: the solver
+/// prices `len` columns per iteration instead of all of them.
+pub fn gemv_t_cols<T: Scalar>(
+    gpu: &Gpu,
+    alpha: T,
+    a: &DeviceMatrix<T>,
+    start: usize,
+    len: usize,
+    x: DView<T>,
+    beta: T,
+    y: DViewMut<T>,
+    strategy: GemvTStrategy,
+) {
+    assert_eq!(a.layout(), Layout::ColMajor, "gemv_t_cols requires col-major storage");
+    assert!(start + len <= a.cols(), "column window out of range");
+    assert_eq!(a.rows(), x.len(), "gemv_t_cols: x length mismatch");
+    assert_eq!(len, y.len(), "gemv_t_cols: y length mismatch");
+    let m = a.rows();
+    let block = a.view().subview(start * m, len * m);
+    match strategy {
+        GemvTStrategy::Naive => {
+            gpu.launch(
+                LaunchConfig::for_elems(len, BLOCK),
+                &GemvTNaiveK {
+                    a: block,
+                    layout: Layout::ColMajor,
+                    m,
+                    n: len,
+                    alpha,
+                    x,
+                    beta,
+                    y,
+                },
+            );
+        }
+        GemvTStrategy::TwoPass => {
+            let strips = GEMV_T_STRIPS;
+            let mut partials = gpu.alloc(len * strips, T::ZERO);
+            gpu.launch(
+                LaunchConfig::for_elems(len * strips, BLOCK),
+                &GemvTPass1K { a: block, m, n: len, x, partials: partials.view_mut() },
+            );
+            gpu.launch(
+                LaunchConfig::for_elems(len, BLOCK),
+                &GemvTPass2K { partials: partials.view(), n: len, alpha, beta, y },
+            );
+        }
+    }
+}
+
+/// Rank-1 update `A ← A + αxyᵀ`.
+pub fn ger<T: Scalar>(gpu: &Gpu, alpha: T, x: DView<T>, y: DView<T>, a: &mut DeviceMatrix<T>) {
+    assert_eq!(a.rows(), x.len(), "ger: x length mismatch");
+    assert_eq!(a.cols(), y.len(), "ger: y length mismatch");
+    let (m, n, layout) = (a.rows(), a.cols(), a.layout());
+    let functional_iters = match layout {
+        Layout::ColMajor => n,
+        Layout::RowMajor => m,
+    };
+    let kernel = GerK { alpha, x, y, a: a.view_mut(), m, n, layout };
+    gpu.launch(LaunchConfig::for_elems(functional_iters, BLOCK), &kernel);
+}
+
+/// Gauss–Jordan column elimination on a device matrix: given the pivot
+/// column values `alpha` (length `rows`) and pivot row `p`, apply
+/// `M ← E·M` where `E` is the eta matrix that maps `alpha` to `e_p`.
+///
+/// Three launches: eta column, pivot-row extraction, O(rows·cols) update.
+pub fn eliminate<T: Scalar>(gpu: &Gpu, mat: &mut DeviceMatrix<T>, alpha: DView<T>, p: usize) {
+    let (rows, cols, layout) = (mat.rows(), mat.cols(), mat.layout());
+    assert_eq!(rows, alpha.len(), "eliminate: alpha length mismatch");
+    assert!(p < rows, "eliminate: pivot row out of range");
+
+    let mut eta = gpu.alloc(rows, T::ZERO);
+    gpu.launch(
+        LaunchConfig::for_elems(rows, BLOCK),
+        &EtaK { alpha, p, eta: eta.view_mut(), m: rows },
+    );
+
+    let mut rowp = gpu.alloc(cols, T::ZERO);
+    gpu.launch(
+        LaunchConfig::for_elems(cols, BLOCK),
+        &RowExtractK { mat: mat.view(), rows, cols, layout, p, out: rowp.view_mut() },
+    );
+
+    let functional_iters = match layout {
+        Layout::ColMajor => cols,
+        Layout::RowMajor => rows,
+    };
+    gpu.launch(
+        LaunchConfig::for_elems(functional_iters, BLOCK),
+        &PivotUpdateK {
+            mat: mat.view_mut(),
+            eta: eta.view(),
+            rowp: rowp.view(),
+            p,
+            rows,
+            cols,
+            layout,
+        },
+    );
+}
+
+/// The revised simplex basis-inverse update (the paper's per-iteration core):
+/// replace `B⁻¹ ← E·B⁻¹` where `E` is the eta matrix built from the entering
+/// column `α_q = B⁻¹ a_q` and leaving row `p`.
+pub fn pivot_update<T: Scalar>(gpu: &Gpu, binv: &mut DeviceMatrix<T>, alpha_q: DView<T>, p: usize) {
+    assert_eq!(binv.rows(), binv.cols(), "pivot_update: B⁻¹ must be square");
+    eliminate(gpu, binv, alpha_q, p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas;
+    use crate::dense::DenseMatrix;
+    use gpu_sim::DeviceSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::gtx280())
+    }
+
+    fn approx(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn vector_ops_match_cpu() {
+        let g = gpu();
+        let xh = vec![1.0f64, -2.0, 3.0, 0.5];
+        let yh = vec![4.0, 5.0, -6.0, 2.0];
+        let x = g.htod(&xh);
+        let mut y = g.htod(&yh);
+        axpy(&g, 2.0, x.view(), y.view_mut());
+        let mut expect = yh.clone();
+        blas::axpy(2.0, &xh, &mut expect);
+        assert_eq!(g.dtoh(&y), expect);
+
+        scal(&g, 0.5, y.view_mut());
+        blas::scal(0.5, &mut expect);
+        assert_eq!(g.dtoh(&y), expect);
+
+        assert_eq!(dot(&g, x.view(), x.view()), blas::dot(&xh, &xh));
+
+        let mut z = g.alloc(4, 0.0f64);
+        copy(&g, x.view(), z.view_mut());
+        assert_eq!(g.dtoh(&z), xh);
+        fill(&g, z.view_mut(), 7.0);
+        assert_eq!(g.dtoh(&z), vec![7.0; 4]);
+    }
+
+    #[test]
+    fn gemv_n_matches_cpu_both_layouts() {
+        let g = gpu();
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0f64, 2.0, -1.0],
+            vec![0.5, -3.0, 2.0],
+            vec![4.0, 0.0, 1.0],
+            vec![-1.0, 1.0, 1.0],
+        ]);
+        let xh = vec![2.0, -1.0, 3.0];
+        let yh = vec![1.0, 1.0, 1.0, 1.0];
+        let mut expect = yh.clone();
+        blas::gemv_n(2.0, &a, &xh, 0.5, &mut expect);
+        for layout in [Layout::ColMajor, Layout::RowMajor] {
+            let da = DeviceMatrix::upload(&g, &a, layout);
+            let dx = g.htod(&xh);
+            let mut dy = g.htod(&yh);
+            gemv_n(&g, 2.0, &da, dx.view(), 0.5, dy.view_mut());
+            approx(&g.dtoh(&dy), &expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_t_all_strategies_match_cpu() {
+        let g = gpu();
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0f64, 2.0, -1.0, 0.0],
+            vec![0.5, -3.0, 2.0, 1.0],
+            vec![4.0, 0.0, 1.0, -2.0],
+        ]);
+        let xh = vec![1.0, -2.0, 0.5];
+        let yh = vec![0.1, 0.2, 0.3, 0.4];
+        let mut expect = yh.clone();
+        blas::gemv_t(1.5, &a, &xh, -1.0, &mut expect);
+
+        for (layout, strat) in [
+            (Layout::ColMajor, GemvTStrategy::Naive),
+            (Layout::RowMajor, GemvTStrategy::Naive),
+            (Layout::ColMajor, GemvTStrategy::TwoPass),
+        ] {
+            let da = DeviceMatrix::upload(&g, &a, layout);
+            let dx = g.htod(&xh);
+            let mut dy = g.htod(&yh);
+            gemv_t(&g, 1.5, &da, dx.view(), -1.0, dy.view_mut(), strat);
+            approx(&g.dtoh(&dy).as_slice(), &expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_t_two_pass_covers_ragged_rows() {
+        // m not a multiple of the strip count exercises the tail loop.
+        let g = gpu();
+        let m = 37;
+        let n = 5;
+        let mut a = DenseMatrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                a.set(i, j, ((i * 3 + j * 7) % 11) as f64 - 5.0);
+            }
+        }
+        let xh: Vec<f64> = (0..m).map(|i| (i as f64).sin()).collect();
+        let mut expect = vec![0.0; n];
+        blas::gemv_t(1.0, &a, &xh, 0.0, &mut expect);
+        let da = DeviceMatrix::upload(&g, &a, Layout::ColMajor);
+        let dx = g.htod(&xh);
+        let mut dy = g.alloc(n, 0.0f64);
+        gemv_t(&g, 1.0, &da, dx.view(), 0.0, dy.view_mut(), GemvTStrategy::TwoPass);
+        approx(&g.dtoh(&dy), &expect, 1e-10);
+    }
+
+    #[test]
+    fn ger_matches_cpu_both_layouts() {
+        let g = gpu();
+        let base = DenseMatrix::from_rows(&[vec![1.0f64, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let xh = vec![1.0, -1.0, 2.0];
+        let yh = vec![0.5, 2.0];
+        let mut expect = base.clone();
+        blas::ger(2.0, &xh, &yh, &mut expect);
+        for layout in [Layout::ColMajor, Layout::RowMajor] {
+            let mut da = DeviceMatrix::upload(&g, &base, layout);
+            let dx = g.htod(&xh);
+            let dy = g.htod(&yh);
+            ger(&g, 2.0, dx.view(), dy.view(), &mut da);
+            assert_eq!(da.download(&g), expect);
+        }
+    }
+
+    #[test]
+    fn pivot_update_matches_explicit_eta_product() {
+        // Apply the update to B⁻¹ and check against E·B⁻¹ computed densely.
+        let g = gpu();
+        let m = 6;
+        let p = 2;
+        let mut binv_h = DenseMatrix::zeros(m, m);
+        for i in 0..m {
+            for j in 0..m {
+                binv_h.set(i, j, ((i * 5 + j * 3) % 7) as f64 + if i == j { 2.0 } else { 0.0 });
+            }
+        }
+        let alpha_h: Vec<f64> = (0..m).map(|i| 0.5 + i as f64).collect();
+
+        // Dense oracle: E = I with column p replaced by eta.
+        let mut e = DenseMatrix::<f64>::identity(m);
+        for i in 0..m {
+            let v = if i == p { 1.0 / alpha_h[p] } else { -alpha_h[i] / alpha_h[p] };
+            e.set(i, p, v);
+        }
+        let mut expect = DenseMatrix::zeros(m, m);
+        blas::gemm(1.0, &e, &binv_h, 0.0, &mut expect);
+
+        for layout in [Layout::ColMajor, Layout::RowMajor] {
+            let mut db = DeviceMatrix::upload(&g, &binv_h, layout);
+            let da = g.htod(&alpha_h);
+            pivot_update(&g, &mut db, da.view(), p);
+            let got = db.download(&g);
+            for i in 0..m {
+                for j in 0..m {
+                    assert!(
+                        (got.get(i, j) - expect.get(i, j)).abs() < 1e-10,
+                        "layout {layout:?} ({i},{j}): {} vs {}",
+                        got.get(i, j),
+                        expect.get(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_gemv_t_is_faster_than_naive_on_col_major() {
+        // The F4 ablation in miniature: same math, different simulated time.
+        let g1 = gpu();
+        let g2 = gpu();
+        let n = 512;
+        let a = DenseMatrix::<f32>::zeros(n, n);
+        let x = vec![1.0f32; n];
+
+        let da1 = DeviceMatrix::upload(&g1, &a, Layout::ColMajor);
+        let dx1 = g1.htod(&x);
+        let mut dy1 = g1.alloc(n, 0.0f32);
+        g1.reset_counters();
+        gemv_t(&g1, 1.0, &da1, dx1.view(), 0.0, dy1.view_mut(), GemvTStrategy::TwoPass);
+        let t_coalesced = g1.elapsed();
+
+        let da2 = DeviceMatrix::upload(&g2, &a, Layout::ColMajor);
+        let dx2 = g2.htod(&x);
+        let mut dy2 = g2.alloc(n, 0.0f32);
+        g2.reset_counters();
+        gemv_t(&g2, 1.0, &da2, dx2.view(), 0.0, dy2.view_mut(), GemvTStrategy::Naive);
+        let t_naive = g2.elapsed();
+
+        assert!(
+            t_naive.as_nanos() > 2.0 * t_coalesced.as_nanos(),
+            "naive {t_naive} should be much slower than two-pass {t_coalesced}"
+        );
+    }
+}

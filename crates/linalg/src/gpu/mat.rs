@@ -1,0 +1,171 @@
+//! Dense matrices resident in simulated device memory.
+
+use gpu_sim::{DView, DViewMut, DeviceBuffer, Gpu};
+
+use crate::dense::DenseMatrix;
+use crate::scalar::Scalar;
+
+/// Storage order of a device matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Element `(i, j)` at `i + j·rows` — the paper's (coalescing-friendly)
+    /// choice for one-thread-per-row kernels.
+    ColMajor,
+    /// Element `(i, j)` at `j + i·cols` — kept for the coalescing ablation.
+    RowMajor,
+}
+
+/// A dense matrix in device memory.
+pub struct DeviceMatrix<T: Scalar> {
+    buf: DeviceBuffer<T>,
+    rows: usize,
+    cols: usize,
+    layout: Layout,
+}
+
+impl<T: Scalar> DeviceMatrix<T> {
+    /// Upload a host matrix in the requested layout.
+    pub fn upload(gpu: &Gpu, m: &DenseMatrix<T>, layout: Layout) -> Self {
+        let data = match layout {
+            Layout::ColMajor => m.as_slice().to_vec(),
+            Layout::RowMajor => m.to_row_major(),
+        };
+        DeviceMatrix { buf: gpu.htod(&data), rows: m.rows(), cols: m.cols(), layout }
+    }
+
+    /// Allocate a zero device matrix.
+    pub fn zeros(gpu: &Gpu, rows: usize, cols: usize, layout: Layout) -> Self {
+        DeviceMatrix { buf: gpu.alloc(rows * cols, T::ZERO), rows, cols, layout }
+    }
+
+    /// Allocate a device identity matrix (uploaded, transfer charged —
+    /// matches initializing `B⁻¹ = I` on the host and copying it over).
+    pub fn identity(gpu: &Gpu, n: usize, layout: Layout) -> Self {
+        DeviceMatrix::upload(gpu, &DenseMatrix::identity(n), layout)
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Storage layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Leading dimension: distance in elements between consecutive entries
+    /// of a row (col-major) or column (row-major).
+    pub fn ld(&self) -> usize {
+        match self.layout {
+            Layout::ColMajor => self.rows,
+            Layout::RowMajor => self.cols,
+        }
+    }
+
+    /// Flat storage index of `(i, j)`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.rows && j < self.cols);
+        match self.layout {
+            Layout::ColMajor => i + j * self.rows,
+            Layout::RowMajor => j + i * self.cols,
+        }
+    }
+
+    /// Read-only view of the storage.
+    pub fn view(&self) -> DView<T> {
+        self.buf.view()
+    }
+
+    /// Mutable view of the storage.
+    pub fn view_mut(&mut self) -> DViewMut<T> {
+        self.buf.view_mut()
+    }
+
+    /// Zero-copy view of column `j` (col-major only — in row-major a column
+    /// is strided and has no contiguous view).
+    pub fn col_view(&self, j: usize) -> DView<T> {
+        assert_eq!(self.layout, Layout::ColMajor, "col_view requires col-major");
+        self.buf.view().subview(j * self.rows, self.rows)
+    }
+
+    /// Download to a host [`DenseMatrix`], charging the transfer.
+    pub fn download(&self, gpu: &Gpu) -> DenseMatrix<T> {
+        let raw = gpu.dtoh(&self.buf);
+        match self.layout {
+            Layout::ColMajor => DenseMatrix::from_col_major(self.rows, self.cols, raw),
+            Layout::RowMajor => {
+                let mut m = DenseMatrix::zeros(self.rows, self.cols);
+                for i in 0..self.rows {
+                    for j in 0..self.cols {
+                        m.set(i, j, raw[j + i * self.cols]);
+                    }
+                }
+                m
+            }
+        }
+    }
+
+    /// The underlying buffer (for size accounting in tests).
+    pub fn buffer(&self) -> &DeviceBuffer<T> {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    #[test]
+    fn upload_download_roundtrip_both_layouts() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let host = DenseMatrix::from_rows(&[vec![1.0f32, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        for layout in [Layout::ColMajor, Layout::RowMajor] {
+            let d = DeviceMatrix::upload(&gpu, &host, layout);
+            assert_eq!(d.download(&gpu), host);
+        }
+    }
+
+    #[test]
+    fn idx_matches_layout() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let c = DeviceMatrix::<f32>::zeros(&gpu, 3, 2, Layout::ColMajor);
+        let r = DeviceMatrix::<f32>::zeros(&gpu, 3, 2, Layout::RowMajor);
+        assert_eq!(c.idx(1, 1), 4);
+        assert_eq!(r.idx(1, 1), 3);
+        assert_eq!(c.ld(), 3);
+        assert_eq!(r.ld(), 2);
+    }
+
+    #[test]
+    fn col_view_is_contiguous_column() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let host = DenseMatrix::from_rows(&[vec![1.0f32, 2.0], vec![3.0, 4.0]]);
+        let d = DeviceMatrix::upload(&gpu, &host, Layout::ColMajor);
+        let col1 = d.col_view(1);
+        assert_eq!(col1.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "col-major")]
+    fn col_view_rejects_row_major() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let d = DeviceMatrix::<f32>::zeros(&gpu, 2, 2, Layout::RowMajor);
+        let _ = d.col_view(0);
+    }
+
+    #[test]
+    fn identity_charges_transfer() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let before = gpu.counters().h2d_count;
+        let _i = DeviceMatrix::<f64>::identity(&gpu, 16, Layout::ColMajor);
+        assert_eq!(gpu.counters().h2d_count, before + 1);
+    }
+}

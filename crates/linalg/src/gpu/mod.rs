@@ -1,0 +1,35 @@
+//! "simublas" — the CUBLAS-role BLAS subset as [`gpu_sim`] kernels.
+//!
+//! Layout matters here the way it mattered in 2009: [`DeviceMatrix`] carries
+//! its storage [`Layout`], and every kernel's cost descriptor derives its
+//! coalescing pattern from that layout. The paper stores matrices
+//! column-major so the one-thread-per-row `gemv` streams coalesced;
+//! experiment F4 flips the layout and measures the damage.
+//!
+//! ## Functional vs. modeled geometry
+//!
+//! Kernels whose modeled CUDA geometry is one-thread-per-element (the basis
+//! pivot update, `ger`) execute functionally with one host iteration per
+//! *column* running a tight slice loop — same results, ~m× fewer closure
+//! dispatches — and declare the modeled thread count via
+//! `KernelCost::active_threads_raw`. Reductions mirror 2009 CUDA style:
+//! `log`-depth passes of block-tree kernels, finishing with a tiny
+//! device→host transfer (which is charged, because that per-iteration PCIe
+//! latency is part of the paper's story).
+
+mod algo;
+mod blas;
+mod gemm;
+mod invert;
+mod kernels;
+mod mat;
+
+pub use algo::{argmin, reduce, reduce_u32_min, ReduceOp};
+pub use blas::{
+    axpy, copy, dot, eliminate, fill, gemv_n, gemv_t, gemv_t_cols, ger, pivot_update, scal,
+    GemvTStrategy,
+};
+pub use gemm::{gemm, GEMM_TILE};
+pub use invert::invert_gauss_jordan;
+pub use kernels::{CopyK, EtaK, RowExtractK};
+pub use mat::{DeviceMatrix, Layout};

@@ -1,0 +1,185 @@
+//! The floating-point abstraction shared by every solver and BLAS routine.
+//!
+//! The paper ran in single precision (GT200 fp64 was 1/8 rate and CUBLAS
+//! double support was new); the reproduction is generic so experiment T3 can
+//! compare f32 against f64 on identical code paths.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use gpu_sim::Pod;
+
+/// A real scalar usable on both the CPU and the simulated device.
+pub trait Scalar:
+    Pod
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Sum
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// True for `f64` (drives the simulated fp64 throughput penalty).
+    const IS_F64: bool;
+
+    /// Lossy conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Positive infinity.
+    fn infinity() -> Self;
+    /// Machine epsilon.
+    fn epsilon() -> Self;
+    /// True for finite values.
+    fn is_finite(self) -> bool;
+    /// Pointwise maximum (NaN-propagating like `f64::max` is not required;
+    /// solver code never feeds NaN here).
+    fn maxs(self, other: Self) -> Self;
+    /// Pointwise minimum.
+    fn mins(self, other: Self) -> Self;
+    /// Fused or unfused `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const IS_F64: bool = false;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn infinity() -> Self {
+        f32::INFINITY
+    }
+    #[inline]
+    fn epsilon() -> Self {
+        f32::EPSILON
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline]
+    fn maxs(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline]
+    fn mins(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // Plain multiply-add: GT200-era hardware MAD truncated intermediates,
+        // so *not* using fused mul_add better matches the era and keeps CPU
+        // and GPU paths bitwise identical.
+        self * a + b
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const IS_F64: bool = true;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn infinity() -> Self {
+        f64::INFINITY
+    }
+    #[inline]
+    fn epsilon() -> Self {
+        f64::EPSILON
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline]
+    fn maxs(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline]
+    fn mins(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>() {
+        assert_eq!(T::from_f64(2.5).to_f64(), 2.5);
+        assert_eq!(T::ZERO + T::ONE, T::ONE);
+        assert!(T::infinity() > T::from_f64(1e30));
+        assert!(!T::infinity().is_finite());
+        assert_eq!(T::from_f64(-3.0).abs().to_f64(), 3.0);
+        assert_eq!(T::from_f64(9.0).sqrt().to_f64(), 3.0);
+        assert_eq!(T::from_f64(2.0).maxs(T::from_f64(5.0)).to_f64(), 5.0);
+        assert_eq!(T::from_f64(2.0).mins(T::from_f64(5.0)).to_f64(), 2.0);
+        assert_eq!(T::from_f64(2.0).mul_add(T::from_f64(3.0), T::ONE).to_f64(), 7.0);
+    }
+
+    #[test]
+    fn f32_impl() {
+        roundtrip::<f32>();
+        assert!(!f32::IS_F64);
+    }
+
+    #[test]
+    fn f64_impl() {
+        roundtrip::<f64>();
+        assert!(f64::IS_F64);
+    }
+}

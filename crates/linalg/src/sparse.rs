@@ -1,0 +1,478 @@
+//! Sparse matrix formats (COO, CSR, CSC) and SpMV.
+//!
+//! The 2009 paper works on dense matrices; sparse storage backs the
+//! sparse-extension experiment (F5) — the question the follow-on literature
+//! asked of it — plus the sparse instance generators in the `lp` crate.
+
+use gpu_sim::{AccessPattern, DView, DViewMut, Gpu, Kernel, KernelCost, LaunchConfig, ThreadCtx};
+
+use crate::dense::DenseMatrix;
+use crate::scalar::Scalar;
+
+/// Coordinate-list sparse matrix; triplets sorted by (row, col).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    /// Row indices of the nonzeros.
+    pub row_idx: Vec<u32>,
+    /// Column indices of the nonzeros.
+    pub col_idx: Vec<u32>,
+    /// Nonzero values.
+    pub values: Vec<T>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// Empty matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix { rows, cols, row_idx: Vec::new(), col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Build from unsorted triplets; duplicates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, T)]) -> Self {
+        let mut ts: Vec<(usize, usize, T)> = triplets.to_vec();
+        ts.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut m = CooMatrix::new(rows, cols);
+        for (r, c, v) in ts {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            if let (Some(&lr), Some(&lc)) = (m.row_idx.last(), m.col_idx.last()) {
+                if lr as usize == r && lc as usize == c {
+                    let last = m.values.len() - 1;
+                    m.values[last] += v;
+                    continue;
+                }
+            }
+            m.row_idx.push(r as u32);
+            m.col_idx.push(c as u32);
+            m.values.push(v);
+        }
+        m
+    }
+
+    /// Append one nonzero; the caller must keep (row, col) order or call
+    /// [`CooMatrix::from_triplets`] instead.
+    pub fn push(&mut self, r: usize, c: usize, v: T) {
+        assert!(r < self.rows && c < self.cols, "push ({r},{c}) out of bounds");
+        self.row_idx.push(r as u32);
+        self.col_idx.push(c as u32);
+        self.values.push(v);
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Convert to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut row_ptr = vec![0u32; self.rows + 1];
+        for &r in &self.row_idx {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx: self.col_idx.clone(),
+            values: self.values.clone(),
+        }
+    }
+
+    /// Dense copy (tests and small problems).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for k in 0..self.nnz() {
+            let (i, j) = (self.row_idx[k] as usize, self.col_idx[k] as usize);
+            let v = d.get(i, j) + self.values[k];
+            d.set(i, j, v);
+        }
+        d
+    }
+}
+
+/// Compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes row `i`'s nonzeros.
+    pub row_ptr: Vec<u32>,
+    /// Column index of each nonzero.
+    pub col_idx: Vec<u32>,
+    /// Nonzero values.
+    pub values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Build from a dense matrix, dropping elements with `|x| <= tol`.
+    pub fn from_dense(d: &DenseMatrix<T>, tol: T) -> Self {
+        let mut coo = CooMatrix::new(d.rows(), d.cols());
+        for i in 0..d.rows() {
+            for j in 0..d.cols() {
+                let v = d.get(i, j);
+                if v.abs() > tol {
+                    coo.push(i, j, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fill fraction.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// `y ← Ax` (serial CPU).
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(self.cols, x.len(), "spmv: x length mismatch");
+        assert_eq!(self.rows, y.len(), "spmv: y length mismatch");
+        for i in 0..self.rows {
+            let mut acc = T::ZERO;
+            for k in self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize {
+                acc = self.values[k].mul_add(x[self.col_idx[k] as usize], acc);
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// `y ← Aᵀx` (serial CPU).
+    pub fn spmv_t(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(self.rows, x.len(), "spmv_t: x length mismatch");
+        assert_eq!(self.cols, y.len(), "spmv_t: y length mismatch");
+        for v in y.iter_mut() {
+            *v = T::ZERO;
+        }
+        for i in 0..self.rows {
+            let xi = x[i];
+            for k in self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize {
+                let j = self.col_idx[k] as usize;
+                y[j] = self.values[k].mul_add(xi, y[j]);
+            }
+        }
+    }
+
+    /// Extract column `j` as a dense vector (O(nnz); CSC is the right
+    /// format when this is hot — see [`CscMatrix`]).
+    pub fn col_dense(&self, j: usize) -> Vec<T> {
+        assert!(j < self.cols);
+        let mut out = vec![T::ZERO; self.rows];
+        for i in 0..self.rows {
+            for k in self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize {
+                if self.col_idx[k] as usize == j {
+                    out[i] = self.values[k];
+                }
+            }
+        }
+        out
+    }
+
+    /// Convert to CSC.
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        let mut col_ptr = vec![0u32; self.cols + 1];
+        for &c in &self.col_idx {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for j in 0..self.cols {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let nnz = self.nnz();
+        let mut row_idx = vec![0u32; nnz];
+        let mut values = vec![T::ZERO; nnz];
+        let mut cursor = col_ptr.clone();
+        for i in 0..self.rows {
+            for k in self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize {
+                let c = self.col_idx[k] as usize;
+                let dst = cursor[c] as usize;
+                row_idx[dst] = i as u32;
+                values[dst] = self.values[k];
+                cursor[c] += 1;
+            }
+        }
+        CscMatrix { rows: self.rows, cols: self.cols, col_ptr, row_idx, values }
+    }
+
+    /// Dense copy.
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for k in self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize {
+                d.set(i, self.col_idx[k] as usize, self.values[k]);
+            }
+        }
+        d
+    }
+}
+
+/// Compressed sparse column matrix (fast column access for pricing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    /// `col_ptr[j]..col_ptr[j+1]` indexes column `j`'s nonzeros.
+    pub col_ptr: Vec<u32>,
+    /// Row index of each nonzero.
+    pub row_idx: Vec<u32>,
+    /// Nonzero values.
+    pub values: Vec<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Nonzeros of column `j` as `(row, value)` pairs.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let lo = self.col_ptr[j] as usize;
+        let hi = self.col_ptr[j + 1] as usize;
+        self.row_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&r, &v)| (r as usize, v))
+    }
+
+    /// Sparse dot of column `j` with a dense vector.
+    pub fn col_dot(&self, j: usize, x: &[T]) -> T {
+        let mut acc = T::ZERO;
+        for (i, v) in self.col(j) {
+            acc = v.mul_add(x[i], acc);
+        }
+        acc
+    }
+}
+
+// --------------------------------------------------------------------------
+// Device SpMV (CSR scalar kernel, one thread per row — the 2009 baseline
+// sparse kernel; column-index gathers are scattered by nature).
+// --------------------------------------------------------------------------
+
+/// A CSR matrix resident in simulated device memory.
+pub struct DeviceCsr<T: Scalar> {
+    row_ptr: gpu_sim::DeviceBuffer<u32>,
+    col_idx: gpu_sim::DeviceBuffer<u32>,
+    values: gpu_sim::DeviceBuffer<T>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T: Scalar> DeviceCsr<T> {
+    /// Upload a host CSR matrix.
+    pub fn upload(gpu: &Gpu, m: &CsrMatrix<T>) -> Self {
+        DeviceCsr {
+            row_ptr: gpu.htod(&m.row_ptr),
+            col_idx: gpu.htod(&m.col_idx),
+            values: gpu.htod(&m.values),
+            rows: m.rows(),
+            cols: m.cols(),
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y ← Ax` on the device.
+    pub fn spmv(&self, gpu: &Gpu, x: DView<T>, y: DViewMut<T>) {
+        assert_eq!(self.cols, x.len(), "device spmv: x length mismatch");
+        assert_eq!(self.rows, y.len(), "device spmv: y length mismatch");
+        let kernel = SpmvCsrK {
+            row_ptr: self.row_ptr.view(),
+            col_idx: self.col_idx.view(),
+            values: self.values.view(),
+            x,
+            y,
+            rows: self.rows,
+            nnz: self.nnz(),
+        };
+        gpu.launch(LaunchConfig::for_elems(self.rows, 128), &kernel);
+    }
+}
+
+struct SpmvCsrK<T: Scalar> {
+    row_ptr: DView<u32>,
+    col_idx: DView<u32>,
+    values: DView<T>,
+    x: DView<T>,
+    y: DViewMut<T>,
+    rows: usize,
+    nnz: usize,
+}
+
+impl<T: Scalar> Kernel for SpmvCsrK<T> {
+    fn name(&self) -> &'static str {
+        "spmv_csr"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let i = t.global_id();
+        if i >= self.rows {
+            return;
+        }
+        let lo = self.row_ptr.get(i) as usize;
+        let hi = self.row_ptr.get(i + 1) as usize;
+        let vals = self.values.as_slice();
+        let cols = self.col_idx.as_slice();
+        let x = self.x.as_slice();
+        let mut acc = T::ZERO;
+        for k in lo..hi {
+            acc = vals[k].mul_add(x[cols[k] as usize], acc);
+        }
+        self.y.set(i, acc);
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let rows = self.rows as u64;
+        let nnz = self.nnz as u64;
+        KernelCost::new()
+            .flops_total(2 * nnz)
+            .fp64(T::IS_F64)
+            // Scalar CSR: each lane walks its own row — value/index reads
+            // are effectively scattered across lanes; x gathers likewise.
+            .read(AccessPattern::scattered::<T>(nnz))
+            .read(AccessPattern::scattered::<u32>(nnz))
+            .read(AccessPattern::scattered::<T>(nnz))
+            .read(AccessPattern::coalesced::<u32>(2 * rows))
+            .write(AccessPattern::coalesced::<T>(rows))
+            // Ragged rows diverge within warps.
+            .divergence(1.5)
+            .active_threads(cfg, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    fn example() -> CooMatrix<f64> {
+        // [0 1 5]
+        // [0 0 4]
+        // [1 0 0]  — the thesis's running example, a fine tiny fixture.
+        CooMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (0, 2, 5.0), (1, 2, 4.0), (2, 0, 1.0)])
+    }
+
+    #[test]
+    fn coo_to_csr_layout() {
+        let csr = example().to_csr();
+        assert_eq!(csr.row_ptr, vec![0, 2, 3, 4]);
+        assert_eq!(csr.col_idx, vec![1, 2, 2, 0]);
+        assert_eq!(csr.values, vec![1.0, 5.0, 4.0, 1.0]);
+        assert_eq!(csr.nnz(), 4);
+        assert!((csr.density() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let coo = CooMatrix::from_triplets(2, 2, &[(0, 0, 1.0f32), (0, 0, 2.0), (1, 1, 3.0)]);
+        assert_eq!(coo.nnz(), 2);
+        assert_eq!(coo.to_dense().get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let coo = example();
+        let csr = coo.to_csr();
+        let dense = coo.to_dense();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        csr.spmv(&x, &mut y);
+        let mut expect = vec![0.0; 3];
+        crate::blas::gemv_n(1.0, &dense, &x, 0.0, &mut expect);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn spmv_t_matches_dense() {
+        let csr = example().to_csr();
+        let dense = example().to_dense();
+        let x = vec![1.0, -2.0, 0.5];
+        let mut y = vec![0.0; 3];
+        csr.spmv_t(&x, &mut y);
+        let mut expect = vec![0.0; 3];
+        crate::blas::gemv_t(1.0, &dense, &x, 0.0, &mut expect);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn csc_roundtrip_and_col_access() {
+        let csr = example().to_csr();
+        let csc = csr.to_csc();
+        assert_eq!(csc.nnz(), csr.nnz());
+        let col2: Vec<(usize, f64)> = csc.col(2).collect();
+        assert_eq!(col2, vec![(0, 5.0), (1, 4.0)]);
+        assert_eq!(csc.col_dot(2, &[1.0, 2.0, 3.0]), 13.0);
+        assert_eq!(csr.col_dense(2), vec![5.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let dense = example().to_dense();
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        assert_eq!(csr.to_dense(), dense);
+    }
+
+    #[test]
+    fn device_spmv_matches_cpu() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let csr = example().to_csr();
+        let d = DeviceCsr::upload(&gpu, &csr);
+        let x = vec![1.0, 2.0, 3.0];
+        let dx = gpu.htod(&x);
+        let mut dy = gpu.alloc(3, 0.0f64);
+        d.spmv(&gpu, dx.view(), dy.view_mut());
+        let mut expect = vec![0.0; 3];
+        csr.spmv(&x, &mut expect);
+        assert_eq!(gpu.dtoh(&dy), expect);
+        assert!(gpu.counters().kernels_launched == 1);
+    }
+}

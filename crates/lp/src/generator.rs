@@ -1,0 +1,498 @@
+//! Workload generators.
+//!
+//! [`dense_random`] reconstructs the paper's evaluation workload: dense,
+//! always-feasible, always-bounded random LPs whose slack basis is an
+//! immediate feasible start (so solves go straight to phase 2, as dense
+//! random GPU-simplex evaluations of the era did). The rest back the
+//! correctness suite, the examples, and the extension experiments.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::model::{LinearProgram, Rel, Sense, VarId};
+
+/// The paper's workload: a dense `m × n` LP
+///
+/// ```text
+///   min cᵀx   s.t.  Ax ≤ b,  x ≥ 0
+/// ```
+///
+/// with `A_ij ~ U(0.1, 1.1)` (strictly positive ⇒ the feasible region is
+/// bounded), `b = A·x*` for a random interior point `x* ~ U(0.5, 1.5)`
+/// (⇒ feasible, and `b > 0` ⇒ the slack basis starts feasible), and
+/// `c ~ U(−1, 1)` (negative entries make the origin non-optimal).
+pub fn dense_random(m: usize, n: usize, seed: u64) -> LinearProgram {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut lp = LinearProgram::new(format!("dense-random-{m}x{n}-s{seed}"));
+    let vars: Vec<VarId> =
+        (0..n).map(|j| lp.add_var_nonneg(format!("x{j}"), rng.random_range(-1.0..1.0))).collect();
+    let xstar: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..1.5)).collect();
+    for i in 0..m {
+        let coeffs: Vec<(VarId, f64)> =
+            vars.iter().map(|&v| (v, rng.random_range(0.1..1.1))).collect();
+        let rhs: f64 = coeffs.iter().map(|&(v, a)| a * xstar[v.0]).sum();
+        lp.add_constraint(format!("r{i}"), &coeffs, Rel::Le, rhs);
+    }
+    lp
+}
+
+/// Sparse variant of [`dense_random`]: each row carries
+/// `max(2, density·n)` nonzeros at random columns; every column is
+/// guaranteed at least one nonzero so no variable is trivially unbounded in
+/// the constraint system.
+pub fn sparse_random(m: usize, n: usize, density: f64, seed: u64) -> LinearProgram {
+    assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+    let mut lp = LinearProgram::new(format!("sparse-random-{m}x{n}-d{density}-s{seed}"));
+    let vars: Vec<VarId> =
+        (0..n).map(|j| lp.add_var_nonneg(format!("x{j}"), rng.random_range(-1.0..1.0))).collect();
+    let xstar: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..1.5)).collect();
+    let per_row = ((density * n as f64).ceil() as usize).clamp(2.min(n), n);
+
+    // Round-robin base column per row guarantees full column coverage when
+    // m ≥ n / per_row; remaining slots are uniform.
+    let mut row_cols: Vec<Vec<usize>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut cols: Vec<usize> = Vec::with_capacity(per_row);
+        cols.push((i * per_row) % n);
+        while cols.len() < per_row {
+            let c = rng.random_range(0..n);
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        cols.sort_unstable();
+        row_cols.push(cols);
+    }
+    // Patch any still-uncovered column into a random row.
+    let mut covered = vec![false; n];
+    for cols in &row_cols {
+        for &c in cols {
+            covered[c] = true;
+        }
+    }
+    for (c, &cov) in covered.iter().enumerate() {
+        if !cov && m > 0 {
+            let r = rng.random_range(0..m);
+            if !row_cols[r].contains(&c) {
+                row_cols[r].push(c);
+            }
+        }
+    }
+
+    for (i, cols) in row_cols.iter().enumerate() {
+        let coeffs: Vec<(VarId, f64)> =
+            cols.iter().map(|&c| (vars[c], rng.random_range(0.1..1.1))).collect();
+        let rhs: f64 = coeffs.iter().map(|&(v, a)| a * xstar[v.0]).sum();
+        lp.add_constraint(format!("r{i}"), &coeffs, Rel::Le, rhs);
+    }
+    lp
+}
+
+/// Klee–Minty cube of dimension `n` (Chvátal's formulation):
+///
+/// ```text
+///   max Σⱼ 10^{n−j} xⱼ   s.t.  2·Σ_{j<i} 10^{i−j} xⱼ + xᵢ ≤ 100^{i−1}
+/// ```
+///
+/// Dantzig's rule pivots through all `2ⁿ − 1` bases; the optimum is
+/// `xₙ = 100^{n−1}`, objective `100^{n−1}`. The classic pathological
+/// fixture for pivot-rule experiments (T2).
+pub fn klee_minty(n: usize) -> LinearProgram {
+    assert!((1..=10).contains(&n), "Klee–Minty dimension out of sane range");
+    let mut lp = LinearProgram::new(format!("klee-minty-{n}")).with_sense(Sense::Max);
+    let vars: Vec<VarId> = (0..n)
+        .map(|j| lp.add_var_nonneg(format!("x{}", j + 1), 10f64.powi((n - 1 - j) as i32)))
+        .collect();
+    for i in 0..n {
+        let mut coeffs: Vec<(VarId, f64)> = Vec::with_capacity(i + 1);
+        for j in 0..i {
+            coeffs.push((vars[j], 2.0 * 10f64.powi((i - j) as i32)));
+        }
+        coeffs.push((vars[i], 1.0));
+        lp.add_constraint(format!("km{}", i + 1), &coeffs, Rel::Le, 100f64.powi(i as i32));
+    }
+    lp
+}
+
+/// Known optimal objective of [`klee_minty`]`(n)`: `100^{n−1}`.
+pub fn klee_minty_optimum(n: usize) -> f64 {
+    100f64.powi(n as i32 - 1)
+}
+
+/// Balanced transportation problem: minimize Σ cᵢⱼ xᵢⱼ moving `supply`
+/// to `demand` (equality rows ⇒ exercises phase 1). Costs are seeded
+/// uniform integers in `[1, 10]`.
+pub fn transportation(supply: &[f64], demand: &[f64], seed: u64) -> LinearProgram {
+    let total_s: f64 = supply.iter().sum();
+    let total_d: f64 = demand.iter().sum();
+    assert!((total_s - total_d).abs() < 1e-9, "transportation must be balanced");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+    let mut lp = LinearProgram::new(format!("transport-{}x{}-s{seed}", supply.len(), demand.len()));
+    let mut x = vec![vec![VarId(0); demand.len()]; supply.len()];
+    for (i, row) in x.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let cost = rng.random_range(1..=10) as f64;
+            *cell = lp.add_var_nonneg(format!("x_{i}_{j}"), cost);
+        }
+    }
+    for (i, &s) in supply.iter().enumerate() {
+        let coeffs: Vec<(VarId, f64)> = x[i].iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(format!("supply{i}"), &coeffs, Rel::Eq, s);
+    }
+    for (j, &d) in demand.iter().enumerate() {
+        let coeffs: Vec<(VarId, f64)> = x.iter().map(|row| (row[j], 1.0)).collect();
+        lp.add_constraint(format!("demand{j}"), &coeffs, Rel::Eq, d);
+    }
+    lp
+}
+
+/// `n × n` assignment problem with seeded integer costs (a transportation
+/// problem with unit supplies/demands — heavily degenerate, a good stress
+/// test for Bland's rule).
+pub fn assignment(n: usize, seed: u64) -> LinearProgram {
+    let ones = vec![1.0; n];
+    let mut lp = transportation(&ones, &ones, seed);
+    lp.name = format!("assignment-{n}-s{seed}");
+    lp
+}
+
+/// Max-flow on a seeded random DAG from source 0 to sink `nodes−1`,
+/// formulated as an LP (flow conservation as equalities, capacities as
+/// upper bounds).
+pub fn max_flow(nodes: usize, edges_per_node: usize, seed: u64) -> LinearProgram {
+    assert!(nodes >= 2, "need at least source and sink");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x27d4_eb2f_1656_67c5);
+    let mut lp = LinearProgram::new(format!("max-flow-{nodes}-s{seed}")).with_sense(Sense::Max);
+
+    // Edges (u, v) with u < v keeps it acyclic.
+    let mut edges: Vec<(usize, usize, VarId)> = Vec::new();
+    for u in 0..nodes - 1 {
+        // Always keep a path forward.
+        let mut targets = vec![u + 1];
+        for _ in 1..edges_per_node {
+            let v = rng.random_range(u + 1..nodes);
+            if !targets.contains(&v) {
+                targets.push(v);
+            }
+        }
+        for v in targets {
+            let cap = rng.random_range(1..=10) as f64;
+            let id = lp.add_var(format!("f_{u}_{v}"), 0.0, cap, 0.0);
+            edges.push((u, v, id));
+        }
+    }
+    // Objective: total flow out of the source.
+    {
+        let (vars, _) = lp.parts_mut();
+        for &(u, _, id) in &edges {
+            if u == 0 {
+                vars[id.0].obj = 1.0;
+            }
+        }
+    }
+    // Conservation at interior nodes.
+    for w in 1..nodes - 1 {
+        let mut coeffs: Vec<(VarId, f64)> = Vec::new();
+        for &(u, v, id) in &edges {
+            if v == w {
+                coeffs.push((id, 1.0));
+            } else if u == w {
+                coeffs.push((id, -1.0));
+            }
+        }
+        if !coeffs.is_empty() {
+            lp.add_constraint(format!("cons{w}"), &coeffs, Rel::Eq, 0.0);
+        }
+    }
+    lp
+}
+
+/// Multi-period production planning with inventory carry-over — a
+/// staircase-structured LP of the shape that dominates the NETLIB
+/// collection (periods coupled only through inventory variables).
+///
+/// Per period `t`: produce `p_t` (unit cost rising with a seeded factor),
+/// carry inventory `s_t` (holding cost), meet demand `d_t`:
+///
+/// ```text
+///   s_{t-1} + p_t − s_t = d_t         (balance, equality)
+///   p_t ≤ capacity                    (capacity row)
+/// ```
+///
+/// Always feasible (capacity ≥ peak demand) and bounded (costs positive).
+pub fn multi_period_production(periods: usize, seed: u64) -> LinearProgram {
+    assert!(periods >= 1, "need at least one period");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x94d0_49bb_1331_11eb);
+    let mut lp = LinearProgram::new(format!("multi-period-{periods}-s{seed}"));
+    let capacity = 100.0;
+    let produce: Vec<VarId> = (0..periods)
+        .map(|t| lp.add_var(format!("p{t}"), 0.0, capacity, rng.random_range(1.0..5.0)))
+        .collect();
+    let store: Vec<VarId> = (0..periods)
+        .map(|t| lp.add_var_nonneg(format!("s{t}"), rng.random_range(0.1..0.5)))
+        .collect();
+    for t in 0..periods {
+        let demand = rng.random_range(20.0..80.0);
+        let mut coeffs: Vec<(VarId, f64)> = vec![(produce[t], 1.0), (store[t], -1.0)];
+        if t > 0 {
+            coeffs.push((store[t - 1], 1.0));
+        }
+        lp.add_constraint(format!("balance{t}"), &coeffs, Rel::Eq, demand);
+    }
+    lp
+}
+
+/// Small fixed instances with known solutions, used as exact oracles.
+pub mod fixtures {
+    use super::*;
+
+    /// Wyndor Glass: max 3x + 5y, x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+    /// Optimum 36 at (2, 6).
+    pub fn wyndor() -> (LinearProgram, f64) {
+        let mut lp = LinearProgram::new("wyndor").with_sense(Sense::Max);
+        let x = lp.add_var_nonneg("x", 3.0);
+        let y = lp.add_var_nonneg("y", 5.0);
+        lp.add_constraint("p1", &[(x, 1.0)], Rel::Le, 4.0);
+        lp.add_constraint("p2", &[(y, 2.0)], Rel::Le, 12.0);
+        lp.add_constraint("p3", &[(x, 3.0), (y, 2.0)], Rel::Le, 18.0);
+        (lp, 36.0)
+    }
+
+    /// Two-phase example: min 2x + 3y, x + y ≥ 4, x + 2y = 6.
+    /// Optimum 10 at (2, 2).
+    pub fn two_phase() -> (LinearProgram, f64) {
+        let mut lp = LinearProgram::new("two-phase");
+        let x = lp.add_var_nonneg("x", 2.0);
+        let y = lp.add_var_nonneg("y", 3.0);
+        lp.add_constraint("c1", &[(x, 1.0), (y, 1.0)], Rel::Ge, 4.0);
+        lp.add_constraint("c2", &[(x, 1.0), (y, 2.0)], Rel::Eq, 6.0);
+        (lp, 10.0)
+    }
+
+    /// A diet-style problem: minimize cost meeting two nutrient minimums.
+    /// min 0.6a + 0.35b, 5a + 4b ≥ 20, 3a + 6b ≥ 18.
+    /// Optimum 1.75 at (0, 5) — food B alone covers both nutrients cheapest.
+    pub fn diet() -> (LinearProgram, f64) {
+        let mut lp = LinearProgram::new("diet");
+        let a = lp.add_var_nonneg("foodA", 0.6);
+        let b = lp.add_var_nonneg("foodB", 0.35);
+        lp.add_constraint("protein", &[(a, 5.0), (b, 4.0)], Rel::Ge, 20.0);
+        lp.add_constraint("iron", &[(a, 3.0), (b, 6.0)], Rel::Ge, 18.0);
+        (lp, 1.75)
+    }
+
+    /// Infeasible: x ≤ 1 and x ≥ 2.
+    pub fn infeasible() -> LinearProgram {
+        let mut lp = LinearProgram::new("infeasible");
+        let x = lp.add_var_nonneg("x", 1.0);
+        lp.add_constraint("lo", &[(x, 1.0)], Rel::Ge, 2.0);
+        lp.add_constraint("hi", &[(x, 1.0)], Rel::Le, 1.0);
+        lp
+    }
+
+    /// Unbounded: min −x with x − y ≤ 1 (x can chase y to infinity).
+    pub fn unbounded() -> LinearProgram {
+        let mut lp = LinearProgram::new("unbounded");
+        let x = lp.add_var_nonneg("x", -1.0);
+        let y = lp.add_var_nonneg("y", 0.0);
+        lp.add_constraint("c", &[(x, 1.0), (y, -1.0)], Rel::Le, 1.0);
+        lp
+    }
+
+    /// Degenerate: multiple constraints meet at the optimum (ties in the
+    /// ratio test on the way there).
+    /// max x + y, x ≤ 2, y ≤ 2, x + y ≤ 4, 2x + y ≤ 6 → optimum 4 at (2, 2).
+    pub fn degenerate() -> (LinearProgram, f64) {
+        let mut lp = LinearProgram::new("degenerate").with_sense(Sense::Max);
+        let x = lp.add_var_nonneg("x", 1.0);
+        let y = lp.add_var_nonneg("y", 1.0);
+        lp.add_constraint("c1", &[(x, 1.0)], Rel::Le, 2.0);
+        lp.add_constraint("c2", &[(y, 1.0)], Rel::Le, 2.0);
+        lp.add_constraint("c3", &[(x, 1.0), (y, 1.0)], Rel::Le, 4.0);
+        lp.add_constraint("c4", &[(x, 2.0), (y, 1.0)], Rel::Le, 6.0);
+        (lp, 4.0)
+    }
+
+    /// Beale's classic cycling example (cycles under naive Dantzig pivoting
+    /// without anti-cycling): min −0.75x₁ + 150x₂ − 0.02x₃ + 6x₄ subject to
+    /// three equality-free rows. Optimum −0.05.
+    pub fn beale_cycling() -> (LinearProgram, f64) {
+        let mut lp = LinearProgram::new("beale");
+        let x1 = lp.add_var_nonneg("x1", -0.75);
+        let x2 = lp.add_var_nonneg("x2", 150.0);
+        let x3 = lp.add_var_nonneg("x3", -0.02);
+        let x4 = lp.add_var_nonneg("x4", 6.0);
+        lp.add_constraint(
+            "r1",
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Rel::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            "r2",
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Rel::Le,
+            0.0,
+        );
+        lp.add_constraint("r3", &[(x3, 1.0)], Rel::Le, 1.0);
+        (lp, -0.05)
+    }
+
+    /// Production planning with resource limits and a minimum-production
+    /// equality — mixes all three row senses.
+    /// max 5p + 4q + 3r, 2p + 3q + r ≤ 5, 4p + q + 2r ≤ 11,
+    /// 3p + 4q + 2r ≤ 8, p + q + r ≥ 1 → optimum 13 at (2, 0, 1).
+    pub fn production() -> (LinearProgram, f64) {
+        let mut lp = LinearProgram::new("production").with_sense(Sense::Max);
+        let p = lp.add_var_nonneg("p", 5.0);
+        let q = lp.add_var_nonneg("q", 4.0);
+        let r = lp.add_var_nonneg("r", 3.0);
+        lp.add_constraint("res1", &[(p, 2.0), (q, 3.0), (r, 1.0)], Rel::Le, 5.0);
+        lp.add_constraint("res2", &[(p, 4.0), (q, 1.0), (r, 2.0)], Rel::Le, 11.0);
+        lp.add_constraint("res3", &[(p, 3.0), (q, 4.0), (r, 2.0)], Rel::Le, 8.0);
+        lp.add_constraint("minprod", &[(p, 1.0), (q, 1.0), (r, 1.0)], Rel::Ge, 1.0);
+        (lp, 13.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_random_is_feasible_at_origin_and_xstar_bounded() {
+        let lp = dense_random(20, 30, 7);
+        assert_eq!(lp.num_constraints(), 20);
+        assert_eq!(lp.num_vars(), 30);
+        // Origin is feasible (all rhs > 0, all-Le rows).
+        assert!(lp.check_feasible(&vec![0.0; 30], 1e-9).is_none());
+        // All coefficients positive → region bounded.
+        for c in lp.constraints() {
+            assert_eq!(c.rel, Rel::Le);
+            assert!(c.rhs > 0.0);
+            assert!(c.coeffs.iter().all(|&(_, a)| a > 0.0));
+        }
+    }
+
+    #[test]
+    fn dense_random_is_seed_deterministic() {
+        let a = dense_random(5, 5, 42);
+        let b = dense_random(5, 5, 42);
+        let c = dense_random(5, 5, 43);
+        assert_eq!(a.constraint(crate::model::ConstraintId(0)).rhs,
+                   b.constraint(crate::model::ConstraintId(0)).rhs);
+        assert_ne!(a.constraint(crate::model::ConstraintId(0)).rhs,
+                   c.constraint(crate::model::ConstraintId(0)).rhs);
+    }
+
+    #[test]
+    fn sparse_random_has_requested_density_and_coverage() {
+        let n = 100;
+        let m = 80;
+        let lp = sparse_random(m, n, 0.05, 3);
+        let nnz = lp.nnz();
+        let density = nnz as f64 / (m as f64 * n as f64);
+        assert!(density < 0.12, "density {density} too high");
+        // Every variable appears in at least one row.
+        let mut seen = vec![false; n];
+        for c in lp.constraints() {
+            for &(v, _) in &c.coeffs {
+                seen[v.0] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "uncovered column");
+        // Origin feasible here too.
+        assert!(lp.check_feasible(&vec![0.0; n], 1e-9).is_none());
+    }
+
+    #[test]
+    fn klee_minty_shape_and_optimum() {
+        let lp = klee_minty(3);
+        assert_eq!(lp.num_vars(), 3);
+        assert_eq!(lp.num_constraints(), 3);
+        // Known optimal vertex: (0, 0, 10000).
+        assert!(lp.check_feasible(&[0.0, 0.0, 10000.0], 1e-9).is_none());
+        assert_eq!(lp.objective_value(&[0.0, 0.0, 10000.0]), klee_minty_optimum(3));
+        // Row 3 is 200x₁ + 20x₂ + x₃ ≤ 10000.
+        let c3 = lp.constraint(crate::model::ConstraintId(2));
+        assert_eq!(c3.coeffs.iter().map(|&(_, a)| a).collect::<Vec<_>>(), vec![200.0, 20.0, 1.0]);
+        assert_eq!(c3.rhs, 10000.0);
+    }
+
+    #[test]
+    fn transportation_is_balanced_and_feasible() {
+        let lp = transportation(&[3.0, 7.0], &[4.0, 6.0], 1);
+        assert_eq!(lp.num_vars(), 4);
+        assert_eq!(lp.num_constraints(), 4);
+        // A feasible shipment: x00=3, x01=0, x10=1, x11=6.
+        assert!(lp.check_feasible(&[3.0, 0.0, 1.0, 6.0], 1e-9).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "balanced")]
+    fn unbalanced_transportation_panics() {
+        let _ = transportation(&[1.0], &[2.0], 0);
+    }
+
+    #[test]
+    fn max_flow_has_conservation_rows() {
+        let lp = max_flow(6, 3, 9);
+        assert!(lp.num_constraints() >= 4);
+        for c in lp.constraints() {
+            assert_eq!(c.rel, Rel::Eq);
+            assert_eq!(c.rhs, 0.0);
+        }
+        // Zero flow is feasible.
+        assert!(lp.check_feasible(&vec![0.0; lp.num_vars()], 1e-9).is_none());
+    }
+
+    #[test]
+    fn multi_period_has_staircase_structure_and_is_feasible() {
+        let n = 8;
+        let lp = multi_period_production(n, 4);
+        assert_eq!(lp.num_vars(), 2 * n);
+        assert_eq!(lp.num_constraints(), n);
+        // Staircase: row t touches at most 3 variables, all from periods
+        // t−1 / t.
+        for (t, c) in lp.constraints().iter().enumerate() {
+            assert!(c.coeffs.len() <= 3, "row {t} too dense");
+            assert_eq!(c.rel, Rel::Eq);
+            assert!(c.rhs > 0.0);
+        }
+        // Produce-to-demand with zero inventory is feasible.
+        let mut x = vec![0.0; 2 * n];
+        for (t, c) in lp.constraints().iter().enumerate() {
+            x[t] = c.rhs; // p_t = d_t (capacity 100 ≥ demand ≤ 80)
+        }
+        assert!(lp.check_feasible(&x, 1e-9).is_none());
+    }
+
+    #[test]
+    fn fixtures_report_feasible_optima() {
+        let (lp, opt) = fixtures::wyndor();
+        assert!(lp.check_feasible(&[2.0, 6.0], 1e-9).is_none());
+        assert_eq!(lp.objective_value(&[2.0, 6.0]), opt);
+
+        let (lp, opt) = fixtures::two_phase();
+        assert!(lp.check_feasible(&[2.0, 2.0], 1e-9).is_none());
+        assert_eq!(lp.objective_value(&[2.0, 2.0]), opt);
+
+        let (lp, opt) = fixtures::diet();
+        assert!(lp.check_feasible(&[2.0, 2.5], 1e-6).is_none());
+        let _ = opt;
+
+        let (lp, opt) = fixtures::production();
+        assert!(lp.check_feasible(&[2.0, 0.0, 1.0], 1e-9).is_none());
+        assert_eq!(lp.objective_value(&[2.0, 0.0, 1.0]), opt);
+
+        let (lp, opt) = fixtures::degenerate();
+        assert_eq!(lp.objective_value(&[2.0, 2.0]), opt);
+        assert!(lp.check_feasible(&[2.0, 2.0], 1e-9).is_none());
+
+        let (lp, opt) = fixtures::beale_cycling();
+        // Optimum: x1 = 1/25? Known optimal objective is −1/20.
+        assert_eq!(opt, -0.05);
+        assert_eq!(lp.num_vars(), 4);
+    }
+}

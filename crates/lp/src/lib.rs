@@ -1,0 +1,28 @@
+//! # lp — linear-programming front end for the gplex reproduction
+//!
+//! Everything between "a user's optimization model" and "the matrices the
+//! revised simplex iterates on":
+//!
+//! * [`model`] — a general-form LP builder (named variables with arbitrary
+//!   bounds, `≤`/`≥`/`=` rows, min or max objective);
+//! * [`standard`] — conversion to the computational standard form
+//!   `min cᵀx, Ax = b, x ≥ 0, b ≥ 0` with slack/surplus/artificial columns,
+//!   an initial basis, and full recovery of original variable values;
+//! * [`generator`] — workload generators: the paper's dense random family,
+//!   sparse random instances, Klee–Minty worst cases, and realistic fixtures
+//!   (transportation, diet, production planning, assignment, max-flow);
+//! * [`mps`] — MPS reader/writer;
+//! * [`scaling`] — geometric-mean/equilibration scaling;
+//! * [`presolve`] — light presolve (fixed variables, empty and singleton
+//!   rows, empty columns).
+
+pub mod generator;
+pub mod lpformat;
+pub mod model;
+pub mod mps;
+pub mod presolve;
+pub mod scaling;
+pub mod standard;
+
+pub use model::{ConstraintId, LinearProgram, Rel, Sense, VarId};
+pub use standard::{ColKind, StandardForm, StandardizeError};

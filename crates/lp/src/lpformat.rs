@@ -1,0 +1,577 @@
+//! CPLEX LP-format reader — the human-writable format the thesis-era
+//! tooling fed its solvers (`\* comments *\`, `Minimize`/`Maximize`,
+//! `Subject To`, `Bounds`, `End`).
+//!
+//! Supported dialect:
+//!
+//! ```text
+//! \* optional comments *\
+//! Minimize
+//!  obj: 3 x + 2 y - z
+//! Subject To
+//!  c1: x + y <= 10
+//!  c2: 2 x - 3 y >= -4
+//!  c3: x + z = 5
+//! Bounds
+//!  -3 <= y <= 7
+//!  z free
+//!  x <= 9
+//! End
+//! ```
+//!
+//! Variables default to `0 ≤ x < ∞` (LP-format convention). Terms may have
+//! explicit or implicit coefficients (`2x`, `2 x`, `x`, `- x`, `+3.5 x`).
+//! Integer sections are rejected (this is an LP solver).
+
+use std::collections::HashMap;
+
+use crate::model::{LinearProgram, Rel, Sense, VarId};
+
+/// Errors from the LP-format reader.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpFormatError {
+    /// The document has no objective section.
+    NoObjective,
+    /// A token could not be parsed at the given line.
+    Parse(usize, String),
+    /// Unsupported feature (e.g. `General`/`Binary` sections).
+    Unsupported(usize, String),
+    /// A bound references a variable that never appears in the model.
+    UnknownVariable(usize, String),
+}
+
+impl std::fmt::Display for LpFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpFormatError::NoObjective => write!(f, "no objective section"),
+            LpFormatError::Parse(n, t) => write!(f, "line {n}: cannot parse '{t}'"),
+            LpFormatError::Unsupported(n, t) => write!(f, "line {n}: unsupported: {t}"),
+            LpFormatError::UnknownVariable(n, v) => write!(f, "line {n}: unknown variable {v}"),
+        }
+    }
+}
+
+impl std::error::Error for LpFormatError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Preamble,
+    Objective,
+    Constraints,
+    Bounds,
+    Done,
+}
+
+/// A parsed linear expression: terms plus (for constraints) relation/rhs.
+struct Line {
+    label: Option<String>,
+    terms: Vec<(String, f64)>,
+    rel: Option<Rel>,
+    rhs: Option<f64>,
+}
+
+fn strip_comments(line: &str) -> &str {
+    // `\` starts a comment to end of line in the common dialect.
+    match line.find('\\') {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+fn is_number_start(tok: &str) -> bool {
+    tok.starts_with(|c: char| c.is_ascii_digit() || c == '.')
+}
+
+/// Split `2x` / `3.5y` style fused tokens into (number, name).
+fn split_fused(tok: &str) -> Option<(f64, &str)> {
+    let split = tok.find(|c: char| c.is_ascii_alphabetic() || c == '_')?;
+    if split == 0 {
+        return None;
+    }
+    let num: f64 = tok[..split].parse().ok()?;
+    Some((num, &tok[split..]))
+}
+
+fn parse_expression(tokens: &[&str], lineno: usize) -> Result<Line, LpFormatError> {
+    let mut terms: Vec<(String, f64)> = Vec::new();
+    let mut rel: Option<Rel> = None;
+    let mut rhs: Option<f64> = None;
+    let mut sign = 1.0;
+    let mut pending_coeff: Option<f64> = None;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = tokens[i];
+        match tok {
+            "+" => {} // additive separator; the sign state is unchanged
+
+            "-" => sign = -sign,
+            "<" | "<=" | "=<" => rel = Some(Rel::Le),
+            ">" | ">=" | "=>" => rel = Some(Rel::Ge),
+            "=" => rel = Some(Rel::Eq),
+            _ => {
+                if rel.is_some() {
+                    // Right-hand side (sign may precede it).
+                    let v: f64 = tok
+                        .parse()
+                        .map_err(|_| LpFormatError::Parse(lineno, tok.to_string()))?;
+                    rhs = Some(sign * v);
+                    sign = 1.0;
+                } else if is_number_start(tok) || (tok.len() > 1 && tok.starts_with('-')) {
+                    if let Ok(v) = tok.parse::<f64>() {
+                        pending_coeff = Some(sign * v * pending_coeff.unwrap_or(1.0));
+                        sign = 1.0;
+                    } else if let Some((v, name)) = split_fused(tok) {
+                        let coeff = sign * v * pending_coeff.take().unwrap_or(1.0);
+                        terms.push((name.to_string(), coeff));
+                        sign = 1.0;
+                    } else {
+                        return Err(LpFormatError::Parse(lineno, tok.to_string()));
+                    }
+                } else {
+                    // A bare variable name.
+                    let coeff = sign * pending_coeff.take().unwrap_or(1.0);
+                    terms.push((tok.to_string(), coeff));
+                    sign = 1.0;
+                }
+            }
+        }
+        i += 1;
+    }
+    if pending_coeff.is_some() {
+        return Err(LpFormatError::Parse(lineno, "dangling coefficient".into()));
+    }
+    Ok(Line { label: None, terms, rel, rhs })
+}
+
+/// Parse an LP-format document into a [`LinearProgram`].
+pub fn parse(text: &str) -> Result<LinearProgram, LpFormatError> {
+    let mut section = Section::Preamble;
+    let mut sense = Sense::Min;
+    let mut objective: Vec<(String, f64)> = Vec::new();
+    let mut constraints: Vec<(String, Line)> = Vec::new();
+    let mut bounds: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut anon_count = 0usize;
+
+    // Constraints may wrap across lines until a relation+rhs appears; we
+    // keep it simple and require one constraint per (logical) line, which
+    // the writer below and the thesis-era files satisfy.
+    for (ln, raw) in text.lines().enumerate() {
+        let lineno = ln + 1;
+        let line = strip_comments(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        match lower.as_str() {
+            "minimize" | "min" | "minimise" => {
+                section = Section::Objective;
+                sense = Sense::Min;
+                continue;
+            }
+            "maximize" | "max" | "maximise" => {
+                section = Section::Objective;
+                sense = Sense::Max;
+                continue;
+            }
+            "subject to" | "st" | "s.t." | "such that" => {
+                section = Section::Constraints;
+                continue;
+            }
+            "bounds" | "bound" => {
+                section = Section::Bounds;
+                continue;
+            }
+            "end" => {
+                section = Section::Done;
+                continue;
+            }
+            "general" | "generals" | "integer" | "integers" | "binary" | "binaries" | "bin" => {
+                return Err(LpFormatError::Unsupported(lineno, lower));
+            }
+            _ => {}
+        }
+        if section == Section::Done {
+            continue;
+        }
+
+        // Optional `label:` prefix.
+        let (label, body) = match line.split_once(':') {
+            Some((l, rest)) if !l.contains(|c: char| c.is_whitespace()) => {
+                (Some(l.trim().to_string()), rest.trim())
+            }
+            _ => (None, line),
+        };
+        let tokens: Vec<&str> = tokenize(body);
+        match section {
+            Section::Preamble => {
+                return Err(LpFormatError::Parse(lineno, line.to_string()));
+            }
+            Section::Objective => {
+                let parsed = parse_expression(&tokens, lineno)?;
+                objective.extend(parsed.terms);
+            }
+            Section::Constraints => {
+                let mut parsed = parse_expression(&tokens, lineno)?;
+                if parsed.rel.is_none() || parsed.rhs.is_none() {
+                    return Err(LpFormatError::Parse(lineno, format!("incomplete constraint: {body}")));
+                }
+                parsed.label = label.clone();
+                let name = label.unwrap_or_else(|| {
+                    anon_count += 1;
+                    format!("c{anon_count}")
+                });
+                constraints.push((name, parsed));
+            }
+            Section::Bounds => {
+                bounds.push((lineno, tokens.iter().map(|s| s.to_string()).collect()));
+            }
+            Section::Done => {}
+        }
+    }
+
+    if objective.is_empty() && constraints.is_empty() {
+        return Err(LpFormatError::NoObjective);
+    }
+
+    // Collect variables in first-appearance order.
+    let mut order: Vec<String> = Vec::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let note = |name: &str, order: &mut Vec<String>, seen: &mut HashMap<String, usize>| {
+        if !seen.contains_key(name) {
+            seen.insert(name.to_string(), order.len());
+            order.push(name.to_string());
+        }
+    };
+    for (name, _) in &objective {
+        note(name, &mut order, &mut seen);
+    }
+    for (_, line) in &constraints {
+        for (name, _) in &line.terms {
+            note(name, &mut order, &mut seen);
+        }
+    }
+
+    // Bounds: default [0, ∞); parse the three accepted shapes.
+    let mut lo: Vec<f64> = vec![0.0; order.len()];
+    let mut hi: Vec<f64> = vec![f64::INFINITY; order.len()];
+    for (lineno, toks) in &bounds {
+        let t: Vec<&str> = toks.iter().map(String::as_str).collect();
+        let idx_of = |name: &str| -> Result<usize, LpFormatError> {
+            seen.get(name)
+                .copied()
+                .ok_or_else(|| LpFormatError::UnknownVariable(*lineno, name.to_string()))
+        };
+        match t.as_slice() {
+            [name, kw] if kw.eq_ignore_ascii_case("free") => {
+                let i = idx_of(name)?;
+                lo[i] = f64::NEG_INFINITY;
+                hi[i] = f64::INFINITY;
+            }
+            // l <= x <= u
+            [l, le1, name, le2, u]
+                if (*le1 == "<=" || *le1 == "<") && (*le2 == "<=" || *le2 == "<") =>
+            {
+                let i = idx_of(name)?;
+                lo[i] = l.parse().map_err(|_| LpFormatError::Parse(*lineno, l.to_string()))?;
+                hi[i] = u.parse().map_err(|_| LpFormatError::Parse(*lineno, u.to_string()))?;
+            }
+            // x <= u
+            [name, le, u] if (*le == "<=" || *le == "<") && !is_number_start(name) => {
+                let i = idx_of(name)?;
+                hi[i] = u.parse().map_err(|_| LpFormatError::Parse(*lineno, u.to_string()))?;
+            }
+            // x >= l
+            [name, ge, l] if (*ge == ">=" || *ge == ">") && !is_number_start(name) => {
+                let i = idx_of(name)?;
+                lo[i] = l.parse().map_err(|_| LpFormatError::Parse(*lineno, l.to_string()))?;
+            }
+            // l <= x
+            [l, le, name] if *le == "<=" || *le == "<" => {
+                let i = idx_of(name)?;
+                lo[i] = l.parse().map_err(|_| LpFormatError::Parse(*lineno, l.to_string()))?;
+            }
+            // x = v
+            [name, eq, v] if *eq == "=" => {
+                let i = idx_of(name)?;
+                let v: f64 = v.parse().map_err(|_| LpFormatError::Parse(*lineno, v.to_string()))?;
+                lo[i] = v;
+                hi[i] = v;
+            }
+            _ => return Err(LpFormatError::Parse(*lineno, toks.join(" "))),
+        }
+    }
+
+    // Assemble.
+    let mut model = LinearProgram::new("lp-format").with_sense(sense);
+    let obj_by_var: HashMap<&str, f64> = {
+        let mut m: HashMap<&str, f64> = HashMap::new();
+        for (name, c) in &objective {
+            *m.entry(name.as_str()).or_insert(0.0) += c;
+        }
+        m
+    };
+    let ids: Vec<VarId> = order
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            model.add_var(name.clone(), lo[i], hi[i], obj_by_var.get(name.as_str()).copied().unwrap_or(0.0))
+        })
+        .collect();
+    for (name, line) in constraints {
+        let coeffs: Vec<(VarId, f64)> =
+            line.terms.iter().map(|(n, c)| (ids[seen[n.as_str()]], *c)).collect();
+        model.add_constraint(name, &coeffs, line.rel.expect("validated"), line.rhs.expect("validated"));
+    }
+    Ok(model)
+}
+
+/// Tokenize, splitting operators that may be glued to operands.
+fn tokenize(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    for raw in body.split_whitespace() {
+        let mut rest = raw;
+        while !rest.is_empty() {
+            // Peel leading sign/relation operators.
+            let (op_len, is_op) = if rest.starts_with("<=")
+                || rest.starts_with(">=")
+                || rest.starts_with("=<")
+                || rest.starts_with("=>")
+            {
+                (2, true)
+            } else if rest.starts_with('<')
+                || rest.starts_with('>')
+                || rest.starts_with('=')
+                || rest.starts_with('+')
+            {
+                (1, true)
+            } else if rest.starts_with('-') && rest.len() > 1 && !rest[1..].starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+                // `-x` → `-`, `x`; but `-3` stays a signed number.
+                (1, true)
+            } else {
+                (0, false)
+            };
+            if is_op {
+                out.push(&rest[..op_len]);
+                rest = &rest[op_len..];
+                continue;
+            }
+            // Take up to the next operator character.
+            let end = rest
+                .find(['<', '>', '=', '+'])
+                .unwrap_or(rest.len());
+            if end == 0 {
+                break;
+            }
+            out.push(&rest[..end]);
+            rest = &rest[end..];
+        }
+    }
+    out
+}
+
+/// Serialize a [`LinearProgram`] to LP format.
+pub fn write(model: &LinearProgram) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\\ {}\n", model.name));
+    out.push_str(match model.sense {
+        Sense::Min => "Minimize\n",
+        Sense::Max => "Maximize\n",
+    });
+    out.push_str(" obj:");
+    let mut any = false;
+    for v in model.vars() {
+        if v.obj != 0.0 {
+            out.push_str(&format!(" {} {}", sign_prefix(v.obj, !any), v.name));
+            any = true;
+        }
+    }
+    if !any {
+        out.push_str(" 0 ");
+        out.push_str(&model.vars().first().map(|v| v.name.as_str()).unwrap_or("x"));
+    }
+    out.push_str("\nSubject To\n");
+    for c in model.constraints() {
+        out.push_str(&format!(" {}:", c.name));
+        let mut first = true;
+        for &(vid, a) in &c.coeffs {
+            out.push_str(&format!(" {} {}", sign_prefix(a, first), model.var(vid).name));
+            first = false;
+        }
+        let rel = match c.rel {
+            Rel::Le => "<=",
+            Rel::Ge => ">=",
+            Rel::Eq => "=",
+        };
+        out.push_str(&format!(" {rel} {}\n", c.rhs));
+    }
+    out.push_str("Bounds\n");
+    for v in model.vars() {
+        match (v.lower, v.upper) {
+            (l, u) if l == 0.0 && u == f64::INFINITY => {}
+            (l, u) if l == f64::NEG_INFINITY && u == f64::INFINITY => {
+                out.push_str(&format!(" {} free\n", v.name));
+            }
+            (l, u) if l == u => out.push_str(&format!(" {} = {}\n", v.name, l)),
+            (l, u) if u == f64::INFINITY => out.push_str(&format!(" {} >= {}\n", v.name, l)),
+            (l, u) if l == f64::NEG_INFINITY => out.push_str(&format!(" {} <= {}\n", v.name, u)),
+            (l, u) => out.push_str(&format!(" {l} <= {} <= {u}\n", v.name)),
+        }
+    }
+    out.push_str("End\n");
+    out
+}
+
+fn sign_prefix(v: f64, first: bool) -> String {
+    if v < 0.0 {
+        format!("- {}", fmt_coeff(-v))
+    } else if first {
+        fmt_coeff(v)
+    } else {
+        format!("+ {}", fmt_coeff(v))
+    }
+}
+
+fn fmt_coeff(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ConstraintId;
+
+    const SAMPLE: &str = "\
+\\ a sample problem
+Maximize
+ obj: 3 x + 5 y
+Subject To
+ p1: x <= 4
+ p2: 2 y <= 12
+ p3: 3 x + 2 y <= 18
+End
+";
+
+    #[test]
+    fn parses_wyndor() {
+        let m = parse(SAMPLE).unwrap();
+        assert_eq!(m.sense, Sense::Max);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 3);
+        let x = m.var_by_name("x").unwrap();
+        assert_eq!(m.var(x).obj, 3.0);
+        let p3 = m.constraint(ConstraintId(2));
+        assert_eq!(p3.rel, Rel::Le);
+        assert_eq!(p3.rhs, 18.0);
+        assert_eq!(p3.coeffs.len(), 2);
+    }
+
+    #[test]
+    fn fused_and_signed_coefficients() {
+        let text = "\
+Minimize
+ obj: 2x - 3.5y + z
+Subject To
+ c1: -x + 4z >= -2
+End
+";
+        let m = parse(text).unwrap();
+        assert_eq!(m.var(m.var_by_name("y").unwrap()).obj, -3.5);
+        let c = m.constraint(ConstraintId(0));
+        assert_eq!(c.coeffs[0].1, -1.0);
+        assert_eq!(c.coeffs[1].1, 4.0);
+        assert_eq!(c.rhs, -2.0);
+        assert_eq!(c.rel, Rel::Ge);
+    }
+
+    #[test]
+    fn bounds_section_all_shapes() {
+        let text = "\
+Minimize
+ obj: a + b + c + d + e
+Subject To
+ c1: a + b + c + d + e <= 100
+Bounds
+ -3 <= a <= 7
+ b free
+ c <= 9
+ d >= 2
+ e = 5
+End
+";
+        let m = parse(text).unwrap();
+        let get = |n: &str| {
+            let v = m.var(m.var_by_name(n).unwrap());
+            (v.lower, v.upper)
+        };
+        assert_eq!(get("a"), (-3.0, 7.0));
+        assert_eq!(get("b"), (f64::NEG_INFINITY, f64::INFINITY));
+        assert_eq!(get("c"), (0.0, 9.0));
+        assert_eq!(get("d"), (2.0, f64::INFINITY));
+        assert_eq!(get("e"), (5.0, 5.0));
+    }
+
+    #[test]
+    fn glued_operators_tokenize() {
+        let text = "\
+Minimize
+ obj: x+y
+Subject To
+ c1: x+2y<=10
+End
+";
+        let m = parse(text).unwrap();
+        let c = m.constraint(ConstraintId(0));
+        assert_eq!(c.coeffs.len(), 2);
+        assert_eq!(c.coeffs[1].1, 2.0);
+        assert_eq!(c.rhs, 10.0);
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let model = crate::generator::dense_random(5, 7, 9);
+        let text = write(&model);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(model.num_vars(), reparsed.num_vars());
+        assert_eq!(model.num_constraints(), reparsed.num_constraints());
+        for (a, b) in model.constraints().iter().zip(reparsed.constraints()) {
+            assert_eq!(a.rel, b.rel);
+            assert!((a.rhs - b.rhs).abs() < 1e-12);
+            for (&(_, x), &(_, y)) in a.coeffs.iter().zip(&b.coeffs) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_model_round_trips() {
+        let mut model = LinearProgram::new("b").with_sense(Sense::Max);
+        let x = model.add_var("x", -2.0, 5.0, 1.0);
+        let y = model.add_var("y", f64::NEG_INFINITY, f64::INFINITY, -1.0);
+        let z = model.add_var("z", 3.0, 3.0, 0.5);
+        model.add_constraint("c", &[(x, 1.0), (y, 2.0), (z, -1.0)], Rel::Eq, 4.0);
+        let reparsed = parse(&write(&model)).unwrap();
+        for (a, b) in model.vars().iter().zip(reparsed.vars()) {
+            assert_eq!(a.lower, b.lower, "{}", a.name);
+            assert_eq!(a.upper, b.upper, "{}", a.name);
+            assert_eq!(a.obj, b.obj, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn integer_sections_rejected() {
+        let text = "Minimize\n obj: x\nSubject To\n c: x >= 1\nGeneral\n x\nEnd\n";
+        assert!(matches!(parse(text), Err(LpFormatError::Unsupported(_, _))));
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(matches!(parse("\\ nothing\n"), Err(LpFormatError::NoObjective)));
+    }
+
+    #[test]
+    fn unknown_bound_variable_rejected() {
+        let text = "Minimize\n obj: x\nSubject To\n c: x >= 1\nBounds\n q <= 5\nEnd\n";
+        assert!(matches!(parse(text), Err(LpFormatError::UnknownVariable(_, _))));
+    }
+}

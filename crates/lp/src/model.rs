@@ -1,0 +1,287 @@
+//! General-form LP modeling.
+//!
+//! A [`LinearProgram`] is the user-facing object: named variables with any
+//! combination of finite/infinite bounds, constraints of any sense, and a
+//! minimization or maximization objective. Models are stored in `f64`;
+//! precision is chosen at standardization time.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Min,
+    /// Maximize the objective.
+    Max,
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// `≤ rhs`
+    Le,
+    /// `≥ rhs`
+    Ge,
+    /// `= rhs`
+    Eq,
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rel::Le => "<=",
+            Rel::Ge => ">=",
+            Rel::Eq => "=",
+        })
+    }
+}
+
+/// Handle to a variable in a [`LinearProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub usize);
+
+/// Handle to a constraint in a [`LinearProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstraintId(pub usize);
+
+/// A decision variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variable {
+    /// Display name.
+    pub name: String,
+    /// Lower bound (may be `f64::NEG_INFINITY`).
+    pub lower: f64,
+    /// Upper bound (may be `f64::INFINITY`).
+    pub upper: f64,
+    /// Objective coefficient.
+    pub obj: f64,
+}
+
+/// A linear constraint `Σ aⱼ xⱼ rel rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Display name.
+    pub name: String,
+    /// Sparse coefficients as `(variable, coefficient)` pairs.
+    pub coeffs: Vec<(VarId, f64)>,
+    /// Relation.
+    pub rel: Rel,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A general-form linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearProgram {
+    /// Model name (for reports and MPS output).
+    pub name: String,
+    /// Optimization direction.
+    pub sense: Sense,
+    vars: Vec<Variable>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// New empty minimization program.
+    pub fn new(name: impl Into<String>) -> Self {
+        LinearProgram { name: name.into(), sense: Sense::Min, vars: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// Set the optimization direction (builder style).
+    pub fn with_sense(mut self, sense: Sense) -> Self {
+        self.sense = sense;
+        self
+    }
+
+    /// Add a variable with bounds `[lower, upper]` and objective coefficient
+    /// `obj`. Use `f64::NEG_INFINITY` / `f64::INFINITY` for free directions.
+    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, obj: f64) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan() && !obj.is_nan(), "NaN in variable");
+        assert!(lower <= upper, "variable lower bound exceeds upper bound");
+        self.vars.push(Variable { name: name.into(), lower, upper, obj });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Convenience: a non-negative variable `x ≥ 0`.
+    pub fn add_var_nonneg(&mut self, name: impl Into<String>, obj: f64) -> VarId {
+        self.add_var(name, 0.0, f64::INFINITY, obj)
+    }
+
+    /// Add a constraint from sparse coefficients.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        coeffs: &[(VarId, f64)],
+        rel: Rel,
+        rhs: f64,
+    ) -> ConstraintId {
+        assert!(!rhs.is_nan(), "NaN rhs");
+        for &(v, c) in coeffs {
+            assert!(v.0 < self.vars.len(), "constraint references unknown variable");
+            assert!(!c.is_nan(), "NaN coefficient");
+        }
+        self.constraints.push(Constraint { name: name.into(), coeffs: coeffs.to_vec(), rel, rhs });
+        ConstraintId(self.constraints.len() - 1)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable metadata.
+    pub fn var(&self, id: VarId) -> &Variable {
+        &self.vars[id.0]
+    }
+
+    /// All variables in declaration order.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// Constraint metadata.
+    pub fn constraint(&self, id: ConstraintId) -> &Constraint {
+        &self.constraints[id.0]
+    }
+
+    /// All constraints in declaration order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Mutable access for presolve (crate-internal).
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<Variable>, &mut Vec<Constraint>) {
+        (&mut self.vars, &mut self.constraints)
+    }
+
+    /// Look up a variable by name (linear scan; fine for tests and I/O).
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars.iter().position(|v| v.name == name).map(VarId)
+    }
+
+    /// Total nonzero constraint coefficients.
+    pub fn nnz(&self) -> usize {
+        self.constraints.iter().map(|c| c.coeffs.len()).sum()
+    }
+
+    /// Evaluate the objective at a point given in declaration order.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len(), "point dimension mismatch");
+        self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
+    }
+
+    /// Check a point for feasibility within `tol`; returns the first
+    /// violation description, or `None` when feasible.
+    pub fn check_feasible(&self, x: &[f64], tol: f64) -> Option<String> {
+        assert_eq!(x.len(), self.vars.len(), "point dimension mismatch");
+        for (i, (v, &xi)) in self.vars.iter().zip(x).enumerate() {
+            if xi < v.lower - tol || xi > v.upper + tol {
+                return Some(format!(
+                    "variable {} (#{i}) = {xi} outside [{}, {}]",
+                    v.name, v.lower, v.upper
+                ));
+            }
+        }
+        for (i, con) in self.constraints.iter().enumerate() {
+            let lhs: f64 = con.coeffs.iter().map(|&(v, c)| c * x[v.0]).sum();
+            let ok = match con.rel {
+                Rel::Le => lhs <= con.rhs + tol,
+                Rel::Ge => lhs >= con.rhs - tol,
+                Rel::Eq => (lhs - con.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Some(format!(
+                    "constraint {} (#{i}): lhs {lhs} {} rhs {} violated",
+                    con.name, con.rel, con.rhs
+                ));
+            }
+        }
+        None
+    }
+
+    /// Duplicate-name audit (MPS requires unique names).
+    pub fn validate_names(&self) -> Result<(), String> {
+        let mut seen: HashMap<&str, ()> = HashMap::with_capacity(self.vars.len());
+        for v in &self.vars {
+            if seen.insert(&v.name, ()).is_some() {
+                return Err(format!("duplicate variable name {}", v.name));
+            }
+        }
+        let mut seen: HashMap<&str, ()> = HashMap::with_capacity(self.constraints.len());
+        for c in &self.constraints {
+            if seen.insert(&c.name, ()).is_some() {
+                return Err(format!("duplicate constraint name {}", c.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wyndor() -> LinearProgram {
+        // Classic: max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18; x, y ≥ 0.
+        let mut lp = LinearProgram::new("wyndor").with_sense(Sense::Max);
+        let x = lp.add_var_nonneg("x", 3.0);
+        let y = lp.add_var_nonneg("y", 5.0);
+        lp.add_constraint("plant1", &[(x, 1.0)], Rel::Le, 4.0);
+        lp.add_constraint("plant2", &[(y, 2.0)], Rel::Le, 12.0);
+        lp.add_constraint("plant3", &[(x, 3.0), (y, 2.0)], Rel::Le, 18.0);
+        lp
+    }
+
+    #[test]
+    fn builder_basics() {
+        let lp = wyndor();
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 3);
+        assert_eq!(lp.nnz(), 4);
+        assert_eq!(lp.var_by_name("y"), Some(VarId(1)));
+        assert_eq!(lp.var(VarId(0)).obj, 3.0);
+        lp.validate_names().unwrap();
+    }
+
+    #[test]
+    fn objective_and_feasibility() {
+        let lp = wyndor();
+        // The known optimum (2, 6).
+        assert_eq!(lp.objective_value(&[2.0, 6.0]), 36.0);
+        assert!(lp.check_feasible(&[2.0, 6.0], 1e-9).is_none());
+        // (4, 6) violates plant3: 12 + 12 = 24 > 18.
+        let v = lp.check_feasible(&[4.0, 6.0], 1e-9).unwrap();
+        assert!(v.contains("plant3"), "{v}");
+        // Negative x violates its bound.
+        assert!(lp.check_feasible(&[-1.0, 0.0], 1e-9).unwrap().contains("variable x"));
+    }
+
+    #[test]
+    fn duplicate_names_detected() {
+        let mut lp = LinearProgram::new("dup");
+        lp.add_var_nonneg("x", 1.0);
+        lp.add_var_nonneg("x", 2.0);
+        assert!(lp.validate_names().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds")]
+    fn inverted_bounds_panic() {
+        let mut lp = LinearProgram::new("bad");
+        lp.add_var("x", 2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn foreign_var_panics() {
+        let mut lp = LinearProgram::new("bad");
+        lp.add_constraint("c", &[(VarId(3), 1.0)], Rel::Le, 1.0);
+    }
+}

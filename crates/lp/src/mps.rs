@@ -1,0 +1,516 @@
+//! MPS format reader and writer.
+//!
+//! Supports the classic fixed-ish MPS dialect used by the NETLIB LP
+//! collection (whitespace-separated fields): `NAME`, `ROWS` (`N`/`L`/`G`/
+//! `E`), `COLUMNS`, `RHS`, `RANGES`, `BOUNDS` (`UP`, `LO`, `FX`, `FR`, `MI`,
+//! `PL`, `BV` rejected), `ENDATA`. The objective row is the first `N` row.
+//! The writer emits a canonical form the reader round-trips.
+
+use std::collections::HashMap;
+
+use crate::model::{LinearProgram, Rel, Sense, VarId};
+
+/// Errors produced by the MPS reader.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpsError {
+    /// A line outside any recognized section.
+    UnexpectedLine(usize, String),
+    /// A malformed field.
+    Parse(usize, String),
+    /// Reference to an undeclared row or column.
+    Unknown(usize, String),
+    /// Missing objective (`N`) row.
+    NoObjective,
+    /// Unsupported feature (e.g. integer markers).
+    Unsupported(usize, String),
+}
+
+impl std::fmt::Display for MpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpsError::UnexpectedLine(n, l) => write!(f, "line {n}: unexpected: {l}"),
+            MpsError::Parse(n, l) => write!(f, "line {n}: cannot parse: {l}"),
+            MpsError::Unknown(n, l) => write!(f, "line {n}: unknown name: {l}"),
+            MpsError::NoObjective => write!(f, "no objective (N) row"),
+            MpsError::Unsupported(n, l) => write!(f, "line {n}: unsupported: {l}"),
+        }
+    }
+}
+
+impl std::error::Error for MpsError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Rows,
+    Columns,
+    Rhs,
+    Ranges,
+    Bounds,
+}
+
+struct RowDecl {
+    rel: Option<Rel>, // None = objective
+    coeffs: Vec<(VarId, f64)>,
+    rhs: f64,
+    range: Option<f64>,
+}
+
+/// Parse an MPS document into a [`LinearProgram`] (minimization by MPS
+/// convention).
+pub fn parse(text: &str) -> Result<LinearProgram, MpsError> {
+    let mut name = String::from("mps");
+    let mut section = Section::None;
+    let mut row_order: Vec<String> = Vec::new();
+    let mut rows: HashMap<String, RowDecl> = HashMap::new();
+    let mut obj_row: Option<String> = None;
+    let mut obj_coeffs: Vec<(String, f64)> = Vec::new(); // by column name
+    let mut col_order: Vec<String> = Vec::new();
+    let mut col_entries: HashMap<String, Vec<(String, f64)>> = HashMap::new(); // col -> (row, val)
+    let mut bounds: HashMap<String, (f64, f64)> = HashMap::new();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let lineno = ln + 1;
+        if raw.trim().is_empty() || raw.starts_with('*') {
+            continue;
+        }
+        let is_header = !raw.starts_with(' ') && !raw.starts_with('\t');
+        let fields: Vec<&str> = raw.split_whitespace().collect();
+        if is_header {
+            match fields[0].to_ascii_uppercase().as_str() {
+                "NAME" => {
+                    if fields.len() > 1 {
+                        name = fields[1].to_string();
+                    }
+                }
+                "ROWS" => section = Section::Rows,
+                "COLUMNS" => section = Section::Columns,
+                "RHS" => section = Section::Rhs,
+                "RANGES" => section = Section::Ranges,
+                "BOUNDS" => section = Section::Bounds,
+                "ENDATA" => break,
+                "OBJSENSE" | "OBJSENSE:" => {
+                    return Err(MpsError::Unsupported(lineno, "OBJSENSE".into()))
+                }
+                other => return Err(MpsError::UnexpectedLine(lineno, other.to_string())),
+            }
+            continue;
+        }
+        match section {
+            Section::None => return Err(MpsError::UnexpectedLine(lineno, raw.to_string())),
+            Section::Rows => {
+                if fields.len() < 2 {
+                    return Err(MpsError::Parse(lineno, raw.to_string()));
+                }
+                let rel = match fields[0].to_ascii_uppercase().as_str() {
+                    "N" => None,
+                    "L" => Some(Rel::Le),
+                    "G" => Some(Rel::Ge),
+                    "E" => Some(Rel::Eq),
+                    other => return Err(MpsError::Parse(lineno, other.to_string())),
+                };
+                let rname = fields[1].to_string();
+                if rel.is_none() {
+                    if obj_row.is_none() {
+                        obj_row = Some(rname.clone());
+                    }
+                    // Extra N rows are ignored (free rows), NETLIB-style.
+                }
+                if rel.is_some() {
+                    row_order.push(rname.clone());
+                }
+                rows.insert(
+                    rname,
+                    RowDecl { rel, coeffs: Vec::new(), rhs: 0.0, range: None },
+                );
+            }
+            Section::Columns => {
+                if fields.iter().any(|f| f.eq_ignore_ascii_case("'MARKER'")) {
+                    return Err(MpsError::Unsupported(lineno, "integer markers".into()));
+                }
+                if fields.len() < 3 || fields.len() % 2 == 0 {
+                    return Err(MpsError::Parse(lineno, raw.to_string()));
+                }
+                let col = fields[0].to_string();
+                if !col_entries.contains_key(&col) {
+                    col_order.push(col.clone());
+                    col_entries.insert(col.clone(), Vec::new());
+                }
+                let mut k = 1;
+                while k + 1 < fields.len() + 1 && k + 1 <= fields.len() {
+                    let rname = fields[k];
+                    let val: f64 = fields[k + 1]
+                        .parse()
+                        .map_err(|_| MpsError::Parse(lineno, fields[k + 1].to_string()))?;
+                    if !rows.contains_key(rname) {
+                        return Err(MpsError::Unknown(lineno, rname.to_string()));
+                    }
+                    if Some(rname) == obj_row.as_deref() {
+                        obj_coeffs.push((col.clone(), val));
+                    } else if rows[rname].rel.is_some() {
+                        col_entries.get_mut(&col).expect("column registered").push((
+                            rname.to_string(),
+                            val,
+                        ));
+                    }
+                    // Coefficients on extra free rows are dropped.
+                    k += 2;
+                }
+            }
+            Section::Rhs => {
+                if fields.len() < 3 || fields.len() % 2 == 0 {
+                    return Err(MpsError::Parse(lineno, raw.to_string()));
+                }
+                let mut k = 1;
+                while k + 1 <= fields.len() - 1 {
+                    let rname = fields[k];
+                    let val: f64 = fields[k + 1]
+                        .parse()
+                        .map_err(|_| MpsError::Parse(lineno, fields[k + 1].to_string()))?;
+                    let row = rows
+                        .get_mut(rname)
+                        .ok_or_else(|| MpsError::Unknown(lineno, rname.to_string()))?;
+                    row.rhs = val;
+                    k += 2;
+                }
+            }
+            Section::Ranges => {
+                if fields.len() < 3 {
+                    return Err(MpsError::Parse(lineno, raw.to_string()));
+                }
+                let mut k = 1;
+                while k + 1 <= fields.len() - 1 {
+                    let rname = fields[k];
+                    let val: f64 = fields[k + 1]
+                        .parse()
+                        .map_err(|_| MpsError::Parse(lineno, fields[k + 1].to_string()))?;
+                    let row = rows
+                        .get_mut(rname)
+                        .ok_or_else(|| MpsError::Unknown(lineno, rname.to_string()))?;
+                    row.range = Some(val);
+                    k += 2;
+                }
+            }
+            Section::Bounds => {
+                if fields.len() < 3 {
+                    return Err(MpsError::Parse(lineno, raw.to_string()));
+                }
+                let btype = fields[0].to_ascii_uppercase();
+                let col = fields[2].to_string();
+                let entry = bounds.entry(col).or_insert((0.0, f64::INFINITY));
+                let val = || -> Result<f64, MpsError> {
+                    fields
+                        .get(3)
+                        .ok_or_else(|| MpsError::Parse(lineno, raw.to_string()))?
+                        .parse()
+                        .map_err(|_| MpsError::Parse(lineno, raw.to_string()))
+                };
+                match btype.as_str() {
+                    "UP" => entry.1 = val()?,
+                    "LO" => entry.0 = val()?,
+                    "FX" => {
+                        let v = val()?;
+                        *entry = (v, v);
+                    }
+                    "FR" => *entry = (f64::NEG_INFINITY, f64::INFINITY),
+                    "MI" => entry.0 = f64::NEG_INFINITY,
+                    "PL" => entry.1 = f64::INFINITY,
+                    other => return Err(MpsError::Unsupported(lineno, other.to_string())),
+                }
+                // MPS quirk: UP with a negative value and default 0 lower
+                // implies a free-below variable.
+                if btype == "UP" && entry.1 < 0.0 && entry.0 == 0.0 {
+                    entry.0 = f64::NEG_INFINITY;
+                }
+            }
+        }
+    }
+
+    let obj_row = obj_row.ok_or(MpsError::NoObjective)?;
+    let _ = &obj_row;
+
+    // Assemble the program.
+    let mut lp = LinearProgram::new(name).with_sense(Sense::Min);
+    let mut var_ids: HashMap<&str, VarId> = HashMap::with_capacity(col_order.len());
+    let obj_by_col: HashMap<&str, f64> =
+        obj_coeffs.iter().map(|(c, v)| (c.as_str(), *v)).collect();
+    for col in &col_order {
+        let (lo, hi) = bounds.get(col).copied().unwrap_or((0.0, f64::INFINITY));
+        let obj = obj_by_col.get(col.as_str()).copied().unwrap_or(0.0);
+        let id = lp.add_var(col.clone(), lo, hi, obj);
+        var_ids.insert(col.as_str(), id);
+    }
+    for col in &col_order {
+        let id = var_ids[col.as_str()];
+        for (rname, val) in &col_entries[col.as_str()] {
+            rows.get_mut(rname.as_str()).expect("row exists").coeffs.push((id, *val));
+        }
+    }
+    for rname in &row_order {
+        let row = &rows[rname.as_str()];
+        let rel = row.rel.expect("constraint rows have a relation");
+        match (rel, row.range) {
+            (_, None) => {
+                lp.add_constraint(rname.clone(), &row.coeffs, rel, row.rhs);
+            }
+            // RANGES: a row becomes two-sided. Semantics per the MPS spec.
+            (Rel::Le, Some(r)) => {
+                lp.add_constraint(rname.clone(), &row.coeffs, Rel::Le, row.rhs);
+                lp.add_constraint(
+                    format!("{rname}__lo"),
+                    &row.coeffs,
+                    Rel::Ge,
+                    row.rhs - r.abs(),
+                );
+            }
+            (Rel::Ge, Some(r)) => {
+                lp.add_constraint(rname.clone(), &row.coeffs, Rel::Ge, row.rhs);
+                lp.add_constraint(
+                    format!("{rname}__hi"),
+                    &row.coeffs,
+                    Rel::Le,
+                    row.rhs + r.abs(),
+                );
+            }
+            (Rel::Eq, Some(r)) => {
+                if r >= 0.0 {
+                    lp.add_constraint(rname.clone(), &row.coeffs, Rel::Ge, row.rhs);
+                    lp.add_constraint(format!("{rname}__hi"), &row.coeffs, Rel::Le, row.rhs + r);
+                } else {
+                    lp.add_constraint(rname.clone(), &row.coeffs, Rel::Le, row.rhs);
+                    lp.add_constraint(format!("{rname}__lo"), &row.coeffs, Rel::Ge, row.rhs + r);
+                }
+            }
+        }
+    }
+    Ok(lp)
+}
+
+/// Serialize a [`LinearProgram`] to MPS text.
+///
+/// Maximization programs are emitted negated (MPS is minimize-only) with a
+/// comment noting the flip; bounds are emitted per variable as needed.
+pub fn write(lp: &LinearProgram) -> String {
+    let mut out = String::new();
+    let flip = match lp.sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    if flip < 0.0 {
+        out.push_str("* maximization model emitted negated (MPS minimizes)\n");
+    }
+    out.push_str(&format!("NAME {}\n", lp.name));
+    out.push_str("ROWS\n N OBJ\n");
+    for c in lp.constraints() {
+        let tag = match c.rel {
+            Rel::Le => 'L',
+            Rel::Ge => 'G',
+            Rel::Eq => 'E',
+        };
+        out.push_str(&format!(" {tag} {}\n", c.name));
+    }
+    out.push_str("COLUMNS\n");
+    for (j, v) in lp.vars().iter().enumerate() {
+        if v.obj != 0.0 {
+            out.push_str(&format!("    {} OBJ {}\n", v.name, v.obj * flip));
+        }
+        for c in lp.constraints() {
+            for &(vid, a) in &c.coeffs {
+                if vid.0 == j && a != 0.0 {
+                    out.push_str(&format!("    {} {} {}\n", v.name, c.name, a));
+                }
+            }
+        }
+    }
+    out.push_str("RHS\n");
+    for c in lp.constraints() {
+        if c.rhs != 0.0 {
+            out.push_str(&format!("    RHS {} {}\n", c.name, c.rhs));
+        }
+    }
+    out.push_str("BOUNDS\n");
+    for v in lp.vars() {
+        let (lo, hi) = (v.lower, v.upper);
+        if lo == 0.0 && hi == f64::INFINITY {
+            continue; // MPS default
+        }
+        if lo == hi {
+            out.push_str(&format!(" FX BND {} {}\n", v.name, lo));
+            continue;
+        }
+        if lo == f64::NEG_INFINITY && hi == f64::INFINITY {
+            out.push_str(&format!(" FR BND {}\n", v.name));
+            continue;
+        }
+        if lo == f64::NEG_INFINITY {
+            out.push_str(&format!(" MI BND {}\n", v.name));
+        } else if lo != 0.0 {
+            out.push_str(&format!(" LO BND {} {}\n", v.name, lo));
+        }
+        if hi != f64::INFINITY {
+            out.push_str(&format!(" UP BND {} {}\n", v.name, hi));
+        }
+    }
+    out.push_str("ENDATA\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ConstraintId;
+
+    const SAMPLE: &str = "\
+* a small sample problem
+NAME sample
+ROWS
+ N COST
+ L LIM1
+ G LIM2
+ E EQ1
+COLUMNS
+    X1 COST 1.0 LIM1 1.0
+    X1 LIM2 1.0
+    X2 COST 2.0 LIM1 1.0
+    X2 EQ1 -1.0
+    X3 COST -1.0 LIM2 1.0 EQ1 1.0
+RHS
+    RHS LIM1 4.0 LIM2 1.0
+    RHS EQ1 7.0
+BOUNDS
+ UP BND X1 4.0
+ LO BND X2 -1.0
+ENDATA
+";
+
+    #[test]
+    fn parses_sample() {
+        let lp = parse(SAMPLE).unwrap();
+        assert_eq!(lp.name, "sample");
+        assert_eq!(lp.num_vars(), 3);
+        assert_eq!(lp.num_constraints(), 3);
+        let x1 = lp.var_by_name("X1").unwrap();
+        assert_eq!(lp.var(x1).obj, 1.0);
+        assert_eq!(lp.var(x1).upper, 4.0);
+        let x2 = lp.var_by_name("X2").unwrap();
+        assert_eq!(lp.var(x2).lower, -1.0);
+        let c0 = lp.constraint(ConstraintId(0));
+        assert_eq!(c0.name, "LIM1");
+        assert_eq!(c0.rel, Rel::Le);
+        assert_eq!(c0.rhs, 4.0);
+        assert_eq!(c0.coeffs.len(), 2);
+        let c2 = lp.constraint(ConstraintId(2));
+        assert_eq!(c2.rel, Rel::Eq);
+        assert_eq!(c2.rhs, 7.0);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let lp = parse(SAMPLE).unwrap();
+        let text = write(&lp);
+        let lp2 = parse(&text).unwrap();
+        assert_eq!(lp.num_vars(), lp2.num_vars());
+        assert_eq!(lp.num_constraints(), lp2.num_constraints());
+        for (a, b) in lp.vars().iter().zip(lp2.vars()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.obj, b.obj);
+            assert_eq!(a.lower, b.lower);
+            assert_eq!(a.upper, b.upper);
+        }
+        for (a, b) in lp.constraints().iter().zip(lp2.constraints()) {
+            assert_eq!(a.rel, b.rel);
+            assert_eq!(a.rhs, b.rhs);
+            assert_eq!(a.coeffs.len(), b.coeffs.len());
+        }
+    }
+
+    #[test]
+    fn generated_models_roundtrip() {
+        let lp = crate::generator::dense_random(6, 9, 5);
+        let lp2 = parse(&write(&lp)).unwrap();
+        assert_eq!(lp.num_vars(), lp2.num_vars());
+        assert_eq!(lp.num_constraints(), lp2.num_constraints());
+        // Coefficients preserved to full precision through Display.
+        for (a, b) in lp.constraints().iter().zip(lp2.constraints()) {
+            for (&(_, x), &(_, y)) in a.coeffs.iter().zip(&b.coeffs) {
+                assert!((x - y).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_expand_to_two_rows() {
+        let text = "\
+NAME r
+ROWS
+ N OBJ
+ L R1
+COLUMNS
+    X OBJ 1.0 R1 1.0
+RHS
+    RHS R1 10.0
+RANGES
+    RNG R1 4.0
+ENDATA
+";
+        let lp = parse(text).unwrap();
+        assert_eq!(lp.num_constraints(), 2);
+        assert_eq!(lp.constraint(ConstraintId(0)).rel, Rel::Le);
+        assert_eq!(lp.constraint(ConstraintId(0)).rhs, 10.0);
+        assert_eq!(lp.constraint(ConstraintId(1)).rel, Rel::Ge);
+        assert_eq!(lp.constraint(ConstraintId(1)).rhs, 6.0);
+    }
+
+    #[test]
+    fn free_and_fixed_bounds() {
+        let text = "\
+NAME b
+ROWS
+ N OBJ
+ L R1
+COLUMNS
+    X OBJ 1.0 R1 1.0
+    Y OBJ 1.0 R1 1.0
+    Z R1 1.0
+RHS
+    RHS R1 1.0
+BOUNDS
+ FR BND X
+ FX BND Y 3.5
+ MI BND Z
+ENDATA
+";
+        let lp = parse(text).unwrap();
+        let x = lp.var(lp.var_by_name("X").unwrap());
+        assert!(x.lower.is_infinite() && x.upper.is_infinite());
+        let y = lp.var(lp.var_by_name("Y").unwrap());
+        assert_eq!((y.lower, y.upper), (3.5, 3.5));
+        let z = lp.var(lp.var_by_name("Z").unwrap());
+        assert!(z.lower.is_infinite() && z.lower < 0.0);
+        assert!(z.upper.is_infinite() && z.upper > 0.0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(parse("GARBAGE\n"), Err(MpsError::UnexpectedLine(1, _))));
+        assert!(matches!(
+            parse("ROWS\n L R1\nCOLUMNS\n    X R1 1.0\nENDATA\n"),
+            Err(MpsError::NoObjective)
+        ));
+        let bad_ref = "\
+NAME x
+ROWS
+ N OBJ
+COLUMNS
+    X NOSUCH 1.0
+ENDATA
+";
+        assert!(matches!(parse(bad_ref), Err(MpsError::Unknown(5, _))));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = format!("* leading comment\n\n{SAMPLE}");
+        assert!(parse(&text).is_ok());
+    }
+}

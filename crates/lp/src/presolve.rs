@@ -1,0 +1,346 @@
+//! Light presolve: cheap reductions that shrink a model before
+//! standardization, plus the bookkeeping to restore a full solution.
+//!
+//! Implemented reductions, iterated to a fixpoint:
+//!
+//! 1. **fixed variables** (`l = u`) are substituted out;
+//! 2. **empty rows** are checked for consistency and dropped;
+//! 3. **singleton rows** (`a·x rel b`) become variable bounds;
+//! 4. **empty columns** move to their objective-preferred bound
+//!    (detecting unboundedness when that bound is infinite).
+
+use crate::model::{LinearProgram, Rel, VarId};
+
+/// Tolerance for presolve comparisons.
+const TOL: f64 = 1e-11;
+
+/// Outcome of a presolve run.
+#[derive(Debug, Clone)]
+pub enum PresolveResult {
+    /// A (possibly) reduced model with restoration bookkeeping.
+    Reduced(Presolved),
+    /// The model is infeasible; the string names the witness.
+    Infeasible(String),
+    /// The model is unbounded; the string names the witness variable.
+    Unbounded(String),
+}
+
+/// A reduced model plus the mapping back to the original variable space.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced model.
+    pub lp: LinearProgram,
+    /// Per original variable: `Err(value)` if fixed by presolve,
+    /// `Ok(reduced_index)` otherwise.
+    mapping: Vec<Result<usize, f64>>,
+    /// Rows removed (by original index), for reporting.
+    pub removed_rows: Vec<usize>,
+}
+
+impl Presolved {
+    /// Expand a solution of the reduced model to the original variables.
+    pub fn restore(&self, x_reduced: &[f64]) -> Vec<f64> {
+        self.mapping
+            .iter()
+            .map(|m| match *m {
+                Ok(idx) => x_reduced[idx],
+                Err(v) => v,
+            })
+            .collect()
+    }
+
+    /// Number of variables eliminated.
+    pub fn vars_removed(&self) -> usize {
+        self.mapping.iter().filter(|m| m.is_err()).count()
+    }
+}
+
+#[derive(Clone)]
+struct VarState {
+    lower: f64,
+    upper: f64,
+    obj: f64,
+    name: String,
+    fixed: Option<f64>,
+}
+
+/// Run presolve on a model.
+pub fn presolve(lp: &LinearProgram) -> PresolveResult {
+    let mut vars: Vec<VarState> = lp
+        .vars()
+        .iter()
+        .map(|v| VarState {
+            lower: v.lower,
+            upper: v.upper,
+            obj: v.obj,
+            name: v.name.clone(),
+            fixed: None,
+        })
+        .collect();
+    // Rows as mutable sparse maps; None = removed.
+    let mut rows: Vec<Option<(String, Vec<(usize, f64)>, Rel, f64)>> = lp
+        .constraints()
+        .iter()
+        .map(|c| {
+            let coeffs: Vec<(usize, f64)> =
+                c.coeffs.iter().filter(|&&(_, a)| a != 0.0).map(|&(v, a)| (v.0, a)).collect();
+            Some((c.name.clone(), coeffs, c.rel, c.rhs))
+        })
+        .collect();
+    let minimize = matches!(lp.sense, crate::model::Sense::Min);
+    let mut removed_rows: Vec<usize> = Vec::new();
+
+    for _sweep in 0..16 {
+        let mut changed = false;
+
+        // 1. Fix variables with collapsed bounds, substitute into rows.
+        for (vi, v) in vars.iter_mut().enumerate() {
+            if v.fixed.is_none() && (v.upper - v.lower).abs() <= TOL {
+                v.fixed = Some(v.lower);
+                for row in rows.iter_mut().flatten() {
+                    let mut delta = 0.0;
+                    row.1.retain(|&(j, a)| {
+                        if j == vi {
+                            delta += a * v.lower;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    row.3 -= delta;
+                }
+                changed = true;
+            }
+        }
+
+        // 2 & 3. Empty rows and singleton rows.
+        for ri in 0..rows.len() {
+            let Some((name, coeffs, rel, rhs)) = rows[ri].clone() else { continue };
+            if coeffs.is_empty() {
+                let ok = match rel {
+                    Rel::Le => 0.0 <= rhs + TOL,
+                    Rel::Ge => 0.0 >= rhs - TOL,
+                    Rel::Eq => rhs.abs() <= TOL,
+                };
+                if !ok {
+                    return PresolveResult::Infeasible(format!("empty row {name} demands {rel} {rhs}"));
+                }
+                rows[ri] = None;
+                removed_rows.push(ri);
+                changed = true;
+                continue;
+            }
+            if coeffs.len() == 1 {
+                let (vi, a) = coeffs[0];
+                let v = &mut vars[vi];
+                let bound = rhs / a;
+                let effective = if a > 0.0 { rel } else { flip(rel) };
+                match effective {
+                    Rel::Le => v.upper = v.upper.min(bound),
+                    Rel::Ge => v.lower = v.lower.max(bound),
+                    Rel::Eq => {
+                        v.lower = v.lower.max(bound);
+                        v.upper = v.upper.min(bound);
+                    }
+                }
+                if v.lower > v.upper + TOL {
+                    return PresolveResult::Infeasible(format!(
+                        "singleton row {name} forces {} into empty range [{}, {}]",
+                        v.name, v.lower, v.upper
+                    ));
+                }
+                // Collapse nearly-equal bounds exactly.
+                if v.upper - v.lower <= TOL {
+                    let mid = 0.5 * (v.lower + v.upper);
+                    v.lower = mid;
+                    v.upper = mid;
+                }
+                rows[ri] = None;
+                removed_rows.push(ri);
+                changed = true;
+            }
+        }
+
+        // 4. Empty columns.
+        let mut used = vec![false; vars.len()];
+        for row in rows.iter().flatten() {
+            for &(j, _) in &row.1 {
+                used[j] = true;
+            }
+        }
+        for (vi, v) in vars.iter_mut().enumerate() {
+            if v.fixed.is_some() || used[vi] {
+                continue;
+            }
+            let eff_obj = if minimize { v.obj } else { -v.obj };
+            let target = if eff_obj > TOL {
+                v.lower
+            } else if eff_obj < -TOL {
+                v.upper
+            } else if v.lower.is_finite() {
+                v.lower
+            } else if v.upper.is_finite() {
+                v.upper
+            } else {
+                0.0
+            };
+            if !target.is_finite() {
+                return PresolveResult::Unbounded(format!(
+                    "unconstrained variable {} improves the objective without bound",
+                    v.name
+                ));
+            }
+            v.lower = target;
+            v.upper = target;
+            changed = true; // fixed next sweep
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Assemble the reduced model.
+    let mut reduced = LinearProgram::new(format!("{}-presolved", lp.name));
+    reduced.sense = lp.sense;
+    let mut mapping: Vec<Result<usize, f64>> = Vec::with_capacity(vars.len());
+    let mut new_ids: Vec<Option<VarId>> = Vec::with_capacity(vars.len());
+    for v in &vars {
+        match v.fixed {
+            Some(val) => {
+                mapping.push(Err(val));
+                new_ids.push(None);
+            }
+            None => {
+                let id = reduced.add_var(v.name.clone(), v.lower, v.upper, v.obj);
+                mapping.push(Ok(id.0));
+                new_ids.push(Some(id));
+            }
+        }
+    }
+    for row in rows.iter().flatten() {
+        let coeffs: Vec<(VarId, f64)> = row
+            .1
+            .iter()
+            .map(|&(j, a)| (new_ids[j].expect("fixed vars were substituted out"), a))
+            .collect();
+        reduced.add_constraint(row.0.clone(), &coeffs, row.2, row.3);
+    }
+    removed_rows.sort_unstable();
+    PresolveResult::Reduced(Presolved { lp: reduced, mapping, removed_rows })
+}
+
+fn flip(r: Rel) -> Rel {
+    match r {
+        Rel::Le => Rel::Ge,
+        Rel::Ge => Rel::Le,
+        Rel::Eq => Rel::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearProgram, Rel, Sense};
+
+    #[test]
+    fn fixed_variable_is_substituted() {
+        let mut lp = LinearProgram::new("fix");
+        let x = lp.add_var("x", 3.0, 3.0, 2.0);
+        let y = lp.add_var_nonneg("y", 1.0);
+        lp.add_constraint("c", &[(x, 2.0), (y, 1.0)], Rel::Le, 10.0);
+        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!("expected reduction") };
+        // Substituting x = 3 makes `c` a singleton row on y (y ≤ 4), which
+        // becomes a bound; y is then an empty column fixed at its preferred
+        // bound 0 (minimize, obj +1). Everything presolves away.
+        assert_eq!(p.lp.num_vars(), 0);
+        assert_eq!(p.lp.num_constraints(), 0);
+        assert_eq!(p.vars_removed(), 2);
+        assert_eq!(p.restore(&[]), vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn singleton_row_becomes_bound() {
+        let mut lp = LinearProgram::new("single");
+        let x = lp.add_var_nonneg("x", 1.0);
+        let y = lp.add_var_nonneg("y", 1.0);
+        lp.add_constraint("b", &[(x, 2.0)], Rel::Le, 8.0);
+        lp.add_constraint("c", &[(x, 1.0), (y, 1.0)], Rel::Ge, 1.0);
+        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!() };
+        assert_eq!(p.lp.num_constraints(), 1);
+        let xv = p.lp.var(p.lp.var_by_name("x").unwrap());
+        assert_eq!(xv.upper, 4.0);
+        assert_eq!(p.removed_rows, vec![0]);
+    }
+
+    #[test]
+    fn negative_coefficient_singleton_flips_relation() {
+        let mut lp = LinearProgram::new("flip");
+        let x = lp.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        lp.add_constraint("b", &[(x, -2.0)], Rel::Le, -4.0); // −2x ≤ −4 ⇔ x ≥ 2
+        lp.add_constraint("keep", &[(x, 1.0)], Rel::Le, 10.0);
+        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!() };
+        // Both singleton rows become bounds: 2 ≤ x ≤ 10, then x (obj +1,
+        // minimize) sits at its lower bound... but x still has a finite range
+        // and no rows → empty column fixed at 2.
+        assert_eq!(p.lp.num_constraints(), 0);
+        assert_eq!(p.restore(&[]), vec![2.0]);
+    }
+
+    #[test]
+    fn contradictory_singletons_are_infeasible() {
+        let mut lp = LinearProgram::new("contra");
+        let x = lp.add_var_nonneg("x", 1.0);
+        lp.add_constraint("lo", &[(x, 1.0)], Rel::Ge, 5.0);
+        lp.add_constraint("hi", &[(x, 1.0)], Rel::Le, 1.0);
+        assert!(matches!(presolve(&lp), PresolveResult::Infeasible(_)));
+    }
+
+    #[test]
+    fn empty_row_consistency() {
+        let mut lp = LinearProgram::new("empty");
+        let _x = lp.add_var_nonneg("x", 1.0);
+        lp.add_constraint("ok", &[], Rel::Le, 3.0);
+        lp.add_constraint("bad", &[], Rel::Ge, 3.0);
+        assert!(matches!(presolve(&lp), PresolveResult::Infeasible(_)));
+    }
+
+    #[test]
+    fn empty_column_moves_to_preferred_bound() {
+        let mut lp = LinearProgram::new("col").with_sense(Sense::Max);
+        let x = lp.add_var("x", 0.0, 5.0, 1.0); // max x → upper bound
+        let y = lp.add_var("y", -1.0, 9.0, -2.0); // max −2y → lower bound
+        let _ = (x, y);
+        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!() };
+        assert_eq!(p.restore(&[]), vec![5.0, -1.0]);
+    }
+
+    #[test]
+    fn unbounded_empty_column_detected() {
+        let mut lp = LinearProgram::new("unb");
+        lp.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0); // min x, free
+        assert!(matches!(presolve(&lp), PresolveResult::Unbounded(_)));
+    }
+
+    #[test]
+    fn irreducible_model_passes_through() {
+        let lp = crate::generator::dense_random(4, 6, 2);
+        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!() };
+        assert_eq!(p.lp.num_vars(), 6);
+        assert_eq!(p.lp.num_constraints(), 4);
+        assert_eq!(p.vars_removed(), 0);
+    }
+
+    #[test]
+    fn cascade_fixes_propagate() {
+        // Row fixes x; substitution makes a singleton row on y; that fixes y.
+        let mut lp = LinearProgram::new("cascade");
+        let x = lp.add_var_nonneg("x", 1.0);
+        let y = lp.add_var_nonneg("y", 1.0);
+        lp.add_constraint("fx", &[(x, 1.0)], Rel::Eq, 2.0);
+        lp.add_constraint("xy", &[(x, 1.0), (y, 1.0)], Rel::Eq, 5.0);
+        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!() };
+        assert_eq!(p.lp.num_constraints(), 0);
+        assert_eq!(p.restore(&[]), vec![2.0, 3.0]);
+    }
+}

@@ -1,0 +1,18 @@
+* Sample problem for `cargo run --release --example mps_solve -- data/sample.mps`
+* A small production-mix LP: min-form (MPS minimizes), optimum -36 at (2, 6),
+* i.e. the Wyndor Glass maximum of 36 with the objective negated.
+NAME wyndor-min
+ROWS
+ N COST
+ L PLANT1
+ L PLANT2
+ L PLANT3
+COLUMNS
+    DOORS COST -3.0 PLANT1 1.0
+    DOORS PLANT3 3.0
+    WINDOWS COST -5.0 PLANT2 2.0
+    WINDOWS PLANT3 2.0
+RHS
+    RHS PLANT1 4.0 PLANT2 12.0
+    RHS PLANT3 18.0
+ENDATA

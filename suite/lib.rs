@@ -1,0 +1,35 @@
+//! Workspace-level helpers shared by the examples and integration tests.
+
+use gplex::{PivotRule, SolverOptions};
+
+/// The paper's solver configuration (Dantzig with stall fallback, no
+/// presolve/scaling/reinversion), as used throughout the experiments.
+/// `_m` is accepted for call-site symmetry with the bench crate.
+pub fn paper_opts(_m: usize) -> SolverOptions {
+    SolverOptions {
+        pivot_rule: PivotRule::Hybrid,
+        presolve: false,
+        scale: false,
+        refactor_period: 0,
+        ..Default::default()
+    }
+}
+
+/// Relative error helper used in tests.
+pub fn rel_err(x: f64, reference: f64) -> f64 {
+    (x - reference).abs() / reference.abs().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_behave() {
+        let o = paper_opts(128);
+        assert_eq!(o.refactor_period, 0);
+        assert!(!o.presolve);
+        assert_eq!(rel_err(101.0, 100.0), 0.01);
+        assert_eq!(rel_err(0.5, 0.0), 0.5);
+    }
+}

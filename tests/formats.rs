@@ -1,0 +1,41 @@
+//! The shipped sample model files must parse and solve to their documented
+//! optima — keeps `data/` and the examples honest.
+
+use gplex::{solve, SolverOptions, Status};
+
+#[test]
+fn sample_mps_solves_to_documented_optimum() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/data/sample.mps"))
+        .expect("sample.mps present");
+    let model = lp::mps::parse(&text).expect("sample.mps parses");
+    let sol = solve::<f64>(&model, &SolverOptions::default());
+    assert_eq!(sol.status, Status::Optimal);
+    assert!((sol.objective + 36.0).abs() < 1e-9, "{}", sol.objective);
+    let doors = model.var_by_name("DOORS").unwrap();
+    let windows = model.var_by_name("WINDOWS").unwrap();
+    assert!((sol.x[doors.0] - 2.0).abs() < 1e-9);
+    assert!((sol.x[windows.0] - 6.0).abs() < 1e-9);
+}
+
+#[test]
+fn sample_lp_solves_to_documented_optimum() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/data/sample.lp"))
+        .expect("sample.lp present");
+    let model = lp::lpformat::parse(&text).expect("sample.lp parses");
+    let sol = solve::<f64>(&model, &SolverOptions::default());
+    assert_eq!(sol.status, Status::Optimal);
+    assert!((sol.objective - 13.0).abs() < 1e-9, "{}", sol.objective);
+}
+
+#[test]
+fn lp_and_mps_writers_cross_round_trip() {
+    // model → LP text → model → MPS text → model keeps the same optimum.
+    let original = lp::generator::dense_random(7, 10, 31);
+    let via_lp = lp::lpformat::parse(&lp::lpformat::write(&original)).expect("lp round trip");
+    let via_both = lp::mps::parse(&lp::mps::write(&via_lp)).expect("mps round trip");
+    let a = solve::<f64>(&original, &SolverOptions::default());
+    let b = solve::<f64>(&via_both, &SolverOptions::default());
+    assert_eq!(a.status, Status::Optimal);
+    assert_eq!(b.status, Status::Optimal);
+    assert!((a.objective - b.objective).abs() < 1e-9);
+}

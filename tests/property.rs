@@ -1,0 +1,133 @@
+//! Property-based tests over the solver stack: randomized models, invariant
+//! checks, cross-backend equivalence.
+
+use gplex::{solve, solve_on, verify, BackendKind, SolverOptions, Status};
+use gpu_sim::DeviceSpec;
+use lp::generator;
+use lp::presolve::{presolve, PresolveResult};
+use lp::scaling::{scale, ScalingKind};
+use lp::StandardForm;
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, u64)> {
+    (2usize..14, 2usize..18, 0u64..10_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// dense_random is feasible-by-construction (origin) and bounded
+    /// (positive matrix), so every solve must be Optimal with objective ≤ 0
+    /// (the origin scores 0), and the certificate must hold.
+    #[test]
+    fn dense_random_always_solves_optimally((m, n, seed) in small_dims()) {
+        let model = generator::dense_random(m, n, seed);
+        let opts = SolverOptions { presolve: false, scale: false, ..Default::default() };
+        let sol = solve::<f64>(&model, &opts);
+        prop_assert_eq!(sol.status, Status::Optimal);
+        prop_assert!(sol.objective <= 1e-9, "origin scores 0, optimum {}", sol.objective);
+        prop_assert!(model.check_feasible(&sol.x, 1e-7).is_none());
+        verify::check_solution(&model, &sol, 1e-6).map_err(|e| {
+            TestCaseError::fail(format!("verification failed: {e}"))
+        })?;
+    }
+
+    /// CPU and simulated-GPU backends must agree on status and objective.
+    #[test]
+    fn cpu_gpu_equivalence((m, n, seed) in small_dims()) {
+        let model = generator::dense_random(m, n, seed);
+        let opts = SolverOptions { presolve: false, scale: false, ..Default::default() };
+        let c = solve_on::<f64>(&model, &opts, &BackendKind::CpuDense);
+        let g = solve_on::<f64>(&model, &opts, &BackendKind::GpuDense(DeviceSpec::gtx280()));
+        prop_assert_eq!(c.status, g.status);
+        prop_assert!((c.objective - g.objective).abs() / c.objective.abs().max(1.0) < 1e-7,
+            "cpu {} vs gpu {}", c.objective, g.objective);
+    }
+
+    /// Presolve must preserve the optimum.
+    #[test]
+    fn presolve_preserves_optimum((m, n, seed) in small_dims()) {
+        let model = generator::dense_random(m, n, seed);
+        let with = solve::<f64>(&model, &SolverOptions { presolve: true, ..Default::default() });
+        let without = solve::<f64>(&model, &SolverOptions { presolve: false, ..Default::default() });
+        prop_assert_eq!(with.status, without.status);
+        prop_assert!((with.objective - without.objective).abs()
+            / without.objective.abs().max(1.0) < 1e-7);
+    }
+
+    /// Scaling must preserve the optimum.
+    #[test]
+    fn scaling_preserves_optimum((m, n, seed) in small_dims()) {
+        let model = generator::dense_random(m, n, seed);
+        let with = solve::<f64>(&model, &SolverOptions { scale: true, ..Default::default() });
+        let without = solve::<f64>(&model, &SolverOptions { scale: false, ..Default::default() });
+        prop_assert_eq!(with.status, without.status);
+        prop_assert!((with.objective - without.objective).abs()
+            / without.objective.abs().max(1.0) < 1e-7);
+    }
+
+    /// Presolve's restored solutions are feasible in the original model.
+    #[test]
+    fn presolve_restoration_is_feasible((m, n, seed) in small_dims()) {
+        let model = generator::dense_random(m, n, seed);
+        match presolve(&model) {
+            PresolveResult::Reduced(p) => {
+                let sol = solve::<f64>(&p.lp, &SolverOptions {
+                    presolve: false, ..Default::default() });
+                prop_assume!(sol.status == Status::Optimal);
+                let full = p.restore(&sol.x);
+                prop_assert!(model.check_feasible(&full, 1e-6).is_none());
+            }
+            other => prop_assert!(false, "dense_random should reduce, got {other:?}"),
+        }
+    }
+
+    /// Standard-form recovery maps any basic feasible point back into the
+    /// original feasible region.
+    #[test]
+    fn standard_form_solutions_recover_feasible((m, n, seed) in small_dims()) {
+        let model = generator::dense_random(m, n, seed);
+        let sf = StandardForm::<f64>::from_lp(&model).expect("standardizes");
+        let res = gplex::solve_standard::<f64>(&sf, &SolverOptions {
+            presolve: false, scale: false, ..Default::default()
+        }, &BackendKind::CpuDense);
+        prop_assume!(res.status == Status::Optimal);
+        let x = sf.recover_x(&res.x_std);
+        prop_assert!(model.check_feasible(&x, 1e-6).is_none());
+    }
+
+    /// Geometric-mean scaling never increases the coefficient spread.
+    #[test]
+    fn scaling_reduces_spread((m, n, seed) in small_dims()) {
+        let model = generator::dense_random(m, n, seed);
+        let mut sf = StandardForm::<f64>::from_lp(&model).expect("standardizes");
+        let report = scale(&mut sf, ScalingKind::GeometricMean);
+        prop_assert!(report.spread_after <= report.spread_before * (1.0 + 1e-9));
+    }
+
+    /// MPS write→parse round trips preserve model shape and optimum.
+    #[test]
+    fn mps_round_trip((m, n, seed) in (2usize..10, 2usize..12, 0u64..1000)) {
+        let model = generator::dense_random(m, n, seed);
+        let reparsed = lp::mps::parse(&lp::mps::write(&model)).expect("parses");
+        prop_assert_eq!(model.num_vars(), reparsed.num_vars());
+        prop_assert_eq!(model.num_constraints(), reparsed.num_constraints());
+        let a = solve::<f64>(&model, &SolverOptions::default());
+        let b = solve::<f64>(&reparsed, &SolverOptions::default());
+        prop_assert!((a.objective - b.objective).abs() / a.objective.abs().max(1.0) < 1e-9);
+    }
+
+    /// Sparse and dense backends agree on sparse instances.
+    #[test]
+    fn sparse_backend_equivalence(m in 4usize..20, seed in 0u64..500) {
+        let n = m + 4;
+        let model = generator::sparse_random(m, n, 0.3, seed);
+        let opts = SolverOptions { presolve: false, scale: false, ..Default::default() };
+        let d = solve_on::<f64>(&model, &opts, &BackendKind::CpuDense);
+        let s = solve_on::<f64>(&model, &opts, &BackendKind::CpuSparse);
+        prop_assert_eq!(d.status, s.status);
+        if d.status == Status::Optimal {
+            prop_assert!((d.objective - s.objective).abs() / d.objective.abs().max(1.0) < 1e-8);
+        }
+    }
+}
