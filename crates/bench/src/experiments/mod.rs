@@ -1,5 +1,6 @@
 //! The reproduced experiments, one module per table/figure of DESIGN.md §3.
 
+mod b1_batch;
 mod f2f3;
 mod f4;
 mod f5;
@@ -37,7 +38,7 @@ impl ExpReport {
 
 /// All experiment ids, in DESIGN.md order.
 pub fn all_ids() -> &'static [&'static str] {
-    &["t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5"]
+    &["t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "b1"]
 }
 
 /// Run one experiment by id. `quick` shrinks the grids for smoke runs.
@@ -53,6 +54,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExpReport> {
         "t4" => Some(t4::run(quick)),
         "f5" => Some(f5::run(quick)),
         "t5" => Some(t5::run(quick)),
+        "b1" => Some(b1_batch::run(quick)),
         _ => None,
     }
 }

@@ -44,7 +44,7 @@ pub fn run(quick: bool) -> ExpReport {
             format!("{:.2e}", rel_err(without.objective, oracle.objective)),
             with.status.tag().to_string(),
             without.status.tag().to_string(),
-            format!("{}", (with.iterations / 64).max(0)),
+            format!("{}", (with.iterations / 64)),
         ]);
     }
     ExpReport {

@@ -105,6 +105,9 @@ pub trait Backend<T: Scalar> {
 
     /// Rebuild `B⁻¹` and `β` from the basis column set. Returns `Err(())`
     /// when the basis is numerically singular.
+    // Singularity is the only failure mode; a dedicated error type would
+    // carry no extra information.
+    #[allow(clippy::result_unit_err)]
     fn refactorize(&mut self, basis: &[usize]) -> Result<(), ()>;
 
     /// One entry of the current `α` vector (used when driving artificials

@@ -306,11 +306,10 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
         // Fast path: device-resident Gauss–Jordan reinversion over [B | I]
         // (col-major only; no pivoting — falls back to the pivoting host
         // path on a small pivot).
-        if self.layout == Layout::ColMajor {
-            if self.refactorize_on_device(basis).is_ok() {
+        if self.layout == Layout::ColMajor
+            && self.refactorize_on_device(basis).is_ok() {
                 return Ok(());
             }
-        }
         self.refactorize_on_host(basis)
     }
 

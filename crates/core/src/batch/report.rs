@@ -1,0 +1,238 @@
+//! What a batch run produced: per-job results and aggregate statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gpu_sim::SimTime;
+
+use crate::result::{LpSolution, Status};
+
+/// How one job of a batch ended.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// The solver returned (any [`Status`], including `Infeasible` and
+    /// `Unbounded` — those are *answers*, not failures).
+    Solved(LpSolution),
+    /// The solve panicked; the pool caught it and kept going. The payload
+    /// message is preserved for the report.
+    Panicked(String),
+}
+
+impl JobOutcome {
+    /// The solution, if the job did not panic.
+    pub fn solution(&self) -> Option<&LpSolution> {
+        match self {
+            JobOutcome::Solved(sol) => Some(sol),
+            JobOutcome::Panicked(_) => None,
+        }
+    }
+
+    /// Short status tag for tables: the solve status, or `panicked`.
+    pub fn status_label(&self) -> &'static str {
+        match self {
+            JobOutcome::Solved(sol) => match sol.status {
+                Status::Optimal => "optimal",
+                Status::Infeasible => "infeasible",
+                Status::Unbounded => "unbounded",
+                Status::IterationLimit => "iteration-limit",
+                Status::SingularBasis => "singular-basis",
+            },
+            JobOutcome::Panicked(_) => "panicked",
+        }
+    }
+}
+
+/// One job's record in the batch report.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Index of the job in the submitted batch (results are returned in
+    /// submission order regardless of completion order).
+    pub index: usize,
+    /// Label of the backend the placement policy chose
+    /// ([`crate::BackendKind::label`]).
+    pub backend: &'static str,
+    /// Worker thread (0-based) that ran the job.
+    pub worker: usize,
+    /// Host wall-clock seconds for this solve.
+    pub wall_seconds: f64,
+    /// Simulated/modeled solve time ([`crate::SolveStats::total_time`]);
+    /// zero for panicked jobs.
+    pub sim_time: SimTime,
+    /// The outcome.
+    pub outcome: JobOutcome,
+}
+
+/// Per-backend tallies within a batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackendTally {
+    /// Jobs placed on this backend.
+    pub jobs: usize,
+    /// Simulated time accumulated on this backend.
+    pub sim_time: SimTime,
+}
+
+/// Aggregate statistics for one batch run.
+///
+/// Two clocks, deliberately:
+///
+/// * **Simulated time** is the primary metric, as everywhere in this
+///   reproduction. `sim_total` is the sequential cost (the sum of per-job
+///   modeled times — what one worker would take); `sim_makespan` is the
+///   parallel cost (the max over workers of the modeled time each executed).
+///   Their ratio [`BatchStats::speedup`] is scheduler speedup on the
+///   simulated hardware, independent of how many host cores the
+///   reproduction machine happens to have.
+/// * **Host wall-clock** (`wall_seconds`, [`BatchStats::throughput`]) is
+///   reported alongside as the secondary, machine-dependent metric.
+#[derive(Debug)]
+pub struct BatchStats {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Jobs that returned a solution (any status) rather than panicking.
+    pub solved: usize,
+    /// Jobs that panicked (caught; pool survived).
+    pub panicked: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Host wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Sum of per-job simulated times — the sequential (1-worker) cost.
+    pub sim_total: SimTime,
+    /// Max over workers of the simulated time that worker executed — the
+    /// parallel cost under this schedule.
+    pub sim_makespan: SimTime,
+    /// Tallies keyed by backend label.
+    pub per_backend: BTreeMap<&'static str, BackendTally>,
+}
+
+impl BatchStats {
+    /// Host throughput, LPs per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_seconds == 0.0 {
+            0.0
+        } else {
+            self.jobs as f64 / self.wall_seconds
+        }
+    }
+
+    /// Simulated throughput, LPs per simulated second of makespan.
+    pub fn sim_throughput(&self) -> f64 {
+        let s = self.sim_makespan.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.jobs as f64 / s
+        }
+    }
+
+    /// Scheduler speedup on simulated time: sequential cost over parallel
+    /// makespan. 1.0 for a single worker; bounded above by `workers`.
+    pub fn speedup(&self) -> f64 {
+        let makespan = self.sim_makespan.as_nanos();
+        if makespan == 0.0 {
+            1.0
+        } else {
+            self.sim_total.as_nanos() / makespan
+        }
+    }
+
+    /// Fraction of the batch's simulated time spent on backend `label`
+    /// (0 when the batch did no simulated work).
+    pub fn utilization(&self, label: &str) -> f64 {
+        let total = self.sim_total.as_nanos();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.per_backend
+            .get(label)
+            .map(|t| t.sim_time.as_nanos() / total)
+            .unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "batch: {} jobs ({} solved, {} panicked) on {} workers",
+            self.jobs, self.solved, self.panicked, self.workers
+        )?;
+        writeln!(f, "  wall: {:.3} s ({:.1} LPs/s)", self.wall_seconds, self.throughput())?;
+        writeln!(
+            f,
+            "  simulated: total {}, makespan {}, speedup {:.2}x",
+            self.sim_total,
+            self.sim_makespan,
+            self.speedup()
+        )?;
+        for (label, tally) in &self.per_backend {
+            writeln!(
+                f,
+                "    {:<12} {:>4} jobs  {:>12}  {:5.1}%",
+                label,
+                tally.jobs,
+                format!("{}", tally.sim_time),
+                100.0 * self.utilization(label)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> BatchStats {
+        let mut per_backend = BTreeMap::new();
+        per_backend
+            .insert("cpu-dense", BackendTally { jobs: 3, sim_time: SimTime::from_us(30.0) });
+        per_backend
+            .insert("gpu-dense", BackendTally { jobs: 1, sim_time: SimTime::from_us(10.0) });
+        BatchStats {
+            jobs: 4,
+            solved: 4,
+            panicked: 0,
+            workers: 2,
+            wall_seconds: 0.5,
+            sim_total: SimTime::from_us(40.0),
+            sim_makespan: SimTime::from_us(25.0),
+            per_backend,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = stats();
+        assert!((s.throughput() - 8.0).abs() < 1e-12);
+        assert!((s.speedup() - 1.6).abs() < 1e-12);
+        assert!((s.utilization("cpu-dense") - 0.75).abs() < 1e-12);
+        assert_eq!(s.utilization("cpu-sparse"), 0.0);
+        assert!(s.sim_throughput() > 0.0);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let s = BatchStats {
+            jobs: 0,
+            solved: 0,
+            panicked: 0,
+            workers: 1,
+            wall_seconds: 0.0,
+            sim_total: SimTime::ZERO,
+            sim_makespan: SimTime::ZERO,
+            per_backend: BTreeMap::new(),
+        };
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.speedup(), 1.0);
+        assert_eq!(s.utilization("cpu-dense"), 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let text = format!("{}", stats());
+        assert!(text.contains("4 jobs"));
+        assert!(text.contains("cpu-dense"));
+        assert!(text.contains("speedup 1.60x"));
+    }
+}

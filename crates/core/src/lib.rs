@@ -30,8 +30,15 @@
 //! assert!((sol.x[0] - 2.0).abs() < 1e-9 && (sol.x[1] - 6.0).abs() < 1e-9);
 //! ```
 
+// Simplex pivoting idioms: `!(a < b)` keeps NaN on the "no improvement"
+// side of ratio tests (rewriting to `a >= b` flips NaN behavior), and
+// indexed loops walk multiple co-indexed solver arrays.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
 pub mod backend;
 pub mod backends;
+pub mod batch;
 pub mod options;
 pub mod result;
 pub mod revised;
@@ -42,6 +49,9 @@ pub mod tableau_gpu;
 pub mod verify;
 
 pub use backend::{Backend, RatioOutcome};
+pub use batch::{
+    BatchOptions, BatchReport, BatchSolver, BatchStats, JobOutcome, JobResult, PlacementPolicy,
+};
 pub use options::{PivotRule, SolverOptions};
 pub use result::{LpSolution, Status, StdResult};
 pub use revised::RevisedSimplex;

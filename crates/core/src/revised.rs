@@ -232,7 +232,7 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
             // Periodic reinversion.
             if self.opts.refactor_period > 0
                 && iters_here > 0
-                && iters_here % self.opts.refactor_period == 0
+                && iters_here.is_multiple_of(self.opts.refactor_period)
             {
                 let t0 = self.backend.clock();
                 if self.backend.refactorize(&self.xb).is_err() {

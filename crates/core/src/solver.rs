@@ -1,7 +1,9 @@
 //! High-level pipeline: presolve → standardize → scale → revised simplex →
 //! recover, over a chosen backend.
 
-use gpu_sim::{DeviceSpec, Gpu};
+use std::sync::Arc;
+
+use gpu_sim::{DeviceSpec, Gpu, Stream};
 use linalg::{CsrMatrix, Scalar};
 use lp::presolve::{presolve, PresolveResult};
 use lp::scaling::{scale, ScalingKind};
@@ -14,14 +16,42 @@ use crate::revised::RevisedSimplex;
 use crate::stats::SolveStats;
 
 /// Which backend the pipeline should run on.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub enum BackendKind {
     /// Serial dense CPU (the paper's baseline).
     CpuDense,
     /// Sparse-pricing CPU (extension).
     CpuSparse,
-    /// Simulated GPU with the given device.
+    /// Simulated GPU with the given device (a fresh device per solve).
     GpuDense(DeviceSpec),
+    /// A shared simulated GPU: each solve runs on its own
+    /// [`gpu_sim::Stream`] of this device, so many solves can interleave
+    /// (e.g. from batch-scheduler workers) with per-solve counters intact
+    /// and device-wide memory capacity enforced.
+    GpuShared(Arc<Gpu>),
+}
+
+impl BackendKind {
+    /// Short stable tag for stats keys and CSV columns.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::CpuDense => "cpu-dense",
+            BackendKind::CpuSparse => "cpu-sparse",
+            BackendKind::GpuDense(_) => "gpu-dense",
+            BackendKind::GpuShared(_) => "gpu-shared",
+        }
+    }
+}
+
+impl std::fmt::Debug for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::CpuDense => write!(f, "CpuDense"),
+            BackendKind::CpuSparse => write!(f, "CpuSparse"),
+            BackendKind::GpuDense(spec) => write!(f, "GpuDense({})", spec.name),
+            BackendKind::GpuShared(gpu) => write!(f, "GpuShared({})", gpu.spec().name),
+        }
+    }
 }
 
 /// Solve an LP through the full pipeline on the dense CPU backend.
@@ -179,6 +209,14 @@ fn solve_standard_impl<T: Scalar>(
         BackendKind::GpuDense(spec) => {
             let gpu = Gpu::new(spec.clone());
             let mut be = GpuDenseBackend::new(&gpu, &sf.a, &sf.b, n_active, &sf.basis0);
+            drive(&mut be, sf, opts, warm)
+        }
+        BackendKind::GpuShared(device) => {
+            // One stream per solve: `Stream` derefs to `Gpu`, so the
+            // backend runs unchanged while its counters stay per-solve
+            // correct and fold into the shared device on retirement.
+            let stream = Stream::on(device);
+            let mut be = GpuDenseBackend::new(&stream, &sf.a, &sf.b, n_active, &sf.basis0);
             drive(&mut be, sf, opts, warm)
         }
     }

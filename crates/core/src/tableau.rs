@@ -143,7 +143,7 @@ fn run<T: Scalar>(
             }
             let mut d = costs[j];
             for (i, &bj) in basis.iter().enumerate() {
-                d = d - costs[bj] * tab.get(i, j);
+                d -= costs[bj] * tab.get(i, j);
             }
             if d < -opt_tol {
                 match rule {

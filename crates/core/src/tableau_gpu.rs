@@ -91,14 +91,14 @@ pub fn solve_standard_gpu<T: Scalar>(
         for (j, r) in row.iter_mut().enumerate().take(n) {
             let mut d = costs(j);
             for (i, &bj) in basis.iter().enumerate() {
-                d = d - costs(bj) * cur.get(i, j);
+                d -= costs(bj) * cur.get(i, j);
             }
             *r = d;
         }
         // Corner: −z = −c_B·b̂.
         let mut z = T::ZERO;
         for (i, &bj) in basis.iter().enumerate() {
-            z = z + costs(bj) * cur.get(i, n);
+            z += costs(bj) * cur.get(i, n);
         }
         row[n] = -z;
         let src = gpu.htod(&row);

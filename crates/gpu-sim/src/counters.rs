@@ -84,6 +84,13 @@ impl TimeBreakdown {
             self.get(cat).as_nanos() / total
         }
     }
+
+    /// Accumulate another breakdown into this one.
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        for cat in TimeCategory::ALL {
+            self.add(cat, other.get(cat));
+        }
+    }
 }
 
 /// Per-kernel aggregate statistics.
@@ -130,9 +137,38 @@ pub struct Counters {
     pub allocated_bytes: u64,
     /// Peak device memory allocated (bytes).
     pub peak_allocated_bytes: u64,
+    /// Streams opened on this device whose activity has been folded back
+    /// into these (device-aggregate) counters.
+    pub streams_retired: u64,
 }
 
 impl Counters {
+    /// Fold a stream's (or any sub-context's) counters into this
+    /// aggregate: activity counts and times add; memory high-water marks
+    /// take the max (allocation is tracked device-wide, not per stream).
+    pub fn merge(&mut self, other: &Counters) {
+        self.elapsed += other.elapsed;
+        self.breakdown.merge(&other.breakdown);
+        self.kernels_launched += other.kernels_launched;
+        self.h2d_count += other.h2d_count;
+        self.h2d_bytes += other.h2d_bytes;
+        self.d2h_count += other.d2h_count;
+        self.d2h_bytes += other.d2h_bytes;
+        self.transactions += other.transactions;
+        self.mem_bytes += other.mem_bytes;
+        self.flops += other.flops;
+        for (&name, st) in &other.per_kernel {
+            let agg = self.per_kernel.entry(name).or_default();
+            agg.launches += st.launches;
+            agg.time += st.time;
+            agg.transactions += st.transactions;
+            agg.bytes += st.bytes;
+            agg.flops += st.flops;
+        }
+        self.allocated_bytes = self.allocated_bytes.max(other.allocated_bytes);
+        self.peak_allocated_bytes = self.peak_allocated_bytes.max(other.peak_allocated_bytes);
+        self.streams_retired += other.streams_retired;
+    }
     /// Achieved global-memory bandwidth over the whole history, bytes/sec.
     pub fn achieved_bandwidth(&self) -> f64 {
         let s = self.elapsed.as_secs_f64();
@@ -232,8 +268,7 @@ mod tests {
 
     #[test]
     fn display_renders() {
-        let mut c = Counters::default();
-        c.elapsed = SimTime::from_us(10.0);
+        let mut c = Counters { elapsed: SimTime::from_us(10.0), ..Counters::default() };
         c.per_kernel.insert("saxpy", KernelStats { launches: 2, ..Default::default() });
         let s = format!("{c}");
         assert!(s.contains("saxpy"));

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::counters::{Counters, KernelStats, TimeCategory};
+use crate::counters::{Counters, TimeCategory};
 use crate::device::DeviceSpec;
 use crate::dim::{Dim3, LaunchConfig};
 use crate::kernel::{Kernel, ThreadCtx};
@@ -53,6 +53,37 @@ impl Gpu {
             counters: Mutex::new(Counters::default()),
             tracker: Arc::new(AllocTracker::default()),
         }
+    }
+
+    /// Create a context that shares an existing device's allocation
+    /// tracker (capacity is a device-wide resource) but keeps its own
+    /// clock and counters. Used by [`crate::stream::Stream`].
+    pub(crate) fn with_shared_tracker(
+        spec: DeviceSpec,
+        mode: ExecMode,
+        tracker: Arc<AllocTracker>,
+    ) -> Self {
+        Gpu { spec, mode, counters: Mutex::new(Counters::default()), tracker }
+    }
+
+    /// Handle to the device-wide allocation tracker.
+    pub(crate) fn tracker_handle(&self) -> Arc<AllocTracker> {
+        Arc::clone(&self.tracker)
+    }
+
+    /// The execution mode of this device.
+    pub(crate) fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Fold a retired stream's counters into this device's aggregate.
+    pub(crate) fn retire_stream(&self, stream_counters: &Counters) {
+        let mut c = self.counters.lock();
+        c.merge(stream_counters);
+        c.streams_retired += 1;
+        // "Current allocated" is a device-wide quantity owned by the
+        // shared tracker, not a per-stream delta — refresh it.
+        c.allocated_bytes = self.tracker.current();
     }
 
     /// The device specification.
@@ -189,7 +220,7 @@ impl Gpu {
             c.transactions += tx;
             c.mem_bytes += bytes;
             c.flops += cost.flops;
-            let st = c.per_kernel.entry(kernel.name()).or_insert_with(KernelStats::default);
+            let st = c.per_kernel.entry(kernel.name()).or_default();
             st.launches += 1;
             st.time += timing.total();
             st.transactions += tx;

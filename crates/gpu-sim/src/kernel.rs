@@ -217,7 +217,7 @@ mod tests {
         };
         assert_eq!(t.gx(), 3 * 8 + 1);
         assert_eq!(t.gy(), 4 * 8 + 2);
-        assert_eq!(t.lane(32), (1 + 2 * 8) % 32);
+        assert_eq!(t.lane(32), (1 + 2 * 8));
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod dim;
 pub mod exec;
 pub mod kernel;
 pub mod memory;
+pub mod stream;
 pub mod timing;
 
 pub use coalesce::{AccessPattern, PatternKind};
@@ -75,4 +76,5 @@ pub use dim::{Dim3, LaunchConfig};
 pub use exec::{ExecMode, Gpu};
 pub use kernel::{Kernel, KernelCost, ThreadCtx};
 pub use memory::{DView, DViewMut, DeviceBuffer, Pod};
+pub use stream::Stream;
 pub use timing::SimTime;

@@ -306,6 +306,10 @@ impl<T: Pod> DViewMut<T> {
 
     /// Borrow the view contents as a mutable host slice (engine/test use;
     /// kernels should go through `get`/`set`).
+    // A view is a raw device-pointer handle with CUDA's aliasing semantics
+    // (interior mutability by contract), not a Rust borrow of the buffer —
+    // the &self → &mut lint does not apply to this design.
+    #[allow(clippy::mut_from_ref)]
     pub fn as_mut_slice(&self) -> &mut [T] {
         // SAFETY: sound between launches; within a launch the kernel race
         // contract applies (module docs).

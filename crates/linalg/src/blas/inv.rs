@@ -72,7 +72,7 @@ impl<T: Scalar> Rows<T> {
             (&mut right[..n], &left[k * n..(k + 1) * n])
         };
         for (a, &b) in ri.iter_mut().zip(rk) {
-            *a = *a - f * b;
+            *a -= f * b;
         }
     }
 
@@ -166,7 +166,7 @@ pub fn lu_solve<T: Scalar>(a: &DenseMatrix<T>, b: &[T]) -> Option<Vec<T>> {
             }
             work.sub_scaled_row(i, k, f);
             let rk = rhs[k];
-            rhs[i] = rhs[i] - f * rk;
+            rhs[i] -= f * rk;
         }
     }
     let mut x = vec![T::ZERO; n];
@@ -174,7 +174,7 @@ pub fn lu_solve<T: Scalar>(a: &DenseMatrix<T>, b: &[T]) -> Option<Vec<T>> {
         let mut acc = rhs[k];
         let row = work.row(k);
         for j in k + 1..n {
-            acc = acc - row[j] * x[j];
+            acc -= row[j] * x[j];
         }
         x[k] = acc / row[k];
     }

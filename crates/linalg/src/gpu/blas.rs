@@ -145,6 +145,9 @@ pub fn gemv_t<T: Scalar>(
 /// contiguous column block (col-major only, where a column block is a
 /// contiguous sub-buffer). The workhorse of partial pricing: the solver
 /// prices `len` columns per iteration instead of all of them.
+// BLAS-style signature: the argument list mirrors the gemv calling
+// convention plus the column-block window.
+#[allow(clippy::too_many_arguments)]
 pub fn gemv_t_cols<T: Scalar>(
     gpu: &Gpu,
     alpha: T,
@@ -341,7 +344,7 @@ mod tests {
             let dx = g.htod(&xh);
             let mut dy = g.htod(&yh);
             gemv_t(&g, 1.5, &da, dx.view(), -1.0, dy.view_mut(), strat);
-            approx(&g.dtoh(&dy).as_slice(), &expect, 1e-12);
+            approx(g.dtoh(&dy).as_slice(), &expect, 1e-12);
         }
     }
 

@@ -20,6 +20,13 @@
 //! paths produce bitwise-reproducible results (GPU reductions use a fixed
 //! tree order, not atomics).
 
+// Numeric-kernel idioms used throughout: `!(a < b)` keeps NaN on the
+// "no improvement" side of pivot/ratio tests (rewriting to `a >= b` flips
+// NaN behavior), and indexed loops mirror the BLAS reference formulation
+// over multiple co-indexed buffers.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
 pub mod blas;
 pub mod cpu_model;
 pub mod dense;

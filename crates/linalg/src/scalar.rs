@@ -171,13 +171,17 @@ mod tests {
         assert_eq!(T::from_f64(2.0).mul_add(T::from_f64(3.0), T::ONE).to_f64(), 7.0);
     }
 
+    // The IS_F64 checks assert on associated constants by design: they pin
+    // the discriminant each Scalar impl advertises.
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn f32_impl() {
         roundtrip::<f32>();
         assert!(!f32::IS_F64);
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn f64_impl() {
         roundtrip::<f64>();
         assert!(f64::IS_F64);

@@ -31,7 +31,7 @@ impl<T: Scalar> CooMatrix<T> {
     /// Build from unsorted triplets; duplicates are summed.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, T)]) -> Self {
         let mut ts: Vec<(usize, usize, T)> = triplets.to_vec();
-        ts.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        ts.sort_by_key(|a| (a.0, a.1));
         let mut m = CooMatrix::new(rows, cols);
         for (r, c, v) in ts {
             assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");

@@ -9,7 +9,6 @@ use gpu_sim::{DeviceSpec, Gpu};
 use linalg::gpu::{self as gblas, DeviceMatrix, GemvTStrategy, Layout};
 use linalg::DenseMatrix;
 
-const SEG: u64 = 128;
 const WARP: u64 = 32;
 
 fn gpu() -> Gpu {
@@ -19,7 +18,7 @@ fn gpu() -> Gpu {
 /// Transactions of a perfectly coalesced f32 pattern of `n` accesses.
 fn coalesced_tx(n: u64) -> u64 {
     // Full warps: 1 transaction each (32 × 4 B = 128 B); tail: 1.
-    n / WARP + u64::from(n % WARP != 0)
+    n / WARP + u64::from(!n.is_multiple_of(WARP))
 }
 
 #[test]

@@ -2,6 +2,9 @@
 //! algebraic identities, GPU kernels against the CPU reference, and the
 //! sparse formats against their dense counterparts.
 
+// Indexed loops mirror the textbook formulations being checked.
+#![allow(clippy::needless_range_loop)]
+
 use gpu_sim::{DeviceSpec, Gpu};
 use linalg::gpu::{self as gblas, DeviceMatrix, GemvTStrategy, Layout};
 use linalg::{blas, CsrMatrix, DenseMatrix};
@@ -13,10 +16,6 @@ fn matrix(max_dim: usize) -> impl Strategy<Value = DenseMatrix<f64>> {
         proptest::collection::vec(-4.0f64..4.0, m * n)
             .prop_map(move |data| DenseMatrix::from_col_major(m, n, data))
     })
-}
-
-fn vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-4.0f64..4.0, len)
 }
 
 fn close(a: f64, b: f64, tol: f64) -> bool {

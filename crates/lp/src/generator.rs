@@ -243,6 +243,36 @@ pub fn multi_period_production(periods: usize, seed: u64) -> LinearProgram {
     lp
 }
 
+/// A batch of `count` independent [`dense_random`] LPs of one shape, with
+/// per-job seeds derived from `seed` — the homogeneous workload for batch
+/// scheduler throughput experiments. Job `i` is exactly
+/// `dense_random(m, n, seed + i)`, so sequential and batched runs see
+/// byte-identical models.
+pub fn batch_dense(count: usize, m: usize, n: usize, seed: u64) -> Vec<LinearProgram> {
+    (0..count).map(|i| dense_random(m, n, seed.wrapping_add(i as u64))).collect()
+}
+
+/// A size-heterogeneous batch for placement-policy experiments: job `i`
+/// takes its `(m, n)` from `sizes[i % sizes.len()]`, so small and large
+/// problems interleave the way a CPU-vs-GPU crossover policy wants to see
+/// them. Seeds derive from `seed` as in [`batch_dense`].
+///
+/// # Panics
+/// If `sizes` is empty.
+pub fn batch_mixed_sizes(
+    count: usize,
+    sizes: &[(usize, usize)],
+    seed: u64,
+) -> Vec<LinearProgram> {
+    assert!(!sizes.is_empty(), "need at least one (m, n) shape");
+    (0..count)
+        .map(|i| {
+            let (m, n) = sizes[i % sizes.len()];
+            dense_random(m, n, seed.wrapping_add(i as u64))
+        })
+        .collect()
+}
+
 /// Small fixed instances with known solutions, used as exact oracles.
 pub mod fixtures {
     use super::*;
@@ -353,6 +383,20 @@ pub mod fixtures {
         lp.add_constraint("res3", &[(p, 3.0), (q, 4.0), (r, 2.0)], Rel::Le, 8.0);
         lp.add_constraint("minprod", &[(p, 1.0), (q, 1.0), (r, 1.0)], Rel::Ge, 1.0);
         (lp, 13.0)
+    }
+
+    /// A deliberately malformed model — an infinite constraint coefficient
+    /// — that presolve passes through and standardization rejects, so
+    /// `solve` panics on it. Fault-injection fixture for the batch
+    /// scheduler's panic-isolation tests. (Two variables in the bad row:
+    /// a singleton row would be absorbed into a bound by presolve before
+    /// standardization ever saw the infinity.)
+    pub fn poisoned() -> LinearProgram {
+        let mut lp = LinearProgram::new("poisoned");
+        let x = lp.add_var_nonneg("x", 1.0);
+        let y = lp.add_var_nonneg("y", 1.0);
+        lp.add_constraint("bad", &[(x, f64::INFINITY), (y, 1.0)], Rel::Le, 1.0);
+        lp
     }
 }
 
@@ -494,5 +538,33 @@ mod tests {
         // Optimum: x1 = 1/25? Known optimal objective is −1/20.
         assert_eq!(opt, -0.05);
         assert_eq!(lp.num_vars(), 4);
+    }
+
+    #[test]
+    fn batch_dense_jobs_match_individual_generation() {
+        let batch = batch_dense(5, 4, 6, 100);
+        assert_eq!(batch.len(), 5);
+        for (i, lp) in batch.iter().enumerate() {
+            let solo = dense_random(4, 6, 100 + i as u64);
+            assert_eq!(lp.name, solo.name);
+            for (a, b) in lp.constraints().iter().zip(solo.constraints()) {
+                assert_eq!(a.rhs, b.rhs);
+                assert_eq!(a.coeffs, b.coeffs);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_mixed_sizes_cycles_shapes() {
+        let batch = batch_mixed_sizes(5, &[(3, 4), (8, 10)], 7);
+        let shapes: Vec<(usize, usize)> =
+            batch.iter().map(|lp| (lp.num_constraints(), lp.num_vars())).collect();
+        assert_eq!(shapes, [(3, 4), (8, 10), (3, 4), (8, 10), (3, 4)]);
+    }
+
+    #[test]
+    fn poisoned_fixture_fails_standardization() {
+        let lp = fixtures::poisoned();
+        assert!(crate::StandardForm::<f64>::from_lp(&lp).is_err());
     }
 }

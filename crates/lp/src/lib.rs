@@ -16,6 +16,11 @@
 //! * [`presolve`] — light presolve (fixed variables, empty and singleton
 //!   rows, empty columns).
 
+// Presolve/scaling use `!(a < b)` so NaN falls on the conservative side of
+// tolerance tests, and indexed loops over co-indexed row/column arrays.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
 pub mod generator;
 pub mod lpformat;
 pub mod model;

@@ -388,7 +388,7 @@ pub fn write(model: &LinearProgram) -> String {
     }
     if !any {
         out.push_str(" 0 ");
-        out.push_str(&model.vars().first().map(|v| v.name.as_str()).unwrap_or("x"));
+        out.push_str(model.vars().first().map(|v| v.name.as_str()).unwrap_or("x"));
     }
     out.push_str("\nSubject To\n");
     for c in model.constraints() {

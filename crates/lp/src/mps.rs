@@ -110,12 +110,11 @@ pub fn parse(text: &str) -> Result<LinearProgram, MpsError> {
                     other => return Err(MpsError::Parse(lineno, other.to_string())),
                 };
                 let rname = fields[1].to_string();
-                if rel.is_none() {
-                    if obj_row.is_none() {
+                if rel.is_none()
+                    && obj_row.is_none() {
                         obj_row = Some(rname.clone());
                     }
                     // Extra N rows are ignored (free rows), NETLIB-style.
-                }
                 if rel.is_some() {
                     row_order.push(rname.clone());
                 }
@@ -128,7 +127,7 @@ pub fn parse(text: &str) -> Result<LinearProgram, MpsError> {
                 if fields.iter().any(|f| f.eq_ignore_ascii_case("'MARKER'")) {
                     return Err(MpsError::Unsupported(lineno, "integer markers".into()));
                 }
-                if fields.len() < 3 || fields.len() % 2 == 0 {
+                if fields.len() < 3 || fields.len().is_multiple_of(2) {
                     return Err(MpsError::Parse(lineno, raw.to_string()));
                 }
                 let col = fields[0].to_string();
@@ -137,7 +136,7 @@ pub fn parse(text: &str) -> Result<LinearProgram, MpsError> {
                     col_entries.insert(col.clone(), Vec::new());
                 }
                 let mut k = 1;
-                while k + 1 < fields.len() + 1 && k + 1 <= fields.len() {
+                while k + 1 < fields.len() + 1 && k < fields.len() {
                     let rname = fields[k];
                     let val: f64 = fields[k + 1]
                         .parse()
@@ -158,11 +157,11 @@ pub fn parse(text: &str) -> Result<LinearProgram, MpsError> {
                 }
             }
             Section::Rhs => {
-                if fields.len() < 3 || fields.len() % 2 == 0 {
+                if fields.len() < 3 || fields.len().is_multiple_of(2) {
                     return Err(MpsError::Parse(lineno, raw.to_string()));
                 }
                 let mut k = 1;
-                while k + 1 <= fields.len() - 1 {
+                while k < fields.len() - 1 {
                     let rname = fields[k];
                     let val: f64 = fields[k + 1]
                         .parse()
@@ -179,7 +178,7 @@ pub fn parse(text: &str) -> Result<LinearProgram, MpsError> {
                     return Err(MpsError::Parse(lineno, raw.to_string()));
                 }
                 let mut k = 1;
-                while k + 1 <= fields.len() - 1 {
+                while k < fields.len() - 1 {
                     let rname = fields[k];
                     let val: f64 = fields[k + 1]
                         .parse()

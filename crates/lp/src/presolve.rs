@@ -64,6 +64,9 @@ struct VarState {
     fixed: Option<f64>,
 }
 
+/// A working row during presolve: `(name, sparse coeffs, relation, rhs)`.
+type WorkRow = (String, Vec<(usize, f64)>, Rel, f64);
+
 /// Run presolve on a model.
 pub fn presolve(lp: &LinearProgram) -> PresolveResult {
     let mut vars: Vec<VarState> = lp
@@ -78,7 +81,7 @@ pub fn presolve(lp: &LinearProgram) -> PresolveResult {
         })
         .collect();
     // Rows as mutable sparse maps; None = removed.
-    let mut rows: Vec<Option<(String, Vec<(usize, f64)>, Rel, f64)>> = lp
+    let mut rows: Vec<Option<WorkRow>> = lp
         .constraints()
         .iter()
         .map(|c| {

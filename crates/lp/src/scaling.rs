@@ -116,7 +116,7 @@ fn scale_rows<T: Scalar>(sf: &mut StandardForm<T>, equil: bool) {
             let v = sf.a.get(i, j) * inv;
             sf.a.set(i, j, v);
         }
-        sf.b[i] = sf.b[i] * inv;
+        sf.b[i] *= inv;
         sf.row_scale[i] *= f;
     }
 }
@@ -149,7 +149,7 @@ fn scale_cols<T: Scalar>(sf: &mut StandardForm<T>, equil: bool) {
         }
         // Column scaled by 1/f means x̃_j = f·x_j … i.e. x_j = x̃_j / f.
         // recover_x multiplies by col_scale, so col_scale picks up 1/f.
-        sf.c[j] = sf.c[j] * inv;
+        sf.c[j] *= inv;
         sf.col_scale[j] /= f;
     }
 }

@@ -1,0 +1,187 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Keeps the workspace's `[[bench]]` targets compiling and runnable without
+//! network access. Implements a deliberately small harness: each benchmark
+//! is timed over a fixed number of batched runs and the mean/min wall time
+//! is printed — no statistical analysis, outlier detection, or HTML
+//! reports. Numbers from this shim are indicative only; the repo's real
+//! measurements flow through `gplex-bench`'s own `measure` module and the
+//! simulated-time counters.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can use `criterion::black_box` if they choose
+/// (the workspace's benches import `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{name}/{param}") }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{param}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: u32,
+    /// Mean and minimum duration of one routine call, filled by `iter`.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine`: a warm-up call, then `samples` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / self.samples, min));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { samples: self.sample_size, result: None };
+        f(&mut b);
+        match b.result {
+            Some((mean, min)) => println!(
+                "bench {}/{id}: mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+                self.name, mean, min, self.samples_label()
+            ),
+            None => println!("bench {}/{id}: no measurement (iter not called)", self.name),
+        }
+    }
+
+    fn samples_label(&self) -> u32 {
+        self.sample_size
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run_one(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a plain closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    /// End the group (no-op beyond matching criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmark a plain closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        self
+    }
+
+    #[doc(hidden)]
+    pub fn final_summary(&self) {}
+}
+
+/// Declare a bench group: `criterion_group!(name, fn_a, fn_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point: `criterion_main!(group_a, group_b);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("gemv_n", 512).to_string(), "gemv_n/512");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

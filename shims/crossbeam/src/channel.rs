@@ -1,0 +1,205 @@
+//! MPMC channels with crossbeam's API shape, backed by a locked deque.
+//!
+//! Multiple producers and multiple consumers may clone their endpoints
+//! freely; `recv` returns `Err` once the channel is empty *and* every
+//! sender is gone, which is exactly the termination condition worker pools
+//! rely on.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty (senders still connected).
+    Empty,
+    /// Channel empty and all senders disconnected.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a channel with no receivers")
+    }
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// Sending endpoint; clone for more producers.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving endpoint; clone for more consumers.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`, waking one waiting receiver.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(SendError(value));
+        }
+        self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue, blocking until an item arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            queue = self.shared.ready.wait(queue).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        match queue.pop_front() {
+            Some(v) => Ok(v),
+            None if self.shared.senders.load(Ordering::SeqCst) == 0 => {
+                Err(TryRecvError::Disconnected)
+            }
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocking iterator that ends when the channel closes.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+/// Iterator over received items (see [`Receiver::iter`]).
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake every blocked receiver so it can
+            // observe disconnection.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_thread() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_unblocks_on_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        let h = std::thread::spawn(move || rx.recv());
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn mpmc_drains_every_item_once() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.iter().collect::<Vec<i32>>())
+            })
+            .collect();
+        drop(rx);
+        let mut all: Vec<i32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_with_no_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+}

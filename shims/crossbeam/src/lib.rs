@@ -1,0 +1,11 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The workspace uses two pieces of crossbeam: [`thread::scope`] for
+//! fork-join block execution (gpu-sim's parallel launch engine, the batch
+//! scheduler's worker pool) and [`channel`] for MPMC job queues. Both are
+//! reimplemented here on std primitives — `std::thread::scope` and a
+//! `Mutex<VecDeque>` + `Condvar` channel — exposing crossbeam's API shape
+//! so call sites read identically to the real crate.
+
+pub mod channel;
+pub mod thread;

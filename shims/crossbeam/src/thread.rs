@@ -1,0 +1,102 @@
+//! Scoped threads with crossbeam's API, backed by `std::thread::scope`.
+//!
+//! Differences from real crossbeam worth knowing: child panics that the
+//! caller does not `join` are reported through the `Err` of [`scope`]'s
+//! result (as in crossbeam), implemented by catching the panic that
+//! `std::thread::scope` re-raises on exit.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result type for scope and join outcomes (mirrors `crossbeam::thread`).
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle: spawn threads that may borrow from the enclosing stack
+/// frame. Passed both to the scope closure and to every spawned closure
+/// (so children can spawn siblings).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope
+    /// again, as crossbeam's does.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> ScopeResult<T> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope in which borrowing spawns are allowed. All spawned
+/// threads are joined before `scope` returns. Returns `Err` with a panic
+/// payload if an unjoined child panicked (crossbeam's contract).
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_borrowing_threads() {
+        let counter = AtomicUsize::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            "done"
+        });
+        assert_eq!(r.unwrap(), "done");
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| hits.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unjoined_panic_surfaces_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("child failure"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn joined_panic_is_caught_by_join() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| panic!("caught"));
+            h.join().is_err()
+        });
+        assert!(r.unwrap());
+    }
+}

@@ -1,0 +1,438 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), range and tuple
+//! strategies, [`collection::vec`], `prop_map` / `prop_flat_map`,
+//! `prop_assert*` / `prop_assume`, and [`TestCaseError`]. Cases are
+//! generated from a seed derived deterministically from the test name and
+//! case index, so failures reproduce across runs. **Shrinking is not
+//! implemented** — a failure reports the case index instead of a minimal
+//! counterexample; rerun with the reported case for debugging.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Per-`proptest!`-block configuration (the fields in use).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Maximum rejected (via `prop_assume!`) cases tolerated before the
+    /// test errors out as under-constrained.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection with a message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "inputs rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one test-case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic value generator handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Seed directly.
+    pub fn from_seed(seed: u64) -> Self {
+        Gen { state: seed }
+    }
+
+    /// Seed from a test name and case index — the reproducibility contract
+    /// of this shim.
+    pub fn from_name_and_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Gen { state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn below(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty generator range");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// A source of values for property tests. No shrinking: `generate` is the
+/// whole interface.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, g: &mut Gen) -> O {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, g: &mut Gen) -> S2::Value {
+        (self.f)(self.inner.generate(g)).generate(g)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// Scalars that range strategies can produce.
+pub trait RangeValue: Copy {
+    /// Uniform sample in `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+    fn sample(g: &mut Gen, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample(g: &mut Gen, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "empty strategy range");
+                lo + (g.next_u64() as i128).rem_euclid(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_value_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl RangeValue for f64 {
+    fn sample(g: &mut Gen, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi, "empty strategy range");
+        lo + (hi - lo) * g.unit()
+    }
+}
+
+impl RangeValue for f32 {
+    fn sample(g: &mut Gen, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi, "empty strategy range");
+        lo + (hi - lo) * g.unit() as f32
+    }
+}
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        T::sample(g, self.start, self.end, false)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        T::sample(g, *self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                ($(self.$idx.generate(g),)+)
+            }
+        }
+    )+};
+}
+impl_strategy_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use crate::{Gen, Strategy};
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-boolean strategy constant, as in `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, g: &mut Gen) -> bool {
+            g.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Everything a test module typically imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Gen, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Define property tests. Syntax-compatible with real proptest for blocks
+/// of the form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property((a, b) in strategy(), c in 0usize..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rejects: u32 = 0;
+            let mut case: u64 = 0;
+            let mut passed: u32 = 0;
+            while passed < config.cases {
+                let mut generator = $crate::Gen::from_name_and_case(stringify!($name), case);
+                case += 1;
+                let ($($pat,)+) =
+                    ($($crate::Strategy::generate(&($strat), &mut generator),)+);
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= config.max_global_rejects,
+                            "proptest '{}': too many rejected cases ({rejects})",
+                            stringify!($name),
+                        );
+                    }
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {} (of {}): {}",
+                            stringify!($name),
+                            case - 1,
+                            config.cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Property-test assertion; fails the case (not the process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($lhs),
+            stringify!($rhs),
+            l
+        );
+    }};
+}
+
+/// Reject the current inputs (skips the case without failing).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Gen;
+
+    #[test]
+    fn gen_is_deterministic_per_name_and_case() {
+        let a = Gen::from_name_and_case("t", 3).next_u64();
+        let b = Gen::from_name_and_case("t", 3).next_u64();
+        let c = Gen::from_name_and_case("t", 4).next_u64();
+        let d = Gen::from_name_and_case("u", 3).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = (1usize..=4, 1usize..=4)
+            .prop_flat_map(|(m, n)| {
+                crate::collection::vec(0.0f64..1.0, m * n).prop_map(move |v| (m, n, v))
+            });
+        let mut g = Gen::from_seed(9);
+        for _ in 0..50 {
+            let (m, n, v) = strat.generate(&mut g);
+            assert_eq!(v.len(), m * n);
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds((m, n) in (2usize..14, 2usize..18), x in -4.0f64..4.0) {
+            prop_assert!((2..14).contains(&m));
+            prop_assert!((2..18).contains(&n));
+            prop_assert!((-4.0..4.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0u64..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The reproduction environment has no network access to crates.io, so the
+//! workspace vendors the *API subset it actually uses* — `StdRng`,
+//! [`SeedableRng::seed_from_u64`], and [`RngExt::random_range`] over
+//! integer and float ranges — backed by a deterministic SplitMix64
+//! generator. Determinism per seed is the only contract the workspace
+//! relies on (generators pin seeds in tests and experiments); statistical
+//! quality beyond "uniform enough for workload synthesis" is a non-goal.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: everything else derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (the subset of rand's `SeedableRng` in use).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range-sampling extension methods (rand 0.10 spells this `RngExt`).
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    fn random_unit(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_unit() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → [0, 1) with full double precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be sampled uniformly from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi)` (`hi` inclusive when `inclusive`).
+    fn sample_range<G: RngCore + ?Sized>(g: &mut G, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<G: RngCore + ?Sized>(g: &mut G, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "empty sample range");
+                // Modulo bias is negligible for the small spans the
+                // workload generators use; acceptable for a shim.
+                lo + (g.next_u64() as i128).rem_euclid(span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_range<G: RngCore + ?Sized>(g: &mut G, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi, "empty sample range");
+        lo + (hi - lo) * unit_f64(g.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<G: RngCore + ?Sized>(g: &mut G, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi, "empty sample range");
+        lo + (hi - lo) * unit_f64(g.next_u64()) as f32
+    }
+}
+
+/// Range argument forms accepted by [`RngExt::random_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draw one sample.
+    fn sample<G: RngCore + ?Sized>(self, g: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<G: RngCore + ?Sized>(self, g: &mut G) -> T {
+        T::sample_range(g, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<G: RngCore + ?Sized>(self, g: &mut G) -> T {
+        T::sample_range(g, *self.start(), *self.end(), true)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64. Deterministic per
+    /// seed, 2⁶⁴ period — adequate for seeded workload synthesis.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let f = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.random_range(0..10usize);
+            assert!(i < 10);
+            let k = rng.random_range(1..=10u32);
+            assert!((1..=10).contains(&k));
+        }
+    }
+
+    #[test]
+    fn float_samples_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 4096;
+        let mean: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+}

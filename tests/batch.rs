@@ -1,0 +1,182 @@
+//! Batch scheduler integration tests: concurrency must never change
+//! answers, and one bad job must never take down the pool.
+
+use std::sync::Arc;
+
+use gplex::batch::{BatchOptions, BatchSolver, JobOutcome, PlacementPolicy};
+use gplex::{solve_on, BackendKind, SolverOptions, Status};
+use gpu_sim::{DeviceSpec, Gpu};
+use lp::generator::{self, fixtures};
+use lp::LinearProgram;
+
+fn backends() -> Vec<BackendKind> {
+    vec![
+        BackendKind::CpuDense,
+        BackendKind::CpuSparse,
+        BackendKind::GpuDense(DeviceSpec::gtx280()),
+    ]
+}
+
+fn sequential(jobs: &[LinearProgram], kind: &BackendKind) -> Vec<(Status, f64)> {
+    jobs.iter()
+        .map(|lp| {
+            let sol = solve_on::<f64>(lp, &SolverOptions::default(), kind);
+            (sol.status, sol.objective)
+        })
+        .collect()
+}
+
+/// The headline equivalence contract: 64 LPs through the pool at 1, 4, and
+/// 8 workers produce identical statuses and objectives within 1e-9 of the
+/// one-at-a-time `solve_on` baseline, on every backend.
+#[test]
+fn batch_matches_sequential_on_all_backends_and_worker_counts() {
+    let jobs = generator::batch_dense(64, 8, 10, 2000);
+    for kind in backends() {
+        let baseline = sequential(&jobs, &kind);
+        for workers in [1usize, 4, 8] {
+            let solver = BatchSolver::new(BatchOptions {
+                workers,
+                policy: PlacementPolicy::Fixed(kind.clone()),
+                ..Default::default()
+            });
+            let report = solver.solve::<f64>(&jobs);
+            assert!(report.all_solved(), "{kind:?} w={workers}");
+            assert_eq!(report.results.len(), 64);
+            for (r, (status, objective)) in report.results.iter().zip(&baseline) {
+                let sol = r.outcome.solution().expect("no panics in this batch");
+                assert_eq!(sol.status, *status, "{kind:?} w={workers} job {}", r.index);
+                assert!(
+                    (sol.objective - objective).abs() < 1e-9,
+                    "{kind:?} w={workers} job {}: batch {} vs sequential {}",
+                    r.index,
+                    sol.objective,
+                    objective
+                );
+            }
+        }
+    }
+}
+
+/// Infeasible / unbounded / degenerate jobs are *answers*: a mixed batch
+/// completes with the right per-job status on every worker count.
+#[test]
+fn mixed_outcome_batch_reports_per_job_statuses() {
+    let jobs = vec![
+        fixtures::wyndor().0,
+        fixtures::infeasible(),
+        fixtures::unbounded(),
+        generator::klee_minty(5),
+        fixtures::degenerate().0,
+        fixtures::two_phase().0,
+    ];
+    let expected = [
+        Status::Optimal,
+        Status::Infeasible,
+        Status::Unbounded,
+        Status::Optimal,
+        Status::Optimal,
+        Status::Optimal,
+    ];
+    for workers in [1usize, 3, 8] {
+        let report = BatchSolver::new(BatchOptions { workers, ..Default::default() })
+            .solve::<f64>(&jobs);
+        assert!(report.all_solved(), "w={workers}");
+        for (r, want) in report.results.iter().zip(&expected) {
+            let sol = r.outcome.solution().unwrap();
+            assert_eq!(sol.status, *want, "w={workers} job {}", r.index);
+        }
+        // Klee–Minty optimum is known in closed form.
+        let km = report.results[3].outcome.solution().unwrap();
+        assert!((km.objective - generator::klee_minty_optimum(5)).abs() < 1e-6);
+    }
+}
+
+/// A job whose solve panics (malformed model) is caught and reported; every
+/// other job in the batch still solves, on every backend and worker count.
+#[test]
+fn panicking_job_does_not_poison_the_pool() {
+    for kind in backends() {
+        for workers in [1usize, 4] {
+            let mut jobs = generator::batch_dense(12, 6, 8, 77);
+            jobs.insert(5, fixtures::poisoned());
+            let solver = BatchSolver::new(BatchOptions {
+                workers,
+                policy: PlacementPolicy::Fixed(kind.clone()),
+                ..Default::default()
+            });
+            let report = solver.solve::<f64>(&jobs);
+            assert_eq!(report.stats.jobs, 13, "{kind:?} w={workers}");
+            assert_eq!(report.stats.panicked, 1);
+            assert_eq!(report.stats.solved, 12);
+            assert!(!report.all_solved());
+            match &report.results[5].outcome {
+                JobOutcome::Panicked(msg) => {
+                    assert!(msg.contains("standardize"), "unexpected payload: {msg}")
+                }
+                other => panic!("job 5 should panic, got {other:?}"),
+            }
+            for (i, r) in report.results.iter().enumerate() {
+                if i != 5 {
+                    assert_eq!(
+                        r.outcome.solution().map(|s| s.status),
+                        Some(Status::Optimal),
+                        "{kind:?} w={workers} job {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Streams on one shared simulated GPU give the same answers as a dedicated
+/// device per solve, and the shared device's aggregate counters account for
+/// every retired solve.
+#[test]
+fn shared_gpu_streams_match_dedicated_device() {
+    let jobs = generator::batch_dense(16, 8, 10, 3000);
+    let baseline = sequential(&jobs, &BackendKind::GpuDense(DeviceSpec::gtx280()));
+
+    let device = Arc::new(Gpu::new(DeviceSpec::gtx280()));
+    let solver = BatchSolver::new(BatchOptions {
+        workers: 4,
+        policy: PlacementPolicy::Fixed(BackendKind::GpuShared(Arc::clone(&device))),
+        ..Default::default()
+    });
+    let report = solver.solve::<f64>(&jobs);
+    assert!(report.all_solved());
+    for (r, (status, objective)) in report.results.iter().zip(&baseline) {
+        let sol = r.outcome.solution().unwrap();
+        assert_eq!(sol.status, *status);
+        assert!((sol.objective - objective).abs() < 1e-9, "job {}", r.index);
+    }
+    // Every solve ran as one stream of the shared card and was folded back.
+    let agg = device.counters();
+    assert_eq!(agg.streams_retired, 16);
+    assert!(agg.kernels_launched > 0);
+}
+
+/// The size-threshold policy routes jobs to both sides of the crossover and
+/// the report's per-backend tallies add up.
+#[test]
+fn size_threshold_policy_splits_batch_and_tallies() {
+    let jobs = generator::batch_mixed_sizes(12, &[(4, 6), (16, 20)], 500);
+    let policy = PlacementPolicy::size_threshold(
+        10,
+        BackendKind::CpuDense,
+        BackendKind::GpuDense(DeviceSpec::gtx280()),
+    );
+    let report = BatchSolver::new(BatchOptions { workers: 4, policy, ..Default::default() })
+        .solve::<f64>(&jobs);
+    assert!(report.all_solved());
+    let cpu = report.stats.per_backend["cpu-dense"];
+    let gpu = report.stats.per_backend["gpu-dense"];
+    assert_eq!(cpu.jobs, 6);
+    assert_eq!(gpu.jobs, 6);
+    for r in &report.results {
+        let want = if r.index % 2 == 0 { "cpu-dense" } else { "gpu-dense" };
+        assert_eq!(r.backend, want, "job {}", r.index);
+    }
+    let util = report.stats.utilization("cpu-dense") + report.stats.utilization("gpu-dense");
+    assert!((util - 1.0).abs() < 1e-12);
+}

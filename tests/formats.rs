@@ -1,7 +1,17 @@
 //! The shipped sample model files must parse and solve to their documented
 //! optima — keeps `data/` and the examples honest.
 
-use gplex::{solve, SolverOptions, Status};
+use gplex::{solve, solve_on, BackendKind, SolverOptions, Status};
+use gpu_sim::DeviceSpec;
+
+/// The three standard backends, for golden cross-backend regressions.
+fn all_backends() -> Vec<BackendKind> {
+    vec![
+        BackendKind::CpuDense,
+        BackendKind::CpuSparse,
+        BackendKind::GpuDense(DeviceSpec::gtx280()),
+    ]
+}
 
 #[test]
 fn sample_mps_solves_to_documented_optimum() {
@@ -25,6 +35,33 @@ fn sample_lp_solves_to_documented_optimum() {
     let sol = solve::<f64>(&model, &SolverOptions::default());
     assert_eq!(sol.status, Status::Optimal);
     assert!((sol.objective - 13.0).abs() < 1e-9, "{}", sol.objective);
+}
+
+/// Golden regression: the shipped sample files must solve to their pinned
+/// objectives on *every* backend, not just the default CPU path. The pins
+/// are the documented optima (sample.mps is Wyndor stated as minimization,
+/// objective −36; sample.lp is the production fixture, objective 13).
+#[test]
+fn sample_files_pin_objectives_on_all_backends() {
+    let mps = lp::mps::parse(
+        &std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/data/sample.mps"))
+            .expect("sample.mps present"),
+    )
+    .expect("sample.mps parses");
+    let lpf = lp::lpformat::parse(
+        &std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/data/sample.lp"))
+            .expect("sample.lp present"),
+    )
+    .expect("sample.lp parses");
+    for kind in all_backends() {
+        let a = solve_on::<f64>(&mps, &SolverOptions::default(), &kind);
+        assert_eq!(a.status, Status::Optimal, "sample.mps on {kind:?}");
+        assert!((a.objective + 36.0).abs() < 1e-9, "sample.mps on {kind:?}: {}", a.objective);
+
+        let b = solve_on::<f64>(&lpf, &SolverOptions::default(), &kind);
+        assert_eq!(b.status, Status::Optimal, "sample.lp on {kind:?}");
+        assert!((b.objective - 13.0).abs() < 1e-9, "sample.lp on {kind:?}: {}", b.objective);
+    }
 }
 
 #[test]

@@ -4,7 +4,7 @@
 
 use gpu_sim::coalesce::distinct_segments;
 use gpu_sim::{
-    AccessPattern, DeviceSpec, Dim3, ExecMode, Gpu, Kernel, KernelCost, LaunchConfig, ThreadCtx,
+    AccessPattern, DeviceSpec, ExecMode, Gpu, Kernel, KernelCost, LaunchConfig, ThreadCtx,
 };
 use proptest::prelude::*;
 

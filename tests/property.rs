@@ -1,6 +1,7 @@
 //! Property-based tests over the solver stack: randomized models, invariant
 //! checks, cross-backend equivalence.
 
+use gplex::batch::{BatchOptions, BatchSolver, PlacementPolicy};
 use gplex::{solve, solve_on, verify, BackendKind, SolverOptions, Status};
 use gpu_sim::DeviceSpec;
 use lp::generator;
@@ -115,6 +116,50 @@ proptest! {
         let a = solve::<f64>(&model, &SolverOptions::default());
         let b = solve::<f64>(&reparsed, &SolverOptions::default());
         prop_assert!((a.objective - b.objective).abs() / a.objective.abs().max(1.0) < 1e-9);
+    }
+
+    /// Placement policy is routing, not math: for any batch and any
+    /// policy, the per-job status and objective match the fixed
+    /// single-backend baseline — only the backend label may differ.
+    #[test]
+    fn placement_policy_never_changes_results(
+        (count, workers, seed) in (2usize..10, 1usize..5, 0u64..10_000),
+        crossover in 5usize..20,
+    ) {
+        let jobs = lp::generator::batch_mixed_sizes(
+            count, &[(3, 4), (6, 8), (12, 16)], seed);
+        let gpu = || BackendKind::GpuDense(gpu_sim::DeviceSpec::gtx280());
+        let policies = [
+            PlacementPolicy::Fixed(BackendKind::CpuDense),
+            PlacementPolicy::RoundRobin(vec![
+                BackendKind::CpuDense, BackendKind::CpuSparse, gpu()]),
+            PlacementPolicy::size_threshold(
+                crossover, BackendKind::CpuDense, gpu()),
+        ];
+        let baseline = BatchSolver::new(BatchOptions {
+            workers,
+            policy: policies[0].clone(),
+            ..Default::default()
+        }).solve::<f64>(&jobs);
+        prop_assert!(baseline.all_solved());
+        for policy in &policies[1..] {
+            let routed = BatchSolver::new(BatchOptions {
+                workers,
+                policy: policy.clone(),
+                ..Default::default()
+            }).solve::<f64>(&jobs);
+            prop_assert!(routed.all_solved());
+            for (a, b) in baseline.results.iter().zip(&routed.results) {
+                let (sa, sb) = (a.outcome.solution().unwrap(),
+                                b.outcome.solution().unwrap());
+                prop_assert_eq!(sa.status, sb.status);
+                prop_assert!(
+                    (sa.objective - sb.objective).abs()
+                        / sa.objective.abs().max(1.0) < 1e-7,
+                    "job {}: {} under {:?} vs {} fixed",
+                    a.index, sb.objective, policy, sa.objective);
+            }
+        }
     }
 
     /// Sparse and dense backends agree on sparse instances.
