@@ -59,24 +59,33 @@ fn bench_gpu_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("gpu-sim-kernels");
     for &n in &[256usize, 1024] {
         let gpu = Gpu::new(DeviceSpec::gtx280());
-        let a = DeviceMatrix::upload(&gpu, &filled(n, n), Layout::ColMajor);
+        let a = DeviceMatrix::upload(&gpu, &filled(n, n), Layout::ColMajor).unwrap();
         let x = gpu.htod(&vec![1.0f32; n]);
         let mut y = gpu.alloc(n, 0.0f32);
         g.bench_with_input(BenchmarkId::new("gemv_n", n), &n, |b, _| {
-            b.iter(|| gblas::gemv_n(&gpu, 1.0f32, &a, x.view(), 0.0, y.view_mut()))
+            b.iter(|| gblas::gemv_n(&gpu, 1.0f32, &a, x.view(), 0.0, y.view_mut()).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("gemv_t_two_pass", n), &n, |b, _| {
             b.iter(|| {
-                gblas::gemv_t(&gpu, 1.0f32, &a, x.view(), 0.0, y.view_mut(), GemvTStrategy::TwoPass)
+                gblas::gemv_t(
+                    &gpu,
+                    1.0f32,
+                    &a,
+                    x.view(),
+                    0.0,
+                    y.view_mut(),
+                    GemvTStrategy::TwoPass,
+                )
+                .unwrap()
             })
         });
         let alpha = gpu.htod(&vec![0.5f32; n]);
-        let mut binv = DeviceMatrix::<f32>::identity(&gpu, n, Layout::ColMajor);
+        let mut binv = DeviceMatrix::<f32>::identity(&gpu, n, Layout::ColMajor).unwrap();
         g.bench_with_input(BenchmarkId::new("pivot_update", n), &n, |b, _| {
-            b.iter(|| gblas::pivot_update(&gpu, &mut binv, alpha.view(), n / 2))
+            b.iter(|| gblas::pivot_update(&gpu, &mut binv, alpha.view(), n / 2).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("argmin", n), &n, |b, _| {
-            b.iter(|| black_box(gblas::argmin(&gpu, x.view(), n)))
+            b.iter(|| black_box(gblas::argmin(&gpu, x.view(), n).unwrap()))
         });
     }
     g.finish();

@@ -28,22 +28,26 @@ fn bench_gemv_t_variants(c: &mut Criterion) {
         let host = filled(n);
         let x = vec![1.0f32; n];
         let variants: [(&str, Layout, GemvTStrategy); 3] = [
-            ("col-major/two-pass", Layout::ColMajor, GemvTStrategy::TwoPass),
+            (
+                "col-major/two-pass",
+                Layout::ColMajor,
+                GemvTStrategy::TwoPass,
+            ),
             ("col-major/naive", Layout::ColMajor, GemvTStrategy::Naive),
             ("row-major/naive", Layout::RowMajor, GemvTStrategy::Naive),
         ];
         let mut sim_times: Vec<(usize, SimTime)> = Vec::new();
         for (idx, (name, layout, strat)) in variants.into_iter().enumerate() {
             let gpu = Gpu::new(DeviceSpec::gtx280());
-            let a = DeviceMatrix::upload(&gpu, &host, layout);
+            let a = DeviceMatrix::upload(&gpu, &host, layout).unwrap();
             let dx = gpu.htod(&x);
             let mut dy = gpu.alloc(n, 0.0f32);
             gpu.reset_counters();
-            gblas::gemv_t(&gpu, 1.0f32, &a, dx.view(), 0.0, dy.view_mut(), strat);
+            gblas::gemv_t(&gpu, 1.0f32, &a, dx.view(), 0.0, dy.view_mut(), strat).unwrap();
             sim_times.push((idx, gpu.elapsed()));
             g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
                 b.iter(|| {
-                    gblas::gemv_t(&gpu, 1.0f32, &a, dx.view(), 0.0, dy.view_mut(), strat);
+                    gblas::gemv_t(&gpu, 1.0f32, &a, dx.view(), 0.0, dy.view_mut(), strat).unwrap();
                     black_box(())
                 })
             });

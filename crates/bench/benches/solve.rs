@@ -16,11 +16,9 @@ fn bench_solve(c: &mut Criterion) {
         let sf = StandardForm::<f32>::from_lp(&model).expect("standardizes");
         let opts = paper_options_for(m);
         for target in [Target::cpu(), Target::CpuSparse, Target::gpu()] {
-            g.bench_with_input(
-                BenchmarkId::new(target.label(), m),
-                &m,
-                |b, _| b.iter(|| black_box(run_standard::<f32>(&sf, &target, &opts))),
-            );
+            g.bench_with_input(BenchmarkId::new(target.label(), m), &m, |b, _| {
+                b.iter(|| black_box(run_standard::<f32>(&sf, &target, &opts)))
+            });
         }
     }
     g.finish();

@@ -18,25 +18,28 @@ fn bench_steps_gpu(c: &mut Criterion) {
         let gpu = Gpu::new(DeviceSpec::gtx280());
         let n_active = sf.num_cols() - sf.num_artificials;
         let mut be = GpuDenseBackend::new(&gpu, &sf.a, &sf.b, n_active, &sf.basis0);
-        be.set_phase_costs(&sf.c);
+        be.set_phase_costs(&sf.c).unwrap();
         for (r, &j) in sf.basis0.iter().enumerate() {
-            be.set_basic_cost(r, sf.c[j]);
+            be.set_basic_cost(r, sf.c[j]).unwrap();
         }
-        be.compute_pricing();
-        let (q, _) = be.entering_dantzig(1e-5).expect("improvable start");
-        be.compute_alpha(q);
+        be.compute_pricing().unwrap();
+        let (q, _) = be
+            .entering_dantzig(1e-5)
+            .expect("no device fault")
+            .expect("improvable start");
+        be.compute_alpha(q).unwrap();
 
         g.bench_with_input(BenchmarkId::new("pricing", m), &m, |b, _| {
-            b.iter(|| be.compute_pricing())
+            b.iter(|| be.compute_pricing().unwrap())
         });
         g.bench_with_input(BenchmarkId::new("selection", m), &m, |b, _| {
-            b.iter(|| black_box(be.entering_dantzig(1e-5)))
+            b.iter(|| black_box(be.entering_dantzig(1e-5).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("ftran", m), &m, |b, _| {
-            b.iter(|| be.compute_alpha(q))
+            b.iter(|| be.compute_alpha(q).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("ratio", m), &m, |b, _| {
-            b.iter(|| black_box(be.ratio_test(1e-5)))
+            b.iter(|| black_box(be.ratio_test(1e-5).unwrap()))
         });
     }
     g.finish();
@@ -49,22 +52,25 @@ fn bench_steps_cpu(c: &mut Criterion) {
         let sf = StandardForm::<f32>::from_lp(&model).expect("standardizes");
         let n_active = sf.num_cols() - sf.num_artificials;
         let mut be = CpuDenseBackend::new(&sf.a, &sf.b, n_active, &sf.basis0);
-        be.set_phase_costs(&sf.c);
+        be.set_phase_costs(&sf.c).unwrap();
         for (r, &j) in sf.basis0.iter().enumerate() {
-            be.set_basic_cost(r, sf.c[j]);
+            be.set_basic_cost(r, sf.c[j]).unwrap();
         }
-        be.compute_pricing();
-        let (q, _) = be.entering_dantzig(1e-5).expect("improvable start");
-        be.compute_alpha(q);
+        be.compute_pricing().unwrap();
+        let (q, _) = be
+            .entering_dantzig(1e-5)
+            .expect("no device fault")
+            .expect("improvable start");
+        be.compute_alpha(q).unwrap();
 
         g.bench_with_input(BenchmarkId::new("pricing", m), &m, |b, _| {
-            b.iter(|| be.compute_pricing())
+            b.iter(|| be.compute_pricing().unwrap())
         });
         g.bench_with_input(BenchmarkId::new("ftran", m), &m, |b, _| {
-            b.iter(|| be.compute_alpha(q))
+            b.iter(|| be.compute_alpha(q).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("ratio", m), &m, |b, _| {
-            b.iter(|| black_box(be.ratio_test(1e-5)))
+            b.iter(|| black_box(be.ratio_test(1e-5).unwrap()))
         });
     }
     g.finish();

@@ -44,7 +44,10 @@ fn main() -> ExitCode {
         }
     }
     if exps.is_empty() || exps.iter().any(|e| e == "all") {
-        exps = experiments::all_ids().iter().map(|s| s.to_string()).collect();
+        exps = experiments::all_ids()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         // t1 already prints the derived f1; avoid duplicating the runs.
         exps.retain(|e| e != "f1");
     }

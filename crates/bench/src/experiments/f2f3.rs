@@ -12,8 +12,16 @@ use super::ExpReport;
 /// F2: fraction of simulated time per simplex step, CPU and GPU.
 pub fn run_f2(quick: bool) -> ExpReport {
     let mut t = Table::new(vec![
-        "m=n", "target", "total", "pricing%", "selection%", "ftran%", "ratio%", "update%",
-        "refactor%", "other%",
+        "m=n",
+        "target",
+        "total",
+        "pricing%",
+        "selection%",
+        "ftran%",
+        "ratio%",
+        "update%",
+        "refactor%",
+        "other%",
     ]);
     for m in breakdown_grid(quick) {
         let opts = paper_options_for(m);

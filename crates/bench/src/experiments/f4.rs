@@ -16,21 +16,40 @@ fn variants() -> Vec<(&'static str, GpuConfig)> {
     vec![
         (
             "col-major + two-pass (paper)",
-            GpuConfig { spec: spec.clone(), layout: Layout::ColMajor, strategy: GemvTStrategy::TwoPass },
+            GpuConfig {
+                spec: spec.clone(),
+                layout: Layout::ColMajor,
+                strategy: GemvTStrategy::TwoPass,
+            },
         ),
         (
             "col-major + naive gemv_t",
-            GpuConfig { spec: spec.clone(), layout: Layout::ColMajor, strategy: GemvTStrategy::Naive },
+            GpuConfig {
+                spec: spec.clone(),
+                layout: Layout::ColMajor,
+                strategy: GemvTStrategy::Naive,
+            },
         ),
         (
             "row-major + naive gemv_t",
-            GpuConfig { spec, layout: Layout::RowMajor, strategy: GemvTStrategy::Naive },
+            GpuConfig {
+                spec,
+                layout: Layout::RowMajor,
+                strategy: GemvTStrategy::Naive,
+            },
         ),
     ]
 }
 
 pub fn run(quick: bool) -> ExpReport {
-    let mut t = Table::new(vec!["m=n", "variant", "iters", "gpu-time", "time/iter", "vs-paper"]);
+    let mut t = Table::new(vec![
+        "m=n",
+        "variant",
+        "iters",
+        "gpu-time",
+        "time/iter",
+        "vs-paper",
+    ]);
     for m in coalesce_grid(quick) {
         let opts = paper_options_for(m);
         let model = generator::dense_random(m, m, 1);

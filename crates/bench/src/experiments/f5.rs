@@ -14,7 +14,12 @@ pub fn run(quick: bool) -> ExpReport {
     let sizes: &[usize] = if quick { &[128] } else { &[256, 512, 1024] };
     let densities = [0.005f64, 0.02, 0.10];
     let mut t = Table::new(vec![
-        "m=n", "density", "target", "iters", "time", "time/iter",
+        "m=n",
+        "density",
+        "target",
+        "iters",
+        "time",
+        "time/iter",
     ]);
     for &m in sizes {
         let opts = paper_options_for(m);

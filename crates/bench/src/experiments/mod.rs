@@ -4,6 +4,7 @@ mod b1_batch;
 mod f2f3;
 mod f4;
 mod f5;
+mod r2_resilience;
 mod t1f1;
 mod t2;
 mod t3;
@@ -38,7 +39,9 @@ impl ExpReport {
 
 /// All experiment ids, in DESIGN.md order.
 pub fn all_ids() -> &'static [&'static str] {
-    &["t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "b1"]
+    &[
+        "t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "b1", "r2",
+    ]
 }
 
 /// Run one experiment by id. `quick` shrinks the grids for smoke runs.
@@ -55,6 +58,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExpReport> {
         "f5" => Some(f5::run(quick)),
         "t5" => Some(t5::run(quick)),
         "b1" => Some(b1_batch::run(quick)),
+        "r2" => Some(r2_resilience::run(quick)),
         _ => None,
     }
 }

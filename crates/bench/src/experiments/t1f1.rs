@@ -33,8 +33,18 @@ fn measure_size(m: usize, quick: bool) -> SizePoint {
         let model = generator::dense_random(m, m, seed);
         let c = run_model::<f32>(&model, &Target::cpu(), &opts);
         let g = run_model::<f32>(&model, &Target::gpu(), &opts);
-        assert_eq!(c.status, Status::Optimal, "cpu m={m} seed={seed}: {:?}", c.status);
-        assert_eq!(g.status, Status::Optimal, "gpu m={m} seed={seed}: {:?}", g.status);
+        assert_eq!(
+            c.status,
+            Status::Optimal,
+            "cpu m={m} seed={seed}: {:?}",
+            c.status
+        );
+        assert_eq!(
+            g.status,
+            Status::Optimal,
+            "gpu m={m} seed={seed}: {:?}",
+            g.status
+        );
         cpu_runs.push(c);
         gpu_runs.push(g);
     }
@@ -46,7 +56,12 @@ fn measure_size(m: usize, quick: bool) -> SizePoint {
     SizePoint {
         m,
         seeds: cpu_runs.len(),
-        iters: mean(&gpu_runs.iter().map(|r| r.iterations as f64).collect::<Vec<_>>()),
+        iters: mean(
+            &gpu_runs
+                .iter()
+                .map(|r| r.iterations as f64)
+                .collect::<Vec<_>>(),
+        ),
         cpu_sim: mean(&cpu_runs.iter().map(|r| r.sim_seconds).collect::<Vec<_>>()),
         gpu_sim: mean(&gpu_runs.iter().map(|r| r.sim_seconds).collect::<Vec<_>>()),
         cpu_wall: mean(&cpu_runs.iter().map(|r| r.wall_seconds).collect::<Vec<_>>()),
@@ -65,8 +80,11 @@ fn tableau_series(quick: bool) -> Table {
 
     use gplex::PivotRule;
 
-    let (m, ns): (usize, Vec<usize>) =
-        if quick { (64, vec![64, 256]) } else { (256, vec![256, 512, 1024, 2048, 4096]) };
+    let (m, ns): (usize, Vec<usize>) = if quick {
+        (64, vec![64, 256])
+    } else {
+        (256, vec![256, 512, 1024, 2048, 4096])
+    };
     let mut t = Table::new(vec![
         "m",
         "n",
@@ -129,10 +147,20 @@ pub fn run_t1b(quick: bool) -> ExpReport {
 }
 
 pub fn run(f1: bool, quick: bool) -> ExpReport {
-    let points: Vec<SizePoint> = dense_grid(quick).into_iter().map(|m| measure_size(m, quick)).collect();
+    let points: Vec<SizePoint> = dense_grid(quick)
+        .into_iter()
+        .map(|m| measure_size(m, quick))
+        .collect();
 
     let mut t1 = Table::new(vec![
-        "m=n", "seeds", "iters", "cpu-time", "gpu-time", "speedup", "obj-rel-diff", "cpu-wall",
+        "m=n",
+        "seeds",
+        "iters",
+        "cpu-time",
+        "gpu-time",
+        "speedup",
+        "obj-rel-diff",
+        "cpu-wall",
         "gpu-wall",
     ]);
     let mut f1t = Table::new(vec!["m=n", "speedup"]);
@@ -170,7 +198,11 @@ pub fn run(f1: bool, quick: bool) -> ExpReport {
                     "t1_solve_time".into(),
                     t1,
                 ),
-                ("F1: speedup vs size (derived)".into(), "f1_speedup".into(), f1t),
+                (
+                    "F1: speedup vs size (derived)".into(),
+                    "f1_speedup".into(),
+                    f1t,
+                ),
             ],
         }
     }

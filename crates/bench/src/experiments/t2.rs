@@ -61,8 +61,16 @@ pub fn run(quick: bool) -> ExpReport {
                 n.to_string(),
                 name.to_string(),
                 r.iterations.to_string(),
-                if rule == PivotRule::Dantzig { expected.to_string() } else { "-".into() },
-                if ok { "yes".into() } else { format!("NO ({:?})", r.status) },
+                if rule == PivotRule::Dantzig {
+                    expected.to_string()
+                } else {
+                    "-".into()
+                },
+                if ok {
+                    "yes".into()
+                } else {
+                    format!("NO ({:?})", r.status)
+                },
             ]);
         }
     }
@@ -70,9 +78,16 @@ pub fn run(quick: bool) -> ExpReport {
     ExpReport {
         id: "t2",
         tables: vec![
-            ("T2a: pivot-rule iteration counts on dense random LPs (f64, CPU)".into(),
-             "t2_rules_dense".into(), dense),
-            ("T2b: pivot rules on the Klee-Minty cube".into(), "t2_rules_klee_minty".into(), km),
+            (
+                "T2a: pivot-rule iteration counts on dense random LPs (f64, CPU)".into(),
+                "t2_rules_dense".into(),
+                dense,
+            ),
+            (
+                "T2b: pivot rules on the Klee-Minty cube".into(),
+                "t2_rules_klee_minty".into(),
+                km,
+            ),
         ],
     }
 }

@@ -16,7 +16,11 @@ fn rel_err(x: f64, reference: f64) -> f64 {
 }
 
 pub fn run(quick: bool) -> ExpReport {
-    let sizes: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let sizes: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
     let mut t = Table::new(vec![
         "m=n",
         "f64-obj",
@@ -33,7 +37,10 @@ pub fn run(quick: bool) -> ExpReport {
 
         // The paper configuration never reinverts; the ablation adds a
         // 64-iteration reinversion period on top of it.
-        let with_opts = SolverOptions { refactor_period: 64, ..paper_options() };
+        let with_opts = SolverOptions {
+            refactor_period: 64,
+            ..paper_options()
+        };
         let with = run_model::<f32>(&model, &Target::gpu(), &with_opts);
         let without = run_model::<f32>(&model, &Target::gpu(), &paper_options());
 

@@ -84,10 +84,21 @@ fn cases(quick: bool) -> Vec<Case> {
 
 pub fn run(quick: bool) -> ExpReport {
     let opts = paper_options();
-    let oracle_opts = SolverOptions { presolve: false, scale: false, ..Default::default() };
+    let oracle_opts = SolverOptions {
+        presolve: false,
+        scale: false,
+        ..Default::default()
+    };
     let targets = [Target::cpu(), Target::CpuSparse, Target::gpu()];
-    let mut t =
-        Table::new(vec!["case", "target", "status", "objective", "oracle", "certified", "verdict"]);
+    let mut t = Table::new(vec![
+        "case",
+        "target",
+        "status",
+        "objective",
+        "oracle",
+        "certified",
+        "verdict",
+    ]);
     let mut failures = 0usize;
 
     for case in cases(quick) {
@@ -122,7 +133,11 @@ pub fn run(quick: bool) -> ExpReport {
                 case.name.clone(),
                 target.label(),
                 r.status.tag().to_string(),
-                if r.status == Status::Optimal { format!("{obj:.6}") } else { "-".into() },
+                if r.status == Status::Optimal {
+                    format!("{obj:.6}")
+                } else {
+                    "-".into()
+                },
                 if oracle.status == Status::Optimal {
                     format!("{oracle_obj:.6}")
                 } else {

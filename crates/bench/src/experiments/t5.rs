@@ -15,7 +15,11 @@ use super::ExpReport;
 
 pub fn run(quick: bool) -> ExpReport {
     let sizes: &[usize] = if quick { &[128] } else { &[256, 512, 1024] };
-    let devices = [DeviceSpec::gtx280(), DeviceSpec::gtx570(), DeviceSpec::gtx_titan()];
+    let devices = [
+        DeviceSpec::gtx280(),
+        DeviceSpec::gtx570(),
+        DeviceSpec::gtx_titan(),
+    ];
     let mut t = Table::new(vec!["m=n", "device", "iters", "gpu-time", "speedup-vs-cpu"]);
     for &m in sizes {
         let opts = paper_options_for(m);

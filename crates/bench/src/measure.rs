@@ -130,7 +130,10 @@ impl Measurement {
             wall_seconds: wall,
             z_std: res.z_std,
             objective: sf.objective_from_std(res.z_std),
-            step_seconds: Step::ALL.iter().map(|s| res.stats.time(*s).as_secs_f64()).collect(),
+            step_seconds: Step::ALL
+                .iter()
+                .map(|s| res.stats.time(*s).as_secs_f64())
+                .collect(),
             gpu,
         }
     }
@@ -214,7 +217,11 @@ mod tests {
     use lp::generator;
 
     fn opts() -> SolverOptions {
-        SolverOptions { presolve: false, scale: false, ..Default::default() }
+        SolverOptions {
+            presolve: false,
+            scale: false,
+            ..Default::default()
+        }
     }
 
     #[test]

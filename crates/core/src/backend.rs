@@ -11,9 +11,16 @@
 //! ```text
 //! compute_pricing → entering_* → compute_alpha → ratio_test → update
 //! ```
+//!
+//! Every data-touching operation returns `Result<_, BackendError>`: the CPU
+//! backends never fail and always return `Ok`, while the GPU backends
+//! surface injected or genuine [`gpu_sim::DeviceError`]s so the driver (and
+//! the recovery layer above it) can react instead of panicking mid-batch.
 
 use gpu_sim::SimTime;
 use linalg::Scalar;
+
+use crate::error::BackendError;
 
 /// Outcome of the ratio test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,71 +53,73 @@ pub trait Backend<T: Scalar> {
 
     /// Install the pricing costs for the current phase (length ≥
     /// [`Backend::n_active`]; trailing entries ignored).
-    fn set_phase_costs(&mut self, c: &[T]);
+    fn set_phase_costs(&mut self, c: &[T]) -> Result<(), BackendError>;
 
     /// Set the cost of the variable basic in `row` (updates `c_B`).
-    fn set_basic_cost(&mut self, row: usize, cost: T);
+    fn set_basic_cost(&mut self, row: usize, cost: T) -> Result<(), BackendError>;
 
     /// Record that column `col` is basic in `row` (updates the device-side
     /// basis mirror used to mask basic columns during pricing).
-    fn set_basic_col(&mut self, row: usize, col: usize);
+    fn set_basic_col(&mut self, row: usize, col: usize) -> Result<(), BackendError>;
 
     /// Compute `π = c_Bᵀ B⁻¹` and the reduced costs `d_j = c_j − πᵀa_j` for
     /// the `len` active columns starting at `start`
     /// (`start + len ≤ n_active`). Partial pricing calls this with small
     /// windows; full pricing is the window `[0, n_active)`.
-    fn compute_pricing_window(&mut self, start: usize, len: usize);
+    fn compute_pricing_window(&mut self, start: usize, len: usize) -> Result<(), BackendError>;
 
     /// Compute `π = c_Bᵀ B⁻¹` and `d = c − Aᵀπ` over the active columns.
-    fn compute_pricing(&mut self) {
-        self.compute_pricing_window(0, self.n_active());
+    fn compute_pricing(&mut self) -> Result<(), BackendError> {
+        self.compute_pricing_window(0, self.n_active())
     }
 
     /// Dantzig rule restricted to the window `[start, start + len)`: most
     /// negative reduced cost below `−tol` among its nonbasic columns.
     /// Returns the *global* column index and its reduced cost. Only valid
     /// for windows whose reduced costs are current.
-    fn entering_dantzig_window(&mut self, tol: T, start: usize, len: usize)
-        -> Option<(usize, T)>;
+    fn entering_dantzig_window(
+        &mut self,
+        tol: T,
+        start: usize,
+        len: usize,
+    ) -> Result<Option<(usize, T)>, BackendError>;
 
     /// Dantzig rule: most negative reduced cost below `−tol` among nonbasic
     /// active columns. Returns `(q, d_q)`, or `None` at optimality.
-    fn entering_dantzig(&mut self, tol: T) -> Option<(usize, T)> {
+    fn entering_dantzig(&mut self, tol: T) -> Result<Option<(usize, T)>, BackendError> {
         let n = self.n_active();
         self.entering_dantzig_window(tol, 0, n)
     }
 
     /// Bland rule: smallest-index reduced cost below `−tol` among nonbasic
     /// active columns. Returns `(q, d_q)`, or `None` at optimality.
-    fn entering_bland(&mut self, tol: T) -> Option<(usize, T)>;
+    fn entering_bland(&mut self, tol: T) -> Result<Option<(usize, T)>, BackendError>;
 
     /// FTRAN: `α = B⁻¹ a_q`.
-    fn compute_alpha(&mut self, q: usize);
+    fn compute_alpha(&mut self, q: usize) -> Result<(), BackendError>;
 
     /// Ratio test over the current `α` and `β`: minimize `β_i/α_i` over
     /// rows with `α_i > pivot_tol`; ties go to the smallest row index.
-    fn ratio_test(&mut self, pivot_tol: T) -> RatioOutcome<T>;
+    fn ratio_test(&mut self, pivot_tol: T) -> Result<RatioOutcome<T>, BackendError>;
 
     /// Apply the pivot: `β_p ← θ`, `β_i ← β_i − θ·α_i (i ≠ p)`, and
     /// `B⁻¹ ← E·B⁻¹` with the eta column built from `α` and `p`.
-    fn update(&mut self, p: usize, theta: T);
+    fn update(&mut self, p: usize, theta: T) -> Result<(), BackendError>;
 
     /// Download the current basic solution `β` (charged like any other
     /// device→host transfer).
-    fn beta(&mut self) -> Vec<T>;
+    fn beta(&mut self) -> Result<Vec<T>, BackendError>;
 
     /// Current objective `c_Bᵀβ` computed from scratch (used at phase
     /// transitions and after refactorization to purge drift).
-    fn objective_now(&mut self) -> T;
+    fn objective_now(&mut self) -> Result<T, BackendError>;
 
-    /// Rebuild `B⁻¹` and `β` from the basis column set. Returns `Err(())`
-    /// when the basis is numerically singular.
-    // Singularity is the only failure mode; a dedicated error type would
-    // carry no extra information.
-    #[allow(clippy::result_unit_err)]
-    fn refactorize(&mut self, basis: &[usize]) -> Result<(), ()>;
+    /// Rebuild `B⁻¹` and `β` from the basis column set. Returns
+    /// [`BackendError::Singular`] when the basis is numerically singular
+    /// and [`BackendError::Device`] when the device failed mid-rebuild.
+    fn refactorize(&mut self, basis: &[usize]) -> Result<(), BackendError>;
 
     /// One entry of the current `α` vector (used when driving artificials
     /// out of a degenerate phase-1 basis).
-    fn alpha_at(&mut self, i: usize) -> T;
+    fn alpha_at(&mut self, i: usize) -> Result<T, BackendError>;
 }

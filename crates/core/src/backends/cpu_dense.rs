@@ -12,6 +12,7 @@ use linalg::cpu_model::{CpuClock, CpuModel};
 use linalg::{DenseMatrix, Scalar};
 
 use crate::backend::{Backend, RatioOutcome};
+use crate::error::BackendError;
 
 /// Dense serial CPU backend.
 pub struct CpuDenseBackend<T: Scalar> {
@@ -79,7 +80,8 @@ impl<T: Scalar> CpuDenseBackend<T> {
     }
 
     fn charge(&self, flops: u64, bytes: u64) {
-        self.clock.charge(self.model.op_time(flops, bytes, T::IS_F64));
+        self.clock
+            .charge(self.model.op_time(flops, bytes, T::IS_F64));
     }
 }
 
@@ -100,24 +102,27 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
         self.n_active
     }
 
-    fn set_phase_costs(&mut self, c: &[T]) {
+    fn set_phase_costs(&mut self, c: &[T]) -> Result<(), BackendError> {
         assert!(c.len() >= self.n_active, "phase costs too short");
         self.costs.copy_from_slice(&c[..self.n_active]);
         self.charge(0, self.n_active as u64 * T::BYTES);
+        Ok(())
     }
 
-    fn set_basic_cost(&mut self, row: usize, cost: T) {
+    fn set_basic_cost(&mut self, row: usize, cost: T) -> Result<(), BackendError> {
         self.cb[row] = cost;
+        Ok(())
     }
 
-    fn set_basic_col(&mut self, row: usize, col: usize) {
+    fn set_basic_col(&mut self, row: usize, col: usize) -> Result<(), BackendError> {
         let old = self.basic_of_row[row];
         self.basic[old] = false;
         self.basic[col] = true;
         self.basic_of_row[row] = col;
+        Ok(())
     }
 
-    fn compute_pricing_window(&mut self, start: usize, len: usize) {
+    fn compute_pricing_window(&mut self, start: usize, len: usize) -> Result<(), BackendError> {
         assert!(start + len <= self.n_active, "pricing window out of range");
         let m = self.m() as u64;
         // π = c_Bᵀ B⁻¹  (a transposed gemv over B⁻¹).
@@ -129,6 +134,7 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
         }
         let work = m * len as u64;
         self.charge(2 * work, work * T::BYTES);
+        Ok(())
     }
 
     fn entering_dantzig_window(
@@ -136,8 +142,11 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
         tol: T,
         start: usize,
         len: usize,
-    ) -> Option<(usize, T)> {
-        assert!(start + len <= self.n_active, "selection window out of range");
+    ) -> Result<Option<(usize, T)>, BackendError> {
+        assert!(
+            start + len <= self.n_active,
+            "selection window out of range"
+        );
         let mut best: Option<(usize, T)> = None;
         for (j, &dj) in self.d.iter().enumerate().skip(start).take(len) {
             if self.basic[j] {
@@ -152,10 +161,10 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
         }
         let n = len as u64;
         self.charge(n, n * T::BYTES);
-        best
+        Ok(best)
     }
 
-    fn entering_bland(&mut self, tol: T) -> Option<(usize, T)> {
+    fn entering_bland(&mut self, tol: T) -> Result<Option<(usize, T)>, BackendError> {
         let res = self
             .d
             .iter()
@@ -164,17 +173,18 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
             .map(|(j, &dj)| (j, dj));
         let n = self.n_active as u64;
         self.charge(n, n * T::BYTES);
-        res
+        Ok(res)
     }
 
-    fn compute_alpha(&mut self, q: usize) {
+    fn compute_alpha(&mut self, q: usize) -> Result<(), BackendError> {
         assert!(q < self.n_active, "entering column out of active range");
         blas::gemv_n(T::ONE, &self.binv, self.a.col(q), T::ZERO, &mut self.alpha);
         let m = self.m() as u64;
         self.charge(2 * m * m, m * m * T::BYTES);
+        Ok(())
     }
 
-    fn ratio_test(&mut self, pivot_tol: T) -> RatioOutcome<T> {
+    fn ratio_test(&mut self, pivot_tol: T) -> Result<RatioOutcome<T>, BackendError> {
         let mut best: Option<(usize, T)> = None;
         for (i, (&a, &b)) in self.alpha.iter().zip(&self.beta).enumerate() {
             if a > pivot_tol {
@@ -187,13 +197,13 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
         }
         let m = self.m() as u64;
         self.charge(2 * m, 2 * m * T::BYTES);
-        match best {
+        Ok(match best {
             None => RatioOutcome::Unbounded,
             Some((p, theta)) => RatioOutcome::Pivot { p, theta },
-        }
+        })
     }
 
-    fn update(&mut self, p: usize, theta: T) {
+    fn update(&mut self, p: usize, theta: T) -> Result<(), BackendError> {
         let m = self.m();
         // β update.
         for i in 0..m {
@@ -207,7 +217,11 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
         let ap = self.alpha[p];
         debug_assert!(ap != T::ZERO, "pivot on zero element");
         for i in 0..m {
-            self.eta[i] = if i == p { T::ONE / ap } else { -self.alpha[i] / ap };
+            self.eta[i] = if i == p {
+                T::ONE / ap
+            } else {
+                -self.alpha[i] / ap
+            };
         }
         // Save old row p, then B⁻¹ ← E·B⁻¹ in place, column by column.
         for j in 0..m {
@@ -223,20 +237,21 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
         }
         let mm = (m * m) as u64;
         self.charge(2 * mm + 4 * m as u64, 2 * mm * T::BYTES);
+        Ok(())
     }
 
-    fn beta(&mut self) -> Vec<T> {
+    fn beta(&mut self) -> Result<Vec<T>, BackendError> {
         self.charge(0, self.m() as u64 * T::BYTES);
-        self.beta.clone()
+        Ok(self.beta.clone())
     }
 
-    fn objective_now(&mut self) -> T {
+    fn objective_now(&mut self) -> Result<T, BackendError> {
         let m = self.m() as u64;
         self.charge(2 * m, 2 * m * T::BYTES);
-        blas::dot(&self.cb, &self.beta)
+        Ok(blas::dot(&self.cb, &self.beta))
     }
 
-    fn refactorize(&mut self, basis: &[usize]) -> Result<(), ()> {
+    fn refactorize(&mut self, basis: &[usize]) -> Result<(), BackendError> {
         let m = self.m();
         // Invert in f64 regardless of T: reinversion exists to *purge*
         // error, so it runs at the highest precision available.
@@ -246,7 +261,7 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
                 bmat.set(i, r, self.a.get(i, j).to_f64());
             }
         }
-        let inv = linalg::blas::gauss_jordan_invert(&bmat).ok_or(())?;
+        let inv = linalg::blas::gauss_jordan_invert(&bmat).ok_or(BackendError::Singular)?;
         for j in 0..m {
             for i in 0..m {
                 self.binv.set(i, j, T::from_f64(inv.get(i, j)));
@@ -260,12 +275,15 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
         // The reinversion itself runs in f64 whatever T is; charge it as
         // such so CPU and GPU backends price refactorization identically.
         let m3 = (m as u64).pow(3);
-        self.clock.charge(self.model.op_time(2 * m3, (m as u64 * m as u64) * 8 * 3, true));
+        self.clock.charge(
+            self.model
+                .op_time(2 * m3, (m as u64 * m as u64) * 8 * 3, true),
+        );
         Ok(())
     }
 
-    fn alpha_at(&mut self, i: usize) -> T {
-        self.alpha[i]
+    fn alpha_at(&mut self, i: usize) -> Result<T, BackendError> {
+        Ok(self.alpha[i])
     }
 }
 
@@ -291,30 +309,30 @@ mod tests {
     fn one_manual_iteration_matches_textbook() {
         let (a, b, c, basis0) = wyndor_std();
         let mut be = CpuDenseBackend::new(&a, &b, 5, &basis0);
-        be.set_phase_costs(&c);
+        be.set_phase_costs(&c).unwrap();
         for (r, &j) in basis0.iter().enumerate() {
-            be.set_basic_cost(r, c[j]);
+            be.set_basic_cost(r, c[j]).unwrap();
         }
-        be.compute_pricing();
+        be.compute_pricing().unwrap();
         // All-slack basis: π = 0, d = c.
-        let (q, dq) = be.entering_dantzig(1e-9).unwrap();
+        let (q, dq) = be.entering_dantzig(1e-9).unwrap().unwrap();
         assert_eq!(q, 1); // y has the most negative cost −5
         assert_eq!(dq, -5.0);
-        be.compute_alpha(q);
+        be.compute_alpha(q).unwrap();
         // α = a_y = (0, 2, 2).
-        match be.ratio_test(1e-9) {
+        match be.ratio_test(1e-9).unwrap() {
             RatioOutcome::Pivot { p, theta } => {
                 assert_eq!(p, 1); // 12/2 = 6 < 18/2 = 9
                 assert_eq!(theta, 6.0);
-                be.update(p, theta);
-                be.set_basic_col(p, q);
-                be.set_basic_cost(p, c[q]);
+                be.update(p, theta).unwrap();
+                be.set_basic_col(p, q).unwrap();
+                be.set_basic_cost(p, c[q]).unwrap();
             }
             RatioOutcome::Unbounded => panic!("should pivot"),
         }
         // New β = (4, 6, 6); objective = −30.
-        assert_eq!(be.beta(), vec![4.0, 6.0, 6.0]);
-        assert_eq!(be.objective_now(), -30.0);
+        assert_eq!(be.beta().unwrap(), vec![4.0, 6.0, 6.0]);
+        assert_eq!(be.objective_now().unwrap(), -30.0);
         assert!(be.clock().as_nanos() > 0.0);
     }
 
@@ -323,7 +341,7 @@ mod tests {
         let (a, b, _c, basis0) = wyndor_std();
         let mut be = CpuDenseBackend::new(&a, &b, 5, &basis0);
         be.refactorize(&basis0).unwrap();
-        assert_eq!(be.beta(), b);
+        assert_eq!(be.beta().unwrap(), b);
     }
 
     #[test]
@@ -331,16 +349,16 @@ mod tests {
         let (a, b, _c, _) = wyndor_std();
         let mut be = CpuDenseBackend::new(&a, &b, 5, &[2, 3, 4]);
         // Columns 0 and 0 twice → singular.
-        assert!(be.refactorize(&[0, 0, 4]).is_err());
+        assert_eq!(be.refactorize(&[0, 0, 4]), Err(BackendError::Singular));
     }
 
     #[test]
     fn bland_picks_smallest_index() {
         let (a, b, c, basis0) = wyndor_std();
         let mut be = CpuDenseBackend::new(&a, &b, 5, &basis0);
-        be.set_phase_costs(&c);
-        be.compute_pricing();
-        let (q, dq) = be.entering_bland(1e-9).unwrap();
+        be.set_phase_costs(&c).unwrap();
+        be.compute_pricing().unwrap();
+        let (q, dq) = be.entering_bland(1e-9).unwrap().unwrap();
         assert_eq!(q, 0); // x comes first even though y is more negative
         assert_eq!(dq, -3.0);
     }

@@ -14,6 +14,7 @@ use linalg::sparse::CscMatrix;
 use linalg::{CsrMatrix, DenseMatrix, Scalar};
 
 use crate::backend::{Backend, RatioOutcome};
+use crate::error::BackendError;
 
 /// Sparse serial CPU backend.
 pub struct CpuSparseBackend<T: Scalar> {
@@ -67,7 +68,8 @@ impl<T: Scalar> CpuSparseBackend<T> {
     }
 
     fn charge(&self, flops: u64, bytes: u64) {
-        self.clock.charge(self.model.op_time(flops, bytes, T::IS_F64));
+        self.clock
+            .charge(self.model.op_time(flops, bytes, T::IS_F64));
     }
 }
 
@@ -88,24 +90,27 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
         self.n_active
     }
 
-    fn set_phase_costs(&mut self, c: &[T]) {
+    fn set_phase_costs(&mut self, c: &[T]) -> Result<(), BackendError> {
         assert!(c.len() >= self.n_active, "phase costs too short");
         self.costs.copy_from_slice(&c[..self.n_active]);
         self.charge(0, self.n_active as u64 * T::BYTES);
+        Ok(())
     }
 
-    fn set_basic_cost(&mut self, row: usize, cost: T) {
+    fn set_basic_cost(&mut self, row: usize, cost: T) -> Result<(), BackendError> {
         self.cb[row] = cost;
+        Ok(())
     }
 
-    fn set_basic_col(&mut self, row: usize, col: usize) {
+    fn set_basic_col(&mut self, row: usize, col: usize) -> Result<(), BackendError> {
         let old = self.basic_of_row[row];
         self.basic[old] = false;
         self.basic[col] = true;
         self.basic_of_row[row] = col;
+        Ok(())
     }
 
-    fn compute_pricing_window(&mut self, start: usize, len: usize) {
+    fn compute_pricing_window(&mut self, start: usize, len: usize) -> Result<(), BackendError> {
         assert!(start + len <= self.n_active, "pricing window out of range");
         let m = self.m() as u64;
         // π = c_Bᵀ B⁻¹ — dense, B⁻¹ fills in regardless of A's sparsity.
@@ -118,6 +123,7 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
             window_nnz += (self.csc.col_ptr[j + 1] - self.csc.col_ptr[j]) as u64;
         }
         self.charge(2 * window_nnz, window_nnz * (T::BYTES + 4));
+        Ok(())
     }
 
     fn entering_dantzig_window(
@@ -125,8 +131,11 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
         tol: T,
         start: usize,
         len: usize,
-    ) -> Option<(usize, T)> {
-        assert!(start + len <= self.n_active, "selection window out of range");
+    ) -> Result<Option<(usize, T)>, BackendError> {
+        assert!(
+            start + len <= self.n_active,
+            "selection window out of range"
+        );
         let mut best: Option<(usize, T)> = None;
         for (j, &dj) in self.d.iter().enumerate().skip(start).take(len) {
             if self.basic[j] {
@@ -141,10 +150,10 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
         }
         let n = len as u64;
         self.charge(n, n * T::BYTES);
-        best
+        Ok(best)
     }
 
-    fn entering_bland(&mut self, tol: T) -> Option<(usize, T)> {
+    fn entering_bland(&mut self, tol: T) -> Result<Option<(usize, T)>, BackendError> {
         let res = self
             .d
             .iter()
@@ -153,10 +162,10 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
             .map(|(j, &dj)| (j, dj));
         let n = self.n_active as u64;
         self.charge(n, n * T::BYTES);
-        res
+        Ok(res)
     }
 
-    fn compute_alpha(&mut self, q: usize) {
+    fn compute_alpha(&mut self, q: usize) -> Result<(), BackendError> {
         assert!(q < self.n_active, "entering column out of active range");
         // α = B⁻¹ a_q = Σ_k v_k · B⁻¹[:, r_k] over a_q's nonzeros.
         for v in self.alpha.iter_mut() {
@@ -169,9 +178,10 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
         }
         let m = self.m() as u64;
         self.charge(2 * nnz_q * m, nnz_q * m * T::BYTES);
+        Ok(())
     }
 
-    fn ratio_test(&mut self, pivot_tol: T) -> RatioOutcome<T> {
+    fn ratio_test(&mut self, pivot_tol: T) -> Result<RatioOutcome<T>, BackendError> {
         let mut best: Option<(usize, T)> = None;
         for (i, (&a, &b)) in self.alpha.iter().zip(&self.beta).enumerate() {
             if a > pivot_tol {
@@ -184,13 +194,13 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
         }
         let m = self.m() as u64;
         self.charge(2 * m, 2 * m * T::BYTES);
-        match best {
+        Ok(match best {
             None => RatioOutcome::Unbounded,
             Some((p, theta)) => RatioOutcome::Pivot { p, theta },
-        }
+        })
     }
 
-    fn update(&mut self, p: usize, theta: T) {
+    fn update(&mut self, p: usize, theta: T) -> Result<(), BackendError> {
         let m = self.m();
         for i in 0..m {
             if i == p {
@@ -202,7 +212,11 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
         let ap = self.alpha[p];
         debug_assert!(ap != T::ZERO, "pivot on zero element");
         for i in 0..m {
-            self.eta[i] = if i == p { T::ONE / ap } else { -self.alpha[i] / ap };
+            self.eta[i] = if i == p {
+                T::ONE / ap
+            } else {
+                -self.alpha[i] / ap
+            };
         }
         for j in 0..m {
             self.rowp[j] = self.binv.get(p, j);
@@ -217,20 +231,21 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
         }
         let mm = (m * m) as u64;
         self.charge(2 * mm + 4 * m as u64, 2 * mm * T::BYTES);
+        Ok(())
     }
 
-    fn beta(&mut self) -> Vec<T> {
+    fn beta(&mut self) -> Result<Vec<T>, BackendError> {
         self.charge(0, self.m() as u64 * T::BYTES);
-        self.beta.clone()
+        Ok(self.beta.clone())
     }
 
-    fn objective_now(&mut self) -> T {
+    fn objective_now(&mut self) -> Result<T, BackendError> {
         let m = self.m() as u64;
         self.charge(2 * m, 2 * m * T::BYTES);
-        blas::dot(&self.cb, &self.beta)
+        Ok(blas::dot(&self.cb, &self.beta))
     }
 
-    fn refactorize(&mut self, basis: &[usize]) -> Result<(), ()> {
+    fn refactorize(&mut self, basis: &[usize]) -> Result<(), BackendError> {
         let m = self.m();
         let mut bmat = DenseMatrix::<f64>::zeros(m, m);
         for (r, &j) in basis.iter().enumerate() {
@@ -238,7 +253,7 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
                 bmat.set(i, r, v.to_f64());
             }
         }
-        let inv = linalg::blas::gauss_jordan_invert(&bmat).ok_or(())?;
+        let inv = linalg::blas::gauss_jordan_invert(&bmat).ok_or(BackendError::Singular)?;
         for j in 0..m {
             for i in 0..m {
                 self.binv.set(i, j, T::from_f64(inv.get(i, j)));
@@ -250,12 +265,15 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
         }
         // Priced identically to the dense backends (f64 host reinversion).
         let m3 = (m as u64).pow(3);
-        self.clock.charge(self.model.op_time(2 * m3, (m as u64 * m as u64) * 8 * 3, true));
+        self.clock.charge(
+            self.model
+                .op_time(2 * m3, (m as u64 * m as u64) * 8 * 3, true),
+        );
         Ok(())
     }
 
-    fn alpha_at(&mut self, i: usize) -> T {
-        self.alpha[i]
+    fn alpha_at(&mut self, i: usize) -> Result<T, BackendError> {
+        Ok(self.alpha[i])
     }
 }
 
@@ -270,7 +288,12 @@ mod tests {
             vec![0.0, 2.0, 0.0, 1.0, 0.0],
             vec![3.0, 2.0, 0.0, 0.0, 1.0],
         ]);
-        (a, vec![4.0, 12.0, 18.0], vec![-3.0, -5.0, 0.0, 0.0, 0.0], vec![2, 3, 4])
+        (
+            a,
+            vec![4.0, 12.0, 18.0],
+            vec![-3.0, -5.0, 0.0, 0.0, 0.0],
+            vec![2, 3, 4],
+        )
     }
 
     #[test]
@@ -279,35 +302,43 @@ mod tests {
         let csr = CsrMatrix::from_dense(&a, 0.0);
         let mut sp = CpuSparseBackend::new(&csr, &b, 5, &basis0);
         let mut de = CpuDenseBackend::new(&a, &b, 5, &basis0);
-        for be in [&mut sp as &mut dyn Backend<f64>, &mut de as &mut dyn Backend<f64>] {
-            be.set_phase_costs(&c);
+        for be in [
+            &mut sp as &mut dyn Backend<f64>,
+            &mut de as &mut dyn Backend<f64>,
+        ] {
+            be.set_phase_costs(&c).unwrap();
             for (r, &j) in basis0.iter().enumerate() {
-                be.set_basic_cost(r, c[j]);
+                be.set_basic_cost(r, c[j]).unwrap();
             }
         }
         // Run two full iterations in lockstep and compare state.
         for _ in 0..2 {
-            sp.compute_pricing();
-            de.compute_pricing();
-            let es = sp.entering_dantzig(1e-9);
-            let ed = de.entering_dantzig(1e-9);
+            sp.compute_pricing().unwrap();
+            de.compute_pricing().unwrap();
+            let es = sp.entering_dantzig(1e-9).unwrap();
+            let ed = de.entering_dantzig(1e-9).unwrap();
             assert_eq!(es, ed);
             let Some((q, _)) = es else { break };
-            sp.compute_alpha(q);
-            de.compute_alpha(q);
-            let rs = sp.ratio_test(1e-9);
-            let rd = de.ratio_test(1e-9);
+            sp.compute_alpha(q).unwrap();
+            de.compute_alpha(q).unwrap();
+            let rs = sp.ratio_test(1e-9).unwrap();
+            let rd = de.ratio_test(1e-9).unwrap();
             assert_eq!(rs, rd);
-            let RatioOutcome::Pivot { p, theta } = rs else { panic!("bounded problem") };
-            sp.update(p, theta);
-            de.update(p, theta);
-            for be in [&mut sp as &mut dyn Backend<f64>, &mut de as &mut dyn Backend<f64>] {
-                be.set_basic_col(p, q);
-                be.set_basic_cost(p, c[q]);
+            let RatioOutcome::Pivot { p, theta } = rs else {
+                panic!("bounded problem")
+            };
+            sp.update(p, theta).unwrap();
+            de.update(p, theta).unwrap();
+            for be in [
+                &mut sp as &mut dyn Backend<f64>,
+                &mut de as &mut dyn Backend<f64>,
+            ] {
+                be.set_basic_col(p, q).unwrap();
+                be.set_basic_cost(p, c[q]).unwrap();
             }
-            assert_eq!(sp.beta(), de.beta());
+            assert_eq!(sp.beta().unwrap(), de.beta().unwrap());
         }
-        assert_eq!(sp.objective_now(), de.objective_now());
+        assert_eq!(sp.objective_now().unwrap(), de.objective_now().unwrap());
     }
 
     #[test]
@@ -316,6 +347,6 @@ mod tests {
         let csr = CsrMatrix::from_dense(&a, 0.0);
         let mut sp = CpuSparseBackend::new(&csr, &b, 5, &basis0);
         sp.refactorize(&basis0).unwrap();
-        assert_eq!(sp.beta(), b);
+        assert_eq!(sp.beta().unwrap(), b);
     }
 }

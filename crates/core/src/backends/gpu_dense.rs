@@ -16,6 +16,7 @@ use linalg::{DenseMatrix, Scalar};
 
 use super::gpu_kernels::{MapNegIdxK, MaskBasicK, RatioK, UpdateBetaK};
 use crate::backend::{Backend, RatioOutcome};
+use crate::error::BackendError;
 
 const BLOCK: u32 = 128;
 
@@ -55,7 +56,15 @@ impl<'g, T: Scalar> GpuDenseBackend<'g, T> {
         n_active: usize,
         basis0: &[usize],
     ) -> Self {
-        Self::with_layout(gpu, a, b, n_active, basis0, Layout::ColMajor, GemvTStrategy::TwoPass)
+        Self::with_layout(
+            gpu,
+            a,
+            b,
+            n_active,
+            basis0,
+            Layout::ColMajor,
+            GemvTStrategy::TwoPass,
+        )
     }
 
     /// Build with an explicit layout/strategy (coalescing ablation).
@@ -78,9 +87,15 @@ impl<'g, T: Scalar> GpuDenseBackend<'g, T> {
                 "two-pass gemv_t requires col-major storage"
             );
         }
+        // Construction is infallible by contract: a device fault this early
+        // (before any iterate exists) leaves nothing to recover, so it
+        // panics and the resilience layer above treats it like any other
+        // mid-solve panic.
         let a_active = a.select_cols(&(0..n_active).collect::<Vec<_>>());
-        let a_dev = DeviceMatrix::upload(gpu, &a_active, layout);
-        let binv = DeviceMatrix::identity(gpu, m, layout);
+        let a_dev = DeviceMatrix::upload(gpu, &a_active, layout)
+            .unwrap_or_else(|e| panic!("{e} while uploading A"));
+        let binv = DeviceMatrix::identity(gpu, m, layout)
+            .unwrap_or_else(|e| panic!("{e} while building B⁻¹"));
         let beta = gpu.htod(b);
         let pi = gpu.alloc(m, T::ZERO);
         let d = gpu.alloc(n_active, T::ZERO);
@@ -134,20 +149,24 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
         self.n_active
     }
 
-    fn set_phase_costs(&mut self, c: &[T]) {
+    fn set_phase_costs(&mut self, c: &[T]) -> Result<(), BackendError> {
         assert!(c.len() >= self.n_active, "phase costs too short");
-        self.gpu.htod_into(&c[..self.n_active], &mut self.costs);
+        self.gpu
+            .try_htod_into(&c[..self.n_active], &mut self.costs)?;
+        Ok(())
     }
 
-    fn set_basic_cost(&mut self, row: usize, cost: T) {
-        self.gpu.htod_elem(&mut self.cb, row, cost);
+    fn set_basic_cost(&mut self, row: usize, cost: T) -> Result<(), BackendError> {
+        self.gpu.try_htod_elem(&mut self.cb, row, cost)?;
+        Ok(())
     }
 
-    fn set_basic_col(&mut self, row: usize, col: usize) {
-        self.gpu.htod_elem(&mut self.xb, row, col as u32);
+    fn set_basic_col(&mut self, row: usize, col: usize) -> Result<(), BackendError> {
+        self.gpu.try_htod_elem(&mut self.xb, row, col as u32)?;
+        Ok(())
     }
 
-    fn compute_pricing_window(&mut self, start: usize, len: usize) {
+    fn compute_pricing_window(&mut self, start: usize, len: usize) -> Result<(), BackendError> {
         assert!(start + len <= self.n_active, "pricing window out of range");
         // π = c_Bᵀ B⁻¹  ⇔  π = (B⁻¹)ᵀ c_B.
         gblas::gemv_t(
@@ -158,7 +177,7 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
             T::ZERO,
             self.pi.view_mut(),
             self.gemv_t_strategy,
-        );
+        )?;
         // d[start..start+len] = c[window] − A[:, window]ᵀπ. The column-block
         // product needs contiguous columns (col-major); the row-major
         // ablation backend always prices the full range.
@@ -167,7 +186,7 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
                 self.gpu,
                 self.costs.view().subview(start, len),
                 self.d.view_mut().subview_mut(start, len),
-            );
+            )?;
             gblas::gemv_t_cols(
                 self.gpu,
                 -T::ONE,
@@ -178,9 +197,9 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
                 T::ONE,
                 self.d.view_mut().subview_mut(start, len),
                 self.gemv_t_strategy,
-            );
+            )?;
         } else {
-            gblas::copy(self.gpu, self.costs.view(), self.d.view_mut());
+            gblas::copy(self.gpu, self.costs.view(), self.d.view_mut())?;
             gblas::gemv_t(
                 self.gpu,
                 -T::ONE,
@@ -189,8 +208,9 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
                 T::ONE,
                 self.d.view_mut(),
                 self.gemv_t_strategy,
-            );
+            )?;
         }
+        Ok(())
     }
 
     fn entering_dantzig_window(
@@ -198,51 +218,76 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
         tol: T,
         start: usize,
         len: usize,
-    ) -> Option<(usize, T)> {
-        assert!(start + len <= self.n_active, "selection window out of range");
-        self.gpu.launch(
-            LaunchConfig::for_elems(self.m, BLOCK),
-            &MaskBasicK { d: self.d.view_mut(), xb: self.xb.view(), m: self.m, n_active: self.n_active },
+    ) -> Result<Option<(usize, T)>, BackendError> {
+        assert!(
+            start + len <= self.n_active,
+            "selection window out of range"
         );
-        let (v, q) = gblas::argmin(self.gpu, self.d.view().subview(start, len), len);
-        if v < -tol {
+        self.gpu.try_launch(
+            LaunchConfig::for_elems(self.m, BLOCK),
+            &MaskBasicK {
+                d: self.d.view_mut(),
+                xb: self.xb.view(),
+                m: self.m,
+                n_active: self.n_active,
+            },
+        )?;
+        let (v, q) = gblas::argmin(self.gpu, self.d.view().subview(start, len), len)?;
+        Ok(if v < -tol {
             Some((start + q as usize, v))
         } else {
             None
-        }
+        })
     }
 
-    fn entering_bland(&mut self, tol: T) -> Option<(usize, T)> {
-        self.gpu.launch(
+    fn entering_bland(&mut self, tol: T) -> Result<Option<(usize, T)>, BackendError> {
+        self.gpu.try_launch(
             LaunchConfig::for_elems(self.m, BLOCK),
-            &MaskBasicK { d: self.d.view_mut(), xb: self.xb.view(), m: self.m, n_active: self.n_active },
-        );
-        let mut idx = self.gpu.alloc(self.n_active, u32::MAX);
-        self.gpu.launch(
+            &MaskBasicK {
+                d: self.d.view_mut(),
+                xb: self.xb.view(),
+                m: self.m,
+                n_active: self.n_active,
+            },
+        )?;
+        let mut idx = self.gpu.try_alloc(self.n_active, u32::MAX)?;
+        self.gpu.try_launch(
             LaunchConfig::for_elems(self.n_active, BLOCK),
-            &MapNegIdxK { d: self.d.view(), tol, out: idx.view_mut(), n: self.n_active },
-        );
-        let q = gblas::reduce_u32_min(self.gpu, idx.view(), self.n_active);
+            &MapNegIdxK {
+                d: self.d.view(),
+                tol,
+                out: idx.view_mut(),
+                n: self.n_active,
+            },
+        )?;
+        let q = gblas::reduce_u32_min(self.gpu, idx.view(), self.n_active)?;
         if q == u32::MAX {
-            return None;
+            return Ok(None);
         }
         // Fetch d_q (one scalar over PCIe, as the era's codes did).
-        let dq = self.gpu.dtoh_range(&self.d, q as usize, 1)[0];
-        Some((q as usize, dq))
+        let dq = self.gpu.try_dtoh_range(&self.d, q as usize, 1)?[0];
+        Ok(Some((q as usize, dq)))
     }
 
-    fn compute_alpha(&mut self, q: usize) {
+    fn compute_alpha(&mut self, q: usize) -> Result<(), BackendError> {
         assert!(q < self.n_active, "entering column out of active range");
         match self.layout {
             Layout::ColMajor => {
                 let aq = self.a_dev.col_view(q);
-                gblas::gemv_n(self.gpu, T::ONE, &self.binv, aq, T::ZERO, self.alpha.view_mut());
+                gblas::gemv_n(
+                    self.gpu,
+                    T::ONE,
+                    &self.binv,
+                    aq,
+                    T::ZERO,
+                    self.alpha.view_mut(),
+                )?;
             }
             Layout::RowMajor => {
                 // No contiguous column view exists; extract the column with
                 // a strided kernel first (honest extra cost of this layout).
-                let mut aq = self.gpu.alloc(self.m, T::ZERO);
-                self.gpu.launch(
+                let mut aq = self.gpu.try_alloc(self.m, T::ZERO)?;
+                self.gpu.try_launch(
                     LaunchConfig::for_elems(self.m, BLOCK),
                     &ColExtractRowMajorK {
                         mat: self.a_dev.view(),
@@ -251,18 +296,26 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
                         j: q,
                         out: aq.view_mut(),
                     },
-                );
-                gblas::gemv_n(self.gpu, T::ONE, &self.binv, aq.view(), T::ZERO, self.alpha.view_mut());
+                )?;
+                gblas::gemv_n(
+                    self.gpu,
+                    T::ONE,
+                    &self.binv,
+                    aq.view(),
+                    T::ZERO,
+                    self.alpha.view_mut(),
+                )?;
             }
         }
+        Ok(())
     }
 
-    fn ratio_test(&mut self, pivot_tol: T) -> RatioOutcome<T> {
+    fn ratio_test(&mut self, pivot_tol: T) -> Result<RatioOutcome<T>, BackendError> {
         if self.m == 0 {
             // Zero-row programs: nothing can block the entering variable.
-            return RatioOutcome::Unbounded;
+            return Ok(RatioOutcome::Unbounded);
         }
-        self.gpu.launch(
+        self.gpu.try_launch(
             LaunchConfig::for_elems(self.m, BLOCK),
             &RatioK {
                 alpha: self.alpha.view(),
@@ -271,17 +324,20 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
                 out: self.ratios.view_mut(),
                 m: self.m,
             },
-        );
-        let (theta, p) = gblas::argmin(self.gpu, self.ratios.view(), self.m);
-        if theta.is_finite() {
-            RatioOutcome::Pivot { p: p as usize, theta }
+        )?;
+        let (theta, p) = gblas::argmin(self.gpu, self.ratios.view(), self.m)?;
+        Ok(if theta.is_finite() {
+            RatioOutcome::Pivot {
+                p: p as usize,
+                theta,
+            }
         } else {
             RatioOutcome::Unbounded
-        }
+        })
     }
 
-    fn update(&mut self, p: usize, theta: T) {
-        self.gpu.launch(
+    fn update(&mut self, p: usize, theta: T) -> Result<(), BackendError> {
+        self.gpu.try_launch(
             LaunchConfig::for_elems(self.m, BLOCK),
             &UpdateBetaK {
                 beta: self.beta.view_mut(),
@@ -290,54 +346,61 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
                 p,
                 m: self.m,
             },
-        );
-        gblas::pivot_update(self.gpu, &mut self.binv, self.alpha.view(), p);
+        )?;
+        gblas::pivot_update(self.gpu, &mut self.binv, self.alpha.view(), p)?;
+        Ok(())
     }
 
-    fn beta(&mut self) -> Vec<T> {
-        self.gpu.dtoh(&self.beta)
+    fn beta(&mut self) -> Result<Vec<T>, BackendError> {
+        Ok(self.gpu.try_dtoh(&self.beta)?)
     }
 
-    fn objective_now(&mut self) -> T {
-        gblas::dot(self.gpu, self.cb.view(), self.beta.view())
+    fn objective_now(&mut self) -> Result<T, BackendError> {
+        Ok(gblas::dot(self.gpu, self.cb.view(), self.beta.view())?)
     }
 
-    fn refactorize(&mut self, basis: &[usize]) -> Result<(), ()> {
+    fn refactorize(&mut self, basis: &[usize]) -> Result<(), BackendError> {
         // Fast path: device-resident Gauss–Jordan reinversion over [B | I]
         // (col-major only; no pivoting — falls back to the pivoting host
-        // path on a small pivot).
-        if self.layout == Layout::ColMajor
-            && self.refactorize_on_device(basis).is_ok() {
-                return Ok(());
+        // path on a small pivot). A *device* failure propagates; only the
+        // numerical "no stable pivot" outcome falls back.
+        if self.layout == Layout::ColMajor {
+            match self.refactorize_on_device(basis) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {} // small pivot or odd basis column → host path
+                Err(e) => return Err(BackendError::Device(e)),
             }
+        }
         self.refactorize_on_host(basis)
     }
 
-    fn alpha_at(&mut self, i: usize) -> T {
-        self.gpu.dtoh_range(&self.alpha, i, 1)[0]
+    fn alpha_at(&mut self, i: usize) -> Result<T, BackendError> {
+        Ok(self.gpu.try_dtoh_range(&self.alpha, i, 1)?[0])
     }
 }
 
 impl<T: Scalar> GpuDenseBackend<'_, T> {
     /// Device-side reinversion: assemble B from the resident active columns
     /// (artificials are unit columns), invert in place, recompute β = B⁻¹b.
-    fn refactorize_on_device(&mut self, basis: &[usize]) -> Result<(), ()> {
+    /// `Ok(false)` means "no stable pivot / unrecognized basis column — use
+    /// the host path"; `Err` is a genuine device failure.
+    fn refactorize_on_device(&mut self, basis: &[usize]) -> Result<bool, gpu_sim::DeviceError> {
         use super::gpu_kernels::ClampNonNegK;
         let m = self.m;
-        let mut bmat = DeviceMatrix::<T>::zeros(self.gpu, m, m, Layout::ColMajor);
+        let mut bmat = DeviceMatrix::<T>::zeros(self.gpu, m, m, Layout::ColMajor)?;
         for (r, &j) in basis.iter().enumerate() {
             if j < self.n_active {
                 gblas::copy(
                     self.gpu,
                     self.a_dev.col_view(j),
                     bmat.view_mut().subview_mut(r * m, m),
-                );
+                )?;
             } else {
                 // Artificial column of row `row`: e_row, written as one
                 // scalar on top of the zero-initialized column.
                 let row = match basis_artificial_row(&self.a_host, j) {
                     Some(row) => row,
-                    None => return Err(()),
+                    None => return Ok(false),
                 };
                 let view = bmat.view_mut();
                 view.set(r * m + row, T::ONE);
@@ -348,21 +411,34 @@ impl<T: Scalar> GpuDenseBackend<'_, T> {
             }
         }
         let pivot_tol = T::from_f64(if T::IS_F64 { 1e-11 } else { 1e-6 });
-        let inv = gblas::invert_gauss_jordan(self.gpu, &bmat, pivot_tol).ok_or(())?;
+        let inv = match gblas::invert_gauss_jordan(self.gpu, &bmat, pivot_tol)? {
+            Some(inv) => inv,
+            None => return Ok(false),
+        };
         self.binv = inv;
         // β = B⁻¹ b, clamped at zero.
-        let b_dev = self.gpu.htod(&self.b_host);
-        gblas::gemv_n(self.gpu, T::ONE, &self.binv, b_dev.view(), T::ZERO, self.beta.view_mut());
-        self.gpu.launch(
+        let b_dev = self.gpu.try_htod(&self.b_host)?;
+        gblas::gemv_n(
+            self.gpu,
+            T::ONE,
+            &self.binv,
+            b_dev.view(),
+            T::ZERO,
+            self.beta.view_mut(),
+        )?;
+        self.gpu.try_launch(
             LaunchConfig::for_elems(m, BLOCK),
-            &ClampNonNegK { x: self.beta.view_mut(), n: m },
-        );
-        Ok(())
+            &ClampNonNegK {
+                x: self.beta.view_mut(),
+                n: m,
+            },
+        )?;
+        Ok(true)
     }
 
-    /// Host-side pivoting reinversion (fallback; always succeeds on a
-    /// non-singular basis).
-    fn refactorize_on_host(&mut self, basis: &[usize]) -> Result<(), ()> {
+    /// Host-side pivoting reinversion (fallback; fails only on a singular
+    /// basis or a device fault during the re-upload).
+    fn refactorize_on_host(&mut self, basis: &[usize]) -> Result<(), BackendError> {
         let m = self.m;
         // Reinversion runs on the host in f64 (the era's codes pulled the
         // basis back for a dgetrf-style refactor), then re-uploads B⁻¹ and
@@ -373,7 +449,7 @@ impl<T: Scalar> GpuDenseBackend<'_, T> {
                 bmat.set(i, r, self.a_host.get(i, j).to_f64());
             }
         }
-        let inv = linalg::blas::gauss_jordan_invert(&bmat).ok_or(())?;
+        let inv = linalg::blas::gauss_jordan_invert(&bmat).ok_or(BackendError::Singular)?;
         // Charge the host-side inversion at the modeled CPU rate so the GPU
         // clock stays the single timeline.
         let cpu = linalg::CpuModel::core2_era();
@@ -389,13 +465,13 @@ impl<T: Scalar> GpuDenseBackend<'_, T> {
                 inv_t.set(i, j, T::from_f64(inv.get(i, j)));
             }
         }
-        self.binv = DeviceMatrix::upload(self.gpu, &inv_t, self.layout);
+        self.binv = DeviceMatrix::upload(self.gpu, &inv_t, self.layout)?;
         let mut beta_h = vec![T::ZERO; m];
         linalg::blas::gemv_n(T::ONE, &inv_t, &self.b_host, T::ZERO, &mut beta_h);
         for v in beta_h.iter_mut() {
             *v = v.maxs(T::ZERO);
         }
-        self.gpu.htod_into(&beta_h, &mut self.beta);
+        self.gpu.try_htod_into(&beta_h, &mut self.beta)?;
         Ok(())
     }
 }
@@ -437,7 +513,10 @@ impl<T: Scalar> gpu_sim::Kernel for ColExtractRowMajorK<T> {
     fn cost(&self, cfg: &LaunchConfig) -> gpu_sim::KernelCost {
         let m = self.rows as u64;
         gpu_sim::KernelCost::new()
-            .read(gpu_sim::AccessPattern::strided::<T>(m, self.cols as u64 * T::BYTES))
+            .read(gpu_sim::AccessPattern::strided::<T>(
+                m,
+                self.cols as u64 * T::BYTES,
+            ))
             .write(gpu_sim::AccessPattern::coalesced::<T>(m))
             .active_threads(cfg, m)
     }
@@ -454,7 +533,12 @@ mod tests {
             vec![0.0, 2.0, 0.0, 1.0, 0.0],
             vec![3.0, 2.0, 0.0, 0.0, 1.0],
         ]);
-        (a, vec![4.0, 12.0, 18.0], vec![-3.0, -5.0, 0.0, 0.0, 0.0], vec![2, 3, 4])
+        (
+            a,
+            vec![4.0, 12.0, 18.0],
+            vec![-3.0, -5.0, 0.0, 0.0, 0.0],
+            vec![2, 3, 4],
+        )
     }
 
     #[test]
@@ -464,32 +548,35 @@ mod tests {
         let gpu = Gpu::new(DeviceSpec::gtx280());
         let mut gb = GpuDenseBackend::new(&gpu, &a, &b, 5, &basis0);
         let mut cb = CpuDenseBackend::new(&a, &b, 5, &basis0);
-        for be in [&mut gb as &mut dyn Backend<f64>, &mut cb as &mut dyn Backend<f64>] {
-            be.set_phase_costs(&c);
+        for be in [
+            &mut gb as &mut dyn Backend<f64>,
+            &mut cb as &mut dyn Backend<f64>,
+        ] {
+            be.set_phase_costs(&c).unwrap();
             for (r, &j) in basis0.iter().enumerate() {
-                be.set_basic_cost(r, c[j]);
+                be.set_basic_cost(r, c[j]).unwrap();
             }
-            be.compute_pricing();
+            be.compute_pricing().unwrap();
         }
-        let (gq, gd) = gb.entering_dantzig(1e-9).unwrap();
-        let (cq, cd) = cb.entering_dantzig(1e-9).unwrap();
+        let (gq, gd) = gb.entering_dantzig(1e-9).unwrap().unwrap();
+        let (cq, cd) = cb.entering_dantzig(1e-9).unwrap().unwrap();
         assert_eq!(gq, cq);
         assert_eq!(gd, cd);
-        gb.compute_alpha(gq);
-        cb.compute_alpha(cq);
-        let gr = gb.ratio_test(1e-9);
-        let cr = cb.ratio_test(1e-9);
+        gb.compute_alpha(gq).unwrap();
+        cb.compute_alpha(cq).unwrap();
+        let gr = gb.ratio_test(1e-9).unwrap();
+        let cr = cb.ratio_test(1e-9).unwrap();
         assert_eq!(gr, cr);
         if let RatioOutcome::Pivot { p, theta } = gr {
-            gb.update(p, theta);
-            cb.update(p, theta);
-            gb.set_basic_col(p, gq);
-            gb.set_basic_cost(p, c[gq]);
-            cb.set_basic_col(p, cq);
-            cb.set_basic_cost(p, c[cq]);
+            gb.update(p, theta).unwrap();
+            cb.update(p, theta).unwrap();
+            gb.set_basic_col(p, gq).unwrap();
+            gb.set_basic_cost(p, c[gq]).unwrap();
+            cb.set_basic_col(p, cq).unwrap();
+            cb.set_basic_cost(p, c[cq]).unwrap();
         }
-        assert_eq!(gb.beta(), cb.beta());
-        assert_eq!(gb.objective_now(), cb.objective_now());
+        assert_eq!(gb.beta().unwrap(), cb.beta().unwrap());
+        assert_eq!(gb.objective_now().unwrap(), cb.objective_now().unwrap());
         // The GPU backend actually used the device.
         let counters = gpu.counters();
         assert!(counters.kernels_launched > 10);
@@ -502,12 +589,12 @@ mod tests {
         let gpu = Gpu::new(DeviceSpec::gtx280());
         let mut gb = GpuDenseBackend::new(&gpu, &a, &b, 5, &basis0);
         // Pivot column 0 into row 0, then refactorize and check β = B⁻¹b.
-        gb.set_phase_costs(&[-3.0, -5.0, 0.0, 0.0, 0.0]);
-        gb.compute_alpha(0);
-        gb.update(0, 4.0);
-        gb.set_basic_col(0, 0);
+        gb.set_phase_costs(&[-3.0, -5.0, 0.0, 0.0, 0.0]).unwrap();
+        gb.compute_alpha(0).unwrap();
+        gb.update(0, 4.0).unwrap();
+        gb.set_basic_col(0, 0).unwrap();
         gb.refactorize(&[0, 3, 4]).unwrap();
-        let beta = gb.beta();
+        let beta = gb.beta().unwrap();
         // B = [a0 | e1 | e2] → β = (4, 12, 18 − 3·4) = (4, 12, 6).
         assert_eq!(beta, vec![4.0, 12.0, 6.0]);
     }
@@ -525,7 +612,7 @@ mod tests {
         let mut gb = GpuDenseBackend::new(&gpu, &a, &b, 2, &[2, 3]);
         // Basis = {x (col 0), artificial u2 (col 3)} → B = [[2,0],[1,1]].
         gb.refactorize(&[0, 3]).unwrap();
-        let beta = gb.beta();
+        let beta = gb.beta().unwrap();
         // B⁻¹ b = [[0.5,0],[-0.5,1]]·(5,10) = (2.5, 7.5).
         assert!((beta[0] - 2.5).abs() < 1e-12, "{beta:?}");
         assert!((beta[1] - 7.5).abs() < 1e-12, "{beta:?}");
@@ -548,13 +635,13 @@ mod tests {
 
         let gpu1 = Gpu::new(DeviceSpec::gtx280());
         let mut dev = GpuDenseBackend::new(&gpu1, &a, &b, 3, &[3, 4, 5]);
-        dev.refactorize_on_device(&basis).unwrap();
-        let beta_dev = dev.beta();
+        assert!(dev.refactorize_on_device(&basis).unwrap());
+        let beta_dev = dev.beta().unwrap();
 
         let gpu2 = Gpu::new(DeviceSpec::gtx280());
         let mut host = GpuDenseBackend::new(&gpu2, &a, &b, 3, &[3, 4, 5]);
         host.refactorize_on_host(&basis).unwrap();
-        let beta_host = host.beta();
+        let beta_host = host.beta().unwrap();
 
         for (d, h) in beta_dev.iter().zip(&beta_host) {
             assert!((d - h).abs() < 1e-9, "{beta_dev:?} vs {beta_host:?}");
@@ -574,14 +661,14 @@ mod tests {
             Layout::RowMajor,
             GemvTStrategy::Naive,
         );
-        gb.set_phase_costs(&c);
+        gb.set_phase_costs(&c).unwrap();
         for (r, &j) in basis0.iter().enumerate() {
-            gb.set_basic_cost(r, c[j]);
+            gb.set_basic_cost(r, c[j]).unwrap();
         }
-        gb.compute_pricing();
-        let (q, d) = gb.entering_dantzig(1e-9).unwrap();
+        gb.compute_pricing().unwrap();
+        let (q, d) = gb.entering_dantzig(1e-9).unwrap().unwrap();
         assert_eq!((q, d), (1, -5.0));
-        gb.compute_alpha(q);
-        assert_eq!(gb.alpha_at(1), 2.0);
+        gb.compute_alpha(q).unwrap();
+        assert_eq!(gb.alpha_at(1).unwrap(), 2.0);
     }
 }

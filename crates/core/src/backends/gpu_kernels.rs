@@ -54,7 +54,11 @@ impl<T: Scalar> Kernel for MapNegIdxK<T> {
         if j >= self.n {
             return;
         }
-        let v = if self.d.get(j) < -self.tol { j as u32 } else { u32::MAX };
+        let v = if self.d.get(j) < -self.tol {
+            j as u32
+        } else {
+            u32::MAX
+        };
         self.out.set(j, v);
     }
     fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
@@ -192,7 +196,12 @@ mod tests {
         let xb = gpu.htod(&[1u32, 7]); // column 7 is outside n_active
         gpu.launch(
             gpu_sim::LaunchConfig::for_elems(2, 128),
-            &MaskBasicK { d: d.view_mut(), xb: xb.view(), m: 2, n_active: 4 },
+            &MaskBasicK {
+                d: d.view_mut(),
+                xb: xb.view(),
+                m: 2,
+                n_active: 4,
+            },
         );
         let host = gpu.dtoh(&d);
         assert_eq!(host[0], 1.0);
@@ -207,7 +216,12 @@ mod tests {
         let mut out = gpu.alloc(3, 0u32);
         gpu.launch(
             gpu_sim::LaunchConfig::for_elems(3, 128),
-            &MapNegIdxK { d: d.view(), tol: 0.1, out: out.view_mut(), n: 3 },
+            &MapNegIdxK {
+                d: d.view(),
+                tol: 0.1,
+                out: out.view_mut(),
+                n: 3,
+            },
         );
         assert_eq!(gpu.dtoh(&out), vec![u32::MAX, u32::MAX, 2]);
     }
@@ -220,7 +234,13 @@ mod tests {
         let mut out = gpu.alloc(4, 0.0f64);
         gpu.launch(
             gpu_sim::LaunchConfig::for_elems(4, 128),
-            &RatioK { alpha: alpha.view(), beta: beta.view(), tol: 1e-9, out: out.view_mut(), m: 4 },
+            &RatioK {
+                alpha: alpha.view(),
+                beta: beta.view(),
+                tol: 1e-9,
+                out: out.view_mut(),
+                m: 4,
+            },
         );
         let r = gpu.dtoh(&out);
         assert_eq!(r[0], 3.0);
@@ -236,7 +256,13 @@ mod tests {
         let alpha = gpu.htod(&[1.0, 2.0, -1.0]);
         gpu.launch(
             gpu_sim::LaunchConfig::for_elems(3, 128),
-            &UpdateBetaK { beta: beta.view_mut(), alpha: alpha.view(), theta: 3.0, p: 1, m: 3 },
+            &UpdateBetaK {
+                beta: beta.view_mut(),
+                alpha: alpha.view(),
+                theta: 3.0,
+                p: 1,
+                m: 3,
+            },
         );
         assert_eq!(gpu.dtoh(&beta), vec![1.0, 3.0, 11.0]);
     }

@@ -16,6 +16,12 @@
 //! * Each solve runs under `catch_unwind`: a panicking job is recorded as
 //!   [`JobOutcome::Panicked`] and the pool keeps draining the queue —
 //!   one poisoned model cannot take down the batch.
+//! * With [`BatchOptions::resilience`] set, each job instead runs through
+//!   [`crate::ResilientSolver`]: seeded fault injection on GPU rungs,
+//!   bounded retries with recorded backoff, and graceful degradation down
+//!   to the dense CPU path. The scheduler additionally *quarantines* a
+//!   backend after `quarantine_after` consecutive faulted jobs and
+//!   re-places later jobs mapped there onto the CPU.
 //! * Results come back in submission order with per-job wall/simulated
 //!   times, and a [`BatchStats`] aggregate: throughput, per-backend
 //!   utilization, and the simulated-time speedup (sequential cost over
@@ -45,6 +51,7 @@
 pub mod policy;
 pub mod report;
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -53,7 +60,9 @@ use linalg::Scalar;
 use lp::LinearProgram;
 use parking_lot::Mutex;
 
+use crate::error::SolveError;
 use crate::options::SolverOptions;
+use crate::resilient::{ResilienceOptions, ResilientSolver};
 use crate::solver::{solve_on, BackendKind};
 
 pub use policy::PlacementPolicy;
@@ -68,6 +77,13 @@ pub struct BatchOptions {
     pub policy: PlacementPolicy,
     /// Solver options applied to every job in the batch.
     pub solver: SolverOptions,
+    /// Retry/degradation policy. `None` (the default) is the direct path:
+    /// each job runs exactly once on its placed backend, panics caught.
+    /// `Some` routes every job through [`ResilientSolver`], and — when
+    /// [`ResilienceOptions::quarantine_after`] is `K > 0` — quarantines a
+    /// backend after `K` consecutive jobs with device faults, re-placing
+    /// later jobs that the policy maps there onto the dense CPU fallback.
+    pub resilience: Option<ResilienceOptions>,
 }
 
 impl Default for BatchOptions {
@@ -76,6 +92,36 @@ impl Default for BatchOptions {
             workers: 1,
             policy: PlacementPolicy::Fixed(BackendKind::CpuDense),
             solver: SolverOptions::default(),
+            resilience: None,
+        }
+    }
+}
+
+/// Consecutive-fault ledger behind backend quarantine. With one worker the
+/// walk order is the submission order, so quarantine decisions are fully
+/// deterministic; with several workers the *policy* is deterministic but
+/// which job tips a backend over the threshold can depend on completion
+/// order (the ledger is keyed by backend, not by job).
+#[derive(Debug, Default)]
+struct QuarantineLedger {
+    consecutive_faults: BTreeMap<&'static str, usize>,
+    quarantined: BTreeMap<&'static str, bool>,
+}
+
+impl QuarantineLedger {
+    fn is_quarantined(&self, label: &'static str) -> bool {
+        self.quarantined.get(label).copied().unwrap_or(false)
+    }
+
+    fn record(&mut self, label: &'static str, had_faults: bool, threshold: usize) {
+        let entry = self.consecutive_faults.entry(label).or_insert(0);
+        if had_faults {
+            *entry += 1;
+            if threshold > 0 && *entry >= threshold {
+                self.quarantined.insert(label, true);
+            }
+        } else {
+            *entry = 0;
         }
     }
 }
@@ -90,9 +136,10 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    /// True when every job returned a solution (any status, no panics).
+    /// True when every job returned a solution (any status, no failures,
+    /// no panics).
     pub fn all_solved(&self) -> bool {
-        self.stats.panicked == 0
+        self.stats.panicked == 0 && self.stats.failed == 0
     }
 }
 
@@ -128,6 +175,8 @@ impl BatchSolver {
             Mutex::new((0..jobs.len()).map(|_| None).collect());
         // Simulated time executed per worker, for the makespan.
         let worker_sim: Mutex<Vec<SimTime>> = Mutex::new(vec![SimTime::ZERO; workers]);
+        // Shared across workers: which backends have been benched.
+        let quarantine: Mutex<QuarantineLedger> = Mutex::new(QuarantineLedger::default());
 
         let (tx, rx) = crossbeam::channel::unbounded::<usize>();
         for idx in 0..jobs.len() {
@@ -140,20 +189,62 @@ impl BatchSolver {
                 let rx = rx.clone();
                 let slots = &slots;
                 let worker_sim = &worker_sim;
+                let quarantine = &quarantine;
                 let opts = &self.opts;
                 s.spawn(move |_| {
+                    let resilient = opts.resilience.clone().map(ResilientSolver::new);
                     let mut executed = SimTime::ZERO;
                     for idx in rx.iter() {
                         let job = &jobs[idx];
-                        let kind =
-                            opts.policy.place(idx, job.num_constraints(), job.num_vars());
-                        let backend = kind.label();
+                        let mut kind =
+                            opts.policy
+                                .place(idx, job.num_constraints(), job.num_vars());
+                        let mut backend = kind.label();
                         let t0 = Instant::now();
-                        let outcome = match catch_unwind(AssertUnwindSafe(|| {
-                            solve_on::<T>(job, &opts.solver, &kind)
-                        })) {
-                            Ok(sol) => JobOutcome::Solved(sol),
-                            Err(payload) => JobOutcome::Panicked(panic_message(&*payload)),
+                        let (outcome, faults, retries, degradations) = match &resilient {
+                            None => {
+                                // Direct path: one attempt, panics caught so
+                                // one poisoned model cannot take down the
+                                // batch (and a panic inside a shared Stream
+                                // leaves the job terminally Panicked — it is
+                                // never re-run).
+                                let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                                    solve_on::<T>(job, &opts.solver, &kind)
+                                })) {
+                                    Ok(sol) => JobOutcome::Solved(Box::new(sol)),
+                                    Err(payload) => JobOutcome::Panicked(panic_message(&*payload)),
+                                };
+                                let faults = outcome
+                                    .solution()
+                                    .map(|s| s.stats.device_faults)
+                                    .unwrap_or(0);
+                                (outcome, faults, 0, 0)
+                            }
+                            Some(solver) => {
+                                let threshold = solver.options.quarantine_after;
+                                if threshold > 0
+                                    && quarantine.lock().is_quarantined(backend)
+                                    && !matches!(kind, BackendKind::CpuDense)
+                                {
+                                    // Re-place off the benched backend; the
+                                    // dense CPU rung is the one place every
+                                    // ladder bottoms out, so it can never
+                                    // itself be fault-quarantined.
+                                    kind = BackendKind::CpuDense;
+                                }
+                                let out =
+                                    solver.solve_job::<T>(idx as u64, job, &opts.solver, &kind);
+                                quarantine
+                                    .lock()
+                                    .record(kind.label(), out.faults > 0, threshold);
+                                backend = out.final_backend;
+                                let outcome = match out.result {
+                                    Ok(sol) => JobOutcome::Solved(Box::new(sol)),
+                                    Err(SolveError::Panicked(msg)) => JobOutcome::Panicked(msg),
+                                    Err(e) => JobOutcome::Failed(e.to_string()),
+                                };
+                                (outcome, out.faults, out.retries, out.degradations)
+                            }
                         };
                         let wall_seconds = t0.elapsed().as_secs_f64();
                         let sim_time = outcome
@@ -167,6 +258,9 @@ impl BatchSolver {
                             worker,
                             wall_seconds,
                             sim_time,
+                            faults,
+                            retries,
+                            degradations,
                             outcome,
                         });
                         // Cooperative fairness: on hosts with fewer cores
@@ -204,8 +298,12 @@ fn aggregate(
     let mut stats = BatchStats {
         jobs: results.len(),
         solved: 0,
+        failed: 0,
         panicked: 0,
         workers,
+        device_faults: 0,
+        retries: 0,
+        degradations: 0,
         wall_seconds,
         sim_total: SimTime::ZERO,
         sim_makespan: worker_sim.iter().copied().fold(SimTime::ZERO, SimTime::max),
@@ -214,8 +312,12 @@ fn aggregate(
     for r in results {
         match r.outcome {
             JobOutcome::Solved(_) => stats.solved += 1,
+            JobOutcome::Failed(_) => stats.failed += 1,
             JobOutcome::Panicked(_) => stats.panicked += 1,
         }
+        stats.device_faults += r.faults;
+        stats.retries += r.retries;
+        stats.degradations += r.degradations;
         stats.sim_total += r.sim_time;
         let tally = stats.per_backend.entry(r.backend).or_default();
         tally.jobs += 1;
@@ -242,19 +344,23 @@ mod tests {
     use lp::generator::{self, fixtures};
 
     fn batch_of(n: usize) -> Vec<LinearProgram> {
-        (0..n).map(|s| generator::dense_random(6, 8, s as u64)).collect()
+        (0..n)
+            .map(|s| generator::dense_random(6, 8, s as u64))
+            .collect()
     }
 
     #[test]
     fn results_in_submission_order_and_match_sequential() {
         let jobs = batch_of(12);
-        let solver = BatchSolver::new(BatchOptions { workers: 4, ..Default::default() });
+        let solver = BatchSolver::new(BatchOptions {
+            workers: 4,
+            ..Default::default()
+        });
         let report = solver.solve::<f64>(&jobs);
         assert_eq!(report.results.len(), 12);
         for (i, r) in report.results.iter().enumerate() {
             assert_eq!(r.index, i);
-            let seq =
-                solve_on::<f64>(&jobs[i], &SolverOptions::default(), &BackendKind::CpuDense);
+            let seq = solve_on::<f64>(&jobs[i], &SolverOptions::default(), &BackendKind::CpuDense);
             let sol = r.outcome.solution().expect("no panic");
             assert_eq!(sol.status, seq.status);
             assert!((sol.objective - seq.objective).abs() < 1e-12);
@@ -267,10 +373,16 @@ mod tests {
     #[test]
     fn makespan_bounded_by_total_and_at_least_max_job() {
         let jobs = batch_of(8);
-        let report = BatchSolver::new(BatchOptions { workers: 3, ..Default::default() })
-            .solve::<f64>(&jobs);
-        let max_job =
-            report.results.iter().map(|r| r.sim_time).fold(SimTime::ZERO, SimTime::max);
+        let report = BatchSolver::new(BatchOptions {
+            workers: 3,
+            ..Default::default()
+        })
+        .solve::<f64>(&jobs);
+        let max_job = report
+            .results
+            .iter()
+            .map(|r| r.sim_time)
+            .fold(SimTime::ZERO, SimTime::max);
         assert!(report.stats.sim_makespan <= report.stats.sim_total);
         assert!(report.stats.sim_makespan >= max_job);
         assert!(report.stats.speedup() >= 1.0 - 1e-12);
@@ -280,8 +392,7 @@ mod tests {
     #[test]
     fn single_worker_makespan_equals_total() {
         let jobs = batch_of(5);
-        let report =
-            BatchSolver::new(BatchOptions::default()).solve::<f64>(&jobs);
+        let report = BatchSolver::new(BatchOptions::default()).solve::<f64>(&jobs);
         assert_eq!(report.stats.sim_makespan, report.stats.sim_total);
         assert!((report.stats.speedup() - 1.0).abs() < 1e-12);
     }
@@ -294,14 +405,25 @@ mod tests {
             fixtures::unbounded(),
             fixtures::degenerate().0,
         ];
-        let report = BatchSolver::new(BatchOptions { workers: 2, ..Default::default() })
-            .solve::<f64>(&jobs);
+        let report = BatchSolver::new(BatchOptions {
+            workers: 2,
+            ..Default::default()
+        })
+        .solve::<f64>(&jobs);
         assert!(report.all_solved());
-        let statuses: Vec<Status> =
-            report.results.iter().map(|r| r.outcome.solution().unwrap().status).collect();
+        let statuses: Vec<Status> = report
+            .results
+            .iter()
+            .map(|r| r.outcome.solution().unwrap().status)
+            .collect();
         assert_eq!(
             statuses,
-            [Status::Optimal, Status::Infeasible, Status::Unbounded, Status::Optimal]
+            [
+                Status::Optimal,
+                Status::Infeasible,
+                Status::Unbounded,
+                Status::Optimal
+            ]
         );
     }
 
@@ -311,5 +433,152 @@ mod tests {
         assert_eq!(report.stats.jobs, 0);
         assert!(report.all_solved());
         assert_eq!(report.stats.sim_makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn poisoned_job_on_shared_gpu_stays_terminal_panicked() {
+        // Regression: a panic inside a job running on a shared device's
+        // Stream must leave that job terminally Panicked (never re-run,
+        // never reported Solved) while its siblings on the same device
+        // finish normally.
+        let gpu = std::sync::Arc::new(gpu_sim::Gpu::new(gpu_sim::DeviceSpec::gtx280()));
+        let jobs = vec![
+            fixtures::wyndor().0,
+            fixtures::poisoned(),
+            fixtures::diet().0,
+        ];
+        let report = BatchSolver::new(BatchOptions {
+            workers: 2,
+            policy: PlacementPolicy::Fixed(BackendKind::GpuShared(gpu)),
+            ..Default::default()
+        })
+        .solve::<f64>(&jobs);
+        assert_eq!(report.stats.panicked, 1);
+        assert_eq!(report.stats.solved, 2);
+        assert!(!report.all_solved());
+        assert!(matches!(report.results[1].outcome, JobOutcome::Panicked(_)));
+        assert_eq!(report.results[1].outcome.status_label(), "panicked");
+        for i in [0, 2] {
+            let sol = report.results[i]
+                .outcome
+                .solution()
+                .expect("sibling solved");
+            assert_eq!(sol.status, Status::Optimal);
+        }
+    }
+
+    #[test]
+    fn poisoned_job_stays_panicked_under_resilience() {
+        // Same guarantee through the resilient path: the panic repeats on
+        // every rung, so the terminal outcome is Panicked, not Failed.
+        let gpu = std::sync::Arc::new(gpu_sim::Gpu::new(gpu_sim::DeviceSpec::gtx280()));
+        let jobs = vec![fixtures::wyndor().0, fixtures::poisoned()];
+        let report = BatchSolver::new(BatchOptions {
+            workers: 1,
+            policy: PlacementPolicy::Fixed(BackendKind::GpuShared(gpu)),
+            resilience: Some(crate::resilient::ResilienceOptions::default()),
+            ..Default::default()
+        })
+        .solve::<f64>(&jobs);
+        assert!(matches!(report.results[1].outcome, JobOutcome::Panicked(_)));
+        assert_eq!(report.stats.panicked, 1);
+        assert_eq!(report.stats.solved, 1);
+    }
+
+    #[test]
+    fn resilient_batch_under_heavy_faults_drains_with_every_job_terminal() {
+        let gpu = std::sync::Arc::new(gpu_sim::Gpu::new(gpu_sim::DeviceSpec::gtx280()));
+        let jobs = batch_of(10);
+        let report = BatchSolver::new(BatchOptions {
+            workers: 2,
+            policy: PlacementPolicy::Fixed(BackendKind::GpuShared(gpu)),
+            resilience: Some(ResilienceOptions {
+                faults: Some(gpu_sim::FaultConfig::uniform(99, 0.5)),
+                ..Default::default()
+            }),
+            ..Default::default()
+        })
+        .solve::<f64>(&jobs);
+        assert_eq!(report.results.len(), 10);
+        assert_eq!(report.stats.panicked, 0);
+        assert_eq!(report.stats.failed, 0);
+        assert_eq!(report.stats.solved, 10);
+        assert!(report.stats.device_faults > 0);
+        // Every faulted-then-recovered job still matches the CPU answer.
+        for (i, r) in report.results.iter().enumerate() {
+            let sol = r.outcome.solution().expect("terminal solution");
+            let seq = solve_on::<f64>(&jobs[i], &SolverOptions::default(), &BackendKind::CpuDense);
+            assert_eq!(sol.status, seq.status, "job {i}");
+            assert!(
+                (sol.objective - seq.objective).abs() < 1e-6 * (1.0 + seq.objective.abs()),
+                "job {i}: {} vs {}",
+                sol.objective,
+                seq.objective
+            );
+        }
+    }
+
+    #[test]
+    fn quarantine_benches_a_faulting_backend_at_one_worker() {
+        let gpu = std::sync::Arc::new(gpu_sim::Gpu::new(gpu_sim::DeviceSpec::gtx280()));
+        let jobs = batch_of(8);
+        let report = BatchSolver::new(BatchOptions {
+            workers: 1,
+            policy: PlacementPolicy::Fixed(BackendKind::GpuShared(gpu)),
+            resilience: Some(ResilienceOptions {
+                // Certain faults: every GPU job faults, so after 2 jobs the
+                // shared device is benched and the rest run on CPU directly.
+                faults: Some(gpu_sim::FaultConfig::uniform(5, 1.0)),
+                quarantine_after: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        })
+        .solve::<f64>(&jobs);
+        assert!(report.all_solved());
+        // Every job ends on the CPU (via degradation or quarantine), and at
+        // least the post-quarantine jobs never saw a fault.
+        for r in &report.results {
+            assert_eq!(r.backend, "cpu-dense");
+        }
+        let faulted = report.results.iter().filter(|r| r.faults > 0).count();
+        assert_eq!(faulted, 2, "exactly the pre-quarantine jobs fault");
+        for r in &report.results[2..] {
+            assert_eq!(r.faults, 0);
+            assert_eq!(
+                r.degradations, 0,
+                "quarantined jobs are placed on CPU, not degraded"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_batches_are_deterministic_from_seed() {
+        let run = || {
+            let gpu = std::sync::Arc::new(gpu_sim::Gpu::new(gpu_sim::DeviceSpec::gtx280()));
+            let jobs = batch_of(6);
+            let report = BatchSolver::new(BatchOptions {
+                workers: 1,
+                policy: PlacementPolicy::Fixed(BackendKind::GpuShared(gpu)),
+                resilience: Some(ResilienceOptions {
+                    faults: Some(gpu_sim::FaultConfig::uniform(21, 0.4)),
+                    ..Default::default()
+                }),
+                ..Default::default()
+            })
+            .solve::<f64>(&jobs);
+            let per_job: Vec<_> = report
+                .results
+                .iter()
+                .map(|r| (r.faults, r.retries, r.degradations, r.backend))
+                .collect();
+            (
+                report.stats.device_faults,
+                report.stats.retries,
+                report.stats.degradations,
+                per_job,
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -52,10 +52,17 @@ impl PlacementPolicy {
         match self {
             PlacementPolicy::Fixed(kind) => kind.clone(),
             PlacementPolicy::RoundRobin(kinds) => {
-                assert!(!kinds.is_empty(), "RoundRobin placement needs at least one backend");
+                assert!(
+                    !kinds.is_empty(),
+                    "RoundRobin placement needs at least one backend"
+                );
                 kinds[job_index % kinds.len()].clone()
             }
-            PlacementPolicy::SizeThreshold { crossover, small, large } => {
+            PlacementPolicy::SizeThreshold {
+                crossover,
+                small,
+                large,
+            } => {
                 if m.max(n) < *crossover {
                     (**small).clone()
                 } else {

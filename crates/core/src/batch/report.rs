@@ -11,23 +11,31 @@ use crate::result::{LpSolution, Status};
 #[derive(Debug)]
 pub enum JobOutcome {
     /// The solver returned (any [`Status`], including `Infeasible` and
-    /// `Unbounded` — those are *answers*, not failures).
-    Solved(LpSolution),
+    /// `Unbounded` — those are *answers*, not failures). Boxed: a solution
+    /// is an order of magnitude larger than the failure messages.
+    Solved(Box<LpSolution>),
+    /// The resilience layer exhausted its retries and degradation ladder
+    /// without a result; the final [`crate::SolveError`]'s message is
+    /// preserved. Only produced when [`crate::BatchOptions::resilience`]
+    /// is set.
+    Failed(String),
     /// The solve panicked; the pool caught it and kept going. The payload
-    /// message is preserved for the report.
+    /// message is preserved for the report. Terminal: a job that panics is
+    /// never silently re-run as `Solved`.
     Panicked(String),
 }
 
 impl JobOutcome {
-    /// The solution, if the job did not panic.
+    /// The solution, if the job did not fail or panic.
     pub fn solution(&self) -> Option<&LpSolution> {
         match self {
             JobOutcome::Solved(sol) => Some(sol),
-            JobOutcome::Panicked(_) => None,
+            JobOutcome::Failed(_) | JobOutcome::Panicked(_) => None,
         }
     }
 
-    /// Short status tag for tables: the solve status, or `panicked`.
+    /// Short status tag for tables: the solve status, `failed`, or
+    /// `panicked`.
     pub fn status_label(&self) -> &'static str {
         match self {
             JobOutcome::Solved(sol) => match sol.status {
@@ -37,6 +45,7 @@ impl JobOutcome {
                 Status::IterationLimit => "iteration-limit",
                 Status::SingularBasis => "singular-basis",
             },
+            JobOutcome::Failed(_) => "failed",
             JobOutcome::Panicked(_) => "panicked",
         }
     }
@@ -56,8 +65,17 @@ pub struct JobResult {
     /// Host wall-clock seconds for this solve.
     pub wall_seconds: f64,
     /// Simulated/modeled solve time ([`crate::SolveStats::total_time`]);
-    /// zero for panicked jobs.
+    /// zero for failed and panicked jobs.
     pub sim_time: SimTime,
+    /// Device faults observed across every attempt of this job (0 without
+    /// fault injection).
+    pub faults: u64,
+    /// Attempts beyond the first that the resilience layer spent on this
+    /// job (0 on the direct path).
+    pub retries: usize,
+    /// Degradation-ladder rungs this job descended below its placed
+    /// backend (0 = ran as placed).
+    pub degradations: usize,
     /// The outcome.
     pub outcome: JobOutcome,
 }
@@ -90,10 +108,18 @@ pub struct BatchStats {
     pub jobs: usize,
     /// Jobs that returned a solution (any status) rather than panicking.
     pub solved: usize,
+    /// Jobs whose resilience budget (retries + degradation) ran out.
+    pub failed: usize,
     /// Jobs that panicked (caught; pool survived).
     pub panicked: usize,
     /// Worker threads used.
     pub workers: usize,
+    /// Device faults observed across all jobs and attempts.
+    pub device_faults: u64,
+    /// Retry attempts spent by the resilience layer across all jobs.
+    pub retries: usize,
+    /// Degradation-ladder rungs descended across all jobs.
+    pub degradations: usize,
     /// Host wall-clock seconds for the whole batch.
     pub wall_seconds: f64,
     /// Sum of per-job simulated times — the sequential (1-worker) cost.
@@ -154,10 +180,22 @@ impl fmt::Display for BatchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "batch: {} jobs ({} solved, {} panicked) on {} workers",
-            self.jobs, self.solved, self.panicked, self.workers
+            "batch: {} jobs ({} solved, {} failed, {} panicked) on {} workers",
+            self.jobs, self.solved, self.failed, self.panicked, self.workers
         )?;
-        writeln!(f, "  wall: {:.3} s ({:.1} LPs/s)", self.wall_seconds, self.throughput())?;
+        writeln!(
+            f,
+            "  wall: {:.3} s ({:.1} LPs/s)",
+            self.wall_seconds,
+            self.throughput()
+        )?;
+        if self.device_faults > 0 || self.retries > 0 || self.degradations > 0 {
+            writeln!(
+                f,
+                "  resilience: {} device faults, {} retries, {} degradations",
+                self.device_faults, self.retries, self.degradations
+            )?;
+        }
         writeln!(
             f,
             "  simulated: total {}, makespan {}, speedup {:.2}x",
@@ -185,15 +223,29 @@ mod tests {
 
     fn stats() -> BatchStats {
         let mut per_backend = BTreeMap::new();
-        per_backend
-            .insert("cpu-dense", BackendTally { jobs: 3, sim_time: SimTime::from_us(30.0) });
-        per_backend
-            .insert("gpu-dense", BackendTally { jobs: 1, sim_time: SimTime::from_us(10.0) });
+        per_backend.insert(
+            "cpu-dense",
+            BackendTally {
+                jobs: 3,
+                sim_time: SimTime::from_us(30.0),
+            },
+        );
+        per_backend.insert(
+            "gpu-dense",
+            BackendTally {
+                jobs: 1,
+                sim_time: SimTime::from_us(10.0),
+            },
+        );
         BatchStats {
             jobs: 4,
             solved: 4,
+            failed: 0,
             panicked: 0,
             workers: 2,
+            device_faults: 0,
+            retries: 0,
+            degradations: 0,
             wall_seconds: 0.5,
             sim_total: SimTime::from_us(40.0),
             sim_makespan: SimTime::from_us(25.0),
@@ -216,8 +268,12 @@ mod tests {
         let s = BatchStats {
             jobs: 0,
             solved: 0,
+            failed: 0,
             panicked: 0,
             workers: 1,
+            device_faults: 0,
+            retries: 0,
+            degradations: 0,
             wall_seconds: 0.0,
             sim_total: SimTime::ZERO,
             sim_makespan: SimTime::ZERO,
@@ -234,5 +290,20 @@ mod tests {
         assert!(text.contains("4 jobs"));
         assert!(text.contains("cpu-dense"));
         assert!(text.contains("speedup 1.60x"));
+        // Resilience line only appears when something happened.
+        assert!(!text.contains("resilience:"));
+        let mut busy = stats();
+        busy.device_faults = 5;
+        busy.retries = 2;
+        busy.degradations = 1;
+        let text = format!("{busy}");
+        assert!(text.contains("resilience: 5 device faults, 2 retries, 1 degradations"));
+    }
+
+    #[test]
+    fn failed_outcome_labels() {
+        let out = JobOutcome::Failed("simulated stream died; context is lost".into());
+        assert_eq!(out.status_label(), "failed");
+        assert!(out.solution().is_none());
     }
 }

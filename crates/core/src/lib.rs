@@ -39,7 +39,9 @@
 pub mod backend;
 pub mod backends;
 pub mod batch;
+pub mod error;
 pub mod options;
+pub mod resilient;
 pub mod result;
 pub mod revised;
 pub mod solver;
@@ -52,8 +54,14 @@ pub use backend::{Backend, RatioOutcome};
 pub use batch::{
     BatchOptions, BatchReport, BatchSolver, BatchStats, JobOutcome, JobResult, PlacementPolicy,
 };
+pub use error::{BackendError, SolveError};
 pub use options::{PivotRule, SolverOptions};
+pub use resilient::{ResilienceOptions, ResilientOutcome, ResilientSolver, RetryPolicy};
 pub use result::{LpSolution, Status, StdResult};
 pub use revised::RevisedSimplex;
-pub use solver::{solve, solve_on, solve_standard, solve_standard_with_basis, BackendKind};
+pub use solver::{
+    solve, solve_on, solve_standard, solve_standard_with_basis, try_solve, try_solve_on,
+    try_solve_standard, try_solve_standard_with_basis, BackendKind,
+};
 pub use stats::{SolveStats, Step};
+pub use verify::VerifyError;

@@ -1,5 +1,6 @@
 //! Solver configuration.
 
+use gpu_sim::FaultConfig;
 use linalg::Scalar;
 
 /// Entering-variable (pricing) rule.
@@ -54,6 +55,14 @@ pub struct SolverOptions {
     pub scale: bool,
     /// Run presolve in the high-level pipeline.
     pub presolve: bool,
+    /// Wall-clock deadline for one solve, in seconds; exceeding it aborts
+    /// with [`crate::SolveError::Timeout`]. `None` = no deadline.
+    pub time_limit: Option<f64>,
+    /// Fault-injection plan armed on the device before the solve (GPU
+    /// backends only; ignored on CPU). Also switches the driver into
+    /// paranoid mode: terminal solutions are validated for finiteness so a
+    /// silently corrupted iterate cannot masquerade as `Optimal`.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for SolverOptions {
@@ -68,6 +77,8 @@ impl Default for SolverOptions {
             stall_threshold: 12,
             scale: true,
             presolve: true,
+            time_limit: None,
+            faults: None,
         }
     }
 }
@@ -80,7 +91,10 @@ impl SolverOptions {
 
     /// Resolved pivot tolerance for scalar type `T`.
     pub fn pivot_tol_for<T: Scalar>(&self) -> T {
-        T::from_f64(self.pivot_tol.unwrap_or(if T::IS_F64 { 1e-9 } else { 1e-5 }))
+        T::from_f64(
+            self.pivot_tol
+                .unwrap_or(if T::IS_F64 { 1e-9 } else { 1e-5 }),
+        )
     }
 
     /// Resolved phase-1 feasibility tolerance for scalar type `T`.
@@ -108,7 +122,11 @@ mod tests {
 
     #[test]
     fn explicit_tolerances_override() {
-        let o = SolverOptions { opt_tol: Some(1e-3), max_iterations: Some(5), ..Default::default() };
+        let o = SolverOptions {
+            opt_tol: Some(1e-3),
+            max_iterations: Some(5),
+            ..Default::default()
+        };
         assert_eq!(o.opt_tol_for::<f64>(), 1e-3);
         assert_eq!(o.max_iters_for(1000, 1000), 5);
     }

@@ -1,0 +1,398 @@
+//! Retry, backoff and graceful degradation around the solve pipeline.
+//!
+//! [`ResilientSolver`] wraps [`try_solve_on`] with a *degradation ladder*:
+//! each requested backend maps to an ordered list of rungs, from the backend
+//! itself down to the always-available dense CPU path
+//! (`GpuShared → GpuDense → CpuDense`). Every rung gets a bounded number of
+//! retries with exponential backoff (recorded, not slept — the batch
+//! scheduler owns real pacing); when a rung's budget is exhausted the solver
+//! descends one rung and tries again. CPU rungs always run fault-free, so a
+//! job that degrades all the way down reproduces the CPU-only golden result
+//! bit for bit.
+//!
+//! Fault injection is re-seeded per `(job salt, rung, attempt)` with a
+//! splitmix-style mixer, so a batch run is fully deterministic from its seed:
+//! the same jobs fault at the same operations, retry the same number of
+//! times, and land on the same rungs every run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use gpu_sim::FaultConfig;
+use linalg::Scalar;
+use lp::LinearProgram;
+
+use crate::error::SolveError;
+use crate::options::SolverOptions;
+use crate::result::LpSolution;
+use crate::solver::{try_solve_on, BackendKind};
+
+/// How many times to re-run a failed attempt on the same rung, and how the
+/// recorded backoff between attempts grows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries per rung after the first attempt (2 ⇒ up to 3 attempts).
+    pub max_retries: usize,
+    /// Backoff recorded before the first retry, in seconds.
+    pub backoff_base: f64,
+    /// Multiplier applied to the backoff after each retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base: 0.01,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+/// Configuration for [`ResilientSolver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceOptions {
+    /// Fault-injection plan template for GPU rungs; re-seeded per
+    /// `(salt, rung, attempt)`. `None` runs fault-free (retries then only
+    /// cover genuine numerical failures and panics).
+    pub faults: Option<FaultConfig>,
+    /// Per-rung retry budget and backoff schedule.
+    pub retry: RetryPolicy,
+    /// Whether to descend the degradation ladder once a rung's retries are
+    /// exhausted. With `false`, the job fails on its requested backend.
+    pub degrade: bool,
+    /// Batch-scheduler knob: quarantine a backend after this many
+    /// *consecutive* jobs with device faults (0 disables quarantine). Not
+    /// consulted by [`ResilientSolver::solve_job`] itself.
+    pub quarantine_after: usize,
+    /// Wall-clock budget per attempt, in seconds; enforced inside the
+    /// simplex loop as [`SolveError::Timeout`]. A timeout is terminal — it
+    /// is not retried, because the deadline has already passed.
+    pub deadline_seconds: Option<f64>,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> Self {
+        ResilienceOptions {
+            faults: None,
+            retry: RetryPolicy::default(),
+            degrade: true,
+            quarantine_after: 3,
+            deadline_seconds: None,
+        }
+    }
+}
+
+/// What one resilient solve did, successful or not.
+#[derive(Debug)]
+pub struct ResilientOutcome {
+    /// The final result: the first successful solve, or the error from the
+    /// last attempt of the last rung tried.
+    pub result: Result<LpSolution, SolveError>,
+    /// Total attempts across all rungs (≥ 1).
+    pub attempts: usize,
+    /// Attempts beyond the first on some rung (= attempts − rungs tried).
+    pub retries: usize,
+    /// Rungs descended below the requested backend (0 = solved as placed).
+    pub degradations: usize,
+    /// Device faults observed across all attempts: exact counts from the
+    /// fault plan of the successful attempt, plus one per attempt that died
+    /// with [`SolveError::Device`] before its counters could be read.
+    pub faults: u64,
+    /// Total backoff scheduled between attempts, in seconds (recorded, not
+    /// slept).
+    pub backoff_seconds: f64,
+    /// Label of the backend that produced `result`.
+    pub final_backend: &'static str,
+}
+
+/// Retry/degrade wrapper around the solve pipeline. Stateless and cheap to
+/// clone; one instance can serve many jobs.
+#[derive(Debug, Clone, Default)]
+pub struct ResilientSolver {
+    /// The policy this solver applies to every job.
+    pub options: ResilienceOptions,
+}
+
+/// Splitmix64-style finalizer: decorrelates the per-attempt fault seeds so
+/// a retry does not replay the exact fault schedule that killed the
+/// previous attempt.
+fn mix(salt: u64, rung: u64, attempt: u64) -> u64 {
+    let mut z = salt
+        ^ rung.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ attempt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The degradation ladder for a requested backend: the backend itself first,
+/// then progressively more conservative fallbacks, ending on dense CPU.
+fn ladder(placed: &BackendKind) -> Vec<BackendKind> {
+    match placed {
+        BackendKind::GpuShared(gpu) => vec![
+            BackendKind::GpuShared(gpu.clone()),
+            BackendKind::GpuDense(gpu.spec().clone()),
+            BackendKind::CpuDense,
+        ],
+        BackendKind::GpuDense(spec) => {
+            vec![BackendKind::GpuDense(spec.clone()), BackendKind::CpuDense]
+        }
+        BackendKind::CpuSparse => vec![BackendKind::CpuSparse, BackendKind::CpuDense],
+        BackendKind::CpuDense => vec![BackendKind::CpuDense],
+    }
+}
+
+impl ResilientSolver {
+    /// Build a solver with the given policy.
+    pub fn new(options: ResilienceOptions) -> Self {
+        ResilientSolver { options }
+    }
+
+    /// Solve `model` with retries and degradation. `salt` individualizes the
+    /// fault schedule per job (the batch layer passes the job index) so jobs
+    /// sharing one [`FaultConfig`] template still fault independently.
+    ///
+    /// Panics inside an attempt (device faults surfacing through the
+    /// infallible API, poisoned models, backend construction failures) are
+    /// caught and treated like any other attempt failure, so no panic
+    /// escapes to the caller.
+    pub fn solve_job<T: Scalar>(
+        &self,
+        salt: u64,
+        model: &LinearProgram,
+        solver_opts: &SolverOptions,
+        placed: &BackendKind,
+    ) -> ResilientOutcome {
+        let rungs = ladder(placed);
+        let mut attempts = 0usize;
+        let mut retries = 0usize;
+        let mut faults = 0u64;
+        let mut backoff_seconds = 0.0f64;
+        let mut last_err: Option<SolveError> = None;
+        let mut final_backend = placed.label();
+        let mut rungs_descended = 0usize;
+
+        for (rung_idx, rung) in rungs.iter().enumerate() {
+            if rung_idx > 0 && !self.options.degrade {
+                break;
+            }
+            rungs_descended = rung_idx;
+            let on_gpu = matches!(rung, BackendKind::GpuDense(_) | BackendKind::GpuShared(_));
+            for attempt in 0..=self.options.retry.max_retries {
+                attempts += 1;
+                if attempt > 0 {
+                    retries += 1;
+                    backoff_seconds += self.options.retry.backoff_base
+                        * self.options.retry.backoff_factor.powi(attempt as i32 - 1);
+                }
+                let mut opts = solver_opts.clone();
+                // CPU rungs run fault-free: a fully degraded job must match
+                // the CPU-only golden result bit for bit.
+                opts.faults = if on_gpu {
+                    self.options
+                        .faults
+                        .as_ref()
+                        .map(|cfg| cfg.reseed(mix(salt, rung_idx as u64, attempt as u64)))
+                } else {
+                    None
+                };
+                if opts.time_limit.is_none() {
+                    opts.time_limit = self.options.deadline_seconds;
+                }
+
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| try_solve_on::<T>(model, &opts, rung)))
+                        .unwrap_or_else(|payload| {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".into());
+                            Err(SolveError::Panicked(msg))
+                        });
+
+                match outcome {
+                    Ok(mut sol) => {
+                        faults += sol.stats.device_faults;
+                        sol.stats.retries = retries;
+                        sol.stats.degradations = rung_idx;
+                        sol.stats.backoff_seconds = backoff_seconds;
+                        sol.stats.device_faults = faults;
+                        return ResilientOutcome {
+                            result: Ok(sol),
+                            attempts,
+                            retries,
+                            degradations: rung_idx,
+                            faults,
+                            backoff_seconds,
+                            final_backend: rung.label(),
+                        };
+                    }
+                    Err(e) => {
+                        let fault_armed = on_gpu && opts.faults.is_some();
+                        if matches!(e, SolveError::Device(_))
+                            || (fault_armed && matches!(e, SolveError::Panicked(_)))
+                        {
+                            // The plan died with its stream; count at least
+                            // the fault that surfaced (a panic on a
+                            // fault-armed GPU rung is fault-induced too —
+                            // construction-time faults unwind rather than
+                            // return).
+                            faults += 1;
+                        }
+                        final_backend = rung.label();
+                        let terminal = matches!(e, SolveError::Timeout { .. });
+                        last_err = Some(e);
+                        if terminal {
+                            return ResilientOutcome {
+                                result: Err(last_err.unwrap()),
+                                attempts,
+                                retries,
+                                degradations: rung_idx,
+                                faults,
+                                backoff_seconds,
+                                final_backend,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+
+        ResilientOutcome {
+            result: Err(last_err.expect("at least one attempt ran")),
+            attempts,
+            retries,
+            degradations: rungs_descended,
+            faults,
+            backoff_seconds,
+            final_backend,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::Status;
+    use gpu_sim::DeviceSpec;
+    use lp::generator::fixtures;
+
+    #[test]
+    fn fault_free_job_solves_without_retries() {
+        let (model, expected) = fixtures::wyndor();
+        let solver = ResilientSolver::default();
+        let out = solver.solve_job::<f64>(
+            0,
+            &model,
+            &SolverOptions::default(),
+            &BackendKind::GpuDense(DeviceSpec::gtx280()),
+        );
+        let sol = out.result.expect("fault-free solve succeeds");
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - expected).abs() < 1e-8);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.degradations, 0);
+        assert_eq!(out.final_backend, "gpu-dense");
+    }
+
+    #[test]
+    fn certain_faults_degrade_to_cpu_and_match_golden() {
+        let (model, _) = fixtures::wyndor();
+        let golden = crate::solver::solve::<f64>(&model, &SolverOptions::default());
+        let solver = ResilientSolver::new(ResilienceOptions {
+            // p = 1: every checked op faults, so the GPU rung can never
+            // finish and the job must walk the whole ladder down to CPU.
+            faults: Some(FaultConfig::uniform(7, 1.0)),
+            ..Default::default()
+        });
+        let out = solver.solve_job::<f64>(
+            3,
+            &model,
+            &SolverOptions::default(),
+            &BackendKind::GpuDense(DeviceSpec::gtx280()),
+        );
+        let sol = out.result.expect("CPU rung always succeeds");
+        assert_eq!(out.final_backend, "cpu-dense");
+        assert_eq!(out.degradations, 1);
+        assert!(out.retries > 0);
+        assert!(out.faults > 0);
+        assert!(out.backoff_seconds > 0.0);
+        // Bit-for-bit: the degraded job IS the CPU solve.
+        assert_eq!(sol.status, golden.status);
+        assert_eq!(sol.objective.to_bits(), golden.objective.to_bits());
+        assert_eq!(sol.stats.degradations, 1);
+    }
+
+    #[test]
+    fn degradation_can_be_disabled() {
+        let (model, _) = fixtures::wyndor();
+        let solver = ResilientSolver::new(ResilienceOptions {
+            faults: Some(FaultConfig::uniform(7, 1.0)),
+            degrade: false,
+            ..Default::default()
+        });
+        let out = solver.solve_job::<f64>(
+            3,
+            &model,
+            &SolverOptions::default(),
+            &BackendKind::GpuDense(DeviceSpec::gtx280()),
+        );
+        assert!(out.result.is_err());
+        assert_eq!(out.final_backend, "gpu-dense");
+        assert_eq!(out.degradations, 0);
+        assert_eq!(out.attempts, 1 + RetryPolicy::default().max_retries);
+    }
+
+    #[test]
+    fn outcomes_are_deterministic_from_seed() {
+        let (model, _) = fixtures::wyndor();
+        let mk = || {
+            ResilientSolver::new(ResilienceOptions {
+                faults: Some(FaultConfig::uniform(42, 0.25)),
+                ..Default::default()
+            })
+        };
+        let run = |solver: &ResilientSolver| {
+            let out = solver.solve_job::<f64>(
+                11,
+                &model,
+                &SolverOptions::default(),
+                &BackendKind::GpuDense(DeviceSpec::gtx280()),
+            );
+            (
+                out.attempts,
+                out.retries,
+                out.degradations,
+                out.faults,
+                out.result.is_ok(),
+            )
+        };
+        assert_eq!(run(&mk()), run(&mk()));
+    }
+
+    #[test]
+    fn panics_are_contained() {
+        // poisoned(): standardization rejects the infinite coefficient and
+        // panics; the resilient layer must convert that into an error on
+        // every rung instead of unwinding into the caller.
+        let model = fixtures::poisoned();
+        let solver = ResilientSolver::default();
+        let out =
+            solver.solve_job::<f64>(0, &model, &SolverOptions::default(), &BackendKind::CpuDense);
+        match out.result {
+            Err(SolveError::Panicked(_)) => {}
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mix_decorrelates_attempts() {
+        let a = mix(1, 0, 0);
+        let b = mix(1, 0, 1);
+        let c = mix(1, 1, 0);
+        let d = mix(2, 0, 0);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+}

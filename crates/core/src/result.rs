@@ -31,6 +31,18 @@ impl Status {
             Status::SingularBasis => "singular",
         }
     }
+
+    /// Inverse of [`Status::tag`] (CSV round-tripping).
+    pub fn from_tag(tag: &str) -> Option<Status> {
+        Some(match tag {
+            "optimal" => Status::Optimal,
+            "infeasible" => Status::Infeasible,
+            "unbounded" => Status::Unbounded,
+            "iter-limit" => Status::IterationLimit,
+            "singular" => Status::SingularBasis,
+            _ => return None,
+        })
+    }
 }
 
 /// Result of solving a standard-form program.
@@ -78,6 +90,20 @@ mod tests {
     fn status_tags_are_stable() {
         assert_eq!(Status::Optimal.tag(), "optimal");
         assert_eq!(Status::SingularBasis.tag(), "singular");
+    }
+
+    #[test]
+    fn status_tags_round_trip() {
+        for s in [
+            Status::Optimal,
+            Status::Infeasible,
+            Status::Unbounded,
+            Status::IterationLimit,
+            Status::SingularBasis,
+        ] {
+            assert_eq!(Status::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(Status::from_tag("panicked"), None);
     }
 
     #[test]

@@ -5,6 +5,13 @@
 //! and termination; all linear algebra goes through a [`Backend`]. Time is
 //! sampled from the backend's modeled clock around every step, producing
 //! the per-step breakdown of experiment F2 for CPU and GPU uniformly.
+//!
+//! Fallibility: [`RevisedSimplex::try_solve`] surfaces device failures,
+//! deadline overruns and unrecoverable numerical collapse as
+//! [`SolveError`]s instead of panicking, and repairs transient NaN/Inf
+//! corruption (e.g. an injected kernel corruption) with emergency
+//! reinversions — the same machinery periodic refactorization already
+//! uses — up to a small consecutive budget per phase.
 
 use std::time::Instant;
 
@@ -12,9 +19,14 @@ use linalg::Scalar;
 use lp::StandardForm;
 
 use crate::backend::{Backend, RatioOutcome};
+use crate::error::{BackendError, SolveError};
 use crate::options::{PivotRule, SolverOptions};
 use crate::result::{Status, StdResult};
 use crate::stats::{SolveStats, Step};
+
+/// Consecutive emergency reinversions tolerated before a phase gives up
+/// and reports numerical failure.
+const MAX_CONSECUTIVE_RECOVERIES: usize = 3;
 
 /// Which phase a simplex loop is running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,33 +99,46 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
     }
 
     /// Attempt to install the warm basis: refactorize onto it and check
-    /// primal feasibility. On success the solve skips phase 1. On any
-    /// failure the backend is restored to the cold-start state.
-    fn try_warm_start(&mut self) -> bool {
+    /// primal feasibility. On success the solve skips phase 1. On a
+    /// *numerical* failure the backend is restored to the cold-start state
+    /// (a warm start is an optimization, never a correctness risk); a
+    /// device failure propagates.
+    fn try_warm_start(&mut self) -> Result<bool, SolveError> {
         let Some(basis) = self.warm_basis.take() else {
-            return false;
+            return Ok(false);
         };
         let t0 = self.backend.clock();
         let feas_tol = self.opts.feas_tol_for::<T>().to_f64();
-        let ok = self.backend.refactorize(&basis).is_ok()
-            && self.backend.beta().iter().all(|&b| b.to_f64() >= -feas_tol);
+        let ok = match self.backend.refactorize(&basis) {
+            Ok(()) => self
+                .backend
+                .beta()?
+                .iter()
+                .all(|&b| b.to_f64() >= -feas_tol),
+            Err(BackendError::Singular) => false,
+            Err(e @ BackendError::Device(_)) => return Err(e.into()),
+        };
         if ok {
             for (r, &j) in basis.iter().enumerate() {
-                self.backend.set_basic_col(r, j);
+                self.backend.set_basic_col(r, j)?;
             }
             self.xb = basis;
         } else {
             // Restore the cold start (the identity basis always refactors).
-            self.backend
-                .refactorize(&self.sf.basis0)
-                .expect("identity start basis is never singular");
+            match self.backend.refactorize(&self.sf.basis0) {
+                Ok(()) => {}
+                Err(BackendError::Singular) => {
+                    unreachable!("identity start basis is never singular")
+                }
+                Err(e @ BackendError::Device(_)) => return Err(e.into()),
+            }
             for (r, &j) in self.sf.basis0.iter().enumerate() {
-                self.backend.set_basic_col(r, j);
+                self.backend.set_basic_col(r, j)?;
             }
             self.xb = self.sf.basis0.clone();
         }
         self.stats.charge(Step::Other, self.backend.clock() - t0);
-        ok
+        Ok(ok)
     }
 
     /// Phase-2 cost of a column (artificials price at zero).
@@ -125,25 +150,37 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
         }
     }
 
-    /// Run to completion.
-    pub fn solve(mut self) -> StdResult<T> {
+    /// Run to completion, panicking on device failure (the historical
+    /// contract; fault-free configurations never take that path).
+    pub fn solve(self) -> StdResult<T> {
+        self.try_solve().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run to completion, surfacing machinery failures as [`SolveError`]s.
+    /// Mathematical outcomes (optimal/infeasible/unbounded/limits) are
+    /// `Ok` with the corresponding [`Status`].
+    pub fn try_solve(mut self) -> Result<StdResult<T>, SolveError> {
         let wall = Instant::now();
         let m = self.sf.num_rows();
         let feas_tol = self.opts.feas_tol_for::<T>();
 
-        let warm = self.try_warm_start();
+        let warm = self.try_warm_start()?;
         if !warm && self.sf.num_artificials > 0 {
             // ---- phase 1: minimize the sum of artificials ----------------
             let t0 = self.backend.clock();
             let zeros = vec![T::ZERO; self.backend.n_active()];
-            self.backend.set_phase_costs(&zeros);
+            self.backend.set_phase_costs(&zeros)?;
             for r in 0..m {
-                let cost = if self.sf.is_artificial(self.xb[r]) { T::ONE } else { T::ZERO };
-                self.backend.set_basic_cost(r, cost);
+                let cost = if self.sf.is_artificial(self.xb[r]) {
+                    T::ONE
+                } else {
+                    T::ZERO
+                };
+                self.backend.set_basic_cost(r, cost)?;
             }
             self.stats.charge(Step::Other, self.backend.clock() - t0);
 
-            let end = self.run_phase(Phase::One);
+            let end = self.run_phase(Phase::One, wall)?;
             self.stats.phase1_iterations = self.stats.iterations;
             match end {
                 PhaseEnd::IterationLimit => {
@@ -160,28 +197,28 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
                 PhaseEnd::Converged => {}
             }
 
-            let z1 = self.backend.objective_now();
+            let z1 = self.backend.objective_now()?;
             if z1 > feas_tol {
                 return self.finish(Status::Infeasible, wall);
             }
             // Best-effort removal of degenerate artificials from the basis;
             // any that remain sit at value ~0 with phase-2 cost 0 (their
             // rows are linearly dependent) and stay there.
-            self.drive_out_artificials();
+            self.drive_out_artificials()?;
         }
 
         // ---- phase 2 ------------------------------------------------------
         let t0 = self.backend.clock();
-        self.backend.set_phase_costs(&self.sf.c);
+        self.backend.set_phase_costs(&self.sf.c)?;
         for r in 0..m {
             let cost = self.cost_of(self.xb[r]);
-            self.backend.set_basic_cost(r, cost);
+            self.backend.set_basic_cost(r, cost)?;
         }
         self.stats.charge(Step::Other, self.backend.clock() - t0);
         // Reset the stall/Bland state for the new objective.
         self.bland_mode = matches!(self.opts.pivot_rule, PivotRule::Bland);
         self.stall = 0;
-        let mut status = match self.run_phase(Phase::Two) {
+        let mut status = match self.run_phase(Phase::Two, wall)? {
             PhaseEnd::Converged => Status::Optimal,
             PhaseEnd::Unbounded => Status::Unbounded,
             PhaseEnd::IterationLimit => Status::IterationLimit,
@@ -192,7 +229,7 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
         // the "redundant row" assumption failed — report infeasible rather
         // than a wrong optimum.
         if status == Status::Optimal && self.sf.num_artificials > 0 {
-            let beta = self.backend.beta();
+            let beta = self.backend.beta()?;
             for (r, &col) in self.xb.iter().enumerate() {
                 if self.sf.is_artificial(col) && beta[r] > feas_tol {
                     status = Status::Infeasible;
@@ -203,8 +240,8 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
         self.finish(status, wall)
     }
 
-    fn finish(mut self, status: Status, wall: Instant) -> StdResult<T> {
-        let beta = self.backend.beta();
+    fn finish(mut self, status: Status, wall: Instant) -> Result<StdResult<T>, SolveError> {
+        let beta = self.backend.beta()?;
         let mut x_std = vec![T::ZERO; self.sf.num_cols()];
         for (r, &col) in self.xb.iter().enumerate() {
             x_std[col] = beta[r];
@@ -216,18 +253,65 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
             .zip(&x_std)
             .map(|(&cj, &xj)| cj.to_f64() * xj.to_f64())
             .sum();
+        // Paranoid terminal validation under fault injection: a corrupted
+        // iterate can slip past pricing (NaN compares false everywhere, so
+        // a poisoned reduced-cost vector looks "converged"). Refuse to
+        // certify such a point as a mathematical outcome.
+        if self.opts.faults.is_some()
+            && matches!(status, Status::Optimal | Status::Unbounded)
+            && (!z_std.is_finite() || x_std.iter().any(|x| !x.is_finite()))
+        {
+            return Err(SolveError::Numerical(
+                "terminal solution contains non-finite values (undetected corruption)".into(),
+            ));
+        }
         self.stats.wall_seconds = wall.elapsed().as_secs_f64();
-        StdResult { status, x_std, z_std, basis: self.xb, stats: self.stats }
+        Ok(StdResult {
+            status,
+            x_std,
+            z_std,
+            basis: self.xb,
+            stats: self.stats,
+        })
     }
 
-    fn run_phase(&mut self, phase: Phase) -> PhaseEnd {
+    /// Emergency reinversion after detected corruption. `Ok(true)` means
+    /// the basis was rebuilt (iterate state is clean again); `Ok(false)`
+    /// means the basis is singular.
+    fn recover(&mut self) -> Result<bool, SolveError> {
+        let t0 = self.backend.clock();
+        match self.backend.refactorize(&self.xb) {
+            Ok(()) => {}
+            Err(BackendError::Singular) => return Ok(false),
+            Err(e @ BackendError::Device(_)) => return Err(e.into()),
+        }
+        self.stats.refactorizations += 1;
+        self.stats.nan_recoveries += 1;
+        self.stats.charge(Step::Refactor, self.backend.clock() - t0);
+        Ok(true)
+    }
+
+    fn run_phase(&mut self, phase: Phase, wall: Instant) -> Result<PhaseEnd, SolveError> {
         let opt_tol = self.opts.opt_tol_for::<T>();
         let pivot_tol = self.opts.pivot_tol_for::<T>();
+        let paranoid = self.opts.faults.is_some();
         let mut iters_here = 0usize;
+        let mut recoveries_left = MAX_CONSECUTIVE_RECOVERIES;
 
         loop {
             if iters_here >= self.max_iters {
-                return PhaseEnd::IterationLimit;
+                return Ok(PhaseEnd::IterationLimit);
+            }
+            // Deadline enforcement (wall clock: the deadline bounds *host*
+            // resources, not modeled device time).
+            if let Some(limit) = self.opts.time_limit {
+                let elapsed = wall.elapsed().as_secs_f64();
+                if elapsed > limit {
+                    return Err(SolveError::Timeout {
+                        elapsed_seconds: elapsed,
+                        limit_seconds: limit,
+                    });
+                }
             }
             // Periodic reinversion.
             if self.opts.refactor_period > 0
@@ -235,8 +319,10 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
                 && iters_here.is_multiple_of(self.opts.refactor_period)
             {
                 let t0 = self.backend.clock();
-                if self.backend.refactorize(&self.xb).is_err() {
-                    return PhaseEnd::Singular;
+                match self.backend.refactorize(&self.xb) {
+                    Ok(()) => {}
+                    Err(BackendError::Singular) => return Ok(PhaseEnd::Singular),
+                    Err(e @ BackendError::Device(_)) => return Err(e.into()),
                 }
                 self.stats.refactorizations += 1;
                 self.stats.charge(Step::Refactor, self.backend.clock() - t0);
@@ -244,37 +330,83 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
 
             // Pricing + entering-variable selection.
             let use_bland = self.bland_mode;
-            let entering = self.price_and_select(opt_tol, use_bland);
+            let entering = self.price_and_select(opt_tol, use_bland)?;
             let Some((q, dq)) = entering else {
-                return PhaseEnd::Converged;
+                return Ok(PhaseEnd::Converged);
             };
+            // Corruption check *before* the improvement assertion: a NaN
+            // reduced cost is a repairable fault, not a driver bug.
+            if !dq.is_finite() {
+                if recoveries_left == 0 {
+                    return Err(SolveError::Numerical(format!(
+                        "reduced cost d[{q}] stayed non-finite after \
+                         {MAX_CONSECUTIVE_RECOVERIES} emergency reinversions"
+                    )));
+                }
+                recoveries_left -= 1;
+                if !self.recover()? {
+                    return Ok(PhaseEnd::Singular);
+                }
+                continue;
+            }
             debug_assert!(dq < T::ZERO, "entering column must improve");
 
             // FTRAN.
             let t0 = self.backend.clock();
-            self.backend.compute_alpha(q);
+            self.backend.compute_alpha(q)?;
             self.stats.charge(Step::Ftran, self.backend.clock() - t0);
 
             // Ratio test.
             let t0 = self.backend.clock();
-            let outcome = self.backend.ratio_test(pivot_tol);
-            self.stats.charge(Step::RatioTest, self.backend.clock() - t0);
+            let mut outcome = self.backend.ratio_test(pivot_tol)?;
+            self.stats
+                .charge(Step::RatioTest, self.backend.clock() - t0);
+            if paranoid && matches!(outcome, RatioOutcome::Unbounded) && recoveries_left > 0 {
+                // A corrupted α (poisoned to NaN) makes every ratio
+                // non-finite and masquerades as unboundedness. Rebuild and
+                // retest once before believing it.
+                recoveries_left -= 1;
+                if !self.recover()? {
+                    return Ok(PhaseEnd::Singular);
+                }
+                let t0 = self.backend.clock();
+                self.backend.compute_alpha(q)?;
+                self.stats.charge(Step::Ftran, self.backend.clock() - t0);
+                let t0 = self.backend.clock();
+                outcome = self.backend.ratio_test(pivot_tol)?;
+                self.stats
+                    .charge(Step::RatioTest, self.backend.clock() - t0);
+            }
             let (p, theta) = match outcome {
-                RatioOutcome::Unbounded => return PhaseEnd::Unbounded,
+                RatioOutcome::Unbounded => return Ok(PhaseEnd::Unbounded),
                 RatioOutcome::Pivot { p, theta } => (p, theta),
             };
+            if !theta.is_finite() {
+                if recoveries_left == 0 {
+                    return Err(SolveError::Numerical(format!(
+                        "step length stayed non-finite after \
+                         {MAX_CONSECUTIVE_RECOVERIES} emergency reinversions"
+                    )));
+                }
+                recoveries_left -= 1;
+                if !self.recover()? {
+                    return Ok(PhaseEnd::Singular);
+                }
+                continue;
+            }
 
             // Update.
             let t0 = self.backend.clock();
-            self.backend.update(p, theta);
-            self.backend.set_basic_col(p, q);
+            self.backend.update(p, theta)?;
+            self.backend.set_basic_col(p, q)?;
             let cost = match phase {
                 Phase::One => T::ZERO, // entering columns are never artificial
                 Phase::Two => self.cost_of(q),
             };
-            self.backend.set_basic_cost(p, cost);
+            self.backend.set_basic_cost(p, cost)?;
             self.xb[p] = q;
             self.stats.charge(Step::Update, self.backend.clock() - t0);
+            recoveries_left = MAX_CONSECUTIVE_RECOVERIES;
 
             // Degeneracy / stall bookkeeping.
             let degenerate = !(theta > T::ZERO);
@@ -316,12 +448,14 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
     /// yields a candidate; optimality is declared only after a full pass
     /// comes up dry (each block's reduced costs are recomputed against the
     /// current basis, so the certificate is sound).
-    fn price_and_select(&mut self, opt_tol: T, use_bland: bool) -> Option<(usize, T)> {
+    fn price_and_select(
+        &mut self,
+        opt_tol: T,
+        use_bland: bool,
+    ) -> Result<Option<(usize, T)>, SolveError> {
         let n = self.backend.n_active();
         let window = match self.opts.pivot_rule {
-            PivotRule::PartialDantzig { window } if !use_bland && n > 0 => {
-                Some(window.clamp(1, n))
-            }
+            PivotRule::PartialDantzig { window } if !use_bland && n > 0 => Some(window.clamp(1, n)),
             _ => None,
         };
         match window {
@@ -331,47 +465,50 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
                     let start = self.price_cursor % n;
                     let len = w.min(n - start);
                     let t0 = self.backend.clock();
-                    self.backend.compute_pricing_window(start, len);
+                    self.backend.compute_pricing_window(start, len)?;
                     self.stats.charge(Step::Pricing, self.backend.clock() - t0);
 
                     let t0 = self.backend.clock();
-                    let hit = self.backend.entering_dantzig_window(opt_tol, start, len);
-                    self.stats.charge(Step::Selection, self.backend.clock() - t0);
+                    let hit = self.backend.entering_dantzig_window(opt_tol, start, len)?;
+                    self.stats
+                        .charge(Step::Selection, self.backend.clock() - t0);
                     if hit.is_some() {
                         // Stay on this window: it likely has more candidates.
-                        return hit;
+                        return Ok(hit);
                     }
                     self.price_cursor = (start + len) % n;
                     scanned += len;
                 }
-                None
+                Ok(None)
             }
             _ => {
                 let t0 = self.backend.clock();
-                self.backend.compute_pricing();
+                self.backend.compute_pricing()?;
                 self.stats.charge(Step::Pricing, self.backend.clock() - t0);
 
                 let t0 = self.backend.clock();
                 let entering = if use_bland {
-                    self.backend.entering_bland(opt_tol)
+                    self.backend.entering_bland(opt_tol)?
                 } else {
-                    self.backend.entering_dantzig(opt_tol)
+                    self.backend.entering_dantzig(opt_tol)?
                 };
-                self.stats.charge(Step::Selection, self.backend.clock() - t0);
-                entering
+                self.stats
+                    .charge(Step::Selection, self.backend.clock() - t0);
+                Ok(entering)
             }
         }
     }
 
     /// Degenerate phase-1 cleanup: for each basic artificial, try to swap in
     /// a nonbasic structural column with a nonzero entry in that row.
-    fn drive_out_artificials(&mut self) {
+    fn drive_out_artificials(&mut self) -> Result<(), SolveError> {
         let pivot_tol = self.opts.pivot_tol_for::<T>();
         let t0 = self.backend.clock();
         let m = self.backend.m();
         let n_active = self.backend.n_active();
-        let rows: Vec<usize> =
-            (0..m).filter(|&r| self.sf.is_artificial(self.xb[r])).collect();
+        let rows: Vec<usize> = (0..m)
+            .filter(|&r| self.sf.is_artificial(self.xb[r]))
+            .collect();
         for r in rows {
             let basic: Vec<bool> = {
                 let mut b = vec![false; n_active];
@@ -386,18 +523,19 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
                 if basic[q] {
                     continue;
                 }
-                self.backend.compute_alpha(q);
-                if self.backend.alpha_at(r).abs() > pivot_tol {
+                self.backend.compute_alpha(q)?;
+                if self.backend.alpha_at(r)?.abs() > pivot_tol {
                     // Degenerate pivot: θ = 0 keeps β unchanged, the basis
                     // swap is what we're after.
-                    self.backend.update(r, T::ZERO);
-                    self.backend.set_basic_col(r, q);
-                    self.backend.set_basic_cost(r, T::ZERO);
+                    self.backend.update(r, T::ZERO)?;
+                    self.backend.set_basic_col(r, q)?;
+                    self.backend.set_basic_cost(r, T::ZERO)?;
                     self.xb[r] = q;
                     break;
                 }
             }
         }
         self.stats.charge(Step::Other, self.backend.clock() - t0);
+        Ok(())
     }
 }

@@ -1,15 +1,23 @@
 //! High-level pipeline: presolve → standardize → scale → revised simplex →
 //! recover, over a chosen backend.
+//!
+//! Every entry point has a fallible `try_*` twin returning
+//! `Result<_, SolveError>`; the infallible names keep the historical
+//! panic-on-machinery-failure behavior (and fault-free configurations
+//! never fail). When [`SolverOptions::faults`] is set, the GPU arms arm a
+//! fresh [`FaultPlan`] on the device/stream before the backend is built,
+//! and the observed fault count is folded into the result's stats.
 
 use std::sync::Arc;
 
-use gpu_sim::{DeviceSpec, Gpu, Stream};
+use gpu_sim::{DeviceSpec, FaultPlan, Gpu, Stream};
 use linalg::{CsrMatrix, Scalar};
 use lp::presolve::{presolve, PresolveResult};
 use lp::scaling::{scale, ScalingKind};
 use lp::{LinearProgram, StandardForm};
 
 use crate::backends::{CpuDenseBackend, CpuSparseBackend, GpuDenseBackend};
+use crate::error::SolveError;
 use crate::options::SolverOptions;
 use crate::result::{LpSolution, Status, StdResult};
 use crate::revised::RevisedSimplex;
@@ -58,39 +66,59 @@ impl std::fmt::Debug for BackendKind {
 ///
 /// # Panics
 /// On models that cannot be standardized (infinite right-hand sides) —
-/// those are modeling errors, not solver outcomes.
+/// those are modeling errors, not solver outcomes — and on device failure
+/// (impossible without fault injection).
 pub fn solve<T: Scalar>(model: &LinearProgram, opts: &SolverOptions) -> LpSolution {
     solve_on::<T>(model, opts, &BackendKind::CpuDense)
 }
 
-/// Solve an LP through the full pipeline on an explicit backend.
+/// Solve an LP through the full pipeline on an explicit backend, panicking
+/// on machinery failure (see [`try_solve_on`] for the fallible form).
 pub fn solve_on<T: Scalar>(
     model: &LinearProgram,
     opts: &SolverOptions,
     kind: &BackendKind,
 ) -> LpSolution {
+    try_solve_on::<T>(model, opts, kind).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`solve`].
+pub fn try_solve<T: Scalar>(
+    model: &LinearProgram,
+    opts: &SolverOptions,
+) -> Result<LpSolution, SolveError> {
+    try_solve_on::<T>(model, opts, &BackendKind::CpuDense)
+}
+
+/// Solve an LP through the full pipeline on an explicit backend, surfacing
+/// device faults, timeouts and numerical collapse as [`SolveError`]s.
+pub fn try_solve_on<T: Scalar>(
+    model: &LinearProgram,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+) -> Result<LpSolution, SolveError> {
     // ---- presolve ---------------------------------------------------------
     let (work, restore) = if opts.presolve {
         match presolve(model) {
             PresolveResult::Infeasible(reason) => {
-                return LpSolution {
+                return Ok(LpSolution {
                     status: Status::Infeasible,
                     x: vec![0.0; model.num_vars()],
                     objective: f64::NAN,
                     stats: SolveStats::default(),
                     duals: None,
                     reason: Some(reason),
-                };
+                });
             }
             PresolveResult::Unbounded(reason) => {
-                return LpSolution {
+                return Ok(LpSolution {
                     status: Status::Unbounded,
                     x: vec![0.0; model.num_vars()],
                     objective: f64::NAN,
                     stats: SolveStats::default(),
                     duals: None,
                     reason: Some(reason),
-                };
+                });
             }
             PresolveResult::Reduced(p) => {
                 let lp = p.lp.clone();
@@ -108,7 +136,7 @@ pub fn solve_on<T: Scalar>(
     }
 
     // ---- solve --------------------------------------------------------------
-    let res = solve_standard::<T>(&sf, opts, kind);
+    let res = try_solve_standard::<T>(&sf, opts, kind)?;
 
     // ---- recover ------------------------------------------------------------
     let x_red = sf.recover_x(&res.x_std);
@@ -132,7 +160,14 @@ pub fn solve_on<T: Scalar>(
     } else {
         None
     };
-    LpSolution { status: res.status, x, objective, stats: res.stats, duals, reason: None }
+    Ok(LpSolution {
+        status: res.status,
+        x,
+        objective,
+        stats: res.stats,
+        duals,
+        reason: None,
+    })
 }
 
 /// Standard-space duals `y` with `yᵀB = c_Bᵀ`, mapped back through the
@@ -162,7 +197,7 @@ pub fn solve_standard<T: Scalar>(
     opts: &SolverOptions,
     kind: &BackendKind,
 ) -> StdResult<T> {
-    solve_standard_impl(sf, opts, kind, None)
+    try_solve_standard_impl(sf, opts, kind, None).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Solve a prepared standard form warm-started from `basis` (e.g. the final
@@ -174,7 +209,26 @@ pub fn solve_standard_with_basis<T: Scalar>(
     kind: &BackendKind,
     basis: Vec<usize>,
 ) -> StdResult<T> {
-    solve_standard_impl(sf, opts, kind, Some(basis))
+    try_solve_standard_impl(sf, opts, kind, Some(basis)).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`solve_standard`].
+pub fn try_solve_standard<T: Scalar>(
+    sf: &StandardForm<T>,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+) -> Result<StdResult<T>, SolveError> {
+    try_solve_standard_impl(sf, opts, kind, None)
+}
+
+/// Fallible twin of [`solve_standard_with_basis`].
+pub fn try_solve_standard_with_basis<T: Scalar>(
+    sf: &StandardForm<T>,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+    basis: Vec<usize>,
+) -> Result<StdResult<T>, SolveError> {
+    try_solve_standard_impl(sf, opts, kind, Some(basis))
 }
 
 fn drive<T: Scalar, B: crate::backend::Backend<T>>(
@@ -182,19 +236,19 @@ fn drive<T: Scalar, B: crate::backend::Backend<T>>(
     sf: &StandardForm<T>,
     opts: &SolverOptions,
     warm: Option<Vec<usize>>,
-) -> StdResult<T> {
+) -> Result<StdResult<T>, SolveError> {
     match warm {
-        Some(basis) => RevisedSimplex::with_start_basis(be, sf, opts, basis).solve(),
-        None => RevisedSimplex::new(be, sf, opts).solve(),
+        Some(basis) => RevisedSimplex::with_start_basis(be, sf, opts, basis).try_solve(),
+        None => RevisedSimplex::new(be, sf, opts).try_solve(),
     }
 }
 
-fn solve_standard_impl<T: Scalar>(
+fn try_solve_standard_impl<T: Scalar>(
     sf: &StandardForm<T>,
     opts: &SolverOptions,
     kind: &BackendKind,
     warm: Option<Vec<usize>>,
-) -> StdResult<T> {
+) -> Result<StdResult<T>, SolveError> {
     let n_active = sf.num_cols() - sf.num_artificials;
     match kind {
         BackendKind::CpuDense => {
@@ -208,16 +262,28 @@ fn solve_standard_impl<T: Scalar>(
         }
         BackendKind::GpuDense(spec) => {
             let gpu = Gpu::new(spec.clone());
+            if let Some(cfg) = &opts.faults {
+                gpu.set_fault_plan(FaultPlan::new(cfg.clone()));
+            }
             let mut be = GpuDenseBackend::new(&gpu, &sf.a, &sf.b, n_active, &sf.basis0);
-            drive(&mut be, sf, opts, warm)
+            let mut res = drive(&mut be, sf, opts, warm)?;
+            res.stats.device_faults = gpu.fault_counts().total();
+            Ok(res)
         }
         BackendKind::GpuShared(device) => {
             // One stream per solve: `Stream` derefs to `Gpu`, so the
             // backend runs unchanged while its counters stay per-solve
-            // correct and fold into the shared device on retirement.
+            // correct and fold into the shared device on retirement. The
+            // fault plan is armed on the *stream*, so injected faults stay
+            // per-solve too — other jobs on the device are untouched.
             let stream = Stream::on(device);
+            if let Some(cfg) = &opts.faults {
+                stream.set_fault_plan(FaultPlan::new(cfg.clone()));
+            }
             let mut be = GpuDenseBackend::new(&stream, &sf.a, &sf.b, n_active, &sf.basis0);
-            drive(&mut be, sf, opts, warm)
+            let mut res = drive(&mut be, sf, opts, warm)?;
+            res.stats.device_faults = stream.fault_counts().total();
+            Ok(res)
         }
     }
 }
@@ -242,7 +308,11 @@ mod tests {
         for kind in all_kinds() {
             let sol = solve_on::<f64>(&model, &SolverOptions::default(), &kind);
             assert_eq!(sol.status, Status::Optimal, "{kind:?}");
-            assert!((sol.objective - expected).abs() < 1e-8, "{kind:?}: {}", sol.objective);
+            assert!(
+                (sol.objective - expected).abs() < 1e-8,
+                "{kind:?}: {}",
+                sol.objective
+            );
             assert!((sol.x[0] - 2.0).abs() < 1e-8);
             assert!((sol.x[1] - 6.0).abs() < 1e-8);
         }
@@ -254,7 +324,11 @@ mod tests {
         for kind in all_kinds() {
             let sol = solve_on::<f64>(&model, &SolverOptions::default(), &kind);
             assert_eq!(sol.status, Status::Optimal, "{kind:?}");
-            assert!((sol.objective - expected).abs() < 1e-8, "{kind:?}: {}", sol.objective);
+            assert!(
+                (sol.objective - expected).abs() < 1e-8,
+                "{kind:?}: {}",
+                sol.objective
+            );
             assert!(model.check_feasible(&sol.x, 1e-7).is_none());
             assert!(sol.stats.phase1_iterations > 0);
         }
@@ -268,7 +342,10 @@ mod tests {
         assert!(sol.reason.is_some());
 
         // With presolve off, the simplex itself must catch both.
-        let raw = SolverOptions { presolve: false, ..Default::default() };
+        let raw = SolverOptions {
+            presolve: false,
+            ..Default::default()
+        };
         let sol = solve::<f64>(&fixtures::infeasible(), &raw);
         assert_eq!(sol.status, Status::Infeasible);
         let sol = solve::<f64>(&fixtures::unbounded(), &raw);
@@ -277,8 +354,11 @@ mod tests {
 
     #[test]
     fn diet_and_production_fixtures() {
-        for (model, expected) in [fixtures::diet(), fixtures::production(), fixtures::degenerate()]
-        {
+        for (model, expected) in [
+            fixtures::diet(),
+            fixtures::production(),
+            fixtures::degenerate(),
+        ] {
             let sol = solve::<f64>(&model, &SolverOptions::default());
             assert_eq!(sol.status, Status::Optimal, "{}", model.name);
             assert!(
@@ -296,10 +376,17 @@ mod tests {
     fn beale_cycling_fixture_terminates() {
         let (model, expected) = fixtures::beale_cycling();
         for rule in [PivotRule::Bland, PivotRule::Hybrid] {
-            let opts = SolverOptions { pivot_rule: rule, ..Default::default() };
+            let opts = SolverOptions {
+                pivot_rule: rule,
+                ..Default::default()
+            };
             let sol = solve::<f64>(&model, &opts);
             assert_eq!(sol.status, Status::Optimal, "{rule:?}");
-            assert!((sol.objective - expected).abs() < 1e-8, "{rule:?}: {}", sol.objective);
+            assert!(
+                (sol.objective - expected).abs() < 1e-8,
+                "{rule:?}: {}",
+                sol.objective
+            );
         }
     }
 
@@ -325,7 +412,11 @@ mod tests {
         let opts = SolverOptions::default();
         let (tstatus, _, tobj, _) = crate::tableau::solve_lp::<f64>(
             &model,
-            &SolverOptions { presolve: false, scale: false, ..Default::default() },
+            &SolverOptions {
+                presolve: false,
+                scale: false,
+                ..Default::default()
+            },
         );
         assert_eq!(tstatus, Status::Optimal);
         for kind in all_kinds() {
@@ -368,7 +459,10 @@ mod tests {
     #[test]
     fn iteration_limit_reported() {
         let model = generator::dense_random(16, 20, 1);
-        let opts = SolverOptions { max_iterations: Some(1), ..Default::default() };
+        let opts = SolverOptions {
+            max_iterations: Some(1),
+            ..Default::default()
+        };
         let sol = solve::<f64>(&model, &opts);
         assert_eq!(sol.status, Status::IterationLimit);
     }

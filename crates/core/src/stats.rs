@@ -68,18 +68,39 @@ pub struct SolveStats {
     /// Wall-clock seconds actually spent in the Rust process (secondary
     /// metric; the primary metric is simulated time).
     pub wall_seconds: f64,
+    /// Injected/genuine device faults observed by the fault plan during
+    /// this solve (0 without fault injection).
+    pub device_faults: u64,
+    /// Non-finite iterates detected and repaired by an emergency
+    /// reinversion (the NaN-recovery path).
+    pub nan_recoveries: usize,
+    /// Retries spent by the resilience layer before this result (0 for a
+    /// direct solve).
+    pub retries: usize,
+    /// Degradation rungs descended by the resilience layer (0 = solved on
+    /// the originally requested backend).
+    pub degradations: usize,
+    /// Backoff the resilience layer scheduled between attempts, in seconds
+    /// (recorded, not slept — the batch scheduler owns real pacing).
+    pub backoff_seconds: f64,
 }
 
 impl SolveStats {
     /// Charge `t` against `step`.
     pub fn charge(&mut self, step: Step, t: SimTime) {
-        let idx = Step::ALL.iter().position(|s| *s == step).expect("step in ALL");
+        let idx = Step::ALL
+            .iter()
+            .position(|s| *s == step)
+            .expect("step in ALL");
         self.step_time[idx] += t;
     }
 
     /// Time charged to `step`.
     pub fn time(&self, step: Step) -> SimTime {
-        let idx = Step::ALL.iter().position(|s| *s == step).expect("step in ALL");
+        let idx = Step::ALL
+            .iter()
+            .position(|s| *s == step)
+            .expect("step in ALL");
         self.step_time[idx]
     }
 

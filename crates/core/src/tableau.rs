@@ -44,12 +44,22 @@ pub fn solve_standard<T: Scalar>(sf: &StandardForm<T>, opts: &SolverOptions) -> 
 
     // Phase 1 if needed.
     if sf.num_artificials > 0 {
-        let c1: Vec<T> =
-            (0..n).map(|j| if sf.is_artificial(j) { T::ONE } else { T::ZERO }).collect();
-        let end = run(&mut tab, &mut basis, &c1, opt_tol, pivot_tol, max_iters, opts.pivot_rule, |j| {
-            // Artificials may leave but never re-enter.
-            !sf.is_artificial(j)
-        });
+        let c1: Vec<T> = (0..n)
+            .map(|j| if sf.is_artificial(j) { T::ONE } else { T::ZERO })
+            .collect();
+        let end = run(
+            &mut tab,
+            &mut basis,
+            &c1,
+            opt_tol,
+            pivot_tol,
+            max_iters,
+            opts.pivot_rule,
+            |j| {
+                // Artificials may leave but never re-enter.
+                !sf.is_artificial(j)
+            },
+        );
         total_iters += end.iterations;
         match end.kind {
             EndKind::IterationLimit => {
@@ -123,7 +133,10 @@ fn run<T: Scalar>(
 
     loop {
         if iterations >= max_iters {
-            return End { kind: EndKind::IterationLimit, iterations };
+            return End {
+                kind: EndKind::IterationLimit,
+                iterations,
+            };
         }
         // Reduced costs d_j = c_j − c_Bᵀ (tableau column j): with the
         // tableau kept in "B⁻¹·A" form, the multiplier view is simplest:
@@ -159,7 +172,10 @@ fn run<T: Scalar>(
             }
         }
         let Some((q, _dq)) = entering else {
-            return End { kind: EndKind::Converged, iterations };
+            return End {
+                kind: EndKind::Converged,
+                iterations,
+            };
         };
 
         // Ratio test on the eliminated column q.
@@ -176,7 +192,10 @@ fn run<T: Scalar>(
             }
         }
         let Some((p, theta)) = pivot else {
-            return End { kind: EndKind::Unbounded, iterations };
+            return End {
+                kind: EndKind::Unbounded,
+                iterations,
+            };
         };
 
         // Gauss–Jordan elimination around (p, q).
@@ -231,13 +250,25 @@ fn assemble<T: Scalar>(
     for (i, &j) in basis.iter().enumerate() {
         x_std[j] = tab.get(i, n);
     }
-    let z_std = sf.c.iter().zip(&x_std).map(|(&c, &x)| c.to_f64() * x.to_f64()).sum();
-    TableauResult { status, x_std, z_std, iterations }
+    let z_std =
+        sf.c.iter()
+            .zip(&x_std)
+            .map(|(&c, &x)| c.to_f64() * x.to_f64())
+            .sum();
+    TableauResult {
+        status,
+        x_std,
+        z_std,
+        iterations,
+    }
 }
 
 /// Convenience: solve an original-model LP with the tableau method (f-64
 /// oracle path: presolve off, scaling off).
-pub fn solve_lp<T: Scalar>(model: &LinearProgram, opts: &SolverOptions) -> (Status, Vec<f64>, f64, usize) {
+pub fn solve_lp<T: Scalar>(
+    model: &LinearProgram,
+    opts: &SolverOptions,
+) -> (Status, Vec<f64>, f64, usize) {
     let sf = StandardForm::<T>::from_lp(model).expect("model standardizes");
     let res = solve_standard(&sf, opts);
     let x = sf.recover_x(&res.x_std);
@@ -251,7 +282,11 @@ mod tests {
     use lp::generator::fixtures;
 
     fn opts() -> SolverOptions {
-        SolverOptions { presolve: false, scale: false, ..Default::default() }
+        SolverOptions {
+            presolve: false,
+            scale: false,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -299,7 +334,10 @@ mod tests {
     fn beale_terminates_under_hybrid_and_bland() {
         let (model, expected) = fixtures::beale_cycling();
         for rule in [PivotRule::Bland, PivotRule::Hybrid] {
-            let o = SolverOptions { pivot_rule: rule, ..opts() };
+            let o = SolverOptions {
+                pivot_rule: rule,
+                ..opts()
+            };
             let (status, _, obj, _) = solve_lp::<f64>(&model, &o);
             assert_eq!(status, Status::Optimal, "rule {rule:?}");
             assert!((obj - expected).abs() < 1e-9, "rule {rule:?}: obj {obj}");
@@ -310,11 +348,18 @@ mod tests {
     fn klee_minty_dantzig_takes_exponential_iterations() {
         for n in [3usize, 4, 5] {
             let model = lp::generator::klee_minty(n);
-            let o = SolverOptions { pivot_rule: PivotRule::Dantzig, ..opts() };
+            let o = SolverOptions {
+                pivot_rule: PivotRule::Dantzig,
+                ..opts()
+            };
             let (status, _, obj, iters) = solve_lp::<f64>(&model, &o);
             assert_eq!(status, Status::Optimal);
             assert!((obj - lp::generator::klee_minty_optimum(n)).abs() / obj.abs() < 1e-9);
-            assert_eq!(iters, (1 << n) - 1, "KM({n}) should take 2^n − 1 iterations");
+            assert_eq!(
+                iters,
+                (1 << n) - 1,
+                "KM({n}) should take 2^n − 1 iterations"
+            );
         }
     }
 

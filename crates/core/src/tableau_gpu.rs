@@ -39,7 +39,10 @@ impl<T: Scalar> Kernel for RowInsertK<T> {
         let n = self.cols as u64;
         KernelCost::new()
             .read(gpu_sim::AccessPattern::coalesced::<T>(n))
-            .write(gpu_sim::AccessPattern::strided::<T>(n, self.rows as u64 * T::BYTES))
+            .write(gpu_sim::AccessPattern::strided::<T>(
+                n,
+                self.rows as u64 * T::BYTES,
+            ))
             .active_threads(cfg, n)
     }
 }
@@ -75,45 +78,54 @@ pub fn solve_standard_gpu<T: Scalar>(
     let mut basis = sf.basis0.clone();
     let mut total_iters = 0usize;
 
-    // One upload; phases swap only the cost row.
-    let mut tab = DeviceMatrix::upload(gpu, &tab_h, Layout::ColMajor);
+    // One upload; phases swap only the cost row. The tableau baseline is
+    // never fault-armed (resilience targets the revised pipeline), so the
+    // fallible ops below unwrap with that invariant.
+    let mut tab = DeviceMatrix::upload(gpu, &tab_h, Layout::ColMajor)
+        .expect("tableau device is never fault-armed");
     let xb0: Vec<u32> = basis.iter().map(|&j| j as u32).collect();
     let mut xb = gpu.htod(&xb0);
 
-    let install_cost_row = |gpu: &Gpu,
-                            tab: &mut DeviceMatrix<T>,
-                            basis: &[usize],
-                            costs: &dyn Fn(usize) -> T| {
-        // d_j = c_j − Σ_i c_B(i)·T[i,j] computed host-side from the *current*
-        // device tableau (downloaded once per phase — charged).
-        let cur = tab.download(gpu);
-        let mut row = vec![T::ZERO; n + 1];
-        for (j, r) in row.iter_mut().enumerate().take(n) {
-            let mut d = costs(j);
-            for (i, &bj) in basis.iter().enumerate() {
-                d -= costs(bj) * cur.get(i, j);
+    let install_cost_row =
+        |gpu: &Gpu, tab: &mut DeviceMatrix<T>, basis: &[usize], costs: &dyn Fn(usize) -> T| {
+            // d_j = c_j − Σ_i c_B(i)·T[i,j] computed host-side from the *current*
+            // device tableau (downloaded once per phase — charged).
+            let cur = tab
+                .download(gpu)
+                .expect("tableau device is never fault-armed");
+            let mut row = vec![T::ZERO; n + 1];
+            for (j, r) in row.iter_mut().enumerate().take(n) {
+                let mut d = costs(j);
+                for (i, &bj) in basis.iter().enumerate() {
+                    d -= costs(bj) * cur.get(i, j);
+                }
+                *r = d;
             }
-            *r = d;
-        }
-        // Corner: −z = −c_B·b̂.
-        let mut z = T::ZERO;
-        for (i, &bj) in basis.iter().enumerate() {
-            z += costs(bj) * cur.get(i, n);
-        }
-        row[n] = -z;
-        let src = gpu.htod(&row);
-        gpu.launch(
-            LaunchConfig::for_elems(n + 1, 128),
-            &RowInsertK { mat: tab.view_mut(), rows: m + 1, cols: n + 1, p: m, src: src.view() },
-        );
-    };
+            // Corner: −z = −c_B·b̂.
+            let mut z = T::ZERO;
+            for (i, &bj) in basis.iter().enumerate() {
+                z += costs(bj) * cur.get(i, n);
+            }
+            row[n] = -z;
+            let src = gpu.htod(&row);
+            gpu.launch(
+                LaunchConfig::for_elems(n + 1, 128),
+                &RowInsertK {
+                    mat: tab.view_mut(),
+                    rows: m + 1,
+                    cols: n + 1,
+                    p: m,
+                    src: src.view(),
+                },
+            );
+        };
 
     let run_phase = |gpu: &Gpu,
-                         tab: &mut DeviceMatrix<T>,
-                         xb: &mut gpu_sim::DeviceBuffer<u32>,
-                         basis: &mut Vec<usize>,
-                         n_price: usize,
-                         iters_budget: usize|
+                     tab: &mut DeviceMatrix<T>,
+                     xb: &mut gpu_sim::DeviceBuffer<u32>,
+                     basis: &mut Vec<usize>,
+                     n_price: usize,
+                     iters_budget: usize|
      -> (Status, usize) {
         let mut iters = 0usize;
         let mut stall = 0usize;
@@ -156,13 +168,15 @@ pub fn solve_standard_gpu<T: Scalar>(
                         n: n_price,
                     },
                 );
-                let q = gblas::reduce_u32_min(gpu, idx.view(), n_price);
+                let q = gblas::reduce_u32_min(gpu, idx.view(), n_price)
+                    .expect("tableau device is never fault-armed");
                 if q == u32::MAX {
                     return (Status::Optimal, iters);
                 }
                 q as usize
             } else {
-                let (v, q) = gblas::argmin(gpu, d.view(), n_price);
+                let (v, q) = gblas::argmin(gpu, d.view(), n_price)
+                    .expect("tableau device is never fault-armed");
                 if !(v < -opt_tol) {
                     return (Status::Optimal, iters);
                 }
@@ -176,9 +190,16 @@ pub fn solve_standard_gpu<T: Scalar>(
             let mut ratios = gpu.alloc(m, T::ZERO);
             gpu.launch(
                 LaunchConfig::for_elems(m, 128),
-                &RatioK { alpha, beta, tol: pivot_tol, out: ratios.view_mut(), m },
+                &RatioK {
+                    alpha,
+                    beta,
+                    tol: pivot_tol,
+                    out: ratios.view_mut(),
+                    m,
+                },
             );
-            let (theta, p) = gblas::argmin(gpu, ratios.view(), m);
+            let (theta, p) =
+                gblas::argmin(gpu, ratios.view(), m).expect("tableau device is never fault-armed");
             if !theta.is_finite() {
                 return (Status::Unbounded, iters);
             }
@@ -186,7 +207,7 @@ pub fn solve_standard_gpu<T: Scalar>(
 
             // Eliminate around (p, q) across the whole tableau, cost row
             // included — one eta application over (m+1)×(n+1) values.
-            gblas::eliminate(gpu, tab, col_q, p);
+            gblas::eliminate(gpu, tab, col_q, p).expect("tableau device is never fault-armed");
             basis[p] = q;
             gpu.htod_elem(xb, p, q as u32);
 
@@ -216,10 +237,16 @@ pub fn solve_standard_gpu<T: Scalar>(
         match status {
             Status::Optimal => {}
             Status::IterationLimit => {
-                return (assemble(gpu, sf, &tab, &basis, Status::IterationLimit, total_iters), gpu.elapsed() - started)
+                return (
+                    assemble(gpu, sf, &tab, &basis, Status::IterationLimit, total_iters),
+                    gpu.elapsed() - started,
+                )
             }
             _ => {
-                return (assemble(gpu, sf, &tab, &basis, Status::SingularBasis, total_iters), gpu.elapsed() - started)
+                return (
+                    assemble(gpu, sf, &tab, &basis, Status::SingularBasis, total_iters),
+                    gpu.elapsed() - started,
+                )
             }
         }
         // Feasibility: Σ artificial basic values from the rhs column.
@@ -243,7 +270,10 @@ pub fn solve_standard_gpu<T: Scalar>(
     install_cost_row(gpu, &mut tab, &basis, &c2);
     let (status, iters) = run_phase(gpu, &mut tab, &mut xb, &mut basis, n_price, max_iters);
     total_iters += iters;
-    (assemble(gpu, sf, &tab, &basis, status, total_iters), gpu.elapsed() - started)
+    (
+        assemble(gpu, sf, &tab, &basis, status, total_iters),
+        gpu.elapsed() - started,
+    )
 }
 
 fn assemble<T: Scalar>(
@@ -262,8 +292,17 @@ fn assemble<T: Scalar>(
     for (i, &j) in basis.iter().enumerate() {
         x_std[j] = rhs[i].maxs(T::ZERO);
     }
-    let z_std = sf.c.iter().zip(&x_std).map(|(&c, &x)| c.to_f64() * x.to_f64()).sum();
-    TableauResult { status, x_std, z_std, iterations }
+    let z_std =
+        sf.c.iter()
+            .zip(&x_std)
+            .map(|(&c, &x)| c.to_f64() * x.to_f64())
+            .sum();
+    TableauResult {
+        status,
+        x_std,
+        z_std,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -273,14 +312,23 @@ mod tests {
     use lp::generator::{self, fixtures};
 
     fn opts() -> SolverOptions {
-        SolverOptions { presolve: false, scale: false, ..Default::default() }
+        SolverOptions {
+            presolve: false,
+            scale: false,
+            ..Default::default()
+        }
     }
 
     fn solve_lp_gpu(model: &lp::LinearProgram) -> (Status, f64, usize, SimTime) {
         let sf = StandardForm::<f64>::from_lp(model).expect("standardizes");
         let gpu = Gpu::new(DeviceSpec::gtx280());
         let (res, t) = solve_standard_gpu(&gpu, &sf, &opts());
-        (res.status, sf.objective_from_std(res.z_std), res.iterations, t)
+        (
+            res.status,
+            sf.objective_from_std(res.z_std),
+            res.iterations,
+            t,
+        )
     }
 
     #[test]

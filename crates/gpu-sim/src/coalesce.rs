@@ -55,22 +55,38 @@ pub struct AccessPattern {
 impl AccessPattern {
     /// Ideal coalesced pattern for element type `T`.
     pub fn coalesced<T: Pod>(accesses: u64) -> Self {
-        AccessPattern { accesses, elem_bytes: T::BYTES, kind: PatternKind::Coalesced }
+        AccessPattern {
+            accesses,
+            elem_bytes: T::BYTES,
+            kind: PatternKind::Coalesced,
+        }
     }
 
     /// Lanes separated by `stride_bytes`.
     pub fn strided<T: Pod>(accesses: u64, stride_bytes: u64) -> Self {
-        AccessPattern { accesses, elem_bytes: T::BYTES, kind: PatternKind::Strided { stride_bytes } }
+        AccessPattern {
+            accesses,
+            elem_bytes: T::BYTES,
+            kind: PatternKind::Strided { stride_bytes },
+        }
     }
 
     /// All lanes read the same address.
     pub fn broadcast<T: Pod>(accesses: u64) -> Self {
-        AccessPattern { accesses, elem_bytes: T::BYTES, kind: PatternKind::Broadcast }
+        AccessPattern {
+            accesses,
+            elem_bytes: T::BYTES,
+            kind: PatternKind::Broadcast,
+        }
     }
 
     /// Unstructured addresses.
     pub fn scattered<T: Pod>(accesses: u64) -> Self {
-        AccessPattern { accesses, elem_bytes: T::BYTES, kind: PatternKind::Scattered }
+        AccessPattern {
+            accesses,
+            elem_bytes: T::BYTES,
+            kind: PatternKind::Scattered,
+        }
     }
 
     /// Lane addresses (relative to an aligned base) for one warp instruction
@@ -78,9 +94,7 @@ impl AccessPattern {
     fn lane_addresses(&self, lanes: u64) -> Vec<u64> {
         match self.kind {
             PatternKind::Coalesced => (0..lanes).map(|i| i * self.elem_bytes).collect(),
-            PatternKind::Strided { stride_bytes } => {
-                (0..lanes).map(|i| i * stride_bytes).collect()
-            }
+            PatternKind::Strided { stride_bytes } => (0..lanes).map(|i| i * stride_bytes).collect(),
             PatternKind::Broadcast => vec![0; lanes as usize],
             // Scattered is handled without enumeration (each lane distinct).
             PatternKind::Scattered => Vec::new(),
@@ -115,7 +129,10 @@ impl AccessPattern {
         let tail = self.accesses % w;
         let (tx_full, by_full) = self.per_instruction(w, seg_bytes);
         let (tx_tail, by_tail) = self.per_instruction(tail, seg_bytes);
-        (full_warps * tx_full + tx_tail, full_warps * by_full + by_tail)
+        (
+            full_warps * tx_full + tx_tail,
+            full_warps * by_full + by_tail,
+        )
     }
 
     /// Number of warp-level memory instructions this pattern issues.

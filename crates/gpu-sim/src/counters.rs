@@ -268,8 +268,17 @@ mod tests {
 
     #[test]
     fn display_renders() {
-        let mut c = Counters { elapsed: SimTime::from_us(10.0), ..Counters::default() };
-        c.per_kernel.insert("saxpy", KernelStats { launches: 2, ..Default::default() });
+        let mut c = Counters {
+            elapsed: SimTime::from_us(10.0),
+            ..Counters::default()
+        };
+        c.per_kernel.insert(
+            "saxpy",
+            KernelStats {
+                launches: 2,
+                ..Default::default()
+            },
+        );
         let s = format!("{c}");
         assert!(s.contains("saxpy"));
         assert!(s.contains("kernels launched: 0"));

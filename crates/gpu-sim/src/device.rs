@@ -162,7 +162,11 @@ mod tests {
 
     #[test]
     fn specs_are_sane() {
-        for s in [DeviceSpec::gtx280(), DeviceSpec::gtx570(), DeviceSpec::gtx_titan()] {
+        for s in [
+            DeviceSpec::gtx280(),
+            DeviceSpec::gtx570(),
+            DeviceSpec::gtx_titan(),
+        ] {
             assert!(s.warp_size == 32);
             assert!(s.compute_efficiency > 0.0 && s.compute_efficiency <= 1.0);
             assert!(s.bandwidth_efficiency > 0.0 && s.bandwidth_efficiency <= 1.0);

@@ -47,7 +47,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// Build a launch configuration from explicit grid and block extents.
     pub fn new(grid: impl Into<Dim3>, block: impl Into<Dim3>) -> Self {
-        LaunchConfig { grid: grid.into(), block: block.into() }
+        LaunchConfig {
+            grid: grid.into(),
+            block: block.into(),
+        }
     }
 
     /// 1-D configuration covering at least `elems` threads with blocks of

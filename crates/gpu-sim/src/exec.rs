@@ -5,6 +5,7 @@
 //! (optionally across host threads — CUDA blocks are independent by
 //! contract) and charges simulated time from the kernel's cost descriptor.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -12,6 +13,7 @@ use parking_lot::Mutex;
 use crate::counters::{Counters, TimeCategory};
 use crate::device::DeviceSpec;
 use crate::dim::{Dim3, LaunchConfig};
+use crate::fault::{DeviceError, FaultCounts, FaultPlan, Injection, OpKind};
 use crate::kernel::{Kernel, ThreadCtx};
 use crate::memory::{AllocTracker, DeviceBuffer, Pod};
 use crate::timing::{kernel_timing, transfer_time, LaunchTiming, SimTime};
@@ -37,6 +39,12 @@ pub struct Gpu {
     mode: ExecMode,
     counters: Mutex<Counters>,
     tracker: Arc<AllocTracker>,
+    /// Armed fault plan, if any. `None` (the default) means every `try_*`
+    /// operation succeeds unless the device genuinely runs out of memory.
+    faults: Mutex<Option<FaultPlan>>,
+    /// Set when an injected corruption fired on a launch; the library layer
+    /// polls it via [`Gpu::take_corruption`] and poisons the output.
+    corrupted: AtomicBool,
 }
 
 impl Gpu {
@@ -52,6 +60,8 @@ impl Gpu {
             mode,
             counters: Mutex::new(Counters::default()),
             tracker: Arc::new(AllocTracker::default()),
+            faults: Mutex::new(None),
+            corrupted: AtomicBool::new(false),
         }
     }
 
@@ -63,7 +73,58 @@ impl Gpu {
         mode: ExecMode,
         tracker: Arc<AllocTracker>,
     ) -> Self {
-        Gpu { spec, mode, counters: Mutex::new(Counters::default()), tracker }
+        Gpu {
+            spec,
+            mode,
+            counters: Mutex::new(Counters::default()),
+            tracker,
+            faults: Mutex::new(None),
+            corrupted: AtomicBool::new(false),
+        }
+    }
+
+    /// Arm a fault plan on this device/stream. Every later `try_*` operation
+    /// rolls against it; the infallible API panics where `try_*` would
+    /// return `Err`.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.faults.lock() = Some(plan);
+    }
+
+    /// Disarm and return the current fault plan (with its counters), if any.
+    pub fn clear_fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.lock().take()
+    }
+
+    /// Injected-fault counts of the armed plan (zeros when unarmed).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults
+            .lock()
+            .as_ref()
+            .map(|p| p.counts())
+            .unwrap_or_default()
+    }
+
+    /// Poll-and-clear the silent-corruption flag. The device BLAS layer
+    /// calls this after launches and poisons the kernel's output with NaN
+    /// when it returns `true` — modeling a kernel that "succeeded" but
+    /// wrote garbage.
+    pub fn take_corruption(&self) -> bool {
+        self.corrupted.swap(false, Ordering::Relaxed)
+    }
+
+    /// Roll the armed fault plan (if any) for one operation.
+    fn fault_check(&self, op: OpKind, kernel: &'static str) -> Result<(), DeviceError> {
+        let mut guard = self.faults.lock();
+        let Some(plan) = guard.as_mut() else {
+            return Ok(());
+        };
+        match plan.before_op(op, kernel)? {
+            Injection::Corrupt => {
+                self.corrupted.store(true, Ordering::Relaxed);
+                Ok(())
+            }
+            Injection::None => Ok(()),
+        }
     }
 
     /// Handle to the device-wide allocation tracker.
@@ -122,67 +183,143 @@ impl Gpu {
 
     /// Record an allocation of `bytes`, enforcing device capacity. Called
     /// *before* host-side materialization so a simulated OOM is cheap.
-    fn record_alloc(&self, bytes: u64) {
-        assert!(
-            self.tracker.current() + bytes <= self.spec.memory_capacity,
-            "simulated device out of memory: {} B requested with {} B already \
-             allocated > {} B capacity on {}",
-            bytes,
-            self.tracker.current(),
-            self.spec.memory_capacity,
-            self.spec.name
-        );
+    fn try_record_alloc(&self, bytes: u64) -> Result<(), DeviceError> {
+        let oom = |requested| DeviceError::Oom {
+            requested,
+            allocated: self.tracker.current(),
+            capacity: self.spec.memory_capacity,
+        };
+        // Injected OOM carries the same real numbers as a genuine one.
+        self.fault_check(OpKind::Alloc, "").map_err(|e| match e {
+            DeviceError::Oom { .. } => oom(bytes),
+            other => other,
+        })?;
+        if self.tracker.current() + bytes > self.spec.memory_capacity {
+            return Err(oom(bytes));
+        }
         let current = self.tracker.add(bytes);
         let mut c = self.counters.lock();
         c.allocated_bytes = current;
         c.peak_allocated_bytes = c.peak_allocated_bytes.max(current);
+        Ok(())
+    }
+
+    /// Fallible [`Gpu::alloc`].
+    pub fn try_alloc<T: Pod>(&self, len: usize, fill: T) -> Result<DeviceBuffer<T>, DeviceError> {
+        self.try_record_alloc(len as u64 * T::BYTES)?;
+        let mut buf = DeviceBuffer::new(len, fill);
+        buf.set_tracker(Arc::clone(&self.tracker));
+        Ok(buf)
     }
 
     /// Allocate `len` elements filled with `fill`. Charges no transfer time
-    /// (as `cudaMalloc` does not move data).
+    /// (as `cudaMalloc` does not move data). Panics on (injected or real)
+    /// device OOM; fault-aware callers use [`Gpu::try_alloc`].
     pub fn alloc<T: Pod>(&self, len: usize, fill: T) -> DeviceBuffer<T> {
-        self.record_alloc(len as u64 * T::BYTES);
-        let mut buf = DeviceBuffer::new(len, fill);
+        self.try_alloc(len, fill)
+            .unwrap_or_else(|e| panic!("{e} on {}", self.spec.name))
+    }
+
+    /// Fallible [`Gpu::htod`].
+    pub fn try_htod<T: Pod>(&self, src: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
+        let bytes = src.len() as u64 * T::BYTES;
+        self.try_record_alloc(bytes)?;
+        if let Err(e) = self.try_transfer(TimeCategory::TransferH2D, bytes) {
+            // Release the reservation: the buffer was never materialized.
+            self.tracker.sub(bytes);
+            self.counters.lock().allocated_bytes = self.tracker.current();
+            return Err(e);
+        }
+        let mut buf = DeviceBuffer::from_slice(src);
         buf.set_tracker(Arc::clone(&self.tracker));
-        buf
+        Ok(buf)
     }
 
     /// Allocate and upload from a host slice, charging PCIe time.
     pub fn htod<T: Pod>(&self, src: &[T]) -> DeviceBuffer<T> {
-        self.record_alloc(src.len() as u64 * T::BYTES);
-        let mut buf = DeviceBuffer::from_slice(src);
-        buf.set_tracker(Arc::clone(&self.tracker));
-        self.charge_transfer(TimeCategory::TransferH2D, buf.bytes());
-        buf
+        self.try_htod(src)
+            .unwrap_or_else(|e| panic!("{e} on {}", self.spec.name))
+    }
+
+    /// Fallible [`Gpu::htod_into`].
+    pub fn try_htod_into<T: Pod>(
+        &self,
+        src: &[T],
+        dst: &mut DeviceBuffer<T>,
+    ) -> Result<(), DeviceError> {
+        self.try_transfer(TimeCategory::TransferH2D, src.len() as u64 * T::BYTES)?;
+        dst.write_from(src);
+        Ok(())
     }
 
     /// Overwrite an existing buffer from the host, charging PCIe time.
     pub fn htod_into<T: Pod>(&self, src: &[T], dst: &mut DeviceBuffer<T>) {
-        dst.write_from(src);
-        self.charge_transfer(TimeCategory::TransferH2D, src.len() as u64 * T::BYTES);
+        self.try_htod_into(src, dst)
+            .unwrap_or_else(|e| panic!("{e} on {}", self.spec.name));
+    }
+
+    /// Fallible [`Gpu::htod_elem`].
+    pub fn try_htod_elem<T: Pod>(
+        &self,
+        dst: &mut DeviceBuffer<T>,
+        idx: usize,
+        val: T,
+    ) -> Result<(), DeviceError> {
+        self.try_transfer(TimeCategory::TransferH2D, T::BYTES)?;
+        dst.view_mut().set(idx, val);
+        Ok(())
     }
 
     /// Overwrite a single element from the host — the `cudaMemcpy` of one
     /// scalar that 2009 solvers issued for basis bookkeeping. Pays the full
     /// per-transfer latency, which is the point of modeling it.
     pub fn htod_elem<T: Pod>(&self, dst: &mut DeviceBuffer<T>, idx: usize, val: T) {
-        dst.view_mut().set(idx, val);
-        self.charge_transfer(TimeCategory::TransferH2D, T::BYTES);
+        self.try_htod_elem(dst, idx, val)
+            .unwrap_or_else(|e| panic!("{e} on {}", self.spec.name));
+    }
+
+    /// Fallible [`Gpu::dtoh`].
+    pub fn try_dtoh<T: Pod>(&self, src: &DeviceBuffer<T>) -> Result<Vec<T>, DeviceError> {
+        self.try_transfer(TimeCategory::TransferD2H, src.bytes())?;
+        Ok(src.to_host_vec())
     }
 
     /// Download a buffer to the host, charging PCIe time.
     pub fn dtoh<T: Pod>(&self, src: &DeviceBuffer<T>) -> Vec<T> {
-        self.charge_transfer(TimeCategory::TransferD2H, src.bytes());
-        src.to_host_vec()
+        self.try_dtoh(src)
+            .unwrap_or_else(|e| panic!("{e} on {}", self.spec.name))
+    }
+
+    /// Fallible [`Gpu::dtoh_range`].
+    pub fn try_dtoh_range<T: Pod>(
+        &self,
+        src: &DeviceBuffer<T>,
+        offset: usize,
+        count: usize,
+    ) -> Result<Vec<T>, DeviceError> {
+        assert!(offset + count <= src.len(), "dtoh_range out of bounds");
+        self.try_transfer(TimeCategory::TransferD2H, count as u64 * T::BYTES)?;
+        let v = src.view();
+        Ok((offset..offset + count).map(|i| v.get(i)).collect())
     }
 
     /// Download `count` elements starting at `offset`, charging PCIe time
     /// for just those bytes (plus the fixed transfer latency).
     pub fn dtoh_range<T: Pod>(&self, src: &DeviceBuffer<T>, offset: usize, count: usize) -> Vec<T> {
-        assert!(offset + count <= src.len(), "dtoh_range out of bounds");
-        self.charge_transfer(TimeCategory::TransferD2H, count as u64 * T::BYTES);
-        let v = src.view();
-        (offset..offset + count).map(|i| v.get(i)).collect()
+        self.try_dtoh_range(src, offset, count)
+            .unwrap_or_else(|e| panic!("{e} on {}", self.spec.name))
+    }
+
+    /// Fault-roll then charge one transfer. A timed-out transfer charges
+    /// nothing (the failure is detected before data moves in the model).
+    fn try_transfer(&self, cat: TimeCategory, bytes: u64) -> Result<(), DeviceError> {
+        self.fault_check(OpKind::Transfer, "")
+            .map_err(|e| match e {
+                DeviceError::TransferTimeout { .. } => DeviceError::TransferTimeout { bytes },
+                other => other,
+            })?;
+        self.charge_transfer(cat, bytes);
+        Ok(())
     }
 
     fn charge_transfer(&self, cat: TimeCategory, bytes: u64) {
@@ -203,10 +340,30 @@ impl Gpu {
         }
     }
 
+    /// Fallible [`Gpu::launch`]. An injected [`DeviceError::KernelFault`]
+    /// aborts before any thread runs or any time is charged; an injected
+    /// corruption lets the launch complete and raises the flag polled by
+    /// [`Gpu::take_corruption`].
+    pub fn try_launch<K: Kernel>(
+        &self,
+        cfg: LaunchConfig,
+        kernel: &K,
+    ) -> Result<LaunchTiming, DeviceError> {
+        self.fault_check(OpKind::Kernel, kernel.name())?;
+        Ok(self.launch_unchecked(cfg, kernel))
+    }
+
     /// Launch a kernel: execute every thread functionally and charge the
     /// simulated time from its cost descriptor. Returns the launch timing
     /// (already recorded) for callers that keep per-step breakdowns.
+    /// Panics on injected kernel faults; fault-aware callers use
+    /// [`Gpu::try_launch`].
     pub fn launch<K: Kernel>(&self, cfg: LaunchConfig, kernel: &K) -> LaunchTiming {
+        self.try_launch(cfg, kernel)
+            .unwrap_or_else(|e| panic!("{e} on {}", self.spec.name))
+    }
+
+    fn launch_unchecked<K: Kernel>(&self, cfg: LaunchConfig, kernel: &K) -> LaunchTiming {
         let cost = kernel.cost(&cfg);
         let timing = kernel_timing(&self.spec, &cfg, &cost);
         let (tx, bytes) = cost.traffic(self.spec.warp_size, self.spec.segment_bytes);
@@ -215,8 +372,10 @@ impl Gpu {
             let mut c = self.counters.lock();
             c.kernels_launched += 1;
             c.elapsed += timing.total();
-            c.breakdown.add(TimeCategory::LaunchOverhead, timing.overhead);
-            c.breakdown.add(TimeCategory::KernelBody, timing.total() - timing.overhead);
+            c.breakdown
+                .add(TimeCategory::LaunchOverhead, timing.overhead);
+            c.breakdown
+                .add(TimeCategory::KernelBody, timing.total() - timing.overhead);
             c.transactions += tx;
             c.mem_bytes += bytes;
             c.flops += cost.flops;
@@ -243,12 +402,20 @@ impl Gpu {
             let rem = flat % (g.x as u64 * g.y as u64);
             let by = (rem / g.x as u64) as u32;
             let bx = (rem % g.x as u64) as u32;
-            let block_idx = Dim3 { x: bx, y: by, z: bz };
+            let block_idx = Dim3 {
+                x: bx,
+                y: by,
+                z: bz,
+            };
             for tz in 0..b.z {
                 for ty in 0..b.y {
                     for tx in 0..b.x {
                         let ctx = ThreadCtx {
-                            thread_idx: Dim3 { x: tx, y: ty, z: tz },
+                            thread_idx: Dim3 {
+                                x: tx,
+                                y: ty,
+                                z: tz,
+                            },
                             block_idx,
                             block_dim: b,
                             grid_dim: g,
@@ -338,11 +505,30 @@ mod tests {
         let mut a = gpu.alloc(n, 0.0f32);
         let mut b = gpu.alloc(n, 0.0f32);
         let mut out = gpu.alloc(n, 0.0f32);
-        gpu.launch(LaunchConfig::for_elems(n, 256), &Fill { out: a.view_mut(), val: 2.0, n });
-        gpu.launch(LaunchConfig::for_elems(n, 256), &Fill { out: b.view_mut(), val: 3.0, n });
         gpu.launch(
             LaunchConfig::for_elems(n, 256),
-            &Add { a: a.view(), b: b.view(), out: out.view_mut(), n },
+            &Fill {
+                out: a.view_mut(),
+                val: 2.0,
+                n,
+            },
+        );
+        gpu.launch(
+            LaunchConfig::for_elems(n, 256),
+            &Fill {
+                out: b.view_mut(),
+                val: 3.0,
+                n,
+            },
+        );
+        gpu.launch(
+            LaunchConfig::for_elems(n, 256),
+            &Add {
+                a: a.view(),
+                b: b.view(),
+                out: out.view_mut(),
+                n,
+            },
         );
         let host = gpu.dtoh(&out);
         assert!(host.iter().all(|&x| x == 5.0));
@@ -367,7 +553,12 @@ mod tests {
             let mut out = gpu.alloc(n, 0.0f32);
             gpu.launch(
                 LaunchConfig::for_elems(n, 128),
-                &Add { a: a.view(), b: b.view(), out: out.view_mut(), n },
+                &Add {
+                    a: a.view(),
+                    b: b.view(),
+                    out: out.view_mut(),
+                    n,
+                },
             );
             outputs.push(gpu.dtoh(&out));
         }
@@ -414,6 +605,114 @@ mod tests {
         let gpu = Gpu::new(DeviceSpec::gtx280());
         // 2 GiB of f32 on a 1 GiB card.
         let _ = gpu.alloc(1 << 29, 0.0f32);
+    }
+
+    #[test]
+    fn armed_plan_injects_into_try_api() {
+        use crate::fault::FaultConfig;
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut cfg = FaultConfig::off(1);
+        cfg.kernel_fault = 1.0;
+        gpu.set_fault_plan(FaultPlan::new(cfg));
+        let mut out = gpu.try_alloc(16, 0.0f32).expect("allocs not targeted");
+        let before = gpu.counters();
+        let err = gpu
+            .try_launch(
+                LaunchConfig::for_elems(16, 16),
+                &Fill {
+                    out: out.view_mut(),
+                    val: 1.0,
+                    n: 16,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, DeviceError::KernelFault { kernel: "fill" });
+        // A faulted launch charges nothing and runs no threads.
+        let after = gpu.counters();
+        assert_eq!(after.kernels_launched, before.kernels_launched);
+        assert_eq!(after.elapsed, before.elapsed);
+        assert!(gpu.dtoh(&out).iter().all(|&x| x == 0.0));
+        assert_eq!(gpu.fault_counts().kernel_faults, 1);
+    }
+
+    #[test]
+    fn injected_oom_reports_real_numbers() {
+        use crate::fault::FaultConfig;
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let _held = gpu.alloc(256, 0.0f32); // 1 KiB genuinely allocated
+        let mut cfg = FaultConfig::off(2);
+        cfg.alloc_oom = 1.0;
+        gpu.set_fault_plan(FaultPlan::new(cfg));
+        match gpu.try_alloc(16, 0.0f32).map(|_| ()) {
+            Err(DeviceError::Oom {
+                requested,
+                allocated,
+                capacity,
+            }) => {
+                assert_eq!(requested, 64);
+                assert_eq!(allocated, 1024);
+                assert_eq!(capacity, gpu.spec().memory_capacity);
+            }
+            other => panic!("expected injected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_raises_flag_but_launch_succeeds() {
+        use crate::fault::FaultConfig;
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut cfg = FaultConfig::off(3);
+        cfg.kernel_corrupt = 1.0;
+        gpu.set_fault_plan(FaultPlan::new(cfg));
+        let mut out = gpu.try_alloc(8, 0.0f32).unwrap();
+        gpu.try_launch(
+            LaunchConfig::for_elems(8, 8),
+            &Fill {
+                out: out.view_mut(),
+                val: 7.0,
+                n: 8,
+            },
+        )
+        .expect("corruption is silent, not a launch failure");
+        assert!(gpu.take_corruption());
+        assert!(!gpu.take_corruption(), "flag is poll-and-clear");
+        // The kernel really ran; it is the *library layer's* job to poison.
+        assert!(gpu.dtoh(&out).iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "launch failure")]
+    fn infallible_launch_panics_on_injected_fault() {
+        use crate::fault::FaultConfig;
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut cfg = FaultConfig::off(4);
+        cfg.kernel_fault = 1.0;
+        gpu.set_fault_plan(FaultPlan::new(cfg));
+        let mut out = gpu.alloc(8, 0.0f32);
+        gpu.launch(
+            LaunchConfig::for_elems(8, 8),
+            &Fill {
+                out: out.view_mut(),
+                val: 1.0,
+                n: 8,
+            },
+        );
+    }
+
+    #[test]
+    fn htod_timeout_releases_reservation() {
+        use crate::fault::FaultConfig;
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut cfg = FaultConfig::off(5);
+        cfg.transfer_timeout = 1.0;
+        gpu.set_fault_plan(FaultPlan::new(cfg));
+        let err = gpu.try_htod(&[1.0f32; 64]).map(|_| ()).unwrap_err();
+        assert_eq!(err, DeviceError::TransferTimeout { bytes: 256 });
+        gpu.clear_fault_plan();
+        // The failed upload must not leak accounting.
+        assert_eq!(gpu.counters().allocated_bytes, 0);
+        let _ok = gpu.htod(&[1.0f32; 64]);
+        assert_eq!(gpu.counters().allocated_bytes, 256);
     }
 
     #[test]

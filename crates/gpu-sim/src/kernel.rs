@@ -86,7 +86,10 @@ pub struct KernelCost {
 impl KernelCost {
     /// Empty cost (zero everything, divergence 1.0).
     pub fn new() -> Self {
-        KernelCost { divergence: 1.0, ..Default::default() }
+        KernelCost {
+            divergence: 1.0,
+            ..Default::default()
+        }
     }
 
     /// Set total FLOPs for the launch.

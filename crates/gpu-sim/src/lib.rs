@@ -64,6 +64,7 @@ pub mod counters;
 pub mod device;
 pub mod dim;
 pub mod exec;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod stream;
@@ -74,6 +75,7 @@ pub use counters::{Counters, TimeBreakdown, TimeCategory};
 pub use device::DeviceSpec;
 pub use dim::{Dim3, LaunchConfig};
 pub use exec::{ExecMode, Gpu};
+pub use fault::{DeviceError, FaultConfig, FaultCounts, FaultPlan};
 pub use kernel::{Kernel, KernelCost, ThreadCtx};
 pub use memory::{DView, DViewMut, DeviceBuffer, Pod};
 pub use stream::Stream;

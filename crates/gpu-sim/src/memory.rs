@@ -215,7 +215,11 @@ impl<T: Pod> DView<T> {
     /// kinder than the real hardware).
     #[inline]
     pub fn get(&self, i: usize) -> T {
-        assert!(i < self.len, "device read out of bounds: {i} >= {}", self.len);
+        assert!(
+            i < self.len,
+            "device read out of bounds: {i} >= {}",
+            self.len
+        );
         // SAFETY: bounds checked above; readers never race with writers in a
         // well-formed kernel (CUDA contract).
         unsafe { *self.ptr.add(i) }
@@ -275,7 +279,11 @@ impl<T: Pod> DViewMut<T> {
     /// Load element `i`.
     #[inline]
     pub fn get(&self, i: usize) -> T {
-        assert!(i < self.len, "device read out of bounds: {i} >= {}", self.len);
+        assert!(
+            i < self.len,
+            "device read out of bounds: {i} >= {}",
+            self.len
+        );
         // SAFETY: bounds checked; race freedom is the kernel contract.
         unsafe { *self.ptr.add(i) }
     }
@@ -283,14 +291,22 @@ impl<T: Pod> DViewMut<T> {
     /// Store `x` into element `i`.
     #[inline]
     pub fn set(&self, i: usize, x: T) {
-        assert!(i < self.len, "device write out of bounds: {i} >= {}", self.len);
+        assert!(
+            i < self.len,
+            "device write out of bounds: {i} >= {}",
+            self.len
+        );
         // SAFETY: bounds checked; race freedom is the kernel contract.
         unsafe { *self.ptr.add(i) = x };
     }
 
     /// Downgrade to a read-only view.
     pub fn as_view(&self) -> DView<T> {
-        DView { ptr: self.ptr, len: self.len, _marker: PhantomData }
+        DView {
+            ptr: self.ptr,
+            len: self.len,
+            _marker: PhantomData,
+        }
     }
 
     /// Narrow the view to `len` elements starting at `offset`.

@@ -44,9 +44,16 @@ pub struct Stream {
 impl Stream {
     /// Open a stream on `device`.
     pub fn on(device: &Arc<Gpu>) -> Self {
-        let local =
-            Gpu::with_shared_tracker(device.spec().clone(), device.mode(), device.tracker_handle());
-        Stream { local, parent: Arc::clone(device), retired: false }
+        let local = Gpu::with_shared_tracker(
+            device.spec().clone(),
+            device.mode(),
+            device.tracker_handle(),
+        );
+        Stream {
+            local,
+            parent: Arc::clone(device),
+            retired: false,
+        }
     }
 
     /// The parent device this stream executes on.
@@ -84,7 +91,18 @@ impl Deref for Stream {
 
 impl Drop for Stream {
     fn drop(&mut self) {
-        self.retire_in_place();
+        if std::thread::panicking() {
+            // Dropped during an unwind (a solve on this stream panicked): a
+            // second panic here — e.g. the parent poisoned mid-retire —
+            // would abort the whole process and take every other in-flight
+            // job with it. Retire best-effort instead; the batch scheduler
+            // still reports the job as `Panicked`.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.retire_in_place();
+            }));
+        } else {
+            self.retire_in_place();
+        }
     }
 }
 
@@ -123,7 +141,14 @@ mod tests {
 
     fn run_workload(gpu: &Gpu, n: usize, k: f32) -> Vec<f32> {
         let mut buf = gpu.htod(&vec![1.0f32; n]);
-        gpu.launch(LaunchConfig::for_elems(n, 128), &Scale { data: buf.view_mut(), k, n });
+        gpu.launch(
+            LaunchConfig::for_elems(n, 128),
+            &Scale {
+                data: buf.view_mut(),
+                k,
+                n,
+            },
+        );
         gpu.dtoh(&buf)
     }
 
@@ -164,8 +189,22 @@ mod tests {
         // Interleave: s1 upload, s2 upload, s1 kernel, s2 kernel, ...
         let mut b1 = s1.htod(&vec![1.0f32; 512]);
         let mut b2 = s2.htod(&vec![1.0f32; 512]);
-        s1.launch(LaunchConfig::for_elems(512, 128), &Scale { data: b1.view_mut(), k: 2.0, n: 512 });
-        s2.launch(LaunchConfig::for_elems(512, 128), &Scale { data: b2.view_mut(), k: 2.0, n: 512 });
+        s1.launch(
+            LaunchConfig::for_elems(512, 128),
+            &Scale {
+                data: b1.view_mut(),
+                k: 2.0,
+                n: 512,
+            },
+        );
+        s2.launch(
+            LaunchConfig::for_elems(512, 128),
+            &Scale {
+                data: b2.view_mut(),
+                k: 2.0,
+                n: 512,
+            },
+        );
         let _ = s1.dtoh(&b1);
         let _ = s2.dtoh(&b2);
 
@@ -214,7 +253,55 @@ mod tests {
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _c = s1.alloc(3 * quarter, 0.0f32);
         }));
-        assert!(r.is_err(), "shared capacity must be enforced across streams");
+        assert!(
+            r.is_err(),
+            "shared capacity must be enforced across streams"
+        );
+    }
+
+    #[test]
+    fn fault_plan_is_stream_local() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let shared = Arc::new(Gpu::new(DeviceSpec::gtx280()));
+        let s1 = Stream::on(&shared);
+        let s2 = Stream::on(&shared);
+        let mut cfg = FaultConfig::off(1);
+        cfg.kernel_fault = 1.0;
+        s1.set_fault_plan(FaultPlan::new(cfg));
+        // s1 faults; s2 (and the parent device) are unaffected.
+        let mut b1 = s1.htod(&vec![1.0f32; 64]);
+        assert!(s1
+            .try_launch(
+                LaunchConfig::for_elems(64, 64),
+                &Scale {
+                    data: b1.view_mut(),
+                    k: 2.0,
+                    n: 64
+                }
+            )
+            .is_err());
+        let _ = run_workload(&s2, 64, 2.0);
+        assert_eq!(s2.fault_counts().total(), 0);
+        assert_eq!(shared.fault_counts().total(), 0);
+    }
+
+    #[test]
+    fn drop_during_unwind_still_retires_without_abort() {
+        // A panic mid-solve unwinds through a live Stream. The Drop impl
+        // must retire it best-effort without risking a double panic.
+        let shared = Arc::new(Gpu::new(DeviceSpec::gtx280()));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let s = Stream::on(&shared);
+            let _ = run_workload(&s, 128, 2.0);
+            panic!("solver blew up mid-stream");
+        }));
+        assert!(r.is_err());
+        let agg = shared.counters();
+        assert_eq!(
+            agg.streams_retired, 1,
+            "in-flight stream folds in on unwind"
+        );
+        assert!(agg.kernels_launched > 0);
     }
 
     #[test]

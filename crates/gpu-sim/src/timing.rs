@@ -76,14 +76,18 @@ impl SimTime {
 
     /// Pointwise maximum.
     pub fn max(self, other: SimTime) -> SimTime {
-        SimTime { ns: self.ns.max(other.ns) }
+        SimTime {
+            ns: self.ns.max(other.ns),
+        }
     }
 }
 
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime { ns: self.ns + rhs.ns }
+        SimTime {
+            ns: self.ns + rhs.ns,
+        }
     }
 }
 
@@ -96,7 +100,9 @@ impl AddAssign for SimTime {
 impl Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime { ns: (self.ns - rhs.ns).max(0.0) }
+        SimTime {
+            ns: (self.ns - rhs.ns).max(0.0),
+        }
     }
 }
 
@@ -166,12 +172,15 @@ pub fn kernel_timing(spec: &DeviceSpec, cfg: &LaunchConfig, cost: &KernelCost) -
     let overhead = SimTime::from_ns(spec.launch_overhead_ns);
 
     // --- compute bound -----------------------------------------------------
-    let fp64_scale = if cost.fp64 { spec.fp64_throughput_ratio } else { 1.0 };
+    let fp64_scale = if cost.fp64 {
+        spec.fp64_throughput_ratio
+    } else {
+        1.0
+    };
     let eff_ops = spec.peak_flops() * spec.compute_efficiency;
     let fp_time = cost.flops as f64 * cost.divergence / (eff_ops * fp64_scale);
     // Integer/control ops retire one per core-cycle.
-    let int_rate =
-        spec.total_cores() as f64 * spec.clock_hz() * spec.compute_efficiency;
+    let int_rate = spec.total_cores() as f64 * spec.clock_hz() * spec.compute_efficiency;
     let int_time = cost.int_ops as f64 * cost.divergence / int_rate;
     // Shared-memory ops: ~1 per core-cycle as well (bank-conflict free).
     let smem_time = cost.smem_accesses as f64 / int_rate;
@@ -198,7 +207,12 @@ pub fn kernel_timing(spec: &DeviceSpec, cfg: &LaunchConfig, cost: &KernelCost) -
         instr_per_sm * spec.mem_latency_cycles / spec.clock_hz() / resident as f64,
     );
 
-    LaunchTiming { overhead, compute, bandwidth, latency }
+    LaunchTiming {
+        overhead,
+        compute,
+        bandwidth,
+        latency,
+    }
 }
 
 /// Simulated time of a host↔device transfer of `bytes`.
@@ -277,7 +291,9 @@ mod tests {
     #[test]
     fn fp64_flops_are_eight_times_slower_on_gt200() {
         let cfg = LaunchConfig::for_elems(1 << 20, 256);
-        let c32 = KernelCost::new().flops_total(1 << 30).active_threads(&cfg, 1 << 20);
+        let c32 = KernelCost::new()
+            .flops_total(1 << 30)
+            .active_threads(&cfg, 1 << 20);
         let mut c64 = c32.clone();
         c64.fp64 = true;
         let t32 = kernel_timing(&spec(), &cfg, &c32).compute;
@@ -288,7 +304,9 @@ mod tests {
     #[test]
     fn divergence_scales_compute() {
         let cfg = LaunchConfig::for_elems(1 << 20, 256);
-        let base = KernelCost::new().flops_total(1 << 30).active_threads(&cfg, 1 << 20);
+        let base = KernelCost::new()
+            .flops_total(1 << 30)
+            .active_threads(&cfg, 1 << 20);
         let div = base.clone().divergence(2.0);
         let t1 = kernel_timing(&spec(), &cfg, &base).compute;
         let t2 = kernel_timing(&spec(), &cfg, &div).compute;

@@ -19,7 +19,10 @@ struct Rows<T> {
 
 impl<T: Scalar> Rows<T> {
     fn from_dense(a: &DenseMatrix<T>) -> Self {
-        Rows { n: a.cols(), data: a.to_row_major() }
+        Rows {
+            n: a.cols(),
+            data: a.to_row_major(),
+        }
     }
 
     fn identity(n: usize) -> Self {
@@ -216,7 +219,11 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((prod.get(i, j) - expect).abs() < 1e-12, "({i},{j}) = {}", prod.get(i, j));
+                assert!(
+                    (prod.get(i, j) - expect).abs() < 1e-12,
+                    "({i},{j}) = {}",
+                    prod.get(i, j)
+                );
             }
         }
     }

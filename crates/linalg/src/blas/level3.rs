@@ -50,7 +50,10 @@ mod tests {
         let b = DenseMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
         let mut c = DenseMatrix::zeros(2, 2);
         gemm(1.0, &a, &b, 0.0, &mut c);
-        assert_eq!(c, DenseMatrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+        assert_eq!(
+            c,
+            DenseMatrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]])
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct DenseMatrix<T: Scalar> {
 impl<T: Scalar> DenseMatrix<T> {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![T::ZERO; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.

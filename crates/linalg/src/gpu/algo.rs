@@ -6,8 +6,12 @@
 //! full — they are a real part of why small LPs run faster on the CPU
 //! (experiment F3).
 
-use gpu_sim::{AccessPattern, DView, DViewMut, DeviceBuffer, Gpu, Kernel, KernelCost, LaunchConfig, ThreadCtx};
+use gpu_sim::{
+    AccessPattern, DView, DViewMut, DeviceBuffer, DeviceError, Gpu, Kernel, KernelCost,
+    LaunchConfig, ThreadCtx,
+};
 
+use super::blas::poison_if_corrupted;
 use crate::scalar::Scalar;
 
 /// Elements reduced per modeled thread block (256 threads × 2 loads).
@@ -82,9 +86,14 @@ impl<T: Scalar> Kernel for ReducePassK<T> {
 }
 
 /// Tree-reduce a device vector; deterministic combine order.
-pub fn reduce<T: Scalar>(gpu: &Gpu, input: DView<T>, n: usize, op: ReduceOp) -> T {
+pub fn reduce<T: Scalar>(
+    gpu: &Gpu,
+    input: DView<T>,
+    n: usize,
+    op: ReduceOp,
+) -> Result<T, DeviceError> {
     if n == 0 {
-        return op.identity();
+        return Ok(op.identity());
     }
     // First pass reads the caller's view; subsequent passes ping-pong
     // between scratch buffers we keep alive in `stages`.
@@ -93,17 +102,23 @@ pub fn reduce<T: Scalar>(gpu: &Gpu, input: DView<T>, n: usize, op: ReduceOp) -> 
     let mut cur_view = input;
     while cur_len > 1 {
         let out_len = cur_len.div_ceil(REDUCE_CHUNK);
-        let mut out = gpu.alloc(out_len, op.identity::<T>());
-        gpu.launch(
+        let mut out = gpu.try_alloc(out_len, op.identity::<T>())?;
+        gpu.try_launch(
             LaunchConfig::for_elems(out_len, 128),
-            &ReducePassK { input: cur_view, n: cur_len, out: out.view_mut(), op },
-        );
+            &ReducePassK {
+                input: cur_view,
+                n: cur_len,
+                out: out.view_mut(),
+                op,
+            },
+        )?;
+        poison_if_corrupted(gpu, &out.view_mut());
         stages.push(out);
         cur_len = out_len;
         cur_view = stages.last().expect("stage just pushed").view();
     }
     match stages.last() {
-        Some(buf) => gpu.dtoh_range(buf, 0, 1)[0],
+        Some(buf) => Ok(gpu.try_dtoh_range(buf, 0, 1)?[0]),
         // n == 1: read the single element straight from the caller's view.
         None => {
             // Charge the same tiny transfer a real implementation would pay.
@@ -112,7 +127,7 @@ pub fn reduce<T: Scalar>(gpu: &Gpu, input: DView<T>, n: usize, op: ReduceOp) -> 
                 gpu_sim::TimeCategory::TransferD2H,
                 gpu_sim::timing::transfer_time(gpu.spec(), T::BYTES),
             );
-            host
+            Ok(host)
         }
     }
 }
@@ -132,7 +147,11 @@ impl<T: Scalar> Kernel for MapEqIdxK<T> {
     fn run(&self, t: &ThreadCtx) {
         let i = t.global_id();
         if i < self.n {
-            let v = if self.vals.get(i) == self.target { i as u32 } else { u32::MAX };
+            let v = if self.vals.get(i) == self.target {
+                i as u32
+            } else {
+                u32::MAX
+            };
             self.out.set(i, v);
         }
     }
@@ -183,34 +202,50 @@ impl Kernel for ReduceU32MinPassK {
     }
 }
 
+/// Overwrite a u32 buffer with `u32::MAX` if the device flagged an injected
+/// corruption — the integer analogue of the NaN poison (an all-MAX index
+/// vector means "nothing found", which upstream code treats as suspect).
+fn poison_u32_if_corrupted(gpu: &Gpu, out: &DViewMut<u32>) {
+    if gpu.take_corruption() {
+        for i in 0..out.len() {
+            out.set(i, u32::MAX);
+        }
+    }
+}
+
 /// Tree-reduce a device u32 vector to its minimum.
-pub fn reduce_u32_min(gpu: &Gpu, input: DView<u32>, n: usize) -> u32 {
+pub fn reduce_u32_min(gpu: &Gpu, input: DView<u32>, n: usize) -> Result<u32, DeviceError> {
     if n == 0 {
-        return u32::MAX;
+        return Ok(u32::MAX);
     }
     let mut stages: Vec<DeviceBuffer<u32>> = Vec::new();
     let mut cur_len = n;
     let mut cur_view = input;
     while cur_len > 1 {
         let out_len = cur_len.div_ceil(REDUCE_CHUNK);
-        let mut out = gpu.alloc(out_len, u32::MAX);
-        gpu.launch(
+        let mut out = gpu.try_alloc(out_len, u32::MAX)?;
+        gpu.try_launch(
             LaunchConfig::for_elems(out_len, 128),
-            &ReduceU32MinPassK { input: cur_view, n: cur_len, out: out.view_mut() },
-        );
+            &ReduceU32MinPassK {
+                input: cur_view,
+                n: cur_len,
+                out: out.view_mut(),
+            },
+        )?;
+        poison_u32_if_corrupted(gpu, &out.view_mut());
         stages.push(out);
         cur_len = out_len;
         cur_view = stages.last().expect("stage just pushed").view();
     }
     match stages.last() {
-        Some(buf) => gpu.dtoh_range(buf, 0, 1)[0],
+        Some(buf) => Ok(gpu.try_dtoh_range(buf, 0, 1)?[0]),
         None => {
             let host = cur_view.as_slice()[0];
             gpu.charge(
                 gpu_sim::TimeCategory::TransferD2H,
                 gpu_sim::timing::transfer_time(gpu.spec(), 4),
             );
-            host
+            Ok(host)
         }
     }
 }
@@ -218,16 +253,22 @@ pub fn reduce_u32_min(gpu: &Gpu, input: DView<u32>, n: usize) -> u32 {
 /// Index and value of the minimum element; ties resolved to the smallest
 /// index (Bland-compatible determinism). Three stages, as 2009 code did it:
 /// value min-reduce, equality map, index min-reduce.
-pub fn argmin<T: Scalar>(gpu: &Gpu, vals: DView<T>, n: usize) -> (T, u32) {
+pub fn argmin<T: Scalar>(gpu: &Gpu, vals: DView<T>, n: usize) -> Result<(T, u32), DeviceError> {
     assert!(n > 0, "argmin of an empty vector");
-    let minv = reduce(gpu, vals, n, ReduceOp::Min);
-    let mut idx = gpu.alloc(n, u32::MAX);
-    gpu.launch(
+    let minv = reduce(gpu, vals, n, ReduceOp::Min)?;
+    let mut idx = gpu.try_alloc(n, u32::MAX)?;
+    gpu.try_launch(
         LaunchConfig::for_elems(n, 128),
-        &MapEqIdxK { vals, target: minv, out: idx.view_mut(), n },
-    );
-    let i = reduce_u32_min(gpu, idx.view(), n);
-    (minv, i)
+        &MapEqIdxK {
+            vals,
+            target: minv,
+            out: idx.view_mut(),
+            n,
+        },
+    )?;
+    poison_u32_if_corrupted(gpu, &idx.view_mut());
+    let i = reduce_u32_min(gpu, idx.view(), n)?;
+    Ok((minv, i))
 }
 
 #[cfg(test)]
@@ -244,7 +285,7 @@ mod tests {
         let g = gpu();
         let host: Vec<f64> = (1..=2000).map(|i| i as f64).collect();
         let d = g.htod(&host);
-        let s = reduce(&g, d.view(), host.len(), ReduceOp::Sum);
+        let s = reduce(&g, d.view(), host.len(), ReduceOp::Sum).unwrap();
         assert_eq!(s, 2000.0 * 2001.0 / 2.0);
     }
 
@@ -253,8 +294,8 @@ mod tests {
         let g = gpu();
         let host = vec![3.0f32, -7.5, 2.0, 9.0, -1.0];
         let d = g.htod(&host);
-        assert_eq!(reduce(&g, d.view(), 5, ReduceOp::Min), -7.5);
-        assert_eq!(reduce(&g, d.view(), 5, ReduceOp::Max), 9.0);
+        assert_eq!(reduce(&g, d.view(), 5, ReduceOp::Min).unwrap(), -7.5);
+        assert_eq!(reduce(&g, d.view(), 5, ReduceOp::Max).unwrap(), 9.0);
     }
 
     #[test]
@@ -264,7 +305,7 @@ mod tests {
         let n = REDUCE_CHUNK * REDUCE_CHUNK + 17;
         let host = vec![1.0f32; n];
         let d = g.htod(&host);
-        let s = reduce(&g, d.view(), n, ReduceOp::Sum);
+        let s = reduce(&g, d.view(), n, ReduceOp::Sum).unwrap();
         assert_eq!(s, n as f32);
     }
 
@@ -272,8 +313,11 @@ mod tests {
     fn reduce_singleton_and_empty() {
         let g = gpu();
         let d = g.htod(&[42.0f64]);
-        assert_eq!(reduce(&g, d.view(), 1, ReduceOp::Sum), 42.0);
-        assert_eq!(reduce::<f64>(&g, d.view(), 0, ReduceOp::Min), f64::INFINITY);
+        assert_eq!(reduce(&g, d.view(), 1, ReduceOp::Sum).unwrap(), 42.0);
+        assert_eq!(
+            reduce::<f64>(&g, d.view(), 0, ReduceOp::Min).unwrap(),
+            f64::INFINITY
+        );
     }
 
     #[test]
@@ -281,7 +325,7 @@ mod tests {
         let g = gpu();
         let host = vec![5.0f32, -2.0, 7.0, -2.0, 1.0];
         let d = g.htod(&host);
-        let (v, i) = argmin(&g, d.view(), 5);
+        let (v, i) = argmin(&g, d.view(), 5).unwrap();
         assert_eq!(v, -2.0);
         assert_eq!(i, 1);
     }
@@ -292,7 +336,7 @@ mod tests {
         let n = 10_000;
         let host: Vec<f64> = (0..n).map(|i| ((i * 7919) % 1000) as f64).collect();
         let d = g.htod(&host);
-        let (v, i) = argmin(&g, d.view(), n);
+        let (v, i) = argmin(&g, d.view(), n).unwrap();
         let (hi, hv) = host
             .iter()
             .enumerate()
@@ -309,7 +353,7 @@ mod tests {
         let host = vec![1.0f32; 4096];
         let d = g.htod(&host);
         g.reset_counters();
-        let _ = reduce(&g, d.view(), 4096, ReduceOp::Sum);
+        let _ = reduce(&g, d.view(), 4096, ReduceOp::Sum).unwrap();
         let c = g.counters();
         assert_eq!(c.kernels_launched, 2); // 4096 → 8 → 1
         assert_eq!(c.d2h_count, 1);

@@ -1,7 +1,15 @@
 //! Host-callable wrappers around the simublas kernels — the CUBLAS-shaped
 //! API surface the solver backends program against.
+//!
+//! Every wrapper is fallible: a device with an armed
+//! [`gpu_sim::FaultPlan`] can reject any launch or transfer with a
+//! [`DeviceError`], and injected *silent corruption* is realized here — a
+//! corrupted launch completes, then the wrapper poisons its output with
+//! NaN (see [`poison_if_corrupted`]), exactly the failure only numerical
+//! detection upstream can catch. On a fault-free device the `Result` is
+//! always `Ok`, so infallible callers simply `expect`.
 
-use gpu_sim::{DView, DViewMut, Gpu, LaunchConfig};
+use gpu_sim::{DView, DViewMut, DeviceError, Gpu, LaunchConfig};
 
 use super::algo::{reduce, ReduceOp};
 use super::kernels::{
@@ -14,42 +22,73 @@ use crate::scalar::Scalar;
 /// Default block size for elementwise launches.
 const BLOCK: u32 = 128;
 
+/// If the device flagged an injected corruption, overwrite `out` with NaN.
+///
+/// Host-side poke through the view, charging nothing: this *models* the
+/// kernel having written garbage, it is not extra work the device did.
+pub(crate) fn poison_if_corrupted<T: Scalar>(gpu: &Gpu, out: &DViewMut<T>) {
+    if gpu.take_corruption() {
+        let nan = T::from_f64(f64::NAN);
+        for i in 0..out.len() {
+            out.set(i, nan);
+        }
+    }
+}
+
 /// `x[i] = val` for all `i`.
-pub fn fill<T: Scalar>(gpu: &Gpu, x: DViewMut<T>, val: T) {
+pub fn fill<T: Scalar>(gpu: &Gpu, x: DViewMut<T>, val: T) -> Result<(), DeviceError> {
     let n = x.len();
-    gpu.launch(LaunchConfig::for_elems(n, BLOCK), &FillK { out: x, val, n });
+    gpu.try_launch(LaunchConfig::for_elems(n, BLOCK), &FillK { out: x, val, n })?;
+    Ok(())
 }
 
 /// `x ← αx`.
-pub fn scal<T: Scalar>(gpu: &Gpu, alpha: T, x: DViewMut<T>) {
+pub fn scal<T: Scalar>(gpu: &Gpu, alpha: T, x: DViewMut<T>) -> Result<(), DeviceError> {
     let n = x.len();
-    gpu.launch(LaunchConfig::for_elems(n, BLOCK), &ScalK { x, alpha, n });
+    gpu.try_launch(LaunchConfig::for_elems(n, BLOCK), &ScalK { x, alpha, n })?;
+    Ok(())
 }
 
 /// `y ← αx + y`.
-pub fn axpy<T: Scalar>(gpu: &Gpu, alpha: T, x: DView<T>, y: DViewMut<T>) {
+pub fn axpy<T: Scalar>(
+    gpu: &Gpu,
+    alpha: T,
+    x: DView<T>,
+    y: DViewMut<T>,
+) -> Result<(), DeviceError> {
     let n = x.len();
     assert_eq!(n, y.len(), "axpy: length mismatch");
-    gpu.launch(LaunchConfig::for_elems(n, BLOCK), &AxpyK { alpha, x, y, n });
+    gpu.try_launch(LaunchConfig::for_elems(n, BLOCK), &AxpyK { alpha, x, y, n })?;
+    Ok(())
 }
 
 /// `dst ← src`.
-pub fn copy<T: Scalar>(gpu: &Gpu, src: DView<T>, dst: DViewMut<T>) {
+pub fn copy<T: Scalar>(gpu: &Gpu, src: DView<T>, dst: DViewMut<T>) -> Result<(), DeviceError> {
     let n = src.len();
     assert_eq!(n, dst.len(), "copy: length mismatch");
-    gpu.launch(LaunchConfig::for_elems(n, BLOCK), &CopyK { src, dst, n });
+    gpu.try_launch(LaunchConfig::for_elems(n, BLOCK), &CopyK { src, dst, n })?;
+    Ok(())
 }
 
 /// Device dot product `xᵀy` (elementwise multiply + tree reduction; the
 /// result crosses PCIe, as a 2009 `cublasSdot` result did).
-pub fn dot<T: Scalar>(gpu: &Gpu, x: DView<T>, y: DView<T>) -> T {
+pub fn dot<T: Scalar>(gpu: &Gpu, x: DView<T>, y: DView<T>) -> Result<T, DeviceError> {
     let n = x.len();
     assert_eq!(n, y.len(), "dot: length mismatch");
     if n == 0 {
-        return T::ZERO;
+        return Ok(T::ZERO);
     }
-    let mut prod = gpu.alloc(n, T::ZERO);
-    gpu.launch(LaunchConfig::for_elems(n, BLOCK), &MulEwK { x, y, out: prod.view_mut(), n });
+    let mut prod = gpu.try_alloc(n, T::ZERO)?;
+    gpu.try_launch(
+        LaunchConfig::for_elems(n, BLOCK),
+        &MulEwK {
+            x,
+            y,
+            out: prod.view_mut(),
+            n,
+        },
+    )?;
+    poison_if_corrupted(gpu, &prod.view_mut());
     reduce(gpu, prod.view(), n, ReduceOp::Sum)
 }
 
@@ -61,9 +100,10 @@ pub fn gemv_n<T: Scalar>(
     x: DView<T>,
     beta: T,
     y: DViewMut<T>,
-) {
+) -> Result<(), DeviceError> {
     assert_eq!(a.cols(), x.len(), "gemv_n: x length mismatch");
     assert_eq!(a.rows(), y.len(), "gemv_n: y length mismatch");
+    let out = y;
     let kernel = GemvNK {
         a: a.view(),
         layout: a.layout(),
@@ -76,7 +116,9 @@ pub fn gemv_n<T: Scalar>(
     };
     // Functional geometry: single sweep (see module docs); modeled geometry
     // (one thread per row) is declared in the kernel's cost descriptor.
-    gpu.launch(LaunchConfig::for_elems(a.rows(), BLOCK), &kernel);
+    gpu.try_launch(LaunchConfig::for_elems(a.rows(), BLOCK), &kernel)?;
+    poison_if_corrupted(gpu, &out);
+    Ok(())
 }
 
 /// Strategy for the transposed matrix-vector product.
@@ -98,9 +140,10 @@ pub fn gemv_t<T: Scalar>(
     beta: T,
     y: DViewMut<T>,
     strategy: GemvTStrategy,
-) {
+) -> Result<(), DeviceError> {
     assert_eq!(a.rows(), x.len(), "gemv_t: x length mismatch");
     assert_eq!(a.cols(), y.len(), "gemv_t: y length mismatch");
+    let out = y;
     match strategy {
         GemvTStrategy::Naive => {
             let kernel = GemvTNaiveK {
@@ -113,7 +156,7 @@ pub fn gemv_t<T: Scalar>(
                 beta,
                 y,
             };
-            gpu.launch(LaunchConfig::for_elems(a.cols(), BLOCK), &kernel);
+            gpu.try_launch(LaunchConfig::for_elems(a.cols(), BLOCK), &kernel)?;
         }
         GemvTStrategy::TwoPass => {
             assert_eq!(
@@ -122,8 +165,8 @@ pub fn gemv_t<T: Scalar>(
                 "two-pass gemv_t requires col-major storage"
             );
             let strips = GEMV_T_STRIPS;
-            let mut partials = gpu.alloc(a.cols() * strips, T::ZERO);
-            gpu.launch(
+            let mut partials = gpu.try_alloc(a.cols() * strips, T::ZERO)?;
+            gpu.try_launch(
                 LaunchConfig::for_elems(a.cols() * strips, BLOCK),
                 &GemvTPass1K {
                     a: a.view(),
@@ -132,13 +175,22 @@ pub fn gemv_t<T: Scalar>(
                     x,
                     partials: partials.view_mut(),
                 },
-            );
-            gpu.launch(
+            )?;
+            poison_if_corrupted(gpu, &partials.view_mut());
+            gpu.try_launch(
                 LaunchConfig::for_elems(a.cols(), BLOCK),
-                &GemvTPass2K { partials: partials.view(), n: a.cols(), alpha, beta, y },
-            );
+                &GemvTPass2K {
+                    partials: partials.view(),
+                    n: a.cols(),
+                    alpha,
+                    beta,
+                    y,
+                },
+            )?;
         }
     }
+    poison_if_corrupted(gpu, &out);
+    Ok(())
 }
 
 /// `y ← αA[:, start..start+len]ᵀ x + βy` — transposed gemv over a
@@ -158,16 +210,21 @@ pub fn gemv_t_cols<T: Scalar>(
     beta: T,
     y: DViewMut<T>,
     strategy: GemvTStrategy,
-) {
-    assert_eq!(a.layout(), Layout::ColMajor, "gemv_t_cols requires col-major storage");
+) -> Result<(), DeviceError> {
+    assert_eq!(
+        a.layout(),
+        Layout::ColMajor,
+        "gemv_t_cols requires col-major storage"
+    );
     assert!(start + len <= a.cols(), "column window out of range");
     assert_eq!(a.rows(), x.len(), "gemv_t_cols: x length mismatch");
     assert_eq!(len, y.len(), "gemv_t_cols: y length mismatch");
     let m = a.rows();
     let block = a.view().subview(start * m, len * m);
+    let out = y;
     match strategy {
         GemvTStrategy::Naive => {
-            gpu.launch(
+            gpu.try_launch(
                 LaunchConfig::for_elems(len, BLOCK),
                 &GemvTNaiveK {
                     a: block,
@@ -179,25 +236,46 @@ pub fn gemv_t_cols<T: Scalar>(
                     beta,
                     y,
                 },
-            );
+            )?;
         }
         GemvTStrategy::TwoPass => {
             let strips = GEMV_T_STRIPS;
-            let mut partials = gpu.alloc(len * strips, T::ZERO);
-            gpu.launch(
+            let mut partials = gpu.try_alloc(len * strips, T::ZERO)?;
+            gpu.try_launch(
                 LaunchConfig::for_elems(len * strips, BLOCK),
-                &GemvTPass1K { a: block, m, n: len, x, partials: partials.view_mut() },
-            );
-            gpu.launch(
+                &GemvTPass1K {
+                    a: block,
+                    m,
+                    n: len,
+                    x,
+                    partials: partials.view_mut(),
+                },
+            )?;
+            poison_if_corrupted(gpu, &partials.view_mut());
+            gpu.try_launch(
                 LaunchConfig::for_elems(len, BLOCK),
-                &GemvTPass2K { partials: partials.view(), n: len, alpha, beta, y },
-            );
+                &GemvTPass2K {
+                    partials: partials.view(),
+                    n: len,
+                    alpha,
+                    beta,
+                    y,
+                },
+            )?;
         }
     }
+    poison_if_corrupted(gpu, &out);
+    Ok(())
 }
 
 /// Rank-1 update `A ← A + αxyᵀ`.
-pub fn ger<T: Scalar>(gpu: &Gpu, alpha: T, x: DView<T>, y: DView<T>, a: &mut DeviceMatrix<T>) {
+pub fn ger<T: Scalar>(
+    gpu: &Gpu,
+    alpha: T,
+    x: DView<T>,
+    y: DView<T>,
+    a: &mut DeviceMatrix<T>,
+) -> Result<(), DeviceError> {
     assert_eq!(a.rows(), x.len(), "ger: x length mismatch");
     assert_eq!(a.cols(), y.len(), "ger: y length mismatch");
     let (m, n, layout) = (a.rows(), a.cols(), a.layout());
@@ -205,8 +283,18 @@ pub fn ger<T: Scalar>(gpu: &Gpu, alpha: T, x: DView<T>, y: DView<T>, a: &mut Dev
         Layout::ColMajor => n,
         Layout::RowMajor => m,
     };
-    let kernel = GerK { alpha, x, y, a: a.view_mut(), m, n, layout };
-    gpu.launch(LaunchConfig::for_elems(functional_iters, BLOCK), &kernel);
+    let kernel = GerK {
+        alpha,
+        x,
+        y,
+        a: a.view_mut(),
+        m,
+        n,
+        layout,
+    };
+    gpu.try_launch(LaunchConfig::for_elems(functional_iters, BLOCK), &kernel)?;
+    poison_if_corrupted(gpu, &a.view_mut());
+    Ok(())
 }
 
 /// Gauss–Jordan column elimination on a device matrix: given the pivot
@@ -214,28 +302,47 @@ pub fn ger<T: Scalar>(gpu: &Gpu, alpha: T, x: DView<T>, y: DView<T>, a: &mut Dev
 /// `M ← E·M` where `E` is the eta matrix that maps `alpha` to `e_p`.
 ///
 /// Three launches: eta column, pivot-row extraction, O(rows·cols) update.
-pub fn eliminate<T: Scalar>(gpu: &Gpu, mat: &mut DeviceMatrix<T>, alpha: DView<T>, p: usize) {
+pub fn eliminate<T: Scalar>(
+    gpu: &Gpu,
+    mat: &mut DeviceMatrix<T>,
+    alpha: DView<T>,
+    p: usize,
+) -> Result<(), DeviceError> {
     let (rows, cols, layout) = (mat.rows(), mat.cols(), mat.layout());
     assert_eq!(rows, alpha.len(), "eliminate: alpha length mismatch");
     assert!(p < rows, "eliminate: pivot row out of range");
 
-    let mut eta = gpu.alloc(rows, T::ZERO);
-    gpu.launch(
+    let mut eta = gpu.try_alloc(rows, T::ZERO)?;
+    gpu.try_launch(
         LaunchConfig::for_elems(rows, BLOCK),
-        &EtaK { alpha, p, eta: eta.view_mut(), m: rows },
-    );
+        &EtaK {
+            alpha,
+            p,
+            eta: eta.view_mut(),
+            m: rows,
+        },
+    )?;
+    poison_if_corrupted(gpu, &eta.view_mut());
 
-    let mut rowp = gpu.alloc(cols, T::ZERO);
-    gpu.launch(
+    let mut rowp = gpu.try_alloc(cols, T::ZERO)?;
+    gpu.try_launch(
         LaunchConfig::for_elems(cols, BLOCK),
-        &RowExtractK { mat: mat.view(), rows, cols, layout, p, out: rowp.view_mut() },
-    );
+        &RowExtractK {
+            mat: mat.view(),
+            rows,
+            cols,
+            layout,
+            p,
+            out: rowp.view_mut(),
+        },
+    )?;
+    poison_if_corrupted(gpu, &rowp.view_mut());
 
     let functional_iters = match layout {
         Layout::ColMajor => cols,
         Layout::RowMajor => rows,
     };
-    gpu.launch(
+    gpu.try_launch(
         LaunchConfig::for_elems(functional_iters, BLOCK),
         &PivotUpdateK {
             mat: mat.view_mut(),
@@ -246,15 +353,22 @@ pub fn eliminate<T: Scalar>(gpu: &Gpu, mat: &mut DeviceMatrix<T>, alpha: DView<T
             cols,
             layout,
         },
-    );
+    )?;
+    poison_if_corrupted(gpu, &mat.view_mut());
+    Ok(())
 }
 
 /// The revised simplex basis-inverse update (the paper's per-iteration core):
 /// replace `B⁻¹ ← E·B⁻¹` where `E` is the eta matrix built from the entering
 /// column `α_q = B⁻¹ a_q` and leaving row `p`.
-pub fn pivot_update<T: Scalar>(gpu: &Gpu, binv: &mut DeviceMatrix<T>, alpha_q: DView<T>, p: usize) {
+pub fn pivot_update<T: Scalar>(
+    gpu: &Gpu,
+    binv: &mut DeviceMatrix<T>,
+    alpha_q: DView<T>,
+    p: usize,
+) -> Result<(), DeviceError> {
     assert_eq!(binv.rows(), binv.cols(), "pivot_update: B⁻¹ must be square");
-    eliminate(gpu, binv, alpha_q, p);
+    eliminate(gpu, binv, alpha_q, p)
 }
 
 #[cfg(test)]
@@ -282,21 +396,21 @@ mod tests {
         let yh = vec![4.0, 5.0, -6.0, 2.0];
         let x = g.htod(&xh);
         let mut y = g.htod(&yh);
-        axpy(&g, 2.0, x.view(), y.view_mut());
+        axpy(&g, 2.0, x.view(), y.view_mut()).unwrap();
         let mut expect = yh.clone();
         blas::axpy(2.0, &xh, &mut expect);
         assert_eq!(g.dtoh(&y), expect);
 
-        scal(&g, 0.5, y.view_mut());
+        scal(&g, 0.5, y.view_mut()).unwrap();
         blas::scal(0.5, &mut expect);
         assert_eq!(g.dtoh(&y), expect);
 
-        assert_eq!(dot(&g, x.view(), x.view()), blas::dot(&xh, &xh));
+        assert_eq!(dot(&g, x.view(), x.view()).unwrap(), blas::dot(&xh, &xh));
 
         let mut z = g.alloc(4, 0.0f64);
-        copy(&g, x.view(), z.view_mut());
+        copy(&g, x.view(), z.view_mut()).unwrap();
         assert_eq!(g.dtoh(&z), xh);
-        fill(&g, z.view_mut(), 7.0);
+        fill(&g, z.view_mut(), 7.0).unwrap();
         assert_eq!(g.dtoh(&z), vec![7.0; 4]);
     }
 
@@ -314,10 +428,10 @@ mod tests {
         let mut expect = yh.clone();
         blas::gemv_n(2.0, &a, &xh, 0.5, &mut expect);
         for layout in [Layout::ColMajor, Layout::RowMajor] {
-            let da = DeviceMatrix::upload(&g, &a, layout);
+            let da = DeviceMatrix::upload(&g, &a, layout).unwrap();
             let dx = g.htod(&xh);
             let mut dy = g.htod(&yh);
-            gemv_n(&g, 2.0, &da, dx.view(), 0.5, dy.view_mut());
+            gemv_n(&g, 2.0, &da, dx.view(), 0.5, dy.view_mut()).unwrap();
             approx(&g.dtoh(&dy), &expect, 1e-12);
         }
     }
@@ -340,10 +454,10 @@ mod tests {
             (Layout::RowMajor, GemvTStrategy::Naive),
             (Layout::ColMajor, GemvTStrategy::TwoPass),
         ] {
-            let da = DeviceMatrix::upload(&g, &a, layout);
+            let da = DeviceMatrix::upload(&g, &a, layout).unwrap();
             let dx = g.htod(&xh);
             let mut dy = g.htod(&yh);
-            gemv_t(&g, 1.5, &da, dx.view(), -1.0, dy.view_mut(), strat);
+            gemv_t(&g, 1.5, &da, dx.view(), -1.0, dy.view_mut(), strat).unwrap();
             approx(g.dtoh(&dy).as_slice(), &expect, 1e-12);
         }
     }
@@ -363,10 +477,19 @@ mod tests {
         let xh: Vec<f64> = (0..m).map(|i| (i as f64).sin()).collect();
         let mut expect = vec![0.0; n];
         blas::gemv_t(1.0, &a, &xh, 0.0, &mut expect);
-        let da = DeviceMatrix::upload(&g, &a, Layout::ColMajor);
+        let da = DeviceMatrix::upload(&g, &a, Layout::ColMajor).unwrap();
         let dx = g.htod(&xh);
         let mut dy = g.alloc(n, 0.0f64);
-        gemv_t(&g, 1.0, &da, dx.view(), 0.0, dy.view_mut(), GemvTStrategy::TwoPass);
+        gemv_t(
+            &g,
+            1.0,
+            &da,
+            dx.view(),
+            0.0,
+            dy.view_mut(),
+            GemvTStrategy::TwoPass,
+        )
+        .unwrap();
         approx(&g.dtoh(&dy), &expect, 1e-10);
     }
 
@@ -379,11 +502,11 @@ mod tests {
         let mut expect = base.clone();
         blas::ger(2.0, &xh, &yh, &mut expect);
         for layout in [Layout::ColMajor, Layout::RowMajor] {
-            let mut da = DeviceMatrix::upload(&g, &base, layout);
+            let mut da = DeviceMatrix::upload(&g, &base, layout).unwrap();
             let dx = g.htod(&xh);
             let dy = g.htod(&yh);
-            ger(&g, 2.0, dx.view(), dy.view(), &mut da);
-            assert_eq!(da.download(&g), expect);
+            ger(&g, 2.0, dx.view(), dy.view(), &mut da).unwrap();
+            assert_eq!(da.download(&g).unwrap(), expect);
         }
     }
 
@@ -396,7 +519,11 @@ mod tests {
         let mut binv_h = DenseMatrix::zeros(m, m);
         for i in 0..m {
             for j in 0..m {
-                binv_h.set(i, j, ((i * 5 + j * 3) % 7) as f64 + if i == j { 2.0 } else { 0.0 });
+                binv_h.set(
+                    i,
+                    j,
+                    ((i * 5 + j * 3) % 7) as f64 + if i == j { 2.0 } else { 0.0 },
+                );
             }
         }
         let alpha_h: Vec<f64> = (0..m).map(|i| 0.5 + i as f64).collect();
@@ -404,17 +531,21 @@ mod tests {
         // Dense oracle: E = I with column p replaced by eta.
         let mut e = DenseMatrix::<f64>::identity(m);
         for i in 0..m {
-            let v = if i == p { 1.0 / alpha_h[p] } else { -alpha_h[i] / alpha_h[p] };
+            let v = if i == p {
+                1.0 / alpha_h[p]
+            } else {
+                -alpha_h[i] / alpha_h[p]
+            };
             e.set(i, p, v);
         }
         let mut expect = DenseMatrix::zeros(m, m);
         blas::gemm(1.0, &e, &binv_h, 0.0, &mut expect);
 
         for layout in [Layout::ColMajor, Layout::RowMajor] {
-            let mut db = DeviceMatrix::upload(&g, &binv_h, layout);
+            let mut db = DeviceMatrix::upload(&g, &binv_h, layout).unwrap();
             let da = g.htod(&alpha_h);
-            pivot_update(&g, &mut db, da.view(), p);
-            let got = db.download(&g);
+            pivot_update(&g, &mut db, da.view(), p).unwrap();
+            let got = db.download(&g).unwrap();
             for i in 0..m {
                 for j in 0..m {
                     assert!(
@@ -437,23 +568,72 @@ mod tests {
         let a = DenseMatrix::<f32>::zeros(n, n);
         let x = vec![1.0f32; n];
 
-        let da1 = DeviceMatrix::upload(&g1, &a, Layout::ColMajor);
+        let da1 = DeviceMatrix::upload(&g1, &a, Layout::ColMajor).unwrap();
         let dx1 = g1.htod(&x);
         let mut dy1 = g1.alloc(n, 0.0f32);
         g1.reset_counters();
-        gemv_t(&g1, 1.0, &da1, dx1.view(), 0.0, dy1.view_mut(), GemvTStrategy::TwoPass);
+        gemv_t(
+            &g1,
+            1.0,
+            &da1,
+            dx1.view(),
+            0.0,
+            dy1.view_mut(),
+            GemvTStrategy::TwoPass,
+        )
+        .unwrap();
         let t_coalesced = g1.elapsed();
 
-        let da2 = DeviceMatrix::upload(&g2, &a, Layout::ColMajor);
+        let da2 = DeviceMatrix::upload(&g2, &a, Layout::ColMajor).unwrap();
         let dx2 = g2.htod(&x);
         let mut dy2 = g2.alloc(n, 0.0f32);
         g2.reset_counters();
-        gemv_t(&g2, 1.0, &da2, dx2.view(), 0.0, dy2.view_mut(), GemvTStrategy::Naive);
+        gemv_t(
+            &g2,
+            1.0,
+            &da2,
+            dx2.view(),
+            0.0,
+            dy2.view_mut(),
+            GemvTStrategy::Naive,
+        )
+        .unwrap();
         let t_naive = g2.elapsed();
 
         assert!(
             t_naive.as_nanos() > 2.0 * t_coalesced.as_nanos(),
             "naive {t_naive} should be much slower than two-pass {t_coalesced}"
         );
+    }
+
+    #[test]
+    fn corrupted_gemv_poisons_output_with_nan() {
+        use gpu_sim::{FaultConfig, FaultPlan};
+        let g = gpu();
+        let a = DenseMatrix::from_rows(&[vec![1.0f64, 2.0], vec![3.0, 4.0]]);
+        let da = DeviceMatrix::upload(&g, &a, Layout::ColMajor).unwrap();
+        let dx = g.htod(&[1.0f64, 1.0]);
+        let mut dy = g.alloc(2, 0.0f64);
+        let mut cfg = FaultConfig::off(17);
+        cfg.kernel_corrupt = 1.0;
+        g.set_fault_plan(FaultPlan::new(cfg));
+        gemv_n(&g, 1.0, &da, dx.view(), 0.0, dy.view_mut()).unwrap();
+        g.clear_fault_plan();
+        assert!(
+            g.dtoh(&dy).iter().all(|v| v.is_nan()),
+            "corrupted output must be NaN"
+        );
+    }
+
+    #[test]
+    fn faulted_launch_surfaces_device_error() {
+        use gpu_sim::{FaultConfig, FaultPlan};
+        let g = gpu();
+        let mut dy = g.alloc(8, 0.0f64);
+        let mut cfg = FaultConfig::off(23);
+        cfg.kernel_fault = 1.0;
+        g.set_fault_plan(FaultPlan::new(cfg));
+        let err = fill(&g, dy.view_mut(), 1.0).unwrap_err();
+        assert!(matches!(err, DeviceError::KernelFault { .. }));
     }
 }

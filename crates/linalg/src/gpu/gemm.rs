@@ -3,8 +3,9 @@
 //! revised method is deliberately GEMV-shaped) but completes the BLAS-3
 //! surface and anchors the simulator's shared-memory cost accounting.
 
-use gpu_sim::{AccessPattern, Gpu, Kernel, KernelCost, LaunchConfig, ThreadCtx};
+use gpu_sim::{AccessPattern, DeviceError, Gpu, Kernel, KernelCost, LaunchConfig, ThreadCtx};
 
+use super::blas::poison_if_corrupted;
 use super::mat::{DeviceMatrix, Layout};
 use crate::scalar::Scalar;
 
@@ -25,13 +26,25 @@ pub fn gemm<T: Scalar>(
     b: &DeviceMatrix<T>,
     beta: T,
     c: &mut DeviceMatrix<T>,
-) {
+) -> Result<(), DeviceError> {
     assert_eq!(a.cols(), b.rows(), "gemm: inner dimension mismatch");
     assert_eq!(a.rows(), c.rows(), "gemm: C row mismatch");
     assert_eq!(b.cols(), c.cols(), "gemm: C col mismatch");
-    assert_eq!(a.layout(), Layout::ColMajor, "device gemm is col-major only");
-    assert_eq!(b.layout(), Layout::ColMajor, "device gemm is col-major only");
-    assert_eq!(c.layout(), Layout::ColMajor, "device gemm is col-major only");
+    assert_eq!(
+        a.layout(),
+        Layout::ColMajor,
+        "device gemm is col-major only"
+    );
+    assert_eq!(
+        b.layout(),
+        Layout::ColMajor,
+        "device gemm is col-major only"
+    );
+    assert_eq!(
+        c.layout(),
+        Layout::ColMajor,
+        "device gemm is col-major only"
+    );
     let kernel = GemmTiledK {
         alpha,
         a: a.view(),
@@ -42,7 +55,9 @@ pub fn gemm<T: Scalar>(
         k: a.cols(),
         n: b.cols(),
     };
-    gpu.launch(LaunchConfig::for_elems(b.cols(), 128), &kernel);
+    gpu.try_launch(LaunchConfig::for_elems(b.cols(), 128), &kernel)?;
+    poison_if_corrupted(gpu, &c.view_mut());
+    Ok(())
 }
 
 struct GemmTiledK<T: Scalar> {
@@ -135,11 +150,11 @@ mod tests {
         let mut expect = ch.clone();
         blas::gemm(1.5, &ah, &bh, -0.5, &mut expect);
 
-        let da = DeviceMatrix::upload(&gpu, &ah, Layout::ColMajor);
-        let db = DeviceMatrix::upload(&gpu, &bh, Layout::ColMajor);
-        let mut dc = DeviceMatrix::upload(&gpu, &ch, Layout::ColMajor);
-        gemm(&gpu, 1.5, &da, &db, -0.5, &mut dc);
-        let got = dc.download(&gpu);
+        let da = DeviceMatrix::upload(&gpu, &ah, Layout::ColMajor).unwrap();
+        let db = DeviceMatrix::upload(&gpu, &bh, Layout::ColMajor).unwrap();
+        let mut dc = DeviceMatrix::upload(&gpu, &ch, Layout::ColMajor).unwrap();
+        gemm(&gpu, 1.5, &da, &db, -0.5, &mut dc).unwrap();
+        let got = dc.download(&gpu).unwrap();
         for j in 0..n {
             for i in 0..m {
                 assert!(
@@ -160,11 +175,11 @@ mod tests {
         let gpu = Gpu::new(DeviceSpec::gtx280());
         let s = 256;
         let h = DenseMatrix::<f64>::zeros(s, s);
-        let da = DeviceMatrix::upload(&gpu, &h, Layout::ColMajor);
-        let db = DeviceMatrix::upload(&gpu, &h, Layout::ColMajor);
-        let mut dc = DeviceMatrix::upload(&gpu, &h, Layout::ColMajor);
+        let da = DeviceMatrix::upload(&gpu, &h, Layout::ColMajor).unwrap();
+        let db = DeviceMatrix::upload(&gpu, &h, Layout::ColMajor).unwrap();
+        let mut dc = DeviceMatrix::upload(&gpu, &h, Layout::ColMajor).unwrap();
         gpu.reset_counters();
-        gemm(&gpu, 1.0, &da, &db, 0.0, &mut dc);
+        gemm(&gpu, 1.0, &da, &db, 0.0, &mut dc).unwrap();
         let c = gpu.counters();
         let bytes_naive = 2u64 * (s as u64).pow(3) * 8;
         assert!(
@@ -180,10 +195,10 @@ mod tests {
     fn gemm_identity_roundtrip() {
         let gpu = Gpu::new(DeviceSpec::gtx280());
         let a = filled(12, 12, 4);
-        let da = DeviceMatrix::upload(&gpu, &a, Layout::ColMajor);
-        let di = DeviceMatrix::<f64>::identity(&gpu, 12, Layout::ColMajor);
-        let mut dc = DeviceMatrix::<f64>::zeros(&gpu, 12, 12, Layout::ColMajor);
-        gemm(&gpu, 1.0, &da, &di, 0.0, &mut dc);
-        assert_eq!(dc.download(&gpu), a);
+        let da = DeviceMatrix::upload(&gpu, &a, Layout::ColMajor).unwrap();
+        let di = DeviceMatrix::<f64>::identity(&gpu, 12, Layout::ColMajor).unwrap();
+        let mut dc = DeviceMatrix::<f64>::zeros(&gpu, 12, 12, Layout::ColMajor).unwrap();
+        gemm(&gpu, 1.0, &da, &di, 0.0, &mut dc).unwrap();
+        assert_eq!(dc.download(&gpu).unwrap(), a);
     }
 }

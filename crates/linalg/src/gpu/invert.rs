@@ -11,7 +11,7 @@
 //! this keeps everything resident: m × (3 launches + 1 scalar read) versus
 //! two O(m²)-byte PCIe transfers plus O(m³) host flops.
 
-use gpu_sim::{Gpu, LaunchConfig};
+use gpu_sim::{DeviceError, Gpu, LaunchConfig};
 
 use super::blas::eliminate;
 use super::kernels::CopyK;
@@ -20,36 +20,41 @@ use crate::scalar::Scalar;
 
 /// Invert a square col-major device matrix on the device.
 ///
-/// Returns `None` when a pivot falls below `pivot_tol` (caller should fall
-/// back to the pivoting host inversion).
+/// Returns `Ok(None)` when a pivot falls below `pivot_tol` (caller should
+/// fall back to the pivoting host inversion) and `Err` when the device
+/// itself failed (injected fault).
 pub fn invert_gauss_jordan<T: Scalar>(
     gpu: &Gpu,
     b: &DeviceMatrix<T>,
     pivot_tol: T,
-) -> Option<DeviceMatrix<T>> {
+) -> Result<Option<DeviceMatrix<T>>, DeviceError> {
     assert_eq!(b.rows(), b.cols(), "inverse of a non-square matrix");
-    assert_eq!(b.layout(), Layout::ColMajor, "device inversion requires col-major");
+    assert_eq!(
+        b.layout(),
+        Layout::ColMajor,
+        "device inversion requires col-major"
+    );
     let m = b.rows();
     if m == 0 {
-        return Some(DeviceMatrix::zeros(gpu, 0, 0, Layout::ColMajor));
+        return Ok(Some(DeviceMatrix::zeros(gpu, 0, 0, Layout::ColMajor)?));
     }
 
     // Augmented [B | I], m × 2m, assembled on the device: copy B's columns,
     // then write the identity block (one coalesced fill per column is
     // wasteful; a single upload of the identity block is what real code
     // did — charge it as such).
-    let mut aug = DeviceMatrix::<T>::zeros(gpu, m, 2 * m, Layout::ColMajor);
+    let mut aug = DeviceMatrix::<T>::zeros(gpu, m, 2 * m, Layout::ColMajor)?;
     for j in 0..m {
         let src = b.col_view(j);
         let dst = aug.view_mut().subview_mut(j * m, m);
-        gpu.launch(LaunchConfig::for_elems(m, 128), &CopyK { src, dst, n: m });
+        gpu.try_launch(LaunchConfig::for_elems(m, 128), &CopyK { src, dst, n: m })?;
     }
     let ident = crate::dense::DenseMatrix::<T>::identity(m);
-    let ibuf = gpu.htod(ident.as_slice());
+    let ibuf = gpu.try_htod(ident.as_slice())?;
     for j in 0..m {
         let src = ibuf.view().subview(j * m, m);
         let dst = aug.view_mut().subview_mut((m + j) * m, m);
-        gpu.launch(LaunchConfig::for_elems(m, 128), &CopyK { src, dst, n: m });
+        gpu.try_launch(LaunchConfig::for_elems(m, 128), &CopyK { src, dst, n: m })?;
     }
 
     // Eliminate column k around pivot row k, for every k.
@@ -57,21 +62,21 @@ pub fn invert_gauss_jordan<T: Scalar>(
         let alpha = aug.col_view(k);
         // Pivot check: one scalar over PCIe (the honest cost of device-side
         // control flow in the pre-dynamic-parallelism era).
-        let piv = gpu.dtoh_range(aug.buffer(), k * m + k, 1)[0];
+        let piv = gpu.try_dtoh_range(aug.buffer(), k * m + k, 1)?[0];
         if !(piv.abs() > pivot_tol) || !piv.is_finite() {
-            return None;
+            return Ok(None);
         }
-        eliminate(gpu, &mut aug, alpha, k);
+        eliminate(gpu, &mut aug, alpha, k)?;
     }
 
     // Extract the right half.
-    let mut inv = DeviceMatrix::<T>::zeros(gpu, m, m, Layout::ColMajor);
+    let mut inv = DeviceMatrix::<T>::zeros(gpu, m, m, Layout::ColMajor)?;
     for j in 0..m {
         let src = aug.col_view(m + j);
         let dst = inv.view_mut().subview_mut(j * m, m);
-        gpu.launch(LaunchConfig::for_elems(m, 128), &CopyK { src, dst, n: m });
+        gpu.try_launch(LaunchConfig::for_elems(m, 128), &CopyK { src, dst, n: m })?;
     }
-    Some(inv)
+    Ok(Some(inv))
 }
 
 #[cfg(test)]
@@ -100,9 +105,11 @@ mod tests {
     fn device_inverse_matches_host_inverse() {
         let g = gpu();
         let host = well_conditioned(24);
-        let dev = DeviceMatrix::upload(&g, &host, Layout::ColMajor);
-        let inv = invert_gauss_jordan(&g, &dev, 1e-12).expect("invertible");
-        let inv_host = inv.download(&g);
+        let dev = DeviceMatrix::upload(&g, &host, Layout::ColMajor).unwrap();
+        let inv = invert_gauss_jordan(&g, &dev, 1e-12)
+            .unwrap()
+            .expect("invertible");
+        let inv_host = inv.download(&g).unwrap();
         let mut prod = DenseMatrix::zeros(24, 24);
         blas::gemm(1.0, &inv_host, &host, 0.0, &mut prod);
         for i in 0..24 {
@@ -125,8 +132,8 @@ mod tests {
         for j in 0..6 {
             host.set(3, j, host.get(2, j));
         }
-        let dev = DeviceMatrix::upload(&g, &host, Layout::ColMajor);
-        assert!(invert_gauss_jordan(&g, &dev, 1e-9).is_none());
+        let dev = DeviceMatrix::upload(&g, &host, Layout::ColMajor).unwrap();
+        assert!(invert_gauss_jordan(&g, &dev, 1e-9).unwrap().is_none());
     }
 
     #[test]
@@ -135,17 +142,17 @@ mod tests {
         // handle: zero in the (0,0) position.
         let g = gpu();
         let host = DenseMatrix::from_rows(&[vec![0.0f64, 1.0], vec![1.0, 0.0]]);
-        let dev = DeviceMatrix::upload(&g, &host, Layout::ColMajor);
-        assert!(invert_gauss_jordan(&g, &dev, 1e-12).is_none());
+        let dev = DeviceMatrix::upload(&g, &host, Layout::ColMajor).unwrap();
+        assert!(invert_gauss_jordan(&g, &dev, 1e-12).unwrap().is_none());
     }
 
     #[test]
     fn device_inverse_charges_launches_and_scalar_reads() {
         let g = gpu();
         let m = 16;
-        let dev = DeviceMatrix::upload(&g, &well_conditioned(m), Layout::ColMajor);
+        let dev = DeviceMatrix::upload(&g, &well_conditioned(m), Layout::ColMajor).unwrap();
         g.reset_counters();
-        let _ = invert_gauss_jordan(&g, &dev, 1e-12).unwrap();
+        let _ = invert_gauss_jordan(&g, &dev, 1e-12).unwrap().unwrap();
         let c = g.counters();
         // m pivot reads over PCIe.
         assert_eq!(c.d2h_count as usize, m);

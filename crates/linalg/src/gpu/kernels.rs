@@ -83,7 +83,8 @@ impl<T: Scalar> Kernel for AxpyK<T> {
     fn run(&self, t: &ThreadCtx) {
         let i = t.global_id();
         if i < self.n {
-            self.y.set(i, self.alpha.mul_add(self.x.get(i), self.y.get(i)));
+            self.y
+                .set(i, self.alpha.mul_add(self.x.get(i), self.y.get(i)));
         }
     }
     fn cost(&self, cfg: &LaunchConfig) -> KernelCost {

@@ -1,6 +1,6 @@
 //! Dense matrices resident in simulated device memory.
 
-use gpu_sim::{DView, DViewMut, DeviceBuffer, Gpu};
+use gpu_sim::{DView, DViewMut, DeviceBuffer, DeviceError, Gpu};
 
 use crate::dense::DenseMatrix;
 use crate::scalar::Scalar;
@@ -25,22 +25,32 @@ pub struct DeviceMatrix<T: Scalar> {
 
 impl<T: Scalar> DeviceMatrix<T> {
     /// Upload a host matrix in the requested layout.
-    pub fn upload(gpu: &Gpu, m: &DenseMatrix<T>, layout: Layout) -> Self {
+    pub fn upload(gpu: &Gpu, m: &DenseMatrix<T>, layout: Layout) -> Result<Self, DeviceError> {
         let data = match layout {
             Layout::ColMajor => m.as_slice().to_vec(),
             Layout::RowMajor => m.to_row_major(),
         };
-        DeviceMatrix { buf: gpu.htod(&data), rows: m.rows(), cols: m.cols(), layout }
+        Ok(DeviceMatrix {
+            buf: gpu.try_htod(&data)?,
+            rows: m.rows(),
+            cols: m.cols(),
+            layout,
+        })
     }
 
     /// Allocate a zero device matrix.
-    pub fn zeros(gpu: &Gpu, rows: usize, cols: usize, layout: Layout) -> Self {
-        DeviceMatrix { buf: gpu.alloc(rows * cols, T::ZERO), rows, cols, layout }
+    pub fn zeros(gpu: &Gpu, rows: usize, cols: usize, layout: Layout) -> Result<Self, DeviceError> {
+        Ok(DeviceMatrix {
+            buf: gpu.try_alloc(rows * cols, T::ZERO)?,
+            rows,
+            cols,
+            layout,
+        })
     }
 
     /// Allocate a device identity matrix (uploaded, transfer charged —
     /// matches initializing `B⁻¹ = I` on the host and copying it over).
-    pub fn identity(gpu: &Gpu, n: usize, layout: Layout) -> Self {
+    pub fn identity(gpu: &Gpu, n: usize, layout: Layout) -> Result<Self, DeviceError> {
         DeviceMatrix::upload(gpu, &DenseMatrix::identity(n), layout)
     }
 
@@ -96,9 +106,9 @@ impl<T: Scalar> DeviceMatrix<T> {
     }
 
     /// Download to a host [`DenseMatrix`], charging the transfer.
-    pub fn download(&self, gpu: &Gpu) -> DenseMatrix<T> {
-        let raw = gpu.dtoh(&self.buf);
-        match self.layout {
+    pub fn download(&self, gpu: &Gpu) -> Result<DenseMatrix<T>, DeviceError> {
+        let raw = gpu.try_dtoh(&self.buf)?;
+        Ok(match self.layout {
             Layout::ColMajor => DenseMatrix::from_col_major(self.rows, self.cols, raw),
             Layout::RowMajor => {
                 let mut m = DenseMatrix::zeros(self.rows, self.cols);
@@ -109,7 +119,7 @@ impl<T: Scalar> DeviceMatrix<T> {
                 }
                 m
             }
-        }
+        })
     }
 
     /// The underlying buffer (for size accounting in tests).
@@ -128,16 +138,16 @@ mod tests {
         let gpu = Gpu::new(DeviceSpec::gtx280());
         let host = DenseMatrix::from_rows(&[vec![1.0f32, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         for layout in [Layout::ColMajor, Layout::RowMajor] {
-            let d = DeviceMatrix::upload(&gpu, &host, layout);
-            assert_eq!(d.download(&gpu), host);
+            let d = DeviceMatrix::upload(&gpu, &host, layout).unwrap();
+            assert_eq!(d.download(&gpu).unwrap(), host);
         }
     }
 
     #[test]
     fn idx_matches_layout() {
         let gpu = Gpu::new(DeviceSpec::gtx280());
-        let c = DeviceMatrix::<f32>::zeros(&gpu, 3, 2, Layout::ColMajor);
-        let r = DeviceMatrix::<f32>::zeros(&gpu, 3, 2, Layout::RowMajor);
+        let c = DeviceMatrix::<f32>::zeros(&gpu, 3, 2, Layout::ColMajor).unwrap();
+        let r = DeviceMatrix::<f32>::zeros(&gpu, 3, 2, Layout::RowMajor).unwrap();
         assert_eq!(c.idx(1, 1), 4);
         assert_eq!(r.idx(1, 1), 3);
         assert_eq!(c.ld(), 3);
@@ -148,7 +158,7 @@ mod tests {
     fn col_view_is_contiguous_column() {
         let gpu = Gpu::new(DeviceSpec::gtx280());
         let host = DenseMatrix::from_rows(&[vec![1.0f32, 2.0], vec![3.0, 4.0]]);
-        let d = DeviceMatrix::upload(&gpu, &host, Layout::ColMajor);
+        let d = DeviceMatrix::upload(&gpu, &host, Layout::ColMajor).unwrap();
         let col1 = d.col_view(1);
         assert_eq!(col1.as_slice(), &[2.0, 4.0]);
     }
@@ -157,7 +167,7 @@ mod tests {
     #[should_panic(expected = "col-major")]
     fn col_view_rejects_row_major() {
         let gpu = Gpu::new(DeviceSpec::gtx280());
-        let d = DeviceMatrix::<f32>::zeros(&gpu, 2, 2, Layout::RowMajor);
+        let d = DeviceMatrix::<f32>::zeros(&gpu, 2, 2, Layout::RowMajor).unwrap();
         let _ = d.col_view(0);
     }
 
@@ -165,7 +175,7 @@ mod tests {
     fn identity_charges_transfer() {
         let gpu = Gpu::new(DeviceSpec::gtx280());
         let before = gpu.counters().h2d_count;
-        let _i = DeviceMatrix::<f64>::identity(&gpu, 16, Layout::ColMajor);
+        let _i = DeviceMatrix::<f64>::identity(&gpu, 16, Layout::ColMajor).unwrap();
         assert_eq!(gpu.counters().h2d_count, before + 1);
     }
 }

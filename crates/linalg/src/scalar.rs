@@ -168,7 +168,10 @@ mod tests {
         assert_eq!(T::from_f64(9.0).sqrt().to_f64(), 3.0);
         assert_eq!(T::from_f64(2.0).maxs(T::from_f64(5.0)).to_f64(), 5.0);
         assert_eq!(T::from_f64(2.0).mins(T::from_f64(5.0)).to_f64(), 2.0);
-        assert_eq!(T::from_f64(2.0).mul_add(T::from_f64(3.0), T::ONE).to_f64(), 7.0);
+        assert_eq!(
+            T::from_f64(2.0).mul_add(T::from_f64(3.0), T::ONE).to_f64(),
+            7.0
+        );
     }
 
     // The IS_F64 checks assert on associated constants by design: they pin

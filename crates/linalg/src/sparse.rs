@@ -25,7 +25,13 @@ pub struct CooMatrix<T: Scalar> {
 impl<T: Scalar> CooMatrix<T> {
     /// Empty matrix of the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        CooMatrix { rows, cols, row_idx: Vec::new(), col_idx: Vec::new(), values: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            row_idx: Vec::new(),
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Build from unsorted triplets; duplicates are summed.
@@ -52,7 +58,10 @@ impl<T: Scalar> CooMatrix<T> {
     /// Append one nonzero; the caller must keep (row, col) order or call
     /// [`CooMatrix::from_triplets`] instead.
     pub fn push(&mut self, r: usize, c: usize, v: T) {
-        assert!(r < self.rows && c < self.cols, "push ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "push ({r},{c}) out of bounds"
+        );
         self.row_idx.push(r as u32);
         self.col_idx.push(c as u32);
         self.values.push(v);
@@ -221,7 +230,13 @@ impl<T: Scalar> CsrMatrix<T> {
                 cursor[c] += 1;
             }
         }
-        CscMatrix { rows: self.rows, cols: self.cols, col_ptr, row_idx, values }
+        CscMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Dense copy.
@@ -269,7 +284,10 @@ impl<T: Scalar> CscMatrix<T> {
     pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, T)> + '_ {
         let lo = self.col_ptr[j] as usize;
         let hi = self.col_ptr[j + 1] as usize;
-        self.row_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&r, &v)| (r as usize, v))
+        self.row_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&r, &v)| (r as usize, v))
     }
 
     /// Sparse dot of column `j` with a dense vector.

@@ -28,7 +28,7 @@ fn axpy_traffic_matches_hand_count() {
     let x = g.htod(&vec![1.0f32; n as usize]);
     let mut y = g.htod(&vec![2.0f32; n as usize]);
     g.reset_counters();
-    gblas::axpy(&g, 0.5f32, x.view(), y.view_mut());
+    gblas::axpy(&g, 0.5f32, x.view(), y.view_mut()).unwrap();
     let c = g.counters();
     // Reads: x + y coalesced; write: y coalesced.
     assert_eq!(c.transactions, 3 * coalesced_tx(n));
@@ -41,11 +41,11 @@ fn axpy_traffic_matches_hand_count() {
 fn gemv_n_col_major_traffic() {
     let g = gpu();
     let (m, n) = (64usize, 48usize);
-    let a = DeviceMatrix::upload(&g, &DenseMatrix::<f32>::zeros(m, n), Layout::ColMajor);
+    let a = DeviceMatrix::upload(&g, &DenseMatrix::<f32>::zeros(m, n), Layout::ColMajor).unwrap();
     let x = g.htod(&vec![1.0f32; n]);
     let mut y = g.htod(&vec![0.0f32; m]);
     g.reset_counters();
-    gblas::gemv_n(&g, 1.0f32, &a, x.view(), 0.0, y.view_mut());
+    gblas::gemv_n(&g, 1.0f32, &a, x.view(), 0.0, y.view_mut()).unwrap();
     let c = g.counters();
     let mn = (m * n) as u64;
     // A coalesced (mn), x broadcast (1 tx per warp-instruction), y read +
@@ -63,29 +63,37 @@ fn gemv_n_row_major_pays_strided_reads() {
     let mut tx = Vec::new();
     for layout in [Layout::ColMajor, Layout::RowMajor] {
         let g2 = gpu();
-        let a = DeviceMatrix::upload(&g2, &host, layout);
+        let a = DeviceMatrix::upload(&g2, &host, layout).unwrap();
         let x = g2.htod(&vec![1.0f32; n]);
         let mut y = g2.htod(&vec![0.0f32; m]);
         g2.reset_counters();
-        gblas::gemv_n(&g2, 1.0f32, &a, x.view(), 0.0, y.view_mut());
+        gblas::gemv_n(&g2, 1.0f32, &a, x.view(), 0.0, y.view_mut()).unwrap();
         tx.push(g2.counters().transactions);
     }
     let _ = (g, m);
     // Row-major: lanes stride by n×4 = 192 B → every lane its own segment:
     // mn transactions on A alone. Must dominate the col-major total.
-    assert!(tx[1] > 20 * tx[0] / 2, "row-major {} vs col-major {}", tx[1], tx[0]);
+    assert!(
+        tx[1] > 20 * tx[0] / 2,
+        "row-major {} vs col-major {}",
+        tx[1],
+        tx[0]
+    );
     let mn = (64 * 48) as u64;
-    assert!(tx[1] >= mn, "row-major must pay ≥ one transaction per element");
+    assert!(
+        tx[1] >= mn,
+        "row-major must pay ≥ one transaction per element"
+    );
 }
 
 #[test]
 fn pivot_update_traffic_is_quadratic_with_broadcast_rowp() {
     let g = gpu();
     let m = 96usize;
-    let mut binv = DeviceMatrix::<f32>::identity(&g, m, Layout::ColMajor);
+    let mut binv = DeviceMatrix::<f32>::identity(&g, m, Layout::ColMajor).unwrap();
     let alpha = g.htod(&vec![0.25f32; m]);
     g.reset_counters();
-    gblas::pivot_update(&g, &mut binv, alpha.view(), 3);
+    gblas::pivot_update(&g, &mut binv, alpha.view(), 3).unwrap();
     let c = g.counters();
     let mm = (m * m) as u64;
     let m64 = m as u64;
@@ -107,11 +115,11 @@ fn two_pass_gemv_t_moves_less_than_naive_on_col_major() {
     let mut stats = Vec::new();
     for strat in [GemvTStrategy::TwoPass, GemvTStrategy::Naive] {
         let g = gpu();
-        let a = DeviceMatrix::upload(&g, &host, Layout::ColMajor);
+        let a = DeviceMatrix::upload(&g, &host, Layout::ColMajor).unwrap();
         let x = g.htod(&vec![1.0f32; m]);
         let mut y = g.htod(&vec![0.0f32; n]);
         g.reset_counters();
-        gblas::gemv_t(&g, 1.0f32, &a, x.view(), 0.0, y.view_mut(), strat);
+        gblas::gemv_t(&g, 1.0f32, &a, x.view(), 0.0, y.view_mut(), strat).unwrap();
         stats.push(g.counters());
     }
     // Naive: lanes stride by m×4 = 1 KiB on A → mn transactions.
@@ -138,7 +146,7 @@ fn dot_reduction_traffic_is_linear_with_log_passes() {
     let x = g.htod(&vec![1.0f32; n]);
     let y = g.htod(&vec![2.0f32; n]);
     g.reset_counters();
-    let r = gblas::dot(&g, x.view(), y.view());
+    let r = gblas::dot(&g, x.view(), y.view()).unwrap();
     assert_eq!(r, 2.0 * n as f32);
     let c = g.counters();
     // mul_ew (1) + reduce passes 4096 → 8 → 1 (2 launches).
@@ -162,7 +170,7 @@ fn elapsed_time_scales_sublinearly_then_linearly_with_size() {
         let x = g.htod(&vec![1.0f32; n]);
         let mut y = g.htod(&vec![1.0f32; n]);
         g.reset_counters();
-        gblas::axpy(&g, 1.0f32, x.view(), y.view_mut());
+        gblas::axpy(&g, 1.0f32, x.view(), y.view_mut()).unwrap();
         times.push(g.elapsed().as_nanos());
     }
     // Small sizes: both dominated by the same launch overhead (within 10%).

@@ -112,10 +112,10 @@ proptest! {
         blas::gemv_t(0.5, &a, &x_t, 2.0, &mut expect_t);
 
         for layout in [Layout::ColMajor, Layout::RowMajor] {
-            let da = DeviceMatrix::upload(&gpu, &a, layout);
+            let da = DeviceMatrix::upload(&gpu, &a, layout).unwrap();
             let dx = gpu.htod(&x_n);
             let mut dy = gpu.htod(&vec![0.5; a.rows()]);
-            gblas::gemv_n(&gpu, 1.25, &da, dx.view(), -0.5, dy.view_mut());
+            gblas::gemv_n(&gpu, 1.25, &da, dx.view(), -0.5, dy.view_mut()).unwrap();
             for (g, c) in gpu.dtoh(&dy).iter().zip(&expect_n) {
                 prop_assert!(close(*g, *c, 1e-12), "gemv_n {layout:?}");
             }
@@ -128,7 +128,7 @@ proptest! {
             for &strat in strategies {
                 let dxt = gpu.htod(&x_t);
                 let mut dyt = gpu.htod(&vec![0.25; a.cols()]);
-                gblas::gemv_t(&gpu, 0.5, &da, dxt.view(), 2.0, dyt.view_mut(), strat);
+                gblas::gemv_t(&gpu, 0.5, &da, dxt.view(), 2.0, dyt.view_mut(), strat).unwrap();
                 for (g, c) in gpu.dtoh(&dyt).iter().zip(&expect_t) {
                     prop_assert!(close(*g, *c, 1e-10), "gemv_t {layout:?} {strat:?}");
                 }
@@ -151,11 +151,11 @@ proptest! {
         let mut expect = DenseMatrix::zeros(m, n);
         blas::gemm(1.0, &a, &b, 0.0, &mut expect);
 
-        let da = DeviceMatrix::upload(&gpu, &a, Layout::ColMajor);
-        let db = DeviceMatrix::upload(&gpu, &b, Layout::ColMajor);
-        let mut dc = DeviceMatrix::<f64>::zeros(&gpu, m, n, Layout::ColMajor);
-        gblas::gemm(&gpu, 1.0, &da, &db, 0.0, &mut dc);
-        let got = dc.download(&gpu);
+        let da = DeviceMatrix::upload(&gpu, &a, Layout::ColMajor).unwrap();
+        let db = DeviceMatrix::upload(&gpu, &b, Layout::ColMajor).unwrap();
+        let mut dc = DeviceMatrix::<f64>::zeros(&gpu, m, n, Layout::ColMajor).unwrap();
+        gblas::gemm(&gpu, 1.0, &da, &db, 0.0, &mut dc).unwrap();
+        let got = dc.download(&gpu).unwrap();
         for j in 0..n {
             for i in 0..m {
                 prop_assert!(close(got.get(i, j), expect.get(i, j), 1e-12));
@@ -195,10 +195,10 @@ proptest! {
     fn device_reductions_match_host(data in proptest::collection::vec(-100.0f64..100.0, 1..3000)) {
         let gpu = Gpu::new(DeviceSpec::gtx280());
         let d = gpu.htod(&data);
-        let sum = gblas::reduce(&gpu, d.view(), data.len(), gblas::ReduceOp::Sum);
+        let sum = gblas::reduce(&gpu, d.view(), data.len(), gblas::ReduceOp::Sum).unwrap();
         let host_sum: f64 = data.iter().sum();
         prop_assert!(close(sum, host_sum, 1e-9));
-        let (minv, mini) = gblas::argmin(&gpu, d.view(), data.len());
+        let (minv, mini) = gblas::argmin(&gpu, d.view(), data.len()).unwrap();
         let (hi, hv) = data
             .iter()
             .enumerate()

@@ -24,12 +24,15 @@ use crate::model::{LinearProgram, Rel, Sense, VarId};
 pub fn dense_random(m: usize, n: usize, seed: u64) -> LinearProgram {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut lp = LinearProgram::new(format!("dense-random-{m}x{n}-s{seed}"));
-    let vars: Vec<VarId> =
-        (0..n).map(|j| lp.add_var_nonneg(format!("x{j}"), rng.random_range(-1.0..1.0))).collect();
+    let vars: Vec<VarId> = (0..n)
+        .map(|j| lp.add_var_nonneg(format!("x{j}"), rng.random_range(-1.0..1.0)))
+        .collect();
     let xstar: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..1.5)).collect();
     for i in 0..m {
-        let coeffs: Vec<(VarId, f64)> =
-            vars.iter().map(|&v| (v, rng.random_range(0.1..1.1))).collect();
+        let coeffs: Vec<(VarId, f64)> = vars
+            .iter()
+            .map(|&v| (v, rng.random_range(0.1..1.1)))
+            .collect();
         let rhs: f64 = coeffs.iter().map(|&(v, a)| a * xstar[v.0]).sum();
         lp.add_constraint(format!("r{i}"), &coeffs, Rel::Le, rhs);
     }
@@ -44,8 +47,9 @@ pub fn sparse_random(m: usize, n: usize, density: f64, seed: u64) -> LinearProgr
     assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
     let mut lp = LinearProgram::new(format!("sparse-random-{m}x{n}-d{density}-s{seed}"));
-    let vars: Vec<VarId> =
-        (0..n).map(|j| lp.add_var_nonneg(format!("x{j}"), rng.random_range(-1.0..1.0))).collect();
+    let vars: Vec<VarId> = (0..n)
+        .map(|j| lp.add_var_nonneg(format!("x{j}"), rng.random_range(-1.0..1.0)))
+        .collect();
     let xstar: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..1.5)).collect();
     let per_row = ((density * n as f64).ceil() as usize).clamp(2.min(n), n);
 
@@ -81,8 +85,10 @@ pub fn sparse_random(m: usize, n: usize, density: f64, seed: u64) -> LinearProgr
     }
 
     for (i, cols) in row_cols.iter().enumerate() {
-        let coeffs: Vec<(VarId, f64)> =
-            cols.iter().map(|&c| (vars[c], rng.random_range(0.1..1.1))).collect();
+        let coeffs: Vec<(VarId, f64)> = cols
+            .iter()
+            .map(|&c| (vars[c], rng.random_range(0.1..1.1)))
+            .collect();
         let rhs: f64 = coeffs.iter().map(|&(v, a)| a * xstar[v.0]).sum();
         lp.add_constraint(format!("r{i}"), &coeffs, Rel::Le, rhs);
     }
@@ -99,7 +105,10 @@ pub fn sparse_random(m: usize, n: usize, density: f64, seed: u64) -> LinearProgr
 /// `xₙ = 100^{n−1}`, objective `100^{n−1}`. The classic pathological
 /// fixture for pivot-rule experiments (T2).
 pub fn klee_minty(n: usize) -> LinearProgram {
-    assert!((1..=10).contains(&n), "Klee–Minty dimension out of sane range");
+    assert!(
+        (1..=10).contains(&n),
+        "Klee–Minty dimension out of sane range"
+    );
     let mut lp = LinearProgram::new(format!("klee-minty-{n}")).with_sense(Sense::Max);
     let vars: Vec<VarId> = (0..n)
         .map(|j| lp.add_var_nonneg(format!("x{}", j + 1), 10f64.powi((n - 1 - j) as i32)))
@@ -110,7 +119,12 @@ pub fn klee_minty(n: usize) -> LinearProgram {
             coeffs.push((vars[j], 2.0 * 10f64.powi((i - j) as i32)));
         }
         coeffs.push((vars[i], 1.0));
-        lp.add_constraint(format!("km{}", i + 1), &coeffs, Rel::Le, 100f64.powi(i as i32));
+        lp.add_constraint(
+            format!("km{}", i + 1),
+            &coeffs,
+            Rel::Le,
+            100f64.powi(i as i32),
+        );
     }
     lp
 }
@@ -126,9 +140,16 @@ pub fn klee_minty_optimum(n: usize) -> f64 {
 pub fn transportation(supply: &[f64], demand: &[f64], seed: u64) -> LinearProgram {
     let total_s: f64 = supply.iter().sum();
     let total_d: f64 = demand.iter().sum();
-    assert!((total_s - total_d).abs() < 1e-9, "transportation must be balanced");
+    assert!(
+        (total_s - total_d).abs() < 1e-9,
+        "transportation must be balanced"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
-    let mut lp = LinearProgram::new(format!("transport-{}x{}-s{seed}", supply.len(), demand.len()));
+    let mut lp = LinearProgram::new(format!(
+        "transport-{}x{}-s{seed}",
+        supply.len(),
+        demand.len()
+    ));
     let mut x = vec![vec![VarId(0); demand.len()]; supply.len()];
     for (i, row) in x.iter_mut().enumerate() {
         for (j, cell) in row.iter_mut().enumerate() {
@@ -249,7 +270,9 @@ pub fn multi_period_production(periods: usize, seed: u64) -> LinearProgram {
 /// `dense_random(m, n, seed + i)`, so sequential and batched runs see
 /// byte-identical models.
 pub fn batch_dense(count: usize, m: usize, n: usize, seed: u64) -> Vec<LinearProgram> {
-    (0..count).map(|i| dense_random(m, n, seed.wrapping_add(i as u64))).collect()
+    (0..count)
+        .map(|i| dense_random(m, n, seed.wrapping_add(i as u64)))
+        .collect()
 }
 
 /// A size-heterogeneous batch for placement-policy experiments: job `i`
@@ -259,11 +282,7 @@ pub fn batch_dense(count: usize, m: usize, n: usize, seed: u64) -> Vec<LinearPro
 ///
 /// # Panics
 /// If `sizes` is empty.
-pub fn batch_mixed_sizes(
-    count: usize,
-    sizes: &[(usize, usize)],
-    seed: u64,
-) -> Vec<LinearProgram> {
+pub fn batch_mixed_sizes(count: usize, sizes: &[(usize, usize)], seed: u64) -> Vec<LinearProgram> {
     assert!(!sizes.is_empty(), "need at least one (m, n) shape");
     (0..count)
         .map(|i| {
@@ -424,10 +443,14 @@ mod tests {
         let a = dense_random(5, 5, 42);
         let b = dense_random(5, 5, 42);
         let c = dense_random(5, 5, 43);
-        assert_eq!(a.constraint(crate::model::ConstraintId(0)).rhs,
-                   b.constraint(crate::model::ConstraintId(0)).rhs);
-        assert_ne!(a.constraint(crate::model::ConstraintId(0)).rhs,
-                   c.constraint(crate::model::ConstraintId(0)).rhs);
+        assert_eq!(
+            a.constraint(crate::model::ConstraintId(0)).rhs,
+            b.constraint(crate::model::ConstraintId(0)).rhs
+        );
+        assert_ne!(
+            a.constraint(crate::model::ConstraintId(0)).rhs,
+            c.constraint(crate::model::ConstraintId(0)).rhs
+        );
     }
 
     #[test]
@@ -457,10 +480,16 @@ mod tests {
         assert_eq!(lp.num_constraints(), 3);
         // Known optimal vertex: (0, 0, 10000).
         assert!(lp.check_feasible(&[0.0, 0.0, 10000.0], 1e-9).is_none());
-        assert_eq!(lp.objective_value(&[0.0, 0.0, 10000.0]), klee_minty_optimum(3));
+        assert_eq!(
+            lp.objective_value(&[0.0, 0.0, 10000.0]),
+            klee_minty_optimum(3)
+        );
         // Row 3 is 200x₁ + 20x₂ + x₃ ≤ 10000.
         let c3 = lp.constraint(crate::model::ConstraintId(2));
-        assert_eq!(c3.coeffs.iter().map(|&(_, a)| a).collect::<Vec<_>>(), vec![200.0, 20.0, 1.0]);
+        assert_eq!(
+            c3.coeffs.iter().map(|&(_, a)| a).collect::<Vec<_>>(),
+            vec![200.0, 20.0, 1.0]
+        );
         assert_eq!(c3.rhs, 10000.0);
     }
 
@@ -557,8 +586,10 @@ mod tests {
     #[test]
     fn batch_mixed_sizes_cycles_shapes() {
         let batch = batch_mixed_sizes(5, &[(3, 4), (8, 10)], 7);
-        let shapes: Vec<(usize, usize)> =
-            batch.iter().map(|lp| (lp.num_constraints(), lp.num_vars())).collect();
+        let shapes: Vec<(usize, usize)> = batch
+            .iter()
+            .map(|lp| (lp.num_constraints(), lp.num_vars()))
+            .collect();
         assert_eq!(shapes, [(3, 4), (8, 10), (3, 4), (8, 10), (3, 4)]);
     }
 

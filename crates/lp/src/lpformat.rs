@@ -141,7 +141,12 @@ fn parse_expression(tokens: &[&str], lineno: usize) -> Result<Line, LpFormatErro
     if pending_coeff.is_some() {
         return Err(LpFormatError::Parse(lineno, "dangling coefficient".into()));
     }
-    Ok(Line { label: None, terms, rel, rhs })
+    Ok(Line {
+        label: None,
+        terms,
+        rel,
+        rhs,
+    })
 }
 
 /// Parse an LP-format document into a [`LinearProgram`].
@@ -214,7 +219,10 @@ pub fn parse(text: &str) -> Result<LinearProgram, LpFormatError> {
             Section::Constraints => {
                 let mut parsed = parse_expression(&tokens, lineno)?;
                 if parsed.rel.is_none() || parsed.rhs.is_none() {
-                    return Err(LpFormatError::Parse(lineno, format!("incomplete constraint: {body}")));
+                    return Err(LpFormatError::Parse(
+                        lineno,
+                        format!("incomplete constraint: {body}"),
+                    ));
                 }
                 parsed.label = label.clone();
                 let name = label.unwrap_or_else(|| {
@@ -273,28 +281,40 @@ pub fn parse(text: &str) -> Result<LinearProgram, LpFormatError> {
                 if (*le1 == "<=" || *le1 == "<") && (*le2 == "<=" || *le2 == "<") =>
             {
                 let i = idx_of(name)?;
-                lo[i] = l.parse().map_err(|_| LpFormatError::Parse(*lineno, l.to_string()))?;
-                hi[i] = u.parse().map_err(|_| LpFormatError::Parse(*lineno, u.to_string()))?;
+                lo[i] = l
+                    .parse()
+                    .map_err(|_| LpFormatError::Parse(*lineno, l.to_string()))?;
+                hi[i] = u
+                    .parse()
+                    .map_err(|_| LpFormatError::Parse(*lineno, u.to_string()))?;
             }
             // x <= u
             [name, le, u] if (*le == "<=" || *le == "<") && !is_number_start(name) => {
                 let i = idx_of(name)?;
-                hi[i] = u.parse().map_err(|_| LpFormatError::Parse(*lineno, u.to_string()))?;
+                hi[i] = u
+                    .parse()
+                    .map_err(|_| LpFormatError::Parse(*lineno, u.to_string()))?;
             }
             // x >= l
             [name, ge, l] if (*ge == ">=" || *ge == ">") && !is_number_start(name) => {
                 let i = idx_of(name)?;
-                lo[i] = l.parse().map_err(|_| LpFormatError::Parse(*lineno, l.to_string()))?;
+                lo[i] = l
+                    .parse()
+                    .map_err(|_| LpFormatError::Parse(*lineno, l.to_string()))?;
             }
             // l <= x
             [l, le, name] if *le == "<=" || *le == "<" => {
                 let i = idx_of(name)?;
-                lo[i] = l.parse().map_err(|_| LpFormatError::Parse(*lineno, l.to_string()))?;
+                lo[i] = l
+                    .parse()
+                    .map_err(|_| LpFormatError::Parse(*lineno, l.to_string()))?;
             }
             // x = v
             [name, eq, v] if *eq == "=" => {
                 let i = idx_of(name)?;
-                let v: f64 = v.parse().map_err(|_| LpFormatError::Parse(*lineno, v.to_string()))?;
+                let v: f64 = v
+                    .parse()
+                    .map_err(|_| LpFormatError::Parse(*lineno, v.to_string()))?;
                 lo[i] = v;
                 hi[i] = v;
             }
@@ -315,13 +335,26 @@ pub fn parse(text: &str) -> Result<LinearProgram, LpFormatError> {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            model.add_var(name.clone(), lo[i], hi[i], obj_by_var.get(name.as_str()).copied().unwrap_or(0.0))
+            model.add_var(
+                name.clone(),
+                lo[i],
+                hi[i],
+                obj_by_var.get(name.as_str()).copied().unwrap_or(0.0),
+            )
         })
         .collect();
     for (name, line) in constraints {
-        let coeffs: Vec<(VarId, f64)> =
-            line.terms.iter().map(|(n, c)| (ids[seen[n.as_str()]], *c)).collect();
-        model.add_constraint(name, &coeffs, line.rel.expect("validated"), line.rhs.expect("validated"));
+        let coeffs: Vec<(VarId, f64)> = line
+            .terms
+            .iter()
+            .map(|(n, c)| (ids[seen[n.as_str()]], *c))
+            .collect();
+        model.add_constraint(
+            name,
+            &coeffs,
+            line.rel.expect("validated"),
+            line.rhs.expect("validated"),
+        );
     }
     Ok(model)
 }
@@ -345,7 +378,10 @@ fn tokenize(body: &str) -> Vec<&str> {
                 || rest.starts_with('+')
             {
                 (1, true)
-            } else if rest.starts_with('-') && rest.len() > 1 && !rest[1..].starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+            } else if rest.starts_with('-')
+                && rest.len() > 1
+                && !rest[1..].starts_with(|c: char| c.is_ascii_digit() || c == '.')
+            {
                 // `-x` → `-`, `x`; but `-3` stays a signed number.
                 (1, true)
             } else {
@@ -357,9 +393,7 @@ fn tokenize(body: &str) -> Vec<&str> {
                 continue;
             }
             // Take up to the next operator character.
-            let end = rest
-                .find(['<', '>', '=', '+'])
-                .unwrap_or(rest.len());
+            let end = rest.find(['<', '>', '=', '+']).unwrap_or(rest.len());
             if end == 0 {
                 break;
             }
@@ -395,7 +429,11 @@ pub fn write(model: &LinearProgram) -> String {
         out.push_str(&format!(" {}:", c.name));
         let mut first = true;
         for &(vid, a) in &c.coeffs {
-            out.push_str(&format!(" {} {}", sign_prefix(a, first), model.var(vid).name));
+            out.push_str(&format!(
+                " {} {}",
+                sign_prefix(a, first),
+                model.var(vid).name
+            ));
             first = false;
         }
         let rel = match c.rel {
@@ -566,12 +604,18 @@ End
 
     #[test]
     fn empty_document_rejected() {
-        assert!(matches!(parse("\\ nothing\n"), Err(LpFormatError::NoObjective)));
+        assert!(matches!(
+            parse("\\ nothing\n"),
+            Err(LpFormatError::NoObjective)
+        ));
     }
 
     #[test]
     fn unknown_bound_variable_rejected() {
         let text = "Minimize\n obj: x\nSubject To\n c: x >= 1\nBounds\n q <= 5\nEnd\n";
-        assert!(matches!(parse(text), Err(LpFormatError::UnknownVariable(_, _))));
+        assert!(matches!(
+            parse(text),
+            Err(LpFormatError::UnknownVariable(_, _))
+        ));
     }
 }

@@ -86,7 +86,12 @@ pub struct LinearProgram {
 impl LinearProgram {
     /// New empty minimization program.
     pub fn new(name: impl Into<String>) -> Self {
-        LinearProgram { name: name.into(), sense: Sense::Min, vars: Vec::new(), constraints: Vec::new() }
+        LinearProgram {
+            name: name.into(),
+            sense: Sense::Min,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Set the optimization direction (builder style).
@@ -98,9 +103,17 @@ impl LinearProgram {
     /// Add a variable with bounds `[lower, upper]` and objective coefficient
     /// `obj`. Use `f64::NEG_INFINITY` / `f64::INFINITY` for free directions.
     pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, obj: f64) -> VarId {
-        assert!(!lower.is_nan() && !upper.is_nan() && !obj.is_nan(), "NaN in variable");
+        assert!(
+            !lower.is_nan() && !upper.is_nan() && !obj.is_nan(),
+            "NaN in variable"
+        );
         assert!(lower <= upper, "variable lower bound exceeds upper bound");
-        self.vars.push(Variable { name: name.into(), lower, upper, obj });
+        self.vars.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            obj,
+        });
         VarId(self.vars.len() - 1)
     }
 
@@ -119,10 +132,18 @@ impl LinearProgram {
     ) -> ConstraintId {
         assert!(!rhs.is_nan(), "NaN rhs");
         for &(v, c) in coeffs {
-            assert!(v.0 < self.vars.len(), "constraint references unknown variable");
+            assert!(
+                v.0 < self.vars.len(),
+                "constraint references unknown variable"
+            );
             assert!(!c.is_nan(), "NaN coefficient");
         }
-        self.constraints.push(Constraint { name: name.into(), coeffs: coeffs.to_vec(), rel, rhs });
+        self.constraints.push(Constraint {
+            name: name.into(),
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
         ConstraintId(self.constraints.len() - 1)
     }
 
@@ -260,7 +281,10 @@ mod tests {
         let v = lp.check_feasible(&[4.0, 6.0], 1e-9).unwrap();
         assert!(v.contains("plant3"), "{v}");
         // Negative x violates its bound.
-        assert!(lp.check_feasible(&[-1.0, 0.0], 1e-9).unwrap().contains("variable x"));
+        assert!(lp
+            .check_feasible(&[-1.0, 0.0], 1e-9)
+            .unwrap()
+            .contains("variable x"));
     }
 
     #[test]

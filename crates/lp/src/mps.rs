@@ -110,17 +110,21 @@ pub fn parse(text: &str) -> Result<LinearProgram, MpsError> {
                     other => return Err(MpsError::Parse(lineno, other.to_string())),
                 };
                 let rname = fields[1].to_string();
-                if rel.is_none()
-                    && obj_row.is_none() {
-                        obj_row = Some(rname.clone());
-                    }
-                    // Extra N rows are ignored (free rows), NETLIB-style.
+                if rel.is_none() && obj_row.is_none() {
+                    obj_row = Some(rname.clone());
+                }
+                // Extra N rows are ignored (free rows), NETLIB-style.
                 if rel.is_some() {
                     row_order.push(rname.clone());
                 }
                 rows.insert(
                     rname,
-                    RowDecl { rel, coeffs: Vec::new(), rhs: 0.0, range: None },
+                    RowDecl {
+                        rel,
+                        coeffs: Vec::new(),
+                        rhs: 0.0,
+                        range: None,
+                    },
                 );
             }
             Section::Columns => {
@@ -147,10 +151,10 @@ pub fn parse(text: &str) -> Result<LinearProgram, MpsError> {
                     if Some(rname) == obj_row.as_deref() {
                         obj_coeffs.push((col.clone(), val));
                     } else if rows[rname].rel.is_some() {
-                        col_entries.get_mut(&col).expect("column registered").push((
-                            rname.to_string(),
-                            val,
-                        ));
+                        col_entries
+                            .get_mut(&col)
+                            .expect("column registered")
+                            .push((rname.to_string(), val));
                     }
                     // Coefficients on extra free rows are dropped.
                     k += 2;
@@ -231,8 +235,7 @@ pub fn parse(text: &str) -> Result<LinearProgram, MpsError> {
     // Assemble the program.
     let mut lp = LinearProgram::new(name).with_sense(Sense::Min);
     let mut var_ids: HashMap<&str, VarId> = HashMap::with_capacity(col_order.len());
-    let obj_by_col: HashMap<&str, f64> =
-        obj_coeffs.iter().map(|(c, v)| (c.as_str(), *v)).collect();
+    let obj_by_col: HashMap<&str, f64> = obj_coeffs.iter().map(|(c, v)| (c.as_str(), *v)).collect();
     for col in &col_order {
         let (lo, hi) = bounds.get(col).copied().unwrap_or((0.0, f64::INFINITY));
         let obj = obj_by_col.get(col.as_str()).copied().unwrap_or(0.0);
@@ -242,7 +245,10 @@ pub fn parse(text: &str) -> Result<LinearProgram, MpsError> {
     for col in &col_order {
         let id = var_ids[col.as_str()];
         for (rname, val) in &col_entries[col.as_str()] {
-            rows.get_mut(rname.as_str()).expect("row exists").coeffs.push((id, *val));
+            rows.get_mut(rname.as_str())
+                .expect("row exists")
+                .coeffs
+                .push((id, *val));
         }
     }
     for rname in &row_order {
@@ -491,7 +497,10 @@ ENDATA
 
     #[test]
     fn errors_are_reported() {
-        assert!(matches!(parse("GARBAGE\n"), Err(MpsError::UnexpectedLine(1, _))));
+        assert!(matches!(
+            parse("GARBAGE\n"),
+            Err(MpsError::UnexpectedLine(1, _))
+        ));
         assert!(matches!(
             parse("ROWS\n L R1\nCOLUMNS\n    X R1 1.0\nENDATA\n"),
             Err(MpsError::NoObjective)

@@ -85,8 +85,12 @@ pub fn presolve(lp: &LinearProgram) -> PresolveResult {
         .constraints()
         .iter()
         .map(|c| {
-            let coeffs: Vec<(usize, f64)> =
-                c.coeffs.iter().filter(|&&(_, a)| a != 0.0).map(|&(v, a)| (v.0, a)).collect();
+            let coeffs: Vec<(usize, f64)> = c
+                .coeffs
+                .iter()
+                .filter(|&&(_, a)| a != 0.0)
+                .map(|&(v, a)| (v.0, a))
+                .collect();
             Some((c.name.clone(), coeffs, c.rel, c.rhs))
         })
         .collect();
@@ -118,7 +122,9 @@ pub fn presolve(lp: &LinearProgram) -> PresolveResult {
 
         // 2 & 3. Empty rows and singleton rows.
         for ri in 0..rows.len() {
-            let Some((name, coeffs, rel, rhs)) = rows[ri].clone() else { continue };
+            let Some((name, coeffs, rel, rhs)) = rows[ri].clone() else {
+                continue;
+            };
             if coeffs.is_empty() {
                 let ok = match rel {
                     Rel::Le => 0.0 <= rhs + TOL,
@@ -126,7 +132,9 @@ pub fn presolve(lp: &LinearProgram) -> PresolveResult {
                     Rel::Eq => rhs.abs() <= TOL,
                 };
                 if !ok {
-                    return PresolveResult::Infeasible(format!("empty row {name} demands {rel} {rhs}"));
+                    return PresolveResult::Infeasible(format!(
+                        "empty row {name} demands {rel} {rhs}"
+                    ));
                 }
                 rows[ri] = None;
                 removed_rows.push(ri);
@@ -230,7 +238,11 @@ pub fn presolve(lp: &LinearProgram) -> PresolveResult {
         reduced.add_constraint(row.0.clone(), &coeffs, row.2, row.3);
     }
     removed_rows.sort_unstable();
-    PresolveResult::Reduced(Presolved { lp: reduced, mapping, removed_rows })
+    PresolveResult::Reduced(Presolved {
+        lp: reduced,
+        mapping,
+        removed_rows,
+    })
 }
 
 fn flip(r: Rel) -> Rel {
@@ -252,7 +264,9 @@ mod tests {
         let x = lp.add_var("x", 3.0, 3.0, 2.0);
         let y = lp.add_var_nonneg("y", 1.0);
         lp.add_constraint("c", &[(x, 2.0), (y, 1.0)], Rel::Le, 10.0);
-        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!("expected reduction") };
+        let PresolveResult::Reduced(p) = presolve(&lp) else {
+            panic!("expected reduction")
+        };
         // Substituting x = 3 makes `c` a singleton row on y (y ≤ 4), which
         // becomes a bound; y is then an empty column fixed at its preferred
         // bound 0 (minimize, obj +1). Everything presolves away.
@@ -269,7 +283,9 @@ mod tests {
         let y = lp.add_var_nonneg("y", 1.0);
         lp.add_constraint("b", &[(x, 2.0)], Rel::Le, 8.0);
         lp.add_constraint("c", &[(x, 1.0), (y, 1.0)], Rel::Ge, 1.0);
-        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!() };
+        let PresolveResult::Reduced(p) = presolve(&lp) else {
+            panic!()
+        };
         assert_eq!(p.lp.num_constraints(), 1);
         let xv = p.lp.var(p.lp.var_by_name("x").unwrap());
         assert_eq!(xv.upper, 4.0);
@@ -282,7 +298,9 @@ mod tests {
         let x = lp.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
         lp.add_constraint("b", &[(x, -2.0)], Rel::Le, -4.0); // −2x ≤ −4 ⇔ x ≥ 2
         lp.add_constraint("keep", &[(x, 1.0)], Rel::Le, 10.0);
-        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!() };
+        let PresolveResult::Reduced(p) = presolve(&lp) else {
+            panic!()
+        };
         // Both singleton rows become bounds: 2 ≤ x ≤ 10, then x (obj +1,
         // minimize) sits at its lower bound... but x still has a finite range
         // and no rows → empty column fixed at 2.
@@ -314,7 +332,9 @@ mod tests {
         let x = lp.add_var("x", 0.0, 5.0, 1.0); // max x → upper bound
         let y = lp.add_var("y", -1.0, 9.0, -2.0); // max −2y → lower bound
         let _ = (x, y);
-        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!() };
+        let PresolveResult::Reduced(p) = presolve(&lp) else {
+            panic!()
+        };
         assert_eq!(p.restore(&[]), vec![5.0, -1.0]);
     }
 
@@ -328,7 +348,9 @@ mod tests {
     #[test]
     fn irreducible_model_passes_through() {
         let lp = crate::generator::dense_random(4, 6, 2);
-        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!() };
+        let PresolveResult::Reduced(p) = presolve(&lp) else {
+            panic!()
+        };
         assert_eq!(p.lp.num_vars(), 6);
         assert_eq!(p.lp.num_constraints(), 4);
         assert_eq!(p.vars_removed(), 0);
@@ -342,7 +364,9 @@ mod tests {
         let y = lp.add_var_nonneg("y", 1.0);
         lp.add_constraint("fx", &[(x, 1.0)], Rel::Eq, 2.0);
         lp.add_constraint("xy", &[(x, 1.0), (y, 1.0)], Rel::Eq, 5.0);
-        let PresolveResult::Reduced(p) = presolve(&lp) else { panic!() };
+        let PresolveResult::Reduced(p) = presolve(&lp) else {
+            panic!()
+        };
         assert_eq!(p.lp.num_constraints(), 0);
         assert_eq!(p.restore(&[]), vec![2.0, 3.0]);
     }

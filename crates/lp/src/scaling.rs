@@ -73,7 +73,10 @@ pub fn scale<T: Scalar>(sf: &mut StandardForm<T>, kind: ScalingKind) -> ScaleRep
             scale_cols(sf, true);
         }
     }
-    ScaleReport { spread_before: before, spread_after: spread(sf) }
+    ScaleReport {
+        spread_before: before,
+        spread_after: spread(sf),
+    }
 }
 
 fn row_factor<T: Scalar>(sf: &StandardForm<T>, i: usize, equil: bool) -> f64 {
@@ -173,8 +176,12 @@ mod tests {
     fn geometric_mean_reduces_spread() {
         let mut sf = badly_scaled();
         let rep = scale(&mut sf, ScalingKind::GeometricMean);
-        assert!(rep.spread_after < rep.spread_before / 100.0,
-            "spread {} -> {}", rep.spread_before, rep.spread_after);
+        assert!(
+            rep.spread_after < rep.spread_before / 100.0,
+            "spread {} -> {}",
+            rep.spread_before,
+            rep.spread_after
+        );
     }
 
     #[test]

@@ -120,7 +120,9 @@ impl<T: Scalar> StandardForm<T> {
 
     /// Index of the first artificial column, if any.
     pub fn first_artificial(&self) -> Option<usize> {
-        self.col_kinds.iter().position(|k| matches!(k, ColKind::Artificial(_)))
+        self.col_kinds
+            .iter()
+            .position(|k| matches!(k, ColKind::Artificial(_)))
     }
 
     /// Build the standard form from a general-form program.
@@ -203,12 +205,24 @@ impl<T: Scalar> StandardForm<T> {
                     }
                 }
             }
-            let coeffs: Vec<(usize, f64)> =
-                dense.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(j, &v)| (j, v)).collect();
-            rows.push(Row { coeffs, rel: con.rel, rhs });
+            let coeffs: Vec<(usize, f64)> = dense
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(j, &v)| (j, v))
+                .collect();
+            rows.push(Row {
+                coeffs,
+                rel: con.rel,
+                rhs,
+            });
         }
         for &(col, ub) in &bound_rows {
-            rows.push(Row { coeffs: vec![(col, 1.0)], rel: Rel::Le, rhs: ub });
+            rows.push(Row {
+                coeffs: vec![(col, 1.0)],
+                rel: Rel::Le,
+                rhs: ub,
+            });
         }
 
         // ---- step 3: make rhs non-negative --------------------------------
@@ -312,7 +326,11 @@ impl<T: Scalar> StandardForm<T> {
     /// Map a standard-form point back to the original variables, in
     /// declaration order (undoes scaling, shifts, flips and splits).
     pub fn recover_x(&self, x_std: &[T]) -> Vec<f64> {
-        assert_eq!(x_std.len(), self.num_cols(), "standard point dimension mismatch");
+        assert_eq!(
+            x_std.len(),
+            self.num_cols(),
+            "standard point dimension mismatch"
+        );
         let unscaled = |j: usize| x_std[j].to_f64() * self.col_scale[j];
         self.var_maps
             .iter()
@@ -329,8 +347,12 @@ impl<T: Scalar> StandardForm<T> {
     /// Scaling needs no correction here: column scaling multiplies `c̃ⱼ` by
     /// `sⱼ` and divides `x̃ⱼ` by `sⱼ`, so `c̃ᵀx̃` is invariant.
     pub fn objective_value(&self, x_std: &[T]) -> f64 {
-        let z_std: f64 =
-            self.c.iter().zip(x_std).map(|(&cj, &xj)| cj.to_f64() * xj.to_f64()).sum();
+        let z_std: f64 = self
+            .c
+            .iter()
+            .zip(x_std)
+            .map(|(&cj, &xj)| cj.to_f64() * xj.to_f64())
+            .sum();
         self.obj_sign * (z_std + self.obj_constant)
     }
 

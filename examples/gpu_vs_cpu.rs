@@ -39,8 +39,14 @@ fn main() {
 
     let tc = cpu.stats.total_time().as_secs_f64();
     let tg = gres.stats.total_time().as_secs_f64();
-    println!("objective: {:.6} (cpu) vs {:.6} (gpu)", cpu.z_std, gres.z_std);
-    println!("speedup (cpu/gpu): {:.2}x  — the paper's crossover means <1 for small m", tc / tg);
+    println!(
+        "objective: {:.6} (cpu) vs {:.6} (gpu)",
+        cpu.z_std, gres.z_std
+    );
+    println!(
+        "speedup (cpu/gpu): {:.2}x  — the paper's crossover means <1 for small m",
+        tc / tg
+    );
 
     println!("\ndevice counters:\n{}", gpu.counters());
 }

@@ -39,9 +39,17 @@ fn build_model() -> (LinearProgram, Vec<VarId>) {
 fn main() {
     let (model, vars) = build_model();
 
-    println!("solving {} ({} vars, {} rows)\n", model.name, model.num_vars(), model.num_constraints());
+    println!(
+        "solving {} ({} vars, {} rows)\n",
+        model.name,
+        model.num_vars(),
+        model.num_constraints()
+    );
     for rule in [PivotRule::Dantzig, PivotRule::Bland, PivotRule::Hybrid] {
-        let opts = SolverOptions { pivot_rule: rule, ..Default::default() };
+        let opts = SolverOptions {
+            pivot_rule: rule,
+            ..Default::default()
+        };
         let sol = solve::<f64>(&model, &opts);
         assert_eq!(sol.status, Status::Optimal);
         println!(

@@ -30,7 +30,10 @@ fn main() {
     assert_eq!(gpu.status, Status::Optimal);
     assert!((cpu.objective - gpu.objective).abs() < 1e-6);
 
-    println!("minimum cost: {:.2} (cpu) / {:.2} (simulated gpu)", cpu.objective, gpu.objective);
+    println!(
+        "minimum cost: {:.2} (cpu) / {:.2} (simulated gpu)",
+        cpu.objective, gpu.objective
+    );
     println!(
         "iterations  : {} cpu / {} gpu ({} phase-1)",
         cpu.stats.iterations, gpu.stats.iterations, cpu.stats.phase1_iterations

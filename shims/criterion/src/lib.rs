@@ -24,12 +24,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A function name plus a parameter, rendered `name/param`.
     pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
-        BenchmarkId { name: format!("{name}/{param}") }
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
     }
 
     /// A parameter-only id.
     pub fn from_parameter(param: impl fmt::Display) -> Self {
-        BenchmarkId { name: format!("{param}") }
+        BenchmarkId {
+            name: format!("{param}"),
+        }
     }
 }
 
@@ -77,12 +81,18 @@ impl BenchmarkGroup {
     }
 
     fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
-        let mut b = Bencher { samples: self.sample_size, result: None };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
         f(&mut b);
         match b.result {
             Some((mean, min)) => println!(
                 "bench {}/{id}: mean {:>12.3?}  min {:>12.3?}  ({} samples)",
-                self.name, mean, min, self.samples_label()
+                self.name,
+                mean,
+                min,
+                self.samples_label()
             ),
             None => println!("bench {}/{id}: no measurement (iter not called)", self.name),
         }
@@ -123,7 +133,10 @@ pub struct Criterion {
 impl Criterion {
     /// Start a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.into(), sample_size: 10 }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
     }
 
     /// Benchmark a plain closure outside any group.

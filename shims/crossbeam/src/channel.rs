@@ -65,7 +65,12 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
     });
-    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 impl<T> Sender<T> {
@@ -74,7 +79,11 @@ impl<T> Sender<T> {
         if self.shared.receivers.load(Ordering::SeqCst) == 0 {
             return Err(SendError(value));
         }
-        self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(value);
         self.shared.ready.notify_one();
         Ok(())
     }
@@ -91,7 +100,11 @@ impl<T> Receiver<T> {
             if self.shared.senders.load(Ordering::SeqCst) == 0 {
                 return Err(RecvError);
             }
-            queue = self.shared.ready.wait(queue).unwrap_or_else(|e| e.into_inner());
+            queue = self
+                .shared
+                .ready
+                .wait(queue)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -128,14 +141,18 @@ impl<T> Iterator for Iter<'_, T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.shared.senders.fetch_add(1, Ordering::SeqCst);
-        Sender { shared: Arc::clone(&self.shared) }
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.shared.receivers.fetch_add(1, Ordering::SeqCst);
-        Receiver { shared: Arc::clone(&self.shared) }
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -191,7 +208,10 @@ mod tests {
             })
             .collect();
         drop(rx);
-        let mut all: Vec<i32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<i32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
     }

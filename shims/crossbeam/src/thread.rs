@@ -32,7 +32,9 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         T: Send + 'scope,
     {
         let inner = self.inner;
-        ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
     }
 }
 
@@ -50,7 +52,9 @@ pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
 }
 
 #[cfg(test)]

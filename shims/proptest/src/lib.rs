@@ -25,7 +25,10 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
     }
 }
 
@@ -83,7 +86,9 @@ impl Gen {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        Gen { state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+        Gen {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
     }
 
     /// Next 64 uniform bits.
@@ -407,10 +412,9 @@ mod tests {
 
     #[test]
     fn combinators_compose() {
-        let strat = (1usize..=4, 1usize..=4)
-            .prop_flat_map(|(m, n)| {
-                crate::collection::vec(0.0f64..1.0, m * n).prop_map(move |v| (m, n, v))
-            });
+        let strat = (1usize..=4, 1usize..=4).prop_flat_map(|(m, n)| {
+            crate::collection::vec(0.0f64..1.0, m * n).prop_map(move |v| (m, n, v))
+        });
         let mut g = Gen::from_seed(9);
         for _ in 0..50 {
             let (m, n, v) = strat.generate(&mut g);

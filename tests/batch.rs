@@ -79,8 +79,11 @@ fn mixed_outcome_batch_reports_per_job_statuses() {
         Status::Optimal,
     ];
     for workers in [1usize, 3, 8] {
-        let report = BatchSolver::new(BatchOptions { workers, ..Default::default() })
-            .solve::<f64>(&jobs);
+        let report = BatchSolver::new(BatchOptions {
+            workers,
+            ..Default::default()
+        })
+        .solve::<f64>(&jobs);
         assert!(report.all_solved(), "w={workers}");
         for (r, want) in report.results.iter().zip(&expected) {
             let sol = r.outcome.solution().unwrap();
@@ -166,15 +169,23 @@ fn size_threshold_policy_splits_batch_and_tallies() {
         BackendKind::CpuDense,
         BackendKind::GpuDense(DeviceSpec::gtx280()),
     );
-    let report = BatchSolver::new(BatchOptions { workers: 4, policy, ..Default::default() })
-        .solve::<f64>(&jobs);
+    let report = BatchSolver::new(BatchOptions {
+        workers: 4,
+        policy,
+        ..Default::default()
+    })
+    .solve::<f64>(&jobs);
     assert!(report.all_solved());
     let cpu = report.stats.per_backend["cpu-dense"];
     let gpu = report.stats.per_backend["gpu-dense"];
     assert_eq!(cpu.jobs, 6);
     assert_eq!(gpu.jobs, 6);
     for r in &report.results {
-        let want = if r.index % 2 == 0 { "cpu-dense" } else { "gpu-dense" };
+        let want = if r.index % 2 == 0 {
+            "cpu-dense"
+        } else {
+            "gpu-dense"
+        };
         assert_eq!(r.backend, want, "job {}", r.index);
     }
     let util = report.stats.utilization("cpu-dense") + report.stats.utilization("gpu-dense");

@@ -5,7 +5,11 @@ use gpu_sim::DeviceSpec;
 use lp::{LinearProgram, Rel, Sense};
 
 fn raw_opts() -> SolverOptions {
-    SolverOptions { presolve: false, scale: false, ..Default::default() }
+    SolverOptions {
+        presolve: false,
+        scale: false,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -14,7 +18,10 @@ fn no_constraints_nonneg_costs_is_trivially_optimal() {
     let mut model = LinearProgram::new("trivial");
     model.add_var_nonneg("x", 1.0);
     model.add_var_nonneg("y", 2.0);
-    for kind in [BackendKind::CpuDense, BackendKind::GpuDense(DeviceSpec::gtx280())] {
+    for kind in [
+        BackendKind::CpuDense,
+        BackendKind::GpuDense(DeviceSpec::gtx280()),
+    ] {
         let sol = solve_on::<f64>(&model, &raw_opts(), &kind);
         assert_eq!(sol.status, Status::Optimal, "{kind:?}");
         assert_eq!(sol.objective, 0.0);
@@ -26,7 +33,10 @@ fn no_constraints_nonneg_costs_is_trivially_optimal() {
 fn no_constraints_negative_cost_is_unbounded() {
     let mut model = LinearProgram::new("free-fall");
     model.add_var_nonneg("x", -1.0);
-    for kind in [BackendKind::CpuDense, BackendKind::GpuDense(DeviceSpec::gtx280())] {
+    for kind in [
+        BackendKind::CpuDense,
+        BackendKind::GpuDense(DeviceSpec::gtx280()),
+    ] {
         let sol = solve_on::<f64>(&model, &raw_opts(), &kind);
         assert_eq!(sol.status, Status::Unbounded, "{kind:?}");
     }
@@ -54,7 +64,10 @@ fn equality_only_system_with_unique_point() {
     let y = model.add_var_nonneg("y", 1.0);
     model.add_constraint("sum", &[(x, 1.0), (y, 1.0)], Rel::Eq, 3.0);
     model.add_constraint("diff", &[(x, 1.0), (y, -1.0)], Rel::Eq, 1.0);
-    for kind in [BackendKind::CpuDense, BackendKind::GpuDense(DeviceSpec::gtx280())] {
+    for kind in [
+        BackendKind::CpuDense,
+        BackendKind::GpuDense(DeviceSpec::gtx280()),
+    ] {
         let sol = solve_on::<f64>(&model, &raw_opts(), &kind);
         assert_eq!(sol.status, Status::Optimal, "{kind:?}");
         assert!((sol.x[0] - 2.0).abs() < 1e-8);
@@ -71,11 +84,18 @@ fn redundant_equalities_leave_artificial_in_basis_harmlessly() {
     let y = model.add_var_nonneg("y", 2.0);
     model.add_constraint("r1", &[(x, 1.0), (y, 1.0)], Rel::Eq, 4.0);
     model.add_constraint("r2", &[(x, 2.0), (y, 2.0)], Rel::Eq, 8.0);
-    for kind in [BackendKind::CpuDense, BackendKind::GpuDense(DeviceSpec::gtx280())] {
+    for kind in [
+        BackendKind::CpuDense,
+        BackendKind::GpuDense(DeviceSpec::gtx280()),
+    ] {
         let sol = solve_on::<f64>(&model, &raw_opts(), &kind);
         assert_eq!(sol.status, Status::Optimal, "{kind:?}");
         // min x + 2y on x + y = 4 → all weight on x.
-        assert!((sol.objective - 4.0).abs() < 1e-8, "{kind:?}: {}", sol.objective);
+        assert!(
+            (sol.objective - 4.0).abs() < 1e-8,
+            "{kind:?}: {}",
+            sol.objective
+        );
         assert!((sol.x[0] - 4.0).abs() < 1e-8);
     }
 }
@@ -113,7 +133,10 @@ fn iteration_limit_in_phase_one_is_reported() {
     let x = model.add_var_nonneg("x", 1.0);
     let y = model.add_var_nonneg("y", 1.0);
     model.add_constraint("r", &[(x, 1.0), (y, 2.0)], Rel::Ge, 4.0);
-    let opts = SolverOptions { max_iterations: Some(0), ..raw_opts() };
+    let opts = SolverOptions {
+        max_iterations: Some(0),
+        ..raw_opts()
+    };
     let sol = solve::<f64>(&model, &opts);
     assert_eq!(sol.status, Status::IterationLimit);
 }
@@ -126,7 +149,11 @@ fn huge_coefficient_spread_is_tamed_by_scaling() {
     let y = model.add_var_nonneg("y", 1.0);
     model.add_constraint("r1", &[(x, 1e7), (y, 1.0)], Rel::Le, 2e7);
     model.add_constraint("r2", &[(x, 1.0), (y, 1e-2)], Rel::Le, 4.0);
-    let opts = SolverOptions { scale: true, presolve: false, ..Default::default() };
+    let opts = SolverOptions {
+        scale: true,
+        presolve: false,
+        ..Default::default()
+    };
     let sol64 = solve::<f64>(&model, &opts);
     let sol32 = solve::<f32>(&model, &opts);
     assert_eq!(sol64.status, Status::Optimal);
@@ -160,7 +187,11 @@ fn gpu_and_cpu_agree_on_a_wide_problem() {
     // n ≫ m — the revised method's favorite shape.
     let model = lp::generator::dense_random(8, 200, 77);
     let c = solve_on::<f64>(&model, &raw_opts(), &BackendKind::CpuDense);
-    let g = solve_on::<f64>(&model, &raw_opts(), &BackendKind::GpuDense(DeviceSpec::gtx280()));
+    let g = solve_on::<f64>(
+        &model,
+        &raw_opts(),
+        &BackendKind::GpuDense(DeviceSpec::gtx280()),
+    );
     assert_eq!(c.status, Status::Optimal);
     assert_eq!(g.status, Status::Optimal);
     assert!((c.objective - g.objective).abs() < 1e-8);

@@ -56,11 +56,19 @@ fn sample_files_pin_objectives_on_all_backends() {
     for kind in all_backends() {
         let a = solve_on::<f64>(&mps, &SolverOptions::default(), &kind);
         assert_eq!(a.status, Status::Optimal, "sample.mps on {kind:?}");
-        assert!((a.objective + 36.0).abs() < 1e-9, "sample.mps on {kind:?}: {}", a.objective);
+        assert!(
+            (a.objective + 36.0).abs() < 1e-9,
+            "sample.mps on {kind:?}: {}",
+            a.objective
+        );
 
         let b = solve_on::<f64>(&lpf, &SolverOptions::default(), &kind);
         assert_eq!(b.status, Status::Optimal, "sample.lp on {kind:?}");
-        assert!((b.objective - 13.0).abs() < 1e-9, "sample.lp on {kind:?}: {}", b.objective);
+        assert!(
+            (b.objective - 13.0).abs() < 1e-9,
+            "sample.lp on {kind:?}: {}",
+            b.objective
+        );
     }
 }
 

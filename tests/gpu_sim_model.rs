@@ -128,7 +128,13 @@ fn parallel_and_sequential_execution_agree_bitwise() {
     for mode in [ExecMode::Sequential, ExecMode::Parallel(3)] {
         let gpu = Gpu::with_mode(DeviceSpec::gtx280(), mode);
         let mut buf = gpu.htod(&host);
-        gpu.launch(LaunchConfig::for_elems(host.len(), 96), &Square { data: buf.view_mut(), n: host.len() });
+        gpu.launch(
+            LaunchConfig::for_elems(host.len(), 96),
+            &Square {
+                data: buf.view_mut(),
+                n: host.len(),
+            },
+        );
         out.push(gpu.dtoh(&buf));
     }
     assert_eq!(out[0], out[1]);
@@ -141,7 +147,13 @@ fn simulated_time_is_deterministic() {
         let gpu = Gpu::new(DeviceSpec::gtx280());
         let mut buf = gpu.htod(&vec![2.0f32; 4096]);
         for _ in 0..5 {
-            gpu.launch(LaunchConfig::for_elems(4096, 128), &Square { data: buf.view_mut(), n: 4096 });
+            gpu.launch(
+                LaunchConfig::for_elems(4096, 128),
+                &Square {
+                    data: buf.view_mut(),
+                    n: 4096,
+                },
+            );
         }
         times.push(gpu.elapsed().as_nanos());
     }
@@ -158,26 +170,43 @@ fn faster_device_is_not_slower_on_bandwidth_bound_work() {
         let mut buf = gpu.htod(&vec![1.0f32; 1 << 20]);
         gpu.launch(
             LaunchConfig::for_elems(1 << 20, 256),
-            &Square { data: buf.view_mut(), n: 1 << 20 },
+            &Square {
+                data: buf.view_mut(),
+                n: 1 << 20,
+            },
         );
         let c = gpu.counters();
         elapsed.push((c.elapsed - c.breakdown.get(gpu_sim::TimeCategory::TransferH2D)).as_nanos());
     }
-    assert!(elapsed[1] <= elapsed[0], "titan {} vs gtx280 {}", elapsed[1], elapsed[0]);
+    assert!(
+        elapsed[1] <= elapsed[0],
+        "titan {} vs gtx280 {}",
+        elapsed[1],
+        elapsed[0]
+    );
 }
 
 #[test]
 fn counters_account_for_all_time() {
     let gpu = Gpu::new(DeviceSpec::gtx280());
     let mut buf = gpu.htod(&vec![1.0f32; 1024]);
-    gpu.launch(LaunchConfig::for_elems(1024, 128), &Square { data: buf.view_mut(), n: 1024 });
+    gpu.launch(
+        LaunchConfig::for_elems(1024, 128),
+        &Square {
+            data: buf.view_mut(),
+            n: 1024,
+        },
+    );
     let _ = gpu.dtoh(&buf);
     let c = gpu.counters();
     let sum: f64 = gpu_sim::TimeCategory::ALL
         .iter()
         .map(|cat| c.breakdown.get(*cat).as_nanos())
         .sum();
-    assert!((sum - c.elapsed.as_nanos()).abs() < 1.0, "breakdown must cover elapsed");
+    assert!(
+        (sum - c.elapsed.as_nanos()).abs() < 1.0,
+        "breakdown must cover elapsed"
+    );
     assert_eq!(c.kernels_launched, 1);
     assert_eq!(c.h2d_count, 1);
     assert_eq!(c.d2h_count, 1);

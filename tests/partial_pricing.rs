@@ -6,7 +6,12 @@ use gpu_sim::DeviceSpec;
 use lp::{generator, StandardForm};
 
 fn opts_with(rule: PivotRule) -> SolverOptions {
-    SolverOptions { pivot_rule: rule, presolve: false, scale: false, ..Default::default() }
+    SolverOptions {
+        pivot_rule: rule,
+        presolve: false,
+        scale: false,
+        ..Default::default()
+    }
 }
 
 fn backends() -> Vec<BackendKind> {
@@ -22,7 +27,8 @@ fn partial_pricing_reaches_the_same_optimum_on_every_backend() {
     for (m, n, seed) in [(16usize, 64usize, 1u64), (24, 96, 2), (12, 30, 3)] {
         let model = generator::dense_random(m, n, seed);
         let sf = StandardForm::<f64>::from_lp(&model).expect("standardizes");
-        let full = solve_standard::<f64>(&sf, &opts_with(PivotRule::Dantzig), &BackendKind::CpuDense);
+        let full =
+            solve_standard::<f64>(&sf, &opts_with(PivotRule::Dantzig), &BackendKind::CpuDense);
         assert_eq!(full.status, Status::Optimal);
         for window in [1usize, 7, 16, 1000] {
             for kind in backends() {
@@ -55,8 +61,11 @@ fn partial_pricing_cuts_modeled_pricing_time_when_columns_dominate() {
     let cpu = BackendKind::CpuDense;
 
     let full = solve_standard::<f64>(&sf, &opts_with(PivotRule::Dantzig), &cpu);
-    let partial =
-        solve_standard::<f64>(&sf, &opts_with(PivotRule::PartialDantzig { window: 96 }), &cpu);
+    let partial = solve_standard::<f64>(
+        &sf,
+        &opts_with(PivotRule::PartialDantzig { window: 96 }),
+        &cpu,
+    );
     assert_eq!(full.status, Status::Optimal);
     assert_eq!(partial.status, Status::Optimal);
     assert!((full.z_std - partial.z_std).abs() / full.z_std.abs().max(1.0) < 1e-9);
@@ -106,7 +115,10 @@ fn partial_pricing_solves_two_phase_problems() {
             &kind,
         );
         assert_eq!(res.status, Status::Optimal, "{kind:?}");
-        assert!((sf.objective_from_std(res.z_std) - expected).abs() < 1e-8, "{kind:?}");
+        assert!(
+            (sf.objective_from_std(res.z_std) - expected).abs() < 1e-8,
+            "{kind:?}"
+        );
     }
 }
 

@@ -58,9 +58,18 @@ fn pipeline_toggles_do_not_change_the_optimum() {
     for presolve in [false, true] {
         for scale in [false, true] {
             for rule in [PivotRule::Dantzig, PivotRule::Bland, PivotRule::Hybrid] {
-                let opts = SolverOptions { presolve, scale, pivot_rule: rule, ..Default::default() };
+                let opts = SolverOptions {
+                    presolve,
+                    scale,
+                    pivot_rule: rule,
+                    ..Default::default()
+                };
                 let sol = solve::<f64>(&model, &opts);
-                assert_eq!(sol.status, Status::Optimal, "presolve={presolve} scale={scale}");
+                assert_eq!(
+                    sol.status,
+                    Status::Optimal,
+                    "presolve={presolve} scale={scale}"
+                );
                 assert!(
                     rel_err(sol.objective, reference.objective) < 1e-7,
                     "presolve={presolve} scale={scale} rule={rule:?}: {} vs {}",
@@ -93,7 +102,11 @@ fn revised_simplex_agrees_with_tableau_oracle_on_random_instances() {
 
 #[test]
 fn infeasible_and_unbounded_agree_across_backends_without_presolve() {
-    let opts = SolverOptions { presolve: false, scale: false, ..Default::default() };
+    let opts = SolverOptions {
+        presolve: false,
+        scale: false,
+        ..Default::default()
+    };
     for kind in backends() {
         let inf = solve_on::<f64>(&fixtures::infeasible(), &opts, &kind);
         assert_eq!(inf.status, Status::Infeasible, "{kind:?}");
@@ -158,7 +171,11 @@ fn bounded_variables_and_free_variables_round_trip() {
     for kind in backends() {
         let sol = solve_on::<f64>(&model, &SolverOptions::default(), &kind);
         assert_eq!(sol.status, Status::Optimal, "{kind:?}");
-        assert!(rel_err(sol.objective, -10.0) < 1e-8, "{kind:?}: {}", sol.objective);
+        assert!(
+            rel_err(sol.objective, -10.0) < 1e-8,
+            "{kind:?}: {}",
+            sol.objective
+        );
         assert!((sol.x[0] - 3.0).abs() < 1e-8);
         assert!((sol.x[1] - 4.0).abs() < 1e-8);
         assert!((sol.x[2] - 1.0).abs() < 1e-8);
@@ -208,7 +225,10 @@ fn klee_minty_is_exponential_under_dantzig_linear_under_bland() {
         assert_eq!(sol.stats.iterations, (1 << n) - 1, "KM({n}) under Dantzig");
         assert!(rel_err(sol.objective, generator::klee_minty_optimum(n)) < 1e-9);
 
-        let opts_b = SolverOptions { pivot_rule: PivotRule::Bland, ..opts_d.clone() };
+        let opts_b = SolverOptions {
+            pivot_rule: PivotRule::Bland,
+            ..opts_d.clone()
+        };
         let bl = solve::<f64>(&model, &opts_b);
         assert_eq!(bl.status, Status::Optimal);
         assert!(

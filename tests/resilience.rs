@@ -1,0 +1,222 @@
+//! Fault-injection acceptance tests: a heavily-faulted batch must drain
+//! with zero escaped panics, every job terminal, bit-for-bit CPU answers
+//! for degraded jobs, and counters that are a pure function of the seed.
+
+use std::sync::Arc;
+
+use gplex::batch::PlacementPolicy;
+use gplex::{
+    solve_on, verify, BackendKind, BatchOptions, BatchSolver, ResilienceOptions, SolveError,
+    SolverOptions, Status,
+};
+use gpu_sim::{DeviceSpec, FaultConfig, Gpu};
+use lp::generator::{self, fixtures};
+use lp::{LinearProgram, StandardForm};
+
+/// The acceptance batch: three shape families interleaved, 64 jobs.
+fn mixed_batch(count: usize) -> Vec<LinearProgram> {
+    (0..count)
+        .map(|i| match i % 3 {
+            0 => generator::dense_random(10, 14, i as u64),
+            1 => generator::dense_random(16, 12, 4000 + i as u64),
+            _ => generator::transportation(&[30.0, 70.0], &[40.0, 60.0], i as u64),
+        })
+        .collect()
+}
+
+fn faulted_options(gpu: Arc<Gpu>, fault_p: f64, quarantine_after: usize) -> BatchOptions {
+    BatchOptions {
+        workers: 4,
+        policy: PlacementPolicy::Fixed(BackendKind::GpuShared(gpu)),
+        resilience: Some(ResilienceOptions {
+            faults: Some(FaultConfig::uniform(777, fault_p)),
+            quarantine_after,
+            ..Default::default()
+        }),
+        ..Default::default()
+    }
+}
+
+/// Headline acceptance: 64 mixed LPs with faults injected into 25% of GPU
+/// ops. The batch drains, no panic escapes the scheduler, every job is
+/// terminal, and each job that degraded to the CPU rung reproduces the
+/// CPU-only golden objective *bit for bit*.
+#[test]
+fn faulted_batch_drains_with_terminal_jobs_and_bitwise_cpu_answers() {
+    let jobs = mixed_batch(64);
+    let gpu = Arc::new(Gpu::new(DeviceSpec::gtx280()));
+    // Quarantine off so every job walks its own retry/degradation ladder.
+    let report = BatchSolver::new(faulted_options(gpu, 0.25, 0)).solve::<f64>(&jobs);
+
+    assert_eq!(report.results.len(), 64);
+    assert_eq!(
+        report.stats.panicked, 0,
+        "no panic may escape the scheduler"
+    );
+    assert_eq!(report.stats.failed, 0, "CPU rung always completes");
+    assert_eq!(report.stats.solved, 64, "every job is terminal");
+    assert!(report.all_solved());
+    assert!(
+        report.stats.device_faults > 0,
+        "25% fault rate must actually fire"
+    );
+    assert!(
+        report.stats.degradations > 0,
+        "at this rate jobs must degrade"
+    );
+
+    for (i, r) in report.results.iter().enumerate() {
+        let sol = r.outcome.solution().expect("terminal solution");
+        if r.backend == "cpu-dense" {
+            let golden =
+                solve_on::<f64>(&jobs[i], &SolverOptions::default(), &BackendKind::CpuDense);
+            assert_eq!(sol.status, golden.status, "job {i}");
+            assert_eq!(
+                sol.objective.to_bits(),
+                golden.objective.to_bits(),
+                "job {i}: degraded objective must be bitwise the CPU answer"
+            );
+            for (a, b) in sol.x.iter().zip(&golden.x) {
+                assert_eq!(a.to_bits(), b.to_bits(), "job {i}: x mismatch");
+            }
+        }
+    }
+}
+
+/// Fault injection is a pure function of the seed: two fresh runs agree on
+/// every aggregate and per-job fault/retry/degradation counter.
+#[test]
+fn fault_counters_are_deterministic_from_seed() {
+    let run = || {
+        let jobs = mixed_batch(24);
+        let gpu = Arc::new(Gpu::new(DeviceSpec::gtx280()));
+        let report = BatchSolver::new(faulted_options(gpu, 0.25, 0)).solve::<f64>(&jobs);
+        let per_job: Vec<_> = report
+            .results
+            .iter()
+            .map(|r| {
+                (
+                    r.faults,
+                    r.retries,
+                    r.degradations,
+                    r.backend,
+                    r.outcome.status_label().to_string(),
+                )
+            })
+            .collect();
+        (
+            report.stats.device_faults,
+            report.stats.retries,
+            report.stats.degradations,
+            report.stats.solved,
+            per_job,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// A per-attempt deadline surfaces as `SolveError::Timeout` with the stable
+/// `timeout` tag rather than as a panic or a bogus status.
+#[test]
+fn deadline_is_enforced_as_timeout_error() {
+    let model = generator::dense_random(16, 20, 3);
+    let opts = SolverOptions {
+        time_limit: Some(0.0),
+        ..Default::default()
+    };
+    match gplex::try_solve::<f64>(&model, &opts) {
+        Err(e @ SolveError::Timeout { .. }) => assert_eq!(e.tag(), "timeout"),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+/// An `IterationLimit` best-effort point is never treated as optimal: the
+/// honest status sails through `check_solution` uncertified, and forging
+/// `Optimal` onto the same point gets rejected — at the model level (the
+/// half-finished phase-1 point is infeasible) and at the standard-form
+/// level (reduced costs betray suboptimality even for feasible points).
+#[test]
+fn iteration_limit_best_effort_never_passes_as_optimal() {
+    // Phase-1-requiring model stopped after one iteration: the best-effort
+    // point still carries artificial infeasibility.
+    let (model, _) = fixtures::two_phase();
+    let opts = SolverOptions {
+        max_iterations: Some(1),
+        ..Default::default()
+    };
+    let mut sol = solve_on::<f64>(&model, &opts, &BackendKind::CpuDense);
+    assert_eq!(sol.status, Status::IterationLimit);
+    // Honest status: nothing is certified, nothing errors.
+    verify::check_solution(&model, &sol, 1e-8).expect("IterationLimit is not certified");
+    // Forged status: the same point must not verify as optimal.
+    sol.status = Status::Optimal;
+    assert!(
+        verify::check_solution(&model, &sol, 1e-8).is_err(),
+        "forged Optimal on a best-effort point must be rejected"
+    );
+
+    // Feasible-but-suboptimal variant (slack start, no phase 1): feasibility
+    // alone cannot launder the forged status past the reduced-cost check.
+    let model = generator::dense_random(12, 16, 5);
+    let sf = StandardForm::<f64>::from_lp(&model).unwrap();
+    let raw = SolverOptions {
+        presolve: false,
+        scale: false,
+        max_iterations: Some(1),
+        ..Default::default()
+    };
+    let mut res = gplex::solve_standard::<f64>(&sf, &raw, &BackendKind::CpuDense);
+    assert_eq!(res.status, Status::IterationLimit);
+    assert_eq!(
+        verify::certify_optimal(&sf, &res, 1e-8),
+        Err(verify::VerifyError::NotOptimal {
+            status: Status::IterationLimit
+        })
+    );
+    res.status = Status::Optimal;
+    assert!(
+        verify::certify_optimal(&sf, &res, 1e-8).is_err(),
+        "one pivot cannot be optimal for this instance"
+    );
+}
+
+/// `SingularBasis` (and every other status) round-trips through the stable
+/// tag used by the batch/bench CSV output.
+#[test]
+fn singular_basis_round_trips_through_batch_csv_tags() {
+    let statuses = [
+        Status::Optimal,
+        Status::Infeasible,
+        Status::Unbounded,
+        Status::IterationLimit,
+        Status::SingularBasis,
+    ];
+    // Render a CSV column exactly the way the bench tables do…
+    let csv: Vec<String> = statuses.iter().map(|s| s.tag().to_string()).collect();
+    assert_eq!(csv[4], "singular");
+    // …and parse it back.
+    for (s, cell) in statuses.iter().zip(&csv) {
+        assert_eq!(
+            Status::from_tag(cell),
+            Some(*s),
+            "tag {cell} must round-trip"
+        );
+    }
+    // Unknown tags (e.g. the batch-only `panicked` label) do not alias.
+    assert_eq!(Status::from_tag("panicked"), None);
+    assert_eq!(Status::from_tag("failed"), None);
+}
+
+/// Degradation preserves answer quality under verification: every solved
+/// job of a faulted batch passes the independent checker.
+#[test]
+fn faulted_batch_solutions_still_verify() {
+    let jobs = mixed_batch(12);
+    let gpu = Arc::new(Gpu::new(DeviceSpec::gtx280()));
+    let report = BatchSolver::new(faulted_options(gpu, 0.25, 0)).solve::<f64>(&jobs);
+    assert!(report.all_solved());
+    for (i, r) in report.results.iter().enumerate() {
+        let sol = r.outcome.solution().unwrap();
+        verify::check_solution(&jobs[i], sol, 1e-6).unwrap_or_else(|e| panic!("job {i}: {e}"));
+    }
+}

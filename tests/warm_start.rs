@@ -7,7 +7,11 @@ use gpu_sim::DeviceSpec;
 use lp::{generator, StandardForm};
 
 fn opts() -> SolverOptions {
-    SolverOptions { presolve: false, scale: false, ..Default::default() }
+    SolverOptions {
+        presolve: false,
+        scale: false,
+        ..Default::default()
+    }
 }
 
 fn backends() -> Vec<BackendKind> {
@@ -29,7 +33,10 @@ fn restarting_from_the_optimal_basis_takes_zero_iterations() {
 
         let warm = solve_standard_with_basis::<f64>(&sf, &opts(), &kind, cold.basis.clone());
         assert_eq!(warm.status, Status::Optimal, "{kind:?}");
-        assert_eq!(warm.stats.iterations, 0, "{kind:?}: optimal basis needs no pivots");
+        assert_eq!(
+            warm.stats.iterations, 0,
+            "{kind:?}: optimal basis needs no pivots"
+        );
         assert!(
             (warm.z_std - cold.z_std).abs() < 1e-9,
             "{kind:?}: {} vs {}",
@@ -57,8 +64,12 @@ fn warm_start_from_perturbed_model_converges_faster() {
     }
 
     let cold = solve_standard::<f64>(&sf_b, &opts(), &BackendKind::CpuDense);
-    let warm =
-        solve_standard_with_basis::<f64>(&sf_b, &opts(), &BackendKind::CpuDense, base.basis.clone());
+    let warm = solve_standard_with_basis::<f64>(
+        &sf_b,
+        &opts(),
+        &BackendKind::CpuDense,
+        base.basis.clone(),
+    );
     assert_eq!(cold.status, Status::Optimal);
     assert_eq!(warm.status, Status::Optimal);
     assert!((cold.z_std - warm.z_std).abs() / cold.z_std.abs().max(1.0) < 1e-9);
