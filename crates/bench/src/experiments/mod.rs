@@ -4,6 +4,7 @@ mod b1_batch;
 mod f2f3;
 mod f4;
 mod f5;
+mod o1_observe;
 mod r2_resilience;
 mod t1f1;
 mod t2;
@@ -40,7 +41,7 @@ impl ExpReport {
 /// All experiment ids, in DESIGN.md order.
 pub fn all_ids() -> &'static [&'static str] {
     &[
-        "t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "b1", "r2",
+        "t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "b1", "r2", "o1",
     ]
 }
 
@@ -59,6 +60,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExpReport> {
         "t5" => Some(t5::run(quick)),
         "b1" => Some(b1_batch::run(quick)),
         "r2" => Some(r2_resilience::run(quick)),
+        "o1" => Some(o1_observe::run(quick)),
         _ => None,
     }
 }

@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use gplex::backends::{CpuDenseBackend, CpuSparseBackend, GpuDenseBackend};
 use gplex::result::StdResult;
+use gplex::trace::{NoopRecorder, Recorder};
 use gplex::{RevisedSimplex, SolverOptions, Status, Step};
 use gpu_sim::{DeviceSpec, Gpu, TimeCategory};
 use linalg::gpu::{GemvTStrategy, Layout};
@@ -166,20 +167,53 @@ pub fn run_standard_full<T: Scalar>(
     target: &Target,
     opts: &SolverOptions,
 ) -> (Measurement, StdResult<T>) {
+    run_standard_impl(sf, target, opts, None::<&mut NoopRecorder>)
+}
+
+/// Like [`run_standard_full`], with every solver step reported to `rec` as
+/// a [`gplex::trace`] span — the entry point for the step-profiling
+/// experiment (O1).
+pub fn run_standard_traced<T: Scalar, R: Recorder>(
+    sf: &StandardForm<T>,
+    target: &Target,
+    opts: &SolverOptions,
+    rec: &mut R,
+) -> (Measurement, StdResult<T>) {
+    run_standard_impl(sf, target, opts, Some(rec))
+}
+
+fn run_standard_impl<T: Scalar, R: Recorder>(
+    sf: &StandardForm<T>,
+    target: &Target,
+    opts: &SolverOptions,
+    rec: Option<&mut R>,
+) -> (Measurement, StdResult<T>) {
+    fn solve_with<'a, T: Scalar, B: gplex::Backend<T>, R: Recorder>(
+        be: &'a mut B,
+        sf: &'a StandardForm<T>,
+        opts: &'a SolverOptions,
+        rec: Option<&'a mut R>,
+    ) -> StdResult<T> {
+        match rec {
+            Some(r) => RevisedSimplex::with_recorder(be, sf, opts, r).solve(),
+            None => RevisedSimplex::new(be, sf, opts).solve(),
+        }
+    }
+
     let n_active = sf.num_cols() - sf.num_artificials;
     let wall = Instant::now();
     match target {
         Target::Cpu(model) => {
             let mut be =
                 CpuDenseBackend::with_model(&sf.a, &sf.b, n_active, &sf.basis0, model.clone());
-            let res = RevisedSimplex::new(&mut be, sf, opts).solve();
+            let res = solve_with(&mut be, sf, opts, rec);
             let m = Measurement::from_result(sf, &res, wall.elapsed().as_secs_f64(), None);
             (m, res)
         }
         Target::CpuSparse => {
             let csr = CsrMatrix::from_dense(&sf.a, T::ZERO);
             let mut be = CpuSparseBackend::new(&csr, &sf.b, n_active, &sf.basis0);
-            let res = RevisedSimplex::new(&mut be, sf, opts).solve();
+            let res = solve_with(&mut be, sf, opts, rec);
             let m = Measurement::from_result(sf, &res, wall.elapsed().as_secs_f64(), None);
             (m, res)
         }
@@ -194,7 +228,7 @@ pub fn run_standard_full<T: Scalar>(
                 cfg.layout,
                 cfg.strategy,
             );
-            let res = RevisedSimplex::new(&mut be, sf, opts).solve();
+            let res = solve_with(&mut be, sf, opts, rec);
             let c = gpu.counters();
             let report = GpuReport {
                 launches: c.kernels_launched,

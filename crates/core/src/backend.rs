@@ -9,7 +9,8 @@
 //! iteration:
 //!
 //! ```text
-//! compute_pricing → entering_* → compute_alpha → ratio_test → update
+//! compute_btran → compute_pricing_window → entering_* → compute_alpha
+//!               → ratio_test → update
 //! ```
 //!
 //! Every data-touching operation returns `Result<_, BackendError>`: the CPU
@@ -62,14 +63,22 @@ pub trait Backend<T: Scalar> {
     /// basis mirror used to mask basic columns during pricing).
     fn set_basic_col(&mut self, row: usize, col: usize) -> Result<(), BackendError>;
 
-    /// Compute `π = c_Bᵀ B⁻¹` and the reduced costs `d_j = c_j − πᵀa_j` for
-    /// the `len` active columns starting at `start`
-    /// (`start + len ≤ n_active`). Partial pricing calls this with small
-    /// windows; full pricing is the window `[0, n_active)`.
+    /// BTRAN: refresh the simplex multipliers `π = c_Bᵀ B⁻¹` against the
+    /// current basis. Pricing windows read the most recent `π`, so the
+    /// driver re-runs BTRAN whenever the basis or `c_B` changed — in
+    /// practice, immediately before every [`Backend::compute_pricing_window`]
+    /// call.
+    fn compute_btran(&mut self) -> Result<(), BackendError>;
+
+    /// Compute the reduced costs `d_j = c_j − πᵀa_j` for the `len` active
+    /// columns starting at `start` (`start + len ≤ n_active`), using the `π`
+    /// from the last [`Backend::compute_btran`]. Partial pricing calls this
+    /// with small windows; full pricing is the window `[0, n_active)`.
     fn compute_pricing_window(&mut self, start: usize, len: usize) -> Result<(), BackendError>;
 
     /// Compute `π = c_Bᵀ B⁻¹` and `d = c − Aᵀπ` over the active columns.
     fn compute_pricing(&mut self) -> Result<(), BackendError> {
+        self.compute_btran()?;
         self.compute_pricing_window(0, self.n_active())
     }
 

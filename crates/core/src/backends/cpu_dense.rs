@@ -122,12 +122,17 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
         Ok(())
     }
 
-    fn compute_pricing_window(&mut self, start: usize, len: usize) -> Result<(), BackendError> {
-        assert!(start + len <= self.n_active, "pricing window out of range");
+    fn compute_btran(&mut self) -> Result<(), BackendError> {
         let m = self.m() as u64;
         // π = c_Bᵀ B⁻¹  (a transposed gemv over B⁻¹).
         blas::gemv_t(T::ONE, &self.binv, &self.cb, T::ZERO, &mut self.pi);
         self.charge(2 * m * m, m * m * T::BYTES);
+        Ok(())
+    }
+
+    fn compute_pricing_window(&mut self, start: usize, len: usize) -> Result<(), BackendError> {
+        assert!(start + len <= self.n_active, "pricing window out of range");
+        let m = self.m() as u64;
         // d_j = c_j − πᵀ a_j over the window.
         for j in start..start + len {
             self.d[j] = self.costs[j] - blas::dot(&self.pi, self.a.col(j));

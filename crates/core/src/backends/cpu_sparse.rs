@@ -110,12 +110,16 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
         Ok(())
     }
 
-    fn compute_pricing_window(&mut self, start: usize, len: usize) -> Result<(), BackendError> {
-        assert!(start + len <= self.n_active, "pricing window out of range");
+    fn compute_btran(&mut self) -> Result<(), BackendError> {
         let m = self.m() as u64;
         // π = c_Bᵀ B⁻¹ — dense, B⁻¹ fills in regardless of A's sparsity.
         blas::gemv_t(T::ONE, &self.binv, &self.cb, T::ZERO, &mut self.pi);
         self.charge(2 * m * m, m * m * T::BYTES);
+        Ok(())
+    }
+
+    fn compute_pricing_window(&mut self, start: usize, len: usize) -> Result<(), BackendError> {
+        assert!(start + len <= self.n_active, "pricing window out of range");
         // Sparse pricing: d_j = c_j − π·a_j at O(nnz_j) each.
         let mut window_nnz = 0u64;
         for j in start..start + len {

@@ -166,8 +166,7 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
         Ok(())
     }
 
-    fn compute_pricing_window(&mut self, start: usize, len: usize) -> Result<(), BackendError> {
-        assert!(start + len <= self.n_active, "pricing window out of range");
+    fn compute_btran(&mut self) -> Result<(), BackendError> {
         // π = c_Bᵀ B⁻¹  ⇔  π = (B⁻¹)ᵀ c_B.
         gblas::gemv_t(
             self.gpu,
@@ -178,6 +177,11 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
             self.pi.view_mut(),
             self.gemv_t_strategy,
         )?;
+        Ok(())
+    }
+
+    fn compute_pricing_window(&mut self, start: usize, len: usize) -> Result<(), BackendError> {
+        assert!(start + len <= self.n_active, "pricing window out of range");
         // d[start..start+len] = c[window] − A[:, window]ᵀπ. The column-block
         // product needs contiguous columns (col-major); the row-major
         // ablation backend always prices the full range.

@@ -322,6 +322,9 @@ fn aggregate(
         let tally = stats.per_backend.entry(r.backend).or_default();
         tally.jobs += 1;
         tally.sim_time += r.sim_time;
+        // Active host time counts failed/panicked jobs too: the backend was
+        // occupied even though no modeled solve came out.
+        tally.wall_seconds += r.wall_seconds;
     }
     stats
 }

@@ -85,8 +85,15 @@ pub struct JobResult {
 pub struct BackendTally {
     /// Jobs placed on this backend.
     pub jobs: usize,
-    /// Simulated time accumulated on this backend.
+    /// Simulated time accumulated on this backend. Failed and panicked
+    /// jobs contribute zero here (they produced no modeled solve).
     pub sim_time: SimTime,
+    /// Host wall-clock seconds the backend was actively occupied,
+    /// *including* failed and panicked jobs — a job that burned 2 s of
+    /// retries before failing still occupied its backend for 2 s. This is
+    /// the denominator-correct basis for occupancy
+    /// ([`BatchStats::active_utilization`]).
+    pub wall_seconds: f64,
 }
 
 /// Aggregate statistics for one batch run.
@@ -164,6 +171,10 @@ impl BatchStats {
 
     /// Fraction of the batch's simulated time spent on backend `label`
     /// (0 when the batch did no simulated work).
+    ///
+    /// Caveat: failed/panicked jobs carry zero simulated time, so a
+    /// backend that spent its whole batch on doomed jobs shows 0 here.
+    /// [`BatchStats::active_utilization`] measures real occupancy.
     pub fn utilization(&self, label: &str) -> f64 {
         let total = self.sim_total.as_nanos();
         if total == 0.0 {
@@ -172,6 +183,24 @@ impl BatchStats {
         self.per_backend
             .get(label)
             .map(|t| t.sim_time.as_nanos() / total)
+            .unwrap_or(0.0)
+    }
+
+    /// Fraction of the batch's *active host time* spent on backend `label`:
+    /// the backend's occupied wall seconds over the sum of occupied wall
+    /// seconds across all backends (0 when no backend recorded active
+    /// time). Unlike [`BatchStats::utilization`], failed and panicked jobs
+    /// count — they occupied the backend even though they produced no
+    /// simulated solve time — so the shares reflect where host time
+    /// actually went.
+    pub fn active_utilization(&self, label: &str) -> f64 {
+        let total: f64 = self.per_backend.values().map(|t| t.wall_seconds).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.per_backend
+            .get(label)
+            .map(|t| t.wall_seconds / total)
             .unwrap_or(0.0)
     }
 }
@@ -228,6 +257,7 @@ mod tests {
             BackendTally {
                 jobs: 3,
                 sim_time: SimTime::from_us(30.0),
+                wall_seconds: 0.3,
             },
         );
         per_backend.insert(
@@ -235,6 +265,7 @@ mod tests {
             BackendTally {
                 jobs: 1,
                 sim_time: SimTime::from_us(10.0),
+                wall_seconds: 0.1,
             },
         );
         BatchStats {
@@ -260,7 +291,30 @@ mod tests {
         assert!((s.speedup() - 1.6).abs() < 1e-12);
         assert!((s.utilization("cpu-dense") - 0.75).abs() < 1e-12);
         assert_eq!(s.utilization("cpu-sparse"), 0.0);
+        assert!((s.active_utilization("cpu-dense") - 0.75).abs() < 1e-12);
+        assert_eq!(s.active_utilization("cpu-sparse"), 0.0);
         assert!(s.sim_throughput() > 0.0);
+    }
+
+    /// A backend whose only job failed has zero *simulated* time but real
+    /// host occupancy: `utilization` under-reports it to 0 while
+    /// `active_utilization` charges the time where it was actually spent.
+    #[test]
+    fn active_utilization_counts_failed_jobs() {
+        let mut s = stats();
+        s.per_backend.insert(
+            "gpu-shared",
+            BackendTally {
+                jobs: 1,
+                sim_time: SimTime::ZERO, // failed job: no modeled solve
+                wall_seconds: 0.6,
+            },
+        );
+        s.jobs += 1;
+        s.failed += 1;
+        assert_eq!(s.utilization("gpu-shared"), 0.0);
+        assert!((s.active_utilization("gpu-shared") - 0.6).abs() < 1e-12);
+        assert!((s.active_utilization("cpu-dense") - 0.3).abs() < 1e-12);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod backend;
 pub mod backends;
 pub mod batch;
 pub mod error;
+pub mod metrics;
 pub mod options;
 pub mod resilient;
 pub mod result;
@@ -48,6 +49,7 @@ pub mod solver;
 pub mod stats;
 pub mod tableau;
 pub mod tableau_gpu;
+pub mod trace;
 pub mod verify;
 
 pub use backend::{Backend, RatioOutcome};
@@ -55,13 +57,18 @@ pub use batch::{
     BatchOptions, BatchReport, BatchSolver, BatchStats, JobOutcome, JobResult, PlacementPolicy,
 };
 pub use error::{BackendError, SolveError};
+pub use metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use options::{PivotRule, SolverOptions};
 pub use resilient::{ResilienceOptions, ResilientOutcome, ResilientSolver, RetryPolicy};
 pub use result::{LpSolution, Status, StdResult};
 pub use revised::RevisedSimplex;
 pub use solver::{
     solve, solve_on, solve_standard, solve_standard_with_basis, try_solve, try_solve_on,
-    try_solve_standard, try_solve_standard_with_basis, BackendKind,
+    try_solve_on_recorded, try_solve_standard, try_solve_standard_recorded,
+    try_solve_standard_with_basis, BackendKind,
 };
-pub use stats::{SolveStats, Step};
+pub use stats::{PhaseCounters, SolveStats, Step};
+pub use trace::{
+    EventTrace, NoopRecorder, Recorder, StepKind, StepStat, StepTimings, TraceEvent, TraceRecorder,
+};
 pub use verify::VerifyError;

@@ -6,6 +6,14 @@
 //! sampled from the backend's modeled clock around every step, producing
 //! the per-step breakdown of experiment F2 for CPU and GPU uniformly.
 //!
+//! Observability: the driver is generic over a [`Recorder`]. Every backend
+//! call is bracketed in a span carrying the step kind, the simulated
+//! interval, the host wall time, and the iteration/phase position. The
+//! default [`NoopRecorder`] advertises `ENABLED = false`, so on the default
+//! path the extra work (including the host-clock reads) is folded away at
+//! monomorphization — the legacy [`Step`] accounting is unconditional and
+//! byte-identical to what it always was.
+//!
 //! Fallibility: [`RevisedSimplex::try_solve`] surfaces device failures,
 //! deadline overruns and unrecoverable numerical collapse as
 //! [`SolveError`]s instead of panicking, and repairs transient NaN/Inf
@@ -15,6 +23,7 @@
 
 use std::time::Instant;
 
+use gpu_sim::SimTime;
 use linalg::Scalar;
 use lp::StandardForm;
 
@@ -23,6 +32,7 @@ use crate::error::{BackendError, SolveError};
 use crate::options::{PivotRule, SolverOptions};
 use crate::result::{Status, StdResult};
 use crate::stats::{SolveStats, Step};
+use crate::trace::{NoopRecorder, Recorder, StepKind};
 
 /// Consecutive emergency reinversions tolerated before a phase gives up
 /// and reports numerical failure.
@@ -35,6 +45,16 @@ enum Phase {
     Two,
 }
 
+impl Phase {
+    /// Index into [`SolveStats::phase`].
+    fn index(self) -> usize {
+        match self {
+            Phase::One => 0,
+            Phase::Two => 1,
+        }
+    }
+}
+
 /// How a phase loop ended.
 enum PhaseEnd {
     Converged,
@@ -43,11 +63,16 @@ enum PhaseEnd {
     Singular,
 }
 
+/// An open span: the simulated clock at entry, plus the host clock when a
+/// live recorder wants wall time (None under [`NoopRecorder`]).
+type OpenSpan = (SimTime, Option<Instant>);
+
 /// Two-phase revised simplex over an abstract backend.
-pub struct RevisedSimplex<'a, T: Scalar, B: Backend<T>> {
+pub struct RevisedSimplex<'a, T: Scalar, B: Backend<T>, R: Recorder = NoopRecorder> {
     backend: &'a mut B,
     sf: &'a StandardForm<T>,
     opts: &'a SolverOptions,
+    rec: Option<&'a mut R>,
     xb: Vec<usize>,
     stats: SolveStats,
     bland_mode: bool,
@@ -56,25 +81,15 @@ pub struct RevisedSimplex<'a, T: Scalar, B: Backend<T>> {
     warm_basis: Option<Vec<usize>>,
     /// Rotating start column for partial pricing.
     price_cursor: usize,
+    /// Phase tag for trace events: 0 = setup, 1/2 = simplex phases.
+    phase_tag: u8,
 }
 
 impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
     /// Create a driver. The backend must have been constructed from the
     /// same standard form (`sf.a`, `sf.b`, `sf.basis0`).
     pub fn new(backend: &'a mut B, sf: &'a StandardForm<T>, opts: &'a SolverOptions) -> Self {
-        let max_iters = opts.max_iters_for(sf.num_rows(), sf.num_cols());
-        RevisedSimplex {
-            backend,
-            sf,
-            opts,
-            xb: sf.basis0.clone(),
-            stats: SolveStats::default(),
-            bland_mode: matches!(opts.pivot_rule, PivotRule::Bland),
-            stall: 0,
-            max_iters,
-            warm_basis: None,
-            price_cursor: 0,
-        }
+        Self::build(backend, sf, opts, None)
     }
 
     /// Like [`RevisedSimplex::new`], but start phase 2 directly from a
@@ -89,13 +104,115 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
         opts: &'a SolverOptions,
         basis: Vec<usize>,
     ) -> Self {
-        let mut driver = RevisedSimplex::new(backend, sf, opts);
-        let n_active = sf.num_cols() - sf.num_artificials;
-        let valid = basis.len() == sf.num_rows() && basis.iter().all(|&j| j < n_active);
-        if valid {
-            driver.warm_basis = Some(basis);
-        }
+        let mut driver = Self::build(backend, sf, opts, None);
+        driver.set_warm_basis(basis);
         driver
+    }
+}
+
+impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
+    /// Like [`RevisedSimplex::new`], with spans reported to `rec`. The
+    /// caller keeps ownership of the recorder, so a solve that errors out
+    /// (device fault, timeout) leaves its partial trace available for
+    /// post-mortem.
+    pub fn with_recorder(
+        backend: &'a mut B,
+        sf: &'a StandardForm<T>,
+        opts: &'a SolverOptions,
+        rec: &'a mut R,
+    ) -> Self {
+        Self::build(backend, sf, opts, Some(rec))
+    }
+
+    /// [`RevisedSimplex::with_start_basis`] with spans reported to `rec`.
+    pub fn with_start_basis_and_recorder(
+        backend: &'a mut B,
+        sf: &'a StandardForm<T>,
+        opts: &'a SolverOptions,
+        basis: Vec<usize>,
+        rec: &'a mut R,
+    ) -> Self {
+        let mut driver = Self::build(backend, sf, opts, Some(rec));
+        driver.set_warm_basis(basis);
+        driver
+    }
+
+    fn build(
+        backend: &'a mut B,
+        sf: &'a StandardForm<T>,
+        opts: &'a SolverOptions,
+        rec: Option<&'a mut R>,
+    ) -> Self {
+        let max_iters = opts.max_iters_for(sf.num_rows(), sf.num_cols());
+        RevisedSimplex {
+            backend,
+            sf,
+            opts,
+            rec,
+            xb: sf.basis0.clone(),
+            stats: SolveStats::default(),
+            bland_mode: matches!(opts.pivot_rule, PivotRule::Bland),
+            stall: 0,
+            max_iters,
+            warm_basis: None,
+            price_cursor: 0,
+            phase_tag: 0,
+        }
+    }
+
+    fn set_warm_basis(&mut self, basis: Vec<usize>) {
+        let n_active = self.sf.num_cols() - self.sf.num_artificials;
+        let valid = basis.len() == self.sf.num_rows() && basis.iter().all(|&j| j < n_active);
+        if valid {
+            self.warm_basis = Some(basis);
+        }
+    }
+
+    /// Open a span: sample the simulated clock, and the host clock only
+    /// when a live recorder will consume it.
+    #[inline]
+    fn span_begin(&self) -> OpenSpan {
+        let t0 = self.backend.clock();
+        let w0 = if R::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        (t0, w0)
+    }
+
+    /// Close a span: charge the legacy [`Step`] accounting (always, exactly
+    /// as before) and report the span to the recorder (compiled out under
+    /// [`NoopRecorder`]).
+    #[inline]
+    fn span_close(&mut self, kind: StepKind, step: Step, span: OpenSpan) {
+        let (t0, w0) = span;
+        let t1 = self.backend.clock();
+        self.stats.charge(step, t1 - t0);
+        if R::ENABLED {
+            let wall = w0.map_or(0.0, |w| w.elapsed().as_secs_f64());
+            if let Some(rec) = self.rec.as_deref_mut() {
+                rec.span(kind, t0, t1, wall, self.stats.iterations, self.phase_tag);
+            }
+        }
+    }
+
+    /// Deadline enforcement (wall clock: the deadline bounds *host*
+    /// resources, not modeled device time). Called between backend steps so
+    /// a stalled kernel or a long refactorize cannot overshoot `time_limit`
+    /// by a whole iteration.
+    #[inline]
+    fn check_deadline(&self, wall: Instant) -> Result<(), SolveError> {
+        if let Some(limit) = self.opts.time_limit {
+            let elapsed = wall.elapsed().as_secs_f64();
+            if elapsed > limit {
+                return Err(SolveError::Timeout {
+                    elapsed_seconds: elapsed,
+                    limit_seconds: limit,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Attempt to install the warm basis: refactorize onto it and check
@@ -107,7 +224,7 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
         let Some(basis) = self.warm_basis.take() else {
             return Ok(false);
         };
-        let t0 = self.backend.clock();
+        let span = self.span_begin();
         let feas_tol = self.opts.feas_tol_for::<T>().to_f64();
         let ok = match self.backend.refactorize(&basis) {
             Ok(()) => self
@@ -137,7 +254,7 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
             }
             self.xb = self.sf.basis0.clone();
         }
-        self.stats.charge(Step::Other, self.backend.clock() - t0);
+        self.span_close(StepKind::Transfer, Step::Other, span);
         Ok(ok)
     }
 
@@ -148,6 +265,47 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
         } else {
             T::ZERO
         }
+    }
+
+    /// Install the phase-1 objective (minimize the sum of artificials).
+    fn enter_phase1(&mut self) -> Result<(), SolveError> {
+        let span = self.span_begin();
+        let m = self.sf.num_rows();
+        let zeros = vec![T::ZERO; self.backend.n_active()];
+        self.backend.set_phase_costs(&zeros)?;
+        for r in 0..m {
+            let cost = if self.sf.is_artificial(self.xb[r]) {
+                T::ONE
+            } else {
+                T::ZERO
+            };
+            self.backend.set_basic_cost(r, cost)?;
+        }
+        self.span_close(StepKind::Transfer, Step::Other, span);
+        self.phase_tag = 1;
+        Ok(())
+    }
+
+    /// Install the phase-2 objective over the basis phase 1 left behind.
+    ///
+    /// The stall counter and any Bland-mode escalation deliberately *carry
+    /// across* the phase boundary: a degenerate phase-1 endgame is exactly
+    /// the state in which phase 2 would otherwise resume cycling, and the
+    /// in-loop de-escalation already returns to the fast rule on the first
+    /// non-degenerate step. (An earlier version reset both here, silently
+    /// discarding the phase-1 anti-cycling escalation; the regression tests
+    /// pin the carry.)
+    fn enter_phase2(&mut self) -> Result<(), SolveError> {
+        let span = self.span_begin();
+        let m = self.sf.num_rows();
+        self.backend.set_phase_costs(&self.sf.c)?;
+        for r in 0..m {
+            let cost = self.cost_of(self.xb[r]);
+            self.backend.set_basic_cost(r, cost)?;
+        }
+        self.span_close(StepKind::Transfer, Step::Other, span);
+        self.phase_tag = 2;
+        Ok(())
     }
 
     /// Run to completion, panicking on device failure (the historical
@@ -161,27 +319,13 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
     /// `Ok` with the corresponding [`Status`].
     pub fn try_solve(mut self) -> Result<StdResult<T>, SolveError> {
         let wall = Instant::now();
-        let m = self.sf.num_rows();
         let feas_tol = self.opts.feas_tol_for::<T>();
 
         let warm = self.try_warm_start()?;
         if !warm && self.sf.num_artificials > 0 {
             // ---- phase 1: minimize the sum of artificials ----------------
-            let t0 = self.backend.clock();
-            let zeros = vec![T::ZERO; self.backend.n_active()];
-            self.backend.set_phase_costs(&zeros)?;
-            for r in 0..m {
-                let cost = if self.sf.is_artificial(self.xb[r]) {
-                    T::ONE
-                } else {
-                    T::ZERO
-                };
-                self.backend.set_basic_cost(r, cost)?;
-            }
-            self.stats.charge(Step::Other, self.backend.clock() - t0);
-
+            self.enter_phase1()?;
             let end = self.run_phase(Phase::One, wall)?;
-            self.stats.phase1_iterations = self.stats.iterations;
             match end {
                 PhaseEnd::IterationLimit => {
                     return self.finish(Status::IterationLimit, wall);
@@ -197,7 +341,9 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
                 PhaseEnd::Converged => {}
             }
 
+            let span = self.span_begin();
             let z1 = self.backend.objective_now()?;
+            self.span_close(StepKind::Transfer, Step::Other, span);
             if z1 > feas_tol {
                 return self.finish(Status::Infeasible, wall);
             }
@@ -208,16 +354,7 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
         }
 
         // ---- phase 2 ------------------------------------------------------
-        let t0 = self.backend.clock();
-        self.backend.set_phase_costs(&self.sf.c)?;
-        for r in 0..m {
-            let cost = self.cost_of(self.xb[r]);
-            self.backend.set_basic_cost(r, cost)?;
-        }
-        self.stats.charge(Step::Other, self.backend.clock() - t0);
-        // Reset the stall/Bland state for the new objective.
-        self.bland_mode = matches!(self.opts.pivot_rule, PivotRule::Bland);
-        self.stall = 0;
+        self.enter_phase2()?;
         let mut status = match self.run_phase(Phase::Two, wall)? {
             PhaseEnd::Converged => Status::Optimal,
             PhaseEnd::Unbounded => Status::Unbounded,
@@ -229,7 +366,9 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
         // the "redundant row" assumption failed — report infeasible rather
         // than a wrong optimum.
         if status == Status::Optimal && self.sf.num_artificials > 0 {
+            let span = self.span_begin();
             let beta = self.backend.beta()?;
+            self.span_close(StepKind::Transfer, Step::Other, span);
             for (r, &col) in self.xb.iter().enumerate() {
                 if self.sf.is_artificial(col) && beta[r] > feas_tol {
                     status = Status::Infeasible;
@@ -241,7 +380,11 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
     }
 
     fn finish(mut self, status: Status, wall: Instant) -> Result<StdResult<T>, SolveError> {
+        // The terminal β download is device work like any other: charge it,
+        // so the per-step totals account for the whole solve.
+        let span = self.span_begin();
         let beta = self.backend.beta()?;
+        self.span_close(StepKind::Transfer, Step::Other, span);
         let mut x_std = vec![T::ZERO; self.sf.num_cols()];
         for (r, &col) in self.xb.iter().enumerate() {
             x_std[col] = beta[r];
@@ -266,6 +409,11 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
             ));
         }
         self.stats.wall_seconds = wall.elapsed().as_secs_f64();
+        debug_assert!(
+            self.stats.check_invariants().is_ok(),
+            "per-phase counters must partition the totals: {:?}",
+            self.stats.check_invariants()
+        );
         Ok(StdResult {
             status,
             x_std,
@@ -279,7 +427,7 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
     /// the basis was rebuilt (iterate state is clean again); `Ok(false)`
     /// means the basis is singular.
     fn recover(&mut self) -> Result<bool, SolveError> {
-        let t0 = self.backend.clock();
+        let span = self.span_begin();
         match self.backend.refactorize(&self.xb) {
             Ok(()) => {}
             Err(BackendError::Singular) => return Ok(false),
@@ -287,7 +435,7 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
         }
         self.stats.refactorizations += 1;
         self.stats.nan_recoveries += 1;
-        self.stats.charge(Step::Refactor, self.backend.clock() - t0);
+        self.span_close(StepKind::Refactorize, Step::Refactor, span);
         Ok(true)
     }
 
@@ -295,6 +443,7 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
         let opt_tol = self.opts.opt_tol_for::<T>();
         let pivot_tol = self.opts.pivot_tol_for::<T>();
         let paranoid = self.opts.faults.is_some();
+        let pidx = phase.index();
         let mut iters_here = 0usize;
         let mut recoveries_left = MAX_CONSECUTIVE_RECOVERIES;
 
@@ -302,35 +451,27 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
             if iters_here >= self.max_iters {
                 return Ok(PhaseEnd::IterationLimit);
             }
-            // Deadline enforcement (wall clock: the deadline bounds *host*
-            // resources, not modeled device time).
-            if let Some(limit) = self.opts.time_limit {
-                let elapsed = wall.elapsed().as_secs_f64();
-                if elapsed > limit {
-                    return Err(SolveError::Timeout {
-                        elapsed_seconds: elapsed,
-                        limit_seconds: limit,
-                    });
-                }
-            }
+            self.check_deadline(wall)?;
             // Periodic reinversion.
             if self.opts.refactor_period > 0
                 && iters_here > 0
                 && iters_here.is_multiple_of(self.opts.refactor_period)
             {
-                let t0 = self.backend.clock();
+                let span = self.span_begin();
                 match self.backend.refactorize(&self.xb) {
                     Ok(()) => {}
                     Err(BackendError::Singular) => return Ok(PhaseEnd::Singular),
                     Err(e @ BackendError::Device(_)) => return Err(e.into()),
                 }
                 self.stats.refactorizations += 1;
-                self.stats.charge(Step::Refactor, self.backend.clock() - t0);
+                self.span_close(StepKind::Refactorize, Step::Refactor, span);
+                self.check_deadline(wall)?;
             }
 
             // Pricing + entering-variable selection.
             let use_bland = self.bland_mode;
             let entering = self.price_and_select(opt_tol, use_bland)?;
+            self.check_deadline(wall)?;
             let Some((q, dq)) = entering else {
                 return Ok(PhaseEnd::Converged);
             };
@@ -352,15 +493,16 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
             debug_assert!(dq < T::ZERO, "entering column must improve");
 
             // FTRAN.
-            let t0 = self.backend.clock();
+            let span = self.span_begin();
             self.backend.compute_alpha(q)?;
-            self.stats.charge(Step::Ftran, self.backend.clock() - t0);
+            self.span_close(StepKind::Ftran, Step::Ftran, span);
+            self.check_deadline(wall)?;
 
             // Ratio test.
-            let t0 = self.backend.clock();
+            let span = self.span_begin();
             let mut outcome = self.backend.ratio_test(pivot_tol)?;
-            self.stats
-                .charge(Step::RatioTest, self.backend.clock() - t0);
+            self.span_close(StepKind::RatioTest, Step::RatioTest, span);
+            self.check_deadline(wall)?;
             if paranoid && matches!(outcome, RatioOutcome::Unbounded) && recoveries_left > 0 {
                 // A corrupted α (poisoned to NaN) makes every ratio
                 // non-finite and masquerades as unboundedness. Rebuild and
@@ -369,13 +511,13 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
                 if !self.recover()? {
                     return Ok(PhaseEnd::Singular);
                 }
-                let t0 = self.backend.clock();
+                let span = self.span_begin();
                 self.backend.compute_alpha(q)?;
-                self.stats.charge(Step::Ftran, self.backend.clock() - t0);
-                let t0 = self.backend.clock();
+                self.span_close(StepKind::Ftran, Step::Ftran, span);
+                let span = self.span_begin();
                 outcome = self.backend.ratio_test(pivot_tol)?;
-                self.stats
-                    .charge(Step::RatioTest, self.backend.clock() - t0);
+                self.span_close(StepKind::RatioTest, Step::RatioTest, span);
+                self.check_deadline(wall)?;
             }
             let (p, theta) = match outcome {
                 RatioOutcome::Unbounded => return Ok(PhaseEnd::Unbounded),
@@ -396,7 +538,7 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
             }
 
             // Update.
-            let t0 = self.backend.clock();
+            let span = self.span_begin();
             self.backend.update(p, theta)?;
             self.backend.set_basic_col(p, q)?;
             let cost = match phase {
@@ -405,13 +547,17 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
             };
             self.backend.set_basic_cost(p, cost)?;
             self.xb[p] = q;
-            self.stats.charge(Step::Update, self.backend.clock() - t0);
+            self.span_close(StepKind::UpdateBasis, Step::Update, span);
+            self.check_deadline(wall)?;
             recoveries_left = MAX_CONSECUTIVE_RECOVERIES;
 
-            // Degeneracy / stall bookkeeping.
+            // Degeneracy / stall bookkeeping. Each counter bumps its
+            // solve-wide total and exactly one per-phase entry, keeping the
+            // phase split disjoint by construction.
             let degenerate = !(theta > T::ZERO);
             if degenerate {
                 self.stats.degenerate_steps += 1;
+                self.stats.phase[pidx].degenerate_steps += 1;
                 self.stall += 1;
             } else {
                 self.stall = 0;
@@ -433,9 +579,14 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
             }
             if use_bland {
                 self.stats.bland_iterations += 1;
+                self.stats.phase[pidx].bland_iterations += 1;
             }
 
             self.stats.iterations += 1;
+            self.stats.phase[pidx].iterations += 1;
+            if phase == Phase::One {
+                self.stats.phase1_iterations += 1;
+            }
             iters_here += 1;
         }
     }
@@ -448,6 +599,10 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
     /// yields a candidate; optimality is declared only after a full pass
     /// comes up dry (each block's reduced costs are recomputed against the
     /// current basis, so the certificate is sound).
+    ///
+    /// BTRAN runs before every pricing window — the multipliers must be
+    /// current against the basis — and is traced as its own span; the
+    /// selection scan is folded into the pricing step it serves.
     fn price_and_select(
         &mut self,
         opt_tol: T,
@@ -464,14 +619,16 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
                 while scanned < n {
                     let start = self.price_cursor % n;
                     let len = w.min(n - start);
-                    let t0 = self.backend.clock();
+                    let span = self.span_begin();
+                    self.backend.compute_btran()?;
+                    self.span_close(StepKind::Btran, Step::Pricing, span);
+                    let span = self.span_begin();
                     self.backend.compute_pricing_window(start, len)?;
-                    self.stats.charge(Step::Pricing, self.backend.clock() - t0);
+                    self.span_close(StepKind::Pricing, Step::Pricing, span);
 
-                    let t0 = self.backend.clock();
+                    let span = self.span_begin();
                     let hit = self.backend.entering_dantzig_window(opt_tol, start, len)?;
-                    self.stats
-                        .charge(Step::Selection, self.backend.clock() - t0);
+                    self.span_close(StepKind::Pricing, Step::Selection, span);
                     if hit.is_some() {
                         // Stay on this window: it likely has more candidates.
                         return Ok(hit);
@@ -482,18 +639,20 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
                 Ok(None)
             }
             _ => {
-                let t0 = self.backend.clock();
-                self.backend.compute_pricing()?;
-                self.stats.charge(Step::Pricing, self.backend.clock() - t0);
+                let span = self.span_begin();
+                self.backend.compute_btran()?;
+                self.span_close(StepKind::Btran, Step::Pricing, span);
+                let span = self.span_begin();
+                self.backend.compute_pricing_window(0, n)?;
+                self.span_close(StepKind::Pricing, Step::Pricing, span);
 
-                let t0 = self.backend.clock();
+                let span = self.span_begin();
                 let entering = if use_bland {
                     self.backend.entering_bland(opt_tol)?
                 } else {
                     self.backend.entering_dantzig(opt_tol)?
                 };
-                self.stats
-                    .charge(Step::Selection, self.backend.clock() - t0);
+                self.span_close(StepKind::Pricing, Step::Selection, span);
                 Ok(entering)
             }
         }
@@ -503,7 +662,7 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
     /// a nonbasic structural column with a nonzero entry in that row.
     fn drive_out_artificials(&mut self) -> Result<(), SolveError> {
         let pivot_tol = self.opts.pivot_tol_for::<T>();
-        let t0 = self.backend.clock();
+        let span = self.span_begin();
         let m = self.backend.m();
         let n_active = self.backend.n_active();
         let rows: Vec<usize> = (0..m)
@@ -535,7 +694,80 @@ impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
                 }
             }
         }
-        self.stats.charge(Step::Other, self.backend.clock() - t0);
+        self.span_close(StepKind::Transfer, Step::Other, span);
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::CpuDenseBackend;
+    use lp::{LinearProgram, Rel, Sense, StandardForm};
+
+    /// Degenerate two-phase fixture: the ≥ row rules out the slack basis
+    /// (forcing a phase 1 with artificials) and three rows meet at the
+    /// optimum (2, 2), so the endgame pivots are degenerate.
+    fn degenerate_lp() -> LinearProgram {
+        let mut lp = LinearProgram::new("two-phase-degenerate").with_sense(Sense::Max);
+        let x = lp.add_var_nonneg("x", 1.0);
+        let y = lp.add_var_nonneg("y", 1.0);
+        lp.add_constraint("c1", &[(x, 1.0)], Rel::Le, 2.0);
+        lp.add_constraint("c2", &[(y, 1.0)], Rel::Le, 2.0);
+        lp.add_constraint("c3", &[(x, 1.0), (y, 1.0)], Rel::Le, 4.0);
+        lp.add_constraint("c4", &[(x, 1.0), (y, 1.0)], Rel::Ge, 1.0);
+        lp
+    }
+
+    /// Satellite regression: a Bland escalation (and a live stall counter)
+    /// earned in phase 1 must survive the phase-2 objective install. The
+    /// pre-fix code reset both from the pivot rule at the phase boundary.
+    #[test]
+    fn phase2_entry_preserves_anti_cycling_state() {
+        let lp = degenerate_lp();
+        let sf = StandardForm::<f64>::from_lp(&lp).unwrap();
+        let opts = SolverOptions::default();
+        let n_active = sf.num_cols() - sf.num_artificials;
+        let mut be = CpuDenseBackend::<f64>::new(&sf.a, &sf.b, n_active, &sf.basis0);
+        let mut driver = RevisedSimplex::new(&mut be, &sf, &opts);
+
+        // Simulate a phase-1 endgame that escalated to Bland with a hot
+        // stall counter.
+        driver.bland_mode = true;
+        driver.stall = 7;
+        driver.enter_phase2().unwrap();
+        assert!(
+            driver.bland_mode,
+            "phase-2 entry must not discard the Bland escalation"
+        );
+        assert_eq!(
+            driver.stall, 7,
+            "phase-2 entry must not reset the stall counter"
+        );
+        assert_eq!(driver.phase_tag, 2);
+    }
+
+    /// The carry does not hurt termination or correctness on a degenerate
+    /// two-phase instance with a hair-trigger stall threshold.
+    #[test]
+    fn degenerate_two_phase_solve_stays_optimal_with_carry() {
+        let lp = degenerate_lp();
+        let sf = StandardForm::<f64>::from_lp(&lp).unwrap();
+        let opts = SolverOptions {
+            stall_threshold: 1,
+            ..SolverOptions::default()
+        };
+        let n_active = sf.num_cols() - sf.num_artificials;
+        let mut be = CpuDenseBackend::<f64>::new(&sf.a, &sf.b, n_active, &sf.basis0);
+        let res = RevisedSimplex::new(&mut be, &sf, &opts)
+            .try_solve()
+            .unwrap();
+        assert_eq!(res.status, Status::Optimal);
+        res.stats.check_invariants().unwrap();
+        assert!(res.stats.phase1_iterations > 0, "fixture needs a phase 1");
+        assert_eq!(
+            res.stats.iterations,
+            res.stats.phase1_iterations + res.stats.phase2_iterations()
+        );
     }
 }

@@ -22,6 +22,7 @@ use crate::options::SolverOptions;
 use crate::result::{LpSolution, Status, StdResult};
 use crate::revised::RevisedSimplex;
 use crate::stats::SolveStats;
+use crate::trace::{NoopRecorder, Recorder};
 
 /// Which backend the pipeline should run on.
 #[derive(Clone)]
@@ -97,6 +98,27 @@ pub fn try_solve_on<T: Scalar>(
     opts: &SolverOptions,
     kind: &BackendKind,
 ) -> Result<LpSolution, SolveError> {
+    try_solve_on_impl::<T, NoopRecorder>(model, opts, kind, None)
+}
+
+/// [`try_solve_on`] with step spans reported to `rec` (see
+/// [`crate::trace`]). The caller keeps the recorder, so a solve that errors
+/// out leaves its partial trace available for post-mortem.
+pub fn try_solve_on_recorded<T: Scalar, R: Recorder>(
+    model: &LinearProgram,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+    rec: &mut R,
+) -> Result<LpSolution, SolveError> {
+    try_solve_on_impl::<T, R>(model, opts, kind, Some(rec))
+}
+
+fn try_solve_on_impl<T: Scalar, R: Recorder>(
+    model: &LinearProgram,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+    rec: Option<&mut R>,
+) -> Result<LpSolution, SolveError> {
     // ---- presolve ---------------------------------------------------------
     let (work, restore) = if opts.presolve {
         match presolve(model) {
@@ -136,7 +158,7 @@ pub fn try_solve_on<T: Scalar>(
     }
 
     // ---- solve --------------------------------------------------------------
-    let res = try_solve_standard::<T>(&sf, opts, kind)?;
+    let res = try_solve_standard_impl::<T, R>(&sf, opts, kind, None, rec)?;
 
     // ---- recover ------------------------------------------------------------
     let x_red = sf.recover_x(&res.x_std);
@@ -197,7 +219,8 @@ pub fn solve_standard<T: Scalar>(
     opts: &SolverOptions,
     kind: &BackendKind,
 ) -> StdResult<T> {
-    try_solve_standard_impl(sf, opts, kind, None).unwrap_or_else(|e| panic!("{e}"))
+    try_solve_standard_impl(sf, opts, kind, None, None::<&mut NoopRecorder>)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Solve a prepared standard form warm-started from `basis` (e.g. the final
@@ -209,7 +232,8 @@ pub fn solve_standard_with_basis<T: Scalar>(
     kind: &BackendKind,
     basis: Vec<usize>,
 ) -> StdResult<T> {
-    try_solve_standard_impl(sf, opts, kind, Some(basis)).unwrap_or_else(|e| panic!("{e}"))
+    try_solve_standard_impl(sf, opts, kind, Some(basis), None::<&mut NoopRecorder>)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Fallible twin of [`solve_standard`].
@@ -218,7 +242,18 @@ pub fn try_solve_standard<T: Scalar>(
     opts: &SolverOptions,
     kind: &BackendKind,
 ) -> Result<StdResult<T>, SolveError> {
-    try_solve_standard_impl(sf, opts, kind, None)
+    try_solve_standard_impl(sf, opts, kind, None, None::<&mut NoopRecorder>)
+}
+
+/// [`try_solve_standard`] with step spans reported to `rec` (see
+/// [`crate::trace`]): the experiment entry point for per-step profiling.
+pub fn try_solve_standard_recorded<T: Scalar, R: Recorder>(
+    sf: &StandardForm<T>,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+    rec: &mut R,
+) -> Result<StdResult<T>, SolveError> {
+    try_solve_standard_impl(sf, opts, kind, None, Some(rec))
 }
 
 /// Fallible twin of [`solve_standard_with_basis`].
@@ -228,37 +263,43 @@ pub fn try_solve_standard_with_basis<T: Scalar>(
     kind: &BackendKind,
     basis: Vec<usize>,
 ) -> Result<StdResult<T>, SolveError> {
-    try_solve_standard_impl(sf, opts, kind, Some(basis))
+    try_solve_standard_impl(sf, opts, kind, Some(basis), None::<&mut NoopRecorder>)
 }
 
-fn drive<T: Scalar, B: crate::backend::Backend<T>>(
+fn drive<T: Scalar, B: crate::backend::Backend<T>, R: Recorder>(
     be: &mut B,
     sf: &StandardForm<T>,
     opts: &SolverOptions,
     warm: Option<Vec<usize>>,
+    rec: Option<&mut R>,
 ) -> Result<StdResult<T>, SolveError> {
-    match warm {
-        Some(basis) => RevisedSimplex::with_start_basis(be, sf, opts, basis).try_solve(),
-        None => RevisedSimplex::new(be, sf, opts).try_solve(),
+    match (warm, rec) {
+        (Some(basis), Some(rec)) => {
+            RevisedSimplex::with_start_basis_and_recorder(be, sf, opts, basis, rec).try_solve()
+        }
+        (Some(basis), None) => RevisedSimplex::with_start_basis(be, sf, opts, basis).try_solve(),
+        (None, Some(rec)) => RevisedSimplex::with_recorder(be, sf, opts, rec).try_solve(),
+        (None, None) => RevisedSimplex::new(be, sf, opts).try_solve(),
     }
 }
 
-fn try_solve_standard_impl<T: Scalar>(
+fn try_solve_standard_impl<T: Scalar, R: Recorder>(
     sf: &StandardForm<T>,
     opts: &SolverOptions,
     kind: &BackendKind,
     warm: Option<Vec<usize>>,
+    rec: Option<&mut R>,
 ) -> Result<StdResult<T>, SolveError> {
     let n_active = sf.num_cols() - sf.num_artificials;
     match kind {
         BackendKind::CpuDense => {
             let mut be = CpuDenseBackend::new(&sf.a, &sf.b, n_active, &sf.basis0);
-            drive(&mut be, sf, opts, warm)
+            drive(&mut be, sf, opts, warm, rec)
         }
         BackendKind::CpuSparse => {
             let csr = CsrMatrix::from_dense(&sf.a, T::ZERO);
             let mut be = CpuSparseBackend::new(&csr, &sf.b, n_active, &sf.basis0);
-            drive(&mut be, sf, opts, warm)
+            drive(&mut be, sf, opts, warm, rec)
         }
         BackendKind::GpuDense(spec) => {
             let gpu = Gpu::new(spec.clone());
@@ -266,7 +307,7 @@ fn try_solve_standard_impl<T: Scalar>(
                 gpu.set_fault_plan(FaultPlan::new(cfg.clone()));
             }
             let mut be = GpuDenseBackend::new(&gpu, &sf.a, &sf.b, n_active, &sf.basis0);
-            let mut res = drive(&mut be, sf, opts, warm)?;
+            let mut res = drive(&mut be, sf, opts, warm, rec)?;
             res.stats.device_faults = gpu.fault_counts().total();
             Ok(res)
         }
@@ -281,7 +322,7 @@ fn try_solve_standard_impl<T: Scalar>(
                 stream.set_fault_plan(FaultPlan::new(cfg.clone()));
             }
             let mut be = GpuDenseBackend::new(&stream, &sf.a, &sf.b, n_active, &sf.basis0);
-            let mut res = drive(&mut be, sf, opts, warm)?;
+            let mut res = drive(&mut be, sf, opts, warm, rec)?;
             res.stats.device_faults = stream.fault_counts().total();
             Ok(res)
         }

@@ -50,6 +50,19 @@ impl Step {
     }
 }
 
+/// Counters attributed to a single simplex phase. Each iteration is counted
+/// in exactly one phase, so the two [`PhaseCounters`] in [`SolveStats`]
+/// partition the solve-wide totals — see [`SolveStats::check_invariants`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCounters {
+    /// Iterations executed in this phase.
+    pub iterations: usize,
+    /// Iterations of this phase whose step length was (numerically) zero.
+    pub degenerate_steps: usize,
+    /// Iterations of this phase priced under Bland's rule.
+    pub bland_iterations: usize,
+}
+
 /// Statistics accumulated over one solve.
 #[derive(Debug, Clone, Default)]
 pub struct SolveStats {
@@ -57,6 +70,10 @@ pub struct SolveStats {
     pub iterations: usize,
     /// Iterations spent in phase 1.
     pub phase1_iterations: usize,
+    /// Disjoint per-phase counters: `phase[0]` is phase 1, `phase[1]` is
+    /// phase 2. Every iteration increments exactly one entry, so summing
+    /// across phases reproduces the solve-wide totals.
+    pub phase: [PhaseCounters; 2],
     /// Basis reinversions performed.
     pub refactorizations: usize,
     /// Iterations where the step length was (numerically) zero.
@@ -86,6 +103,51 @@ pub struct SolveStats {
 }
 
 impl SolveStats {
+    /// Iterations spent in phase 2 (disjoint from `phase1_iterations`).
+    pub fn phase2_iterations(&self) -> usize {
+        self.phase[1].iterations
+    }
+
+    /// Verify that the per-phase counters partition the solve-wide totals:
+    /// phase-1 and phase-2 iterations, degenerate steps, and Bland
+    /// iterations are disjoint and sum to the totals, and the legacy
+    /// `phase1_iterations` field agrees with `phase[0]`. Returns a
+    /// description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let sum_iters = self.phase[0].iterations + self.phase[1].iterations;
+        if sum_iters != self.iterations {
+            return Err(format!(
+                "phase iterations {} + {} != total {}",
+                self.phase[0].iterations, self.phase[1].iterations, self.iterations
+            ));
+        }
+        if self.phase[0].iterations != self.phase1_iterations {
+            return Err(format!(
+                "phase[0].iterations {} != phase1_iterations {}",
+                self.phase[0].iterations, self.phase1_iterations
+            ));
+        }
+        let sum_degen = self.phase[0].degenerate_steps + self.phase[1].degenerate_steps;
+        if sum_degen != self.degenerate_steps {
+            return Err(format!(
+                "phase degenerate steps {} + {} != total {}",
+                self.phase[0].degenerate_steps,
+                self.phase[1].degenerate_steps,
+                self.degenerate_steps
+            ));
+        }
+        let sum_bland = self.phase[0].bland_iterations + self.phase[1].bland_iterations;
+        if sum_bland != self.bland_iterations {
+            return Err(format!(
+                "phase Bland iterations {} + {} != total {}",
+                self.phase[0].bland_iterations,
+                self.phase[1].bland_iterations,
+                self.bland_iterations
+            ));
+        }
+        Ok(())
+    }
+
     /// Charge `t` against `step`.
     pub fn charge(&mut self, step: Step, t: SimTime) {
         let idx = Step::ALL
@@ -182,5 +244,44 @@ mod tests {
         assert_eq!(st.total_time(), SimTime::ZERO);
         assert_eq!(st.fraction(Step::Ftran), 0.0);
         assert_eq!(st.time_per_iteration(), SimTime::ZERO);
+        assert!(st.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn invariants_catch_overlapping_phase_counters() {
+        let st = SolveStats {
+            iterations: 10,
+            phase1_iterations: 4,
+            degenerate_steps: 3,
+            bland_iterations: 2,
+            phase: [
+                PhaseCounters {
+                    iterations: 4,
+                    degenerate_steps: 1,
+                    bland_iterations: 0,
+                },
+                PhaseCounters {
+                    iterations: 6,
+                    degenerate_steps: 2,
+                    bland_iterations: 2,
+                },
+            ],
+            ..SolveStats::default()
+        };
+        assert!(st.check_invariants().is_ok());
+        assert_eq!(st.phase2_iterations(), 6);
+
+        // A double-counted iteration (counted in both phases) is caught.
+        let mut bad = st.clone();
+        bad.phase[0].iterations = 5;
+        assert!(bad.check_invariants().unwrap_err().contains("iterations"));
+        // A degenerate step attributed to both phases is caught.
+        let mut bad = st.clone();
+        bad.phase[0].degenerate_steps = 2;
+        assert!(bad.check_invariants().unwrap_err().contains("degenerate"));
+        // Bland bookkeeping drift is caught.
+        let mut bad = st;
+        bad.bland_iterations = 1;
+        assert!(bad.check_invariants().unwrap_err().contains("Bland"));
     }
 }

@@ -191,3 +191,103 @@ fn size_threshold_policy_splits_batch_and_tallies() {
     let util = report.stats.utilization("cpu-dense") + report.stats.utilization("gpu-dense");
     assert!((util - 1.0).abs() < 1e-12);
 }
+
+/// Satellite regression (counter single-counting): when quarantine re-places
+/// jobs off a benched backend, every job is still solved and tallied exactly
+/// once — per-backend job counts sum to the batch size, and the aggregate
+/// fault/retry/degradation counters equal the per-job sums (no double count
+/// from the re-placement path).
+#[test]
+fn quarantine_replacement_counts_each_job_exactly_once() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let gpu = Arc::new(Gpu::new(DeviceSpec::gtx280()));
+    let jobs = generator::batch_dense(8, 6, 8, 4100);
+    let report = BatchSolver::new(BatchOptions {
+        workers: 1,
+        policy: PlacementPolicy::Fixed(BackendKind::GpuShared(gpu)),
+        resilience: Some(gplex::ResilienceOptions {
+            // Certain faults: the shared device is benched after 2 jobs and
+            // the remaining 6 are re-placed onto the CPU.
+            faults: Some(gpu_sim::FaultConfig::uniform(5, 1.0)),
+            quarantine_after: 2,
+            ..Default::default()
+        }),
+        ..Default::default()
+    })
+    .solve::<f64>(&jobs);
+    std::panic::set_hook(prev);
+
+    assert!(report.all_solved());
+    let per_backend_jobs: usize = report.stats.per_backend.values().map(|t| t.jobs).sum();
+    assert_eq!(per_backend_jobs, report.stats.jobs, "each job tallied once");
+    let fault_sum: u64 = report.results.iter().map(|r| r.faults).sum();
+    let retry_sum: usize = report.results.iter().map(|r| r.retries).sum();
+    let degrade_sum: usize = report.results.iter().map(|r| r.degradations).sum();
+    assert_eq!(report.stats.device_faults, fault_sum);
+    assert_eq!(report.stats.retries, retry_sum);
+    assert_eq!(report.stats.degradations, degrade_sum);
+    // The re-placed (post-quarantine) jobs solved exactly once, fault-free.
+    for r in &report.results[2..] {
+        assert_eq!(r.faults, 0, "job {}", r.index);
+        assert_eq!(r.retries, 0, "job {}", r.index);
+    }
+}
+
+/// Satellite regression (utilization denominators): a job that panics
+/// contributes zero *simulated* time but real host occupancy. The sim-time
+/// `utilization` reports 0 for a backend that only ran doomed jobs;
+/// `active_utilization` (per-backend active wall time) must still charge
+/// the time where it was spent.
+#[test]
+fn panicked_jobs_still_occupy_their_backend_in_active_utilization() {
+    let jobs = vec![fixtures::poisoned()];
+    let report = BatchSolver::new(BatchOptions::default()).solve::<f64>(&jobs);
+    assert_eq!(report.stats.panicked, 1);
+    let tally = report.stats.per_backend["cpu-dense"];
+    assert_eq!(tally.sim_time, gpu_sim::SimTime::ZERO);
+    assert!(
+        tally.wall_seconds > 0.0,
+        "a panicked job still occupied the backend"
+    );
+    // Pre-fix: no per-backend active time existed, so the only occupancy
+    // signal (sim-time utilization) reads 0 despite real host occupancy.
+    assert_eq!(report.stats.utilization("cpu-dense"), 0.0);
+    assert!((report.stats.active_utilization("cpu-dense") - 1.0).abs() < 1e-12);
+}
+
+/// Per-backend active wall time partitions the batch across backends and is
+/// consistent with the per-job records.
+#[test]
+fn per_backend_active_time_matches_job_records() {
+    let jobs = generator::batch_mixed_sizes(12, &[(4, 6), (16, 20)], 500);
+    let policy = PlacementPolicy::size_threshold(
+        10,
+        BackendKind::CpuDense,
+        BackendKind::GpuDense(DeviceSpec::gtx280()),
+    );
+    let report = BatchSolver::new(BatchOptions {
+        workers: 2,
+        policy,
+        ..Default::default()
+    })
+    .solve::<f64>(&jobs);
+    assert!(report.all_solved());
+    for (label, tally) in &report.stats.per_backend {
+        let job_sum: f64 = report
+            .results
+            .iter()
+            .filter(|r| r.backend == *label)
+            .map(|r| r.wall_seconds)
+            .sum();
+        assert!(
+            (tally.wall_seconds - job_sum).abs() < 1e-12,
+            "{label}: tally {} vs job sum {}",
+            tally.wall_seconds,
+            job_sum
+        );
+    }
+    let share_sum =
+        report.stats.active_utilization("cpu-dense") + report.stats.active_utilization("gpu-dense");
+    assert!((share_sum - 1.0).abs() < 1e-12);
+}
