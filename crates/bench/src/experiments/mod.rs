@@ -4,6 +4,7 @@ mod b1_batch;
 mod f2f3;
 mod f4;
 mod f5;
+mod f6_fusion;
 mod o1_observe;
 mod r2_resilience;
 mod t1f1;
@@ -41,7 +42,7 @@ impl ExpReport {
 /// All experiment ids, in DESIGN.md order.
 pub fn all_ids() -> &'static [&'static str] {
     &[
-        "t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "b1", "r2", "o1",
+        "t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "f6", "b1", "r2", "o1",
     ]
 }
 
@@ -58,6 +59,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExpReport> {
         "t4" => Some(t4::run(quick)),
         "f5" => Some(f5::run(quick)),
         "t5" => Some(t5::run(quick)),
+        "f6" => Some(f6_fusion::run(quick)),
         "b1" => Some(b1_batch::run(quick)),
         "r2" => Some(r2_resilience::run(quick)),
         "o1" => Some(o1_observe::run(quick)),

@@ -79,8 +79,12 @@ impl Target {
 /// GPU-side counters captured after a run.
 #[derive(Debug, Clone, Default)]
 pub struct GpuReport {
-    /// Kernel launches.
+    /// Kernel launches (a fused group counts once).
     pub launches: u64,
+    /// Fused launch groups issued (0 with fusion off).
+    pub fused_groups: u64,
+    /// Member kernels folded into fused groups.
+    pub fused_kernels_folded: u64,
     /// Host→device transfers and bytes.
     pub h2d: (u64, u64),
     /// Device→host transfers and bytes.
@@ -228,10 +232,13 @@ fn run_standard_impl<T: Scalar, R: Recorder>(
                 cfg.layout,
                 cfg.strategy,
             );
+            be.set_fuse_launches(opts.fuse_launches);
             let res = solve_with(&mut be, sf, opts, rec);
             let c = gpu.counters();
             let report = GpuReport {
                 launches: c.kernels_launched,
+                fused_groups: c.fused_groups,
+                fused_kernels_folded: c.fused_kernels_folded,
                 h2d: (c.h2d_count, c.h2d_bytes),
                 d2h: (c.d2h_count, c.d2h_bytes),
                 frac_kernel: c.breakdown.fraction(TimeCategory::KernelBody),
@@ -268,7 +275,10 @@ mod tests {
         assert!((c.objective - g.objective).abs() < 1e-3);
         assert!(c.sim_seconds > 0.0 && g.sim_seconds > 0.0);
         let gr = g.gpu.unwrap();
-        assert!(gr.launches > 100);
+        // Fusion (default on) folds member kernels into grouped launches.
+        assert!(gr.launches + gr.fused_kernels_folded > 100);
+        assert!(gr.fused_groups > 0);
+        assert!(gr.launches < gr.launches + gr.fused_kernels_folded);
         assert!(gr.frac_kernel + gr.frac_launch + gr.frac_transfer > 0.99);
     }
 

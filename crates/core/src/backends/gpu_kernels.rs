@@ -156,6 +156,43 @@ impl<T: Scalar> Kernel for UpdateBetaK<T> {
     }
 }
 
+/// Fused-Bland stage: `out[0] = src[idx[0]]`, where the index was staged on
+/// device by the `u32` min-reduction (encoded as a `T` scalar, exact below
+/// 2²⁴). The `u32::MAX` "no candidate" sentinel lands out of range and
+/// writes zero; the host decodes the sentinel from the staged index slot.
+pub struct GatherAtK<T: Scalar> {
+    pub src: DView<T>,
+    pub idx: DView<T>,
+    pub out: DViewMut<T>,
+    pub n: usize,
+}
+
+impl<T: Scalar> Kernel for GatherAtK<T> {
+    fn name(&self) -> &'static str {
+        "gather_at"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        if t.global_id() > 0 {
+            return;
+        }
+        let j = self.idx.get(0).to_f64();
+        let v = if j >= 0.0 && (j as usize) < self.n {
+            self.src.get(j as usize)
+        } else {
+            T::ZERO
+        };
+        self.out.set(0, v);
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        KernelCost::new()
+            .int_ops_total(1)
+            .read(AccessPattern::broadcast::<T>(1))
+            .read(AccessPattern::scattered::<T>(1))
+            .write(AccessPattern::coalesced::<T>(1))
+            .active_threads(cfg, 1)
+    }
+}
+
 /// Elementwise clamp to non-negative: `x[i] = max(x[i], 0)` — applied to a
 /// freshly recomputed β to keep round-off from seeding negative basics.
 pub struct ClampNonNegK<T: Scalar> {

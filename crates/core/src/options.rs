@@ -63,6 +63,11 @@ pub struct SolverOptions {
     /// paranoid mode: terminal solutions are validated for finiteness so a
     /// silently corrupted iterate cannot masquerade as `Optimal`.
     pub faults: Option<FaultConfig>,
+    /// Charge each per-iteration GPU kernel chain as a single fused launch
+    /// (one launch overhead per chain, pivot probes batched into one PCIe
+    /// transfer). Arithmetic and pivot sequence are identical either way —
+    /// this toggles *accounting only* (the F6 ablation). GPU backends only.
+    pub fuse_launches: bool,
 }
 
 impl Default for SolverOptions {
@@ -79,6 +84,7 @@ impl Default for SolverOptions {
             presolve: true,
             time_limit: None,
             faults: None,
+            fuse_launches: true,
         }
     }
 }

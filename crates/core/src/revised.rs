@@ -547,6 +547,8 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
             };
             self.backend.set_basic_cost(p, cost)?;
             self.xb[p] = q;
+            self.stats
+                .record_pivot(self.stats.iterations, pidx, q, p, theta.to_f64());
             self.span_close(StepKind::UpdateBasis, Step::Update, span);
             self.check_deadline(wall)?;
             recoveries_left = MAX_CONSECUTIVE_RECOVERIES;

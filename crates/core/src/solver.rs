@@ -306,7 +306,11 @@ fn try_solve_standard_impl<T: Scalar, R: Recorder>(
             if let Some(cfg) = &opts.faults {
                 gpu.set_fault_plan(FaultPlan::new(cfg.clone()));
             }
-            let mut be = GpuDenseBackend::new(&gpu, &sf.a, &sf.b, n_active, &sf.basis0);
+            // Fallible construction: a device fault during the initial
+            // uploads is a reportable device error, not a panic.
+            let mut be = GpuDenseBackend::try_new(&gpu, &sf.a, &sf.b, n_active, &sf.basis0)
+                .map_err(SolveError::from)?;
+            be.set_fuse_launches(opts.fuse_launches);
             let mut res = drive(&mut be, sf, opts, warm, rec)?;
             res.stats.device_faults = gpu.fault_counts().total();
             Ok(res)
@@ -321,7 +325,9 @@ fn try_solve_standard_impl<T: Scalar, R: Recorder>(
             if let Some(cfg) = &opts.faults {
                 stream.set_fault_plan(FaultPlan::new(cfg.clone()));
             }
-            let mut be = GpuDenseBackend::new(&stream, &sf.a, &sf.b, n_active, &sf.basis0);
+            let mut be = GpuDenseBackend::try_new(&stream, &sf.a, &sf.b, n_active, &sf.basis0)
+                .map_err(SolveError::from)?;
+            be.set_fuse_launches(opts.fuse_launches);
             let mut res = drive(&mut be, sf, opts, warm, rec)?;
             res.stats.device_faults = stream.fault_counts().total();
             Ok(res)

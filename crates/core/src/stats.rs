@@ -100,9 +100,40 @@ pub struct SolveStats {
     /// Backoff the resilience layer scheduled between attempts, in seconds
     /// (recorded, not slept — the batch scheduler owns real pacing).
     pub backoff_seconds: f64,
+    /// FNV-1a hash over the pivot sequence: for every basis change, the
+    /// iteration, phase, entering column `q`, leaving row `p`, and the
+    /// exact bits of the step length θ. Two solves that walk the same
+    /// arithmetic path produce equal fingerprints regardless of how the
+    /// simulator accounted their launches — the fused/unfused parity
+    /// regression keys on this. 0 means "no pivots recorded".
+    pub pivot_fingerprint: u64,
 }
 
 impl SolveStats {
+    /// Fold one basis change into [`SolveStats::pivot_fingerprint`].
+    pub fn record_pivot(&mut self, iteration: usize, phase: usize, q: usize, p: usize, theta: f64) {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = if self.pivot_fingerprint == 0 {
+            OFFSET
+        } else {
+            self.pivot_fingerprint
+        };
+        for v in [
+            iteration as u64,
+            phase as u64,
+            q as u64,
+            p as u64,
+            theta.to_bits(),
+        ] {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        self.pivot_fingerprint = h;
+    }
+
     /// Iterations spent in phase 2 (disjoint from `phase1_iterations`).
     pub fn phase2_iterations(&self) -> usize {
         self.phase[1].iterations

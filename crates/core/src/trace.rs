@@ -360,6 +360,31 @@ impl EventTrace {
         h
     }
 
+    /// Timing-independent sibling of [`EventTrace::fingerprint`]: the same
+    /// FNV-1a hash over every retained event's *structure* (sequence,
+    /// iteration, phase, step kind) with the simulated times left out. Two
+    /// solves that walk the same pivot path emit equal structural
+    /// fingerprints even when their accounting differs — the fused-launch
+    /// ablation keys on this (fusion changes *when*, never *what*).
+    pub fn structural_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for ev in &self.events {
+            mix(ev.seq);
+            mix(ev.iteration as u64);
+            mix(ev.phase as u64);
+            mix(ev.kind.index() as u64);
+        }
+        h
+    }
+
     /// CSV dump (header + one row per retained event), for post-mortems.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("seq,iteration,phase,step,start_ns,duration_ns\n");

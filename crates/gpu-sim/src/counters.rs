@@ -140,6 +140,12 @@ pub struct Counters {
     /// Streams opened on this device whose activity has been folded back
     /// into these (device-aggregate) counters.
     pub streams_retired: u64,
+    /// Fused launch groups issued (each counts as one entry in
+    /// `kernels_launched` and pays one launch overhead).
+    pub fused_groups: u64,
+    /// Member kernels folded into fused groups (each would have been a
+    /// separate launch on the unfused path).
+    pub fused_kernels_folded: u64,
 }
 
 impl Counters {
@@ -168,6 +174,8 @@ impl Counters {
         self.allocated_bytes = self.allocated_bytes.max(other.allocated_bytes);
         self.peak_allocated_bytes = self.peak_allocated_bytes.max(other.peak_allocated_bytes);
         self.streams_retired += other.streams_retired;
+        self.fused_groups += other.fused_groups;
+        self.fused_kernels_folded += other.fused_kernels_folded;
     }
     /// Achieved global-memory bandwidth over the whole history, bytes/sec.
     pub fn achieved_bandwidth(&self) -> f64 {
@@ -204,6 +212,13 @@ impl fmt::Display for Counters {
             )?;
         }
         writeln!(f, "  kernels launched: {}", self.kernels_launched)?;
+        if self.fused_groups > 0 {
+            writeln!(
+                f,
+                "  fused groups:     {} ({} member kernels folded)",
+                self.fused_groups, self.fused_kernels_folded
+            )?;
+        }
         writeln!(
             f,
             "  transfers:        {} h2d ({} B), {} d2h ({} B)",

@@ -441,6 +441,157 @@ impl Gpu {
         })
         .expect("kernel block worker panicked");
     }
+
+    /// Fallible [`Gpu::begin_fused`]. The fault plan is rolled once for the
+    /// whole group (as `OpKind::Kernel` under the group's name): a stream of
+    /// fused kernels is one dispatch in the model, so it presents one fault
+    /// surface. An error here charges nothing and runs nothing.
+    pub fn try_begin_fused(&self, name: &'static str) -> Result<FusedLaunch<'_>, DeviceError> {
+        self.fault_check(OpKind::Kernel, name)?;
+        Ok(FusedLaunch {
+            gpu: self,
+            name,
+            kernels: 0,
+            timing: LaunchTiming {
+                overhead: SimTime::from_ns(self.spec.launch_overhead_ns),
+                ..LaunchTiming::default()
+            },
+            tx: 0,
+            bytes: 0,
+            flops: 0,
+        })
+    }
+
+    /// Open a fused launch group named `name`: every kernel submitted to the
+    /// returned [`FusedLaunch`] executes immediately (same arithmetic, same
+    /// order as separate launches) but the group is charged as a *single*
+    /// launch when [`FusedLaunch::finish`] is called — one launch overhead,
+    /// with the compute/bandwidth/latency roofline terms summed across
+    /// members. Panics on an injected fault; fault-aware callers use
+    /// [`Gpu::try_begin_fused`].
+    pub fn begin_fused(&self, name: &'static str) -> FusedLaunch<'_> {
+        self.try_begin_fused(name)
+            .unwrap_or_else(|e| panic!("{e} on {}", self.spec.name))
+    }
+}
+
+/// An open fused launch group — see [`Gpu::begin_fused`].
+///
+/// Member kernels run functionally the moment they are submitted, so data
+/// dependencies between them behave exactly as in the unfused path; only the
+/// *accounting* differs. Dropping the group without calling
+/// [`FusedLaunch::finish`] charges nothing (the error-path analogue of a
+/// launch that never happened).
+#[must_use = "a fused group charges nothing until finish() is called"]
+pub struct FusedLaunch<'g> {
+    gpu: &'g Gpu,
+    name: &'static str,
+    kernels: u64,
+    timing: LaunchTiming,
+    tx: u64,
+    bytes: u64,
+    flops: u64,
+}
+
+impl<'g> FusedLaunch<'g> {
+    /// The device this group runs on (for allocations and transfers, which
+    /// stay individually accounted — fusion only merges kernel dispatches).
+    pub fn gpu(&self) -> &'g Gpu {
+        self.gpu
+    }
+
+    /// Member kernels submitted so far.
+    pub fn kernels(&self) -> u64 {
+        self.kernels
+    }
+
+    /// Submit a kernel to the group: execute its body now, fold its cost
+    /// into the group's aggregate timing. Infallible — the group's single
+    /// fault roll already happened at [`Gpu::try_begin_fused`].
+    pub fn launch<K: Kernel>(&mut self, cfg: LaunchConfig, kernel: &K) {
+        let cost = kernel.cost(&cfg);
+        let t = kernel_timing(&self.gpu.spec, &cfg, &cost);
+        self.timing.compute += t.compute;
+        self.timing.bandwidth += t.bandwidth;
+        self.timing.latency += t.latency;
+        let (tx, bytes) = cost.traffic(self.gpu.spec.warp_size, self.gpu.spec.segment_bytes);
+        self.tx += tx;
+        self.bytes += bytes;
+        self.flops += cost.flops;
+        self.kernels += 1;
+        match self.gpu.mode {
+            ExecMode::Sequential => self.gpu.run_blocks(cfg, kernel, 0, cfg.total_blocks()),
+            ExecMode::Parallel(workers) => {
+                self.gpu.run_blocks_parallel(cfg, kernel, workers.max(1))
+            }
+        }
+    }
+
+    /// Close the group and charge it as one launch: one overhead plus
+    /// `max(Σ compute, Σ bandwidth, Σ latency)`, recorded under the group's
+    /// name in the per-kernel table. Since `max` of sums never exceeds the
+    /// sum of per-kernel maxima, a fused group is never slower than the same
+    /// kernels launched separately. Returns the aggregate timing.
+    pub fn finish(self) -> LaunchTiming {
+        let timing = self.timing;
+        let mut c = self.gpu.counters.lock();
+        c.kernels_launched += 1;
+        c.fused_groups += 1;
+        c.fused_kernels_folded += self.kernels;
+        c.elapsed += timing.total();
+        c.breakdown
+            .add(TimeCategory::LaunchOverhead, timing.overhead);
+        c.breakdown
+            .add(TimeCategory::KernelBody, timing.total() - timing.overhead);
+        c.transactions += self.tx;
+        c.mem_bytes += self.bytes;
+        c.flops += self.flops;
+        let st = c.per_kernel.entry(self.name).or_default();
+        st.launches += 1;
+        st.time += timing.total();
+        st.transactions += self.tx;
+        st.bytes += self.bytes;
+        st.flops += self.flops;
+        timing
+    }
+}
+
+/// Either an unfused device handle or an open fused group: library routines
+/// written against `Launcher` execute the *same kernel bodies in the same
+/// order* on both paths, which is what pins the fused/unfused bitwise
+/// equivalence by construction.
+pub enum Launcher<'a, 'g> {
+    /// Launch each kernel separately (one overhead and one fault roll each).
+    Direct(&'g Gpu),
+    /// Fold kernels into an open fused group.
+    Fused(&'a mut FusedLaunch<'g>),
+}
+
+impl<'a, 'g> Launcher<'a, 'g> {
+    /// The underlying device (for allocations, which are never fused).
+    pub fn gpu(&self) -> &'g Gpu {
+        match self {
+            Launcher::Direct(g) => g,
+            Launcher::Fused(f) => f.gpu,
+        }
+    }
+
+    /// Launch through this path. On `Direct` this is [`Gpu::try_launch`];
+    /// on `Fused` the kernel joins the group and cannot fault (the group
+    /// rolled once at open).
+    pub fn try_launch<K: Kernel>(
+        &mut self,
+        cfg: LaunchConfig,
+        kernel: &K,
+    ) -> Result<(), DeviceError> {
+        match self {
+            Launcher::Direct(g) => g.try_launch(cfg, kernel).map(|_| ()),
+            Launcher::Fused(f) => {
+                f.launch(cfg, kernel);
+                Ok(())
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -713,6 +864,166 @@ mod tests {
         assert_eq!(gpu.counters().allocated_bytes, 0);
         let _ok = gpu.htod(&[1.0f32; 64]);
         assert_eq!(gpu.counters().allocated_bytes, 256);
+    }
+
+    #[test]
+    fn fused_group_charges_single_overhead_and_matches_unfused_results() {
+        let n = 1000;
+        let run = |fused: bool| {
+            let gpu = Gpu::new(DeviceSpec::gtx280());
+            let mut a = gpu.alloc(n, 0.0f32);
+            let mut b = gpu.alloc(n, 0.0f32);
+            let mut out = gpu.alloc(n, 0.0f32);
+            let cfg = LaunchConfig::for_elems(n, 256);
+            let fill_a = |av: DViewMut<f32>| Fill {
+                out: av,
+                val: 2.0,
+                n,
+            };
+            if fused {
+                let mut fl = gpu.begin_fused("fused_demo");
+                fl.launch(cfg, &fill_a(a.view_mut()));
+                fl.launch(
+                    cfg,
+                    &Fill {
+                        out: b.view_mut(),
+                        val: 3.0,
+                        n,
+                    },
+                );
+                fl.launch(
+                    cfg,
+                    &Add {
+                        a: a.view(),
+                        b: b.view(),
+                        out: out.view_mut(),
+                        n,
+                    },
+                );
+                fl.finish();
+            } else {
+                gpu.launch(cfg, &fill_a(a.view_mut()));
+                gpu.launch(
+                    cfg,
+                    &Fill {
+                        out: b.view_mut(),
+                        val: 3.0,
+                        n,
+                    },
+                );
+                gpu.launch(
+                    cfg,
+                    &Add {
+                        a: a.view(),
+                        b: b.view(),
+                        out: out.view_mut(),
+                        n,
+                    },
+                );
+            }
+            (gpu.dtoh(&out), gpu.counters())
+        };
+        let (host_u, c_u) = run(false);
+        let (host_f, c_f) = run(true);
+        // Same arithmetic, bit for bit.
+        assert_eq!(host_u, host_f);
+        // One launch, one overhead, three members folded.
+        assert_eq!(c_f.kernels_launched, 1);
+        assert_eq!(c_f.fused_groups, 1);
+        assert_eq!(c_f.fused_kernels_folded, 3);
+        assert_eq!(c_u.fused_groups, 0);
+        let oh_f = c_f.breakdown.get(TimeCategory::LaunchOverhead);
+        let oh_u = c_u.breakdown.get(TimeCategory::LaunchOverhead);
+        assert!((oh_f.as_nanos() * 3.0 - oh_u.as_nanos()).abs() < 1e-6);
+        // Traffic/flop totals are identical; only time accounting moved.
+        assert_eq!(c_f.flops, c_u.flops);
+        assert_eq!(c_f.mem_bytes, c_u.mem_bytes);
+        assert_eq!(c_f.transactions, c_u.transactions);
+        // Fused is strictly cheaper (two overheads saved, max-of-sums ≤
+        // sum-of-maxes).
+        assert!(c_f.elapsed.as_nanos() < c_u.elapsed.as_nanos());
+        assert!(c_f.per_kernel["fused_demo"].launches == 1);
+    }
+
+    #[test]
+    fn fused_group_rolls_fault_plan_once_at_open() {
+        use crate::fault::FaultConfig;
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut cfg = FaultConfig::off(6);
+        cfg.kernel_fault = 1.0;
+        gpu.set_fault_plan(FaultPlan::new(cfg));
+        let before = gpu.counters();
+        let err = gpu.try_begin_fused("fused_demo").map(|_| ()).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::KernelFault {
+                kernel: "fused_demo"
+            }
+        );
+        let after = gpu.counters();
+        assert_eq!(after.kernels_launched, before.kernels_launched);
+        assert_eq!(after.elapsed, before.elapsed);
+        assert_eq!(gpu.fault_counts().kernel_faults, 1);
+    }
+
+    #[test]
+    fn dropped_fused_group_charges_nothing() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut out = gpu.alloc(8, 0.0f32);
+        {
+            let mut fl = gpu.begin_fused("fused_abandoned");
+            fl.launch(
+                LaunchConfig::for_elems(8, 8),
+                &Fill {
+                    out: out.view_mut(),
+                    val: 1.0,
+                    n: 8,
+                },
+            );
+            // Dropped without finish(): the error-path analogue.
+        }
+        let c = gpu.counters();
+        assert_eq!(c.kernels_launched, 0);
+        assert_eq!(c.fused_groups, 0);
+        assert_eq!(c.elapsed, SimTime::ZERO);
+        // The body still ran (results exist), only the charge was skipped.
+        assert!(gpu.dtoh(&out).iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn launcher_direct_and_fused_agree() {
+        let n = 64;
+        let cfg = LaunchConfig::for_elems(n, 32);
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut a = gpu.alloc(n, 0.0f32);
+        let mut l = Launcher::Direct(&gpu);
+        l.try_launch(
+            cfg,
+            &Fill {
+                out: a.view_mut(),
+                val: 4.0,
+                n,
+            },
+        )
+        .unwrap();
+        let direct_launches = gpu.counters().kernels_launched;
+        let mut fl = gpu.begin_fused("fused_fill");
+        let mut l = Launcher::Fused(&mut fl);
+        l.try_launch(
+            cfg,
+            &Fill {
+                out: a.view_mut(),
+                val: 5.0,
+                n,
+            },
+        )
+        .unwrap();
+        fl.finish();
+        let c = gpu.counters();
+        assert_eq!(direct_launches, 1);
+        assert_eq!(c.kernels_launched, 2);
+        assert_eq!(c.fused_kernels_folded, 1);
+        assert!(gpu.dtoh(&a).iter().all(|&x| x == 5.0));
     }
 
     #[test]

@@ -305,6 +305,60 @@ mod tests {
     }
 
     #[test]
+    fn dead_stream_folds_pre_death_counters_exactly_once() {
+        // A stream killed mid-flight (sticky StreamDead) must still fold
+        // everything it charged *before* dying into the parent aggregate —
+        // exactly once — and the failed post-death ops must charge nothing.
+        use crate::fault::{FaultConfig, FaultPlan};
+        let shared = Arc::new(Gpu::new(DeviceSpec::gtx280()));
+
+        let healthy = Stream::on(&shared);
+        let _ = run_workload(&healthy, 256, 2.0);
+        let healthy_c = healthy.counters();
+
+        let pre_death;
+        {
+            let s = Stream::on(&shared);
+            let _ = run_workload(&s, 512, 2.0);
+            pre_death = s.counters();
+            assert!(pre_death.kernels_launched > 0);
+            // Kill the stream: every subsequent op dies.
+            let mut cfg = FaultConfig::off(3);
+            cfg.stream_death = 1.0;
+            s.set_fault_plan(FaultPlan::new(cfg));
+            assert!(matches!(
+                s.try_htod(&vec![1.0f32; 64]),
+                Err(crate::fault::DeviceError::StreamDead)
+            ));
+            // Death is sticky, and the dead ops charged nothing.
+            assert!(matches!(
+                s.try_alloc(64, 0.0f32),
+                Err(crate::fault::DeviceError::StreamDead)
+            ));
+            assert_eq!(s.counters().kernels_launched, pre_death.kernels_launched);
+            assert_eq!(s.counters().elapsed, pre_death.elapsed);
+            s.retire(); // explicit retire; the later drop must not re-fold
+        }
+        healthy.retire();
+
+        let agg = shared.counters();
+        assert_eq!(agg.streams_retired, 2);
+        // Device aggregate == sum over streams, dead one included once.
+        assert_eq!(
+            agg.kernels_launched,
+            pre_death.kernels_launched + healthy_c.kernels_launched
+        );
+        assert_eq!(
+            agg.elapsed.as_nanos(),
+            pre_death.elapsed.as_nanos() + healthy_c.elapsed.as_nanos()
+        );
+        assert_eq!(agg.flops, pre_death.flops + healthy_c.flops);
+        assert_eq!(agg.mem_bytes, pre_death.mem_bytes + healthy_c.mem_bytes);
+        assert_eq!(agg.h2d_bytes, pre_death.h2d_bytes + healthy_c.h2d_bytes);
+        assert_eq!(agg.d2h_bytes, pre_death.d2h_bytes + healthy_c.d2h_bytes);
+    }
+
+    #[test]
     fn drop_retires_exactly_once() {
         let shared = Arc::new(Gpu::new(DeviceSpec::gtx280()));
         {

@@ -8,10 +8,11 @@
 
 use gpu_sim::{
     AccessPattern, DView, DViewMut, DeviceBuffer, DeviceError, Gpu, Kernel, KernelCost,
-    LaunchConfig, ThreadCtx,
+    LaunchConfig, Launcher, ThreadCtx,
 };
 
 use super::blas::poison_if_corrupted;
+use super::kernels::CopyK;
 use crate::scalar::Scalar;
 
 /// Elements reduced per modeled thread block (256 threads × 2 loads).
@@ -271,6 +272,199 @@ pub fn argmin<T: Scalar>(gpu: &Gpu, vals: DView<T>, n: usize) -> Result<(T, u32)
     Ok((minv, i))
 }
 
+// --------------------------------------------------------------------------
+// Staged variants: the reduction result stays *on device*, written into a
+// caller-provided slot of a scalar-staging buffer. The per-iteration pivot
+// probes can then come back in one batched PCIe transfer instead of one
+// tiny dtoh per reduction — the fused-launch path's transfer half.
+// --------------------------------------------------------------------------
+
+/// `dst[i] = (T) src[i]` — stage a u32 reduction result into a scalar slot
+/// of the (floating-point) staging buffer. Exact for indices below 2²⁴ even
+/// in f32, far above any problem dimension here.
+struct CastU32K<T: Scalar> {
+    src: DView<u32>,
+    dst: DViewMut<T>,
+    n: usize,
+}
+
+impl<T: Scalar> Kernel for CastU32K<T> {
+    fn name(&self) -> &'static str {
+        "cast_u32"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let i = t.global_id();
+        if i < self.n {
+            self.dst.set(i, T::from_f64(self.src.get(i) as f64));
+        }
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let n = self.n as u64;
+        KernelCost::new()
+            .int_ops_total(n)
+            .read(AccessPattern::coalesced::<u32>(n))
+            .write(AccessPattern::coalesced::<T>(n))
+            .active_threads(cfg, n)
+    }
+}
+
+/// [`MapEqIdxK`] with the comparison target read from a 1-element device
+/// buffer instead of a host scalar — lets the argmin chain run without the
+/// intermediate device→host round-trip for the minimum value.
+struct MapEqIdxDevK<T: Scalar> {
+    vals: DView<T>,
+    target: DView<T>,
+    out: DViewMut<u32>,
+    n: usize,
+}
+
+impl<T: Scalar> Kernel for MapEqIdxDevK<T> {
+    fn name(&self) -> &'static str {
+        "map_eq_idx_dev"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let i = t.global_id();
+        if i < self.n {
+            let v = if self.vals.get(i) == self.target.get(0) {
+                i as u32
+            } else {
+                u32::MAX
+            };
+            self.out.set(i, v);
+        }
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let n = self.n as u64;
+        KernelCost::new()
+            .int_ops_total(n)
+            .read(AccessPattern::coalesced::<T>(n))
+            .read(AccessPattern::broadcast::<T>(n))
+            .write(AccessPattern::coalesced::<u32>(n))
+            .active_threads(cfg, n)
+    }
+}
+
+/// [`reduce`] with the scalar result written into `out[0]` (a staging-buffer
+/// slot) instead of crossing PCIe. Same tree passes, same combine order —
+/// the staged value is bit-identical to what [`reduce`] downloads; the final
+/// 1-element copy is one more kernel folded into the caller's launcher.
+pub fn reduce_into<T: Scalar>(
+    l: &mut Launcher<'_, '_>,
+    input: DView<T>,
+    n: usize,
+    op: ReduceOp,
+    out: DViewMut<T>,
+) -> Result<(), DeviceError> {
+    assert!(n > 0, "reduce_into of an empty vector");
+    assert_eq!(out.len(), 1, "reduce_into writes exactly one slot");
+    let mut stages: Vec<DeviceBuffer<T>> = Vec::new();
+    let mut cur_len = n;
+    let mut cur_view = input;
+    while cur_len > 1 {
+        let out_len = cur_len.div_ceil(REDUCE_CHUNK);
+        let mut stage = l.gpu().try_alloc(out_len, op.identity::<T>())?;
+        l.try_launch(
+            LaunchConfig::for_elems(out_len, 128),
+            &ReducePassK {
+                input: cur_view,
+                n: cur_len,
+                out: stage.view_mut(),
+                op,
+            },
+        )?;
+        poison_if_corrupted(l.gpu(), &stage.view_mut());
+        stages.push(stage);
+        cur_len = out_len;
+        cur_view = stages.last().expect("stage just pushed").view();
+    }
+    l.try_launch(
+        LaunchConfig::for_elems(1, 1),
+        &CopyK {
+            src: cur_view.subview(0, 1),
+            dst: out,
+            n: 1,
+        },
+    )?;
+    Ok(())
+}
+
+/// [`reduce_u32_min`] with the result cast into `out[0]` of the (scalar)
+/// staging buffer instead of crossing PCIe.
+pub fn reduce_u32_min_into<T: Scalar>(
+    l: &mut Launcher<'_, '_>,
+    input: DView<u32>,
+    n: usize,
+    out: DViewMut<T>,
+) -> Result<(), DeviceError> {
+    assert!(n > 0, "reduce_u32_min_into of an empty vector");
+    assert_eq!(out.len(), 1, "reduce_u32_min_into writes exactly one slot");
+    let mut stages: Vec<DeviceBuffer<u32>> = Vec::new();
+    let mut cur_len = n;
+    let mut cur_view = input;
+    while cur_len > 1 {
+        let out_len = cur_len.div_ceil(REDUCE_CHUNK);
+        let mut stage = l.gpu().try_alloc(out_len, u32::MAX)?;
+        l.try_launch(
+            LaunchConfig::for_elems(out_len, 128),
+            &ReduceU32MinPassK {
+                input: cur_view,
+                n: cur_len,
+                out: stage.view_mut(),
+            },
+        )?;
+        poison_u32_if_corrupted(l.gpu(), &stage.view_mut());
+        stages.push(stage);
+        cur_len = out_len;
+        cur_view = stages.last().expect("stage just pushed").view();
+    }
+    l.try_launch(
+        LaunchConfig::for_elems(1, 1),
+        &CastU32K {
+            src: cur_view.subview(0, 1),
+            dst: out,
+            n: 1,
+        },
+    )?;
+    Ok(())
+}
+
+/// [`argmin`] with both results staged on device: the minimum value is
+/// written to `stage[val_at]` and the (tie-broken smallest) index, cast to
+/// `T`, to `stage[idx_at]`. The whole chain — value min-reduce, equality
+/// map against the *staged* minimum, index min-reduce, cast — issues no
+/// device→host transfer; the caller downloads the staging buffer once.
+pub fn argmin_into<T: Scalar>(
+    l: &mut Launcher<'_, '_>,
+    vals: DView<T>,
+    n: usize,
+    stage: &mut DeviceBuffer<T>,
+    val_at: usize,
+    idx_at: usize,
+) -> Result<(), DeviceError> {
+    assert!(n > 0, "argmin of an empty vector");
+    assert_ne!(val_at, idx_at, "argmin_into slots must be distinct");
+    reduce_into(
+        l,
+        vals,
+        n,
+        ReduceOp::Min,
+        stage.view_mut().subview_mut(val_at, 1),
+    )?;
+    let mut idx = l.gpu().try_alloc(n, u32::MAX)?;
+    l.try_launch(
+        LaunchConfig::for_elems(n, 128),
+        &MapEqIdxDevK {
+            vals,
+            target: stage.view().subview(val_at, 1),
+            out: idx.view_mut(),
+            n,
+        },
+    )?;
+    poison_u32_if_corrupted(l.gpu(), &idx.view_mut());
+    reduce_u32_min_into(l, idx.view(), n, stage.view_mut().subview_mut(idx_at, 1))?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,5 +552,63 @@ mod tests {
         assert_eq!(c.kernels_launched, 2); // 4096 → 8 → 1
         assert_eq!(c.d2h_count, 1);
         assert!(c.elapsed.as_micros() > 2.0 * 7.0);
+    }
+
+    #[test]
+    fn reduce_into_matches_reduce_bitwise() {
+        let g = gpu();
+        let host: Vec<f32> = (0..3000).map(|i| ((i * 31) % 97) as f32 * 0.37).collect();
+        let d = g.htod(&host);
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+            let direct = reduce(&g, d.view(), host.len(), op).unwrap();
+            let mut stage = g.try_alloc(1usize, 0.0f32).unwrap();
+            let mut l = Launcher::Direct(&g);
+            reduce_into(&mut l, d.view(), host.len(), op, stage.view_mut()).unwrap();
+            let staged = g.try_dtoh_range(&stage, 0, 1).unwrap()[0];
+            assert_eq!(staged.to_bits(), direct.to_bits());
+        }
+    }
+
+    #[test]
+    fn argmin_into_matches_argmin_and_skips_transfers() {
+        let g = gpu();
+        let n = 10_000;
+        let host: Vec<f64> = (0..n).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let d = g.htod(&host);
+        let (v, i) = argmin(&g, d.view(), n).unwrap();
+
+        let mut stage = g.try_alloc(2usize, 0.0f64).unwrap();
+        g.reset_counters();
+        let mut l = Launcher::Direct(&g);
+        argmin_into(&mut l, d.view(), n, &mut stage, 0, 1).unwrap();
+        assert_eq!(
+            g.counters().d2h_count,
+            0,
+            "staged argmin must not cross PCIe"
+        );
+        let out = g.try_dtoh_range(&stage, 0, 2).unwrap();
+        assert_eq!(out[0].to_bits(), v.to_bits());
+        assert_eq!(out[1], i as f64);
+    }
+
+    #[test]
+    fn argmin_into_stages_inside_a_fused_group() {
+        let g = gpu();
+        let host = vec![5.0f32, 2.0, 8.0, 2.0, 9.0, 7.0, 3.0, 4.0];
+        let d = g.htod(&host);
+        let mut stage = g.try_alloc(2usize, 0.0f32).unwrap();
+        g.reset_counters();
+        let mut fused = g.try_begin_fused("argmin_fused").unwrap();
+        {
+            let mut l = Launcher::Fused(&mut fused);
+            argmin_into(&mut l, d.view(), host.len(), &mut stage, 0, 1).unwrap();
+        }
+        fused.finish();
+        let c = g.counters();
+        assert_eq!(c.kernels_launched, 1, "whole chain is one fused group");
+        assert!(c.fused_kernels_folded >= 3);
+        let out = g.try_dtoh_range(&stage, 0, 2).unwrap();
+        assert_eq!(out[0], 2.0);
+        assert_eq!(out[1], 1.0); // first of the tied minima
     }
 }

@@ -9,7 +9,7 @@
 //! detection upstream can catch. On a fault-free device the `Result` is
 //! always `Ok`, so infallible callers simply `expect`.
 
-use gpu_sim::{DView, DViewMut, DeviceError, Gpu, LaunchConfig};
+use gpu_sim::{DView, DViewMut, DeviceError, Gpu, LaunchConfig, Launcher};
 
 use super::algo::{reduce, ReduceOp};
 use super::kernels::{
@@ -64,9 +64,18 @@ pub fn axpy<T: Scalar>(
 
 /// `dst ← src`.
 pub fn copy<T: Scalar>(gpu: &Gpu, src: DView<T>, dst: DViewMut<T>) -> Result<(), DeviceError> {
+    copy_on(&mut Launcher::Direct(gpu), src, dst)
+}
+
+/// [`copy`] through an arbitrary [`Launcher`] (direct or fused).
+pub fn copy_on<T: Scalar>(
+    l: &mut Launcher<'_, '_>,
+    src: DView<T>,
+    dst: DViewMut<T>,
+) -> Result<(), DeviceError> {
     let n = src.len();
     assert_eq!(n, dst.len(), "copy: length mismatch");
-    gpu.try_launch(LaunchConfig::for_elems(n, BLOCK), &CopyK { src, dst, n })?;
+    l.try_launch(LaunchConfig::for_elems(n, BLOCK), &CopyK { src, dst, n })?;
     Ok(())
 }
 
@@ -101,6 +110,18 @@ pub fn gemv_n<T: Scalar>(
     beta: T,
     y: DViewMut<T>,
 ) -> Result<(), DeviceError> {
+    gemv_n_on(&mut Launcher::Direct(gpu), alpha, a, x, beta, y)
+}
+
+/// [`gemv_n`] through an arbitrary [`Launcher`] (direct or fused).
+pub fn gemv_n_on<T: Scalar>(
+    l: &mut Launcher<'_, '_>,
+    alpha: T,
+    a: &DeviceMatrix<T>,
+    x: DView<T>,
+    beta: T,
+    y: DViewMut<T>,
+) -> Result<(), DeviceError> {
     assert_eq!(a.cols(), x.len(), "gemv_n: x length mismatch");
     assert_eq!(a.rows(), y.len(), "gemv_n: y length mismatch");
     let out = y;
@@ -116,8 +137,8 @@ pub fn gemv_n<T: Scalar>(
     };
     // Functional geometry: single sweep (see module docs); modeled geometry
     // (one thread per row) is declared in the kernel's cost descriptor.
-    gpu.try_launch(LaunchConfig::for_elems(a.rows(), BLOCK), &kernel)?;
-    poison_if_corrupted(gpu, &out);
+    l.try_launch(LaunchConfig::for_elems(a.rows(), BLOCK), &kernel)?;
+    poison_if_corrupted(l.gpu(), &out);
     Ok(())
 }
 
@@ -141,6 +162,19 @@ pub fn gemv_t<T: Scalar>(
     y: DViewMut<T>,
     strategy: GemvTStrategy,
 ) -> Result<(), DeviceError> {
+    gemv_t_on(&mut Launcher::Direct(gpu), alpha, a, x, beta, y, strategy)
+}
+
+/// [`gemv_t`] through an arbitrary [`Launcher`] (direct or fused).
+pub fn gemv_t_on<T: Scalar>(
+    l: &mut Launcher<'_, '_>,
+    alpha: T,
+    a: &DeviceMatrix<T>,
+    x: DView<T>,
+    beta: T,
+    y: DViewMut<T>,
+    strategy: GemvTStrategy,
+) -> Result<(), DeviceError> {
     assert_eq!(a.rows(), x.len(), "gemv_t: x length mismatch");
     assert_eq!(a.cols(), y.len(), "gemv_t: y length mismatch");
     let out = y;
@@ -156,7 +190,7 @@ pub fn gemv_t<T: Scalar>(
                 beta,
                 y,
             };
-            gpu.try_launch(LaunchConfig::for_elems(a.cols(), BLOCK), &kernel)?;
+            l.try_launch(LaunchConfig::for_elems(a.cols(), BLOCK), &kernel)?;
         }
         GemvTStrategy::TwoPass => {
             assert_eq!(
@@ -165,8 +199,8 @@ pub fn gemv_t<T: Scalar>(
                 "two-pass gemv_t requires col-major storage"
             );
             let strips = GEMV_T_STRIPS;
-            let mut partials = gpu.try_alloc(a.cols() * strips, T::ZERO)?;
-            gpu.try_launch(
+            let mut partials = l.gpu().try_alloc(a.cols() * strips, T::ZERO)?;
+            l.try_launch(
                 LaunchConfig::for_elems(a.cols() * strips, BLOCK),
                 &GemvTPass1K {
                     a: a.view(),
@@ -176,8 +210,8 @@ pub fn gemv_t<T: Scalar>(
                     partials: partials.view_mut(),
                 },
             )?;
-            poison_if_corrupted(gpu, &partials.view_mut());
-            gpu.try_launch(
+            poison_if_corrupted(l.gpu(), &partials.view_mut());
+            l.try_launch(
                 LaunchConfig::for_elems(a.cols(), BLOCK),
                 &GemvTPass2K {
                     partials: partials.view(),
@@ -189,7 +223,7 @@ pub fn gemv_t<T: Scalar>(
             )?;
         }
     }
-    poison_if_corrupted(gpu, &out);
+    poison_if_corrupted(l.gpu(), &out);
     Ok(())
 }
 
@@ -202,6 +236,32 @@ pub fn gemv_t<T: Scalar>(
 #[allow(clippy::too_many_arguments)]
 pub fn gemv_t_cols<T: Scalar>(
     gpu: &Gpu,
+    alpha: T,
+    a: &DeviceMatrix<T>,
+    start: usize,
+    len: usize,
+    x: DView<T>,
+    beta: T,
+    y: DViewMut<T>,
+    strategy: GemvTStrategy,
+) -> Result<(), DeviceError> {
+    gemv_t_cols_on(
+        &mut Launcher::Direct(gpu),
+        alpha,
+        a,
+        start,
+        len,
+        x,
+        beta,
+        y,
+        strategy,
+    )
+}
+
+/// [`gemv_t_cols`] through an arbitrary [`Launcher`] (direct or fused).
+#[allow(clippy::too_many_arguments)]
+pub fn gemv_t_cols_on<T: Scalar>(
+    l: &mut Launcher<'_, '_>,
     alpha: T,
     a: &DeviceMatrix<T>,
     start: usize,
@@ -224,7 +284,7 @@ pub fn gemv_t_cols<T: Scalar>(
     let out = y;
     match strategy {
         GemvTStrategy::Naive => {
-            gpu.try_launch(
+            l.try_launch(
                 LaunchConfig::for_elems(len, BLOCK),
                 &GemvTNaiveK {
                     a: block,
@@ -240,8 +300,8 @@ pub fn gemv_t_cols<T: Scalar>(
         }
         GemvTStrategy::TwoPass => {
             let strips = GEMV_T_STRIPS;
-            let mut partials = gpu.try_alloc(len * strips, T::ZERO)?;
-            gpu.try_launch(
+            let mut partials = l.gpu().try_alloc(len * strips, T::ZERO)?;
+            l.try_launch(
                 LaunchConfig::for_elems(len * strips, BLOCK),
                 &GemvTPass1K {
                     a: block,
@@ -251,8 +311,8 @@ pub fn gemv_t_cols<T: Scalar>(
                     partials: partials.view_mut(),
                 },
             )?;
-            poison_if_corrupted(gpu, &partials.view_mut());
-            gpu.try_launch(
+            poison_if_corrupted(l.gpu(), &partials.view_mut());
+            l.try_launch(
                 LaunchConfig::for_elems(len, BLOCK),
                 &GemvTPass2K {
                     partials: partials.view(),
@@ -264,7 +324,7 @@ pub fn gemv_t_cols<T: Scalar>(
             )?;
         }
     }
-    poison_if_corrupted(gpu, &out);
+    poison_if_corrupted(l.gpu(), &out);
     Ok(())
 }
 
@@ -308,12 +368,22 @@ pub fn eliminate<T: Scalar>(
     alpha: DView<T>,
     p: usize,
 ) -> Result<(), DeviceError> {
+    eliminate_on(&mut Launcher::Direct(gpu), mat, alpha, p)
+}
+
+/// [`eliminate`] through an arbitrary [`Launcher`] (direct or fused).
+pub fn eliminate_on<T: Scalar>(
+    l: &mut Launcher<'_, '_>,
+    mat: &mut DeviceMatrix<T>,
+    alpha: DView<T>,
+    p: usize,
+) -> Result<(), DeviceError> {
     let (rows, cols, layout) = (mat.rows(), mat.cols(), mat.layout());
     assert_eq!(rows, alpha.len(), "eliminate: alpha length mismatch");
     assert!(p < rows, "eliminate: pivot row out of range");
 
-    let mut eta = gpu.try_alloc(rows, T::ZERO)?;
-    gpu.try_launch(
+    let mut eta = l.gpu().try_alloc(rows, T::ZERO)?;
+    l.try_launch(
         LaunchConfig::for_elems(rows, BLOCK),
         &EtaK {
             alpha,
@@ -322,10 +392,10 @@ pub fn eliminate<T: Scalar>(
             m: rows,
         },
     )?;
-    poison_if_corrupted(gpu, &eta.view_mut());
+    poison_if_corrupted(l.gpu(), &eta.view_mut());
 
-    let mut rowp = gpu.try_alloc(cols, T::ZERO)?;
-    gpu.try_launch(
+    let mut rowp = l.gpu().try_alloc(cols, T::ZERO)?;
+    l.try_launch(
         LaunchConfig::for_elems(cols, BLOCK),
         &RowExtractK {
             mat: mat.view(),
@@ -336,13 +406,13 @@ pub fn eliminate<T: Scalar>(
             out: rowp.view_mut(),
         },
     )?;
-    poison_if_corrupted(gpu, &rowp.view_mut());
+    poison_if_corrupted(l.gpu(), &rowp.view_mut());
 
     let functional_iters = match layout {
         Layout::ColMajor => cols,
         Layout::RowMajor => rows,
     };
-    gpu.try_launch(
+    l.try_launch(
         LaunchConfig::for_elems(functional_iters, BLOCK),
         &PivotUpdateK {
             mat: mat.view_mut(),
@@ -354,7 +424,7 @@ pub fn eliminate<T: Scalar>(
             layout,
         },
     )?;
-    poison_if_corrupted(gpu, &mat.view_mut());
+    poison_if_corrupted(l.gpu(), &mat.view_mut());
     Ok(())
 }
 
@@ -367,8 +437,18 @@ pub fn pivot_update<T: Scalar>(
     alpha_q: DView<T>,
     p: usize,
 ) -> Result<(), DeviceError> {
+    pivot_update_on(&mut Launcher::Direct(gpu), binv, alpha_q, p)
+}
+
+/// [`pivot_update`] through an arbitrary [`Launcher`] (direct or fused).
+pub fn pivot_update_on<T: Scalar>(
+    l: &mut Launcher<'_, '_>,
+    binv: &mut DeviceMatrix<T>,
+    alpha_q: DView<T>,
+    p: usize,
+) -> Result<(), DeviceError> {
     assert_eq!(binv.rows(), binv.cols(), "pivot_update: B⁻¹ must be square");
-    eliminate(gpu, binv, alpha_q, p)
+    eliminate_on(l, binv, alpha_q, p)
 }
 
 #[cfg(test)]

@@ -24,9 +24,12 @@ mod invert;
 mod kernels;
 mod mat;
 
-pub use algo::{argmin, reduce, reduce_u32_min, ReduceOp};
+pub use algo::{
+    argmin, argmin_into, reduce, reduce_into, reduce_u32_min, reduce_u32_min_into, ReduceOp,
+};
 pub use blas::{
-    axpy, copy, dot, eliminate, fill, gemv_n, gemv_t, gemv_t_cols, ger, pivot_update, scal,
+    axpy, copy, copy_on, dot, eliminate, eliminate_on, fill, gemv_n, gemv_n_on, gemv_t,
+    gemv_t_cols, gemv_t_cols_on, gemv_t_on, ger, pivot_update, pivot_update_on, scal,
     GemvTStrategy,
 };
 pub use gemm::{gemm, GEMM_TILE};

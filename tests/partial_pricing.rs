@@ -135,3 +135,49 @@ fn oversized_window_matches_full_dantzig_iteration_count() {
     assert_eq!(full.stats.iterations, huge.stats.iterations);
     assert!((full.z_std - huge.z_std).abs() < 1e-12);
 }
+
+// ---------------------------------------------------------------------------
+// Wrap-boundary audit. The window advance truncates at the range end
+// (`len = w.min(n - start)`) and wraps the cursor to 0; every window
+// recomputes BTRAN + its reduced costs before selecting, so no window may
+// ever select on stale prices. The property pins that: windowed pricing
+// must reach the full-Dantzig objective for windows that do NOT divide n
+// (forcing a truncated window and a wrap every pass).
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn partial_dantzig_matches_dantzig_across_wrap_boundaries(
+        (m, n, seed) in (2usize..12, 4usize..24, 0u64..5_000),
+        window in 1usize..9,
+    ) {
+        let model = generator::dense_random(m, n, seed);
+        let sf = StandardForm::<f64>::from_lp(&model).expect("standardizes");
+        let full = solve_standard::<f64>(
+            &sf,
+            &opts_with(PivotRule::Dantzig),
+            &BackendKind::CpuDense,
+        );
+        prop_assert_eq!(full.status, Status::Optimal);
+        for kind in [
+            BackendKind::CpuDense,
+            BackendKind::GpuDense(DeviceSpec::gtx280()),
+        ] {
+            let part = solve_standard::<f64>(
+                &sf,
+                &opts_with(PivotRule::PartialDantzig { window }),
+                &kind,
+            );
+            prop_assert_eq!(part.status, Status::Optimal);
+            prop_assert!(
+                (part.z_std - full.z_std).abs() / full.z_std.abs().max(1.0) < 1e-7,
+                "{:?} w={}: partial {} vs full {}",
+                kind, window, part.z_std, full.z_std
+            );
+        }
+    }
+}

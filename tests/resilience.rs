@@ -220,3 +220,27 @@ fn faulted_batch_solutions_still_verify() {
         verify::check_solution(&jobs[i], sol, 1e-6).unwrap_or_else(|e| panic!("job {i}: {e}"));
     }
 }
+
+/// Regression (setup-fault routing): a device fault injected during the
+/// *initial* uploads — warmup 0, every transfer times out, so the very
+/// first H2D of `A` fails before any iterate exists — must surface as a
+/// reportable [`SolveError::Device`]. The backend constructor used to
+/// unwrap that upload, so the solve died as `Panicked` instead.
+#[test]
+fn setup_fault_surfaces_as_device_error_not_panic() {
+    let (model, _) = fixtures::wyndor();
+    let opts = SolverOptions {
+        faults: Some(FaultConfig {
+            transfer_timeout: 1.0,
+            ..FaultConfig::off(11)
+        }),
+        ..Default::default()
+    };
+    let err =
+        gplex::try_solve_on::<f64>(&model, &opts, &BackendKind::GpuDense(DeviceSpec::gtx280()))
+            .expect_err("a certain transfer fault cannot produce a solution");
+    assert!(
+        matches!(err, SolveError::Device(_)),
+        "setup fault must be a device error, got: {err}"
+    );
+}
