@@ -12,6 +12,7 @@ mod t2;
 mod t3;
 mod t4;
 mod t5;
+mod w1_warm_cache;
 
 use std::path::Path;
 
@@ -43,6 +44,7 @@ impl ExpReport {
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "f6", "b1", "r2", "o1",
+        "w1",
     ]
 }
 
@@ -63,6 +65,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExpReport> {
         "b1" => Some(b1_batch::run(quick)),
         "r2" => Some(r2_resilience::run(quick)),
         "o1" => Some(o1_observe::run(quick)),
+        "w1" => Some(w1_warm_cache::run(quick)),
         _ => None,
     }
 }

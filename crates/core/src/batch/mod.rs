@@ -48,6 +48,7 @@
 //! assert!(report.results.iter().all(|r| r.outcome.solution().is_some()));
 //! ```
 
+pub mod cache;
 pub mod policy;
 pub mod report;
 
@@ -63,9 +64,10 @@ use parking_lot::Mutex;
 use crate::error::SolveError;
 use crate::options::SolverOptions;
 use crate::resilient::{ResilienceOptions, ResilientSolver};
-use crate::solver::{solve_on, BackendKind};
+use crate::solver::{solve_on_warm, BackendKind, WarmContext};
 
-pub use policy::PlacementPolicy;
+pub use cache::{cache_key, BasisCache, CacheStats, CachedBasis};
+pub use policy::{PlacementPolicy, WarmStartPolicy};
 pub use report::{BackendTally, BatchStats, JobOutcome, JobResult};
 
 /// Configuration for one batch run.
@@ -84,6 +86,16 @@ pub struct BatchOptions {
     /// backend after `K` consecutive jobs with device faults, re-placing
     /// later jobs that the policy maps there onto the dense CPU fallback.
     pub resilience: Option<ResilienceOptions>,
+    /// Basis sharing across the batch (see [`WarmStartPolicy`]). With
+    /// anything but `Off`, the scheduler owns one [`BasisCache`] for the
+    /// run: every job consults it before solving and every `Optimal`
+    /// terminal basis is written back, so later family members skip most of
+    /// their simplex work. `Off` (the default) preserves the historical
+    /// cold-start behavior exactly.
+    pub warm_start: WarmStartPolicy,
+    /// Capacity of the per-run basis cache (distinct family keys retained;
+    /// LRU beyond that). Ignored when `warm_start` is `Off`.
+    pub warm_cache_capacity: usize,
 }
 
 impl Default for BatchOptions {
@@ -93,6 +105,8 @@ impl Default for BatchOptions {
             policy: PlacementPolicy::Fixed(BackendKind::CpuDense),
             solver: SolverOptions::default(),
             resilience: None,
+            warm_start: WarmStartPolicy::Off,
+            warm_cache_capacity: 256,
         }
     }
 }
@@ -177,6 +191,14 @@ impl BatchSolver {
         let worker_sim: Mutex<Vec<SimTime>> = Mutex::new(vec![SimTime::ZERO; workers]);
         // Shared across workers: which backends have been benched.
         let quarantine: Mutex<QuarantineLedger> = Mutex::new(QuarantineLedger::default());
+        // One basis cache per run (not per solver): families only make
+        // sense within a batch, and dropping the cache with the report
+        // keeps repeated `solve` calls independent.
+        let cache = self
+            .opts
+            .warm_start
+            .is_enabled()
+            .then(|| BasisCache::new(self.opts.warm_cache_capacity));
 
         let (tx, rx) = crossbeam::channel::unbounded::<usize>();
         for idx in 0..jobs.len() {
@@ -191,8 +213,13 @@ impl BatchSolver {
                 let worker_sim = &worker_sim;
                 let quarantine = &quarantine;
                 let opts = &self.opts;
+                let cache = &cache;
                 s.spawn(move |_| {
                     let resilient = opts.resilience.clone().map(ResilientSolver::new);
+                    let warm_ctx = cache.as_ref().map(|cache| WarmContext {
+                        cache,
+                        policy: opts.warm_start,
+                    });
                     let mut executed = SimTime::ZERO;
                     for idx in rx.iter() {
                         let job = &jobs[idx];
@@ -209,7 +236,7 @@ impl BatchSolver {
                                 // leaves the job terminally Panicked — it is
                                 // never re-run).
                                 let outcome = match catch_unwind(AssertUnwindSafe(|| {
-                                    solve_on::<T>(job, &opts.solver, &kind)
+                                    solve_on_warm::<T>(job, &opts.solver, &kind, warm_ctx.as_ref())
                                 })) {
                                     Ok(sol) => JobOutcome::Solved(Box::new(sol)),
                                     Err(payload) => JobOutcome::Panicked(panic_message(&*payload)),
@@ -232,8 +259,13 @@ impl BatchSolver {
                                     // itself be fault-quarantined.
                                     kind = BackendKind::CpuDense;
                                 }
-                                let out =
-                                    solver.solve_job::<T>(idx as u64, job, &opts.solver, &kind);
+                                let out = solver.solve_job_warm::<T>(
+                                    idx as u64,
+                                    job,
+                                    &opts.solver,
+                                    &kind,
+                                    warm_ctx.as_ref(),
+                                );
                                 quarantine
                                     .lock()
                                     .record(kind.label(), out.faults > 0, threshold);
@@ -252,6 +284,19 @@ impl BatchSolver {
                             .map(|sol| sol.stats.total_time())
                             .unwrap_or(SimTime::ZERO);
                         executed += sim_time;
+                        // Warm accounting comes from the solve's own stats:
+                        // an accepted start has attempted > rejected (and
+                        // skipped phase 1); a rejected one fell back cold.
+                        let (warm_hit, warm_rejected, warm_iterations_saved) = outcome
+                            .solution()
+                            .map(|sol| {
+                                (
+                                    sol.stats.warm_start_attempted > sol.stats.warm_start_rejected,
+                                    sol.stats.warm_start_rejected > 0,
+                                    sol.stats.warm_iterations_saved,
+                                )
+                            })
+                            .unwrap_or((false, false, 0));
                         slots.lock()[idx] = Some(JobResult {
                             index: idx,
                             backend,
@@ -261,6 +306,9 @@ impl BatchSolver {
                             faults,
                             retries,
                             degradations,
+                            warm_hit,
+                            warm_rejected,
+                            warm_iterations_saved,
                             outcome,
                         });
                         // Cooperative fairness: on hosts with fewer cores
@@ -284,7 +332,13 @@ impl BatchSolver {
             .into_iter()
             .map(|slot| slot.expect("every job index was dispatched exactly once"))
             .collect();
-        let stats = aggregate(&results, workers, wall_seconds, &worker_sim.into_inner());
+        let stats = aggregate(
+            &results,
+            workers,
+            wall_seconds,
+            &worker_sim.into_inner(),
+            cache.as_ref().map(|c| c.stats()),
+        );
         BatchReport { results, stats }
     }
 }
@@ -294,6 +348,7 @@ fn aggregate(
     workers: usize,
     wall_seconds: f64,
     worker_sim: &[SimTime],
+    cache: Option<cache::CacheStats>,
 ) -> BatchStats {
     let mut stats = BatchStats {
         jobs: results.len(),
@@ -307,6 +362,12 @@ fn aggregate(
         wall_seconds,
         sim_total: SimTime::ZERO,
         sim_makespan: worker_sim.iter().copied().fold(SimTime::ZERO, SimTime::max),
+        // Hits/misses come from the cache itself — it saw every lookup,
+        // including those of jobs that later panicked and reported nothing.
+        warm_hits: cache.map(|c| c.hits).unwrap_or(0),
+        warm_misses: cache.map(|c| c.misses).unwrap_or(0),
+        warm_rejected: 0,
+        warm_iterations_saved: 0,
         per_backend: Default::default(),
     };
     for r in results {
@@ -318,6 +379,8 @@ fn aggregate(
         stats.device_faults += r.faults;
         stats.retries += r.retries;
         stats.degradations += r.degradations;
+        stats.warm_rejected += r.warm_rejected as u64;
+        stats.warm_iterations_saved += r.warm_iterations_saved;
         stats.sim_total += r.sim_time;
         let tally = stats.per_backend.entry(r.backend).or_default();
         tally.jobs += 1;
@@ -344,6 +407,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
     use crate::result::Status;
+    use crate::solver::solve_on;
     use lp::generator::{self, fixtures};
 
     fn batch_of(n: usize) -> Vec<LinearProgram> {

@@ -76,6 +76,15 @@ pub struct JobResult {
     /// Degradation-ladder rungs this job descended below its placed
     /// backend (0 = ran as placed).
     pub degradations: usize,
+    /// The solver *accepted* a cached family basis for this job (it passed
+    /// refactorization + feasibility validation and phase 1 was skipped).
+    pub warm_hit: bool,
+    /// A cached basis was offered but failed validation; the job fell back
+    /// to a cold start (and still produced a correct answer).
+    pub warm_rejected: bool,
+    /// Iterations the accepted warm start saved vs the family's recorded
+    /// cold solve (0 for cold or rejected jobs).
+    pub warm_iterations_saved: u64,
     /// The outcome.
     pub outcome: JobOutcome,
 }
@@ -134,6 +143,17 @@ pub struct BatchStats {
     /// Max over workers of the simulated time that worker executed — the
     /// parallel cost under this schedule.
     pub sim_makespan: SimTime,
+    /// Basis-cache lookups that handed out a candidate basis, from the
+    /// cache's own counters (authoritative even when a job later panicked
+    /// and reported no stats). 0 with warm starts off.
+    pub warm_hits: u64,
+    /// Basis-cache lookups that found nothing usable.
+    pub warm_misses: u64,
+    /// Candidate bases the solver rejected at validation (each one is a
+    /// recorded cold fallback, summed from per-job stats).
+    pub warm_rejected: u64,
+    /// Total iterations saved by accepted warm starts across the batch.
+    pub warm_iterations_saved: u64,
     /// Tallies keyed by backend label.
     pub per_backend: BTreeMap<&'static str, BackendTally>,
 }
@@ -186,6 +206,17 @@ impl BatchStats {
             .unwrap_or(0.0)
     }
 
+    /// Basis-cache hit rate over all lookups this batch made (0 when warm
+    /// starts were off or the batch was empty).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.warm_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+
     /// Fraction of the batch's *active host time* spent on backend `label`:
     /// the backend's occupied wall seconds over the sum of occupied wall
     /// seconds across all backends (0 when no backend recorded active
@@ -223,6 +254,17 @@ impl fmt::Display for BatchStats {
                 f,
                 "  resilience: {} device faults, {} retries, {} degradations",
                 self.device_faults, self.retries, self.degradations
+            )?;
+        }
+        if self.warm_hits + self.warm_misses > 0 {
+            writeln!(
+                f,
+                "  warm start: {} hits / {} lookups ({:.0}%), {} rejected, {} iterations saved",
+                self.warm_hits,
+                self.warm_hits + self.warm_misses,
+                100.0 * self.warm_hit_rate(),
+                self.warm_rejected,
+                self.warm_iterations_saved
             )?;
         }
         writeln!(
@@ -280,6 +322,10 @@ mod tests {
             wall_seconds: 0.5,
             sim_total: SimTime::from_us(40.0),
             sim_makespan: SimTime::from_us(25.0),
+            warm_hits: 0,
+            warm_misses: 0,
+            warm_rejected: 0,
+            warm_iterations_saved: 0,
             per_backend,
         }
     }
@@ -331,11 +377,16 @@ mod tests {
             wall_seconds: 0.0,
             sim_total: SimTime::ZERO,
             sim_makespan: SimTime::ZERO,
+            warm_hits: 0,
+            warm_misses: 0,
+            warm_rejected: 0,
+            warm_iterations_saved: 0,
             per_backend: BTreeMap::new(),
         };
         assert_eq!(s.throughput(), 0.0);
         assert_eq!(s.speedup(), 1.0);
         assert_eq!(s.utilization("cpu-dense"), 0.0);
+        assert_eq!(s.warm_hit_rate(), 0.0);
     }
 
     #[test]
@@ -352,6 +403,17 @@ mod tests {
         busy.degradations = 1;
         let text = format!("{busy}");
         assert!(text.contains("resilience: 5 device faults, 2 retries, 1 degradations"));
+        // Warm line only appears when the cache was consulted at all.
+        assert!(!text.contains("warm start:"));
+        let mut warm = stats();
+        warm.warm_hits = 3;
+        warm.warm_misses = 1;
+        warm.warm_iterations_saved = 42;
+        let text = format!("{warm}");
+        assert!(
+            text.contains("warm start: 3 hits / 4 lookups (75%), 0 rejected, 42 iterations saved")
+        );
+        assert!((warm.warm_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

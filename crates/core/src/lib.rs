@@ -54,7 +54,8 @@ pub mod verify;
 
 pub use backend::{Backend, RatioOutcome};
 pub use batch::{
-    BatchOptions, BatchReport, BatchSolver, BatchStats, JobOutcome, JobResult, PlacementPolicy,
+    BasisCache, BatchOptions, BatchReport, BatchSolver, BatchStats, CacheStats, JobOutcome,
+    JobResult, PlacementPolicy, WarmStartPolicy,
 };
 pub use error::{BackendError, SolveError};
 pub use metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
@@ -63,9 +64,9 @@ pub use resilient::{ResilienceOptions, ResilientOutcome, ResilientSolver, RetryP
 pub use result::{LpSolution, Status, StdResult};
 pub use revised::RevisedSimplex;
 pub use solver::{
-    solve, solve_on, solve_standard, solve_standard_with_basis, try_solve, try_solve_on,
-    try_solve_on_recorded, try_solve_standard, try_solve_standard_recorded,
-    try_solve_standard_with_basis, BackendKind,
+    solve, solve_on, solve_on_warm, solve_standard, solve_standard_with_basis, try_solve,
+    try_solve_on, try_solve_on_recorded, try_solve_on_warm, try_solve_standard,
+    try_solve_standard_recorded, try_solve_standard_with_basis, BackendKind, WarmContext,
 };
 pub use stats::{PhaseCounters, SolveStats, Step};
 pub use trace::{

@@ -81,6 +81,18 @@ impl MetricsRegistry {
         self.inc("solve.device_faults", stats.device_faults);
         self.inc("solve.retries", stats.retries as u64);
         self.inc("solve.degradations", stats.degradations as u64);
+        self.inc(
+            "solve.warm_start.attempted",
+            stats.warm_start_attempted as u64,
+        );
+        self.inc(
+            "solve.warm_start.rejected",
+            stats.warm_start_rejected as u64,
+        );
+        self.inc(
+            "solve.warm_start.iterations_saved",
+            stats.warm_iterations_saved,
+        );
         self.add_gauge("solve.sim_seconds", stats.total_time().as_secs_f64());
         self.add_gauge("solve.wall_seconds", stats.wall_seconds);
         self.add_gauge("solve.backoff_seconds", stats.backoff_seconds);
@@ -108,6 +120,10 @@ impl MetricsRegistry {
         self.inc("batch.device_faults", stats.device_faults);
         self.inc("batch.retries", stats.retries as u64);
         self.inc("batch.degradations", stats.degradations as u64);
+        self.inc("batch.warm.hits", stats.warm_hits);
+        self.inc("batch.warm.misses", stats.warm_misses);
+        self.inc("batch.warm.rejected", stats.warm_rejected);
+        self.inc("batch.warm.iterations_saved", stats.warm_iterations_saved);
         self.add_gauge("batch.wall_seconds", stats.wall_seconds);
         self.add_gauge("batch.sim_total_seconds", stats.sim_total.as_secs_f64());
         self.add_gauge(
@@ -310,6 +326,9 @@ mod tests {
                 "solve.phase2.iterations",
                 "solve.refactorizations",
                 "solve.retries",
+                "solve.warm_start.attempted",
+                "solve.warm_start.iterations_saved",
+                "solve.warm_start.rejected",
             ]
         );
         for g in [

@@ -68,6 +68,13 @@ pub struct SolverOptions {
     /// transfer). Arithmetic and pivot sequence are identical either way —
     /// this toggles *accounting only* (the F6 ablation). GPU backends only.
     pub fuse_launches: bool,
+    /// On `Optimal`, recompute the basic variables from a fresh f64
+    /// factorization of the terminal basis (high-level pipeline only).
+    /// Makes the reported point a pure function of the terminal basis, so
+    /// a warm solve and a cold solve ending at the same basis produce
+    /// bitwise-identical objectives regardless of the pivot path taken —
+    /// the invariant the W1 experiment asserts.
+    pub polish: bool,
 }
 
 impl Default for SolverOptions {
@@ -85,6 +92,7 @@ impl Default for SolverOptions {
             time_limit: None,
             faults: None,
             fuse_launches: true,
+            polish: true,
         }
     }
 }

@@ -24,7 +24,7 @@ use lp::LinearProgram;
 use crate::error::SolveError;
 use crate::options::SolverOptions;
 use crate::result::LpSolution;
-use crate::solver::{try_solve_on, BackendKind};
+use crate::solver::{try_solve_on_warm, BackendKind, WarmContext};
 
 /// How many times to re-run a failed attempt on the same rung, and how the
 /// recorded backoff between attempts grows.
@@ -163,6 +163,23 @@ impl ResilientSolver {
         solver_opts: &SolverOptions,
         placed: &BackendKind,
     ) -> ResilientOutcome {
+        self.solve_job_warm::<T>(salt, model, solver_opts, placed, None)
+    }
+
+    /// [`Self::solve_job`] with a shared [`WarmContext`]: *every* rung and
+    /// attempt re-consults the basis cache, so a warm start offered to the
+    /// placed GPU backend is re-supplied — not silently dropped — when the
+    /// job degrades to the dense CPU rung. (The cache lookup happens inside
+    /// the pipeline after presolve/scale, which are deterministic per model,
+    /// so each attempt sees the same key and the same candidate basis.)
+    pub fn solve_job_warm<T: Scalar>(
+        &self,
+        salt: u64,
+        model: &LinearProgram,
+        solver_opts: &SolverOptions,
+        placed: &BackendKind,
+        warm: Option<&WarmContext<'_>>,
+    ) -> ResilientOutcome {
         let rungs = ladder(placed);
         let mut attempts = 0usize;
         let mut retries = 0usize;
@@ -200,16 +217,17 @@ impl ResilientSolver {
                     opts.time_limit = self.options.deadline_seconds;
                 }
 
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| try_solve_on::<T>(model, &opts, rung)))
-                        .unwrap_or_else(|payload| {
-                            let msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "non-string panic payload".into());
-                            Err(SolveError::Panicked(msg))
-                        });
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    try_solve_on_warm::<T>(model, &opts, rung, warm)
+                }))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    Err(SolveError::Panicked(msg))
+                });
 
                 match outcome {
                     Ok(mut sol) => {

@@ -38,6 +38,28 @@ use crate::trace::{NoopRecorder, Recorder, StepKind};
 /// and reports numerical failure.
 const MAX_CONSECUTIVE_RECOVERIES: usize = 3;
 
+/// Host-side primal feasibility probe for a warm-start candidate: solve
+/// `B x_B = b` in f64 and require every component ≥ `-tol`. A singular or
+/// non-finite solve counts as infeasible. See [`RevisedSimplex::try_warm_start`]
+/// for why this cannot be delegated to the backend.
+fn warm_basis_feasible<T: Scalar>(sf: &StandardForm<T>, basis: &[usize], tol: f64) -> bool {
+    let m = sf.num_rows();
+    if m == 0 {
+        return true;
+    }
+    let mut bmat = linalg::DenseMatrix::<f64>::zeros(m, m);
+    for (col, &j) in basis.iter().enumerate() {
+        for i in 0..m {
+            bmat.set(i, col, sf.a.get(i, j).to_f64());
+        }
+    }
+    let rhs: Vec<f64> = sf.b.iter().map(|v| v.to_f64()).collect();
+    match linalg::blas::lu_solve(&bmat, &rhs) {
+        Some(xb) => xb.iter().all(|v| v.is_finite() && *v >= -tol),
+        None => false,
+    }
+}
+
 /// Which phase a simplex loop is running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -161,10 +183,18 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
     }
 
     fn set_warm_basis(&mut self, basis: Vec<usize>) {
+        // Every supplied basis counts as an attempt; a malformed one (wrong
+        // length, or naming an artificial/out-of-range column) is rejected
+        // here, before it ever reaches the backend. The pre-fix code dropped
+        // it silently, so callers could not tell a warm solve from a cold
+        // fallback.
+        self.stats.warm_start_attempted = 1;
         let n_active = self.sf.num_cols() - self.sf.num_artificials;
         let valid = basis.len() == self.sf.num_rows() && basis.iter().all(|&j| j < n_active);
         if valid {
             self.warm_basis = Some(basis);
+        } else {
+            self.stats.warm_start_rejected = 1;
         }
     }
 
@@ -215,26 +245,30 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
         Ok(())
     }
 
-    /// Attempt to install the warm basis: refactorize onto it and check
-    /// primal feasibility. On success the solve skips phase 1. On a
+    /// Attempt to install the warm basis: probe primal feasibility, then
+    /// refactorize onto it. On success the solve skips phase 1. On a
     /// *numerical* failure the backend is restored to the cold-start state
     /// (a warm start is an optimization, never a correctness risk); a
     /// device failure propagates.
+    ///
+    /// The probe runs on the host against an unclamped f64 LU solve of
+    /// `B x_B = b`. It cannot use the backend's post-`refactorize` β:
+    /// refactorization exists to purge accumulated error mid-solve, so
+    /// every backend clamps β at zero on that path — which would make a
+    /// genuinely infeasible basis (negative true β) look feasible and let
+    /// phase 2 "converge" at an infeasible point.
     fn try_warm_start(&mut self) -> Result<bool, SolveError> {
         let Some(basis) = self.warm_basis.take() else {
             return Ok(false);
         };
         let span = self.span_begin();
         let feas_tol = self.opts.feas_tol_for::<T>().to_f64();
-        let ok = match self.backend.refactorize(&basis) {
-            Ok(()) => self
-                .backend
-                .beta()?
-                .iter()
-                .all(|&b| b.to_f64() >= -feas_tol),
-            Err(BackendError::Singular) => false,
-            Err(e @ BackendError::Device(_)) => return Err(e.into()),
-        };
+        let ok = warm_basis_feasible(self.sf, &basis, feas_tol)
+            && match self.backend.refactorize(&basis) {
+                Ok(()) => true,
+                Err(BackendError::Singular) => false,
+                Err(e @ BackendError::Device(_)) => return Err(e.into()),
+            };
         if ok {
             for (r, &j) in basis.iter().enumerate() {
                 self.backend.set_basic_col(r, j)?;
@@ -253,8 +287,11 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
                 self.backend.set_basic_col(r, j)?;
             }
             self.xb = self.sf.basis0.clone();
+            self.stats.warm_start_rejected = 1;
         }
-        self.span_close(StepKind::Transfer, Step::Other, span);
+        // One span covers the attempt *and* the fallback restore, so the
+        // rejected path's device work lands on the ledger exactly once.
+        self.span_close(StepKind::WarmStart, Step::Other, span);
         Ok(ok)
     }
 

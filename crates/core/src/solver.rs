@@ -17,6 +17,8 @@ use lp::scaling::{scale, ScalingKind};
 use lp::{LinearProgram, StandardForm};
 
 use crate::backends::{CpuDenseBackend, CpuSparseBackend, GpuDenseBackend};
+use crate::batch::cache::{cache_key, BasisCache};
+use crate::batch::policy::WarmStartPolicy;
 use crate::error::SolveError;
 use crate::options::SolverOptions;
 use crate::result::{LpSolution, Status, StdResult};
@@ -63,6 +65,18 @@ impl std::fmt::Debug for BackendKind {
     }
 }
 
+/// Shared warm-start state for a run of related solves: the basis cache
+/// plus the policy that keys instances into it. Threaded by reference, so
+/// one cache serves many concurrent solves (the batch workers all borrow
+/// the scheduler's cache).
+#[derive(Debug, Clone, Copy)]
+pub struct WarmContext<'a> {
+    /// The shared basis cache consulted before, and fed after, each solve.
+    pub cache: &'a BasisCache,
+    /// How instances are keyed (see [`WarmStartPolicy`]).
+    pub policy: WarmStartPolicy,
+}
+
 /// Solve an LP through the full pipeline on the dense CPU backend.
 ///
 /// # Panics
@@ -98,7 +112,32 @@ pub fn try_solve_on<T: Scalar>(
     opts: &SolverOptions,
     kind: &BackendKind,
 ) -> Result<LpSolution, SolveError> {
-    try_solve_on_impl::<T, NoopRecorder>(model, opts, kind, None)
+    try_solve_on_impl::<T, NoopRecorder>(model, opts, kind, None, None)
+}
+
+/// [`try_solve_on`] consulting (and feeding) a shared [`BasisCache`]: the
+/// standardized instance is keyed under the context's [`WarmStartPolicy`],
+/// a cached family basis (if any) seeds the simplex, and an `Optimal`
+/// terminal basis is written back for later family members. A candidate
+/// that fails the solver-side validation is a recorded cold fallback
+/// ([`crate::SolveStats::warm_start_rejected`]), never a wrong answer.
+pub fn try_solve_on_warm<T: Scalar>(
+    model: &LinearProgram,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+    warm: Option<&WarmContext<'_>>,
+) -> Result<LpSolution, SolveError> {
+    try_solve_on_impl::<T, NoopRecorder>(model, opts, kind, warm, None)
+}
+
+/// Panicking twin of [`try_solve_on_warm`].
+pub fn solve_on_warm<T: Scalar>(
+    model: &LinearProgram,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+    warm: Option<&WarmContext<'_>>,
+) -> LpSolution {
+    try_solve_on_warm::<T>(model, opts, kind, warm).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`try_solve_on`] with step spans reported to `rec` (see
@@ -110,13 +149,14 @@ pub fn try_solve_on_recorded<T: Scalar, R: Recorder>(
     kind: &BackendKind,
     rec: &mut R,
 ) -> Result<LpSolution, SolveError> {
-    try_solve_on_impl::<T, R>(model, opts, kind, Some(rec))
+    try_solve_on_impl::<T, R>(model, opts, kind, None, Some(rec))
 }
 
 fn try_solve_on_impl<T: Scalar, R: Recorder>(
     model: &LinearProgram,
     opts: &SolverOptions,
     kind: &BackendKind,
+    warm: Option<&WarmContext<'_>>,
     rec: Option<&mut R>,
 ) -> Result<LpSolution, SolveError> {
     // ---- presolve ---------------------------------------------------------
@@ -157,8 +197,49 @@ fn try_solve_on_impl<T: Scalar, R: Recorder>(
         let _ = scale(&mut sf, ScalingKind::GeometricMean);
     }
 
+    // ---- consult the family basis cache -----------------------------------
+    // The key is computed on the *post-presolve, post-scale* form: that is
+    // the space the stored basis lives in, and geometric-mean scale factors
+    // derive from `A` alone, so family members (same `A`, perturbed `b`/`c`)
+    // still collapse onto one key after scaling.
+    let key = warm.and_then(|w| cache_key(&sf, &w.policy));
+    let cached = match (warm, key) {
+        (Some(w), Some(k)) => {
+            let n_active = sf.num_cols() - sf.num_artificials;
+            w.cache.lookup(k, sf.num_rows(), n_active)
+        }
+        _ => None,
+    };
+    let baseline = cached.as_ref().map(|c| c.cold_iterations);
+    let start = cached.map(|c| c.basis);
+
     // ---- solve --------------------------------------------------------------
-    let res = try_solve_standard_impl::<T, R>(&sf, opts, kind, None, rec)?;
+    let mut res = try_solve_standard_impl::<T, R>(&sf, opts, kind, start, rec)?;
+
+    // ---- settle warm accounting & write back -------------------------------
+    let warm_accepted = res.stats.warm_start_attempted > res.stats.warm_start_rejected;
+    if warm_accepted {
+        if let Some(cold) = baseline {
+            res.stats.warm_iterations_saved = cold.saturating_sub(res.stats.iterations as u64);
+        }
+    }
+    if let (Some(w), Some(k)) = (warm, key) {
+        if res.status == Status::Optimal {
+            // Carry the family's original cold cost forward through warm
+            // inserts, so savings are always measured against a cold solve
+            // rather than against the previous (already cheap) warm one.
+            let cold_cost = match (warm_accepted, baseline) {
+                (true, Some(cold)) => cold,
+                _ => res.stats.iterations as u64,
+            };
+            w.cache.insert(k, res.basis.clone(), cold_cost);
+        }
+    }
+
+    // ---- polish -------------------------------------------------------------
+    if opts.polish && res.status == Status::Optimal {
+        polish_x_std(&sf, &res.basis, &mut res.x_std);
+    }
 
     // ---- recover ------------------------------------------------------------
     let x_red = sf.recover_x(&res.x_std);
@@ -190,6 +271,40 @@ fn try_solve_on_impl<T: Scalar, R: Recorder>(
         duals,
         reason: None,
     })
+}
+
+/// Recompute the basic variables of an optimal point from a fresh f64
+/// factorization of the terminal basis (`B x_B = b`), zeroing every
+/// nonbasic entry. The result depends only on the terminal basis — not on
+/// the pivot path, the backend's accumulated update error, or whether the
+/// solve started warm — which is what makes warm-vs-cold objectives
+/// bitwise-comparable. Left untouched when the factorization fails or
+/// produces non-finite values (the iterate's own β is then the best
+/// available answer).
+fn polish_x_std<T: Scalar>(sf: &StandardForm<T>, basis: &[usize], x_std: &mut [T]) {
+    let m = sf.num_rows();
+    if m == 0 {
+        return;
+    }
+    let mut bmat = linalg::DenseMatrix::<f64>::zeros(m, m);
+    for (col, &j) in basis.iter().enumerate() {
+        for i in 0..m {
+            bmat.set(i, col, sf.a.get(i, j).to_f64());
+        }
+    }
+    let rhs: Vec<f64> = sf.b.iter().map(|v| v.to_f64()).collect();
+    let Some(xb) = linalg::blas::lu_solve(&bmat, &rhs) else {
+        return;
+    };
+    if xb.iter().any(|v| !v.is_finite()) {
+        return;
+    }
+    for v in x_std.iter_mut() {
+        *v = T::ZERO;
+    }
+    for (col, &j) in basis.iter().enumerate() {
+        x_std[j] = T::from_f64(xb[col]);
+    }
 }
 
 /// Standard-space duals `y` with `yᵀB = c_Bᵀ`, mapped back through the

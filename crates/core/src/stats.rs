@@ -107,6 +107,19 @@ pub struct SolveStats {
     /// simulator accounted their launches — the fused/unfused parity
     /// regression keys on this. 0 means "no pivots recorded".
     pub pivot_fingerprint: u64,
+    /// Warm starts offered to this solve (0 or 1: a basis was supplied via
+    /// `with_start_basis` / the batch basis cache).
+    pub warm_start_attempted: usize,
+    /// Warm starts rejected and replaced by a cold start — the supplied
+    /// basis was malformed, singular, or primal-infeasible. Always ≤
+    /// `warm_start_attempted`; the rejected attempt's setup charges stay on
+    /// the ledger (they were really spent) but the solve is otherwise
+    /// byte-identical to a cold one.
+    pub warm_start_rejected: usize,
+    /// Iterations the warm start saved versus the recorded cold cost of the
+    /// cache entry that supplied it (0 for cold solves and for warm starts
+    /// with no recorded baseline).
+    pub warm_iterations_saved: u64,
 }
 
 impl SolveStats {
@@ -174,6 +187,26 @@ impl SolveStats {
                 self.phase[0].bland_iterations,
                 self.phase[1].bland_iterations,
                 self.bland_iterations
+            ));
+        }
+        if self.warm_start_rejected > self.warm_start_attempted {
+            return Err(format!(
+                "warm_start_rejected {} > warm_start_attempted {}",
+                self.warm_start_rejected, self.warm_start_attempted
+            ));
+        }
+        if self.warm_start_attempted == 0
+            && (self.warm_start_rejected != 0 || self.warm_iterations_saved != 0)
+        {
+            return Err(format!(
+                "cold solve carries warm counters (rejected {}, saved {})",
+                self.warm_start_rejected, self.warm_iterations_saved
+            ));
+        }
+        if self.warm_start_attempted > self.warm_start_rejected && self.phase1_iterations != 0 {
+            return Err(format!(
+                "accepted warm start cannot run phase 1 ({} iterations)",
+                self.phase1_iterations
             ));
         }
         Ok(())
@@ -314,5 +347,55 @@ mod tests {
         let mut bad = st;
         bad.bland_iterations = 1;
         assert!(bad.check_invariants().unwrap_err().contains("Bland"));
+    }
+
+    #[test]
+    fn invariants_cover_warm_start_counters() {
+        // An accepted warm start skips phase 1 entirely.
+        let ok = SolveStats {
+            iterations: 3,
+            phase: [
+                PhaseCounters::default(),
+                PhaseCounters {
+                    iterations: 3,
+                    ..PhaseCounters::default()
+                },
+            ],
+            warm_start_attempted: 1,
+            warm_iterations_saved: 7,
+            ..SolveStats::default()
+        };
+        assert!(ok.check_invariants().is_ok());
+
+        // More rejections than attempts is impossible.
+        let bad = SolveStats {
+            warm_start_attempted: 1,
+            warm_start_rejected: 2,
+            ..SolveStats::default()
+        };
+        assert!(bad.check_invariants().unwrap_err().contains("rejected"));
+
+        // A cold solve must not carry warm counters.
+        let bad = SolveStats {
+            warm_iterations_saved: 4,
+            ..SolveStats::default()
+        };
+        assert!(bad.check_invariants().unwrap_err().contains("cold"));
+
+        // An accepted warm start that still ran phase 1 is a bug.
+        let bad = SolveStats {
+            iterations: 2,
+            phase1_iterations: 2,
+            phase: [
+                PhaseCounters {
+                    iterations: 2,
+                    ..PhaseCounters::default()
+                },
+                PhaseCounters::default(),
+            ],
+            warm_start_attempted: 1,
+            ..SolveStats::default()
+        };
+        assert!(bad.check_invariants().unwrap_err().contains("phase 1"));
     }
 }

@@ -44,13 +44,16 @@ pub enum StepKind {
     /// Reinversion of the basis (periodic or recovery).
     Refactorize,
     /// Host↔device traffic and solve setup/teardown: phase cost installs,
-    /// warm-start loads, artificial drive-out, solution download.
+    /// artificial drive-out, solution download.
     Transfer,
+    /// Warm-start basis install: the candidate refactorization, its
+    /// feasibility probe, and (on rejection) the cold-basis restore.
+    WarmStart,
 }
 
 impl StepKind {
     /// All kinds, in report order.
-    pub const ALL: [StepKind; 7] = [
+    pub const ALL: [StepKind; 8] = [
         StepKind::Pricing,
         StepKind::Btran,
         StepKind::Ftran,
@@ -58,6 +61,7 @@ impl StepKind {
         StepKind::UpdateBasis,
         StepKind::Refactorize,
         StepKind::Transfer,
+        StepKind::WarmStart,
     ];
 
     /// Stable machine-readable name (exporters key on this; do not rename).
@@ -70,6 +74,7 @@ impl StepKind {
             StepKind::UpdateBasis => "update-basis",
             StepKind::Refactorize => "refactorize",
             StepKind::Transfer => "transfer",
+            StepKind::WarmStart => "warm-start",
         }
     }
 
@@ -125,7 +130,7 @@ impl StepStat {
 /// Per-solve step-timing histogram: one [`StepStat`] per [`StepKind`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StepTimings {
-    stats: [StepStat; 7],
+    stats: [StepStat; 8],
 }
 
 impl StepTimings {
@@ -512,7 +517,8 @@ mod tests {
                 "ratio-test",
                 "update-basis",
                 "refactorize",
-                "transfer"
+                "transfer",
+                "warm-start"
             ]
         );
     }

@@ -39,6 +39,64 @@ pub fn dense_random(m: usize, n: usize, seed: u64) -> LinearProgram {
     lp
 }
 
+/// A *family* of perturbed dense LPs — the batched-LP workload: `count`
+/// members sharing one constraint matrix (the [`dense_random`] draw for
+/// `seed`), with every member's right-hand side and objective perturbed
+/// multiplicatively by up to `eps` (member 0 is the unperturbed base).
+///
+/// Holding `A` fixed keeps the whole family in one warm-start cache family
+/// (the structural fingerprint hashes `A`, not `b`/`c`); the multiplicative
+/// perturbation keeps `b > 0`, so every member retains the feasible slack
+/// start that makes [`dense_random`] skip phase 1. With small `eps` the
+/// members' optimal bases coincide or differ by a few pivots — exactly the
+/// regime where one member's basis re-solves its siblings in far fewer
+/// iterations.
+pub fn perturbed_family(
+    count: usize,
+    m: usize,
+    n: usize,
+    seed: u64,
+    eps: f64,
+) -> Vec<LinearProgram> {
+    assert!((0.0..1.0).contains(&eps), "eps must be in [0, 1)");
+    (0..count)
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+            let mut jitter = StdRng::seed_from_u64(
+                (seed ^ 0xd1b5_4a32_d192_ed03)
+                    .wrapping_add((k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            );
+            // Member 0 is byte-identical to dense_random(m, n, seed) modulo
+            // the name; k > 0 scales each b_i / c_j by (1 ± eps·u).
+            let mut wobble = |base: f64| {
+                let u: f64 = jitter.random_range(-1.0..1.0);
+                if k == 0 {
+                    base
+                } else {
+                    base * (1.0 + eps * u)
+                }
+            };
+            let mut lp = LinearProgram::new(format!("family-{m}x{n}-s{seed}-k{k}"));
+            let vars: Vec<VarId> = (0..n)
+                .map(|j| {
+                    let c = rng.random_range(-1.0..1.0);
+                    lp.add_var_nonneg(format!("x{j}"), wobble(c))
+                })
+                .collect();
+            let xstar: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..1.5)).collect();
+            for i in 0..m {
+                let coeffs: Vec<(VarId, f64)> = vars
+                    .iter()
+                    .map(|&v| (v, rng.random_range(0.1..1.1)))
+                    .collect();
+                let rhs: f64 = coeffs.iter().map(|&(v, a)| a * xstar[v.0]).sum();
+                lp.add_constraint(format!("r{i}"), &coeffs, Rel::Le, wobble(rhs));
+            }
+            lp
+        })
+        .collect()
+}
+
 /// Sparse variant of [`dense_random`]: each row carries
 /// `max(2, density·n)` nonzeros at random columns; every column is
 /// guaranteed at least one nonzero so no variable is trivially unbounded in

@@ -175,4 +175,58 @@ proptest! {
             prop_assert!((d.objective - s.objective).abs() / d.objective.abs().max(1.0) < 1e-8);
         }
     }
+
+    /// Warm starts are correctness-neutral on every backend: re-solving
+    /// from a cached optimal basis takes zero pivots (fingerprint 0, so the
+    /// terminal basis IS the supplied basis) and reports a bitwise-identical
+    /// objective — the polish step makes the answer a pure function of the
+    /// terminal basis, not of the pivot path that reached it.
+    #[test]
+    fn warm_restart_is_bitwise_equal_to_cold((m, n, seed) in small_dims()) {
+        use gplex::{solve_on_warm, BasisCache, WarmContext, WarmStartPolicy};
+        let model = generator::dense_random(m, n, seed);
+        let opts = SolverOptions::default();
+        for kind in [BackendKind::CpuDense, BackendKind::CpuSparse,
+                     BackendKind::GpuDense(DeviceSpec::gtx280())] {
+            let cache = BasisCache::new(4);
+            let ctx = WarmContext { cache: &cache, policy: WarmStartPolicy::Family { tol: 1e-6 } };
+            let cold = solve_on_warm::<f64>(&model, &opts, &kind, Some(&ctx));
+            prop_assert_eq!(cold.status, Status::Optimal);
+            prop_assert_eq!(cold.stats.warm_start_attempted, 0);
+
+            let warm = solve_on_warm::<f64>(&model, &opts, &kind, Some(&ctx));
+            prop_assert_eq!(warm.status, Status::Optimal);
+            prop_assert_eq!(warm.stats.warm_start_attempted, 1);
+            prop_assert_eq!(warm.stats.warm_start_rejected, 0);
+            prop_assert_eq!(warm.stats.iterations, 0);
+            prop_assert_eq!(warm.stats.pivot_fingerprint, 0);
+            prop_assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+            prop_assert_eq!(cache.stats().hits, 1);
+            warm.stats.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// A perturbed family member warm-started from its sibling's basis
+    /// reaches the same answer as its own cold solve, in no more pivots.
+    #[test]
+    fn family_warm_start_matches_cold_answer((m, n, seed) in small_dims()) {
+        use gplex::{solve_on_warm, BasisCache, WarmContext, WarmStartPolicy};
+        let family = generator::perturbed_family(2, m, n, seed, 1e-3);
+        let opts = SolverOptions::default();
+        let cache = BasisCache::new(4);
+        let ctx = WarmContext { cache: &cache, policy: WarmStartPolicy::Family { tol: 1e-6 } };
+        let seed_sol = solve_on_warm::<f64>(&family[0], &opts, &BackendKind::CpuDense, Some(&ctx));
+        prop_assert_eq!(seed_sol.status, Status::Optimal);
+
+        let warm = solve_on_warm::<f64>(&family[1], &opts, &BackendKind::CpuDense, Some(&ctx));
+        let cold = solve_on::<f64>(&family[1], &opts, &BackendKind::CpuDense);
+        prop_assert_eq!(warm.status, cold.status);
+        prop_assert_eq!(cache.stats().hits, 1, "siblings share a family key");
+        prop_assert!(warm.stats.iterations <= cold.stats.iterations,
+            "warm {} > cold {}", warm.stats.iterations, cold.stats.iterations);
+        prop_assert!((warm.objective - cold.objective).abs()
+            / cold.objective.abs().max(1.0) < 1e-9,
+            "warm {} vs cold {}", warm.objective, cold.objective);
+        warm.stats.check_invariants().map_err(TestCaseError::fail)?;
+    }
 }

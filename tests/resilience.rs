@@ -244,3 +244,68 @@ fn setup_fault_surfaces_as_device_error_not_panic() {
         "setup fault must be a device error, got: {err}"
     );
 }
+
+/// Regression (warm starts × the degradation ladder): a cached basis
+/// offered to the placed GPU backend must be *re-supplied* on every rung,
+/// not silently dropped when retries exhaust and the job degrades to the
+/// dense CPU path. With certain GPU faults, the job lands on `cpu-dense`
+/// and still warm-starts — zero iterations from the family's optimal basis.
+#[test]
+fn degraded_job_keeps_its_warm_start() {
+    use gplex::{solve_on_warm, BasisCache, ResilientSolver, WarmContext, WarmStartPolicy};
+
+    let model = generator::dense_random(10, 14, 5);
+    let opts = SolverOptions::default();
+    let cache = BasisCache::new(4);
+    let ctx = WarmContext {
+        cache: &cache,
+        policy: WarmStartPolicy::Family { tol: 1e-6 },
+    };
+    // Seed the cache with the model's optimal basis via a cold CPU solve.
+    let seed = solve_on_warm::<f64>(&model, &opts, &BackendKind::CpuDense, Some(&ctx));
+    assert_eq!(seed.status, Status::Optimal);
+    assert_eq!(cache.stats().insertions, 1);
+
+    // p = 1: the GPU rung can never finish; the ladder bottoms out on CPU.
+    let solver = ResilientSolver::new(ResilienceOptions {
+        faults: Some(FaultConfig::uniform(7, 1.0)),
+        ..Default::default()
+    });
+    let out = solver.solve_job_warm::<f64>(
+        3,
+        &model,
+        &opts,
+        &BackendKind::GpuDense(DeviceSpec::gtx280()),
+        Some(&ctx),
+    );
+    let sol = out.result.expect("CPU rung always succeeds");
+    assert_eq!(out.final_backend, "cpu-dense");
+    assert_eq!(out.degradations, 1);
+    assert_eq!(sol.status, Status::Optimal);
+    // The fix under test: the CPU rung still saw the cached basis.
+    assert_eq!(
+        sol.stats.warm_start_attempted, 1,
+        "warm start dropped on degradation"
+    );
+    assert_eq!(sol.stats.warm_start_rejected, 0);
+    assert_eq!(
+        sol.stats.iterations, 0,
+        "optimal family basis needs no pivots"
+    );
+    assert!(sol.stats.warm_iterations_saved > 0);
+    assert_eq!(sol.objective.to_bits(), seed.objective.to_bits());
+
+    // And `solve_job` (no context) still cold-starts — the warm path is
+    // strictly opt-in.
+    let cold = solver
+        .solve_job::<f64>(
+            3,
+            &model,
+            &opts,
+            &BackendKind::GpuDense(DeviceSpec::gtx280()),
+        )
+        .result
+        .expect("CPU rung always succeeds");
+    assert_eq!(cold.stats.warm_start_attempted, 0);
+    assert!(cold.stats.iterations > 0);
+}
