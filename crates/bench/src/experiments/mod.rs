@@ -1,6 +1,7 @@
 //! The reproduced experiments, one module per table/figure of DESIGN.md §3.
 
 mod b1_batch;
+mod b2_mega_batch;
 mod f2f3;
 mod f4;
 mod f5;
@@ -44,7 +45,7 @@ impl ExpReport {
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "f6", "b1", "r2", "o1",
-        "w1",
+        "w1", "b2",
     ]
 }
 
@@ -66,6 +67,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExpReport> {
         "r2" => Some(r2_resilience::run(quick)),
         "o1" => Some(o1_observe::run(quick)),
         "w1" => Some(w1_warm_cache::run(quick)),
+        "b2" => Some(b2_mega_batch::run(quick)),
         _ => None,
     }
 }

@@ -1,0 +1,662 @@
+//! Lockstep mega-batch driver: one [`BatchKernelBackend`] family advanced
+//! one simplex iteration per *round*, every live lane together.
+//!
+//! Structure of a round (four kernel chains for the whole family, versus
+//! four-plus launches *per member* on the stream-per-job path):
+//!
+//! 1. host bookkeeping per lane — iteration limit, periodic reinversion,
+//!    convergence-mask assembly (`CTL_ACTIVE` | `CTL_BLAND`);
+//! 2. `mega_price` — fused BTRAN + reduced costs + entering selection for
+//!    every active lane, one launch, then one download of `(q, d_q)`;
+//! 3. per-lane transitions — converged lanes leave the block (phase-1
+//!    convergence runs the feasibility check, artificial drive-out and
+//!    phase-2 cost install through that lane's [`LaneView`]); corrupted
+//!    lanes run an emergency reinversion and sit the round out;
+//! 4. `mega_ftran` + `mega_ratio` for the pivoting lanes, one launch each;
+//! 5. `mega_update` — fused `B⁻¹`/β pivot + basis bookkeeping, one launch.
+//!
+//! Finished lanes idle without desynchronizing the block: their `ctl` bit is
+//! clear, so the batched kernels skip them (and the per-round idle count
+//! lands in the device's `batch_rounds` counters).
+//!
+//! **Parity.** Each lane executes the CPU dense backend's arithmetic in the
+//! same serial order as a solo [`crate::RevisedSimplex`] drive — the batched
+//! kernels replicate it per lane, and the host control flow here mirrors
+//! `revised.rs` decision-for-decision (stall escalation, recovery budgets,
+//! refactor cadence, phase transitions). `tests/mega_batch.rs` pins every
+//! member's status, basis, objective bits and pivot fingerprint to the solo
+//! `cpu-dense` solve.
+//!
+//! **Accounting.** Per-lane irregular work is charged to that lane alone.
+//! Shared rounds are charged *fair-share*: the round stage's simulated
+//! interval divides evenly over the lanes that participated, so idle and
+//! finished members stop accruing step time — `StepTimings` per lane then
+//! sums to (approximately) the device interval without double counting.
+
+use std::time::Instant;
+
+use gpu_sim::{Gpu, SimTime};
+use linalg::gpu::{CTL_ACTIVE, CTL_BLAND};
+use linalg::Scalar;
+use lp::StandardForm;
+
+use crate::backend::Backend;
+use crate::backends::{BatchKernelBackend, BatchMember};
+use crate::error::{BackendError, SolveError};
+use crate::options::{PivotRule, SolverOptions};
+use crate::result::{Status, StdResult};
+use crate::stats::{SolveStats, Step};
+use crate::trace::{NoopRecorder, Recorder, StepKind};
+
+/// Consecutive emergency reinversions tolerated per lane before it gives up
+/// (same budget as the solo driver).
+const MAX_CONSECUTIVE_RECOVERIES: usize = 3;
+
+/// Whether this option set can run on the lockstep mega path at all.
+/// Partial pricing rotates a per-solve cursor (lanes would desynchronize),
+/// wall-clock deadlines and fault injection need the per-solve machinery of
+/// the stream path. Incompatible batches fall back to stream-per-job.
+pub fn mega_compatible(opts: &SolverOptions) -> bool {
+    opts.time_limit.is_none()
+        && opts.faults.is_none()
+        && !matches!(opts.pivot_rule, PivotRule::PartialDantzig { .. })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    One,
+    Two,
+}
+
+impl Phase {
+    fn index(self) -> usize {
+        match self {
+            Phase::One => 0,
+            Phase::Two => 1,
+        }
+    }
+}
+
+/// Per-lane driver state — the fields [`crate::RevisedSimplex`] keeps for a
+/// solo solve, replicated per member.
+struct Lane<T: Scalar> {
+    xb: Vec<usize>,
+    stats: SolveStats,
+    bland_mode: bool,
+    stall: usize,
+    iters_here: usize,
+    recoveries_left: usize,
+    phase: Phase,
+    phase_tag: u8,
+    live: bool,
+    outcome: Option<Result<StdResult<T>, SolveError>>,
+    /// Entering column selected this round (valid while the pivot mask bit
+    /// is set).
+    q: usize,
+    /// Snapshot of `bland_mode` at pricing time (the iteration is counted
+    /// under the rule that actually priced it).
+    use_bland_now: bool,
+}
+
+/// An open span: simulated clock at entry, host clock when a recorder wants
+/// wall time.
+struct Span {
+    t0: SimTime,
+    w0: Option<Instant>,
+}
+
+/// Solve a same-shape family in lockstep on `gpu`. `warm[b]` optionally
+/// seeds lane `b` with a basis candidate (same validation and cold-fallback
+/// semantics as [`crate::RevisedSimplex::with_start_basis`]). Returns one
+/// result per member, order preserved; a lane that collapses numerically
+/// fails alone. The outer error is reserved for device-level failures that
+/// invalidate the whole family (impossible without fault injection, which
+/// [`mega_compatible`] excludes).
+pub fn try_solve_family_mega<T: Scalar>(
+    gpu: &Gpu,
+    sfs: &[&StandardForm<T>],
+    opts: &SolverOptions,
+    warm: Vec<Option<Vec<usize>>>,
+) -> Result<Vec<Result<StdResult<T>, SolveError>>, SolveError> {
+    try_solve_family_mega_recorded::<T, NoopRecorder>(gpu, sfs, opts, warm, None)
+}
+
+/// [`try_solve_family_mega`] with per-lane span recorders (`recs[b]`
+/// receives lane `b`'s spans — fair-share for the shared round stages, solo
+/// for that lane's irregular work).
+pub fn try_solve_family_mega_recorded<T: Scalar, R: Recorder>(
+    gpu: &Gpu,
+    sfs: &[&StandardForm<T>],
+    opts: &SolverOptions,
+    warm: Vec<Option<Vec<usize>>>,
+    recs: Option<&mut [R]>,
+) -> Result<Vec<Result<StdResult<T>, SolveError>>, SolveError> {
+    assert!(!sfs.is_empty(), "empty mega family");
+    assert_eq!(warm.len(), sfs.len(), "one warm slot per member");
+    assert!(
+        mega_compatible(opts),
+        "options are out of mega scope (caller must fall back to stream-per-job)"
+    );
+    let n_active = sfs[0].num_cols() - sfs[0].num_artificials;
+    let members: Vec<BatchMember<'_, T>> = sfs
+        .iter()
+        .map(|sf| {
+            assert_eq!(
+                sf.num_cols() - sf.num_artificials,
+                n_active,
+                "mega family members must agree on active columns"
+            );
+            BatchMember {
+                a: &sf.a,
+                b: &sf.b,
+                n_active,
+                basis0: &sf.basis0,
+            }
+        })
+        .collect();
+    let be = BatchKernelBackend::try_new(gpu, &members).map_err(SolveError::from)?;
+    let mut driver = MegaDriver {
+        be,
+        sfs,
+        opts,
+        lanes: sfs
+            .iter()
+            .map(|sf| Lane {
+                xb: sf.basis0.clone(),
+                stats: SolveStats::default(),
+                bland_mode: matches!(opts.pivot_rule, PivotRule::Bland),
+                stall: 0,
+                iters_here: 0,
+                recoveries_left: MAX_CONSECUTIVE_RECOVERIES,
+                phase: Phase::Two,
+                phase_tag: 0,
+                live: true,
+                outcome: None,
+                q: 0,
+                use_bland_now: false,
+            })
+            .collect(),
+        recs,
+        wall: Instant::now(),
+        max_iters: opts.max_iters_for(sfs[0].num_rows(), sfs[0].num_cols()),
+        n_active,
+    };
+    driver.init(warm)?;
+    driver.run()?;
+    Ok(driver
+        .lanes
+        .into_iter()
+        .map(|l| l.outcome.expect("every lane terminates"))
+        .collect())
+}
+
+struct MegaDriver<'a, 'g, T: Scalar, R: Recorder> {
+    be: BatchKernelBackend<'g, T>,
+    sfs: &'a [&'a StandardForm<T>],
+    opts: &'a SolverOptions,
+    lanes: Vec<Lane<T>>,
+    recs: Option<&'a mut [R]>,
+    wall: Instant,
+    max_iters: usize,
+    n_active: usize,
+}
+
+impl<T: Scalar, R: Recorder> MegaDriver<'_, '_, T, R> {
+    fn width(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn span_begin(&self) -> Span {
+        Span {
+            t0: self.be.gpu().elapsed(),
+            w0: if R::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Close a span against one lane (solo irregular work).
+    fn span_close(&mut self, b: usize, kind: StepKind, step: Step, span: Span) {
+        let t1 = self.be.gpu().elapsed();
+        let lane = &mut self.lanes[b];
+        lane.stats.charge(step, t1 - span.t0);
+        if R::ENABLED {
+            let wall = span.w0.map_or(0.0, |w| w.elapsed().as_secs_f64());
+            let (iteration, tag) = (lane.stats.iterations, lane.phase_tag);
+            if let Some(recs) = self.recs.as_deref_mut() {
+                recs[b].span(kind, span.t0, t1, wall, iteration, tag);
+            }
+        }
+    }
+
+    /// Close a span fair-share across the lanes that participated: each is
+    /// charged `dt / participants`, so members that idled this round accrue
+    /// nothing.
+    fn share_close(&mut self, participants: &[usize], kind: StepKind, step: Step, span: Span) {
+        if participants.is_empty() {
+            return;
+        }
+        let t1 = self.be.gpu().elapsed();
+        let n = participants.len() as f64;
+        let share = SimTime::from_ns((t1 - span.t0).as_nanos() / n);
+        let wall_share = span.w0.map_or(0.0, |w| w.elapsed().as_secs_f64()) / n;
+        let end = SimTime::from_ns(span.t0.as_nanos() + share.as_nanos());
+        for &b in participants {
+            let lane = &mut self.lanes[b];
+            lane.stats.charge(step, share);
+            if R::ENABLED {
+                let (iteration, tag) = (lane.stats.iterations, lane.phase_tag);
+                if let Some(recs) = self.recs.as_deref_mut() {
+                    recs[b].span(kind, span.t0, end, wall_share, iteration, tag);
+                }
+            }
+        }
+    }
+
+    /// Per-lane setup: warm install (or its cold fallback) and the first
+    /// phase's objective — the same call sequence the solo driver makes.
+    fn init(&mut self, mut warm: Vec<Option<Vec<usize>>>) -> Result<(), SolveError> {
+        let feas_tol = self.opts.feas_tol_for::<T>().to_f64();
+        for b in 0..self.width() {
+            let mut warm_ok = false;
+            if let Some(basis) = warm[b].take() {
+                self.lanes[b].stats.warm_start_attempted = 1;
+                let valid = basis.len() == self.sfs[b].num_rows()
+                    && basis.iter().all(|&j| j < self.n_active);
+                if !valid {
+                    self.lanes[b].stats.warm_start_rejected = 1;
+                } else {
+                    let span = self.span_begin();
+                    let ok = crate::revised::warm_basis_feasible(self.sfs[b], &basis, feas_tol)
+                        && match self.be.lane(b).refactorize(&basis) {
+                            Ok(()) => true,
+                            Err(BackendError::Singular) => false,
+                            Err(e @ BackendError::Device(_)) => return Err(e.into()),
+                        };
+                    if ok {
+                        let mut lv = self.be.lane(b);
+                        for (r, &j) in basis.iter().enumerate() {
+                            lv.set_basic_col(r, j)?;
+                        }
+                        self.lanes[b].xb = basis;
+                    } else {
+                        match self.be.lane(b).refactorize(&self.sfs[b].basis0) {
+                            Ok(()) => {}
+                            Err(BackendError::Singular) => {
+                                unreachable!("identity start basis is never singular")
+                            }
+                            Err(e @ BackendError::Device(_)) => return Err(e.into()),
+                        }
+                        let mut lv = self.be.lane(b);
+                        for (r, &j) in self.sfs[b].basis0.iter().enumerate() {
+                            lv.set_basic_col(r, j)?;
+                        }
+                        self.lanes[b].xb = self.sfs[b].basis0.clone();
+                        self.lanes[b].stats.warm_start_rejected = 1;
+                    }
+                    self.span_close(b, StepKind::WarmStart, Step::Other, span);
+                    warm_ok = ok;
+                }
+            }
+            if warm_ok || self.sfs[b].num_artificials == 0 {
+                self.enter_phase2(b)?;
+            } else {
+                self.enter_phase1(b)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn enter_phase1(&mut self, b: usize) -> Result<(), SolveError> {
+        let span = self.span_begin();
+        let zeros = vec![T::ZERO; self.n_active];
+        let sf = self.sfs[b];
+        let mut lv = self.be.lane(b);
+        lv.set_phase_costs(&zeros)?;
+        for r in 0..sf.num_rows() {
+            let cost = if sf.is_artificial(self.lanes[b].xb[r]) {
+                T::ONE
+            } else {
+                T::ZERO
+            };
+            self.be.lane(b).set_basic_cost(r, cost)?;
+        }
+        self.span_close(b, StepKind::Transfer, Step::Other, span);
+        let lane = &mut self.lanes[b];
+        lane.phase = Phase::One;
+        lane.phase_tag = 1;
+        lane.iters_here = 0;
+        lane.recoveries_left = MAX_CONSECUTIVE_RECOVERIES;
+        Ok(())
+    }
+
+    fn enter_phase2(&mut self, b: usize) -> Result<(), SolveError> {
+        let span = self.span_begin();
+        let sf = self.sfs[b];
+        self.be.lane(b).set_phase_costs(&sf.c)?;
+        for r in 0..sf.num_rows() {
+            let col = self.lanes[b].xb[r];
+            let cost = if col < self.n_active {
+                sf.c[col]
+            } else {
+                T::ZERO
+            };
+            self.be.lane(b).set_basic_cost(r, cost)?;
+        }
+        self.span_close(b, StepKind::Transfer, Step::Other, span);
+        let lane = &mut self.lanes[b];
+        lane.phase = Phase::Two;
+        lane.phase_tag = 2;
+        lane.iters_here = 0;
+        lane.recoveries_left = MAX_CONSECUTIVE_RECOVERIES;
+        Ok(())
+    }
+
+    /// Terminate lane `b`: download β, scatter the basic solution, close the
+    /// books — the solo driver's `finish`.
+    fn finish(&mut self, b: usize, status: Status) -> Result<(), SolveError> {
+        let span = self.span_begin();
+        let beta = self.be.lane(b).beta()?;
+        self.span_close(b, StepKind::Transfer, Step::Other, span);
+        let sf = self.sfs[b];
+        let lane = &mut self.lanes[b];
+        let mut x_std = vec![T::ZERO; sf.num_cols()];
+        for (r, &col) in lane.xb.iter().enumerate() {
+            x_std[col] = beta[r];
+        }
+        let z_std: f64 =
+            sf.c.iter()
+                .zip(&x_std)
+                .map(|(&cj, &xj)| cj.to_f64() * xj.to_f64())
+                .sum();
+        lane.stats.wall_seconds = self.wall.elapsed().as_secs_f64();
+        debug_assert!(
+            lane.stats.check_invariants().is_ok(),
+            "per-phase counters must partition the totals: {:?}",
+            lane.stats.check_invariants()
+        );
+        lane.outcome = Some(Ok(StdResult {
+            status,
+            x_std,
+            z_std,
+            basis: lane.xb.clone(),
+            stats: lane.stats.clone(),
+        }));
+        lane.live = false;
+        Ok(())
+    }
+
+    /// Fail lane `b` with a numerical error (its siblings keep running).
+    fn fail(&mut self, b: usize, message: String) {
+        let lane = &mut self.lanes[b];
+        lane.outcome = Some(Err(SolveError::Numerical(message)));
+        lane.live = false;
+    }
+
+    /// Emergency reinversion for one lane — the solo driver's `recover`.
+    /// `Ok(true)`: rebuilt, lane sits this round out and re-prices next
+    /// round. `Ok(false)`: singular, the lane was finished.
+    fn recover(&mut self, b: usize) -> Result<bool, SolveError> {
+        let span = self.span_begin();
+        let basis = self.lanes[b].xb.clone();
+        match self.be.lane(b).refactorize(&basis) {
+            Ok(()) => {}
+            Err(BackendError::Singular) => {
+                self.finish(b, Status::SingularBasis)?;
+                return Ok(false);
+            }
+            Err(e @ BackendError::Device(_)) => return Err(e.into()),
+        }
+        let lane = &mut self.lanes[b];
+        lane.stats.refactorizations += 1;
+        lane.stats.nan_recoveries += 1;
+        self.span_close(b, StepKind::Refactorize, Step::Refactor, span);
+        Ok(true)
+    }
+
+    /// Non-finite iterate detected (reduced cost or step length): spend a
+    /// recovery or fail the lane, exactly as the solo driver does.
+    fn recover_or_fail(&mut self, b: usize, what: &str) -> Result<(), SolveError> {
+        if self.lanes[b].recoveries_left == 0 {
+            self.fail(
+                b,
+                format!(
+                    "{what} stayed non-finite after \
+                     {MAX_CONSECUTIVE_RECOVERIES} emergency reinversions"
+                ),
+            );
+            return Ok(());
+        }
+        self.lanes[b].recoveries_left -= 1;
+        self.recover(b)?;
+        Ok(())
+    }
+
+    /// The lockstep round loop.
+    fn run(&mut self) -> Result<(), SolveError> {
+        let opt_tol = self.opts.opt_tol_for::<T>();
+        let pivot_tol = self.opts.pivot_tol_for::<T>();
+        let feas_tol = self.opts.feas_tol_for::<T>();
+        let width = self.width();
+        let has_fallback = matches!(
+            self.opts.pivot_rule,
+            PivotRule::Hybrid | PivotRule::PartialDantzig { .. }
+        );
+
+        while self.lanes.iter().any(|l| l.live) {
+            // ---- stage 1: limits, reinversion cadence, convergence mask --
+            let mut ctl = vec![0u32; width];
+            for b in 0..width {
+                if !self.lanes[b].live {
+                    continue;
+                }
+                if self.lanes[b].iters_here >= self.max_iters {
+                    self.finish(b, Status::IterationLimit)?;
+                    continue;
+                }
+                if self.opts.refactor_period > 0
+                    && self.lanes[b].iters_here > 0
+                    && self.lanes[b]
+                        .iters_here
+                        .is_multiple_of(self.opts.refactor_period)
+                {
+                    let span = self.span_begin();
+                    let basis = self.lanes[b].xb.clone();
+                    match self.be.lane(b).refactorize(&basis) {
+                        Ok(()) => {}
+                        Err(BackendError::Singular) => {
+                            self.finish(b, Status::SingularBasis)?;
+                            continue;
+                        }
+                        Err(e @ BackendError::Device(_)) => return Err(e.into()),
+                    }
+                    self.lanes[b].stats.refactorizations += 1;
+                    self.span_close(b, StepKind::Refactorize, Step::Refactor, span);
+                }
+                ctl[b] = CTL_ACTIVE
+                    | if self.lanes[b].bland_mode {
+                        CTL_BLAND
+                    } else {
+                        0
+                    };
+                self.lanes[b].use_bland_now = self.lanes[b].bland_mode;
+            }
+            let active: Vec<usize> = (0..width).filter(|&b| ctl[b] & CTL_ACTIVE != 0).collect();
+            self.be
+                .gpu()
+                .record_batch_round(active.len() as u64, (width - active.len()) as u64);
+            if active.is_empty() {
+                continue;
+            }
+
+            // ---- stage 2: fused pricing chain over every active lane -----
+            let span = self.span_begin();
+            self.be.upload_ctl(&ctl)?;
+            let (q, dq) = self.be.mega_price(active.len() as u64, opt_tol)?;
+            self.share_close(&active, StepKind::Pricing, Step::Pricing, span);
+
+            // ---- stage 3: per-lane transitions off the pricing result ----
+            let mut mask = vec![0u32; width];
+            for &b in &active {
+                if q[b] == u32::MAX {
+                    match self.lanes[b].phase {
+                        Phase::One => {
+                            let span = self.span_begin();
+                            let z1 = self.be.lane(b).objective_now()?;
+                            self.span_close(b, StepKind::Transfer, Step::Other, span);
+                            if z1 > feas_tol {
+                                self.finish(b, Status::Infeasible)?;
+                                continue;
+                            }
+                            self.drive_out_artificials(b)?;
+                            self.enter_phase2(b)?;
+                            // Re-prices under the phase-2 objective next round.
+                        }
+                        Phase::Two => {
+                            let mut status = Status::Optimal;
+                            if self.sfs[b].num_artificials > 0 {
+                                let span = self.span_begin();
+                                let beta = self.be.lane(b).beta()?;
+                                self.span_close(b, StepKind::Transfer, Step::Other, span);
+                                for (r, &col) in self.lanes[b].xb.iter().enumerate() {
+                                    if self.sfs[b].is_artificial(col) && beta[r] > feas_tol {
+                                        status = Status::Infeasible;
+                                        break;
+                                    }
+                                }
+                            }
+                            self.finish(b, status)?;
+                        }
+                    }
+                    continue;
+                }
+                if !dq[b].is_finite() {
+                    self.recover_or_fail(b, &format!("reduced cost d[{}]", q[b]))?;
+                    continue;
+                }
+                self.lanes[b].q = q[b] as usize;
+                mask[b] = 1;
+            }
+            let pivoting: Vec<usize> = (0..width).filter(|&b| mask[b] != 0).collect();
+            if pivoting.is_empty() {
+                continue;
+            }
+
+            // ---- stage 4: FTRAN + ratio test for the pivoting lanes ------
+            let span = self.span_begin();
+            self.be.upload_mask(&mask)?;
+            self.be.mega_ftran(pivoting.len() as u64)?;
+            self.share_close(&pivoting, StepKind::Ftran, Step::Ftran, span);
+
+            let span = self.span_begin();
+            let (p, theta) = self.be.mega_ratio(pivoting.len() as u64, pivot_tol)?;
+            self.share_close(&pivoting, StepKind::RatioTest, Step::RatioTest, span);
+
+            let mut upd = mask.clone();
+            for &b in &pivoting {
+                if p[b] == u32::MAX {
+                    // A bounded-below phase-1 objective cannot be unbounded;
+                    // reaching this means the numerics collapsed (the solo
+                    // driver maps it the same way).
+                    let status = match self.lanes[b].phase {
+                        Phase::One => Status::SingularBasis,
+                        Phase::Two => Status::Unbounded,
+                    };
+                    self.finish(b, status)?;
+                    upd[b] = 0;
+                    continue;
+                }
+                if !theta[b].is_finite() {
+                    self.recover_or_fail(b, "step length")?;
+                    upd[b] = 0;
+                }
+            }
+            let updating: Vec<usize> = (0..width).filter(|&b| upd[b] != 0).collect();
+            if updating.is_empty() {
+                continue;
+            }
+
+            // ---- stage 5: fused pivot + bookkeeping chain ----------------
+            let span = self.span_begin();
+            self.be.upload_mask(&upd)?;
+            self.be.mega_update(updating.len() as u64, &upd, &q, &p)?;
+            self.share_close(&updating, StepKind::UpdateBasis, Step::Update, span);
+
+            for &b in &updating {
+                let (qv, pv, th) = (self.lanes[b].q, p[b] as usize, theta[b]);
+                let pidx = self.lanes[b].phase.index();
+                let lane = &mut self.lanes[b];
+                lane.xb[pv] = qv;
+                lane.stats
+                    .record_pivot(lane.stats.iterations, pidx, qv, pv, th.to_f64());
+                lane.recoveries_left = MAX_CONSECUTIVE_RECOVERIES;
+                let degenerate = !(th > T::ZERO);
+                if degenerate {
+                    lane.stats.degenerate_steps += 1;
+                    lane.stats.phase[pidx].degenerate_steps += 1;
+                    lane.stall += 1;
+                } else {
+                    lane.stall = 0;
+                    if has_fallback && lane.bland_mode {
+                        lane.bland_mode = false;
+                    }
+                }
+                if has_fallback && lane.stall >= self.opts.stall_threshold {
+                    lane.bland_mode = true;
+                }
+                if lane.use_bland_now {
+                    lane.stats.bland_iterations += 1;
+                    lane.stats.phase[pidx].bland_iterations += 1;
+                }
+                lane.stats.iterations += 1;
+                lane.stats.phase[pidx].iterations += 1;
+                if lane.phase == Phase::One {
+                    lane.stats.phase1_iterations += 1;
+                }
+                lane.iters_here += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Degenerate phase-1 cleanup for one lane — the solo driver's
+    /// `drive_out_artificials`, through the lane view.
+    fn drive_out_artificials(&mut self, b: usize) -> Result<(), SolveError> {
+        let pivot_tol = self.opts.pivot_tol_for::<T>();
+        let span = self.span_begin();
+        let sf = self.sfs[b];
+        let m = sf.num_rows();
+        let rows: Vec<usize> = (0..m)
+            .filter(|&r| sf.is_artificial(self.lanes[b].xb[r]))
+            .collect();
+        for r in rows {
+            let basic: Vec<bool> = {
+                let mut flags = vec![false; self.n_active];
+                for &col in &self.lanes[b].xb {
+                    if col < self.n_active {
+                        flags[col] = true;
+                    }
+                }
+                flags
+            };
+            for q in 0..self.n_active {
+                if basic[q] {
+                    continue;
+                }
+                self.be.lane(b).compute_alpha(q)?;
+                if self.be.lane(b).alpha_at(r)?.abs() > pivot_tol {
+                    let mut lv = self.be.lane(b);
+                    lv.update(r, T::ZERO)?;
+                    lv.set_basic_col(r, q)?;
+                    lv.set_basic_cost(r, T::ZERO)?;
+                    self.lanes[b].xb[r] = q;
+                    break;
+                }
+            }
+        }
+        self.span_close(b, StepKind::Transfer, Step::Other, span);
+        Ok(())
+    }
+}

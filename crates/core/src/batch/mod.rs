@@ -49,6 +49,7 @@
 //! ```
 
 pub mod cache;
+pub mod mega;
 pub mod policy;
 pub mod report;
 
@@ -56,15 +57,18 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use gpu_sim::SimTime;
+use gpu_sim::{DeviceSpec, Gpu, SimTime, Stream};
 use linalg::Scalar;
-use lp::LinearProgram;
+use lp::presolve::Presolved;
+use lp::{LinearProgram, StandardForm};
 use parking_lot::Mutex;
 
 use crate::error::SolveError;
 use crate::options::SolverOptions;
 use crate::resilient::{ResilienceOptions, ResilientSolver};
-use crate::solver::{solve_on_warm, BackendKind, WarmContext};
+use crate::solver::{
+    finalize, prepare, settle_warm, solve_on_warm, BackendKind, Prepared, WarmContext,
+};
 
 pub use cache::{cache_key, BasisCache, CacheStats, CachedBasis};
 pub use policy::{PlacementPolicy, WarmStartPolicy};
@@ -96,6 +100,15 @@ pub struct BatchOptions {
     /// Capacity of the per-run basis cache (distinct family keys retained;
     /// LRU beyond that). Ignored when `warm_start` is `Off`.
     pub warm_cache_capacity: usize,
+    /// Group same-shape jobs into SoA super-jobs and solve each group in
+    /// lockstep on the block-per-LP [`crate::BatchKernelBackend`] — one
+    /// kernel chain per simplex iteration for the whole group instead of
+    /// one per member. Jobs the mega path cannot take (shape singletons,
+    /// presolve-decided models, out-of-scope options — see
+    /// [`mega::mega_compatible`] — or a whole group whose device setup
+    /// failed) fall back to the stream-per-job pool; they are never
+    /// errors. Off by default.
+    pub mega_batch: bool,
 }
 
 impl Default for BatchOptions {
@@ -107,6 +120,7 @@ impl Default for BatchOptions {
             resilience: None,
             warm_start: WarmStartPolicy::Off,
             warm_cache_capacity: 256,
+            mega_batch: false,
         }
     }
 }
@@ -200,8 +214,23 @@ impl BatchSolver {
             .is_enabled()
             .then(|| BasisCache::new(self.opts.warm_cache_capacity));
 
+        // Mega pre-pass: group same-shape jobs into SoA super-jobs solved in
+        // lockstep; everything it cannot take flows into the normal queue.
+        let mega = if self.opts.mega_batch
+            && self.opts.resilience.is_none()
+            && mega::mega_compatible(&self.opts.solver)
+        {
+            mega_prepass::<T>(jobs, &self.opts, cache.as_ref(), &slots)
+        } else {
+            MegaOutcome {
+                remaining: (0..jobs.len()).collect(),
+                sim: SimTime::ZERO,
+                groups: 0,
+            }
+        };
+
         let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-        for idx in 0..jobs.len() {
+        for idx in mega.remaining {
             tx.send(idx).expect("receiver alive");
         }
         drop(tx); // workers exit when the queue drains
@@ -332,14 +361,222 @@ impl BatchSolver {
             .into_iter()
             .map(|slot| slot.expect("every job index was dispatched exactly once"))
             .collect();
+        // The mega pre-pass ran on the calling thread before the pool
+        // started; its simulated time folds into worker 0's lane so the
+        // makespan still covers all executed work.
+        let mut worker_sim = worker_sim.into_inner();
+        worker_sim[0] += mega.sim;
         let stats = aggregate(
             &results,
             workers,
             wall_seconds,
-            &worker_sim.into_inner(),
+            &worker_sim,
             cache.as_ref().map(|c| c.stats()),
+            mega.groups,
         );
         BatchReport { results, stats }
+    }
+}
+
+/// What the mega pre-pass left behind: job indices for the stream pool,
+/// the simulated time the grouped solves executed, and how many super-jobs
+/// ran.
+struct MegaOutcome {
+    remaining: Vec<usize>,
+    sim: SimTime,
+    groups: usize,
+}
+
+/// A job record with the zero/default accounting of a job that never
+/// reached a solver (panicked in prepare, decided by presolve, or a mega
+/// lane); callers override the fields they know better.
+fn pre_result(idx: usize, backend: &'static str, outcome: JobOutcome) -> JobResult {
+    JobResult {
+        index: idx,
+        backend,
+        worker: 0,
+        wall_seconds: 0.0,
+        sim_time: SimTime::ZERO,
+        faults: 0,
+        retries: 0,
+        degradations: 0,
+        warm_hit: false,
+        warm_rejected: false,
+        warm_iterations_saved: 0,
+        outcome,
+    }
+}
+
+/// Run presolve/standardize per job on the calling thread, group the
+/// same-shape survivors, and solve each group of two or more in lockstep on
+/// the block-per-LP backend. Results land directly in `slots`; whatever the
+/// mega path cannot take — shape singletons, presolve-decided models, a
+/// group whose device machinery failed — comes back as `remaining` for the
+/// stream-per-job pool.
+fn mega_prepass<T: Scalar>(
+    jobs: &[LinearProgram],
+    opts: &BatchOptions,
+    cache: Option<&BasisCache>,
+    slots: &Mutex<Vec<Option<JobResult>>>,
+) -> MegaOutcome {
+    let warm_ctx = cache.map(|cache| WarmContext {
+        cache,
+        policy: opts.warm_start,
+    });
+    let mut remaining = Vec::new();
+    let mut sim = SimTime::ZERO;
+    let mut groups_run = 0usize;
+
+    // Per-job pipeline front half, unwind-isolated: a poisoned model
+    // panics in standardization and must fail alone, exactly as on the
+    // stream path.
+    type Job<T> = (usize, StandardForm<T>, Option<Presolved>);
+    let mut ready: Vec<Job<T>> = Vec::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        let placed = opts
+            .policy
+            .place(idx, job.num_constraints(), job.num_vars())
+            .label();
+        match catch_unwind(AssertUnwindSafe(|| prepare::<T>(job, &opts.solver))) {
+            Err(payload) => {
+                slots.lock()[idx] = Some(pre_result(
+                    idx,
+                    placed,
+                    JobOutcome::Panicked(panic_message(&*payload)),
+                ));
+            }
+            Ok(Prepared::Early(sol)) => {
+                slots.lock()[idx] = Some(pre_result(idx, placed, JobOutcome::Solved(sol)));
+            }
+            Ok(Prepared::Ready { sf, restore }) => ready.push((idx, *sf, restore)),
+        }
+    }
+
+    // Shape groups over the standardized forms (post-presolve: that is the
+    // space the lockstep solve runs in).
+    let mut groups: BTreeMap<(usize, usize, usize), Vec<usize>> = BTreeMap::new();
+    for (pos, (_, sf, _)) in ready.iter().enumerate() {
+        groups
+            .entry((sf.num_rows(), sf.num_cols(), sf.num_artificials))
+            .or_default()
+            .push(pos);
+    }
+
+    for members in groups.into_values() {
+        if members.len() < 2 {
+            // A shape singleton gains nothing from lockstep; stream it.
+            remaining.push(ready[members[0]].0);
+            continue;
+        }
+        // One device per group, mirroring the stream path's placement:
+        // a shared device gets a stream (counters fold into the device on
+        // retirement), a fixed spec gets a fresh device of that spec.
+        let stream_holder;
+        let gpu_holder;
+        let gpu: &Gpu = match &opts.policy {
+            PlacementPolicy::Fixed(BackendKind::GpuShared(device)) => {
+                stream_holder = Stream::on(device);
+                &stream_holder
+            }
+            PlacementPolicy::Fixed(BackendKind::GpuDense(spec)) => {
+                gpu_holder = Gpu::new(spec.clone());
+                &gpu_holder
+            }
+            _ => {
+                gpu_holder = Gpu::new(DeviceSpec::gtx280());
+                &gpu_holder
+            }
+        };
+
+        // Warm-seed the whole group from a single family lookup: one cache
+        // probe on the first member's key, the candidate offered to every
+        // member keyed identically. (Per-member validation still applies —
+        // a lane that rejects the basis falls back cold alone.)
+        let member_keys: Vec<Option<u64>> = members
+            .iter()
+            .map(|&p| {
+                warm_ctx
+                    .as_ref()
+                    .and_then(|w| cache_key(&ready[p].1, &w.policy))
+            })
+            .collect();
+        let family = warm_ctx.as_ref().zip(member_keys[0]).and_then(|(w, k)| {
+            let sf = &ready[members[0]].1;
+            let n_active = sf.num_cols() - sf.num_artificials;
+            w.cache.lookup(k, sf.num_rows(), n_active)
+        });
+        let baseline = family.as_ref().map(|c| c.cold_iterations);
+        let offered: Vec<bool> = member_keys
+            .iter()
+            .map(|k| family.is_some() && k.is_some() && *k == member_keys[0])
+            .collect();
+        let warm_vec: Vec<Option<Vec<usize>>> = offered
+            .iter()
+            .map(|&o| {
+                o.then(|| {
+                    family
+                        .as_ref()
+                        .expect("offered implies a family hit")
+                        .basis
+                        .clone()
+                })
+            })
+            .collect();
+
+        let sfs: Vec<&StandardForm<T>> = members.iter().map(|&p| &ready[p].1).collect();
+        let gt0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            mega::try_solve_family_mega::<T>(gpu, &sfs, &opts.solver, warm_vec)
+        }));
+        match outcome {
+            Ok(Ok(lane_results)) => {
+                groups_run += 1;
+                let wall_share = gt0.elapsed().as_secs_f64() / members.len() as f64;
+                for (i, lane_res) in lane_results.into_iter().enumerate() {
+                    let (idx, sf, restore) = &ready[members[i]];
+                    let mut jr = match lane_res {
+                        Ok(mut r) => {
+                            settle_warm(
+                                warm_ctx.as_ref(),
+                                member_keys[i],
+                                if offered[i] { baseline } else { None },
+                                &mut r,
+                            );
+                            let lane_sim = r.stats.total_time();
+                            sim += lane_sim;
+                            let warm_hit =
+                                r.stats.warm_start_attempted > r.stats.warm_start_rejected;
+                            let warm_rejected = r.stats.warm_start_rejected > 0;
+                            let saved = r.stats.warm_iterations_saved;
+                            let sol = finalize(&jobs[*idx], &opts.solver, sf, restore, r);
+                            let mut jr =
+                                pre_result(*idx, "batch-kernel", JobOutcome::Solved(Box::new(sol)));
+                            jr.sim_time = lane_sim;
+                            jr.warm_hit = warm_hit;
+                            jr.warm_rejected = warm_rejected;
+                            jr.warm_iterations_saved = saved;
+                            jr
+                        }
+                        Err(e) => {
+                            pre_result(*idx, "batch-kernel", JobOutcome::Failed(e.to_string()))
+                        }
+                    };
+                    jr.wall_seconds = wall_share;
+                    slots.lock()[*idx] = Some(jr);
+                }
+            }
+            // Family-level machinery failure (or a panic in the lockstep
+            // driver): the whole group falls back to stream-per-job, which
+            // re-prepares each member from the original model.
+            Ok(Err(_)) | Err(_) => {
+                remaining.extend(members.iter().map(|&p| ready[p].0));
+            }
+        }
+    }
+    MegaOutcome {
+        remaining,
+        sim,
+        groups: groups_run,
     }
 }
 
@@ -349,6 +586,7 @@ fn aggregate(
     wall_seconds: f64,
     worker_sim: &[SimTime],
     cache: Option<cache::CacheStats>,
+    mega_groups: usize,
 ) -> BatchStats {
     let mut stats = BatchStats {
         jobs: results.len(),
@@ -368,6 +606,9 @@ fn aggregate(
         warm_misses: cache.map(|c| c.misses).unwrap_or(0),
         warm_rejected: 0,
         warm_iterations_saved: 0,
+        grouped_jobs: 0,
+        ungrouped_jobs: 0,
+        mega_groups,
         per_backend: Default::default(),
     };
     for r in results {
@@ -388,7 +629,11 @@ fn aggregate(
         // Active host time counts failed/panicked jobs too: the backend was
         // occupied even though no modeled solve came out.
         tally.wall_seconds += r.wall_seconds;
+        if r.backend == "batch-kernel" {
+            stats.grouped_jobs += 1;
+        }
     }
+    stats.ungrouped_jobs = stats.jobs - stats.grouped_jobs;
     stats
 }
 

@@ -154,6 +154,15 @@ pub struct BatchStats {
     pub warm_rejected: u64,
     /// Total iterations saved by accepted warm starts across the batch.
     pub warm_iterations_saved: u64,
+    /// Jobs solved inside an SoA mega-batch group (backend `batch-kernel`).
+    /// Disjoint from `ungrouped_jobs`; the two always sum to `jobs`.
+    pub grouped_jobs: usize,
+    /// Jobs that ran stream-per-job: mega batching off, out-of-scope
+    /// options, shape singletons, presolve-decided models, or members of a
+    /// group that fell back whole.
+    pub ungrouped_jobs: usize,
+    /// Same-shape SoA super-jobs executed ([`crate::BatchOptions::mega_batch`]).
+    pub mega_groups: usize,
     /// Tallies keyed by backend label.
     pub per_backend: BTreeMap<&'static str, BackendTally>,
 }
@@ -267,6 +276,13 @@ impl fmt::Display for BatchStats {
                 self.warm_iterations_saved
             )?;
         }
+        if self.mega_groups > 0 {
+            writeln!(
+                f,
+                "  mega-batch: {} groups ({} jobs grouped, {} stream-per-job)",
+                self.mega_groups, self.grouped_jobs, self.ungrouped_jobs
+            )?;
+        }
         writeln!(
             f,
             "  simulated: total {}, makespan {}, speedup {:.2}x",
@@ -326,6 +342,9 @@ mod tests {
             warm_misses: 0,
             warm_rejected: 0,
             warm_iterations_saved: 0,
+            grouped_jobs: 0,
+            ungrouped_jobs: 4,
+            mega_groups: 0,
             per_backend,
         }
     }
@@ -381,6 +400,9 @@ mod tests {
             warm_misses: 0,
             warm_rejected: 0,
             warm_iterations_saved: 0,
+            grouped_jobs: 0,
+            ungrouped_jobs: 0,
+            mega_groups: 0,
             per_backend: BTreeMap::new(),
         };
         assert_eq!(s.throughput(), 0.0);

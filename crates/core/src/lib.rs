@@ -53,6 +53,8 @@ pub mod trace;
 pub mod verify;
 
 pub use backend::{Backend, RatioOutcome};
+pub use backends::{BatchKernelBackend, BatchMember, LaneView};
+pub use batch::mega::{mega_compatible, try_solve_family_mega, try_solve_family_mega_recorded};
 pub use batch::{
     BasisCache, BatchOptions, BatchReport, BatchSolver, BatchStats, CacheStats, JobOutcome,
     JobResult, PlacementPolicy, WarmStartPolicy,

@@ -42,7 +42,11 @@ const MAX_CONSECUTIVE_RECOVERIES: usize = 3;
 /// `B x_B = b` in f64 and require every component ≥ `-tol`. A singular or
 /// non-finite solve counts as infeasible. See [`RevisedSimplex::try_warm_start`]
 /// for why this cannot be delegated to the backend.
-fn warm_basis_feasible<T: Scalar>(sf: &StandardForm<T>, basis: &[usize], tol: f64) -> bool {
+pub(crate) fn warm_basis_feasible<T: Scalar>(
+    sf: &StandardForm<T>,
+    basis: &[usize],
+    tol: f64,
+) -> bool {
     let m = sf.num_rows();
     if m == 0 {
         return true;

@@ -152,35 +152,47 @@ pub fn try_solve_on_recorded<T: Scalar, R: Recorder>(
     try_solve_on_impl::<T, R>(model, opts, kind, None, Some(rec))
 }
 
-fn try_solve_on_impl<T: Scalar, R: Recorder>(
-    model: &LinearProgram,
-    opts: &SolverOptions,
-    kind: &BackendKind,
-    warm: Option<&WarmContext<'_>>,
-    rec: Option<&mut R>,
-) -> Result<LpSolution, SolveError> {
-    // ---- presolve ---------------------------------------------------------
+/// Outcome of the pre-simplex pipeline stages (presolve → standardize →
+/// scale), factored out so the batch mega path can run them per member
+/// *before* shape-grouping same-shape jobs into one SoA super-job.
+pub(crate) enum Prepared<T: Scalar> {
+    /// Presolve fully decided the model — no simplex needed.
+    Early(Box<LpSolution>),
+    /// Standardized (and scaled, per options) form ready for the simplex,
+    /// plus the presolve restore context when presolve reduced the model.
+    Ready {
+        sf: Box<StandardForm<T>>,
+        restore: Option<lp::presolve::Presolved>,
+    },
+}
+
+/// Presolve, standardize and scale `model` per `opts`.
+///
+/// # Panics
+/// On models that cannot be standardized (infinite coefficients) — same
+/// contract as the solve entry points.
+pub(crate) fn prepare<T: Scalar>(model: &LinearProgram, opts: &SolverOptions) -> Prepared<T> {
     let (work, restore) = if opts.presolve {
         match presolve(model) {
             PresolveResult::Infeasible(reason) => {
-                return Ok(LpSolution {
+                return Prepared::Early(Box::new(LpSolution {
                     status: Status::Infeasible,
                     x: vec![0.0; model.num_vars()],
                     objective: f64::NAN,
                     stats: SolveStats::default(),
                     duals: None,
                     reason: Some(reason),
-                });
+                }));
             }
             PresolveResult::Unbounded(reason) => {
-                return Ok(LpSolution {
+                return Prepared::Early(Box::new(LpSolution {
                     status: Status::Unbounded,
                     x: vec![0.0; model.num_vars()],
                     objective: f64::NAN,
                     stats: SolveStats::default(),
                     duals: None,
                     reason: Some(reason),
-                });
+                }));
             }
             PresolveResult::Reduced(p) => {
                 let lp = p.lp.clone();
@@ -190,33 +202,26 @@ fn try_solve_on_impl<T: Scalar, R: Recorder>(
     } else {
         (model.clone(), None)
     };
-
-    // ---- standardize & scale ----------------------------------------------
     let mut sf = StandardForm::<T>::from_lp(&work).expect("model must standardize");
     if opts.scale {
         let _ = scale(&mut sf, ScalingKind::GeometricMean);
     }
+    Prepared::Ready {
+        sf: Box::new(sf),
+        restore,
+    }
+}
 
-    // ---- consult the family basis cache -----------------------------------
-    // The key is computed on the *post-presolve, post-scale* form: that is
-    // the space the stored basis lives in, and geometric-mean scale factors
-    // derive from `A` alone, so family members (same `A`, perturbed `b`/`c`)
-    // still collapse onto one key after scaling.
-    let key = warm.and_then(|w| cache_key(&sf, &w.policy));
-    let cached = match (warm, key) {
-        (Some(w), Some(k)) => {
-            let n_active = sf.num_cols() - sf.num_artificials;
-            w.cache.lookup(k, sf.num_rows(), n_active)
-        }
-        _ => None,
-    };
-    let baseline = cached.as_ref().map(|c| c.cold_iterations);
-    let start = cached.map(|c| c.basis);
-
-    // ---- solve --------------------------------------------------------------
-    let mut res = try_solve_standard_impl::<T, R>(&sf, opts, kind, start, rec)?;
-
-    // ---- settle warm accounting & write back -------------------------------
+/// Fold warm-start accounting into `res` and write an `Optimal` terminal
+/// basis back to the cache. `key` is the family key computed on the solved
+/// form; `baseline` is the cached cold iteration count (if a candidate was
+/// offered).
+pub(crate) fn settle_warm<T: Scalar>(
+    warm: Option<&WarmContext<'_>>,
+    key: Option<u64>,
+    baseline: Option<u64>,
+    res: &mut StdResult<T>,
+) {
     let warm_accepted = res.stats.warm_start_attempted > res.stats.warm_start_rejected;
     if warm_accepted {
         if let Some(cold) = baseline {
@@ -235,15 +240,22 @@ fn try_solve_on_impl<T: Scalar, R: Recorder>(
             w.cache.insert(k, res.basis.clone(), cold_cost);
         }
     }
+}
 
-    // ---- polish -------------------------------------------------------------
+/// Post-simplex pipeline stages: polish, recover `x` through scaling and
+/// presolve, evaluate the objective on the original model, attach duals.
+pub(crate) fn finalize<T: Scalar>(
+    model: &LinearProgram,
+    opts: &SolverOptions,
+    sf: &StandardForm<T>,
+    restore: &Option<lp::presolve::Presolved>,
+    mut res: StdResult<T>,
+) -> LpSolution {
     if opts.polish && res.status == Status::Optimal {
-        polish_x_std(&sf, &res.basis, &mut res.x_std);
+        polish_x_std(sf, &res.basis, &mut res.x_std);
     }
-
-    // ---- recover ------------------------------------------------------------
     let x_red = sf.recover_x(&res.x_std);
-    let x = match &restore {
+    let x = match restore {
         Some(p) => p.restore(&x_red),
         None => x_red,
     };
@@ -254,23 +266,56 @@ fn try_solve_on_impl<T: Scalar, R: Recorder>(
     // Duals from the final basis (fresh f64 factorization, so the values
     // are backend-independent). Reported only when the solved rows are
     // exactly the original rows (presolve off, or presolve was a no-op).
-    let presolve_was_noop = match &restore {
+    let presolve_was_noop = match restore {
         None => true,
         Some(p) => p.removed_rows.is_empty() && p.vars_removed() == 0,
     };
     let duals = if res.status == Status::Optimal && presolve_was_noop {
-        compute_duals(&sf, &res.basis)
+        compute_duals(sf, &res.basis)
     } else {
         None
     };
-    Ok(LpSolution {
+    LpSolution {
         status: res.status,
         x,
         objective,
         stats: res.stats,
         duals,
         reason: None,
-    })
+    }
+}
+
+fn try_solve_on_impl<T: Scalar, R: Recorder>(
+    model: &LinearProgram,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+    warm: Option<&WarmContext<'_>>,
+    rec: Option<&mut R>,
+) -> Result<LpSolution, SolveError> {
+    let (sf, restore) = match prepare::<T>(model, opts) {
+        Prepared::Early(sol) => return Ok(*sol),
+        Prepared::Ready { sf, restore } => (sf, restore),
+    };
+
+    // ---- consult the family basis cache -----------------------------------
+    // The key is computed on the *post-presolve, post-scale* form: that is
+    // the space the stored basis lives in, and geometric-mean scale factors
+    // derive from `A` alone, so family members (same `A`, perturbed `b`/`c`)
+    // still collapse onto one key after scaling.
+    let key = warm.and_then(|w| cache_key(&sf, &w.policy));
+    let cached = match (warm, key) {
+        (Some(w), Some(k)) => {
+            let n_active = sf.num_cols() - sf.num_artificials;
+            w.cache.lookup(k, sf.num_rows(), n_active)
+        }
+        _ => None,
+    };
+    let baseline = cached.as_ref().map(|c| c.cold_iterations);
+    let start = cached.map(|c| c.basis);
+
+    let mut res = try_solve_standard_impl::<T, R>(&sf, opts, kind, start, rec)?;
+    settle_warm(warm, key, baseline, &mut res);
+    Ok(finalize(model, opts, &sf, &restore, res))
 }
 
 /// Recompute the basic variables of an optimal point from a fresh f64

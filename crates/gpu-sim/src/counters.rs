@@ -146,6 +146,14 @@ pub struct Counters {
     /// Member kernels folded into fused groups (each would have been a
     /// separate launch on the unfused path).
     pub fused_kernels_folded: u64,
+    /// Lockstep mega-batch rounds: each advances every live member of an
+    /// SoA family by one simplex iteration under a shared kernel chain.
+    pub batch_rounds: u64,
+    /// Lane slots that did useful work during mega-batch rounds.
+    pub batch_lanes_active: u64,
+    /// Lane slots masked idle during mega-batch rounds (converged members
+    /// riding along without desynchronizing the block).
+    pub batch_lanes_idle: u64,
 }
 
 impl Counters {
@@ -176,6 +184,9 @@ impl Counters {
         self.streams_retired += other.streams_retired;
         self.fused_groups += other.fused_groups;
         self.fused_kernels_folded += other.fused_kernels_folded;
+        self.batch_rounds += other.batch_rounds;
+        self.batch_lanes_active += other.batch_lanes_active;
+        self.batch_lanes_idle += other.batch_lanes_idle;
     }
     /// Achieved global-memory bandwidth over the whole history, bytes/sec.
     pub fn achieved_bandwidth(&self) -> f64 {
@@ -217,6 +228,13 @@ impl fmt::Display for Counters {
                 f,
                 "  fused groups:     {} ({} member kernels folded)",
                 self.fused_groups, self.fused_kernels_folded
+            )?;
+        }
+        if self.batch_rounds > 0 {
+            writeln!(
+                f,
+                "  mega-batch:       {} rounds ({} active lanes, {} idle)",
+                self.batch_rounds, self.batch_lanes_active, self.batch_lanes_idle
             )?;
         }
         writeln!(

@@ -181,6 +181,16 @@ impl Gpu {
         c.breakdown.add(cat, t);
     }
 
+    /// Record one lockstep mega-batch round: `active` lane slots advanced a
+    /// member by one simplex iteration, `idle` slots were masked out
+    /// (converged members riding along). Pure accounting; charges no time.
+    pub fn record_batch_round(&self, active: u64, idle: u64) {
+        let mut c = self.counters.lock();
+        c.batch_rounds += 1;
+        c.batch_lanes_active += active;
+        c.batch_lanes_idle += idle;
+    }
+
     /// Record an allocation of `bytes`, enforcing device capacity. Called
     /// *before* host-side materialization so a simulated OOM is cheap.
     fn try_record_alloc(&self, bytes: u64) -> Result<(), DeviceError> {

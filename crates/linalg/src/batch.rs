@@ -1,0 +1,190 @@
+//! Structure-of-arrays storage for same-shape matrix families.
+//!
+//! The mega-batch backend runs one thread-block per LP over a family of
+//! identically shaped problems. For that to coalesce, the batch index must
+//! be the *innermost* stride: element `(i, j)` of family member `b` lives at
+//! `data[(i + j*rows) * width + b]`, so the threads of a warp (consecutive
+//! `b` for a fixed `(i, j)`) touch consecutive addresses. Pack/unpack
+//! converters move bitwise-identical values between this layout and the
+//! per-member [`DenseMatrix`] form; the batched kernels never reorder or
+//! re-associate arithmetic, so a lane of the SoA block is the same matrix it
+//! was before packing.
+
+use crate::dense::DenseMatrix;
+use crate::scalar::Scalar;
+
+/// A same-shape family of dense column-major matrices stored batch-innermost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseBatchLayout<T> {
+    data: Vec<T>,
+    rows: usize,
+    cols: usize,
+    width: usize,
+}
+
+impl<T: Scalar> DenseBatchLayout<T> {
+    /// Zero-initialized batch of `width` members, each `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize, width: usize) -> Self {
+        DenseBatchLayout {
+            data: vec![T::ZERO; rows * cols * width],
+            rows,
+            cols,
+            width,
+        }
+    }
+
+    /// Pack a family of same-shape matrices into SoA form. Panics when the
+    /// family is empty or the shapes disagree — grouping happens before
+    /// packing, so a mismatch here is a caller bug.
+    pub fn pack(members: &[DenseMatrix<T>]) -> Self {
+        assert!(!members.is_empty(), "cannot pack an empty family");
+        let rows = members[0].rows();
+        let cols = members[0].cols();
+        let width = members.len();
+        let mut batch = Self::zeros(rows, cols, width);
+        for (b, m) in members.iter().enumerate() {
+            assert_eq!(m.rows(), rows, "member {b} row count mismatch");
+            assert_eq!(m.cols(), cols, "member {b} column count mismatch");
+            for j in 0..cols {
+                for (i, &v) in m.col(j).iter().enumerate() {
+                    batch.set(b, i, j, v);
+                }
+            }
+        }
+        batch
+    }
+
+    /// Unpack lane `b` back into a standalone matrix (bitwise round trip).
+    pub fn unpack(&self, b: usize) -> DenseMatrix<T> {
+        assert!(b < self.width, "lane {b} out of range {}", self.width);
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                m.set(i, j, self.get(b, i, j));
+            }
+        }
+        m
+    }
+
+    /// Rows per member.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns per member.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Family width (number of members).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Flat SoA index of element `(i, j)` in lane `b`.
+    #[inline]
+    pub fn idx(&self, b: usize, i: usize, j: usize) -> usize {
+        debug_assert!(b < self.width && i < self.rows && j < self.cols);
+        (i + j * self.rows) * self.width + b
+    }
+
+    /// Element `(i, j)` of lane `b`.
+    #[inline]
+    pub fn get(&self, b: usize, i: usize, j: usize) -> T {
+        self.data[self.idx(b, i, j)]
+    }
+
+    /// Store into element `(i, j)` of lane `b`.
+    #[inline]
+    pub fn set(&mut self, b: usize, i: usize, j: usize, v: T) {
+        let k = self.idx(b, i, j);
+        self.data[k] = v;
+    }
+
+    /// The flat SoA storage (upload source for device-resident batches).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+/// Pack a family of equal-length vectors batch-innermost: element `i` of
+/// lane `b` lands at `i * width + b`.
+pub fn pack_vectors<T: Scalar>(members: &[&[T]]) -> Vec<T> {
+    assert!(!members.is_empty(), "cannot pack an empty family");
+    let len = members[0].len();
+    let width = members.len();
+    let mut out = vec![T::ZERO; len * width];
+    for (b, v) in members.iter().enumerate() {
+        assert_eq!(v.len(), len, "member {b} length mismatch");
+        for (i, &x) in v.iter().enumerate() {
+            out[i * width + b] = x;
+        }
+    }
+    out
+}
+
+/// Extract lane `b` from a batch-innermost vector family.
+pub fn unpack_vector<T: Scalar>(data: &[T], width: usize, b: usize) -> Vec<T> {
+    assert!(b < width, "lane {b} out of range {width}");
+    assert_eq!(data.len() % width, 0, "SoA length not a multiple of width");
+    data[b..].iter().step_by(width).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family(width: usize, rows: usize, cols: usize) -> Vec<DenseMatrix<f64>> {
+        (0..width)
+            .map(|b| {
+                let mut m = DenseMatrix::zeros(rows, cols);
+                for j in 0..cols {
+                    for i in 0..rows {
+                        m.set(i, j, (b * rows * cols + j * rows + i) as f64 + 0.25);
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let mats = family(3, 4, 5);
+        let batch = DenseBatchLayout::pack(&mats);
+        assert_eq!((batch.rows(), batch.cols(), batch.width()), (4, 5, 3));
+        for (b, m) in mats.iter().enumerate() {
+            assert_eq!(&batch.unpack(b), m);
+        }
+    }
+
+    #[test]
+    fn batch_index_is_innermost() {
+        let mats = family(4, 2, 2);
+        let batch = DenseBatchLayout::pack(&mats);
+        // Consecutive lanes of one element are adjacent in storage.
+        let s = batch.as_slice();
+        for b in 0..4 {
+            assert_eq!(s[b], mats[b].get(0, 0));
+        }
+        assert_eq!(batch.idx(0, 1, 0), 4);
+        assert_eq!(batch.idx(1, 0, 1), 2 * 2 * 4 / 2 + 1);
+    }
+
+    #[test]
+    fn vector_helpers_round_trip() {
+        let a = [1.0f64, 2.0, 3.0];
+        let b = [4.0f64, 5.0, 6.0];
+        let soa = pack_vectors(&[&a, &b]);
+        assert_eq!(soa, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(unpack_vector(&soa, 2, 0), a);
+        assert_eq!(unpack_vector(&soa, 2, 1), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn mismatched_shapes_panic() {
+        let mats = vec![DenseMatrix::<f64>::zeros(2, 2), DenseMatrix::zeros(3, 2)];
+        DenseBatchLayout::pack(&mats);
+    }
+}

@@ -18,6 +18,7 @@
 //! latency is part of the paper's story).
 
 mod algo;
+mod batch_kernels;
 mod blas;
 mod gemm;
 mod invert;
@@ -26,6 +27,10 @@ mod mat;
 
 pub use algo::{
     argmin, argmin_into, reduce, reduce_into, reduce_u32_min, reduce_u32_min_into, ReduceOp,
+};
+pub use batch_kernels::{
+    BatchBookK, BatchBtranK, BatchFtranK, BatchObjK, BatchPivotK, BatchPriceK, BatchRatioK,
+    BatchSelectK, LaneGatherK, LaneScatterK, SelectRule, CTL_ACTIVE, CTL_BLAND,
 };
 pub use blas::{
     axpy, copy, copy_on, dot, eliminate, eliminate_on, fill, gemv_n, gemv_n_on, gemv_t,

@@ -27,6 +27,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
 
+pub mod batch;
 pub mod blas;
 pub mod cpu_model;
 pub mod dense;
@@ -34,6 +35,7 @@ pub mod gpu;
 pub mod scalar;
 pub mod sparse;
 
+pub use batch::DenseBatchLayout;
 pub use cpu_model::CpuModel;
 pub use dense::DenseMatrix;
 pub use scalar::Scalar;

@@ -1,0 +1,374 @@
+//! Differential parity suite for the block-per-LP mega-batch path: every
+//! member of an SoA super-job must be **bitwise** indistinguishable from a
+//! solo `cpu-dense` solve — same status, same objective bits, same pivot
+//! fingerprint — and a faulted member must fail alone.
+
+use gplex::batch::{BatchOptions, BatchSolver, PlacementPolicy};
+use gplex::{
+    mega_compatible, solve_on, solve_standard, try_solve_family_mega,
+    try_solve_family_mega_recorded, BackendKind, SolverOptions, Status, StepKind, TraceRecorder,
+};
+use gpu_sim::{DeviceSpec, Gpu};
+use lp::generator::{self, fixtures};
+use lp::{LinearProgram, StandardForm};
+
+fn raw_opts() -> SolverOptions {
+    SolverOptions {
+        presolve: false,
+        scale: false,
+        ..Default::default()
+    }
+}
+
+fn standardize(jobs: &[LinearProgram]) -> Vec<StandardForm<f64>> {
+    jobs.iter()
+        .map(|lp| StandardForm::<f64>::from_lp(lp).expect("generated models standardize"))
+        .collect()
+}
+
+/// Core differential harness: solve `sfs` as one lockstep family and pin
+/// every lane bitwise to the solo `cpu-dense` solve of the same form.
+fn assert_family_matches_solo(sfs: &[StandardForm<f64>], opts: &SolverOptions) {
+    let gpu = Gpu::new(DeviceSpec::gtx280());
+    let refs: Vec<&StandardForm<f64>> = sfs.iter().collect();
+    let warm = vec![None; sfs.len()];
+    let lanes = try_solve_family_mega::<f64>(&gpu, &refs, opts, warm).expect("family machinery ok");
+    assert_eq!(lanes.len(), sfs.len());
+    for (b, lane) in lanes.into_iter().enumerate() {
+        let mega = lane.unwrap_or_else(|e| panic!("lane {b} failed: {e}"));
+        let solo = solve_standard::<f64>(&sfs[b], opts, &BackendKind::CpuDense);
+        assert_eq!(mega.status, solo.status, "lane {b} status");
+        assert_eq!(mega.basis, solo.basis, "lane {b} terminal basis");
+        assert_eq!(
+            mega.stats.iterations, solo.stats.iterations,
+            "lane {b} iteration count"
+        );
+        assert_eq!(
+            mega.stats.pivot_fingerprint, solo.stats.pivot_fingerprint,
+            "lane {b} pivot fingerprint"
+        );
+        assert_eq!(
+            mega.z_std.to_bits(),
+            solo.z_std.to_bits(),
+            "lane {b} objective bits: {} vs {}",
+            mega.z_std,
+            solo.z_std
+        );
+        assert_eq!(mega.x_std.len(), solo.x_std.len());
+        for (j, (a, c)) in mega.x_std.iter().zip(&solo.x_std).enumerate() {
+            assert_eq!(a.to_bits(), c.to_bits(), "lane {b} x_std[{j}]: {a} vs {c}");
+        }
+    }
+}
+
+/// Bitwise per-member parity for a perturbed family (same `A`, jittered
+/// `b`/`c` — the headline mega-batch workload).
+#[test]
+fn perturbed_family_bitwise_parity() {
+    let jobs = generator::perturbed_family(8, 6, 9, 42, 0.05);
+    assert_family_matches_solo(&standardize(&jobs), &raw_opts());
+}
+
+/// Unrelated same-shape instances (different `A` per lane) also hold
+/// parity: the SoA layout shares nothing across lanes but the shape.
+#[test]
+fn unrelated_same_shape_batch_bitwise_parity() {
+    let jobs: Vec<LinearProgram> = (0..6).map(|s| generator::dense_random(8, 12, s)).collect();
+    assert_family_matches_solo(&standardize(&jobs), &raw_opts());
+}
+
+/// Width 1 is the degenerate block: one lane, still the batched kernels.
+#[test]
+fn width_one_family_bitwise_parity() {
+    let jobs = vec![generator::dense_random(7, 10, 23)];
+    assert_family_matches_solo(&standardize(&jobs), &raw_opts());
+}
+
+/// Two-phase members (equality rows force artificials) run phase 1 in
+/// lockstep, drive artificials out per lane, and still match solo bitwise.
+#[test]
+fn two_phase_family_bitwise_parity() {
+    let jobs: Vec<LinearProgram> = (0..4)
+        .map(|k| generator::transportation(&[30.0, 70.0], &[40.0 + k as f64, 60.0 - k as f64], 3))
+        .collect();
+    let sfs = standardize(&jobs);
+    assert!(sfs[0].num_artificials > 0, "fixture must need phase 1");
+    assert_family_matches_solo(&sfs, &raw_opts());
+}
+
+/// Bland and Dantzig lanes both replicate their solo pivot sequences.
+#[test]
+fn bland_rule_family_bitwise_parity() {
+    let opts = SolverOptions {
+        pivot_rule: gplex::PivotRule::Bland,
+        ..raw_opts()
+    };
+    let jobs: Vec<LinearProgram> = (0..4)
+        .map(|s| generator::dense_random(6, 9, s + 50))
+        .collect();
+    assert_family_matches_solo(&standardize(&jobs), &opts);
+}
+
+/// End-to-end through [`BatchSolver`]: grouped jobs return the same
+/// `LpSolution` (status, objective bits, fingerprint) as the solo pipeline,
+/// with presolve and scaling on.
+#[test]
+fn batch_solver_mega_matches_solo_pipeline_bitwise() {
+    let jobs = generator::perturbed_family(6, 6, 8, 7, 0.02);
+    let solver = BatchSolver::new(BatchOptions {
+        mega_batch: true,
+        ..Default::default()
+    });
+    let report = solver.solve::<f64>(&jobs);
+    assert!(report.all_solved());
+    assert_eq!(report.stats.mega_groups, 1);
+    assert_eq!(report.stats.grouped_jobs, 6);
+    assert_eq!(report.stats.ungrouped_jobs, 0);
+    for (i, r) in report.results.iter().enumerate() {
+        assert_eq!(r.backend, "batch-kernel", "job {i} must be grouped");
+        let sol = r.outcome.solution().expect("solved");
+        let solo = solve_on::<f64>(&jobs[i], &SolverOptions::default(), &BackendKind::CpuDense);
+        assert_eq!(sol.status, solo.status, "job {i}");
+        assert_eq!(
+            sol.objective.to_bits(),
+            solo.objective.to_bits(),
+            "job {i} objective bits: {} vs {}",
+            sol.objective,
+            solo.objective
+        );
+        assert_eq!(
+            sol.stats.pivot_fingerprint, solo.stats.pivot_fingerprint,
+            "job {i} fingerprint"
+        );
+        for (a, c) in sol.x.iter().zip(&solo.x) {
+            assert_eq!(a.to_bits(), c.to_bits(), "job {i} x");
+        }
+    }
+}
+
+/// A poisoned member fails alone: its panic is caught in the pre-pass and
+/// its same-shape neighbors still group, solve, and hold bitwise parity.
+#[test]
+fn poisoned_member_fails_alone_without_corrupting_neighbors() {
+    let jobs = vec![
+        generator::dense_random(6, 8, 1),
+        fixtures::poisoned(),
+        generator::dense_random(6, 8, 2),
+        generator::dense_random(6, 8, 3),
+    ];
+    let solver = BatchSolver::new(BatchOptions {
+        mega_batch: true,
+        ..Default::default()
+    });
+    let report = solver.solve::<f64>(&jobs);
+    assert_eq!(report.stats.panicked, 1);
+    assert_eq!(report.stats.solved, 3);
+    assert_eq!(report.stats.mega_groups, 1);
+    assert_eq!(report.stats.grouped_jobs, 3);
+    assert_eq!(report.stats.ungrouped_jobs, 1);
+    assert!(report.results[1].outcome.solution().is_none());
+    for i in [0usize, 2, 3] {
+        let sol = report.results[i]
+            .outcome
+            .solution()
+            .expect("neighbor solved");
+        let solo = solve_on::<f64>(&jobs[i], &SolverOptions::default(), &BackendKind::CpuDense);
+        assert_eq!(sol.status, solo.status, "job {i}");
+        assert_eq!(sol.objective.to_bits(), solo.objective.to_bits(), "job {i}");
+        assert_eq!(
+            sol.stats.pivot_fingerprint, solo.stats.pivot_fingerprint,
+            "job {i}"
+        );
+    }
+}
+
+/// All members converging in the same round: identical lanes leave the
+/// block together with identical answers.
+#[test]
+fn all_members_converge_same_round() {
+    let job = generator::dense_random(6, 9, 11);
+    let jobs = vec![job.clone(), job.clone(), job];
+    let sfs = standardize(&jobs);
+    let gpu = Gpu::new(DeviceSpec::gtx280());
+    let refs: Vec<&StandardForm<f64>> = sfs.iter().collect();
+    let lanes = try_solve_family_mega::<f64>(&gpu, &refs, &raw_opts(), vec![None; 3])
+        .expect("machinery ok");
+    let results: Vec<_> = lanes.into_iter().map(|l| l.expect("solved")).collect();
+    for r in &results {
+        assert_eq!(r.status, Status::Optimal);
+        assert_eq!(r.stats.iterations, results[0].stats.iterations);
+        assert_eq!(
+            r.stats.pivot_fingerprint,
+            results[0].stats.pivot_fingerprint
+        );
+        assert_eq!(r.z_std.to_bits(), results[0].z_std.to_bits());
+    }
+}
+
+/// One member hits the iteration limit while its sibling goes optimal:
+/// per-member statuses are right, and after the fast lane converges it
+/// stops accruing step spans (idle lanes are free).
+#[test]
+fn iteration_limit_member_statuses_and_idle_lanes_accrue_nothing() {
+    // Find two same-shape instances whose solo iteration counts differ by
+    // at least 2, so the fast lane idles for observable rounds.
+    let mut picked = None;
+    'outer: for sa in 0..20u64 {
+        for sb in 0..20u64 {
+            if sa == sb {
+                continue;
+            }
+            let a = standardize(&[generator::dense_random(8, 12, sa)]).remove(0);
+            let b = standardize(&[generator::dense_random(8, 12, sb)]).remove(0);
+            let ia = solve_standard::<f64>(&a, &raw_opts(), &BackendKind::CpuDense)
+                .stats
+                .iterations;
+            let ib = solve_standard::<f64>(&b, &raw_opts(), &BackendKind::CpuDense)
+                .stats
+                .iterations;
+            if ib >= ia + 2 {
+                picked = Some((a, b, ia, ib));
+                break 'outer;
+            }
+        }
+    }
+    let (sf_fast, sf_slow, iters_fast, iters_slow) =
+        picked.expect("some seed pair differs by >= 2 iterations");
+    // Cap exactly at the slow lane's need: it gets cut off at the limit
+    // check before it can price its way to optimality.
+    let opts = SolverOptions {
+        max_iterations: Some(iters_slow),
+        ..raw_opts()
+    };
+    let gpu = Gpu::new(DeviceSpec::gtx280());
+    let refs = vec![&sf_fast, &sf_slow];
+    let mut recs = vec![TraceRecorder::default(), TraceRecorder::default()];
+    let lanes = try_solve_family_mega_recorded::<f64, TraceRecorder>(
+        &gpu,
+        &refs,
+        &opts,
+        vec![None, None],
+        Some(&mut recs),
+    )
+    .expect("machinery ok");
+    let fast = lanes[0].as_ref().expect("fast lane solved");
+    let slow = lanes[1].as_ref().expect("slow lane returned");
+    assert_eq!(fast.status, Status::Optimal);
+    assert_eq!(slow.status, Status::IterationLimit);
+    assert_eq!(fast.stats.iterations, iters_fast);
+    assert_eq!(slow.stats.iterations, iters_slow);
+    // The fast lane priced in rounds 1..=iters_fast+1 (its pivots plus the
+    // converging round) and then idled; the slow lane priced every round.
+    let fast_pricing = recs[0].timings.get(StepKind::Pricing).count;
+    let slow_pricing = recs[1].timings.get(StepKind::Pricing).count;
+    assert_eq!(fast_pricing, (iters_fast + 1) as u64, "fast lane rounds");
+    assert_eq!(slow_pricing, iters_slow as u64, "slow lane rounds");
+    assert!(
+        fast_pricing < slow_pricing,
+        "idle lane must stop accruing spans ({fast_pricing} vs {slow_pricing})"
+    );
+    // Same for total step time: the idle lane's clock stops at convergence.
+    assert!(recs[0].timings.total_time() < recs[1].timings.total_time());
+}
+
+/// Warm-seeding a whole group from one family basis: every lane accepts the
+/// candidate, skips phase 1, and still lands on the cold answer.
+#[test]
+fn group_warm_seeding_from_single_family_basis() {
+    let jobs = generator::perturbed_family(5, 6, 9, 17, 0.01);
+    let sfs = standardize(&jobs);
+    let refs: Vec<&StandardForm<f64>> = sfs.iter().collect();
+    let opts = raw_opts();
+    let gpu = Gpu::new(DeviceSpec::gtx280());
+    let cold = try_solve_family_mega::<f64>(&gpu, &refs, &opts, vec![None; 5])
+        .expect("machinery ok")
+        .into_iter()
+        .map(|l| l.expect("solved"))
+        .collect::<Vec<_>>();
+    let family_basis = cold[0].basis.clone();
+    let warm = vec![Some(family_basis); 5];
+    let gpu2 = Gpu::new(DeviceSpec::gtx280());
+    let warm_res = try_solve_family_mega::<f64>(&gpu2, &refs, &opts, warm)
+        .expect("machinery ok")
+        .into_iter()
+        .map(|l| l.expect("solved"))
+        .collect::<Vec<_>>();
+    for (b, (w, c)) in warm_res.iter().zip(&cold).enumerate() {
+        assert_eq!(w.status, Status::Optimal, "lane {b}");
+        assert_eq!(w.stats.warm_start_attempted, 1, "lane {b}");
+        if w.stats.warm_start_rejected == 0 {
+            assert_eq!(w.stats.phase1_iterations, 0, "accepted warm skips phase 1");
+        }
+        assert!(
+            (w.z_std - c.z_std).abs() <= 1e-7 * c.z_std.abs().max(1.0),
+            "lane {b}: warm {} vs cold {}",
+            w.z_std,
+            c.z_std
+        );
+    }
+    // Member 0's own basis must be accepted verbatim.
+    assert_eq!(warm_res[0].stats.warm_start_rejected, 0);
+    assert!(warm_res[0].stats.iterations <= cold[0].stats.iterations);
+}
+
+/// Satellite regression: a mixed-shape batch drains 100% with `mega_batch`
+/// on — multi-member shapes group, the singleton falls back to
+/// stream-per-job (not an error) — and grouped/ungrouped counts stay
+/// disjoint.
+#[test]
+fn mixed_shape_batch_drains_fully_with_disjoint_grouping_counters() {
+    let mut jobs = generator::batch_mixed_sizes(9, &[(4, 6), (6, 9), (8, 12)], 7);
+    jobs.push(generator::dense_random(10, 14, 99)); // shape singleton
+    let solver = BatchSolver::new(BatchOptions {
+        mega_batch: true,
+        workers: 2,
+        ..Default::default()
+    });
+    let report = solver.solve::<f64>(&jobs);
+    assert!(report.all_solved(), "mixed batch must drain 100%");
+    assert_eq!(report.results.len(), 10);
+    assert_eq!(report.stats.mega_groups, 3);
+    assert_eq!(report.stats.grouped_jobs, 9);
+    assert_eq!(report.stats.ungrouped_jobs, 1);
+    assert_eq!(
+        report.stats.grouped_jobs + report.stats.ungrouped_jobs,
+        report.stats.jobs,
+        "grouped and ungrouped must partition the batch"
+    );
+    let singleton = &report.results[9];
+    assert_ne!(singleton.backend, "batch-kernel", "singleton streams");
+    for (i, r) in report.results.iter().enumerate() {
+        let sol = r.outcome.solution().expect("solved");
+        let solo = solve_on::<f64>(&jobs[i], &SolverOptions::default(), &BackendKind::CpuDense);
+        assert_eq!(sol.status, solo.status, "job {i}");
+        assert!(
+            (sol.objective - solo.objective).abs() <= 1e-9 * solo.objective.abs().max(1.0),
+            "job {i}: {} vs {}",
+            sol.objective,
+            solo.objective
+        );
+    }
+}
+
+/// Out-of-scope options (partial pricing, deadlines, fault injection) keep
+/// the whole batch on the stream path instead of erroring.
+#[test]
+fn out_of_scope_options_fall_back_to_stream() {
+    let opts = SolverOptions {
+        pivot_rule: gplex::PivotRule::PartialDantzig { window: 4 },
+        ..Default::default()
+    };
+    assert!(!mega_compatible(&opts));
+    let jobs = generator::perturbed_family(4, 6, 8, 3, 0.02);
+    let solver = BatchSolver::new(BatchOptions {
+        mega_batch: true,
+        solver: opts,
+        policy: PlacementPolicy::Fixed(BackendKind::CpuDense),
+        ..Default::default()
+    });
+    let report = solver.solve::<f64>(&jobs);
+    assert!(report.all_solved());
+    assert_eq!(report.stats.mega_groups, 0);
+    assert_eq!(report.stats.grouped_jobs, 0);
+    assert_eq!(report.stats.ungrouped_jobs, 4);
+}

@@ -229,4 +229,150 @@ proptest! {
             "warm {} vs cold {}", warm.objective, cold.objective);
         warm.stats.check_invariants().map_err(TestCaseError::fail)?;
     }
+
+    /// SoA pack → unpack round-trips bitwise for arbitrary (batch, m, n):
+    /// the batch-innermost layout is a pure permutation of the elements.
+    #[test]
+    fn batch_layout_pack_unpack_roundtrips_bitwise(
+        (width, m, n, seed) in (1usize..6, 1usize..9, 1usize..9, 0u64..10_000)
+    ) {
+        use linalg::{batch::{pack_vectors, unpack_vector}, DenseBatchLayout, DenseMatrix};
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let members: Vec<DenseMatrix<f64>> = (0..width)
+            .map(|_| {
+                let mut a = DenseMatrix::zeros(m, n);
+                for i in 0..m {
+                    for j in 0..n {
+                        a.set(i, j, rng.random_range(-1e6..1e6));
+                    }
+                }
+                a
+            })
+            .collect();
+        let layout = DenseBatchLayout::pack(&members);
+        prop_assert_eq!(layout.as_slice().len(), width * m * n);
+        for (b, a) in members.iter().enumerate() {
+            let back = layout.unpack(b);
+            for i in 0..m {
+                for j in 0..n {
+                    prop_assert_eq!(back.get(i, j).to_bits(), a.get(i, j).to_bits(),
+                        "lane {} ({}, {})", b, i, j);
+                }
+            }
+        }
+        let vecs: Vec<Vec<f64>> = (0..width)
+            .map(|_| (0..m).map(|_| rng.random_range(-1e3..1e3)).collect())
+            .collect();
+        let refs: Vec<&[f64]> = vecs.iter().map(|v| v.as_slice()).collect();
+        let packed = pack_vectors(&refs);
+        for (b, v) in vecs.iter().enumerate() {
+            let back = unpack_vector(&packed, width, b);
+            for (i, (x, y)) in back.iter().zip(v).enumerate() {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "lane {} [{}]", b, i);
+            }
+        }
+    }
+
+    /// A random sequence of batched pivot updates applied to a width-W SoA
+    /// block equals the same per-LP updates applied independently (the same
+    /// kernel at width 1), bitwise, for B⁻¹ and β alike.
+    #[test]
+    fn batched_pivot_updates_match_independent_per_lp_updates(
+        (width, m, steps, seed) in (2usize..6, 2usize..9, 1usize..6, 0u64..10_000)
+    ) {
+        use gpu_sim::{DeviceSpec, Gpu, LaunchConfig};
+        use linalg::gpu::{BatchPivotK, CTL_ACTIVE};
+        use linalg::DenseBatchLayout;
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb10c_4a11);
+        // Per-lane random state and a shared random pivot schedule.
+        let binv0: Vec<Vec<f64>> = (0..width)
+            .map(|_| (0..m * m).map(|_| rng.random_range(-2.0..2.0)).collect())
+            .collect();
+        let beta0: Vec<Vec<f64>> = (0..width)
+            .map(|_| (0..m).map(|_| rng.random_range(0.0..3.0)).collect())
+            .collect();
+        // Each step: per-lane pivot row, step length, and an FTRAN column
+        // whose pivot element is bounded away from zero.
+        let schedule: Vec<Vec<(usize, f64, Vec<f64>)>> = (0..steps)
+            .map(|_| {
+                (0..width)
+                    .map(|_| {
+                        let p = rng.random_range(0..m as u64) as usize;
+                        let theta = rng.random_range(0.0..2.0);
+                        let mut alpha: Vec<f64> =
+                            (0..m).map(|_| rng.random_range(-1.0..1.0)).collect();
+                        alpha[p] = 0.5 + rng.random_range(0.0..1.5);
+                        (p, theta, alpha)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let run = |lanes: &[usize]| -> (Vec<f64>, Vec<f64>) {
+            let (binv0, beta0) = (&binv0, &beta0);
+            let w = lanes.len();
+            let gpu = Gpu::new(DeviceSpec::gtx280());
+            let mut binv = DenseBatchLayout::<f64>::zeros(m, m, w);
+            for (slot, &lane) in lanes.iter().enumerate() {
+                for i in 0..m {
+                    for j in 0..m {
+                        binv.set(slot, i, j, binv0[lane][i * m + j]);
+                    }
+                }
+            }
+            let mut binv_buf = gpu.try_htod(binv.as_slice()).unwrap();
+            let beta_soa: Vec<f64> = (0..m)
+                .flat_map(|i| lanes.iter().map(move |&lane| beta0[lane][i]))
+                .collect();
+            let mut beta_buf = gpu.try_htod(&beta_soa).unwrap();
+            let gate_buf = gpu.try_htod(&vec![CTL_ACTIVE; w]).unwrap();
+            let cfg = LaunchConfig::for_elems(w, 32);
+            for round in &schedule {
+                let alpha_soa: Vec<f64> = (0..m)
+                    .flat_map(|i| lanes.iter().map(move |&lane| round[lane].2[i]))
+                    .collect();
+                let alpha_buf = gpu.try_htod(&alpha_soa).unwrap();
+                let p_sel: Vec<u32> = lanes.iter().map(|&lane| round[lane].0 as u32).collect();
+                let theta: Vec<f64> = lanes.iter().map(|&lane| round[lane].1).collect();
+                let p_buf = gpu.try_htod(&p_sel).unwrap();
+                let theta_buf = gpu.try_htod(&theta).unwrap();
+                gpu.try_launch(cfg, &BatchPivotK {
+                    binv: binv_buf.view_mut(),
+                    beta: beta_buf.view_mut(),
+                    alpha: alpha_buf.view(),
+                    p_sel: p_buf.view(),
+                    theta_sel: theta_buf.view(),
+                    p_override: usize::MAX,
+                    theta_override: 0.0,
+                    gate: gate_buf.view(),
+                    only: usize::MAX,
+                    width: w,
+                    m,
+                    lanes: w as u64,
+                }).unwrap();
+            }
+            (gpu.try_dtoh(&binv_buf).unwrap(), gpu.try_dtoh(&beta_buf).unwrap())
+        };
+
+        // Batched: all lanes in one SoA block. Independent: one lane each.
+        let (binv_soa, beta_soa) = run(&(0..width).collect::<Vec<_>>());
+        for lane in 0..width {
+            let (binv_solo, beta_solo) = run(&[lane]);
+            for i in 0..m {
+                for j in 0..m {
+                    let soa = binv_soa[(i + j * m) * width + lane];
+                    let solo = binv_solo[i + j * m];
+                    prop_assert_eq!(soa.to_bits(), solo.to_bits(),
+                        "lane {} binv ({}, {}): {} vs {}", lane, i, j, soa, solo);
+                }
+                let bs = beta_soa[i * width + lane];
+                let bi = beta_solo[i];
+                prop_assert_eq!(bs.to_bits(), bi.to_bits(),
+                    "lane {} beta[{}]: {} vs {}", lane, i, bs, bi);
+            }
+        }
+    }
 }
