@@ -8,6 +8,7 @@ mod f5;
 mod f6_fusion;
 mod o1_observe;
 mod r2_resilience;
+mod r3_chaos;
 mod t1f1;
 mod t2;
 mod t3;
@@ -45,7 +46,7 @@ impl ExpReport {
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "f6", "b1", "r2", "o1",
-        "w1", "b2",
+        "w1", "b2", "r3",
     ]
 }
 
@@ -68,6 +69,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExpReport> {
         "o1" => Some(o1_observe::run(quick)),
         "w1" => Some(w1_warm_cache::run(quick)),
         "b2" => Some(b2_mega_batch::run(quick)),
+        "r3" => Some(r3_chaos::run(quick)),
         _ => None,
     }
 }

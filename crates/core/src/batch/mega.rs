@@ -33,6 +33,7 @@
 //! finished members stop accruing step time — `StepTimings` per lane then
 //! sums to (approximately) the device interval without double counting.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use gpu_sim::{Gpu, SimTime};
@@ -40,8 +41,9 @@ use linalg::gpu::{CTL_ACTIVE, CTL_BLAND};
 use linalg::Scalar;
 use lp::StandardForm;
 
-use crate::backend::Backend;
+use crate::backend::{Backend, RatioOutcome};
 use crate::backends::{BatchKernelBackend, BatchMember};
+use crate::checkpoint::SolveCheckpoint;
 use crate::error::{BackendError, SolveError};
 use crate::options::{PivotRule, SolverOptions};
 use crate::result::{Status, StdResult};
@@ -53,13 +55,43 @@ use crate::trace::{NoopRecorder, Recorder, StepKind};
 const MAX_CONSECUTIVE_RECOVERIES: usize = 3;
 
 /// Whether this option set can run on the lockstep mega path at all.
-/// Partial pricing rotates a per-solve cursor (lanes would desynchronize),
-/// wall-clock deadlines and fault injection need the per-solve machinery of
-/// the stream path. Incompatible batches fall back to stream-per-job.
+/// Partial pricing rotates a per-solve cursor (lanes would desynchronize)
+/// and wall-clock deadlines need the per-solve machinery of the stream
+/// path. Incompatible batches fall back to stream-per-job. Fault injection
+/// *is* in scope: a mid-round device fault evacuates the live lanes as
+/// checkpointed stream-per-job resumes (see [`LaneOutcome::Evacuated`]).
 pub fn mega_compatible(opts: &SolverOptions) -> bool {
-    opts.time_limit.is_none()
-        && opts.faults.is_none()
-        && !matches!(opts.pivot_rule, PivotRule::PartialDantzig { .. })
+    opts.time_limit.is_none() && !matches!(opts.pivot_rule, PivotRule::PartialDantzig { .. })
+}
+
+/// Terminal state of one lane after a mega family run that may have been
+/// interrupted by a device fault.
+pub enum LaneOutcome<T: Scalar> {
+    /// The lane drained normally (solved, or failed on its own terms).
+    Done(Result<Box<StdResult<T>>, SolveError>),
+    /// A mid-round device fault stopped the family before this lane
+    /// converged. The lane carries its latest checkpoint so the caller can
+    /// re-dispatch it as a *resumed* stream-per-job solve — salvage, never
+    /// an error. `checkpoint` is `None` when the fault struck before the
+    /// first snapshot (the re-dispatch then restarts from scratch).
+    Evacuated {
+        /// Latest snapshot taken at a reinversion boundary, if any.
+        checkpoint: Option<Box<SolveCheckpoint>>,
+        /// Solve-wide iterations this lane had completed when the fault
+        /// struck (for wasted-work accounting).
+        died_at_iteration: usize,
+    },
+}
+
+/// What a checkpointed mega family run produced: one [`LaneOutcome`] per
+/// member (order preserved), plus the device fault that interrupted the
+/// family when an evacuation occurred.
+pub struct MegaFamilyRun<T: Scalar> {
+    /// Per-member outcomes, order preserved.
+    pub lanes: Vec<LaneOutcome<T>>,
+    /// The device fault that triggered lane evacuation (`None` = the run
+    /// drained cleanly and every lane is [`LaneOutcome::Done`]).
+    pub fault: Option<SolveError>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +128,11 @@ struct Lane<T: Scalar> {
     /// Snapshot of `bland_mode` at pricing time (the iteration is counted
     /// under the rule that actually priced it).
     use_bland_now: bool,
+    /// Latest reinversion-boundary snapshot, carried out on evacuation.
+    ckpt: Option<Box<SolveCheckpoint>>,
+    /// Solve-wide iteration count at the latest snapshot (checkpoint
+    /// cadence gate, mirrors `RevisedSimplex::last_ckpt_iter`).
+    last_ckpt_iter: usize,
 }
 
 /// An open span: simulated clock at entry, host clock when a recorder wants
@@ -109,9 +146,10 @@ struct Span {
 /// seeds lane `b` with a basis candidate (same validation and cold-fallback
 /// semantics as [`crate::RevisedSimplex::with_start_basis`]). Returns one
 /// result per member, order preserved; a lane that collapses numerically
-/// fails alone. The outer error is reserved for device-level failures that
-/// invalidate the whole family (impossible without fault injection, which
-/// [`mega_compatible`] excludes).
+/// fails alone. The outer error covers device-level failures that
+/// invalidate the whole family — callers that want salvage instead of an
+/// error should use [`try_solve_family_mega_ckpt`], which evacuates the
+/// live lanes with their checkpoints.
 pub fn try_solve_family_mega<T: Scalar>(
     gpu: &Gpu,
     sfs: &[&StandardForm<T>],
@@ -131,6 +169,47 @@ pub fn try_solve_family_mega_recorded<T: Scalar, R: Recorder>(
     warm: Vec<Option<Vec<usize>>>,
     recs: Option<&mut [R]>,
 ) -> Result<Vec<Result<StdResult<T>, SolveError>>, SolveError> {
+    let run = try_solve_family_mega_ckpt_recorded::<T, R>(gpu, sfs, opts, warm, recs)?;
+    if let Some(fault) = run.fault {
+        return Err(fault);
+    }
+    Ok(run
+        .lanes
+        .into_iter()
+        .map(|o| match o {
+            LaneOutcome::Done(r) => r.map(|b| *b),
+            LaneOutcome::Evacuated { .. } => {
+                unreachable!("evacuation only happens on a device fault")
+            }
+        })
+        .collect())
+}
+
+/// Fault-tolerant family solve: like [`try_solve_family_mega`], but a
+/// mid-round device fault does not discard the family. Lanes that already
+/// drained keep their outcomes; lanes still in flight come back as
+/// [`LaneOutcome::Evacuated`] carrying their latest reinversion-boundary
+/// checkpoint, ready for a resumed stream-per-job re-dispatch. The outer
+/// error is reserved for failures *before* any lane state exists (family
+/// upload / backend construction), where whole-group stream fallback is the
+/// right recovery.
+pub fn try_solve_family_mega_ckpt<T: Scalar>(
+    gpu: &Gpu,
+    sfs: &[&StandardForm<T>],
+    opts: &SolverOptions,
+    warm: Vec<Option<Vec<usize>>>,
+) -> Result<MegaFamilyRun<T>, SolveError> {
+    try_solve_family_mega_ckpt_recorded::<T, NoopRecorder>(gpu, sfs, opts, warm, None)
+}
+
+/// [`try_solve_family_mega_ckpt`] with per-lane span recorders.
+pub fn try_solve_family_mega_ckpt_recorded<T: Scalar, R: Recorder>(
+    gpu: &Gpu,
+    sfs: &[&StandardForm<T>],
+    opts: &SolverOptions,
+    warm: Vec<Option<Vec<usize>>>,
+    recs: Option<&mut [R]>,
+) -> Result<MegaFamilyRun<T>, SolveError> {
     assert!(!sfs.is_empty(), "empty mega family");
     assert_eq!(warm.len(), sfs.len(), "one warm slot per member");
     assert!(
@@ -174,6 +253,8 @@ pub fn try_solve_family_mega_recorded<T: Scalar, R: Recorder>(
                 outcome: None,
                 q: 0,
                 use_bland_now: false,
+                ckpt: None,
+                last_ckpt_iter: 0,
             })
             .collect(),
         recs,
@@ -181,13 +262,34 @@ pub fn try_solve_family_mega_recorded<T: Scalar, R: Recorder>(
         max_iters: opts.max_iters_for(sfs[0].num_rows(), sfs[0].num_cols()),
         n_active,
     };
-    driver.init(warm)?;
-    driver.run()?;
-    Ok(driver
-        .lanes
-        .into_iter()
-        .map(|l| l.outcome.expect("every lane terminates"))
-        .collect())
+    match driver.init(warm).and_then(|()| driver.run()) {
+        Ok(()) => Ok(MegaFamilyRun {
+            lanes: driver
+                .lanes
+                .into_iter()
+                .map(|l| LaneOutcome::Done(l.outcome.expect("every lane terminates").map(Box::new)))
+                .collect(),
+            fault: None,
+        }),
+        // Lane evacuation: a device fault mid-run loses no completed work.
+        // Drained lanes keep their outcomes; live lanes leave with their
+        // latest checkpoint for a resumed stream-per-job solve.
+        Err(fault @ SolveError::Device(_)) => Ok(MegaFamilyRun {
+            lanes: driver
+                .lanes
+                .into_iter()
+                .map(|l| match l.outcome {
+                    Some(r) => LaneOutcome::Done(r.map(Box::new)),
+                    None => LaneOutcome::Evacuated {
+                        died_at_iteration: l.stats.iterations,
+                        checkpoint: l.ckpt,
+                    },
+                })
+                .collect(),
+            fault: Some(fault),
+        }),
+        Err(e) => Err(e),
+    }
 }
 
 struct MegaDriver<'a, 'g, T: Scalar, R: Recorder> {
@@ -256,55 +358,80 @@ impl<T: Scalar, R: Recorder> MegaDriver<'_, '_, T, R> {
     }
 
     /// Per-lane setup: warm install (or its cold fallback) and the first
-    /// phase's objective — the same call sequence the solo driver makes.
+    /// phase's objective — the same call sequence the solo driver makes. A
+    /// panic inside one lane's setup poisons that lane alone; device errors
+    /// still abort the family (init precedes any pivots, so there is no
+    /// completed work to salvage for the panicking lane's siblings — the
+    /// family-level caller evacuates whatever lanes did get set up).
     fn init(&mut self, mut warm: Vec<Option<Vec<usize>>>) -> Result<(), SolveError> {
         let feas_tol = self.opts.feas_tol_for::<T>().to_f64();
         for b in 0..self.width() {
-            let mut warm_ok = false;
-            if let Some(basis) = warm[b].take() {
-                self.lanes[b].stats.warm_start_attempted = 1;
-                let valid = basis.len() == self.sfs[b].num_rows()
-                    && basis.iter().all(|&j| j < self.n_active);
-                if !valid {
-                    self.lanes[b].stats.warm_start_rejected = 1;
-                } else {
-                    let span = self.span_begin();
-                    let ok = crate::revised::warm_basis_feasible(self.sfs[b], &basis, feas_tol)
-                        && match self.be.lane(b).refactorize(&basis) {
-                            Ok(()) => true,
-                            Err(BackendError::Singular) => false,
-                            Err(e @ BackendError::Device(_)) => return Err(e.into()),
-                        };
-                    if ok {
-                        let mut lv = self.be.lane(b);
-                        for (r, &j) in basis.iter().enumerate() {
-                            lv.set_basic_col(r, j)?;
-                        }
-                        self.lanes[b].xb = basis;
-                    } else {
-                        match self.be.lane(b).refactorize(&self.sfs[b].basis0) {
-                            Ok(()) => {}
-                            Err(BackendError::Singular) => {
-                                unreachable!("identity start basis is never singular")
-                            }
-                            Err(e @ BackendError::Device(_)) => return Err(e.into()),
-                        }
-                        let mut lv = self.be.lane(b);
-                        for (r, &j) in self.sfs[b].basis0.iter().enumerate() {
-                            lv.set_basic_col(r, j)?;
-                        }
-                        self.lanes[b].xb = self.sfs[b].basis0.clone();
-                        self.lanes[b].stats.warm_start_rejected = 1;
-                    }
-                    self.span_close(b, StepKind::WarmStart, Step::Other, span);
-                    warm_ok = ok;
-                }
+            let seed = warm[b].take();
+            match catch_unwind(AssertUnwindSafe(|| self.init_lane(b, seed, feas_tol))) {
+                Ok(r) => r?,
+                Err(payload) => self.poison(b, payload.as_ref()),
             }
-            if warm_ok || self.sfs[b].num_artificials == 0 {
-                self.enter_phase2(b)?;
+        }
+        Ok(())
+    }
+
+    fn init_lane(
+        &mut self,
+        b: usize,
+        seed: Option<Vec<usize>>,
+        feas_tol: f64,
+    ) -> Result<(), SolveError> {
+        let mut warm_ok = false;
+        if let Some(basis) = seed {
+            self.lanes[b].stats.warm_start_attempted = 1;
+            let valid =
+                basis.len() == self.sfs[b].num_rows() && basis.iter().all(|&j| j < self.n_active);
+            if !valid {
+                self.lanes[b].stats.warm_start_rejected = 1;
             } else {
-                self.enter_phase1(b)?;
+                let span = self.span_begin();
+                let ok = crate::revised::warm_basis_feasible(self.sfs[b], &basis, feas_tol)
+                    && match self.be.lane(b).refactorize(&basis) {
+                        Ok(()) => true,
+                        Err(BackendError::Singular) => false,
+                        Err(e @ BackendError::Device(_)) => return Err(e.into()),
+                    };
+                if ok {
+                    let mut lv = self.be.lane(b);
+                    for (r, &j) in basis.iter().enumerate() {
+                        lv.set_basic_col(r, j)?;
+                    }
+                    self.lanes[b].xb = basis;
+                } else {
+                    match self.be.lane(b).refactorize(&self.sfs[b].basis0) {
+                        Ok(()) => {}
+                        Err(BackendError::Singular) => {
+                            unreachable!("identity start basis is never singular")
+                        }
+                        Err(e @ BackendError::Device(_)) => return Err(e.into()),
+                    }
+                    let mut lv = self.be.lane(b);
+                    for (r, &j) in self.sfs[b].basis0.iter().enumerate() {
+                        lv.set_basic_col(r, j)?;
+                    }
+                    self.lanes[b].xb = self.sfs[b].basis0.clone();
+                    self.lanes[b].stats.warm_start_rejected = 1;
+                }
+                self.span_close(b, StepKind::WarmStart, Step::Other, span);
+                warm_ok = ok;
             }
+        }
+        if warm_ok || self.sfs[b].num_artificials == 0 {
+            self.enter_phase2(b)?;
+            // An accepted warm install is a reinversion boundary with
+            // `iters_here = 0` — snapshot it so a fault before the first
+            // periodic refactorize still resumes warm (same snapshot the
+            // solo driver takes after `try_warm_start`).
+            if warm_ok && self.opts.checkpoint_interval > 0 {
+                self.store_lane_checkpoint(b);
+            }
+        } else {
+            self.enter_phase1(b)?;
         }
         Ok(())
     }
@@ -377,6 +504,19 @@ impl<T: Scalar, R: Recorder> MegaDriver<'_, '_, T, R> {
             "per-phase counters must partition the totals: {:?}",
             lane.stats.check_invariants()
         );
+        // Paranoid terminal validation under fault injection — same refusal
+        // as the solo driver's `finish`: corruption that slipped past
+        // pricing must not be certified as a mathematical outcome.
+        if self.opts.faults.is_some()
+            && matches!(status, Status::Optimal | Status::Unbounded)
+            && (!z_std.is_finite() || x_std.iter().any(|x| !x.to_f64().is_finite()))
+        {
+            lane.outcome = Some(Err(SolveError::Numerical(
+                "terminal solution contains non-finite values (undetected corruption)".into(),
+            )));
+            lane.live = false;
+            return Ok(());
+        }
         lane.outcome = Some(Ok(StdResult {
             status,
             x_std,
@@ -393,6 +533,50 @@ impl<T: Scalar, R: Recorder> MegaDriver<'_, '_, T, R> {
         let lane = &mut self.lanes[b];
         lane.outcome = Some(Err(SolveError::Numerical(message)));
         lane.live = false;
+    }
+
+    /// A host transition for lane `b` panicked: poison that lane alone and
+    /// keep its siblings in the block (the stream path gets the same
+    /// containment from the worker-pool `catch_unwind`).
+    fn poison(&mut self, b: usize, payload: &(dyn std::any::Any + Send)) {
+        let lane = &mut self.lanes[b];
+        lane.outcome = Some(Err(SolveError::Panicked(super::panic_message(payload))));
+        lane.live = false;
+    }
+
+    /// Snapshot lane `b` right now. Callers only invoke this at a
+    /// reinversion boundary (periodic refactorize, accepted warm install) —
+    /// the one place `B⁻¹` is a pure function of the basis, which is what
+    /// makes the resumed solve bitwise-identical.
+    fn store_lane_checkpoint(&mut self, b: usize) {
+        let lane = &mut self.lanes[b];
+        // Counter parity with the resumed run: bump *before* cloning stats,
+        // so a resume restoring this snapshot reports the same total.
+        lane.stats.checkpoints_taken += 1;
+        lane.ckpt = Some(Box::new(SolveCheckpoint {
+            basis: lane.xb.clone(),
+            phase: lane.phase_tag,
+            iters_here: lane.iters_here,
+            stats: lane.stats.clone(),
+            bland_mode: lane.bland_mode,
+            stall: lane.stall,
+            price_cursor: 0,
+        }));
+        lane.last_ckpt_iter = lane.stats.iterations;
+    }
+
+    /// Checkpoint lane `b` if the cadence says so — pure observation, the
+    /// caller just refactorized.
+    fn maybe_checkpoint(&mut self, b: usize) {
+        let interval = self.opts.checkpoint_interval;
+        if interval == 0 {
+            return;
+        }
+        let lane = &self.lanes[b];
+        if lane.stats.iterations - lane.last_ckpt_iter < interval {
+            return;
+        }
+        self.store_lane_checkpoint(b);
     }
 
     /// Emergency reinversion for one lane — the solo driver's `recover`.
@@ -434,6 +618,94 @@ impl<T: Scalar, R: Recorder> MegaDriver<'_, '_, T, R> {
         Ok(())
     }
 
+    /// Stage-1 host transition for one live lane: iteration limit, periodic
+    /// reinversion (+ checkpoint cadence), convergence-mask assembly.
+    fn round_admit(&mut self, b: usize, ctl: &mut [u32]) -> Result<(), SolveError> {
+        if self.lanes[b].iters_here >= self.max_iters {
+            self.finish(b, Status::IterationLimit)?;
+            return Ok(());
+        }
+        if self.opts.refactor_period > 0
+            && self.lanes[b].iters_here > 0
+            && self.lanes[b]
+                .iters_here
+                .is_multiple_of(self.opts.refactor_period)
+        {
+            let span = self.span_begin();
+            let basis = self.lanes[b].xb.clone();
+            match self.be.lane(b).refactorize(&basis) {
+                Ok(()) => {}
+                Err(BackendError::Singular) => {
+                    self.finish(b, Status::SingularBasis)?;
+                    return Ok(());
+                }
+                Err(e @ BackendError::Device(_)) => return Err(e.into()),
+            }
+            self.lanes[b].stats.refactorizations += 1;
+            self.span_close(b, StepKind::Refactorize, Step::Refactor, span);
+            // `B⁻¹` is a pure function of the basis again — the one state a
+            // snapshot can resume bitwise (same cadence as the solo driver).
+            self.maybe_checkpoint(b);
+        }
+        ctl[b] = CTL_ACTIVE
+            | if self.lanes[b].bland_mode {
+                CTL_BLAND
+            } else {
+                0
+            };
+        self.lanes[b].use_bland_now = self.lanes[b].bland_mode;
+        Ok(())
+    }
+
+    /// Stage-3 host transition for one lane off the pricing result. Returns
+    /// whether the lane pivots this round.
+    fn round_transition(
+        &mut self,
+        b: usize,
+        q: u32,
+        dq: T,
+        feas_tol: T,
+    ) -> Result<bool, SolveError> {
+        if q == u32::MAX {
+            match self.lanes[b].phase {
+                Phase::One => {
+                    let span = self.span_begin();
+                    let z1 = self.be.lane(b).objective_now()?;
+                    self.span_close(b, StepKind::Transfer, Step::Other, span);
+                    if z1 > feas_tol {
+                        self.finish(b, Status::Infeasible)?;
+                        return Ok(false);
+                    }
+                    self.drive_out_artificials(b)?;
+                    self.enter_phase2(b)?;
+                    // Re-prices under the phase-2 objective next round.
+                }
+                Phase::Two => {
+                    let mut status = Status::Optimal;
+                    if self.sfs[b].num_artificials > 0 {
+                        let span = self.span_begin();
+                        let beta = self.be.lane(b).beta()?;
+                        self.span_close(b, StepKind::Transfer, Step::Other, span);
+                        for (r, &col) in self.lanes[b].xb.iter().enumerate() {
+                            if self.sfs[b].is_artificial(col) && beta[r] > feas_tol {
+                                status = Status::Infeasible;
+                                break;
+                            }
+                        }
+                    }
+                    self.finish(b, status)?;
+                }
+            }
+            return Ok(false);
+        }
+        if !dq.is_finite() {
+            self.recover_or_fail(b, &format!("reduced cost d[{q}]"))?;
+            return Ok(false);
+        }
+        self.lanes[b].q = q as usize;
+        Ok(true)
+    }
+
     /// The lockstep round loop.
     fn run(&mut self) -> Result<(), SolveError> {
         let opt_tol = self.opts.opt_tol_for::<T>();
@@ -452,36 +724,10 @@ impl<T: Scalar, R: Recorder> MegaDriver<'_, '_, T, R> {
                 if !self.lanes[b].live {
                     continue;
                 }
-                if self.lanes[b].iters_here >= self.max_iters {
-                    self.finish(b, Status::IterationLimit)?;
-                    continue;
+                match catch_unwind(AssertUnwindSafe(|| self.round_admit(b, &mut ctl))) {
+                    Ok(r) => r?,
+                    Err(payload) => self.poison(b, payload.as_ref()),
                 }
-                if self.opts.refactor_period > 0
-                    && self.lanes[b].iters_here > 0
-                    && self.lanes[b]
-                        .iters_here
-                        .is_multiple_of(self.opts.refactor_period)
-                {
-                    let span = self.span_begin();
-                    let basis = self.lanes[b].xb.clone();
-                    match self.be.lane(b).refactorize(&basis) {
-                        Ok(()) => {}
-                        Err(BackendError::Singular) => {
-                            self.finish(b, Status::SingularBasis)?;
-                            continue;
-                        }
-                        Err(e @ BackendError::Device(_)) => return Err(e.into()),
-                    }
-                    self.lanes[b].stats.refactorizations += 1;
-                    self.span_close(b, StepKind::Refactorize, Step::Refactor, span);
-                }
-                ctl[b] = CTL_ACTIVE
-                    | if self.lanes[b].bland_mode {
-                        CTL_BLAND
-                    } else {
-                        0
-                    };
-                self.lanes[b].use_bland_now = self.lanes[b].bland_mode;
             }
             let active: Vec<usize> = (0..width).filter(|&b| ctl[b] & CTL_ACTIVE != 0).collect();
             self.be
@@ -498,46 +744,22 @@ impl<T: Scalar, R: Recorder> MegaDriver<'_, '_, T, R> {
             self.share_close(&active, StepKind::Pricing, Step::Pricing, span);
 
             // ---- stage 3: per-lane transitions off the pricing result ----
+            // Each lane's transition runs under `catch_unwind`: a panic in
+            // one lane's host bookkeeping poisons that lane alone.
             let mut mask = vec![0u32; width];
             for &b in &active {
-                if q[b] == u32::MAX {
-                    match self.lanes[b].phase {
-                        Phase::One => {
-                            let span = self.span_begin();
-                            let z1 = self.be.lane(b).objective_now()?;
-                            self.span_close(b, StepKind::Transfer, Step::Other, span);
-                            if z1 > feas_tol {
-                                self.finish(b, Status::Infeasible)?;
-                                continue;
-                            }
-                            self.drive_out_artificials(b)?;
-                            self.enter_phase2(b)?;
-                            // Re-prices under the phase-2 objective next round.
-                        }
-                        Phase::Two => {
-                            let mut status = Status::Optimal;
-                            if self.sfs[b].num_artificials > 0 {
-                                let span = self.span_begin();
-                                let beta = self.be.lane(b).beta()?;
-                                self.span_close(b, StepKind::Transfer, Step::Other, span);
-                                for (r, &col) in self.lanes[b].xb.iter().enumerate() {
-                                    if self.sfs[b].is_artificial(col) && beta[r] > feas_tol {
-                                        status = Status::Infeasible;
-                                        break;
-                                    }
-                                }
-                            }
-                            self.finish(b, status)?;
-                        }
+                let pivots = match catch_unwind(AssertUnwindSafe(|| {
+                    self.round_transition(b, q[b], dq[b], feas_tol)
+                })) {
+                    Ok(r) => r?,
+                    Err(payload) => {
+                        self.poison(b, payload.as_ref());
+                        false
                     }
-                    continue;
+                };
+                if pivots {
+                    mask[b] = 1;
                 }
-                if !dq[b].is_finite() {
-                    self.recover_or_fail(b, &format!("reduced cost d[{}]", q[b]))?;
-                    continue;
-                }
-                self.lanes[b].q = q[b] as usize;
-                mask[b] = 1;
             }
             let pivoting: Vec<usize> = (0..width).filter(|&b| mask[b] != 0).collect();
             if pivoting.is_empty() {
@@ -551,11 +773,35 @@ impl<T: Scalar, R: Recorder> MegaDriver<'_, '_, T, R> {
             self.share_close(&pivoting, StepKind::Ftran, Step::Ftran, span);
 
             let span = self.span_begin();
-            let (p, theta) = self.be.mega_ratio(pivoting.len() as u64, pivot_tol)?;
+            let (mut p, mut theta) = self.be.mega_ratio(pivoting.len() as u64, pivot_tol)?;
             self.share_close(&pivoting, StepKind::RatioTest, Step::RatioTest, span);
 
+            let paranoid = self.opts.faults.is_some();
             let mut upd = mask.clone();
             for &b in &pivoting {
+                if p[b] == u32::MAX && paranoid && self.lanes[b].recoveries_left > 0 {
+                    // A corrupted α (poisoned to NaN) makes every ratio
+                    // non-finite and masquerades as unboundedness. Rebuild
+                    // and retest through the lane view before believing it —
+                    // the solo driver's paranoid retest, lane-local here.
+                    self.lanes[b].recoveries_left -= 1;
+                    if !self.recover(b)? {
+                        upd[b] = 0;
+                        continue;
+                    }
+                    let span = self.span_begin();
+                    self.be.lane(b).compute_alpha(self.lanes[b].q)?;
+                    self.span_close(b, StepKind::Ftran, Step::Ftran, span);
+                    let span = self.span_begin();
+                    let outcome = self.be.lane(b).ratio_test(pivot_tol)?;
+                    self.span_close(b, StepKind::RatioTest, Step::RatioTest, span);
+                    if let RatioOutcome::Pivot { p: pv, theta: th } = outcome {
+                        // The lane's device-side α is fresh, so the fused
+                        // update below recomputes the same pivot.
+                        p[b] = pv as u32;
+                        theta[b] = th;
+                    }
+                }
                 if p[b] == u32::MAX {
                     // A bounded-below phase-1 objective cannot be unbounded;
                     // reaching this means the numerics collapsed (the solo
@@ -658,5 +904,108 @@ impl<T: Scalar, R: Recorder> MegaDriver<'_, '_, T, R> {
         }
         self.span_close(b, StepKind::Transfer, Step::Other, span);
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve_standard;
+    use crate::solver::BackendKind;
+    use gpu_sim::DeviceSpec;
+    use lp::generator;
+
+    /// Satellite regression (per-round containment): a host-transition
+    /// panic in one lane mid-round — here a corrupted basis that makes the
+    /// periodic refactorize index far out of bounds — poisons that lane
+    /// alone. The siblings keep their lockstep rounds, drain to optimality
+    /// bitwise-equal to solo, and the family run itself returns cleanly.
+    #[test]
+    fn panicking_lane_poisons_only_itself_mid_round() {
+        let jobs: Vec<_> = (0..4)
+            .map(|s| generator::dense_random(8, 12, s + 60))
+            .collect();
+        let sfs: Vec<StandardForm<f64>> = jobs
+            .iter()
+            .map(|j| StandardForm::from_lp(j).expect("standardizes"))
+            .collect();
+        let refs: Vec<&StandardForm<f64>> = sfs.iter().collect();
+        let opts = SolverOptions {
+            presolve: false,
+            scale: false,
+            refactor_period: 2,
+            ..Default::default()
+        };
+        let n_active = refs[0].num_cols() - refs[0].num_artificials;
+        let members: Vec<BatchMember<'_, f64>> = refs
+            .iter()
+            .map(|sf| BatchMember {
+                a: &sf.a,
+                b: &sf.b,
+                n_active,
+                basis0: &sf.basis0,
+            })
+            .collect();
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let be = BatchKernelBackend::try_new(&gpu, &members).expect("fault-free construction");
+        let mut driver = MegaDriver::<f64, NoopRecorder> {
+            be,
+            sfs: &refs,
+            opts: &opts,
+            lanes: refs
+                .iter()
+                .map(|sf| Lane {
+                    xb: sf.basis0.clone(),
+                    stats: SolveStats::default(),
+                    bland_mode: false,
+                    stall: 0,
+                    iters_here: 0,
+                    recoveries_left: MAX_CONSECUTIVE_RECOVERIES,
+                    phase: Phase::Two,
+                    phase_tag: 0,
+                    live: true,
+                    outcome: None,
+                    q: 0,
+                    use_bland_now: false,
+                    ckpt: None,
+                    last_ckpt_iter: 0,
+                })
+                .collect(),
+            recs: None,
+            wall: Instant::now(),
+            max_iters: opts.max_iters_for(refs[0].num_rows(), refs[0].num_cols()),
+            n_active,
+        };
+        driver.init(vec![None; 4]).expect("init succeeds");
+        // Corrupt lane 1's host basis mirror: the next periodic refactorize
+        // (iters_here = 2) indexes column 10_000 of an 8-row matrix and
+        // panics inside the stage-1 `catch_unwind`.
+        driver.lanes[1].xb[0] = 10_000;
+        driver
+            .run()
+            .expect("a lane panic must not fail the family run");
+        for (b, lane) in driver.lanes.iter().enumerate() {
+            let outcome = lane.outcome.as_ref().expect("every lane terminates");
+            if b == 1 {
+                assert!(
+                    matches!(outcome, Err(SolveError::Panicked(_))),
+                    "lane 1 must be poisoned by its own panic"
+                );
+                assert!(!lane.live, "a poisoned lane leaves the round loop");
+            } else {
+                let r = outcome.as_ref().expect("sibling lane solved");
+                let solo = solve_standard::<f64>(&sfs[b], &opts, &BackendKind::CpuDense);
+                assert_eq!(r.status, solo.status, "lane {b} status");
+                assert_eq!(
+                    r.z_std.to_bits(),
+                    solo.z_std.to_bits(),
+                    "lane {b} objective bits"
+                );
+                assert_eq!(
+                    r.stats.pivot_fingerprint, solo.stats.pivot_fingerprint,
+                    "lane {b} fingerprint"
+                );
+            }
+        }
     }
 }

@@ -57,18 +57,22 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use gpu_sim::{DeviceSpec, Gpu, SimTime, Stream};
+use gpu_sim::{DeviceSpec, FaultPlan, Gpu, SimTime, Stream};
 use linalg::Scalar;
 use lp::presolve::Presolved;
 use lp::{LinearProgram, StandardForm};
 use parking_lot::Mutex;
 
+use crate::checkpoint::CheckpointSlot;
 use crate::error::SolveError;
 use crate::options::SolverOptions;
 use crate::resilient::{ResilienceOptions, ResilientSolver};
 use crate::solver::{
-    finalize, prepare, settle_warm, solve_on_warm, BackendKind, Prepared, WarmContext,
+    finalize, prepare, settle_warm, solve_on_warm, try_solve_standard_ckpt, BackendKind, Prepared,
+    WarmContext,
 };
+
+use mega::LaneOutcome;
 
 pub use cache::{cache_key, BasisCache, CacheStats, CachedBasis};
 pub use policy::{PlacementPolicy, WarmStartPolicy};
@@ -226,6 +230,7 @@ impl BatchSolver {
                 remaining: (0..jobs.len()).collect(),
                 sim: SimTime::ZERO,
                 groups: 0,
+                faults: 0,
             }
         };
 
@@ -326,6 +331,15 @@ impl BatchSolver {
                                 )
                             })
                             .unwrap_or((false, false, 0));
+                        let (resumed, wasted_iterations) = outcome
+                            .solution()
+                            .map(|sol| {
+                                (
+                                    sol.stats.checkpoint_resumes > 0,
+                                    sol.stats.wasted_iterations,
+                                )
+                            })
+                            .unwrap_or((false, 0));
                         slots.lock()[idx] = Some(JobResult {
                             index: idx,
                             backend,
@@ -338,6 +352,9 @@ impl BatchSolver {
                             warm_hit,
                             warm_rejected,
                             warm_iterations_saved,
+                            evacuated: false,
+                            resumed,
+                            wasted_iterations,
                             outcome,
                         });
                         // Cooperative fairness: on hosts with fewer cores
@@ -366,7 +383,7 @@ impl BatchSolver {
         // makespan still covers all executed work.
         let mut worker_sim = worker_sim.into_inner();
         worker_sim[0] += mega.sim;
-        let stats = aggregate(
+        let mut stats = aggregate(
             &results,
             workers,
             wall_seconds,
@@ -374,17 +391,21 @@ impl BatchSolver {
             cache.as_ref().map(|c| c.stats()),
             mega.groups,
         );
+        // Group-level device faults are shared by every lane of a family,
+        // so they fold in at batch level rather than per job.
+        stats.device_faults += mega.faults;
         BatchReport { results, stats }
     }
 }
 
 /// What the mega pre-pass left behind: job indices for the stream pool,
-/// the simulated time the grouped solves executed, and how many super-jobs
-/// ran.
+/// the simulated time the grouped solves executed, how many super-jobs
+/// ran, and the device faults the group devices observed.
 struct MegaOutcome {
     remaining: Vec<usize>,
     sim: SimTime,
     groups: usize,
+    faults: u64,
 }
 
 /// A job record with the zero/default accounting of a job that never
@@ -403,6 +424,9 @@ fn pre_result(idx: usize, backend: &'static str, outcome: JobOutcome) -> JobResu
         warm_hit: false,
         warm_rejected: false,
         warm_iterations_saved: 0,
+        evacuated: false,
+        resumed: false,
+        wasted_iterations: 0,
         outcome,
     }
 }
@@ -426,6 +450,16 @@ fn mega_prepass<T: Scalar>(
     let mut remaining = Vec::new();
     let mut sim = SimTime::ZERO;
     let mut groups_run = 0usize;
+    let mut faults_total = 0u64;
+    let mut group_counter = 0u64;
+    // Evacuated lanes re-dispatch on the fault-free dense CPU rung — the
+    // same place the resilience ladder bottoms out, so the salvaged answer
+    // is bit-identical to a fault-free solo cpu-dense solve.
+    let salvage_opts = {
+        let mut o = opts.solver.clone();
+        o.faults = None;
+        o
+    };
 
     // Per-job pipeline front half, unwind-isolated: a poisoned model
     // panics in standardization and must fail alone, exactly as on the
@@ -487,6 +521,17 @@ fn mega_prepass<T: Scalar>(
                 &gpu_holder
             }
         };
+        // Arm the group device with a per-group reseeded plan, mirroring
+        // the stream path's per-solve arming (deterministic: groups walk in
+        // BTreeMap shape order).
+        if let Some(cfg) = &opts.solver.faults {
+            gpu.set_fault_plan(FaultPlan::new(cfg.reseed(crate::resilient::mix(
+                cfg.seed,
+                0x6d65_6761, // "mega"
+                group_counter,
+            ))));
+        }
+        group_counter += 1;
 
         // Warm-seed the whole group from a single family lookup: one cache
         // probe on the first member's key, the candidate offered to every
@@ -526,16 +571,16 @@ fn mega_prepass<T: Scalar>(
         let sfs: Vec<&StandardForm<T>> = members.iter().map(|&p| &ready[p].1).collect();
         let gt0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            mega::try_solve_family_mega::<T>(gpu, &sfs, &opts.solver, warm_vec)
+            mega::try_solve_family_mega_ckpt::<T>(gpu, &sfs, &opts.solver, warm_vec)
         }));
         match outcome {
-            Ok(Ok(lane_results)) => {
+            Ok(Ok(run)) => {
                 groups_run += 1;
                 let wall_share = gt0.elapsed().as_secs_f64() / members.len() as f64;
-                for (i, lane_res) in lane_results.into_iter().enumerate() {
+                for (i, lane_out) in run.lanes.into_iter().enumerate() {
                     let (idx, sf, restore) = &ready[members[i]];
-                    let mut jr = match lane_res {
-                        Ok(mut r) => {
+                    let mut jr = match lane_out {
+                        LaneOutcome::Done(Ok(mut r)) => {
                             settle_warm(
                                 warm_ctx.as_ref(),
                                 member_keys[i],
@@ -548,7 +593,7 @@ fn mega_prepass<T: Scalar>(
                                 r.stats.warm_start_attempted > r.stats.warm_start_rejected;
                             let warm_rejected = r.stats.warm_start_rejected > 0;
                             let saved = r.stats.warm_iterations_saved;
-                            let sol = finalize(&jobs[*idx], &opts.solver, sf, restore, r);
+                            let sol = finalize(&jobs[*idx], &opts.solver, sf, restore, *r);
                             let mut jr =
                                 pre_result(*idx, "batch-kernel", JobOutcome::Solved(Box::new(sol)));
                             jr.sim_time = lane_sim;
@@ -557,26 +602,93 @@ fn mega_prepass<T: Scalar>(
                             jr.warm_iterations_saved = saved;
                             jr
                         }
-                        Err(e) => {
+                        LaneOutcome::Done(Err(e)) => {
                             pre_result(*idx, "batch-kernel", JobOutcome::Failed(e.to_string()))
+                        }
+                        // Lane evacuation: the device fault stopped this
+                        // lane mid-solve. Salvage it stream-per-job —
+                        // resumed from its checkpoint when it has one, from
+                        // scratch otherwise — never an error.
+                        LaneOutcome::Evacuated {
+                            checkpoint,
+                            died_at_iteration,
+                        } => {
+                            let resume = checkpoint.map(|cp| *cp);
+                            let resumed = resume.is_some();
+                            let ckpt_iters = resume.as_ref().map_or(0, |cp| cp.stats.iterations);
+                            let wasted = died_at_iteration.saturating_sub(ckpt_iters) as u64;
+                            let slot = CheckpointSlot::new();
+                            let salvage = catch_unwind(AssertUnwindSafe(|| {
+                                try_solve_standard_ckpt::<T>(
+                                    sf,
+                                    &salvage_opts,
+                                    &BackendKind::CpuDense,
+                                    None,
+                                    &slot,
+                                    resume,
+                                )
+                            }));
+                            let mut jr = match salvage {
+                                Ok(Ok(mut r)) => {
+                                    settle_warm(
+                                        warm_ctx.as_ref(),
+                                        member_keys[i],
+                                        if offered[i] { baseline } else { None },
+                                        &mut r,
+                                    );
+                                    let lane_sim = r.stats.total_time();
+                                    sim += lane_sim;
+                                    r.stats.wasted_iterations += wasted;
+                                    let warm_hit =
+                                        r.stats.warm_start_attempted > r.stats.warm_start_rejected;
+                                    let warm_rej = r.stats.warm_start_rejected > 0;
+                                    let saved = r.stats.warm_iterations_saved;
+                                    let sol = finalize(&jobs[*idx], &opts.solver, sf, restore, r);
+                                    let mut jr = pre_result(
+                                        *idx,
+                                        "cpu-dense",
+                                        JobOutcome::Solved(Box::new(sol)),
+                                    );
+                                    jr.sim_time = lane_sim;
+                                    jr.warm_hit = warm_hit;
+                                    jr.warm_rejected = warm_rej;
+                                    jr.warm_iterations_saved = saved;
+                                    jr
+                                }
+                                Ok(Err(e)) => {
+                                    pre_result(*idx, "cpu-dense", JobOutcome::Failed(e.to_string()))
+                                }
+                                Err(payload) => pre_result(
+                                    *idx,
+                                    "cpu-dense",
+                                    JobOutcome::Panicked(panic_message(&*payload)),
+                                ),
+                            };
+                            jr.evacuated = !resumed;
+                            jr.resumed = resumed;
+                            jr.wasted_iterations = wasted;
+                            jr
                         }
                     };
                     jr.wall_seconds = wall_share;
                     slots.lock()[*idx] = Some(jr);
                 }
             }
-            // Family-level machinery failure (or a panic in the lockstep
-            // driver): the whole group falls back to stream-per-job, which
-            // re-prepares each member from the original model.
+            // Family-level machinery failure before any lane state existed
+            // (construction fault, or a panic in the lockstep driver): the
+            // whole group falls back to stream-per-job, which re-prepares
+            // each member from the original model.
             Ok(Err(_)) | Err(_) => {
                 remaining.extend(members.iter().map(|&p| ready[p].0));
             }
         }
+        faults_total += gpu.fault_counts().total();
     }
     MegaOutcome {
         remaining,
         sim,
         groups: groups_run,
+        faults: faults_total,
     }
 }
 
@@ -609,6 +721,9 @@ fn aggregate(
         grouped_jobs: 0,
         ungrouped_jobs: 0,
         mega_groups,
+        evacuated_jobs: 0,
+        resumed_jobs: 0,
+        wasted_iterations: 0,
         per_backend: Default::default(),
     };
     for r in results {
@@ -622,6 +737,9 @@ fn aggregate(
         stats.degradations += r.degradations;
         stats.warm_rejected += r.warm_rejected as u64;
         stats.warm_iterations_saved += r.warm_iterations_saved;
+        stats.evacuated_jobs += r.evacuated as usize;
+        stats.resumed_jobs += r.resumed as usize;
+        stats.wasted_iterations += r.wasted_iterations;
         stats.sim_total += r.sim_time;
         let tally = stats.per_backend.entry(r.backend).or_default();
         tally.jobs += 1;
@@ -638,7 +756,7 @@ fn aggregate(
 }
 
 /// Best-effort human message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

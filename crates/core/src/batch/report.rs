@@ -85,6 +85,18 @@ pub struct JobResult {
     /// Iterations the accepted warm start saved vs the family's recorded
     /// cold solve (0 for cold or rejected jobs).
     pub warm_iterations_saved: u64,
+    /// A mid-round device fault kicked this job out of its mega-batch
+    /// group *before it had a checkpoint*; it restarted from scratch as a
+    /// stream-per-job solve. Disjoint from `resumed`.
+    pub evacuated: bool,
+    /// The job continued from a checkpoint instead of restarting: either a
+    /// mega lane evacuated *with* a snapshot, or a stream job whose
+    /// resilient retry/degradation resumed mid-solve. Disjoint from
+    /// `evacuated`.
+    pub resumed: bool,
+    /// Pivots this job re-did because of faults: work completed past the
+    /// latest checkpoint when an attempt (or its mega group) died.
+    pub wasted_iterations: u64,
     /// The outcome.
     pub outcome: JobOutcome,
 }
@@ -163,6 +175,17 @@ pub struct BatchStats {
     pub ungrouped_jobs: usize,
     /// Same-shape SoA super-jobs executed ([`crate::BatchOptions::mega_batch`]).
     pub mega_groups: usize,
+    /// Mega lanes a device fault kicked out *without* a checkpoint (they
+    /// restarted stream-per-job from scratch). Disjoint from
+    /// `resumed_jobs`.
+    pub evacuated_jobs: usize,
+    /// Jobs that continued from a checkpoint instead of restarting
+    /// (evacuated mega lanes with a snapshot, plus stream jobs resumed by
+    /// the resilience layer). Disjoint from `evacuated_jobs`.
+    pub resumed_jobs: usize,
+    /// Pivots re-done because of faults, summed across jobs — the raw
+    /// numerator of the chaos experiment's wasted-iteration ratio.
+    pub wasted_iterations: u64,
     /// Tallies keyed by backend label.
     pub per_backend: BTreeMap<&'static str, BackendTally>,
 }
@@ -283,6 +306,13 @@ impl fmt::Display for BatchStats {
                 self.mega_groups, self.grouped_jobs, self.ungrouped_jobs
             )?;
         }
+        if self.evacuated_jobs > 0 || self.resumed_jobs > 0 || self.wasted_iterations > 0 {
+            writeln!(
+                f,
+                "  recovery: {} resumed from checkpoint, {} restarted cold, {} iterations wasted",
+                self.resumed_jobs, self.evacuated_jobs, self.wasted_iterations
+            )?;
+        }
         writeln!(
             f,
             "  simulated: total {}, makespan {}, speedup {:.2}x",
@@ -345,6 +375,9 @@ mod tests {
             grouped_jobs: 0,
             ungrouped_jobs: 4,
             mega_groups: 0,
+            evacuated_jobs: 0,
+            resumed_jobs: 0,
+            wasted_iterations: 0,
             per_backend,
         }
     }
@@ -403,6 +436,9 @@ mod tests {
             grouped_jobs: 0,
             ungrouped_jobs: 0,
             mega_groups: 0,
+            evacuated_jobs: 0,
+            resumed_jobs: 0,
+            wasted_iterations: 0,
             per_backend: BTreeMap::new(),
         };
         assert_eq!(s.throughput(), 0.0);
@@ -436,6 +472,16 @@ mod tests {
             text.contains("warm start: 3 hits / 4 lookups (75%), 0 rejected, 42 iterations saved")
         );
         assert!((warm.warm_hit_rate() - 0.75).abs() < 1e-12);
+        // Recovery line only appears when a fault forced a resume/restart.
+        assert!(!text.contains("recovery:"));
+        let mut rec = stats();
+        rec.resumed_jobs = 3;
+        rec.evacuated_jobs = 1;
+        rec.wasted_iterations = 17;
+        let text = format!("{rec}");
+        assert!(text.contains(
+            "recovery: 3 resumed from checkpoint, 1 restarted cold, 17 iterations wasted"
+        ));
     }
 
     #[test]

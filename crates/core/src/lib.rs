@@ -39,6 +39,7 @@
 pub mod backend;
 pub mod backends;
 pub mod batch;
+pub mod checkpoint;
 pub mod error;
 pub mod metrics;
 pub mod options;
@@ -54,11 +55,16 @@ pub mod verify;
 
 pub use backend::{Backend, RatioOutcome};
 pub use backends::{BatchKernelBackend, BatchMember, LaneView};
-pub use batch::mega::{mega_compatible, try_solve_family_mega, try_solve_family_mega_recorded};
+pub use batch::mega::{
+    mega_compatible, try_solve_family_mega, try_solve_family_mega_ckpt,
+    try_solve_family_mega_ckpt_recorded, try_solve_family_mega_recorded, LaneOutcome,
+    MegaFamilyRun,
+};
 pub use batch::{
     BasisCache, BatchOptions, BatchReport, BatchSolver, BatchStats, CacheStats, JobOutcome,
     JobResult, PlacementPolicy, WarmStartPolicy,
 };
+pub use checkpoint::{CheckpointSlot, SolveCheckpoint};
 pub use error::{BackendError, SolveError};
 pub use metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use options::{PivotRule, SolverOptions};
@@ -67,8 +73,9 @@ pub use result::{LpSolution, Status, StdResult};
 pub use revised::RevisedSimplex;
 pub use solver::{
     solve, solve_on, solve_on_warm, solve_standard, solve_standard_with_basis, try_solve,
-    try_solve_on, try_solve_on_recorded, try_solve_on_warm, try_solve_standard,
-    try_solve_standard_recorded, try_solve_standard_with_basis, BackendKind, WarmContext,
+    try_solve_on, try_solve_on_recorded, try_solve_on_warm, try_solve_on_warm_ckpt,
+    try_solve_standard, try_solve_standard_ckpt, try_solve_standard_recorded,
+    try_solve_standard_with_basis, BackendKind, RecoveryContext, WarmContext,
 };
 pub use stats::{PhaseCounters, SolveStats, Step};
 pub use trace::{

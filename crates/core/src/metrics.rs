@@ -93,6 +93,9 @@ impl MetricsRegistry {
             "solve.warm_start.iterations_saved",
             stats.warm_iterations_saved,
         );
+        self.inc("solve.checkpoints_taken", stats.checkpoints_taken as u64);
+        self.inc("solve.checkpoint_resumes", stats.checkpoint_resumes as u64);
+        self.inc("solve.wasted_iterations", stats.wasted_iterations);
         self.add_gauge("solve.sim_seconds", stats.total_time().as_secs_f64());
         self.add_gauge("solve.wall_seconds", stats.wall_seconds);
         self.add_gauge("solve.backoff_seconds", stats.backoff_seconds);
@@ -124,6 +127,9 @@ impl MetricsRegistry {
         self.inc("batch.warm.misses", stats.warm_misses);
         self.inc("batch.warm.rejected", stats.warm_rejected);
         self.inc("batch.warm.iterations_saved", stats.warm_iterations_saved);
+        self.inc("batch.evacuated", stats.evacuated_jobs as u64);
+        self.inc("batch.resumed", stats.resumed_jobs as u64);
+        self.inc("batch.wasted_iterations", stats.wasted_iterations);
         self.add_gauge("batch.wall_seconds", stats.wall_seconds);
         self.add_gauge("batch.sim_total_seconds", stats.sim_total.as_secs_f64());
         self.add_gauge(
@@ -316,6 +322,8 @@ mod tests {
             names,
             vec![
                 "solve.bland_iterations",
+                "solve.checkpoint_resumes",
+                "solve.checkpoints_taken",
                 "solve.count",
                 "solve.degenerate_steps",
                 "solve.degradations",
@@ -329,6 +337,7 @@ mod tests {
                 "solve.warm_start.attempted",
                 "solve.warm_start.iterations_saved",
                 "solve.warm_start.rejected",
+                "solve.wasted_iterations",
             ]
         );
         for g in [

@@ -75,6 +75,14 @@ pub struct SolverOptions {
     /// bitwise-identical objectives regardless of the pivot path taken —
     /// the invariant the W1 experiment asserts.
     pub polish: bool,
+    /// Snapshot the solver state into an attached
+    /// [`crate::CheckpointSlot`] roughly every this many iterations.
+    /// Snapshots are only taken at refactorization boundaries (the one
+    /// point where `B⁻¹` is a pure function of the basis, so a resume can
+    /// reproduce it bitwise), so the effective cadence is the next
+    /// reinversion at or after the interval. 0 disables checkpointing;
+    /// without an attached slot the setting is inert.
+    pub checkpoint_interval: usize,
 }
 
 impl Default for SolverOptions {
@@ -93,6 +101,7 @@ impl Default for SolverOptions {
             faults: None,
             fuse_launches: true,
             polish: true,
+            checkpoint_interval: 64,
         }
     }
 }

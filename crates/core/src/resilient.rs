@@ -21,10 +21,11 @@ use gpu_sim::FaultConfig;
 use linalg::Scalar;
 use lp::LinearProgram;
 
+use crate::checkpoint::CheckpointSlot;
 use crate::error::SolveError;
 use crate::options::SolverOptions;
 use crate::result::LpSolution;
-use crate::solver::{try_solve_on_warm, BackendKind, WarmContext};
+use crate::solver::{try_solve_on_warm_ckpt, BackendKind, WarmContext};
 
 /// How many times to re-run a failed attempt on the same rung, and how the
 /// recorded backoff between attempts grows.
@@ -103,6 +104,15 @@ pub struct ResilientOutcome {
     pub backoff_seconds: f64,
     /// Label of the backend that produced `result`.
     pub final_backend: &'static str,
+    /// Attempts that resumed from a stored checkpoint instead of starting
+    /// from scratch (0 when `checkpoint_interval` is 0 or no checkpoint
+    /// had been taken yet when the fault struck).
+    pub checkpoint_resumes: usize,
+    /// Iterations completed by failed attempts beyond their latest
+    /// checkpoint — the work that actually had to be re-done. With
+    /// checkpointing disabled this is every iteration of every failed
+    /// attempt.
+    pub wasted_iterations: u64,
 }
 
 /// Retry/degrade wrapper around the solve pipeline. Stateless and cheap to
@@ -116,7 +126,7 @@ pub struct ResilientSolver {
 /// Splitmix64-style finalizer: decorrelates the per-attempt fault seeds so
 /// a retry does not replay the exact fault schedule that killed the
 /// previous attempt.
-fn mix(salt: u64, rung: u64, attempt: u64) -> u64 {
+pub(crate) fn mix(salt: u64, rung: u64, attempt: u64) -> u64 {
     let mut z = salt
         ^ rung.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ attempt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -188,6 +198,14 @@ impl ResilientSolver {
         let mut last_err: Option<SolveError> = None;
         let mut final_backend = placed.label();
         let mut rungs_descended = 0usize;
+        // Checkpoint mailbox shared across every rung and attempt of this
+        // job: a snapshot taken on the GPU rung resumes on the CPU rung —
+        // the checkpoint basis lives in standard-form space, which is
+        // identical across backends.
+        let slot = CheckpointSlot::new();
+        let ckpt_enabled = solver_opts.checkpoint_interval > 0;
+        let mut checkpoint_resumes = 0usize;
+        let mut wasted_iterations = 0u64;
 
         for (rung_idx, rung) in rungs.iter().enumerate() {
             if rung_idx > 0 && !self.options.degrade {
@@ -217,8 +235,19 @@ impl ResilientSolver {
                     opts.time_limit = self.options.deadline_seconds;
                 }
 
+                // Resume from the latest checkpoint instead of restarting:
+                // recovery cost stops scaling with iterations-completed.
+                let resume = if ckpt_enabled {
+                    slot.checkpoint()
+                } else {
+                    None
+                };
+                if resume.is_some() {
+                    checkpoint_resumes += 1;
+                }
+                slot.begin_attempt(resume.as_ref().map_or(0, |cp| cp.stats.iterations));
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    try_solve_on_warm::<T>(model, &opts, rung, warm)
+                    try_solve_on_warm_ckpt::<T>(model, &opts, rung, warm, &slot, resume)
                 }))
                 .unwrap_or_else(|payload| {
                     let msg = payload
@@ -236,6 +265,11 @@ impl ResilientSolver {
                         sol.stats.degradations = rung_idx;
                         sol.stats.backoff_seconds = backoff_seconds;
                         sol.stats.device_faults = faults;
+                        // The layer-level counters are authoritative: the
+                        // driver's per-install bump undercounts when an
+                        // attempt dies before storing a fresh checkpoint.
+                        sol.stats.checkpoint_resumes = checkpoint_resumes;
+                        sol.stats.wasted_iterations = wasted_iterations;
                         return ResilientOutcome {
                             result: Ok(sol),
                             attempts,
@@ -244,9 +278,12 @@ impl ResilientSolver {
                             faults,
                             backoff_seconds,
                             final_backend: rung.label(),
+                            checkpoint_resumes,
+                            wasted_iterations,
                         };
                     }
                     Err(e) => {
+                        wasted_iterations += slot.wasted_on_failure();
                         let fault_armed = on_gpu && opts.faults.is_some();
                         if matches!(e, SolveError::Device(_))
                             || (fault_armed && matches!(e, SolveError::Panicked(_)))
@@ -270,6 +307,8 @@ impl ResilientSolver {
                                 faults,
                                 backoff_seconds,
                                 final_backend,
+                                checkpoint_resumes,
+                                wasted_iterations,
                             };
                         }
                     }
@@ -285,6 +324,8 @@ impl ResilientSolver {
             faults,
             backoff_seconds,
             final_backend,
+            checkpoint_resumes,
+            wasted_iterations,
         }
     }
 }

@@ -28,6 +28,7 @@ use linalg::Scalar;
 use lp::StandardForm;
 
 use crate::backend::{Backend, RatioOutcome};
+use crate::checkpoint::{CheckpointSlot, SolveCheckpoint};
 use crate::error::{BackendError, SolveError};
 use crate::options::{PivotRule, SolverOptions};
 use crate::result::{Status, StdResult};
@@ -109,6 +110,15 @@ pub struct RevisedSimplex<'a, T: Scalar, B: Backend<T>, R: Recorder = NoopRecord
     price_cursor: usize,
     /// Phase tag for trace events: 0 = setup, 1/2 = simplex phases.
     phase_tag: u8,
+    /// Caller-owned checkpoint mailbox; `None` disables checkpointing.
+    ckpt: Option<&'a CheckpointSlot>,
+    /// Snapshot to resume from instead of a cold or warm start.
+    resume: Option<SolveCheckpoint>,
+    /// In-phase iteration count restored by a resume; consumed by the next
+    /// `run_phase` so the reinversion cadence continues where it left off.
+    resume_iters_here: Option<usize>,
+    /// Solve-wide iteration count at the most recent stored checkpoint.
+    last_ckpt_iter: usize,
 }
 
 impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
@@ -183,7 +193,30 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
             warm_basis: None,
             price_cursor: 0,
             phase_tag: 0,
+            ckpt: None,
+            resume: None,
+            resume_iters_here: None,
+            last_ckpt_iter: 0,
         }
+    }
+
+    /// Attach a caller-owned checkpoint slot. The driver stores a
+    /// [`SolveCheckpoint`] into it at every refactorization boundary at
+    /// least `opts.checkpoint_interval` iterations past the previous
+    /// snapshot (0 disables), and reports per-iteration progress so the
+    /// recovery layer can account wasted work after a fault.
+    pub fn attach_checkpoint_slot(&mut self, slot: &'a CheckpointSlot) {
+        self.ckpt = Some(slot);
+    }
+
+    /// Resume from `cp` instead of a cold or warm start: the basis is
+    /// reinstalled through the same host reinversion path a periodic
+    /// refactorize uses, so the continued pivot walk is bitwise-identical
+    /// to the uninterrupted solve from that boundary onward — on any
+    /// backend sharing that path, not just the one that took the snapshot.
+    /// Mutually exclusive with a warm-start basis (the checkpoint wins).
+    pub fn resume_from(&mut self, cp: SolveCheckpoint) {
+        self.resume = Some(cp);
     }
 
     fn set_warm_basis(&mut self, basis: Vec<usize>) {
@@ -299,6 +332,85 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
         Ok(ok)
     }
 
+    /// Store a snapshot of the current state into the attached slot.
+    /// Callers guarantee the backend sits at a refactorization boundary
+    /// (`B⁻¹` is a pure function of `xb`), the precondition for a bitwise
+    /// resume. The snapshot's own count is folded in *before* cloning the
+    /// stats so a resumed run's final counters match the solo run's.
+    fn store_checkpoint(&mut self, phase: u8, iters_here: usize) {
+        let Some(slot) = self.ckpt else { return };
+        self.stats.checkpoints_taken += 1;
+        slot.store(SolveCheckpoint {
+            basis: self.xb.clone(),
+            phase,
+            iters_here,
+            stats: self.stats.clone(),
+            bland_mode: self.bland_mode,
+            stall: self.stall,
+            price_cursor: self.price_cursor,
+        });
+        self.last_ckpt_iter = self.stats.iterations;
+    }
+
+    /// Checkpoint hook at a periodic-reinversion boundary: snapshot when a
+    /// slot is attached and at least `checkpoint_interval` iterations have
+    /// passed since the previous snapshot. Pure observation — it never
+    /// forces an extra refactorize.
+    fn maybe_checkpoint(&mut self, phase: Phase, iters_here: usize) {
+        let interval = self.opts.checkpoint_interval;
+        if self.ckpt.is_none()
+            || interval == 0
+            || self.stats.iterations - self.last_ckpt_iter < interval
+        {
+            return;
+        }
+        let tag = match phase {
+            Phase::One => 1,
+            Phase::Two => 2,
+        };
+        self.store_checkpoint(tag, iters_here);
+    }
+
+    /// Reinstall a checkpoint: refactorize onto its basis (the same host
+    /// f64 reinversion every backend's `refactorize` uses, so `B⁻¹` and the
+    /// clamped β come out bitwise-equal to the snapshot point), reinstall
+    /// the phase objective exactly as the live path did, and restore the
+    /// pricing/anti-cycling state and statistics. The reinversion is *not*
+    /// counted in `stats.refactorizations` — the snapshot already counted
+    /// the boundary reinversion this one mirrors.
+    fn install_checkpoint(&mut self, cp: SolveCheckpoint) -> Result<(), SolveError> {
+        // Restore the stats first so the install's device work is charged
+        // to the resumed ledger rather than thrown away.
+        self.stats = cp.stats;
+        self.stats.checkpoint_resumes += 1;
+        let span = self.span_begin();
+        match self.backend.refactorize(&cp.basis) {
+            Ok(()) => {}
+            Err(BackendError::Singular) => {
+                return Err(SolveError::Numerical(
+                    "checkpoint basis is singular on resume".into(),
+                ));
+            }
+            Err(e @ BackendError::Device(_)) => return Err(e.into()),
+        }
+        for (r, &j) in cp.basis.iter().enumerate() {
+            self.backend.set_basic_col(r, j)?;
+        }
+        self.xb = cp.basis;
+        self.span_close(StepKind::WarmStart, Step::Other, span);
+        if cp.phase == 1 {
+            self.enter_phase1()?;
+        } else {
+            self.enter_phase2()?;
+        }
+        self.bland_mode = cp.bland_mode;
+        self.stall = cp.stall;
+        self.price_cursor = cp.price_cursor;
+        self.resume_iters_here = Some(cp.iters_here);
+        self.last_ckpt_iter = self.stats.iterations;
+        Ok(())
+    }
+
     /// Phase-2 cost of a column (artificials price at zero).
     fn cost_of(&self, col: usize) -> T {
         if col < self.backend.n_active() {
@@ -362,40 +474,72 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
         let wall = Instant::now();
         let feas_tol = self.opts.feas_tol_for::<T>();
 
+        if let Some(cp) = self.resume.take() {
+            // ---- resumed solve: pick up at the checkpointed boundary -----
+            let in_phase1 = cp.phase == 1;
+            self.install_checkpoint(cp)?;
+            if in_phase1 {
+                if let Some(status) = self.run_phase1_tail(wall, feas_tol)? {
+                    return self.finish(status, wall);
+                }
+                self.enter_phase2()?;
+            }
+            return self.finish_phase2(wall, feas_tol);
+        }
+
         let warm = self.try_warm_start()?;
+        if warm && self.opts.checkpoint_interval > 0 {
+            // An accepted warm install is itself a valid resume point
+            // (phase 2, zero in-phase iterations): snapshot it so a fault
+            // before the first reinversion still resumes warm.
+            self.store_checkpoint(2, 0);
+        }
         if !warm && self.sf.num_artificials > 0 {
             // ---- phase 1: minimize the sum of artificials ----------------
             self.enter_phase1()?;
-            let end = self.run_phase(Phase::One, wall)?;
-            match end {
-                PhaseEnd::IterationLimit => {
-                    return self.finish(Status::IterationLimit, wall);
-                }
-                PhaseEnd::Singular => {
-                    return self.finish(Status::SingularBasis, wall);
-                }
-                // A bounded-below phase-1 objective cannot be unbounded;
-                // reaching this means the numerics collapsed.
-                PhaseEnd::Unbounded => {
-                    return self.finish(Status::SingularBasis, wall);
-                }
-                PhaseEnd::Converged => {}
+            if let Some(status) = self.run_phase1_tail(wall, feas_tol)? {
+                return self.finish(status, wall);
             }
-
-            let span = self.span_begin();
-            let z1 = self.backend.objective_now()?;
-            self.span_close(StepKind::Transfer, Step::Other, span);
-            if z1 > feas_tol {
-                return self.finish(Status::Infeasible, wall);
-            }
-            // Best-effort removal of degenerate artificials from the basis;
-            // any that remain sit at value ~0 with phase-2 cost 0 (their
-            // rows are linearly dependent) and stay there.
-            self.drive_out_artificials()?;
         }
 
         // ---- phase 2 ------------------------------------------------------
         self.enter_phase2()?;
+        self.finish_phase2(wall, feas_tol)
+    }
+
+    /// Phase-1 loop tail shared by the cold and resumed paths: run the
+    /// already-installed phase-1 objective to its end, check feasibility,
+    /// and clean out degenerate artificials. `Some(status)` is terminal;
+    /// `None` means proceed to phase 2.
+    fn run_phase1_tail(
+        &mut self,
+        wall: Instant,
+        feas_tol: T,
+    ) -> Result<Option<Status>, SolveError> {
+        match self.run_phase(Phase::One, wall)? {
+            PhaseEnd::IterationLimit => return Ok(Some(Status::IterationLimit)),
+            PhaseEnd::Singular => return Ok(Some(Status::SingularBasis)),
+            // A bounded-below phase-1 objective cannot be unbounded;
+            // reaching this means the numerics collapsed.
+            PhaseEnd::Unbounded => return Ok(Some(Status::SingularBasis)),
+            PhaseEnd::Converged => {}
+        }
+        let span = self.span_begin();
+        let z1 = self.backend.objective_now()?;
+        self.span_close(StepKind::Transfer, Step::Other, span);
+        if z1 > feas_tol {
+            return Ok(Some(Status::Infeasible));
+        }
+        // Best-effort removal of degenerate artificials from the basis;
+        // any that remain sit at value ~0 with phase-2 cost 0 (their
+        // rows are linearly dependent) and stay there.
+        self.drive_out_artificials()?;
+        Ok(None)
+    }
+
+    /// Run phase 2 over the already-installed objective and produce the
+    /// terminal result.
+    fn finish_phase2(mut self, wall: Instant, feas_tol: T) -> Result<StdResult<T>, SolveError> {
         let mut status = match self.run_phase(Phase::Two, wall)? {
             PhaseEnd::Converged => Status::Optimal,
             PhaseEnd::Unbounded => Status::Unbounded,
@@ -485,7 +629,13 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
         let pivot_tol = self.opts.pivot_tol_for::<T>();
         let paranoid = self.opts.faults.is_some();
         let pidx = phase.index();
-        let mut iters_here = 0usize;
+        // A resume re-enters the loop exactly where the snapshot was taken:
+        // `iters_here` continues the reinversion cadence, and the first pass
+        // skips the periodic reinversion (the resume install already rebuilt
+        // `B⁻¹` at this very boundary, and the snapshot counted it).
+        let resumed_here = self.resume_iters_here.take();
+        let mut just_resumed = resumed_here.is_some();
+        let mut iters_here = resumed_here.unwrap_or(0);
         let mut recoveries_left = MAX_CONSECUTIVE_RECOVERIES;
 
         loop {
@@ -494,7 +644,9 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
             }
             self.check_deadline(wall)?;
             // Periodic reinversion.
-            if self.opts.refactor_period > 0
+            let skip_periodic = std::mem::take(&mut just_resumed);
+            if !skip_periodic
+                && self.opts.refactor_period > 0
                 && iters_here > 0
                 && iters_here.is_multiple_of(self.opts.refactor_period)
             {
@@ -506,6 +658,10 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
                 }
                 self.stats.refactorizations += 1;
                 self.span_close(StepKind::Refactorize, Step::Refactor, span);
+                // `B⁻¹` is now a pure function of the basis — the one state
+                // a snapshot can resume bitwise. Pure observation: the
+                // checkpoint cadence never forces an extra reinversion.
+                self.maybe_checkpoint(phase, iters_here);
                 self.check_deadline(wall)?;
             }
 
@@ -629,6 +785,9 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
             self.stats.phase[pidx].iterations += 1;
             if phase == Phase::One {
                 self.stats.phase1_iterations += 1;
+            }
+            if let Some(slot) = self.ckpt {
+                slot.note_iteration(self.stats.iterations);
             }
             iters_here += 1;
         }

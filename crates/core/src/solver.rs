@@ -19,6 +19,7 @@ use lp::{LinearProgram, StandardForm};
 use crate::backends::{CpuDenseBackend, CpuSparseBackend, GpuDenseBackend};
 use crate::batch::cache::{cache_key, BasisCache};
 use crate::batch::policy::WarmStartPolicy;
+use crate::checkpoint::{CheckpointSlot, SolveCheckpoint};
 use crate::error::SolveError;
 use crate::options::SolverOptions;
 use crate::result::{LpSolution, Status, StdResult};
@@ -112,7 +113,7 @@ pub fn try_solve_on<T: Scalar>(
     opts: &SolverOptions,
     kind: &BackendKind,
 ) -> Result<LpSolution, SolveError> {
-    try_solve_on_impl::<T, NoopRecorder>(model, opts, kind, None, None)
+    try_solve_on_impl::<T, NoopRecorder>(model, opts, kind, None, None, None)
 }
 
 /// [`try_solve_on`] consulting (and feeding) a shared [`BasisCache`]: the
@@ -127,7 +128,33 @@ pub fn try_solve_on_warm<T: Scalar>(
     kind: &BackendKind,
     warm: Option<&WarmContext<'_>>,
 ) -> Result<LpSolution, SolveError> {
-    try_solve_on_impl::<T, NoopRecorder>(model, opts, kind, warm, None)
+    try_solve_on_impl::<T, NoopRecorder>(model, opts, kind, warm, None, None)
+}
+
+/// [`try_solve_on_warm`] with a checkpoint/resume context: the simplex
+/// snapshots into `rcv.slot` per [`SolverOptions::checkpoint_interval`] and
+/// resumes from `rcv.resume` when supplied. The checkpoint basis lives in
+/// the post-presolve/post-scale standard-form space, which is
+/// deterministic per model — so a checkpoint taken by one attempt resumes
+/// correctly in a later attempt, even on a different backend rung. On a
+/// resumed attempt the cache's warm candidate is *not* offered (the
+/// checkpoint supersedes it); the cache is still fed on success.
+pub fn try_solve_on_warm_ckpt<T: Scalar>(
+    model: &LinearProgram,
+    opts: &SolverOptions,
+    kind: &BackendKind,
+    warm: Option<&WarmContext<'_>>,
+    slot: &CheckpointSlot,
+    resume: Option<SolveCheckpoint>,
+) -> Result<LpSolution, SolveError> {
+    try_solve_on_impl::<T, NoopRecorder>(
+        model,
+        opts,
+        kind,
+        warm,
+        None,
+        Some(RecoveryContext { slot, resume }),
+    )
 }
 
 /// Panicking twin of [`try_solve_on_warm`].
@@ -149,7 +176,7 @@ pub fn try_solve_on_recorded<T: Scalar, R: Recorder>(
     kind: &BackendKind,
     rec: &mut R,
 ) -> Result<LpSolution, SolveError> {
-    try_solve_on_impl::<T, R>(model, opts, kind, None, Some(rec))
+    try_solve_on_impl::<T, R>(model, opts, kind, None, Some(rec), None)
 }
 
 /// Outcome of the pre-simplex pipeline stages (presolve → standardize →
@@ -291,6 +318,7 @@ fn try_solve_on_impl<T: Scalar, R: Recorder>(
     kind: &BackendKind,
     warm: Option<&WarmContext<'_>>,
     rec: Option<&mut R>,
+    rcv: Option<RecoveryContext<'_>>,
 ) -> Result<LpSolution, SolveError> {
     let (sf, restore) = match prepare::<T>(model, opts) {
         Prepared::Early(sol) => return Ok(*sol),
@@ -311,9 +339,17 @@ fn try_solve_on_impl<T: Scalar, R: Recorder>(
         _ => None,
     };
     let baseline = cached.as_ref().map(|c| c.cold_iterations);
-    let start = cached.map(|c| c.basis);
+    // A resumed attempt must not also offer the cache's warm candidate:
+    // the checkpoint already encodes more progress than any family basis,
+    // and the driver's resume path supersedes the warm install anyway.
+    let resuming = rcv.as_ref().is_some_and(|r| r.resume.is_some());
+    let start = if resuming {
+        None
+    } else {
+        cached.map(|c| c.basis)
+    };
 
-    let mut res = try_solve_standard_impl::<T, R>(&sf, opts, kind, start, rec)?;
+    let mut res = try_solve_standard_impl::<T, R>(&sf, opts, kind, start, rec, rcv)?;
     settle_warm(warm, key, baseline, &mut res);
     Ok(finalize(model, opts, &sf, &restore, res))
 }
@@ -379,7 +415,7 @@ pub fn solve_standard<T: Scalar>(
     opts: &SolverOptions,
     kind: &BackendKind,
 ) -> StdResult<T> {
-    try_solve_standard_impl(sf, opts, kind, None, None::<&mut NoopRecorder>)
+    try_solve_standard_impl(sf, opts, kind, None, None::<&mut NoopRecorder>, None)
         .unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -392,7 +428,7 @@ pub fn solve_standard_with_basis<T: Scalar>(
     kind: &BackendKind,
     basis: Vec<usize>,
 ) -> StdResult<T> {
-    try_solve_standard_impl(sf, opts, kind, Some(basis), None::<&mut NoopRecorder>)
+    try_solve_standard_impl(sf, opts, kind, Some(basis), None::<&mut NoopRecorder>, None)
         .unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -402,7 +438,7 @@ pub fn try_solve_standard<T: Scalar>(
     opts: &SolverOptions,
     kind: &BackendKind,
 ) -> Result<StdResult<T>, SolveError> {
-    try_solve_standard_impl(sf, opts, kind, None, None::<&mut NoopRecorder>)
+    try_solve_standard_impl(sf, opts, kind, None, None::<&mut NoopRecorder>, None)
 }
 
 /// [`try_solve_standard`] with step spans reported to `rec` (see
@@ -413,7 +449,7 @@ pub fn try_solve_standard_recorded<T: Scalar, R: Recorder>(
     kind: &BackendKind,
     rec: &mut R,
 ) -> Result<StdResult<T>, SolveError> {
-    try_solve_standard_impl(sf, opts, kind, None, Some(rec))
+    try_solve_standard_impl(sf, opts, kind, None, Some(rec), None)
 }
 
 /// Fallible twin of [`solve_standard_with_basis`].
@@ -423,23 +459,90 @@ pub fn try_solve_standard_with_basis<T: Scalar>(
     kind: &BackendKind,
     basis: Vec<usize>,
 ) -> Result<StdResult<T>, SolveError> {
-    try_solve_standard_impl(sf, opts, kind, Some(basis), None::<&mut NoopRecorder>)
+    try_solve_standard_impl(sf, opts, kind, Some(basis), None::<&mut NoopRecorder>, None)
 }
 
-fn drive<T: Scalar, B: crate::backend::Backend<T>, R: Recorder>(
-    be: &mut B,
+/// Checkpoint/resume context threaded into a standard-form solve: the
+/// caller-owned slot the driver snapshots into (per
+/// [`SolverOptions::checkpoint_interval`]) plus an optional checkpoint to
+/// resume from instead of starting cold.
+pub struct RecoveryContext<'s> {
+    /// Mailbox for snapshots and per-iteration progress.
+    pub slot: &'s CheckpointSlot,
+    /// Resume point; `None` starts the solve normally.
+    pub resume: Option<SolveCheckpoint>,
+}
+
+/// [`try_solve_standard`] with checkpointing: snapshots land in `slot`
+/// every `opts.checkpoint_interval` iterations (at reinversion boundaries),
+/// and a supplied `resume` checkpoint restarts the solve mid-flight — on
+/// *any* backend kind, not just the one that took the snapshot. `start` is
+/// the optional warm-start basis for a scratch attempt; callers must pass
+/// `start = None` when resuming (the checkpoint supersedes it).
+pub fn try_solve_standard_ckpt<T: Scalar>(
     sf: &StandardForm<T>,
     opts: &SolverOptions,
+    kind: &BackendKind,
+    start: Option<Vec<usize>>,
+    slot: &CheckpointSlot,
+    resume: Option<SolveCheckpoint>,
+) -> Result<StdResult<T>, SolveError> {
+    debug_assert!(
+        start.is_none() || resume.is_none(),
+        "a resumed solve must not also offer a warm-start basis"
+    );
+    try_solve_standard_impl(
+        sf,
+        opts,
+        kind,
+        start,
+        None::<&mut NoopRecorder>,
+        Some(RecoveryContext { slot, resume }),
+    )
+}
+
+/// Wire a recovery context into a constructed driver (no-op without one).
+fn arm_recovery<'a, T: Scalar, B: crate::backend::Backend<T>, R: Recorder>(
+    driver: &mut RevisedSimplex<'a, T, B, R>,
+    rcv: Option<RecoveryContext<'a>>,
+) {
+    if let Some(rcv) = rcv {
+        driver.attach_checkpoint_slot(rcv.slot);
+        if let Some(cp) = rcv.resume {
+            driver.resume_from(cp);
+        }
+    }
+}
+
+fn drive<'a, T: Scalar, B: crate::backend::Backend<T>, R: Recorder>(
+    be: &'a mut B,
+    sf: &'a StandardForm<T>,
+    opts: &'a SolverOptions,
     warm: Option<Vec<usize>>,
-    rec: Option<&mut R>,
+    rec: Option<&'a mut R>,
+    rcv: Option<RecoveryContext<'a>>,
 ) -> Result<StdResult<T>, SolveError> {
     match (warm, rec) {
         (Some(basis), Some(rec)) => {
-            RevisedSimplex::with_start_basis_and_recorder(be, sf, opts, basis, rec).try_solve()
+            let mut d = RevisedSimplex::with_start_basis_and_recorder(be, sf, opts, basis, rec);
+            arm_recovery(&mut d, rcv);
+            d.try_solve()
         }
-        (Some(basis), None) => RevisedSimplex::with_start_basis(be, sf, opts, basis).try_solve(),
-        (None, Some(rec)) => RevisedSimplex::with_recorder(be, sf, opts, rec).try_solve(),
-        (None, None) => RevisedSimplex::new(be, sf, opts).try_solve(),
+        (Some(basis), None) => {
+            let mut d = RevisedSimplex::with_start_basis(be, sf, opts, basis);
+            arm_recovery(&mut d, rcv);
+            d.try_solve()
+        }
+        (None, Some(rec)) => {
+            let mut d = RevisedSimplex::with_recorder(be, sf, opts, rec);
+            arm_recovery(&mut d, rcv);
+            d.try_solve()
+        }
+        (None, None) => {
+            let mut d = RevisedSimplex::new(be, sf, opts);
+            arm_recovery(&mut d, rcv);
+            d.try_solve()
+        }
     }
 }
 
@@ -449,17 +552,18 @@ fn try_solve_standard_impl<T: Scalar, R: Recorder>(
     kind: &BackendKind,
     warm: Option<Vec<usize>>,
     rec: Option<&mut R>,
+    rcv: Option<RecoveryContext<'_>>,
 ) -> Result<StdResult<T>, SolveError> {
     let n_active = sf.num_cols() - sf.num_artificials;
     match kind {
         BackendKind::CpuDense => {
             let mut be = CpuDenseBackend::new(&sf.a, &sf.b, n_active, &sf.basis0);
-            drive(&mut be, sf, opts, warm, rec)
+            drive(&mut be, sf, opts, warm, rec, rcv)
         }
         BackendKind::CpuSparse => {
             let csr = CsrMatrix::from_dense(&sf.a, T::ZERO);
             let mut be = CpuSparseBackend::new(&csr, &sf.b, n_active, &sf.basis0);
-            drive(&mut be, sf, opts, warm, rec)
+            drive(&mut be, sf, opts, warm, rec, rcv)
         }
         BackendKind::GpuDense(spec) => {
             let gpu = Gpu::new(spec.clone());
@@ -471,7 +575,7 @@ fn try_solve_standard_impl<T: Scalar, R: Recorder>(
             let mut be = GpuDenseBackend::try_new(&gpu, &sf.a, &sf.b, n_active, &sf.basis0)
                 .map_err(SolveError::from)?;
             be.set_fuse_launches(opts.fuse_launches);
-            let mut res = drive(&mut be, sf, opts, warm, rec)?;
+            let mut res = drive(&mut be, sf, opts, warm, rec, rcv)?;
             res.stats.device_faults = gpu.fault_counts().total();
             Ok(res)
         }
@@ -488,7 +592,7 @@ fn try_solve_standard_impl<T: Scalar, R: Recorder>(
             let mut be = GpuDenseBackend::try_new(&stream, &sf.a, &sf.b, n_active, &sf.basis0)
                 .map_err(SolveError::from)?;
             be.set_fuse_launches(opts.fuse_launches);
-            let mut res = drive(&mut be, sf, opts, warm, rec)?;
+            let mut res = drive(&mut be, sf, opts, warm, rec, rcv)?;
             res.stats.device_faults = stream.fault_counts().total();
             Ok(res)
         }

@@ -120,6 +120,15 @@ pub struct SolveStats {
     /// cache entry that supplied it (0 for cold solves and for warm starts
     /// with no recorded baseline).
     pub warm_iterations_saved: u64,
+    /// Checkpoints snapshotted into the caller's slot during this solve.
+    pub checkpoints_taken: usize,
+    /// Attempts (including the successful one) that started from a stored
+    /// checkpoint instead of scratch — folded in by the recovery layers.
+    pub checkpoint_resumes: usize,
+    /// Iterations completed by failed attempts that no checkpoint
+    /// preserved — work that had to be re-done. Folded in by the recovery
+    /// layers; 0 for a direct fault-free solve.
+    pub wasted_iterations: u64,
 }
 
 impl SolveStats {

@@ -103,6 +103,14 @@ pub struct FaultConfig {
     pub kernel_corrupt: f64,
     /// P(any operation kills the stream — sticky [`DeviceError::StreamDead`]).
     pub stream_death: f64,
+    /// Restrict injection to operations whose name is in this list (exact
+    /// match on the kernel name; fused launch chains check under their
+    /// group name, e.g. `"mega_price"` / `"mega_update"`, so the SoA batch
+    /// kernels are targetable as a unit). Empty = every operation is
+    /// eligible (the historical behavior). Untargeted operations advance
+    /// the op counter but consume **no** RNG draws, so a filtered schedule
+    /// stays a pure function of the seed and the op-name sequence.
+    pub only_ops: Vec<&'static str>,
 }
 
 impl FaultConfig {
@@ -116,6 +124,7 @@ impl FaultConfig {
             kernel_fault: 0.0,
             kernel_corrupt: 0.0,
             stream_death: 0.0,
+            only_ops: Vec::new(),
         }
     }
 
@@ -131,7 +140,17 @@ impl FaultConfig {
             kernel_fault: p,
             kernel_corrupt: p,
             stream_death: p / 100.0,
+            only_ops: Vec::new(),
         }
+    }
+
+    /// Restrict this config to the named operations (see
+    /// [`FaultConfig::only_ops`]). Lets a test or chaos experiment aim
+    /// faults at, say, only the mega-batch update chain while setup
+    /// uploads and per-lane kernels run clean.
+    pub fn only(mut self, ops: &[&'static str]) -> Self {
+        self.only_ops = ops.to_vec();
+        self
     }
 
     /// Derive a config with a statistically independent seed. Used to give
@@ -278,6 +297,12 @@ impl FaultPlan {
         }
         self.ops += 1;
         if self.ops <= self.cfg.warmup_ops {
+            return Ok(Injection::None);
+        }
+        // Name filter: untargeted ops pass through before any RNG draw, so
+        // the schedule for the targeted ops is independent of how many
+        // other operations interleave with them.
+        if !self.cfg.only_ops.is_empty() && !self.cfg.only_ops.contains(&kernel) {
             return Ok(Injection::None);
         }
         self.counts.ops_checked += 1;
@@ -428,6 +453,52 @@ mod tests {
             .iter()
             .all(|o| *o == Ok(Injection::None)));
         assert_eq!(plan.counts().total(), 0);
+    }
+
+    #[test]
+    fn op_name_filter_targets_only_named_ops() {
+        // p = 1 on kernels, but only ops named "mega_update" are eligible:
+        // every other operation — allocs, transfers, other kernels — must
+        // sail through untouched, and the named op must fault every time.
+        let cfg = FaultConfig {
+            kernel_fault: 1.0,
+            ..FaultConfig::off(21)
+        }
+        .only(&["mega_update"]);
+        let mut plan = FaultPlan::new(cfg);
+        assert_eq!(plan.before_op(OpKind::Alloc, ""), Ok(Injection::None));
+        assert_eq!(plan.before_op(OpKind::Transfer, ""), Ok(Injection::None));
+        assert_eq!(plan.before_op(OpKind::Kernel, "gemv"), Ok(Injection::None));
+        assert_eq!(
+            plan.before_op(OpKind::Kernel, "mega_update"),
+            Err(DeviceError::KernelFault {
+                kernel: "mega_update"
+            })
+        );
+        // Untargeted ops consumed no draws: only the targeted op counts.
+        assert_eq!(plan.counts().ops_checked, 1);
+        assert_eq!(plan.counts().kernel_faults, 1);
+    }
+
+    #[test]
+    fn op_name_filter_schedule_is_independent_of_untargeted_ops() {
+        // The targeted op's fault schedule must not shift when extra
+        // untargeted operations interleave with it (warmup is op-count
+        // based, so it is zeroed here to keep the counter out of play).
+        let mut cfg = FaultConfig::uniform(33, 0.4).only(&["mega_price"]);
+        cfg.warmup_ops = 0;
+        let run = |noise: usize| {
+            let mut plan = FaultPlan::new(cfg.clone());
+            let mut outcomes = Vec::new();
+            for _ in 0..50 {
+                for _ in 0..noise {
+                    assert_eq!(plan.before_op(OpKind::Kernel, "other"), Ok(Injection::None));
+                }
+                outcomes.push(plan.before_op(OpKind::Kernel, "mega_price"));
+            }
+            outcomes
+        };
+        assert_eq!(run(0), run(7));
     }
 
     #[test]

@@ -350,8 +350,9 @@ fn mixed_shape_batch_drains_fully_with_disjoint_grouping_counters() {
     }
 }
 
-/// Out-of-scope options (partial pricing, deadlines, fault injection) keep
-/// the whole batch on the stream path instead of erroring.
+/// Out-of-scope options (partial pricing, deadlines) keep the whole batch
+/// on the stream path instead of erroring. Fault injection is *in* scope
+/// since lane evacuation landed — see the evacuation tests below.
 #[test]
 fn out_of_scope_options_fall_back_to_stream() {
     let opts = SolverOptions {
@@ -371,4 +372,212 @@ fn out_of_scope_options_fall_back_to_stream() {
     assert_eq!(report.stats.mega_groups, 0);
     assert_eq!(report.stats.grouped_jobs, 0);
     assert_eq!(report.stats.ungrouped_jobs, 4);
+}
+
+/// Tentpole acceptance (lane evacuation): a device fault injected
+/// mid-round into a width-8 family loses **zero completed work**. Every
+/// live lane is evacuated with its latest checkpoint, re-dispatched as a
+/// resumed stream solve on the fault-free CPU rung, and every member of
+/// the family drains bitwise-identical to a fault-free solo `cpu-dense`
+/// solve — status, objective bits, pivot fingerprint, and solution bits.
+#[test]
+fn mid_round_fault_evacuates_lanes_and_loses_zero_work() {
+    use gpu_sim::FaultConfig;
+
+    let jobs = generator::perturbed_family(8, 16, 24, 31, 0.03);
+    // A certain *hard* launch failure aimed at the batched update chain
+    // (silent corruption would be absorbed by in-lane recovery, not
+    // evacuation), with a warmup sized so the first targeted op past it
+    // lands mid-solve: by then roughly half the lanes have converged and
+    // every still-live lane has crossed a checkpoint boundary (refactor =
+    // checkpoint cadence = 4 iterations).
+    let opts = SolverOptions {
+        refactor_period: 4,
+        checkpoint_interval: 4,
+        faults: Some(
+            FaultConfig {
+                kernel_fault: 1.0,
+                warmup_ops: 320,
+                ..FaultConfig::off(5)
+            }
+            .only(&["mega_update"]),
+        ),
+        ..raw_opts()
+    };
+    assert!(
+        mega_compatible(&opts),
+        "fault injection must be in scope for the mega path"
+    );
+    let solver = BatchSolver::new(BatchOptions {
+        mega_batch: true,
+        solver: opts,
+        ..Default::default()
+    });
+    let report = solver.solve::<f64>(&jobs);
+    assert!(
+        report.all_solved(),
+        "evacuation salvages every lane — a mid-round fault is never an error"
+    );
+    assert_eq!(report.stats.mega_groups, 1, "the family still groups");
+    assert!(
+        report.stats.device_faults > 0,
+        "the injected fault must actually fire"
+    );
+    assert!(
+        report.stats.resumed_jobs > 0,
+        "evacuated lanes must resume from their checkpoints"
+    );
+    assert_eq!(
+        report.stats.evacuated_jobs, 0,
+        "a post-warmup fault leaves every live lane a checkpoint (no cold restarts)"
+    );
+    assert!(
+        report.stats.wasted_iterations < report.stats.resumed_jobs as u64 * 4,
+        "each resumed lane re-does fewer pivots than one checkpoint interval"
+    );
+
+    let clean = SolverOptions {
+        refactor_period: 4,
+        checkpoint_interval: 4,
+        ..raw_opts()
+    };
+    let mut resumed_seen = 0usize;
+    for (i, r) in report.results.iter().enumerate() {
+        let sol = r.outcome.solution().expect("terminal solution");
+        let solo = solve_on::<f64>(&jobs[i], &clean, &BackendKind::CpuDense);
+        assert_eq!(sol.status, solo.status, "job {i} status");
+        assert_eq!(
+            sol.objective.to_bits(),
+            solo.objective.to_bits(),
+            "job {i} objective bits: {} vs {}",
+            sol.objective,
+            solo.objective
+        );
+        assert_eq!(
+            sol.stats.pivot_fingerprint, solo.stats.pivot_fingerprint,
+            "job {i}: resumed tail must replay the solo pivot sequence"
+        );
+        assert_eq!(
+            sol.stats.iterations, solo.stats.iterations,
+            "job {i}: no pivot is lost, none is duplicated"
+        );
+        for (a, c) in sol.x.iter().zip(&solo.x) {
+            assert_eq!(a.to_bits(), c.to_bits(), "job {i} x");
+        }
+        if r.resumed {
+            resumed_seen += 1;
+            assert_eq!(
+                r.backend, "cpu-dense",
+                "job {i}: evacuees salvage on the fault-free CPU rung"
+            );
+            assert!(
+                !r.evacuated,
+                "job {i}: resumed and cold-restart are disjoint"
+            );
+        }
+    }
+    assert_eq!(resumed_seen, report.stats.resumed_jobs);
+}
+
+/// Determinism of the chaos path: the per-group fault plan is reseeded
+/// from (seed, group index), so two fresh runs of the same faulted batch
+/// agree on every recovery counter and per-job outcome.
+#[test]
+fn evacuation_counters_are_deterministic_from_seed() {
+    use gpu_sim::FaultConfig;
+
+    let run = || {
+        let jobs = generator::perturbed_family(6, 10, 14, 9, 0.02);
+        let opts = SolverOptions {
+            refactor_period: 4,
+            checkpoint_interval: 4,
+            faults: Some(FaultConfig::uniform(41, 0.5).only(&["mega_update", "mega_price"])),
+            ..raw_opts()
+        };
+        let report = BatchSolver::new(BatchOptions {
+            mega_batch: true,
+            solver: opts,
+            ..Default::default()
+        })
+        .solve::<f64>(&jobs);
+        let per_job: Vec<_> = report
+            .results
+            .iter()
+            .map(|r| {
+                (
+                    r.backend,
+                    r.evacuated,
+                    r.resumed,
+                    r.wasted_iterations,
+                    r.outcome.status_label().to_string(),
+                )
+            })
+            .collect();
+        (
+            report.stats.device_faults,
+            report.stats.resumed_jobs,
+            report.stats.evacuated_jobs,
+            report.stats.wasted_iterations,
+            per_job,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Satellite regression (fallible construction): a certain transfer fault
+/// kills `BatchKernelBackend::try_new` during the initial SoA uploads —
+/// before any lane state exists. That surfaces as `BackendError::Device`
+/// from the constructor, and at the batch level the whole group falls back
+/// to stream-per-job instead of erroring or panicking.
+#[test]
+fn construction_fault_surfaces_device_error_and_streams_the_group() {
+    use gplex::{BackendError, BatchKernelBackend, BatchMember};
+    use gpu_sim::{FaultConfig, FaultPlan};
+
+    // Direct: the constructor itself is fallible.
+    let sf = standardize(&[generator::dense_random(6, 8, 1)]).remove(0);
+    let member = BatchMember {
+        a: &sf.a,
+        b: &sf.b,
+        n_active: sf.num_cols() - sf.num_artificials,
+        basis0: &sf.basis0,
+    };
+    let gpu = Gpu::new(DeviceSpec::gtx280());
+    gpu.set_fault_plan(FaultPlan::new(FaultConfig {
+        transfer_timeout: 1.0,
+        ..FaultConfig::off(11)
+    }));
+    let err = BatchKernelBackend::<f64>::try_new(&gpu, &[member])
+        .err()
+        .expect("a certain transfer fault cannot construct the backend");
+    assert!(
+        matches!(err, BackendError::Device(_)),
+        "construction fault must be a device error, got: {err}"
+    );
+
+    // End-to-end: the group aborts cleanly and streams on the CPU rung.
+    let jobs = generator::perturbed_family(4, 6, 9, 3, 0.02);
+    let opts = SolverOptions {
+        faults: Some(FaultConfig {
+            transfer_timeout: 1.0,
+            ..FaultConfig::off(11)
+        }),
+        ..raw_opts()
+    };
+    let report = BatchSolver::new(BatchOptions {
+        mega_batch: true,
+        solver: opts,
+        policy: PlacementPolicy::Fixed(BackendKind::CpuDense),
+        ..Default::default()
+    })
+    .solve::<f64>(&jobs);
+    assert!(report.all_solved(), "stream fallback must drain the group");
+    assert_eq!(
+        report.stats.mega_groups, 0,
+        "construction fault aborts the group"
+    );
+    assert_eq!(report.stats.ungrouped_jobs, 4);
+    for r in &report.results {
+        assert_ne!(r.backend, "batch-kernel", "no lane ran on the dead device");
+    }
 }

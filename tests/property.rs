@@ -206,6 +206,57 @@ proptest! {
         }
     }
 
+    /// Resuming from a mid-run checkpoint is bitwise-identical to the
+    /// uninterrupted solve, on every backend: same terminal status, basis,
+    /// iteration count, objective/solution bits — and the same final pivot
+    /// fingerprint, which (FNV being a running fold over pivots) proves the
+    /// resumed tail replayed the solo run's suffix pivot-for-pivot from the
+    /// checkpoint iteration onward.
+    #[test]
+    fn resume_from_checkpoint_is_bitwise_identical((m, n, seed) in small_dims()) {
+        use gplex::{try_solve_standard_ckpt, CheckpointSlot};
+        let model = generator::dense_random(m, n, seed);
+        let sf = StandardForm::<f64>::from_lp(&model).expect("standardizes");
+        // Tight cadence so even small instances cross a snapshot boundary.
+        let opts = SolverOptions {
+            presolve: false, scale: false,
+            refactor_period: 2, checkpoint_interval: 2,
+            ..Default::default()
+        };
+        for kind in [BackendKind::CpuDense, BackendKind::CpuSparse,
+                     BackendKind::GpuDense(DeviceSpec::gtx280())] {
+            let slot = CheckpointSlot::new();
+            let solo = try_solve_standard_ckpt::<f64>(&sf, &opts, &kind, None, &slot, None)
+                .expect("uninterrupted solve succeeds");
+            let Some(cp) = slot.checkpoint() else {
+                // Converged before the first boundary: nothing to resume.
+                continue;
+            };
+            prop_assert_eq!(cp.stats.checkpoints_taken, solo.stats.checkpoints_taken,
+                "the slot holds the last snapshot taken");
+            let cp_iter = cp.stats.iterations;
+            prop_assert!(cp_iter > 0 && cp_iter <= solo.stats.iterations);
+
+            let slot2 = CheckpointSlot::new();
+            let resumed =
+                try_solve_standard_ckpt::<f64>(&sf, &opts, &kind, None, &slot2, Some(cp))
+                    .expect("resumed solve succeeds");
+            prop_assert_eq!(resumed.status, solo.status);
+            prop_assert_eq!(resumed.basis.clone(), solo.basis.clone());
+            prop_assert_eq!(resumed.stats.iterations, solo.stats.iterations);
+            prop_assert_eq!(resumed.stats.refactorizations, solo.stats.refactorizations);
+            prop_assert_eq!(resumed.stats.pivot_fingerprint, solo.stats.pivot_fingerprint,
+                "resumed tail must replay the solo suffix pivot-for-pivot");
+            prop_assert_eq!(resumed.z_std.to_bits(), solo.z_std.to_bits());
+            for (a, b) in resumed.x_std.iter().zip(&solo.x_std) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(resumed.stats.checkpoint_resumes, 1);
+            prop_assert_eq!(resumed.stats.checkpoints_taken, solo.stats.checkpoints_taken);
+            resumed.stats.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
     /// A perturbed family member warm-started from its sibling's basis
     /// reaches the same answer as its own cold solve, in no more pivots.
     #[test]

@@ -309,3 +309,124 @@ fn degraded_job_keeps_its_warm_start() {
     assert_eq!(cold.stats.warm_start_attempted, 0);
     assert!(cold.stats.iterations > 0);
 }
+
+/// Tentpole acceptance (checkpointed recovery): an attempt that dies
+/// mid-solve on the GPU rung leaves its latest checkpoint in the slot, and
+/// the *next* attempt resumes from it instead of restarting — on the same
+/// rung when retries remain.
+#[test]
+fn resilient_solver_resumes_from_checkpoint_on_retry() {
+    use gplex::ResilientSolver;
+
+    let model = generator::dense_random(16, 24, 42);
+    let opts = SolverOptions {
+        presolve: false,
+        scale: false,
+        refactor_period: 4,
+        checkpoint_interval: 4,
+        ..Default::default()
+    };
+    // Golden is the fault-free solve on the *same* rung: GPU and CPU agree
+    // on every pivot and on the final answer bitwise, but the fingerprint
+    // folds theta bits, which can differ in reduction order across
+    // backends mid-path.
+    let golden = solve_on::<f64>(&model, &opts, &BackendKind::GpuDense(DeviceSpec::gtx280()));
+    assert_eq!(golden.status, Status::Optimal);
+
+    // A certain kernel fault past a 300-op warmup: the scratch attempt dies
+    // at iteration 5 with a checkpoint at 4; the resumed attempt has only
+    // ~2 iterations of device work left and finishes inside the warmup.
+    let solver = ResilientSolver::new(ResilienceOptions {
+        faults: Some(FaultConfig {
+            kernel_fault: 1.0,
+            warmup_ops: 300,
+            ..FaultConfig::off(9)
+        }),
+        ..Default::default()
+    });
+    let out = solver.solve_job::<f64>(
+        0,
+        &model,
+        &opts,
+        &BackendKind::GpuDense(DeviceSpec::gtx280()),
+    );
+    let sol = out.result.expect("resumed attempt finishes");
+    assert_eq!(out.final_backend, "gpu-dense", "no degradation needed");
+    assert_eq!(out.degradations, 0);
+    assert!(out.faults > 0, "the fault must fire");
+    assert!(out.retries >= 1, "the first attempt must die");
+    assert_eq!(
+        sol.stats.checkpoint_resumes, 1,
+        "the retry must resume, not restart"
+    );
+    assert!(
+        sol.stats.wasted_iterations < 4,
+        "resume re-does less than one checkpoint interval, got {}",
+        sol.stats.wasted_iterations
+    );
+    // Zero lost work: the resumed solve is bitwise the uninterrupted one.
+    assert_eq!(sol.status, golden.status);
+    assert_eq!(sol.objective.to_bits(), golden.objective.to_bits());
+    assert_eq!(sol.stats.iterations, golden.stats.iterations);
+    assert_eq!(sol.stats.pivot_fingerprint, golden.stats.pivot_fingerprint);
+    for (a, b) in sol.x.iter().zip(&golden.x) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// Cross-rung resume: with a zero retry budget the ladder degrades
+/// immediately, and the checkpoint taken on the *GPU* rung resumes on the
+/// fault-free *CPU* rung mid-solve — the snapshot basis lives in
+/// standard-form space, which is identical across backends.
+#[test]
+fn gpu_checkpoint_resumes_on_cpu_rung_after_degradation() {
+    use gplex::{ResilientSolver, RetryPolicy};
+
+    let model = generator::dense_random(16, 24, 42);
+    let opts = SolverOptions {
+        presolve: false,
+        scale: false,
+        refactor_period: 4,
+        checkpoint_interval: 4,
+        ..Default::default()
+    };
+    let golden = solve_on::<f64>(&model, &opts, &BackendKind::CpuDense);
+
+    let solver = ResilientSolver::new(ResilienceOptions {
+        faults: Some(FaultConfig {
+            kernel_fault: 1.0,
+            warmup_ops: 300,
+            ..FaultConfig::off(9)
+        }),
+        retry: RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let out = solver.solve_job::<f64>(
+        1,
+        &model,
+        &opts,
+        &BackendKind::GpuDense(DeviceSpec::gtx280()),
+    );
+    let sol = out.result.expect("CPU rung always completes");
+    assert_eq!(out.final_backend, "cpu-dense");
+    assert_eq!(out.degradations, 1, "single GPU attempt, then the ladder");
+    assert_eq!(out.retries, 0);
+    assert_eq!(
+        sol.stats.checkpoint_resumes, 1,
+        "the CPU rung must resume the GPU-taken checkpoint"
+    );
+    assert!(sol.stats.checkpoints_taken >= 1);
+    assert!(sol.stats.wasted_iterations < 4);
+    // The cross-rung resume still lands bitwise on the uninterrupted CPU
+    // answer: the checkpoint boundary state is backend-independent.
+    assert_eq!(sol.status, golden.status);
+    assert_eq!(sol.objective.to_bits(), golden.objective.to_bits());
+    assert_eq!(sol.stats.iterations, golden.stats.iterations);
+    assert_eq!(sol.stats.pivot_fingerprint, golden.stats.pivot_fingerprint);
+    for (a, b) in sol.x.iter().zip(&golden.x) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
