@@ -14,6 +14,7 @@ mod t2;
 mod t3;
 mod t4;
 mod t5;
+mod u1_basis;
 mod w1_warm_cache;
 
 use std::path::Path;
@@ -46,7 +47,7 @@ impl ExpReport {
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "f6", "b1", "r2", "o1",
-        "w1", "b2", "r3",
+        "w1", "b2", "r3", "u1",
     ]
 }
 
@@ -70,6 +71,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExpReport> {
         "w1" => Some(w1_warm_cache::run(quick)),
         "b2" => Some(b2_mega_batch::run(quick)),
         "r3" => Some(r3_chaos::run(quick)),
+        "u1" => Some(u1_basis::run(quick)),
         _ => None,
     }
 }

@@ -22,6 +22,7 @@ use gpu_sim::SimTime;
 use linalg::Scalar;
 
 use crate::error::BackendError;
+use crate::options::BasisRepresentation;
 
 /// Outcome of the ratio test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,4 +132,23 @@ pub trait Backend<T: Scalar> {
     /// One entry of the current `α` vector (used when driving artificials
     /// out of a degenerate phase-1 basis).
     fn alpha_at(&mut self, i: usize) -> Result<T, BackendError>;
+
+    /// Select how the basis inverse is maintained between reinversions.
+    /// Called once, before the first iteration (switching mid-solve is not
+    /// supported). Backends that only implement the explicit inverse keep
+    /// the default no-op and report
+    /// [`BasisRepresentation::ExplicitInverse`] from
+    /// [`Backend::representation`].
+    fn set_representation(&mut self, _rep: BasisRepresentation) {}
+
+    /// The representation currently in effect.
+    fn representation(&self) -> BasisRepresentation {
+        BasisRepresentation::ExplicitInverse
+    }
+
+    /// Length of the product-form eta chain since the last reinversion
+    /// (always 0 under the explicit inverse).
+    fn eta_chain_len(&self) -> usize {
+        0
+    }
 }

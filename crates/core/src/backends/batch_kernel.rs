@@ -37,6 +37,31 @@ const BLOCK: u32 = 128;
 /// Sentinel for "no lane override": batched kernels obey their gate.
 const ALL_LANES: usize = usize::MAX;
 
+/// If the device flagged an injected silent corruption, overwrite the first
+/// `mask`-gated lane's slice of the batch-innermost vector `out` with NaN —
+/// the SoA analogue of the device BLAS layer's `poison_if_corrupted`. The
+/// kernel "succeeded" but wrote garbage for one member; the lockstep driver
+/// must detect it downstream and run that lane's emergency reinversion, not
+/// let it leak into a terminal solution. Host-side poke, charges nothing.
+fn poison_lane_if_corrupted<T: Scalar>(
+    gpu: &Gpu,
+    out: &gpu_sim::DViewMut<T>,
+    mask: &[u32],
+    rows: usize,
+    width: usize,
+) {
+    if !gpu.take_corruption() {
+        return;
+    }
+    let Some(b) = (0..width).find(|&b| mask[b] != 0) else {
+        return;
+    };
+    let nan = T::from_f64(f64::NAN);
+    for i in 0..rows {
+        out.set(i * width + b, nan);
+    }
+}
+
 /// One member of a same-shape family, borrowed from its standard form.
 pub struct BatchMember<'a, T: Scalar> {
     /// Full constraint matrix (active columns then artificials).
@@ -70,6 +95,9 @@ pub struct BatchKernelBackend<'g, T: Scalar> {
     /// Per-round pivot/update gate (separate from `ctl` so a lane can stay
     /// live while sitting out one round, e.g. during a phase transition).
     mask: DeviceBuffer<u32>,
+    /// Host mirror of `mask` (corruption poisoning needs the gated-lane set
+    /// without a readback).
+    mask_host: Vec<u32>,
     q_sel: DeviceBuffer<u32>,
     dq: DeviceBuffer<T>,
     p_sel: DeviceBuffer<u32>,
@@ -143,6 +171,7 @@ impl<'g, T: Scalar> BatchKernelBackend<'g, T> {
             basic_of_row,
             ctl: gpu.try_alloc(width, 0u32)?,
             mask: gpu.try_alloc(width, 0u32)?,
+            mask_host: vec![0u32; width],
             q_sel: gpu.try_alloc(width, u32::MAX)?,
             dq: gpu.try_alloc(width, T::ZERO)?,
             p_sel: gpu.try_alloc(width, u32::MAX)?,
@@ -193,6 +222,7 @@ impl<'g, T: Scalar> BatchKernelBackend<'g, T> {
     /// Upload the per-round pivot/update gate (one transfer).
     pub fn upload_mask(&mut self, mask: &[u32]) -> Result<(), BackendError> {
         self.gpu.try_htod_into(mask, &mut self.mask)?;
+        self.mask_host.copy_from_slice(mask);
         Ok(())
     }
 
@@ -273,6 +303,13 @@ impl<'g, T: Scalar> BatchKernelBackend<'g, T> {
                 lanes,
             },
         )?;
+        poison_lane_if_corrupted(
+            self.gpu,
+            &self.alpha.view_mut(),
+            &self.mask_host,
+            self.m,
+            self.width,
+        );
         Ok(())
     }
 
@@ -350,6 +387,7 @@ impl<'g, T: Scalar> BatchKernelBackend<'g, T> {
             },
         );
         fl.finish();
+        poison_lane_if_corrupted(self.gpu, &self.beta.view_mut(), mask, self.m, self.width);
         // The device bookkeeping kernel just rewired lanes' bases; keep the
         // host mirror in sync from the already-downloaded selections.
         for b in 0..self.width {

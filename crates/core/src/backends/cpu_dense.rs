@@ -12,7 +12,9 @@ use linalg::cpu_model::{CpuClock, CpuModel};
 use linalg::{DenseMatrix, Scalar};
 
 use crate::backend::{Backend, RatioOutcome};
+use crate::basis::EtaFile;
 use crate::error::BackendError;
+use crate::options::BasisRepresentation;
 
 /// Dense serial CPU backend.
 pub struct CpuDenseBackend<T: Scalar> {
@@ -35,6 +37,11 @@ pub struct CpuDenseBackend<T: Scalar> {
     /// Scratch for the in-place eta update.
     rowp: Vec<T>,
     eta: Vec<T>,
+    /// How `binv` relates to the current basis: under the explicit inverse
+    /// it *is* `B⁻¹`; under the product form it is the `B₀⁻¹` of the last
+    /// refactorization and `etas` carries the pivots since.
+    rep: BasisRepresentation,
+    etas: EtaFile<T>,
 }
 
 impl<T: Scalar> CpuDenseBackend<T> {
@@ -76,12 +83,23 @@ impl<T: Scalar> CpuDenseBackend<T> {
             model,
             rowp: vec![T::ZERO; m],
             eta: vec![T::ZERO; m],
+            rep: BasisRepresentation::ExplicitInverse,
+            etas: EtaFile::new(),
         }
     }
 
     fn charge(&self, flops: u64, bytes: u64) {
         self.clock
             .charge(self.model.op_time(flops, bytes, T::IS_F64));
+    }
+
+    /// Charge the eta-chain tail of an FTRAN/BTRAN: ~2m flops per eta.
+    fn charge_eta_chain(&self) {
+        let m = self.binv.rows() as u64;
+        let k = self.etas.len() as u64;
+        if k > 0 {
+            self.charge(2 * m * k, m * k * T::BYTES);
+        }
     }
 }
 
@@ -124,8 +142,19 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
 
     fn compute_btran(&mut self) -> Result<(), BackendError> {
         let m = self.m() as u64;
-        // π = c_Bᵀ B⁻¹  (a transposed gemv over B⁻¹).
-        blas::gemv_t(T::ONE, &self.binv, &self.cb, T::ZERO, &mut self.pi);
+        match self.rep {
+            BasisRepresentation::ExplicitInverse => {
+                // π = c_Bᵀ B⁻¹  (a transposed gemv over B⁻¹).
+                blas::gemv_t(T::ONE, &self.binv, &self.cb, T::ZERO, &mut self.pi);
+            }
+            BasisRepresentation::ProductForm => {
+                // yᵀ = c_Bᵀ E_k … E_1 (newest eta first), then π = yᵀ B₀⁻¹.
+                self.rowp.copy_from_slice(&self.cb);
+                self.etas.btran_in_place(&mut self.rowp);
+                blas::gemv_t(T::ONE, &self.binv, &self.rowp, T::ZERO, &mut self.pi);
+                self.charge_eta_chain();
+            }
+        }
         self.charge(2 * m * m, m * m * T::BYTES);
         Ok(())
     }
@@ -184,6 +213,11 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
     fn compute_alpha(&mut self, q: usize) -> Result<(), BackendError> {
         assert!(q < self.n_active, "entering column out of active range");
         blas::gemv_n(T::ONE, &self.binv, self.a.col(q), T::ZERO, &mut self.alpha);
+        if self.rep == BasisRepresentation::ProductForm {
+            // α = E_k … E_1 (B₀⁻¹ a_q), oldest eta first.
+            self.etas.ftran_in_place(&mut self.alpha);
+            self.charge_eta_chain();
+        }
         let m = self.m() as u64;
         self.charge(2 * m * m, m * m * T::BYTES);
         Ok(())
@@ -217,6 +251,13 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
             } else {
                 self.beta[i] = (self.beta[i] - theta * self.alpha[i]).maxs(T::ZERO);
             }
+        }
+        if self.rep == BasisRepresentation::ProductForm {
+            // Product form: append the eta, leave B₀⁻¹ untouched — O(m).
+            self.etas.push_pivot(p, &self.alpha);
+            let mu = m as u64;
+            self.charge(4 * mu, 3 * mu * T::BYTES);
+            return Ok(());
         }
         // Eta column.
         let ap = self.alpha[p];
@@ -277,6 +318,8 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
         for v in self.beta.iter_mut() {
             *v = v.maxs(T::ZERO);
         }
+        // The fresh B⁻¹ folds the whole eta chain in; the chain restarts.
+        self.etas.clear();
         // The reinversion itself runs in f64 whatever T is; charge it as
         // such so CPU and GPU backends price refactorization identically.
         let m3 = (m as u64).pow(3);
@@ -289,6 +332,22 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
 
     fn alpha_at(&mut self, i: usize) -> Result<T, BackendError> {
         Ok(self.alpha[i])
+    }
+
+    fn set_representation(&mut self, rep: BasisRepresentation) {
+        debug_assert!(
+            self.etas.is_empty(),
+            "representation must be chosen before the first pivot"
+        );
+        self.rep = rep;
+    }
+
+    fn representation(&self) -> BasisRepresentation {
+        self.rep
+    }
+
+    fn eta_chain_len(&self) -> usize {
+        self.etas.len()
     }
 }
 

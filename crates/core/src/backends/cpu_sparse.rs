@@ -14,7 +14,9 @@ use linalg::sparse::CscMatrix;
 use linalg::{CsrMatrix, DenseMatrix, Scalar};
 
 use crate::backend::{Backend, RatioOutcome};
+use crate::basis::EtaFile;
 use crate::error::BackendError;
+use crate::options::BasisRepresentation;
 
 /// Sparse serial CPU backend.
 pub struct CpuSparseBackend<T: Scalar> {
@@ -35,6 +37,8 @@ pub struct CpuSparseBackend<T: Scalar> {
     model: CpuModel,
     rowp: Vec<T>,
     eta: Vec<T>,
+    rep: BasisRepresentation,
+    etas: EtaFile<T>,
 }
 
 impl<T: Scalar> CpuSparseBackend<T> {
@@ -64,12 +68,23 @@ impl<T: Scalar> CpuSparseBackend<T> {
             model: CpuModel::core2_era(),
             rowp: vec![T::ZERO; m],
             eta: vec![T::ZERO; m],
+            rep: BasisRepresentation::ExplicitInverse,
+            etas: EtaFile::new(),
         }
     }
 
     fn charge(&self, flops: u64, bytes: u64) {
         self.clock
             .charge(self.model.op_time(flops, bytes, T::IS_F64));
+    }
+
+    /// Charge the eta-chain tail of an FTRAN/BTRAN: ~2m flops per eta.
+    fn charge_eta_chain(&self) {
+        let m = self.binv.rows() as u64;
+        let k = self.etas.len() as u64;
+        if k > 0 {
+            self.charge(2 * m * k, m * k * T::BYTES);
+        }
     }
 }
 
@@ -112,8 +127,19 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
 
     fn compute_btran(&mut self) -> Result<(), BackendError> {
         let m = self.m() as u64;
-        // π = c_Bᵀ B⁻¹ — dense, B⁻¹ fills in regardless of A's sparsity.
-        blas::gemv_t(T::ONE, &self.binv, &self.cb, T::ZERO, &mut self.pi);
+        match self.rep {
+            BasisRepresentation::ExplicitInverse => {
+                // π = c_Bᵀ B⁻¹ — dense, B⁻¹ fills in regardless of A's sparsity.
+                blas::gemv_t(T::ONE, &self.binv, &self.cb, T::ZERO, &mut self.pi);
+            }
+            BasisRepresentation::ProductForm => {
+                // π = (c_Bᵀ E_k…E_1) B₀⁻¹ — etas newest-first, then the matvec.
+                self.rowp.copy_from_slice(&self.cb);
+                self.etas.btran_in_place(&mut self.rowp);
+                blas::gemv_t(T::ONE, &self.binv, &self.rowp, T::ZERO, &mut self.pi);
+                self.charge_eta_chain();
+            }
+        }
         self.charge(2 * m * m, m * m * T::BYTES);
         Ok(())
     }
@@ -182,6 +208,10 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
         }
         let m = self.m() as u64;
         self.charge(2 * nnz_q * m, nnz_q * m * T::BYTES);
+        if self.rep == BasisRepresentation::ProductForm {
+            self.etas.ftran_in_place(&mut self.alpha);
+            self.charge_eta_chain();
+        }
         Ok(())
     }
 
@@ -212,6 +242,13 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
             } else {
                 self.beta[i] = (self.beta[i] - theta * self.alpha[i]).maxs(T::ZERO);
             }
+        }
+        if self.rep == BasisRepresentation::ProductForm {
+            // Append to the eta file instead of the O(m²) in-place update.
+            self.etas.push_pivot(p, &self.alpha);
+            let mu = m as u64;
+            self.charge(4 * mu, 3 * mu * T::BYTES);
+            return Ok(());
         }
         let ap = self.alpha[p];
         debug_assert!(ap != T::ZERO, "pivot on zero element");
@@ -250,6 +287,7 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
     }
 
     fn refactorize(&mut self, basis: &[usize]) -> Result<(), BackendError> {
+        self.etas.clear();
         let m = self.m();
         let mut bmat = DenseMatrix::<f64>::zeros(m, m);
         for (r, &j) in basis.iter().enumerate() {
@@ -278,6 +316,22 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
 
     fn alpha_at(&mut self, i: usize) -> Result<T, BackendError> {
         Ok(self.alpha[i])
+    }
+
+    fn set_representation(&mut self, rep: BasisRepresentation) {
+        debug_assert!(
+            self.etas.is_empty(),
+            "representation must be chosen before the first pivot"
+        );
+        self.rep = rep;
+    }
+
+    fn representation(&self) -> BasisRepresentation {
+        self.rep
+    }
+
+    fn eta_chain_len(&self) -> usize {
+        self.etas.len()
     }
 }
 

@@ -10,13 +10,16 @@
 //! the O(m²) eta kernel for `B⁻¹` — every launch and every PCIe round-trip
 //! charged by the simulator.
 
-use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig, Launcher, SimTime, TimeCategory};
+use gpu_sim::{BufferPool, DeviceBuffer, Gpu, LaunchConfig, Launcher, SimTime, TimeCategory};
 use linalg::gpu::{self as gblas, DeviceMatrix, GemvTStrategy, Layout};
 use linalg::{DenseMatrix, Scalar};
 
-use super::gpu_kernels::{GatherAtK, MapNegIdxK, MaskBasicK, RatioK, UpdateBetaK};
+use super::gpu_kernels::{
+    BuildEtaK, EtaBtranK, EtaFtranK, GatherAtK, MapNegIdxK, MaskBasicK, RatioK, UpdateBetaK,
+};
 use crate::backend::{Backend, RatioOutcome};
 use crate::error::BackendError;
+use crate::options::BasisRepresentation;
 
 const BLOCK: u32 = 128;
 
@@ -52,6 +55,17 @@ pub struct GpuDenseBackend<'g, T: Scalar> {
     /// (one launch overhead for the whole chain). Arithmetic is identical
     /// either way; only the accounting differs.
     fuse: bool,
+    /// How `B⁻¹` is maintained between reinversions.
+    rep: BasisRepresentation,
+    /// Device-resident eta chain (pivot row + eta column), oldest first.
+    etas: Vec<(usize, DeviceBuffer<T>)>,
+    /// Recycles retired eta buffers across reinversions so the steady
+    /// state allocates nothing (the device eta memory manager).
+    pool: BufferPool<T>,
+    /// Length-m scratch for the BTRAN eta sweep (`c_B` working copy).
+    work: DeviceBuffer<T>,
+    /// Length-m ping-pong partner for the FTRAN eta sweep over `α`.
+    alpha_tmp: DeviceBuffer<T>,
 }
 
 impl<'g, T: Scalar> GpuDenseBackend<'g, T> {
@@ -140,6 +154,8 @@ impl<'g, T: Scalar> GpuDenseBackend<'g, T> {
         let xb_host: Vec<u32> = basis0.iter().map(|&j| j as u32).collect();
         let xb = gpu.try_htod(&xb_host)?;
         let stage = gpu.try_alloc(2, T::ZERO)?;
+        let work = gpu.try_alloc(m, T::ZERO)?;
+        let alpha_tmp = gpu.try_alloc(m, T::ZERO)?;
         Ok(GpuDenseBackend {
             gpu,
             a_host: a.clone(),
@@ -160,6 +176,11 @@ impl<'g, T: Scalar> GpuDenseBackend<'g, T> {
             gemv_t_strategy,
             stage,
             fuse: true,
+            rep: BasisRepresentation::ExplicitInverse,
+            etas: Vec::new(),
+            pool: BufferPool::new(),
+            work,
+            alpha_tmp,
         })
     }
 
@@ -209,6 +230,60 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
     }
 
     fn compute_btran(&mut self) -> Result<(), BackendError> {
+        if self.rep == BasisRepresentation::ProductForm {
+            // π = ((c_Bᵀ E_k…E_1) B₀⁻¹)ᵀ: copy c_B into the work buffer,
+            // sweep the eta chain newest-first (each touches one entry),
+            // then one transposed gemv against the frozen B₀⁻¹.
+            if self.fuse {
+                let mut fl = self.gpu.try_begin_fused("btran_eta_fused")?;
+                let mut l = Launcher::Fused(&mut fl);
+                gblas::copy_on(&mut l, self.cb.view(), self.work.view_mut())?;
+                for (p, eta) in self.etas.iter().rev() {
+                    l.try_launch(
+                        LaunchConfig::for_elems(self.m, BLOCK),
+                        &EtaBtranK {
+                            y: self.work.view_mut(),
+                            eta: eta.view(),
+                            p: *p,
+                            m: self.m,
+                        },
+                    )?;
+                }
+                gblas::gemv_t_on(
+                    &mut l,
+                    T::ONE,
+                    &self.binv,
+                    self.work.view(),
+                    T::ZERO,
+                    self.pi.view_mut(),
+                    self.gemv_t_strategy,
+                )?;
+                fl.finish();
+            } else {
+                gblas::copy(self.gpu, self.cb.view(), self.work.view_mut())?;
+                for (p, eta) in self.etas.iter().rev() {
+                    self.gpu.try_launch(
+                        LaunchConfig::for_elems(self.m, BLOCK),
+                        &EtaBtranK {
+                            y: self.work.view_mut(),
+                            eta: eta.view(),
+                            p: *p,
+                            m: self.m,
+                        },
+                    )?;
+                }
+                gblas::gemv_t(
+                    self.gpu,
+                    T::ONE,
+                    &self.binv,
+                    self.work.view(),
+                    T::ZERO,
+                    self.pi.view_mut(),
+                    self.gemv_t_strategy,
+                )?;
+            }
+            return Ok(());
+        }
         // π = c_Bᵀ B⁻¹  ⇔  π = (B⁻¹)ᵀ c_B.
         if self.fuse {
             let mut fl = self.gpu.try_begin_fused("btran_fused")?;
@@ -444,6 +519,23 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
                 )?;
             }
         }
+        if self.rep == BasisRepresentation::ProductForm {
+            // FTRAN tail: α ← E_k…E_1 α, oldest-first, ping-ponging between
+            // α and its scratch partner so row p is never read after write.
+            for (p, eta) in &self.etas {
+                self.gpu.try_launch(
+                    LaunchConfig::for_elems(self.m, BLOCK),
+                    &EtaFtranK {
+                        x: self.alpha.view(),
+                        eta: eta.view(),
+                        p: *p,
+                        out: self.alpha_tmp.view_mut(),
+                        m: self.m,
+                    },
+                )?;
+                std::mem::swap(&mut self.alpha, &mut self.alpha_tmp);
+            }
+        }
         Ok(())
     }
 
@@ -490,6 +582,31 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
             p,
             m: self.m,
         };
+        if self.rep == BasisRepresentation::ProductForm {
+            // β update + eta construction into a pooled device buffer; B₀⁻¹
+            // stays frozen, so no O(m²) kernel here.
+            let mut eta = self.pool.take(self.gpu, self.m, T::ZERO)?;
+            let build = BuildEtaK {
+                alpha: self.alpha.view(),
+                p,
+                out: eta.view_mut(),
+                m: self.m,
+            };
+            if self.fuse {
+                let mut fl = self.gpu.try_begin_fused("update_eta_fused")?;
+                let mut l = Launcher::Fused(&mut fl);
+                l.try_launch(LaunchConfig::for_elems(self.m, BLOCK), &upd)?;
+                l.try_launch(LaunchConfig::for_elems(self.m, BLOCK), &build)?;
+                fl.finish();
+            } else {
+                self.gpu
+                    .try_launch(LaunchConfig::for_elems(self.m, BLOCK), &upd)?;
+                self.gpu
+                    .try_launch(LaunchConfig::for_elems(self.m, BLOCK), &build)?;
+            }
+            self.etas.push((p, eta));
+            return Ok(());
+        }
         if self.fuse {
             // β update + the rank-1 pivot chain (η scaling, pivot-row
             // extraction, elimination) as one fused group.
@@ -515,6 +632,11 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
     }
 
     fn refactorize(&mut self, basis: &[usize]) -> Result<(), BackendError> {
+        // Retire the eta chain into the pool: the rebuilt B⁻¹ absorbs it,
+        // and the buffers get recycled by the next round of pivots.
+        for (_, eta) in self.etas.drain(..) {
+            self.pool.give(eta);
+        }
         // Fast path: device-resident Gauss–Jordan reinversion over [B | I]
         // (col-major only; no pivoting — falls back to the pivoting host
         // path on a small pivot). A *device* failure propagates; only the
@@ -531,6 +653,22 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
 
     fn alpha_at(&mut self, i: usize) -> Result<T, BackendError> {
         Ok(self.gpu.try_dtoh_range(&self.alpha, i, 1)?[0])
+    }
+
+    fn set_representation(&mut self, rep: BasisRepresentation) {
+        debug_assert!(
+            self.etas.is_empty(),
+            "representation must be chosen before the first pivot"
+        );
+        self.rep = rep;
+    }
+
+    fn representation(&self) -> BasisRepresentation {
+        self.rep
+    }
+
+    fn eta_chain_len(&self) -> usize {
+        self.etas.len()
     }
 }
 

@@ -193,6 +193,125 @@ impl<T: Scalar> Kernel for GatherAtK<T> {
     }
 }
 
+/// Build the eta column for a product-form pivot, out-of-place:
+/// `out[p] = 1/α[p]`, `out[i] = −α[i]/α[p]` elsewhere. Replaces the O(m²)
+/// in-place `B⁻¹` update when the backend runs the product-form
+/// representation.
+pub struct BuildEtaK<T: Scalar> {
+    pub alpha: DView<T>,
+    pub p: usize,
+    pub out: DViewMut<T>,
+    pub m: usize,
+}
+
+impl<T: Scalar> Kernel for BuildEtaK<T> {
+    fn name(&self) -> &'static str {
+        "build_eta"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let i = t.global_id();
+        if i >= self.m {
+            return;
+        }
+        let ap = self.alpha.get(self.p);
+        let v = if i == self.p {
+            T::ONE / ap
+        } else {
+            -self.alpha.get(i) / ap
+        };
+        self.out.set(i, v);
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let m = self.m as u64;
+        KernelCost::new()
+            .flops_total(2 * m)
+            .fp64(T::IS_F64)
+            .read(AccessPattern::broadcast::<T>(1))
+            .read(AccessPattern::coalesced::<T>(m))
+            .write(AccessPattern::coalesced::<T>(m))
+            .active_threads(cfg, m)
+    }
+}
+
+/// Product-form FTRAN step: apply one eta column to `x`, out-of-place
+/// (ping-pong buffers avoid the read/write race on row `p`):
+/// `out[i] = x[i] + η[i]·x[p]` (i ≠ p), `out[p] = η[p]·x[p]`.
+pub struct EtaFtranK<T: Scalar> {
+    pub x: DView<T>,
+    pub eta: DView<T>,
+    pub p: usize,
+    pub out: DViewMut<T>,
+    pub m: usize,
+}
+
+impl<T: Scalar> Kernel for EtaFtranK<T> {
+    fn name(&self) -> &'static str {
+        "eta_ftran"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let i = t.global_id();
+        if i >= self.m {
+            return;
+        }
+        let xp = self.x.get(self.p);
+        let v = if i == self.p {
+            self.eta.get(self.p) * xp
+        } else {
+            self.x.get(i) + self.eta.get(i) * xp
+        };
+        self.out.set(i, v);
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let m = self.m as u64;
+        KernelCost::new()
+            .flops_total(2 * m)
+            .fp64(T::IS_F64)
+            .read(AccessPattern::broadcast::<T>(1))
+            .read(AccessPattern::coalesced::<T>(m))
+            .read(AccessPattern::coalesced::<T>(m))
+            .write(AccessPattern::coalesced::<T>(m))
+            .active_threads(cfg, m)
+    }
+}
+
+/// Product-form BTRAN step: `y[p] = ⟨y, η⟩`, every other entry unchanged —
+/// one small dot-product reduction per eta in the chain, newest-first.
+pub struct EtaBtranK<T: Scalar> {
+    pub y: DViewMut<T>,
+    pub eta: DView<T>,
+    pub p: usize,
+    pub m: usize,
+}
+
+impl<T: Scalar> Kernel for EtaBtranK<T> {
+    fn name(&self) -> &'static str {
+        "eta_btran"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        // Functionally serial (thread 0 owns the reduction); the cost
+        // descriptor below models it as the parallel tree reduction it
+        // would be on real hardware.
+        if t.global_id() > 0 {
+            return;
+        }
+        let mut s = T::ZERO;
+        for i in 0..self.m {
+            s += self.y.get(i) * self.eta.get(i);
+        }
+        self.y.set(self.p, s);
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let m = self.m as u64;
+        KernelCost::new()
+            .flops_total(2 * m)
+            .fp64(T::IS_F64)
+            .read(AccessPattern::coalesced::<T>(m))
+            .read(AccessPattern::coalesced::<T>(m))
+            .write(AccessPattern::coalesced::<T>(1))
+            .active_threads(cfg, m)
+    }
+}
+
 /// Elementwise clamp to non-negative: `x[i] = max(x[i], 0)` — applied to a
 /// freshly recomputed β to keep round-off from seeding negative basics.
 pub struct ClampNonNegK<T: Scalar> {
@@ -284,6 +403,50 @@ mod tests {
         assert!(r[1].is_infinite()); // negative α filtered
         assert!(r[2].is_infinite()); // below pivot tolerance
         assert_eq!(r[3], 0.0); // negative β clamped → degenerate step
+    }
+
+    #[test]
+    fn eta_kernels_apply_one_product_form_step() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let cfg = gpu_sim::LaunchConfig::for_elems(3, 128);
+        let alpha = gpu.htod(&[1.0f64, 2.0, 4.0]);
+        let mut eta = gpu.alloc(3, 0.0f64);
+        gpu.launch(
+            cfg,
+            &BuildEtaK {
+                alpha: alpha.view(),
+                p: 2,
+                out: eta.view_mut(),
+                m: 3,
+            },
+        );
+        assert_eq!(gpu.dtoh(&eta), vec![-0.25, -0.5, 0.25]);
+        // FTRAN: x = (1,1,1), x_p = 1 → (1−0.25, 1−0.5, 0.25).
+        let x = gpu.htod(&[1.0f64, 1.0, 1.0]);
+        let mut out = gpu.alloc(3, 0.0f64);
+        gpu.launch(
+            cfg,
+            &EtaFtranK {
+                x: x.view(),
+                eta: eta.view(),
+                p: 2,
+                out: out.view_mut(),
+                m: 3,
+            },
+        );
+        assert_eq!(gpu.dtoh(&out), vec![0.75, 0.5, 0.25]);
+        // BTRAN: y = (1,1,1) → y_p = ⟨y, η⟩ = −0.5, others untouched.
+        let mut y = gpu.htod(&[1.0f64, 1.0, 1.0]);
+        gpu.launch(
+            cfg,
+            &EtaBtranK {
+                y: y.view_mut(),
+                eta: eta.view(),
+                p: 2,
+                m: 3,
+            },
+        );
+        assert_eq!(gpu.dtoh(&y), vec![1.0, 1.0, -0.5]);
     }
 
     #[test]

@@ -45,7 +45,7 @@ use crate::backend::{Backend, RatioOutcome};
 use crate::backends::{BatchKernelBackend, BatchMember};
 use crate::checkpoint::SolveCheckpoint;
 use crate::error::{BackendError, SolveError};
-use crate::options::{PivotRule, SolverOptions};
+use crate::options::{BasisRepresentation, DegeneracyPolicy, PivotRule, SolverOptions};
 use crate::result::{Status, StdResult};
 use crate::stats::{SolveStats, Step};
 use crate::trace::{NoopRecorder, Recorder, StepKind};
@@ -57,11 +57,17 @@ const MAX_CONSECUTIVE_RECOVERIES: usize = 3;
 /// Whether this option set can run on the lockstep mega path at all.
 /// Partial pricing rotates a per-solve cursor (lanes would desynchronize)
 /// and wall-clock deadlines need the per-solve machinery of the stream
-/// path. Incompatible batches fall back to stream-per-job. Fault injection
+/// path. The SoA kernels maintain one explicit per-lane `B⁻¹` and the
+/// control mask only encodes the Bland escalation, so the product-form
+/// representation and the perturbation policy also fall back to
+/// stream-per-job. Incompatible batches do exactly that. Fault injection
 /// *is* in scope: a mid-round device fault evacuates the live lanes as
 /// checkpointed stream-per-job resumes (see [`LaneOutcome::Evacuated`]).
 pub fn mega_compatible(opts: &SolverOptions) -> bool {
-    opts.time_limit.is_none() && !matches!(opts.pivot_rule, PivotRule::PartialDantzig { .. })
+    opts.time_limit.is_none()
+        && !matches!(opts.pivot_rule, PivotRule::PartialDantzig { .. })
+        && opts.basis_representation == BasisRepresentation::ExplicitInverse
+        && matches!(opts.degeneracy, DegeneracyPolicy::BlandFallback)
 }
 
 /// Terminal state of one lane after a mega family run that may have been
@@ -561,6 +567,8 @@ impl<T: Scalar, R: Recorder> MegaDriver<'_, '_, T, R> {
             bland_mode: lane.bland_mode,
             stall: lane.stall,
             price_cursor: 0,
+            representation: BasisRepresentation::ExplicitInverse,
+            eta_len: 0,
         }));
         lane.last_ckpt_iter = lane.stats.iterations;
     }
@@ -596,6 +604,10 @@ impl<T: Scalar, R: Recorder> MegaDriver<'_, '_, T, R> {
         let lane = &mut self.lanes[b];
         lane.stats.refactorizations += 1;
         lane.stats.nan_recoveries += 1;
+        // The stall streak was measured against the corrupted iterate; the
+        // rebuilt basis starts a fresh streak (parity with the solo
+        // driver's recover).
+        lane.stall = 0;
         self.span_close(b, StepKind::Refactorize, Step::Refactor, span);
         Ok(true)
     }
@@ -1007,5 +1019,80 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Satellite regression (anti-cycling accounting): an emergency
+    /// reinversion restarts the degenerate-step streak, exactly like the
+    /// solo driver's `recover` — the streak was measured against the
+    /// corrupted iterate, so letting it survive recovery would trip the
+    /// Bland escalation on stale evidence.
+    #[test]
+    fn lane_recovery_resets_stall_counter() {
+        let jobs: Vec<_> = (0..2)
+            .map(|s| generator::dense_random(6, 9, s + 80))
+            .collect();
+        let sfs: Vec<StandardForm<f64>> = jobs
+            .iter()
+            .map(|j| StandardForm::from_lp(j).expect("standardizes"))
+            .collect();
+        let refs: Vec<&StandardForm<f64>> = sfs.iter().collect();
+        let opts = SolverOptions {
+            presolve: false,
+            scale: false,
+            ..Default::default()
+        };
+        let n_active = refs[0].num_cols() - refs[0].num_artificials;
+        let members: Vec<BatchMember<'_, f64>> = refs
+            .iter()
+            .map(|sf| BatchMember {
+                a: &sf.a,
+                b: &sf.b,
+                n_active,
+                basis0: &sf.basis0,
+            })
+            .collect();
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let be = BatchKernelBackend::try_new(&gpu, &members).expect("fault-free construction");
+        let mut driver = MegaDriver::<f64, NoopRecorder> {
+            be,
+            sfs: &refs,
+            opts: &opts,
+            lanes: refs
+                .iter()
+                .map(|sf| Lane {
+                    xb: sf.basis0.clone(),
+                    stats: SolveStats::default(),
+                    bland_mode: false,
+                    stall: 0,
+                    iters_here: 0,
+                    recoveries_left: MAX_CONSECUTIVE_RECOVERIES,
+                    phase: Phase::Two,
+                    phase_tag: 0,
+                    live: true,
+                    outcome: None,
+                    q: 0,
+                    use_bland_now: false,
+                    ckpt: None,
+                    last_ckpt_iter: 0,
+                })
+                .collect(),
+            recs: None,
+            wall: Instant::now(),
+            max_iters: opts.max_iters_for(refs[0].num_rows(), refs[0].num_cols()),
+            n_active,
+        };
+        driver.init(vec![None; 2]).expect("init succeeds");
+        driver.lanes[0].stall = 7;
+        driver.lanes[1].stall = 3;
+        let live = driver.recover(0).expect("reinversion from a sane basis");
+        assert!(live, "recovered lane stays in the round loop");
+        assert_eq!(
+            driver.lanes[0].stall, 0,
+            "emergency reinversion must restart the degenerate streak"
+        );
+        assert_eq!(driver.lanes[0].stats.nan_recoveries, 1);
+        // The sibling lane's streak is untouched — recovery is lane-local.
+        assert_eq!(driver.lanes[1].stall, 3);
+        assert_eq!(driver.lanes[1].stats.nan_recoveries, 0);
     }
 }

@@ -16,6 +16,7 @@
 
 use std::sync::Mutex;
 
+use crate::options::BasisRepresentation;
 use crate::stats::SolveStats;
 
 /// A resumable snapshot of one in-flight revised simplex solve, taken at a
@@ -39,6 +40,17 @@ pub struct SolveCheckpoint {
     pub stall: usize,
     /// Partial-pricing rotation cursor at the snapshot.
     pub price_cursor: usize,
+    /// How the backend maintained `B⁻¹` when the snapshot was taken; the
+    /// resume installs the same representation so the continued walk stays
+    /// on the snapshotting run's arithmetic path.
+    pub representation: BasisRepresentation,
+    /// Product-form eta chain length at the snapshot. Snapshots are only
+    /// taken at refactorization boundaries, where the chain has just been
+    /// folded into `B₀⁻¹` — so this is always 0, and the invariant is
+    /// asserted at both store and install time. The field exists so a
+    /// violation is visible in the snapshot itself, not just in a debug
+    /// assert.
+    pub eta_len: usize,
 }
 
 #[derive(Debug, Default)]
@@ -123,6 +135,8 @@ mod tests {
             bland_mode: false,
             stall: 0,
             price_cursor: 0,
+            representation: BasisRepresentation::ExplicitInverse,
+            eta_len: 0,
         }
     }
 

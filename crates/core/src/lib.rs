@@ -38,6 +38,7 @@
 
 pub mod backend;
 pub mod backends;
+pub mod basis;
 pub mod batch;
 pub mod checkpoint;
 pub mod error;
@@ -55,6 +56,7 @@ pub mod verify;
 
 pub use backend::{Backend, RatioOutcome};
 pub use backends::{BatchKernelBackend, BatchMember, LaneView};
+pub use basis::{Eta, EtaFile};
 pub use batch::mega::{
     mega_compatible, try_solve_family_mega, try_solve_family_mega_ckpt,
     try_solve_family_mega_ckpt_recorded, try_solve_family_mega_recorded, LaneOutcome,
@@ -67,7 +69,7 @@ pub use batch::{
 pub use checkpoint::{CheckpointSlot, SolveCheckpoint};
 pub use error::{BackendError, SolveError};
 pub use metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
-pub use options::{PivotRule, SolverOptions};
+pub use options::{BasisRepresentation, DegeneracyPolicy, PivotRule, SolverOptions};
 pub use resilient::{ResilienceOptions, ResilientOutcome, ResilientSolver, RetryPolicy};
 pub use result::{LpSolution, Status, StdResult};
 pub use revised::RevisedSimplex;

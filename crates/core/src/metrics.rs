@@ -96,6 +96,9 @@ impl MetricsRegistry {
         self.inc("solve.checkpoints_taken", stats.checkpoints_taken as u64);
         self.inc("solve.checkpoint_resumes", stats.checkpoint_resumes as u64);
         self.inc("solve.wasted_iterations", stats.wasted_iterations);
+        self.inc("solve.eta_pivots", stats.eta_pivots as u64);
+        self.inc("solve.perturbations", stats.perturbations as u64);
+        self.set_gauge("solve.max_eta_chain", stats.max_eta_chain as f64);
         self.add_gauge("solve.sim_seconds", stats.total_time().as_secs_f64());
         self.add_gauge("solve.wall_seconds", stats.wall_seconds);
         self.add_gauge("solve.backoff_seconds", stats.backoff_seconds);
@@ -162,6 +165,8 @@ impl MetricsRegistry {
         self.inc("device.mem_bytes", c.mem_bytes);
         self.inc("device.flops", c.flops);
         self.inc("device.streams_retired", c.streams_retired);
+        self.inc("device.pool.allocs", c.pool_allocs);
+        self.inc("device.pool.recycles", c.pool_recycles);
         self.add_gauge("device.elapsed_seconds", c.elapsed.as_secs_f64());
         self.set_gauge("device.peak_allocated_bytes", c.peak_allocated_bytes as f64);
         for cat in TimeCategory::ALL {
@@ -328,8 +333,10 @@ mod tests {
                 "solve.degenerate_steps",
                 "solve.degradations",
                 "solve.device_faults",
+                "solve.eta_pivots",
                 "solve.iterations",
                 "solve.nan_recoveries",
+                "solve.perturbations",
                 "solve.phase1.iterations",
                 "solve.phase2.iterations",
                 "solve.refactorizations",
@@ -344,6 +351,7 @@ mod tests {
             "solve.sim_seconds",
             "solve.wall_seconds",
             "solve.backoff_seconds",
+            "solve.max_eta_chain",
         ] {
             assert!(reg.gauge(g).is_some(), "missing gauge {g}");
         }

@@ -29,6 +29,56 @@ pub enum PivotRule {
     },
 }
 
+/// How the backend maintains the basis inverse between reinversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BasisRepresentation {
+    /// Dense explicit `B⁻¹`, updated in place by a rank-1 Gauss–Jordan
+    /// sweep every pivot — the paper's kernel, O(m²) per iteration. The
+    /// fidelity baseline: every bitwise parity suite runs against it.
+    #[default]
+    ExplicitInverse,
+    /// Product-form of the inverse: keep the last refactorized `B₀⁻¹` and
+    /// a chain of eta vectors, one per pivot since. FTRAN/BTRAN apply the
+    /// chain in O(m) per eta, so an iteration costs O(m² + m·k) with
+    /// `k` bounded by [`SolverOptions::refactor_period`] (each periodic
+    /// reinversion folds the chain back into `B₀⁻¹` and clears it) —
+    /// versus the explicit path's ~2× m² update on top. Pivot choices can
+    /// differ from the explicit path in final ulps on ties; objectives
+    /// agree to verification tolerance.
+    ProductForm,
+}
+
+impl BasisRepresentation {
+    /// Stable label used in traces, stats, and bench CSVs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BasisRepresentation::ExplicitInverse => "explicit-inverse",
+            BasisRepresentation::ProductForm => "product-form",
+        }
+    }
+}
+
+/// What the driver does when a degeneracy stall trips
+/// [`SolverOptions::stall_threshold`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DegeneracyPolicy {
+    /// Switch to Bland's rule until the objective moves — the legacy
+    /// escalation, and the default (the mega-batch lockstep replica and
+    /// the bitwise parity suites assume it).
+    #[default]
+    BlandFallback,
+    /// Bounded deterministic cost perturbation first: nudge every cost by
+    /// a column-hashed fraction of `scale` to break the tie set, and reset
+    /// to the true costs at the next reinversion boundary (checkpoints
+    /// stay pure functions of the basis) or before declaring optimality.
+    /// Escalates to Bland only if the stall survives a perturbed stretch.
+    Perturb {
+        /// Relative perturbation magnitude (of each cost's own size);
+        /// clamped to a small positive value. 1e-7-ish is typical.
+        scale: f64,
+    },
+}
+
 /// Solver options. `Default` reproduces the paper's configuration
 /// (Dantzig pricing with a stall fallback, periodic reinversion).
 #[derive(Debug, Clone, PartialEq)]
@@ -45,8 +95,21 @@ pub struct SolverOptions {
     /// `None` picks a precision-appropriate default.
     pub feas_tol: Option<f64>,
     /// Recompute `B⁻¹` from the basis columns every this many iterations
-    /// (purges accumulated rank-1-update error). 0 disables.
+    /// (purges accumulated rank-1-update error). Under
+    /// [`BasisRepresentation::ProductForm`] this is also the bound on the
+    /// eta-chain length: each periodic reinversion folds the chain into a
+    /// fresh `B₀⁻¹`. 0 disables (the product-form chain then grows without
+    /// bound — legal, but per-iteration cost creeps up with the chain).
     pub refactor_period: usize,
+    /// How the backend maintains the basis inverse between reinversions.
+    /// [`BasisRepresentation::ExplicitInverse`] (default) is the paper's
+    /// O(m²)-per-pivot dense update; [`BasisRepresentation::ProductForm`]
+    /// trades it for an eta chain bounded by `refactor_period`.
+    pub basis_representation: BasisRepresentation,
+    /// Degeneracy handling once `stall_threshold` trips. The default
+    /// [`DegeneracyPolicy::BlandFallback`] preserves the legacy pivot
+    /// paths bit-for-bit.
+    pub degeneracy: DegeneracyPolicy,
     /// Hard iteration cap per phase; `None` = `20·(m + n) + 200`.
     pub max_iterations: Option<usize>,
     /// Consecutive zero-step iterations before Hybrid switches to Bland.
@@ -93,6 +156,8 @@ impl Default for SolverOptions {
             pivot_tol: None,
             feas_tol: None,
             refactor_period: 64,
+            basis_representation: BasisRepresentation::default(),
+            degeneracy: DegeneracyPolicy::default(),
             max_iterations: None,
             stall_threshold: 12,
             scale: true,

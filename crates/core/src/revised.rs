@@ -30,7 +30,7 @@ use lp::StandardForm;
 use crate::backend::{Backend, RatioOutcome};
 use crate::checkpoint::{CheckpointSlot, SolveCheckpoint};
 use crate::error::{BackendError, SolveError};
-use crate::options::{PivotRule, SolverOptions};
+use crate::options::{BasisRepresentation, DegeneracyPolicy, PivotRule, SolverOptions};
 use crate::result::{Status, StdResult};
 use crate::stats::{SolveStats, Step};
 use crate::trace::{NoopRecorder, Recorder, StepKind};
@@ -38,6 +38,21 @@ use crate::trace::{NoopRecorder, Recorder, StepKind};
 /// Consecutive emergency reinversions tolerated before a phase gives up
 /// and reports numerical failure.
 const MAX_CONSECUTIVE_RECOVERIES: usize = 3;
+
+/// Deterministic per-column jitter in `[0.5, 1.5)` for the cost
+/// perturbation (FNV-1a over the column index). Pure function of `j`, so
+/// the perturbed walk — and its deterministic reset — replays identically
+/// across runs and backends.
+fn column_jitter(j: usize) -> f64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for byte in (j as u64).to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    0.5 + (h >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// Host-side primal feasibility probe for a warm-start candidate: solve
 /// `B x_B = b` in f64 and require every component ≥ `-tol`. A singular or
@@ -119,6 +134,8 @@ pub struct RevisedSimplex<'a, T: Scalar, B: Backend<T>, R: Recorder = NoopRecord
     resume_iters_here: Option<usize>,
     /// Solve-wide iteration count at the most recent stored checkpoint.
     last_ckpt_iter: usize,
+    /// A degeneracy cost perturbation is currently installed.
+    perturbed: bool,
 }
 
 impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
@@ -180,6 +197,10 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
         rec: Option<&'a mut R>,
     ) -> Self {
         let max_iters = opts.max_iters_for(sf.num_rows(), sf.num_cols());
+        // The representation must be chosen before the first pivot; routing
+        // it through the driver covers every construction path (direct,
+        // warm, resumed) with one call site.
+        backend.set_representation(opts.basis_representation);
         RevisedSimplex {
             backend,
             sf,
@@ -197,6 +218,7 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
             resume: None,
             resume_iters_here: None,
             last_ckpt_iter: 0,
+            perturbed: false,
         }
     }
 
@@ -339,6 +361,12 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
     /// stats so a resumed run's final counters match the solo run's.
     fn store_checkpoint(&mut self, phase: u8, iters_here: usize) {
         let Some(slot) = self.ckpt else { return };
+        let eta_len = self.backend.eta_chain_len();
+        debug_assert_eq!(
+            eta_len, 0,
+            "checkpoints are only taken at refactorization boundaries, \
+             where the eta chain has been folded into B₀⁻¹"
+        );
         self.stats.checkpoints_taken += 1;
         slot.store(SolveCheckpoint {
             basis: self.xb.clone(),
@@ -348,6 +376,8 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
             bland_mode: self.bland_mode,
             stall: self.stall,
             price_cursor: self.price_cursor,
+            representation: self.backend.representation(),
+            eta_len,
         });
         self.last_ckpt_iter = self.stats.iterations;
     }
@@ -383,6 +413,11 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
         // to the resumed ledger rather than thrown away.
         self.stats = cp.stats;
         self.stats.checkpoint_resumes += 1;
+        // Resume on the snapshotting run's representation (it may differ
+        // from this driver's options, e.g. evacuating to another backend).
+        // The chain is empty at a boundary, so the install is legal here.
+        debug_assert_eq!(cp.eta_len, 0, "snapshot taken off a boundary");
+        self.backend.set_representation(cp.representation);
         let span = self.span_begin();
         match self.backend.refactorize(&cp.basis) {
             Ok(()) => {}
@@ -620,6 +655,10 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
         }
         self.stats.refactorizations += 1;
         self.stats.nan_recoveries += 1;
+        // The stall streak was measured against the corrupted iterate; the
+        // rebuilt basis starts a fresh streak. (Leaving it hot leaked a
+        // premature Bland escalation into the repaired walk.)
+        self.stall = 0;
         self.span_close(StepKind::Refactorize, Step::Refactor, span);
         Ok(true)
     }
@@ -658,6 +697,10 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
                 }
                 self.stats.refactorizations += 1;
                 self.span_close(StepKind::Refactorize, Step::Refactor, span);
+                // Deterministic perturbation reset: exact costs come back at
+                // every reinversion boundary, so a snapshot taken below
+                // never captures a perturbed objective.
+                self.clear_perturbation(phase)?;
                 // `B⁻¹` is now a pure function of the basis — the one state
                 // a snapshot can resume bitwise. Pure observation: the
                 // checkpoint cadence never forces an extra reinversion.
@@ -670,6 +713,13 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
             let entering = self.price_and_select(opt_tol, use_bland)?;
             self.check_deadline(wall)?;
             let Some((q, dq)) = entering else {
+                if self.perturbed {
+                    // "Optimal" against perturbed costs is not a
+                    // certificate: restore the exact objective and re-price
+                    // before declaring convergence.
+                    self.clear_perturbation(phase)?;
+                    continue;
+                }
                 return Ok(PhaseEnd::Converged);
             };
             // Corruption check *before* the improvement assertion: a NaN
@@ -717,7 +767,16 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
                 self.check_deadline(wall)?;
             }
             let (p, theta) = match outcome {
-                RatioOutcome::Unbounded => return Ok(PhaseEnd::Unbounded),
+                RatioOutcome::Unbounded => {
+                    if self.perturbed {
+                        // The ray was found for a column priced under
+                        // perturbed costs; certify against the exact
+                        // objective before declaring unboundedness.
+                        self.clear_perturbation(phase)?;
+                        continue;
+                    }
+                    return Ok(PhaseEnd::Unbounded);
+                }
                 RatioOutcome::Pivot { p, theta } => (p, theta),
             };
             if !theta.is_finite() {
@@ -769,18 +828,43 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
                     self.bland_mode = false;
                 }
             }
-            if matches!(
-                self.opts.pivot_rule,
-                PivotRule::Hybrid | PivotRule::PartialDantzig { .. }
-            ) && self.stall >= self.opts.stall_threshold
-            {
-                self.bland_mode = true;
+            match self.opts.degeneracy {
+                DegeneracyPolicy::BlandFallback => {
+                    // Legacy ladder: stall straight into Bland's rule.
+                    if matches!(
+                        self.opts.pivot_rule,
+                        PivotRule::Hybrid | PivotRule::PartialDantzig { .. }
+                    ) && self.stall >= self.opts.stall_threshold
+                    {
+                        self.bland_mode = true;
+                    }
+                }
+                DegeneracyPolicy::Perturb { scale } => {
+                    // Principled ladder: perturb first (cheap, keeps the
+                    // fast pricing rule), escalate to Bland only if the
+                    // stall outlives a full perturbed window.
+                    if self.stall >= self.opts.stall_threshold {
+                        if !self.perturbed {
+                            self.apply_perturbation(phase, scale)?;
+                            self.stall = 0;
+                        } else {
+                            self.bland_mode = true;
+                        }
+                    }
+                }
             }
             if use_bland {
                 self.stats.bland_iterations += 1;
                 self.stats.phase[pidx].bland_iterations += 1;
             }
 
+            if self.backend.representation() == BasisRepresentation::ProductForm {
+                self.stats.eta_pivots += 1;
+                let k = self.backend.eta_chain_len();
+                if k > self.stats.max_eta_chain {
+                    self.stats.max_eta_chain = k;
+                }
+            }
             self.stats.iterations += 1;
             self.stats.phase[pidx].iterations += 1;
             if phase == Phase::One {
@@ -857,6 +941,54 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
                 self.span_close(StepKind::Pricing, Step::Selection, span);
                 Ok(entering)
             }
+        }
+    }
+
+    /// Install the bounded, deterministic cost perturbation: each active
+    /// column's phase cost gets `+ scale · jitter(j)` with jitter in
+    /// `[0.5, 1.5)`. The shifted reduced costs reorder Dantzig selection,
+    /// which is what breaks a degenerate cycle; the exact objective is
+    /// restored at the next reinversion boundary (and always before
+    /// optimality is declared), so the terminal certificate is exact.
+    fn apply_perturbation(&mut self, phase: Phase, scale: f64) -> Result<(), SolveError> {
+        let span = self.span_begin();
+        let n = self.backend.n_active();
+        let mut pert = vec![T::ZERO; n];
+        for (j, pj) in pert.iter_mut().enumerate() {
+            let base = match phase {
+                Phase::One => T::ZERO,
+                Phase::Two => self.sf.c[j],
+            };
+            *pj = base + T::from_f64(scale * column_jitter(j));
+        }
+        self.backend.set_phase_costs(&pert)?;
+        for r in 0..self.sf.num_rows() {
+            let col = self.xb[r];
+            let cost = if col < n {
+                pert[col]
+            } else if phase == Phase::One {
+                T::ONE // artificial under the phase-1 objective
+            } else {
+                T::ZERO
+            };
+            self.backend.set_basic_cost(r, cost)?;
+        }
+        self.perturbed = true;
+        self.stats.perturbations += 1;
+        self.span_close(StepKind::Transfer, Step::Other, span);
+        Ok(())
+    }
+
+    /// Remove the perturbation by reinstalling the exact phase objective.
+    /// No-op when none is active.
+    fn clear_perturbation(&mut self, phase: Phase) -> Result<(), SolveError> {
+        if !self.perturbed {
+            return Ok(());
+        }
+        self.perturbed = false;
+        match phase {
+            Phase::One => self.enter_phase1(),
+            Phase::Two => self.enter_phase2(),
         }
     }
 
@@ -947,6 +1079,69 @@ mod tests {
             "phase-2 entry must not reset the stall counter"
         );
         assert_eq!(driver.phase_tag, 2);
+    }
+
+    /// Satellite regression (failing pre-fix): an emergency reinversion
+    /// rebuilds the iterate from scratch, so the stall streak measured
+    /// against the corrupted state must not survive it. The pre-fix
+    /// `recover()` left the counter hot, leaking a premature Bland
+    /// escalation into the repaired walk.
+    #[test]
+    fn emergency_reinversion_resets_stall_counter() {
+        let lp = degenerate_lp();
+        let sf = StandardForm::<f64>::from_lp(&lp).unwrap();
+        let opts = SolverOptions::default();
+        let n_active = sf.num_cols() - sf.num_artificials;
+        let mut be = CpuDenseBackend::<f64>::new(&sf.a, &sf.b, n_active, &sf.basis0);
+        let mut driver = RevisedSimplex::new(&mut be, &sf, &opts);
+        driver.stall = 9;
+        assert!(driver.recover().unwrap(), "identity basis refactors");
+        assert_eq!(
+            driver.stall, 0,
+            "corruption-triggered reinversion must reset the stall streak"
+        );
+        assert_eq!(driver.stats.nan_recoveries, 1);
+    }
+
+    /// The perturbation policy terminates at the same optimum as the Bland
+    /// ladder on a degenerate two-phase instance, with the exact objective
+    /// restored before the certificate.
+    #[test]
+    fn perturbation_policy_matches_bland_ladder_optimum() {
+        let lp = degenerate_lp();
+        let sf = StandardForm::<f64>::from_lp(&lp).unwrap();
+        let n_active = sf.num_cols() - sf.num_artificials;
+
+        let baseline = {
+            let opts = SolverOptions {
+                stall_threshold: 1,
+                ..SolverOptions::default()
+            };
+            let mut be = CpuDenseBackend::<f64>::new(&sf.a, &sf.b, n_active, &sf.basis0);
+            RevisedSimplex::new(&mut be, &sf, &opts)
+                .try_solve()
+                .unwrap()
+        };
+        let perturbed = {
+            let opts = SolverOptions {
+                stall_threshold: 1,
+                degeneracy: crate::options::DegeneracyPolicy::Perturb { scale: 1e-7 },
+                ..SolverOptions::default()
+            };
+            let mut be = CpuDenseBackend::<f64>::new(&sf.a, &sf.b, n_active, &sf.basis0);
+            RevisedSimplex::new(&mut be, &sf, &opts)
+                .try_solve()
+                .unwrap()
+        };
+        assert_eq!(baseline.status, Status::Optimal);
+        assert_eq!(perturbed.status, Status::Optimal);
+        assert!(
+            (baseline.z_std - perturbed.z_std).abs() < 1e-9,
+            "{} vs {}",
+            baseline.z_std,
+            perturbed.z_std
+        );
+        perturbed.stats.check_invariants().unwrap();
     }
 
     /// The carry does not hurt termination or correctness on a degenerate

@@ -154,6 +154,12 @@ pub struct Counters {
     /// Lane slots masked idle during mega-batch rounds (converged members
     /// riding along without desynchronizing the block).
     pub batch_lanes_idle: u64,
+    /// Fresh device allocations made through a [`crate::BufferPool`] (the
+    /// pool had no buffer of the requested length to hand back).
+    pub pool_allocs: u64,
+    /// Pool requests served by recycling a previously returned buffer
+    /// instead of allocating (each one is a `cudaMalloc` avoided).
+    pub pool_recycles: u64,
 }
 
 impl Counters {
@@ -187,6 +193,8 @@ impl Counters {
         self.batch_rounds += other.batch_rounds;
         self.batch_lanes_active += other.batch_lanes_active;
         self.batch_lanes_idle += other.batch_lanes_idle;
+        self.pool_allocs += other.pool_allocs;
+        self.pool_recycles += other.pool_recycles;
     }
     /// Achieved global-memory bandwidth over the whole history, bytes/sec.
     pub fn achieved_bandwidth(&self) -> f64 {
@@ -235,6 +243,13 @@ impl fmt::Display for Counters {
                 f,
                 "  mega-batch:       {} rounds ({} active lanes, {} idle)",
                 self.batch_rounds, self.batch_lanes_active, self.batch_lanes_idle
+            )?;
+        }
+        if self.pool_allocs + self.pool_recycles > 0 {
+            writeln!(
+                f,
+                "  buffer pool:      {} allocs, {} recycles",
+                self.pool_allocs, self.pool_recycles
             )?;
         }
         writeln!(

@@ -191,6 +191,19 @@ impl Gpu {
         c.batch_lanes_idle += idle;
     }
 
+    /// Record one [`crate::BufferPool`] request: `recycled` says whether it
+    /// was served from the free list (no `cudaMalloc`) or by a fresh device
+    /// allocation. Pure accounting; the allocation itself is charged by the
+    /// regular `try_alloc` path.
+    pub fn record_pool_request(&self, recycled: bool) {
+        let mut c = self.counters.lock();
+        if recycled {
+            c.pool_recycles += 1;
+        } else {
+            c.pool_allocs += 1;
+        }
+    }
+
     /// Record an allocation of `bytes`, enforcing device capacity. Called
     /// *before* host-side materialization so a simulated OOM is cheap.
     fn try_record_alloc(&self, bytes: u64) -> Result<(), DeviceError> {

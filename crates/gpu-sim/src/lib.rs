@@ -67,6 +67,7 @@ pub mod exec;
 pub mod fault;
 pub mod kernel;
 pub mod memory;
+pub mod pool;
 pub mod stream;
 pub mod timing;
 
@@ -78,5 +79,6 @@ pub use exec::{ExecMode, FusedLaunch, Gpu, Launcher};
 pub use fault::{DeviceError, FaultConfig, FaultCounts, FaultPlan};
 pub use kernel::{Kernel, KernelCost, ThreadCtx};
 pub use memory::{DView, DViewMut, DeviceBuffer, Pod};
+pub use pool::BufferPool;
 pub use stream::Stream;
 pub use timing::SimTime;

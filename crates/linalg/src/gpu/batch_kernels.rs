@@ -65,7 +65,15 @@ impl<T: Scalar> Kernel for BatchBtranK<T> {
                     .mul_add(self.cb.get(i * w + b), acc);
             }
             let yj = j * w + b;
-            self.pi.set(yj, T::ONE * acc + T::ZERO * self.pi.get(yj));
+            // Same non-finite guard as the FTRAN β-scale: 0·NaN = NaN would
+            // make a corrupted π unhealable.
+            let prev = self.pi.get(yj);
+            let scaled = if prev.is_finite() {
+                T::ZERO * prev
+            } else {
+                T::ZERO
+            };
+            self.pi.set(yj, T::ONE * acc + scaled);
         }
     }
 
@@ -268,7 +276,17 @@ impl<T: Scalar> Kernel for BatchFtranK<T> {
         let (m, w) = (self.m, self.width);
         for i in 0..m {
             let k = i * w + b;
-            self.alpha.set(k, self.alpha.get(k) * T::ZERO);
+            // β-scale in the CPU loop order — except a non-finite stale
+            // value is cleared outright (BLAS β = 0 semantics): NaN·0 = NaN
+            // would keep a poisoned α sticky across the very reinversion
+            // that is supposed to heal it.
+            let prev = self.alpha.get(k);
+            let zeroed = if prev.is_finite() {
+                prev * T::ZERO
+            } else {
+                T::ZERO
+            };
+            self.alpha.set(k, zeroed);
         }
         for j in 0..m {
             let s = T::ONE * self.a.get((j + q * m) * w + b);
@@ -324,16 +342,37 @@ impl<T: Scalar> Kernel for BatchRatioK<T> {
         }
         let (m, w) = (self.m, self.width);
         let mut best: Option<(usize, T)> = None;
+        let mut poisoned = false;
         for i in 0..m {
             let a = self.alpha.get(i * w + b);
+            if !a.is_finite() {
+                poisoned = true;
+                continue;
+            }
             if a > self.pivot_tol {
                 let bi = self.beta.get(i * w + b);
+                if !bi.is_finite() {
+                    // NaN compares false against zero, so without this
+                    // check a corrupted β row would silently clamp to a
+                    // ratio of 0 and the lane would pivot on garbage with
+                    // θ = 0 — undetectable downstream.
+                    poisoned = true;
+                    continue;
+                }
                 let r = if bi > T::ZERO { bi / a } else { T::ZERO };
                 match best {
                     Some((_, br)) if !(r < br) => {}
                     _ => best = Some((i, r)),
                 }
             }
+        }
+        if poisoned {
+            // Non-finite lane state only arises from corruption: surface a
+            // non-finite step length so the lockstep driver runs this
+            // lane's emergency reinversion instead of trusting the ratio.
+            self.p_sel.set(b, best.map_or(u32::MAX, |(p, _)| p as u32));
+            self.theta.set(b, T::from_f64(f64::NAN));
+            return;
         }
         match best {
             Some((p, th)) => {

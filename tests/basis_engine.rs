@@ -1,0 +1,301 @@
+//! Pluggable basis representation: product-form vs explicit-inverse
+//! parity, checkpoint cadence at non-divisible intervals, and degeneracy
+//! policy regressions.
+
+use gplex::backends::CpuDenseBackend;
+use gplex::{
+    solve_on, try_solve_standard, verify, Backend, BackendKind, BasisRepresentation,
+    DegeneracyPolicy, RatioOutcome, SolverOptions, Status,
+};
+use gpu_sim::DeviceSpec;
+use lp::generator;
+use lp::StandardForm;
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, u64)> {
+    (2usize..14, 2usize..18, 0u64..10_000)
+}
+
+fn opts_with(rep: BasisRepresentation) -> SolverOptions {
+    SolverOptions {
+        presolve: false,
+        scale: false,
+        basis_representation: rep,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// FTRAN/BTRAN parity on random bases: drive an explicit-inverse and a
+    /// product-form backend through the *same* pivot sequence (decisions
+    /// taken from the explicit one) and require every FTRAN column, reduced
+    /// cost, and basic solution to agree within verify tolerance. This is
+    /// the eta-algebra identity B⁻¹ = E_k…E_1·B₀⁻¹ checked against live
+    /// simplex bases, not synthetic ones.
+    #[test]
+    fn product_form_ftran_btran_match_explicit_on_random_bases(
+        (m, n, seed) in small_dims()
+    ) {
+        let model = generator::dense_random(m, n, seed);
+        let sf = StandardForm::<f64>::from_lp(&model).expect("standardizes");
+        let n_active = sf.num_cols() - sf.num_artificials;
+        let mut ex = CpuDenseBackend::<f64>::new(&sf.a, &sf.b, n_active, &sf.basis0);
+        let mut pf = CpuDenseBackend::<f64>::new(&sf.a, &sf.b, n_active, &sf.basis0);
+        Backend::<f64>::set_representation(&mut pf, BasisRepresentation::ProductForm);
+
+        for be in [&mut ex, &mut pf] {
+            be.set_phase_costs(&sf.c).unwrap();
+            for (r, &j) in sf.basis0.iter().enumerate() {
+                be.set_basic_cost(r, sf.c[j]).unwrap();
+            }
+        }
+        // Walk up to 24 pivots; no refactorization, so the eta chain keeps
+        // growing — the hardest case for drift.
+        for _ in 0..24 {
+            ex.compute_pricing().unwrap();
+            pf.compute_pricing().unwrap();
+            let hit = ex.entering_dantzig(1e-9).unwrap();
+            let Some((q, dq_ex)) = hit else { break };
+            // BTRAN parity surfaces through the reduced cost of q.
+            let (q_pf, dq_pf) = pf.entering_dantzig(1e-9).unwrap()
+                .expect("product form sees the same non-optimal state");
+            prop_assert_eq!(q, q_pf, "entering column diverged");
+            prop_assert!((dq_ex - dq_pf).abs() < 1e-7,
+                "reduced cost {} vs {}", dq_ex, dq_pf);
+
+            ex.compute_alpha(q).unwrap();
+            pf.compute_alpha(q).unwrap();
+            for i in 0..sf.num_rows() {
+                let a = ex.alpha_at(i).unwrap();
+                let b = pf.alpha_at(i).unwrap();
+                prop_assert!((a - b).abs() <= 1e-7 * a.abs().max(1.0),
+                    "ftran row {}: {} vs {}", i, a, b);
+            }
+            let outcome = ex.ratio_test(1e-9).unwrap();
+            let RatioOutcome::Pivot { p, theta } = outcome else { break };
+            // Apply the *same* pivot to both so the bases stay identical.
+            ex.update(p, theta).unwrap();
+            pf.update(p, theta).unwrap();
+            for be in [&mut ex, &mut pf] {
+                be.set_basic_col(p, q).unwrap();
+                be.set_basic_cost(p, sf.c[q]).unwrap();
+            }
+            let beta_ex = ex.beta().unwrap();
+            let beta_pf = pf.beta().unwrap();
+            for (a, b) in beta_ex.iter().zip(&beta_pf) {
+                prop_assert!((a - b).abs() <= 1e-7 * a.abs().max(1.0),
+                    "beta {} vs {}", a, b);
+            }
+        }
+        prop_assert_eq!(Backend::<f64>::eta_chain_len(&ex), 0);
+    }
+
+    /// End-to-end representation swap on random models: same status, and
+    /// objectives within verify tolerance. The eta path reorders floating
+    /// point, so this is tolerance parity, not bitwise.
+    #[test]
+    fn representation_swap_preserves_objective((m, n, seed) in small_dims()) {
+        let model = generator::dense_random(m, n, seed);
+        let ex = solve_on::<f64>(&model, &opts_with(BasisRepresentation::ExplicitInverse),
+            &BackendKind::CpuDense);
+        let pf = solve_on::<f64>(&model, &opts_with(BasisRepresentation::ProductForm),
+            &BackendKind::CpuDense);
+        prop_assert_eq!(ex.status, pf.status);
+        if ex.status == Status::Optimal {
+            prop_assert!((ex.objective - pf.objective).abs()
+                / ex.objective.abs().max(1.0) < 1e-6,
+                "explicit {} vs product-form {}", ex.objective, pf.objective);
+            verify::check_solution(&model, &pf, 1e-5).map_err(|e| {
+                TestCaseError::fail(format!("product-form verification failed: {e}"))
+            })?;
+        }
+    }
+
+    /// Satellite regression: the checkpoint cadence must stay bitwise-exact
+    /// when `checkpoint_interval` is NOT a multiple of `refactor_period` —
+    /// snapshots land on the next boundary past the interval, and a resume
+    /// from any of them replays the solo suffix pivot-for-pivot. Runs on
+    /// both representations (a product-form snapshot is legal only because
+    /// the boundary folds the chain into B₀⁻¹ first).
+    #[test]
+    fn resume_is_bitwise_at_non_divisible_checkpoint_interval(
+        (m, n, seed) in small_dims()
+    ) {
+        use gplex::{try_solve_standard_ckpt, CheckpointSlot};
+        let model = generator::dense_random(m, n, seed);
+        let sf = StandardForm::<f64>::from_lp(&model).expect("standardizes");
+        for rep in [BasisRepresentation::ExplicitInverse, BasisRepresentation::ProductForm] {
+            // 3 ∤ 7: the snapshot cadence and the reinversion cadence beat
+            // against each other.
+            let opts = SolverOptions {
+                refactor_period: 3,
+                checkpoint_interval: 7,
+                ..opts_with(rep)
+            };
+            let kind = BackendKind::CpuDense;
+            let slot = CheckpointSlot::new();
+            let solo = try_solve_standard_ckpt::<f64>(&sf, &opts, &kind, None, &slot, None)
+                .expect("uninterrupted solve succeeds");
+            let Some(cp) = slot.checkpoint() else { continue };
+            prop_assert_eq!(cp.representation, rep);
+            prop_assert_eq!(cp.eta_len, 0, "snapshot off a reinversion boundary");
+            // The snapshot sits on a refactorize boundary: in-phase
+            // iterations are a multiple of the period.
+            prop_assert_eq!(cp.iters_here % opts.refactor_period, 0);
+
+            let slot2 = CheckpointSlot::new();
+            let resumed =
+                try_solve_standard_ckpt::<f64>(&sf, &opts, &kind, None, &slot2, Some(cp))
+                    .expect("resumed solve succeeds");
+            prop_assert_eq!(resumed.status, solo.status);
+            prop_assert_eq!(resumed.stats.iterations, solo.stats.iterations);
+            prop_assert_eq!(resumed.stats.pivot_fingerprint, solo.stats.pivot_fingerprint,
+                "resumed tail must replay the solo suffix pivot-for-pivot");
+            prop_assert_eq!(resumed.z_std.to_bits(), solo.z_std.to_bits());
+            for (a, b) in resumed.x_std.iter().zip(&solo.x_std) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
+
+/// The explicit-inverse path is the fidelity baseline: threading the
+/// representation plumbing through must not move a single pivot. Bitwise
+/// fingerprint parity between the default options and explicitly-requested
+/// ExplicitInverse, on the shared fixture suite and all three backends.
+#[test]
+fn explicit_path_fingerprint_is_unchanged_by_plumbing() {
+    let fixtures: Vec<(&str, lp::LinearProgram)> = vec![
+        ("wyndor", generator::fixtures::wyndor().0),
+        ("two_phase", generator::fixtures::two_phase().0),
+        ("diet", generator::fixtures::diet().0),
+        ("degenerate", generator::fixtures::degenerate().0),
+        ("beale", generator::fixtures::beale_cycling().0),
+        ("production", generator::fixtures::production().0),
+    ];
+    for (name, model) in &fixtures {
+        let sf = StandardForm::<f64>::from_lp(model).expect("standardizes");
+        for kind in [
+            BackendKind::CpuDense,
+            BackendKind::CpuSparse,
+            BackendKind::GpuDense(DeviceSpec::gtx280()),
+        ] {
+            let default =
+                try_solve_standard::<f64>(&sf, &SolverOptions::default(), &kind).expect("solves");
+            let explicit = try_solve_standard::<f64>(
+                &sf,
+                &SolverOptions {
+                    basis_representation: BasisRepresentation::ExplicitInverse,
+                    ..Default::default()
+                },
+                &kind,
+            )
+            .expect("solves");
+            assert_eq!(default.status, explicit.status, "{name} on {kind:?}");
+            assert_eq!(
+                default.stats.pivot_fingerprint, explicit.stats.pivot_fingerprint,
+                "{name} on {kind:?}: explicit path moved a pivot"
+            );
+            assert_eq!(default.z_std.to_bits(), explicit.z_std.to_bits());
+        }
+    }
+}
+
+/// Representation swap on the shared fixture suite: every backend, same
+/// status, objective within tolerance, and the eta-chain bookkeeping
+/// behaves (chain bounded by the refactor period, eta pivots counted).
+#[test]
+fn product_form_solves_fixture_suite_on_all_backends() {
+    let fixtures: Vec<(&str, lp::LinearProgram, f64)> = {
+        let (wy, z1) = generator::fixtures::wyndor();
+        let (tp, z2) = generator::fixtures::two_phase();
+        let (dg, z3) = generator::fixtures::degenerate();
+        let (bl, z4) = generator::fixtures::beale_cycling();
+        vec![
+            ("wyndor", wy, z1),
+            ("two_phase", tp, z2),
+            ("degenerate", dg, z3),
+            ("beale", bl, z4),
+        ]
+    };
+    for (name, model, expected) in &fixtures {
+        for kind in [
+            BackendKind::CpuDense,
+            BackendKind::CpuSparse,
+            BackendKind::GpuDense(DeviceSpec::gtx280()),
+        ] {
+            let opts = SolverOptions {
+                refactor_period: 8,
+                ..opts_with(BasisRepresentation::ProductForm)
+            };
+            let sol = solve_on::<f64>(model, &opts, &kind);
+            assert_eq!(sol.status, Status::Optimal, "{name} on {kind:?}");
+            assert!(
+                (sol.objective - expected).abs() < 1e-6,
+                "{name} on {kind:?}: {} vs {expected}",
+                sol.objective
+            );
+            let st = &sol.stats;
+            assert_eq!(
+                st.eta_pivots, st.iterations,
+                "{name} on {kind:?}: every pivot is an eta append"
+            );
+            assert!(
+                st.max_eta_chain <= opts.refactor_period,
+                "{name} on {kind:?}: chain {} exceeds period {}",
+                st.max_eta_chain,
+                opts.refactor_period
+            );
+        }
+    }
+}
+
+/// The perturbation policy must beat (or match) the Bland ladder where the
+/// ladder is weakest: Klee–Minty walks and the degenerate fixtures still
+/// terminate at the right optimum with the exact certificate.
+#[test]
+fn perturbation_policy_terminates_on_degenerate_and_adversarial_fixtures() {
+    let cases: Vec<(lp::LinearProgram, f64)> = vec![
+        generator::fixtures::degenerate(),
+        generator::fixtures::beale_cycling(),
+        (generator::klee_minty(6), generator::klee_minty_optimum(6)),
+    ];
+    for (model, expected) in &cases {
+        let bland = solve_on::<f64>(
+            model,
+            &SolverOptions {
+                stall_threshold: 2,
+                presolve: false,
+                scale: false,
+                ..Default::default()
+            },
+            &BackendKind::CpuDense,
+        );
+        let pert = solve_on::<f64>(
+            model,
+            &SolverOptions {
+                stall_threshold: 2,
+                presolve: false,
+                scale: false,
+                degeneracy: DegeneracyPolicy::Perturb { scale: 1e-7 },
+                ..Default::default()
+            },
+            &BackendKind::CpuDense,
+        );
+        assert_eq!(bland.status, Status::Optimal);
+        assert_eq!(pert.status, Status::Optimal);
+        assert!(
+            (pert.objective - expected).abs() < 1e-6,
+            "perturbed objective {} vs {expected}",
+            pert.objective
+        );
+        assert!(
+            (bland.objective - pert.objective).abs() < 1e-6,
+            "policies disagree: {} vs {}",
+            bland.objective,
+            pert.objective
+        );
+    }
+}

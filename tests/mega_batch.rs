@@ -581,3 +581,95 @@ fn construction_fault_surfaces_device_error_and_streams_the_group() {
         assert_ne!(r.backend, "batch-kernel", "no lane ran on the dead device");
     }
 }
+
+/// Differential regression for in-lane corruption recovery: a silent
+/// kernel corruption (NaN-poisoned FTRAN/update output, the fault the SoA
+/// path previously never saw because only the BLAS layer polled the
+/// corruption flag) is absorbed by that lane's emergency reinversion — the
+/// family drains fully, the recovered lane re-converges to the solo
+/// optimum, and the whole faulted run is a pure function of the seed. The
+/// recovery resets the lane's degenerate-step streak exactly like the solo
+/// driver's `recover`, so no lane escalates to Bland on stale evidence.
+#[test]
+fn silent_corruption_is_absorbed_by_lane_recovery() {
+    use gpu_sim::FaultConfig;
+
+    let jobs = generator::perturbed_family(6, 12, 18, 13, 0.05);
+    let clean = SolverOptions {
+        stall_threshold: 2,
+        refactor_period: 4,
+        ..raw_opts()
+    };
+    let faulty = SolverOptions {
+        faults: Some(
+            FaultConfig {
+                kernel_corrupt: 0.02,
+                warmup_ops: 100,
+                ..FaultConfig::off(41)
+            }
+            .only(&["batch_ftran", "mega_update"]),
+        ),
+        ..clean.clone()
+    };
+    assert!(
+        mega_compatible(&faulty),
+        "corruption injection must be in scope for the mega path"
+    );
+
+    let run = || {
+        let solver = BatchSolver::new(BatchOptions {
+            mega_batch: true,
+            solver: faulty.clone(),
+            ..Default::default()
+        });
+        solver.solve::<f64>(&jobs)
+    };
+    let report = run();
+    assert!(
+        report.all_solved(),
+        "an absorbed corruption is never a terminal error"
+    );
+    assert_eq!(report.stats.mega_groups, 1, "the family still groups");
+    assert!(
+        report.stats.device_faults > 0,
+        "the injected corruption must actually fire"
+    );
+    let recoveries: usize = report
+        .results
+        .iter()
+        .filter_map(|r| r.outcome.solution())
+        .map(|s| s.stats.nan_recoveries)
+        .sum();
+    assert!(
+        recoveries > 0,
+        "the corrupted lane must recover in-lane, not evacuate"
+    );
+    for (i, r) in report.results.iter().enumerate() {
+        let sol = r.outcome.solution().expect("terminal solution");
+        let solo = solve_on::<f64>(&jobs[i], &clean, &BackendKind::CpuDense);
+        assert_eq!(sol.status, solo.status, "job {i} status");
+        assert_eq!(sol.status, Status::Optimal, "job {i} optimal");
+        // The off-cadence reinversion reorders the lane's floating point,
+        // so the recovered lane matches solo in value, not bitwise.
+        assert!(
+            (sol.objective - solo.objective).abs() / solo.objective.abs().max(1.0) < 1e-7,
+            "job {i}: corrupted-run objective {} vs solo {}",
+            sol.objective,
+            solo.objective
+        );
+        for (a, c) in sol.x.iter().zip(&solo.x) {
+            assert!((a - c).abs() < 1e-6, "job {i} solution drifted: {a} vs {c}");
+        }
+    }
+    // Chaos determinism: the fault schedule is a pure function of the seed,
+    // so a fresh run of the same faulted batch is bitwise identical.
+    let again = run();
+    assert_eq!(again.stats.device_faults, report.stats.device_faults);
+    for (r1, r2) in report.results.iter().zip(&again.results) {
+        let s1 = r1.outcome.solution().expect("terminal");
+        let s2 = r2.outcome.solution().expect("terminal");
+        assert_eq!(s1.objective.to_bits(), s2.objective.to_bits());
+        assert_eq!(s1.stats.pivot_fingerprint, s2.stats.pivot_fingerprint);
+        assert_eq!(s1.stats.nan_recoveries, s2.stats.nan_recoveries);
+    }
+}

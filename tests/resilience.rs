@@ -430,3 +430,66 @@ fn gpu_checkpoint_resumes_on_cpu_rung_after_degradation() {
         assert_eq!(a.to_bits(), b.to_bits());
     }
 }
+
+/// Bugfix regression (wasted-work accounting under repeated faults): when a
+/// *resumed* attempt dies again before reaching a fresh checkpoint, only
+/// the iterations past the checkpoint it resumed from are wasted — the
+/// pre-checkpoint prefix must not be re-counted on every subsequent
+/// failure. Three consecutive GPU attempts each die two iterations past
+/// their latest boundary here; a double-count would fold the resumed
+/// prefix (4, then 8 iterations) back in and report ≥ 16.
+#[test]
+fn repeated_faults_do_not_double_count_wasted_iterations() {
+    use gplex::{ResilientSolver, RetryPolicy};
+
+    let model = generator::dense_random(24, 40, 7);
+    let opts = SolverOptions {
+        presolve: false,
+        scale: false,
+        refactor_period: 2,
+        checkpoint_interval: 2,
+        ..Default::default()
+    };
+    let golden = solve_on::<f64>(&model, &opts, &BackendKind::CpuDense);
+    assert_eq!(golden.status, Status::Optimal);
+
+    // 600 warmup ops ≈ four iterations of device work at m = 24: every GPU
+    // attempt survives past at least one checkpoint boundary and then dies,
+    // so each retry genuinely resumes mid-solve before faulting again.
+    let solver = ResilientSolver::new(ResilienceOptions {
+        faults: Some(FaultConfig {
+            kernel_fault: 1.0,
+            warmup_ops: 600,
+            ..FaultConfig::off(9)
+        }),
+        retry: RetryPolicy {
+            max_retries: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let out = solver.solve_job::<f64>(
+        5,
+        &model,
+        &opts,
+        &BackendKind::GpuDense(DeviceSpec::gtx280()),
+    );
+    let sol = out.result.expect("CPU rung finishes after the ladder");
+    assert_eq!(out.final_backend, "cpu-dense");
+    assert_eq!(out.retries, 2, "both same-rung retries must burn");
+    assert_eq!(out.degradations, 1);
+    assert_eq!(out.faults, 3, "every GPU attempt dies");
+    assert_eq!(
+        sol.stats.checkpoint_resumes, 3,
+        "attempts 2, 3, and the CPU rung all resume from a checkpoint"
+    );
+    // Each of the three failed attempts overran its latest checkpoint by
+    // exactly two iterations. The sum is 6; any double-counting of the
+    // resumed prefix would push this to 10+.
+    assert_eq!(sol.stats.wasted_iterations, 6);
+    // And the recovered answer is still bitwise the uninterrupted one.
+    assert_eq!(sol.status, golden.status);
+    assert_eq!(sol.objective.to_bits(), golden.objective.to_bits());
+    assert_eq!(sol.stats.iterations, golden.stats.iterations);
+    assert_eq!(sol.stats.pivot_fingerprint, golden.stats.pivot_fingerprint);
+}
