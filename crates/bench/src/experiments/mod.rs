@@ -15,6 +15,7 @@ mod t3;
 mod t4;
 mod t5;
 mod u1_basis;
+mod u2_sparse_lu;
 mod w1_warm_cache;
 
 use std::path::Path;
@@ -47,7 +48,7 @@ impl ExpReport {
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "f6", "b1", "r2", "o1",
-        "w1", "b2", "r3", "u1",
+        "w1", "b2", "r3", "u1", "u2",
     ]
 }
 
@@ -72,6 +73,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExpReport> {
         "b2" => Some(b2_mega_batch::run(quick)),
         "r3" => Some(r3_chaos::run(quick)),
         "u1" => Some(u1_basis::run(quick)),
+        "u2" => Some(u2_sparse_lu::run(quick)),
         _ => None,
     }
 }

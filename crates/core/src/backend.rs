@@ -151,4 +151,32 @@ pub trait Backend<T: Scalar> {
     fn eta_chain_len(&self) -> usize {
         0
     }
+
+    /// Counters from the sparse LU engine, when
+    /// [`BasisRepresentation::SparseLU`] is active and at least one
+    /// factorization has run: `None` otherwise. The driver copies these
+    /// into [`crate::SolveStats`] after every refactorization.
+    fn lu_stats(&self) -> Option<LuReport> {
+        None
+    }
+
+    /// Install the EXPAND-style ratio-test shift `δ ≥ 0`: until withdrawn
+    /// (set back to 0), [`Backend::ratio_test`] minimizes `(β_i + δ)/α_i`
+    /// so every eligible row yields a strictly positive step. Backends
+    /// without bound-shifting support keep the default no-op — the driver
+    /// then sees the stall persist and escalates to Bland as usual.
+    fn set_ratio_shift(&mut self, _delta: f64) {}
+}
+
+/// Cumulative sparse-LU counters a backend reports to the driver.
+/// "Peak" fields are maxima over the factorizations of this solve so far;
+/// rejections accumulate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LuReport {
+    /// Peak fill-in (factor nnz − basis nnz) over the solve.
+    pub fill_in: u64,
+    /// Peak factor size nnz(L)+nnz(U) over the solve.
+    pub refactor_nnz: u64,
+    /// Total pivot candidates rejected by threshold pivoting.
+    pub markowitz_rejections: u64,
 }

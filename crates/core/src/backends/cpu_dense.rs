@@ -9,9 +9,11 @@
 use gpu_sim::SimTime;
 use linalg::blas;
 use linalg::cpu_model::{CpuClock, CpuModel};
+use linalg::lu::SparseLu;
 use linalg::{DenseMatrix, Scalar};
 
-use crate::backend::{Backend, RatioOutcome};
+use crate::backend::{Backend, LuReport, RatioOutcome};
+use crate::backends::cpu_sparse::LU_TAU;
 use crate::basis::EtaFile;
 use crate::error::BackendError;
 use crate::options::BasisRepresentation;
@@ -42,6 +44,13 @@ pub struct CpuDenseBackend<T: Scalar> {
     /// refactorization and `etas` carries the pivots since.
     rep: BasisRepresentation,
     etas: EtaFile<T>,
+    /// Sparse LU of `B₀` (SparseLU representation only); `None` until the
+    /// first refactorization, when `B₀` is still the identity basis.
+    lu: Option<SparseLu<T>>,
+    lu_scratch: Vec<T>,
+    lu_report: LuReport,
+    /// EXPAND-style ratio-test shift δ (0 = legacy exact test).
+    ratio_shift: T,
 }
 
 impl<T: Scalar> CpuDenseBackend<T> {
@@ -85,6 +94,10 @@ impl<T: Scalar> CpuDenseBackend<T> {
             eta: vec![T::ZERO; m],
             rep: BasisRepresentation::ExplicitInverse,
             etas: EtaFile::new(),
+            lu: None,
+            lu_scratch: vec![T::ZERO; m],
+            lu_report: LuReport::default(),
+            ratio_shift: T::ZERO,
         }
     }
 
@@ -146,6 +159,7 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
             BasisRepresentation::ExplicitInverse => {
                 // π = c_Bᵀ B⁻¹  (a transposed gemv over B⁻¹).
                 blas::gemv_t(T::ONE, &self.binv, &self.cb, T::ZERO, &mut self.pi);
+                self.charge(2 * m * m, m * m * T::BYTES);
             }
             BasisRepresentation::ProductForm => {
                 // yᵀ = c_Bᵀ E_k … E_1 (newest eta first), then π = yᵀ B₀⁻¹.
@@ -153,9 +167,21 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
                 self.etas.btran_in_place(&mut self.rowp);
                 blas::gemv_t(T::ONE, &self.binv, &self.rowp, T::ZERO, &mut self.pi);
                 self.charge_eta_chain();
+                self.charge(2 * m * m, m * m * T::BYTES);
+            }
+            BasisRepresentation::SparseLU => {
+                // yᵀ = c_Bᵀ E_k … E_1, then two sparse triangular solves
+                // through the LU of B₀ instead of the dense matvec.
+                self.pi.copy_from_slice(&self.cb);
+                self.etas.btran_in_place(&mut self.pi);
+                self.charge_eta_chain();
+                if let Some(lu) = &self.lu {
+                    lu.btran_in_place(&mut self.pi, &mut self.lu_scratch);
+                }
+                let f = self.lu.as_ref().map_or(0, |lu| lu.solve_flops());
+                self.charge(f, f * T::BYTES);
             }
         }
-        self.charge(2 * m * m, m * m * T::BYTES);
         Ok(())
     }
 
@@ -212,22 +238,43 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
 
     fn compute_alpha(&mut self, q: usize) -> Result<(), BackendError> {
         assert!(q < self.n_active, "entering column out of active range");
+        let m = self.m() as u64;
+        if self.rep == BasisRepresentation::SparseLU {
+            // α = E_k … E_1 (B₀⁻¹ a_q) with B₀⁻¹ applied by the sparse LU.
+            self.alpha.copy_from_slice(self.a.col(q));
+            if let Some(lu) = &self.lu {
+                lu.ftran_in_place(&mut self.alpha, &mut self.lu_scratch);
+            }
+            let f = self.lu.as_ref().map_or(0, |lu| lu.solve_flops());
+            self.charge(f + m, (f + m) * T::BYTES);
+            self.etas.ftran_in_place(&mut self.alpha);
+            self.charge_eta_chain();
+            return Ok(());
+        }
         blas::gemv_n(T::ONE, &self.binv, self.a.col(q), T::ZERO, &mut self.alpha);
         if self.rep == BasisRepresentation::ProductForm {
             // α = E_k … E_1 (B₀⁻¹ a_q), oldest eta first.
             self.etas.ftran_in_place(&mut self.alpha);
             self.charge_eta_chain();
         }
-        let m = self.m() as u64;
         self.charge(2 * m * m, m * m * T::BYTES);
         Ok(())
     }
 
     fn ratio_test(&mut self, pivot_tol: T) -> Result<RatioOutcome<T>, BackendError> {
+        let shift = self.ratio_shift;
         let mut best: Option<(usize, T)> = None;
         for (i, (&a, &b)) in self.alpha.iter().zip(&self.beta).enumerate() {
             if a > pivot_tol {
-                let r = if b > T::ZERO { b / a } else { T::ZERO };
+                // δ = 0 is the legacy exact test (bitwise); under an
+                // EXPAND shift every eligible ratio is strictly positive.
+                let r = if shift > T::ZERO {
+                    (b.maxs(T::ZERO) + shift) / a
+                } else if b > T::ZERO {
+                    b / a
+                } else {
+                    T::ZERO
+                };
                 match best {
                     Some((_, br)) if !(r < br) => {}
                     _ => best = Some((i, r)),
@@ -252,8 +299,11 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
                 self.beta[i] = (self.beta[i] - theta * self.alpha[i]).maxs(T::ZERO);
             }
         }
-        if self.rep == BasisRepresentation::ProductForm {
-            // Product form: append the eta, leave B₀⁻¹ untouched — O(m).
+        if matches!(
+            self.rep,
+            BasisRepresentation::ProductForm | BasisRepresentation::SparseLU
+        ) {
+            // Eta-style update: append the eta, leave B₀ untouched — O(m).
             self.etas.push_pivot(p, &self.alpha);
             let mu = m as u64;
             self.charge(4 * mu, 3 * mu * T::BYTES);
@@ -299,6 +349,39 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
 
     fn refactorize(&mut self, basis: &[usize]) -> Result<(), BackendError> {
         let m = self.m();
+        if self.rep == BasisRepresentation::SparseLU {
+            // Factorize B₀ sparsely (Markowitz + threshold pivoting); the
+            // dense matrix here is only the column gather, not the O(m³)
+            // inversion.
+            let cols: Vec<Vec<(usize, f64)>> = basis
+                .iter()
+                .map(|&j| {
+                    self.a
+                        .col(j)
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| **v != T::ZERO)
+                        .map(|(i, v)| (i, v.to_f64()))
+                        .collect()
+                })
+                .collect();
+            let lu = SparseLu::<T>::factorize(m, &cols, LU_TAU).ok_or(BackendError::Singular)?;
+            let s = lu.stats();
+            self.lu_report.fill_in = self.lu_report.fill_in.max(s.fill_in as u64);
+            self.lu_report.refactor_nnz = self.lu_report.refactor_nnz.max(s.factor_nnz as u64);
+            self.lu_report.markowitz_rejections += s.markowitz_rejections as u64;
+            self.beta.copy_from_slice(&self.b);
+            lu.ftran_in_place(&mut self.beta, &mut self.lu_scratch);
+            for v in self.beta.iter_mut() {
+                *v = v.maxs(T::ZERO);
+            }
+            self.etas.clear();
+            let flops = s.factor_flops + lu.solve_flops();
+            self.lu = Some(lu);
+            self.clock
+                .charge(self.model.op_time(flops, flops * 8, true));
+            return Ok(());
+        }
         // Invert in f64 regardless of T: reinversion exists to *purge*
         // error, so it runs at the highest precision available.
         let mut bmat = linalg::DenseMatrix::<f64>::zeros(m, m);
@@ -348,6 +431,14 @@ impl<T: Scalar> Backend<T> for CpuDenseBackend<T> {
 
     fn eta_chain_len(&self) -> usize {
         self.etas.len()
+    }
+
+    fn lu_stats(&self) -> Option<LuReport> {
+        (self.rep == BasisRepresentation::SparseLU && self.lu.is_some()).then_some(self.lu_report)
+    }
+
+    fn set_ratio_shift(&mut self, delta: f64) {
+        self.ratio_shift = T::from_f64(delta.max(0.0));
     }
 }
 

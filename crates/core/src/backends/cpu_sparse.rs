@@ -10,13 +10,18 @@
 use gpu_sim::SimTime;
 use linalg::blas;
 use linalg::cpu_model::{CpuClock, CpuModel};
+use linalg::lu::SparseLu;
 use linalg::sparse::CscMatrix;
 use linalg::{CsrMatrix, DenseMatrix, Scalar};
 
-use crate::backend::{Backend, RatioOutcome};
+use crate::backend::{Backend, LuReport, RatioOutcome};
 use crate::basis::EtaFile;
 use crate::error::BackendError;
 use crate::options::BasisRepresentation;
+
+/// Threshold-pivoting parameter for the sparse LU refactorization (the
+/// classic Markowitz default).
+pub(crate) const LU_TAU: f64 = 0.1;
 
 /// Sparse serial CPU backend.
 pub struct CpuSparseBackend<T: Scalar> {
@@ -39,6 +44,14 @@ pub struct CpuSparseBackend<T: Scalar> {
     eta: Vec<T>,
     rep: BasisRepresentation,
     etas: EtaFile<T>,
+    /// Sparse LU of `B₀` (SparseLU representation only). `None` until the
+    /// first refactorization: the initial basis is the identity
+    /// (slacks/artificials), so `B₀⁻¹ = I` needs no factors.
+    lu: Option<SparseLu<T>>,
+    lu_scratch: Vec<T>,
+    lu_report: LuReport,
+    /// EXPAND-style ratio-test shift δ (0 = legacy exact test).
+    ratio_shift: T,
 }
 
 impl<T: Scalar> CpuSparseBackend<T> {
@@ -70,6 +83,10 @@ impl<T: Scalar> CpuSparseBackend<T> {
             eta: vec![T::ZERO; m],
             rep: BasisRepresentation::ExplicitInverse,
             etas: EtaFile::new(),
+            lu: None,
+            lu_scratch: vec![T::ZERO; m],
+            lu_report: LuReport::default(),
+            ratio_shift: T::ZERO,
         }
     }
 
@@ -131,6 +148,7 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
             BasisRepresentation::ExplicitInverse => {
                 // π = c_Bᵀ B⁻¹ — dense, B⁻¹ fills in regardless of A's sparsity.
                 blas::gemv_t(T::ONE, &self.binv, &self.cb, T::ZERO, &mut self.pi);
+                self.charge(2 * m * m, m * m * T::BYTES);
             }
             BasisRepresentation::ProductForm => {
                 // π = (c_Bᵀ E_k…E_1) B₀⁻¹ — etas newest-first, then the matvec.
@@ -138,9 +156,21 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
                 self.etas.btran_in_place(&mut self.rowp);
                 blas::gemv_t(T::ONE, &self.binv, &self.rowp, T::ZERO, &mut self.pi);
                 self.charge_eta_chain();
+                self.charge(2 * m * m, m * m * T::BYTES);
+            }
+            BasisRepresentation::SparseLU => {
+                // π = (c_Bᵀ E_k…E_1) B₀⁻¹ with B₀⁻¹ applied as two sparse
+                // triangular solves — O(nnz(L+U)) instead of the m² matvec.
+                self.pi.copy_from_slice(&self.cb);
+                self.etas.btran_in_place(&mut self.pi);
+                self.charge_eta_chain();
+                if let Some(lu) = &self.lu {
+                    lu.btran_in_place(&mut self.pi, &mut self.lu_scratch);
+                }
+                let f = self.lu.as_ref().map_or(0, |lu| lu.solve_flops());
+                self.charge(f, f * T::BYTES);
             }
         }
-        self.charge(2 * m * m, m * m * T::BYTES);
         Ok(())
     }
 
@@ -197,10 +227,27 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
 
     fn compute_alpha(&mut self, q: usize) -> Result<(), BackendError> {
         assert!(q < self.n_active, "entering column out of active range");
-        // α = B⁻¹ a_q = Σ_k v_k · B⁻¹[:, r_k] over a_q's nonzeros.
         for v in self.alpha.iter_mut() {
             *v = T::ZERO;
         }
+        if self.rep == BasisRepresentation::SparseLU {
+            // α = E_k…E_1 B₀⁻¹ a_q: scatter a_q dense, two sparse
+            // triangular solves, then the eta tail — no dense matvec.
+            let mut nnz_q = 0u64;
+            for (r, v) in self.csc.col(q) {
+                self.alpha[r] = v;
+                nnz_q += 1;
+            }
+            if let Some(lu) = &self.lu {
+                lu.ftran_in_place(&mut self.alpha, &mut self.lu_scratch);
+            }
+            let f = self.lu.as_ref().map_or(0, |lu| lu.solve_flops());
+            self.charge(f + nnz_q, (f + nnz_q) * T::BYTES);
+            self.etas.ftran_in_place(&mut self.alpha);
+            self.charge_eta_chain();
+            return Ok(());
+        }
+        // α = B⁻¹ a_q = Σ_k v_k · B⁻¹[:, r_k] over a_q's nonzeros.
         let mut nnz_q = 0u64;
         for (r, v) in self.csc.col(q) {
             blas::axpy(v, self.binv.col(r), &mut self.alpha);
@@ -216,10 +263,19 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
     }
 
     fn ratio_test(&mut self, pivot_tol: T) -> Result<RatioOutcome<T>, BackendError> {
+        let shift = self.ratio_shift;
         let mut best: Option<(usize, T)> = None;
         for (i, (&a, &b)) in self.alpha.iter().zip(&self.beta).enumerate() {
             if a > pivot_tol {
-                let r = if b > T::ZERO { b / a } else { T::ZERO };
+                // δ = 0 is the legacy exact test (bitwise); under an
+                // EXPAND shift every eligible ratio is strictly positive.
+                let r = if shift > T::ZERO {
+                    (b.maxs(T::ZERO) + shift) / a
+                } else if b > T::ZERO {
+                    b / a
+                } else {
+                    T::ZERO
+                };
                 match best {
                     Some((_, br)) if !(r < br) => {}
                     _ => best = Some((i, r)),
@@ -243,7 +299,10 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
                 self.beta[i] = (self.beta[i] - theta * self.alpha[i]).maxs(T::ZERO);
             }
         }
-        if self.rep == BasisRepresentation::ProductForm {
+        if matches!(
+            self.rep,
+            BasisRepresentation::ProductForm | BasisRepresentation::SparseLU
+        ) {
             // Append to the eta file instead of the O(m²) in-place update.
             self.etas.push_pivot(p, &self.alpha);
             let mu = m as u64;
@@ -289,6 +348,31 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
     fn refactorize(&mut self, basis: &[usize]) -> Result<(), BackendError> {
         self.etas.clear();
         let m = self.m();
+        if self.rep == BasisRepresentation::SparseLU {
+            // Factorize B₀ itself (Markowitz + threshold pivoting) instead
+            // of forming the dense inverse — the factors stay sparse where
+            // the inverse would fill in.
+            let cols: Vec<Vec<(usize, f64)>> = basis
+                .iter()
+                .map(|&j| self.csc.col(j).map(|(i, v)| (i, v.to_f64())).collect())
+                .collect();
+            let lu = SparseLu::<T>::factorize(m, &cols, LU_TAU).ok_or(BackendError::Singular)?;
+            let s = lu.stats();
+            self.lu_report.fill_in = self.lu_report.fill_in.max(s.fill_in as u64);
+            self.lu_report.refactor_nnz = self.lu_report.refactor_nnz.max(s.factor_nnz as u64);
+            self.lu_report.markowitz_rejections += s.markowitz_rejections as u64;
+            self.beta.copy_from_slice(&self.b);
+            lu.ftran_in_place(&mut self.beta, &mut self.lu_scratch);
+            for v in self.beta.iter_mut() {
+                *v = v.maxs(T::ZERO);
+            }
+            let flops = s.factor_flops + lu.solve_flops();
+            self.lu = Some(lu);
+            // Factorization runs in f64 host-side like the dense path.
+            self.clock
+                .charge(self.model.op_time(flops, flops * 8, true));
+            return Ok(());
+        }
         let mut bmat = DenseMatrix::<f64>::zeros(m, m);
         for (r, &j) in basis.iter().enumerate() {
             for (i, v) in self.csc.col(j) {
@@ -332,6 +416,14 @@ impl<T: Scalar> Backend<T> for CpuSparseBackend<T> {
 
     fn eta_chain_len(&self) -> usize {
         self.etas.len()
+    }
+
+    fn lu_stats(&self) -> Option<LuReport> {
+        (self.rep == BasisRepresentation::SparseLU && self.lu.is_some()).then_some(self.lu_report)
+    }
+
+    fn set_ratio_shift(&mut self, delta: f64) {
+        self.ratio_shift = T::from_f64(delta.max(0.0));
     }
 }
 

@@ -66,6 +66,17 @@ pub struct GpuDenseBackend<'g, T: Scalar> {
     work: DeviceBuffer<T>,
     /// Length-m ping-pong partner for the FTRAN eta sweep over `α`.
     alpha_tmp: DeviceBuffer<T>,
+    /// Host-side LU of the last refactorized basis (SparseLU only; `None`
+    /// while `B₀ = I`, the initial slack/artificial basis).
+    lu: Option<linalg::SparseLu<T>>,
+    /// Device mirror of `lu`'s factors, re-uploaded at each reinversion.
+    lu_dev: Option<gblas::DeviceLu<T>>,
+    /// Length-m device scratch for the LU triangular solves.
+    lu_scratch: DeviceBuffer<T>,
+    /// Cumulative LU counters reported through `Backend::lu_stats`.
+    lu_report: crate::backend::LuReport,
+    /// EXPAND ratio-test shift (0 = legacy bitwise ratios).
+    shift: T,
 }
 
 impl<'g, T: Scalar> GpuDenseBackend<'g, T> {
@@ -156,6 +167,7 @@ impl<'g, T: Scalar> GpuDenseBackend<'g, T> {
         let stage = gpu.try_alloc(2, T::ZERO)?;
         let work = gpu.try_alloc(m, T::ZERO)?;
         let alpha_tmp = gpu.try_alloc(m, T::ZERO)?;
+        let lu_scratch = gpu.try_alloc(m, T::ZERO)?;
         Ok(GpuDenseBackend {
             gpu,
             a_host: a.clone(),
@@ -181,6 +193,11 @@ impl<'g, T: Scalar> GpuDenseBackend<'g, T> {
             pool: BufferPool::new(),
             work,
             alpha_tmp,
+            lu: None,
+            lu_dev: None,
+            lu_scratch,
+            lu_report: crate::backend::LuReport::default(),
+            shift: T::ZERO,
         })
     }
 
@@ -230,6 +247,30 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
     }
 
     fn compute_btran(&mut self) -> Result<(), BackendError> {
+        if self.rep == BasisRepresentation::SparseLU {
+            // π = B₀⁻ᵀ (E_k…E_1)ᵀ c_B: eta sweep newest-first, then two
+            // sparse triangular solves against the resident factors. With
+            // no factorization yet, B₀ = I and the solves vanish.
+            gblas::copy(self.gpu, self.cb.view(), self.work.view_mut())?;
+            for (p, eta) in self.etas.iter().rev() {
+                self.gpu.try_launch(
+                    LaunchConfig::for_elems(self.m, BLOCK),
+                    &EtaBtranK {
+                        y: self.work.view_mut(),
+                        eta: eta.view(),
+                        p: *p,
+                        m: self.m,
+                    },
+                )?;
+            }
+            if let Some(lu_dev) = &self.lu_dev {
+                lu_dev
+                    .btran(self.gpu, self.work.view_mut(), self.lu_scratch.view_mut())
+                    .map_err(BackendError::Device)?;
+            }
+            gblas::copy(self.gpu, self.work.view(), self.pi.view_mut())?;
+            return Ok(());
+        }
         if self.rep == BasisRepresentation::ProductForm {
             // π = ((c_Bᵀ E_k…E_1) B₀⁻¹)ᵀ: copy c_B into the work buffer,
             // sweep the eta chain newest-first (each touches one entry),
@@ -483,6 +524,46 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
 
     fn compute_alpha(&mut self, q: usize) -> Result<(), BackendError> {
         assert!(q < self.n_active, "entering column out of active range");
+        if self.rep == BasisRepresentation::SparseLU {
+            // α = E_k…E_1 B₀⁻¹ a_q: seed α with the entering column, two
+            // sparse triangular solves, then the eta sweep oldest-first.
+            match self.layout {
+                Layout::ColMajor => {
+                    gblas::copy(self.gpu, self.a_dev.col_view(q), self.alpha.view_mut())?;
+                }
+                Layout::RowMajor => {
+                    self.gpu.try_launch(
+                        LaunchConfig::for_elems(self.m, BLOCK),
+                        &ColExtractRowMajorK {
+                            mat: self.a_dev.view(),
+                            rows: self.m,
+                            cols: self.n_active,
+                            j: q,
+                            out: self.alpha.view_mut(),
+                        },
+                    )?;
+                }
+            }
+            if let Some(lu_dev) = &self.lu_dev {
+                lu_dev
+                    .ftran(self.gpu, self.alpha.view_mut(), self.lu_scratch.view_mut())
+                    .map_err(BackendError::Device)?;
+            }
+            for (p, eta) in &self.etas {
+                self.gpu.try_launch(
+                    LaunchConfig::for_elems(self.m, BLOCK),
+                    &EtaFtranK {
+                        x: self.alpha.view(),
+                        eta: eta.view(),
+                        p: *p,
+                        out: self.alpha_tmp.view_mut(),
+                        m: self.m,
+                    },
+                )?;
+                std::mem::swap(&mut self.alpha, &mut self.alpha_tmp);
+            }
+            return Ok(());
+        }
         match self.layout {
             Layout::ColMajor => {
                 let aq = self.a_dev.col_view(q);
@@ -548,6 +629,7 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
             alpha: self.alpha.view(),
             beta: self.beta.view(),
             tol: pivot_tol,
+            shift: self.shift,
             out: self.ratios.view_mut(),
             m: self.m,
         };
@@ -582,9 +664,13 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
             p,
             m: self.m,
         };
-        if self.rep == BasisRepresentation::ProductForm {
-            // β update + eta construction into a pooled device buffer; B₀⁻¹
-            // stays frozen, so no O(m²) kernel here.
+        if matches!(
+            self.rep,
+            BasisRepresentation::ProductForm | BasisRepresentation::SparseLU
+        ) {
+            // β update + eta construction into a pooled device buffer; the
+            // frozen B₀ anchor (dense inverse or LU factors) is untouched,
+            // so no O(m²) kernel here.
             let mut eta = self.pool.take(self.gpu, self.m, T::ZERO)?;
             let build = BuildEtaK {
                 alpha: self.alpha.view(),
@@ -637,6 +723,9 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
         for (_, eta) in self.etas.drain(..) {
             self.pool.give(eta);
         }
+        if self.rep == BasisRepresentation::SparseLU {
+            return self.refactorize_sparse_lu(basis);
+        }
         // Fast path: device-resident Gauss–Jordan reinversion over [B | I]
         // (col-major only; no pivoting — falls back to the pivoting host
         // path on a small pivot). A *device* failure propagates; only the
@@ -669,6 +758,14 @@ impl<T: Scalar> Backend<T> for GpuDenseBackend<'_, T> {
 
     fn eta_chain_len(&self) -> usize {
         self.etas.len()
+    }
+
+    fn lu_stats(&self) -> Option<crate::backend::LuReport> {
+        (self.rep == BasisRepresentation::SparseLU && self.lu.is_some()).then_some(self.lu_report)
+    }
+
+    fn set_ratio_shift(&mut self, delta: f64) {
+        self.shift = T::from_f64(delta.max(0.0));
     }
 }
 
@@ -727,6 +824,57 @@ impl<T: Scalar> GpuDenseBackend<'_, T> {
             },
         )?;
         Ok(true)
+    }
+
+    /// Sparse-LU reinversion: factorize the basis on the host (Markowitz +
+    /// threshold pivoting, charged at the modeled CPU rate), upload the
+    /// factors, and recompute β = B₀⁻¹b through them. The device keeps no
+    /// dense B⁻¹ at all under this representation.
+    fn refactorize_sparse_lu(&mut self, basis: &[usize]) -> Result<(), BackendError> {
+        use crate::backends::cpu_sparse::LU_TAU;
+        let m = self.m;
+        let cols: Vec<Vec<(usize, f64)>> = basis
+            .iter()
+            .map(|&j| {
+                self.a_host
+                    .col(j)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| **v != T::ZERO)
+                    .map(|(i, v)| (i, v.to_f64()))
+                    .collect()
+            })
+            .collect();
+        let lu =
+            linalg::SparseLu::<T>::factorize(m, &cols, LU_TAU).ok_or(BackendError::Singular)?;
+        let s = lu.stats();
+        // Charge the host-side factorization at the modeled CPU rate so the
+        // GPU clock stays the single timeline (same policy as the dense
+        // host reinversion path).
+        let cpu = linalg::CpuModel::core2_era();
+        self.gpu.charge(
+            TimeCategory::KernelBody,
+            cpu.op_time(
+                s.factor_flops + lu.solve_flops(),
+                (s.factor_nnz as u64) * (T::BYTES + 4),
+                true,
+            ),
+        );
+        self.lu_report.fill_in = self.lu_report.fill_in.max(s.fill_in as u64);
+        self.lu_report.refactor_nnz = self.lu_report.refactor_nnz.max(s.factor_nnz as u64);
+        self.lu_report.markowitz_rejections += s.markowitz_rejections as u64;
+        // β = B₀⁻¹ b on the host through the fresh factors, clamped at
+        // zero, then one H2D upload (charged).
+        let mut beta_h = self.b_host.clone();
+        let mut scratch = vec![T::ZERO; m];
+        lu.ftran_in_place(&mut beta_h, &mut scratch);
+        for v in beta_h.iter_mut() {
+            *v = v.maxs(T::ZERO);
+        }
+        self.lu_dev = Some(gblas::DeviceLu::upload(self.gpu, &lu).map_err(BackendError::Device)?);
+        self.lu = Some(lu);
+        self.gpu.try_htod_into(&beta_h, &mut self.beta)?;
+        Ok(())
     }
 
     /// Host-side pivoting reinversion (fallback; fails only on a singular

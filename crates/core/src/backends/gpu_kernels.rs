@@ -76,6 +76,10 @@ pub struct RatioK<T: Scalar> {
     pub alpha: DView<T>,
     pub beta: DView<T>,
     pub tol: T,
+    /// EXPAND-style bound shift δ: when positive, rows report
+    /// `(max(β,0) + δ)/α` so every eligible pivot yields θ > 0. Zero keeps
+    /// the legacy ratio bitwise.
+    pub shift: T,
     pub out: DViewMut<T>,
     pub m: usize,
 }
@@ -94,7 +98,9 @@ impl<T: Scalar> Kernel for RatioK<T> {
             let b = self.beta.get(i);
             // Clamp tiny negative β (round-off) to 0 so degenerate pivots
             // report θ = 0 instead of a spurious negative step.
-            if b > T::ZERO {
+            if self.shift > T::ZERO {
+                (b.maxs(T::ZERO) + self.shift) / a
+            } else if b > T::ZERO {
                 b / a
             } else {
                 T::ZERO
@@ -394,6 +400,7 @@ mod tests {
                 alpha: alpha.view(),
                 beta: beta.view(),
                 tol: 1e-9,
+                shift: 0.0,
                 out: out.view_mut(),
                 m: 4,
             },

@@ -35,6 +35,11 @@ pub struct Eta<T> {
     pub p: usize,
     /// The full eta column: `eta[p] = 1/α_p`, `eta[i] = −α_i/α_p` else.
     pub eta: Vec<T>,
+    /// Whether every entry of `eta` is finite, cached at push time. A
+    /// non-finite eta (a NaN-poisoned pivot column) must poison every
+    /// vector it touches so the driver's corruption detection can trip and
+    /// reinvert — the FTRAN fast path may only skip finite etas.
+    pub finite: bool,
 }
 
 /// The eta chain accumulated since the last refactorization.
@@ -56,15 +61,19 @@ impl<T: Scalar> EtaFile<T> {
         let inv = T::ONE / alpha[p];
         let mut eta: Vec<T> = alpha.iter().map(|&a| -(a * inv)).collect();
         eta[p] = inv;
-        self.etas.push(Eta { p, eta });
+        let finite = eta.iter().all(|e| e.is_finite());
+        self.etas.push(Eta { p, eta, finite });
     }
 
     /// FTRAN tail: apply the chain oldest-first to `x` (which already holds
-    /// `B₀⁻¹ a`). ~2m flops per eta.
+    /// `B₀⁻¹ a`). ~2m flops per eta. The `xp == 0` skip is bitwise-neutral
+    /// only for finite etas; a NaN-poisoned eta is applied unconditionally
+    /// (`NaN · 0 = NaN`) so corruption propagates into the iterate instead
+    /// of being masked until some later nonzero `x_p` exposes it.
     pub fn ftran_in_place(&self, x: &mut [T]) {
-        for Eta { p, eta } in &self.etas {
+        for Eta { p, eta, finite } in &self.etas {
             let xp = x[*p];
-            if xp != T::ZERO {
+            if xp != T::ZERO || !finite {
                 for (xi, ei) in x.iter_mut().zip(eta) {
                     *xi += *ei * xp;
                 }
@@ -77,7 +86,7 @@ impl<T: Scalar> EtaFile<T> {
     /// caller multiplies by `B₀⁻¹` from the left). Each eta changes only
     /// `y_p`, to `⟨y, η⟩`. ~2m flops per eta.
     pub fn btran_in_place(&self, y: &mut [T]) {
-        for Eta { p, eta } in self.etas.iter().rev() {
+        for Eta { p, eta, .. } in self.etas.iter().rev() {
             y[*p] = y.iter().zip(eta).map(|(&yi, &ei)| yi * ei).sum();
         }
     }
@@ -174,5 +183,35 @@ mod tests {
         }
         file.clear();
         assert!(file.is_empty());
+    }
+
+    #[test]
+    fn nan_poisoned_eta_propagates_through_zero_fast_path() {
+        // A pivot column carrying a NaN builds a NaN-poisoned eta. The
+        // regression: with x[p] == 0 the fast path used to skip the eta
+        // entirely, so FTRAN returned a clean vector and the corruption
+        // stayed masked instead of propagating for the driver's
+        // reinversion policy to heal.
+        let p = 1;
+        let mut alpha = vec![0.5, 2.0, -1.0, 0.25];
+        alpha[2] = f64::NAN;
+        let mut file = EtaFile::<f64>::new();
+        file.push_pivot(p, &alpha);
+        assert!(!file.etas()[0].finite);
+        let mut x = vec![1.0, 0.0, 3.0, -2.0]; // x[p] == 0: the fast path
+        file.ftran_in_place(&mut x);
+        assert!(
+            x.iter().any(|v| v.is_nan()),
+            "NaN-poisoned eta must poison the FTRAN result, got {x:?}"
+        );
+        // Finite etas keep the bitwise fast path: x[p] == 0 leaves the
+        // other components untouched.
+        let mut clean = EtaFile::<f64>::new();
+        clean.push_pivot(p, &[0.5, 2.0, -1.0, 0.25]);
+        assert!(clean.etas()[0].finite);
+        let mut y = vec![1.0, 0.0, 3.0, -2.0];
+        clean.ftran_in_place(&mut y);
+        assert_eq!(&y[..1], &[1.0]);
+        assert_eq!(&y[2..], &[3.0, -2.0]);
     }
 }

@@ -98,7 +98,11 @@ impl MetricsRegistry {
         self.inc("solve.wasted_iterations", stats.wasted_iterations);
         self.inc("solve.eta_pivots", stats.eta_pivots as u64);
         self.inc("solve.perturbations", stats.perturbations as u64);
+        self.inc("solve.bound_shifts", stats.bound_shifts as u64);
+        self.inc("solve.lu.markowitz_rejections", stats.markowitz_rejections);
         self.set_gauge("solve.max_eta_chain", stats.max_eta_chain as f64);
+        self.set_gauge("solve.lu.fill_in", stats.lu_fill_in as f64);
+        self.set_gauge("solve.lu.refactor_nnz", stats.lu_refactor_nnz as f64);
         self.add_gauge("solve.sim_seconds", stats.total_time().as_secs_f64());
         self.add_gauge("solve.wall_seconds", stats.wall_seconds);
         self.add_gauge("solve.backoff_seconds", stats.backoff_seconds);
@@ -327,6 +331,7 @@ mod tests {
             names,
             vec![
                 "solve.bland_iterations",
+                "solve.bound_shifts",
                 "solve.checkpoint_resumes",
                 "solve.checkpoints_taken",
                 "solve.count",
@@ -335,6 +340,7 @@ mod tests {
                 "solve.device_faults",
                 "solve.eta_pivots",
                 "solve.iterations",
+                "solve.lu.markowitz_rejections",
                 "solve.nan_recoveries",
                 "solve.perturbations",
                 "solve.phase1.iterations",
@@ -352,6 +358,8 @@ mod tests {
             "solve.wall_seconds",
             "solve.backoff_seconds",
             "solve.max_eta_chain",
+            "solve.lu.fill_in",
+            "solve.lu.refactor_nnz",
         ] {
             assert!(reg.gauge(g).is_some(), "missing gauge {g}");
         }

@@ -46,6 +46,16 @@ pub enum BasisRepresentation {
     /// differ from the explicit path in final ulps on ties; objectives
     /// agree to verification tolerance.
     ProductForm,
+    /// Sparse LU of the basis: a Markowitz-ordered, threshold-pivoted
+    /// factorization `P_r B₀ P_c = L U` with CSC factors, refreshed at
+    /// every reinversion, plus the same eta chain as
+    /// [`BasisRepresentation::ProductForm`] for the pivots since.
+    /// FTRAN/BTRAN cost O(nnz(L+U) + m·k) instead of O(m²), so genuinely
+    /// sparse bases at m ≥ ~1024 finally beat both dense representations
+    /// (the U2 experiment). The chain is still folded at every periodic or
+    /// emergency refactorize, so checkpoint boundaries remain pure
+    /// functions of the basis and resume stays bitwise.
+    SparseLU,
 }
 
 impl BasisRepresentation {
@@ -54,6 +64,7 @@ impl BasisRepresentation {
         match self {
             BasisRepresentation::ExplicitInverse => "explicit-inverse",
             BasisRepresentation::ProductForm => "product-form",
+            BasisRepresentation::SparseLU => "sparse-lu",
         }
     }
 }
@@ -76,6 +87,21 @@ pub enum DegeneracyPolicy {
         /// Relative perturbation magnitude (of each cost's own size);
         /// clamped to a small positive value. 1e-7-ish is typical.
         scale: f64,
+    },
+    /// EXPAND-style bound shifting: on a stall, hand the backend a small
+    /// positive shift `δ` so the ratio test minimizes `(β_i + δ)/α_i` —
+    /// every eligible row then yields a strictly positive step, so the
+    /// iterate actually moves off the degenerate vertex instead of cycling
+    /// through zero-length pivots. The shift is withdrawn at the next
+    /// reinversion boundary (the `β = max(B⁻¹b, 0)` clamp there purges the
+    /// bounded infeasibility the shifted steps accumulated — checkpoints
+    /// stay pure functions of the basis) and before any terminal
+    /// certificate is issued. Escalates to Bland if the stall survives a
+    /// shifted stretch.
+    BoundShift {
+        /// Absolute shift added to each basic value in the ratio test;
+        /// clamped to a small positive value. 1e-6-ish is typical.
+        delta: f64,
     },
 }
 

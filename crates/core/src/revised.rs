@@ -136,6 +136,12 @@ pub struct RevisedSimplex<'a, T: Scalar, B: Backend<T>, R: Recorder = NoopRecord
     last_ckpt_iter: usize,
     /// A degeneracy cost perturbation is currently installed.
     perturbed: bool,
+    /// An EXPAND-style ratio-test bound shift is currently installed.
+    shifted: bool,
+    /// A bound shift has already been tried since the last genuine
+    /// (unshifted, nondegenerate) progress; the next stall escalates to
+    /// Bland instead of shifting again.
+    shift_spent: bool,
 }
 
 impl<'a, T: Scalar, B: Backend<T>> RevisedSimplex<'a, T, B> {
@@ -219,6 +225,8 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
             resume_iters_here: None,
             last_ckpt_iter: 0,
             perturbed: false,
+            shifted: false,
+            shift_spent: false,
         }
     }
 
@@ -655,6 +663,7 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
         }
         self.stats.refactorizations += 1;
         self.stats.nan_recoveries += 1;
+        self.harvest_lu_stats();
         // The stall streak was measured against the corrupted iterate; the
         // rebuilt basis starts a fresh streak. (Leaving it hot leaked a
         // premature Bland escalation into the repaired walk.)
@@ -696,11 +705,18 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
                     Err(e @ BackendError::Device(_)) => return Err(e.into()),
                 }
                 self.stats.refactorizations += 1;
+                self.harvest_lu_stats();
                 self.span_close(StepKind::Refactorize, Step::Refactor, span);
                 // Deterministic perturbation reset: exact costs come back at
                 // every reinversion boundary, so a snapshot taken below
                 // never captures a perturbed objective.
                 self.clear_perturbation(phase)?;
+                // Bound-shift reset: the β = max(B⁻¹b, 0) clamp inside the
+                // reinversion just purged whatever bounded infeasibility
+                // the shifted steps accumulated, so the shift (like the
+                // perturbation) never outlives a boundary and a snapshot
+                // taken below never captures a shifted ratio test.
+                self.clear_bound_shift();
                 // `B⁻¹` is now a pure function of the basis — the one state
                 // a snapshot can resume bitwise. Pure observation: the
                 // checkpoint cadence never forces an extra reinversion.
@@ -718,6 +734,24 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
                     // certificate: restore the exact objective and re-price
                     // before declaring convergence.
                     self.clear_perturbation(phase)?;
+                    continue;
+                }
+                if self.shifted {
+                    // The pricing certificate is exact (shifts only touch
+                    // the ratio test), but β may carry the bounded
+                    // infeasibility the shifted steps accumulated. Withdraw
+                    // the shift, purge β through a reinversion's clamp, and
+                    // re-verify before certifying.
+                    self.clear_bound_shift();
+                    let span = self.span_begin();
+                    match self.backend.refactorize(&self.xb) {
+                        Ok(()) => {}
+                        Err(BackendError::Singular) => return Ok(PhaseEnd::Singular),
+                        Err(e @ BackendError::Device(_)) => return Err(e.into()),
+                    }
+                    self.stats.refactorizations += 1;
+                    self.harvest_lu_stats();
+                    self.span_close(StepKind::Refactorize, Step::Refactor, span);
                     continue;
                 }
                 return Ok(PhaseEnd::Converged);
@@ -775,6 +809,13 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
                         self.clear_perturbation(phase)?;
                         continue;
                     }
+                    if self.shifted {
+                        // Shifts cannot change ratio-test eligibility, so
+                        // the ray is almost surely genuine — but certify it
+                        // with the exact test before declaring.
+                        self.clear_bound_shift();
+                        continue;
+                    }
                     return Ok(PhaseEnd::Unbounded);
                 }
                 RatioOutcome::Pivot { p, theta } => (p, theta),
@@ -819,6 +860,12 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
                 self.stall += 1;
             } else {
                 self.stall = 0;
+                if !self.shifted {
+                    // Genuine (unshifted) progress re-arms the one-shot
+                    // bound shift; progress under a shift proves nothing —
+                    // shifted steps are positive by construction.
+                    self.shift_spent = false;
+                }
                 let has_fallback = matches!(
                     self.opts.pivot_rule,
                     PivotRule::Hybrid | PivotRule::PartialDantzig { .. }
@@ -852,19 +899,38 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
                         }
                     }
                 }
+                DegeneracyPolicy::BoundShift { delta } => {
+                    // EXPAND ladder: shift the ratio-test bounds so every
+                    // pivot takes a strictly positive step off the
+                    // degenerate vertex. One shot per stretch — a stall
+                    // that outlives (or re-trips after) a shifted stretch
+                    // escalates to Bland.
+                    if self.stall >= self.opts.stall_threshold {
+                        if !self.shifted && !self.shift_spent {
+                            self.apply_bound_shift(delta);
+                            self.stall = 0;
+                        } else {
+                            self.bland_mode = true;
+                        }
+                    }
+                }
             }
             if use_bland {
                 self.stats.bland_iterations += 1;
                 self.stats.phase[pidx].bland_iterations += 1;
             }
 
-            if self.backend.representation() == BasisRepresentation::ProductForm {
+            if matches!(
+                self.backend.representation(),
+                BasisRepresentation::ProductForm | BasisRepresentation::SparseLU
+            ) {
                 self.stats.eta_pivots += 1;
                 let k = self.backend.eta_chain_len();
                 if k > self.stats.max_eta_chain {
                     self.stats.max_eta_chain = k;
                 }
             }
+            self.harvest_lu_stats();
             self.stats.iterations += 1;
             self.stats.phase[pidx].iterations += 1;
             if phase == Phase::One {
@@ -989,6 +1055,36 @@ impl<'a, T: Scalar, B: Backend<T>, R: Recorder> RevisedSimplex<'a, T, B, R> {
         match phase {
             Phase::One => self.enter_phase1(),
             Phase::Two => self.enter_phase2(),
+        }
+    }
+
+    /// Install the EXPAND-style ratio-test shift: the backend minimizes
+    /// `(β_i + δ)/α_i` until the shift is withdrawn, so every pivot takes a
+    /// strictly positive step. Backends without support keep their no-op
+    /// default and the stall simply persists into the Bland escalation.
+    fn apply_bound_shift(&mut self, delta: f64) {
+        self.backend.set_ratio_shift(delta.abs().max(1e-12));
+        self.shifted = true;
+        self.shift_spent = true;
+        self.stats.bound_shifts += 1;
+    }
+
+    /// Withdraw the ratio-test shift. No-op when none is active.
+    fn clear_bound_shift(&mut self) {
+        if self.shifted {
+            self.backend.set_ratio_shift(0.0);
+            self.shifted = false;
+        }
+    }
+
+    /// Copy the backend's sparse-LU counters (peak fill-in, peak factor
+    /// size, cumulative threshold rejections) into the solve stats. No-op
+    /// for backends/representations without an LU engine.
+    fn harvest_lu_stats(&mut self) {
+        if let Some(r) = self.backend.lu_stats() {
+            self.stats.lu_fill_in = r.fill_in;
+            self.stats.lu_refactor_nnz = r.refactor_nnz;
+            self.stats.markowitz_rejections = r.markowitz_rejections;
         }
     }
 

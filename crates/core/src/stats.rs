@@ -137,6 +137,18 @@ pub struct SolveStats {
     pub max_eta_chain: usize,
     /// Times the degeneracy policy activated a cost perturbation.
     pub perturbations: usize,
+    /// Times the degeneracy policy activated an EXPAND-style ratio-test
+    /// bound shift (0 unless [`crate::DegeneracyPolicy::BoundShift`]).
+    pub bound_shifts: usize,
+    /// Peak sparse-LU fill-in (factor nnz − basis nnz) over the solve's
+    /// refactorizations (0 unless [`crate::BasisRepresentation::SparseLU`]).
+    pub lu_fill_in: u64,
+    /// Peak sparse-LU factor size nnz(L)+nnz(U) over the solve's
+    /// refactorizations (0 unless the sparse-LU representation).
+    pub lu_refactor_nnz: u64,
+    /// Pivot candidates rejected by Markowitz threshold pivoting across
+    /// all refactorizations (0 unless the sparse-LU representation).
+    pub markowitz_rejections: u64,
 }
 
 impl SolveStats {

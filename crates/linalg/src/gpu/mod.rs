@@ -24,6 +24,7 @@ mod gemm;
 mod invert;
 mod kernels;
 mod mat;
+mod sparse_tri;
 
 pub use algo::{
     argmin, argmin_into, reduce, reduce_into, reduce_u32_min, reduce_u32_min_into, ReduceOp,
@@ -41,3 +42,4 @@ pub use gemm::{gemm, GEMM_TILE};
 pub use invert::invert_gauss_jordan;
 pub use kernels::{CopyK, EtaK, RowExtractK};
 pub use mat::{DeviceMatrix, Layout};
+pub use sparse_tri::{DeviceLu, LuBtranK, LuFtranK};

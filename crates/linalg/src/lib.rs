@@ -32,11 +32,13 @@ pub mod blas;
 pub mod cpu_model;
 pub mod dense;
 pub mod gpu;
+pub mod lu;
 pub mod scalar;
 pub mod sparse;
 
 pub use batch::DenseBatchLayout;
 pub use cpu_model::CpuModel;
 pub use dense::DenseMatrix;
+pub use lu::{LuStats, SparseLu};
 pub use scalar::Scalar;
 pub use sparse::{CooMatrix, CscMatrix, CsrMatrix};

@@ -34,23 +34,32 @@ impl<T: Scalar> CooMatrix<T> {
         }
     }
 
-    /// Build from unsorted triplets; duplicates are summed.
+    /// Build from unsorted triplets; duplicates are summed. A duplicate
+    /// group that sums to exactly zero is dropped entirely — keeping it
+    /// would inflate `nnz()`/`density()` and feed a structural zero into
+    /// every symbolic consumer (e.g. the LU symbolic phase). A *single*
+    /// explicit zero triplet is kept: the caller wrote it on purpose.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, T)]) -> Self {
         let mut ts: Vec<(usize, usize, T)> = triplets.to_vec();
         ts.sort_by_key(|a| (a.0, a.1));
         let mut m = CooMatrix::new(rows, cols);
-        for (r, c, v) in ts {
+        let mut i = 0;
+        while i < ts.len() {
+            let (r, c, _) = ts[i];
             assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
-            if let (Some(&lr), Some(&lc)) = (m.row_idx.last(), m.col_idx.last()) {
-                if lr as usize == r && lc as usize == c {
-                    let last = m.values.len() - 1;
-                    m.values[last] += v;
-                    continue;
-                }
+            let mut acc = T::ZERO;
+            let mut j = i;
+            while j < ts.len() && ts[j].0 == r && ts[j].1 == c {
+                acc += ts[j].2;
+                j += 1;
             }
-            m.row_idx.push(r as u32);
-            m.col_idx.push(c as u32);
-            m.values.push(v);
+            let cancelled = j - i > 1 && acc == T::ZERO;
+            if !cancelled {
+                m.row_idx.push(r as u32);
+                m.col_idx.push(c as u32);
+                m.values.push(acc);
+            }
+            i = j;
         }
         m
     }
@@ -82,7 +91,11 @@ impl<T: Scalar> CooMatrix<T> {
         self.values.len()
     }
 
-    /// Convert to CSR.
+    /// Convert to CSR. Triplets may be in any row order (e.g. assembled
+    /// via [`CooMatrix::push`] column-by-column): the payload is permuted
+    /// through the counting sort, not cloned positionally, so each value
+    /// lands in the row `row_ptr` says it does. The sort is stable, so
+    /// within a row the nonzeros keep their assembly order.
     pub fn to_csr(&self) -> CsrMatrix<T> {
         let mut row_ptr = vec![0u32; self.rows + 1];
         for &r in &self.row_idx {
@@ -91,12 +104,23 @@ impl<T: Scalar> CooMatrix<T> {
         for i in 0..self.rows {
             row_ptr[i + 1] += row_ptr[i];
         }
+        let nnz = self.nnz();
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![T::ZERO; nnz];
+        let mut cursor = row_ptr.clone();
+        for k in 0..nnz {
+            let r = self.row_idx[k] as usize;
+            let dst = cursor[r] as usize;
+            col_idx[dst] = self.col_idx[k];
+            values[dst] = self.values[k];
+            cursor[r] += 1;
+        }
         CsrMatrix {
             rows: self.rows,
             cols: self.cols,
             row_ptr,
-            col_idx: self.col_idx.clone(),
-            values: self.values.clone(),
+            col_idx,
+            values,
         }
     }
 
@@ -298,6 +322,17 @@ impl<T: Scalar> CscMatrix<T> {
         }
         acc
     }
+
+    /// Dense copy.
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            for (i, v) in self.col(j) {
+                d.set(i, j, v);
+            }
+        }
+        d
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -434,6 +469,40 @@ mod tests {
         let coo = CooMatrix::from_triplets(2, 2, &[(0, 0, 1.0f32), (0, 0, 2.0), (1, 1, 3.0)]);
         assert_eq!(coo.nnz(), 2);
         assert_eq!(coo.to_dense().get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn to_csr_permutes_unsorted_pushes() {
+        // Assemble column-by-column, so row indices arrive out of order —
+        // the regression for the unpermuted-clone bug: row_ptr was right
+        // but col_idx/values stayed in push order, silently mis-assigning
+        // values to rows.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(2, 0, 1.0f64);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(0, 2, 4.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_ptr, vec![0, 2, 3, 4]);
+        assert_eq!(csr.to_dense(), coo.to_dense());
+        // Row-sorted with stable within-row order: exact layout.
+        assert_eq!(csr.col_idx, vec![1, 2, 1, 0]);
+        assert_eq!(csr.values, vec![2.0, 4.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn cancelled_duplicates_are_dropped() {
+        // (0,0) sums to exactly zero across duplicates: it must not
+        // survive as an explicit zero inflating nnz()/density().
+        let coo = CooMatrix::from_triplets(2, 2, &[(0, 0, 1.0f64), (1, 1, 3.0), (0, 0, -1.0)]);
+        assert_eq!(coo.nnz(), 1);
+        assert_eq!(coo.to_dense().get(1, 1), 3.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert!((csr.density() - 0.25).abs() < 1e-12);
+        // A single explicit zero is intentional and kept.
+        let z = CooMatrix::from_triplets(1, 1, &[(0, 0, 0.0f64)]);
+        assert_eq!(z.nnz(), 1);
     }
 
     #[test]

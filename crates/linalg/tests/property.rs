@@ -7,7 +7,7 @@
 
 use gpu_sim::{DeviceSpec, Gpu};
 use linalg::gpu::{self as gblas, DeviceMatrix, GemvTStrategy, Layout};
-use linalg::{blas, CsrMatrix, DenseMatrix};
+use linalg::{blas, CooMatrix, CsrMatrix, DenseMatrix};
 use proptest::prelude::*;
 
 /// Strategy: a dense matrix with entries in [-4, 4] and bounded shape.
@@ -188,6 +188,67 @@ proptest! {
             let dense = blas::dot(a.col(j), &x);
             prop_assert!(close(csc.col_dot(j, &x), dense, 1e-12));
         }
+    }
+
+    /// Sparse assembly round trip, bitwise: triplets pushed in arbitrary
+    /// (unsorted) order through COO → CSR → CSC all land on the same dense
+    /// matrix bit-for-bit — including empty rows/columns — and SpMV /
+    /// transposed SpMV agree with dense gemv. Duplicate coordinates go
+    /// through `from_triplets`, which must merge them (and drop exact
+    /// cancellations) before the formats compare.
+    #[test]
+    fn coo_csr_csc_roundtrip_bitwise(
+        (m, n) in (1usize..12, 1usize..12),
+        cells in proptest::collection::vec((0usize..144, -4.0f64..4.0), 0..40),
+        dup in proptest::collection::vec((0usize..144, -4.0f64..4.0), 0..6),
+    ) {
+        // Unique-cell assembly via raw pushes, in generation order (almost
+        // surely unsorted): the bitwise path.
+        let mut seen = std::collections::HashSet::new();
+        let mut coo = CooMatrix::<f64>::new(m, n);
+        for &(cell, v) in &cells {
+            let (i, j) = (cell % m, (cell / m) % n);
+            if v != 0.0 && seen.insert((i, j)) {
+                coo.push(i, j, v);
+            }
+        }
+        let dense = coo.to_dense();
+        let csr = coo.to_csr();
+        let csc = csr.to_csc();
+        prop_assert_eq!(csr.to_dense(), dense.clone());
+        prop_assert_eq!(csc.to_dense(), dense.clone());
+        prop_assert_eq!(csr.nnz(), coo.nnz());
+
+        // SpMV / SpMVᵀ parity against dense gemv (tolerance: summation
+        // order differs between the sparse and dense walks).
+        let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.9).cos()).collect();
+        let mut y_s = vec![0.0; m];
+        csr.spmv(&x, &mut y_s);
+        let mut y_d = vec![0.0; m];
+        blas::gemv_n(1.0, &dense, &x, 0.0, &mut y_d);
+        for (s, d) in y_s.iter().zip(&y_d) {
+            prop_assert!(close(*s, *d, 1e-12));
+        }
+        let xt: Vec<f64> = (0..m).map(|i| 1.0 - i as f64 * 0.3).collect();
+        let mut yt_s = vec![0.0; n];
+        csr.spmv_t(&xt, &mut yt_s);
+        let mut yt_d = vec![0.0; n];
+        blas::gemv_t(1.0, &dense, &xt, 0.0, &mut yt_d);
+        for (s, d) in yt_s.iter().zip(&yt_d) {
+            prop_assert!(close(*s, *d, 1e-12));
+        }
+
+        // Duplicate coordinates through the merging constructor: the dense
+        // images still agree across all three formats.
+        let mut trips: Vec<(usize, usize, f64)> = cells
+            .iter()
+            .map(|&(cell, v)| (cell % m, (cell / m) % n, v))
+            .collect();
+        trips.extend(dup.iter().map(|&(cell, v)| (cell % m, (cell / m) % n, v)));
+        let merged = CooMatrix::from_triplets(m, n, &trips);
+        let merged_dense = merged.to_dense();
+        prop_assert_eq!(merged.to_csr().to_dense(), merged_dense.clone());
+        prop_assert_eq!(merged.to_csr().to_csc().to_dense(), merged_dense);
     }
 
     /// Device reductions agree with host folds for any length.

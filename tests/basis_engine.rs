@@ -1,6 +1,6 @@
-//! Pluggable basis representation: product-form vs explicit-inverse
-//! parity, checkpoint cadence at non-divisible intervals, and degeneracy
-//! policy regressions.
+//! Pluggable basis representation: product-form and sparse-LU vs
+//! explicit-inverse parity, checkpoint cadence at non-divisible intervals,
+//! and degeneracy policy regressions.
 
 use gplex::backends::CpuDenseBackend;
 use gplex::{
@@ -100,16 +100,85 @@ proptest! {
         let model = generator::dense_random(m, n, seed);
         let ex = solve_on::<f64>(&model, &opts_with(BasisRepresentation::ExplicitInverse),
             &BackendKind::CpuDense);
-        let pf = solve_on::<f64>(&model, &opts_with(BasisRepresentation::ProductForm),
-            &BackendKind::CpuDense);
-        prop_assert_eq!(ex.status, pf.status);
-        if ex.status == Status::Optimal {
-            prop_assert!((ex.objective - pf.objective).abs()
-                / ex.objective.abs().max(1.0) < 1e-6,
-                "explicit {} vs product-form {}", ex.objective, pf.objective);
-            verify::check_solution(&model, &pf, 1e-5).map_err(|e| {
-                TestCaseError::fail(format!("product-form verification failed: {e}"))
-            })?;
+        for rep in [BasisRepresentation::ProductForm, BasisRepresentation::SparseLU] {
+            let alt = solve_on::<f64>(&model, &opts_with(rep), &BackendKind::CpuDense);
+            prop_assert_eq!(ex.status, alt.status, "{:?}", rep);
+            if ex.status == Status::Optimal {
+                prop_assert!((ex.objective - alt.objective).abs()
+                    / ex.objective.abs().max(1.0) < 1e-6,
+                    "explicit {} vs {:?} {}", ex.objective, rep, alt.objective);
+                verify::check_solution(&model, &alt, 1e-5).map_err(|e| {
+                    TestCaseError::fail(format!("{rep:?} verification failed: {e}"))
+                })?;
+            }
+        }
+    }
+
+    /// Sparse-LU FTRAN/BTRAN lockstep parity on random bases: drive an
+    /// explicit-inverse and a sparse-LU backend through the same pivot
+    /// sequence *including periodic refactorizations*, so the LU factors
+    /// (not just the eta chain atop the identity) anchor the solves. Every
+    /// reduced cost, FTRAN column, and basic solution must agree within
+    /// verify tolerance.
+    #[test]
+    fn sparse_lu_lockstep_matches_explicit_on_random_bases(
+        (m, n, seed) in small_dims()
+    ) {
+        let model = generator::dense_random(m, n, seed);
+        let sf = StandardForm::<f64>::from_lp(&model).expect("standardizes");
+        let n_active = sf.num_cols() - sf.num_artificials;
+        let mut ex = CpuDenseBackend::<f64>::new(&sf.a, &sf.b, n_active, &sf.basis0);
+        let mut lu = CpuDenseBackend::<f64>::new(&sf.a, &sf.b, n_active, &sf.basis0);
+        Backend::<f64>::set_representation(&mut lu, BasisRepresentation::SparseLU);
+
+        for be in [&mut ex, &mut lu] {
+            be.set_phase_costs(&sf.c).unwrap();
+            for (r, &j) in sf.basis0.iter().enumerate() {
+                be.set_basic_cost(r, sf.c[j]).unwrap();
+            }
+        }
+        let mut basis = sf.basis0.clone();
+        for it in 0..24 {
+            // Refactorize both every 5 pivots: the LU side rebuilds its
+            // factors from the live basis, the explicit side its inverse.
+            if it > 0 && it % 5 == 0 {
+                ex.refactorize(&basis).unwrap();
+                lu.refactorize(&basis).unwrap();
+                prop_assert_eq!(Backend::<f64>::eta_chain_len(&lu), 0);
+            }
+            ex.compute_pricing().unwrap();
+            lu.compute_pricing().unwrap();
+            let hit = ex.entering_dantzig(1e-9).unwrap();
+            let Some((q, dq_ex)) = hit else { break };
+            let (q_lu, dq_lu) = lu.entering_dantzig(1e-9).unwrap()
+                .expect("sparse-LU sees the same non-optimal state");
+            prop_assert_eq!(q, q_lu, "entering column diverged");
+            prop_assert!((dq_ex - dq_lu).abs() < 1e-7,
+                "reduced cost {} vs {}", dq_ex, dq_lu);
+
+            ex.compute_alpha(q).unwrap();
+            lu.compute_alpha(q).unwrap();
+            for i in 0..sf.num_rows() {
+                let a = ex.alpha_at(i).unwrap();
+                let b = lu.alpha_at(i).unwrap();
+                prop_assert!((a - b).abs() <= 1e-7 * a.abs().max(1.0),
+                    "ftran row {}: {} vs {}", i, a, b);
+            }
+            let outcome = ex.ratio_test(1e-9).unwrap();
+            let RatioOutcome::Pivot { p, theta } = outcome else { break };
+            ex.update(p, theta).unwrap();
+            lu.update(p, theta).unwrap();
+            basis[p] = q;
+            for be in [&mut ex, &mut lu] {
+                be.set_basic_col(p, q).unwrap();
+                be.set_basic_cost(p, sf.c[q]).unwrap();
+            }
+            let beta_ex = ex.beta().unwrap();
+            let beta_lu = lu.beta().unwrap();
+            for (a, b) in beta_ex.iter().zip(&beta_lu) {
+                prop_assert!((a - b).abs() <= 1e-7 * a.abs().max(1.0),
+                    "beta {} vs {}", a, b);
+            }
         }
     }
 
@@ -126,7 +195,11 @@ proptest! {
         use gplex::{try_solve_standard_ckpt, CheckpointSlot};
         let model = generator::dense_random(m, n, seed);
         let sf = StandardForm::<f64>::from_lp(&model).expect("standardizes");
-        for rep in [BasisRepresentation::ExplicitInverse, BasisRepresentation::ProductForm] {
+        for rep in [
+            BasisRepresentation::ExplicitInverse,
+            BasisRepresentation::ProductForm,
+            BasisRepresentation::SparseLU,
+        ] {
             // 3 ∤ 7: the snapshot cadence and the reinversion cadence beat
             // against each other.
             let opts = SolverOptions {
@@ -250,6 +323,101 @@ fn product_form_solves_fixture_suite_on_all_backends() {
             );
         }
     }
+}
+
+/// Sparse-LU representation on the shared fixture suite: every backend,
+/// same status and objective, pivots ride the eta chain (no dense update),
+/// the chain stays bounded by the refactor period, and the LU counters
+/// surface once a refactorization has run.
+#[test]
+fn sparse_lu_solves_fixture_suite_on_all_backends() {
+    let fixtures: Vec<(&str, lp::LinearProgram, f64)> = {
+        let (wy, z1) = generator::fixtures::wyndor();
+        let (tp, z2) = generator::fixtures::two_phase();
+        let (dg, z3) = generator::fixtures::degenerate();
+        let (bl, z4) = generator::fixtures::beale_cycling();
+        vec![
+            ("wyndor", wy, z1),
+            ("two_phase", tp, z2),
+            ("degenerate", dg, z3),
+            ("beale", bl, z4),
+        ]
+    };
+    for (name, model, expected) in &fixtures {
+        for kind in [
+            BackendKind::CpuDense,
+            BackendKind::CpuSparse,
+            BackendKind::GpuDense(DeviceSpec::gtx280()),
+        ] {
+            let opts = SolverOptions {
+                refactor_period: 8,
+                ..opts_with(BasisRepresentation::SparseLU)
+            };
+            let sol = solve_on::<f64>(model, &opts, &kind);
+            assert_eq!(sol.status, Status::Optimal, "{name} on {kind:?}");
+            assert!(
+                (sol.objective - expected).abs() < 1e-6,
+                "{name} on {kind:?}: {} vs {expected}",
+                sol.objective
+            );
+            let st = &sol.stats;
+            assert_eq!(
+                st.eta_pivots, st.iterations,
+                "{name} on {kind:?}: every pivot is an eta append"
+            );
+            assert!(
+                st.max_eta_chain <= opts.refactor_period,
+                "{name} on {kind:?}: chain {} exceeds period {}",
+                st.max_eta_chain,
+                opts.refactor_period
+            );
+            if st.refactorizations > 0 {
+                assert!(
+                    st.lu_refactor_nnz > 0,
+                    "{name} on {kind:?}: LU counters missing after {} refactorizations",
+                    st.refactorizations
+                );
+            }
+        }
+    }
+}
+
+/// The EXPAND-style bound-shift policy terminates on the degenerate and
+/// adversarial fixtures with the same optimum as the Bland ladder, and the
+/// shift activations are counted.
+#[test]
+fn bound_shift_policy_terminates_on_degenerate_and_adversarial_fixtures() {
+    let cases: Vec<(lp::LinearProgram, f64)> = vec![
+        generator::fixtures::degenerate(),
+        generator::fixtures::beale_cycling(),
+        (generator::klee_minty(6), generator::klee_minty_optimum(6)),
+    ];
+    let mut total_shifts = 0;
+    for (model, expected) in &cases {
+        let shifted = solve_on::<f64>(
+            model,
+            &SolverOptions {
+                stall_threshold: 2,
+                presolve: false,
+                scale: false,
+                degeneracy: DegeneracyPolicy::BoundShift { delta: 1e-6 },
+                ..Default::default()
+            },
+            &BackendKind::CpuDense,
+        );
+        assert_eq!(shifted.status, Status::Optimal);
+        assert!(
+            (shifted.objective - expected).abs() < 1e-6,
+            "shifted objective {} vs {expected}",
+            shifted.objective
+        );
+        verify::check_solution(model, &shifted, 1e-5).expect("shifted certificate verifies");
+        total_shifts += shifted.stats.bound_shifts;
+    }
+    assert!(
+        total_shifts >= 1,
+        "the stalling fixtures must trip at least one bound shift"
+    );
 }
 
 /// The perturbation policy must beat (or match) the Bland ladder where the
