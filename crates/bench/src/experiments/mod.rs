@@ -7,6 +7,7 @@ mod f4;
 mod f5;
 mod f6_fusion;
 mod o1_observe;
+mod p1_regime_split;
 mod r2_resilience;
 mod r3_chaos;
 mod t1f1;
@@ -48,7 +49,7 @@ impl ExpReport {
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "t1", "t1b", "f1", "f2", "t2", "t3", "f3", "f4", "t4", "f5", "t5", "f6", "b1", "r2", "o1",
-        "w1", "b2", "r3", "u1", "u2",
+        "w1", "b2", "r3", "u1", "u2", "p1",
     ]
 }
 
@@ -74,6 +75,7 @@ pub fn run(id: &str, quick: bool) -> Option<ExpReport> {
         "r3" => Some(r3_chaos::run(quick)),
         "u1" => Some(u1_basis::run(quick)),
         "u2" => Some(u2_sparse_lu::run(quick)),
+        "p1" => Some(p1_regime_split::run(quick)),
         _ => None,
     }
 }

@@ -100,6 +100,16 @@ impl RunRow {
             self.wasted as f64 / total as f64
         }
     }
+
+    /// Solved jobs over submitted jobs; 0 (not NaN) for an empty run, so
+    /// the JSON guardrail never has to parse a NaN literal.
+    fn completion(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.solved as f64 / self.jobs as f64
+        }
+    }
 }
 
 fn collect(
@@ -268,7 +278,7 @@ fn write_bench_json(rows: &[RunRow]) {
             r.solved,
             r.failed,
             r.panicked,
-            r.solved as f64 / r.jobs as f64,
+            r.completion(),
             r.faults,
             r.resumed,
             r.evacuated,
@@ -283,5 +293,33 @@ fn write_bench_json(rows: &[RunRow]) {
     match std::fs::write("BENCH_r3.json", &s) {
         Ok(()) => println!("   -> BENCH_r3.json"),
         Err(e) => eprintln!("   !! could not write BENCH_r3.json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RunRow;
+
+    #[test]
+    fn rates_stay_finite_on_empty_runs() {
+        // Regression: an empty run used to emit `completion: NaN` into
+        // BENCH_r3.json (0/0), which is not parseable JSON.
+        let r = RunRow {
+            path: "stream",
+            ckpt: false,
+            fault_p: 0.0,
+            jobs: 0,
+            solved: 0,
+            failed: 0,
+            panicked: 0,
+            faults: 0,
+            resumed: 0,
+            evacuated: 0,
+            wasted: 0,
+            useful: 0,
+            wall_s: 0.0,
+        };
+        assert_eq!(r.completion(), 0.0);
+        assert_eq!(r.wasted_ratio(), 0.0);
     }
 }

@@ -130,7 +130,7 @@ pub struct BackendTally {
 ///   reproduction machine happens to have.
 /// * **Host wall-clock** (`wall_seconds`, [`BatchStats::throughput`]) is
 ///   reported alongside as the secondary, machine-dependent metric.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct BatchStats {
     /// Jobs in the batch.
     pub jobs: usize,

@@ -44,6 +44,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod metrics;
 pub mod options;
+pub mod pdhg;
 pub mod resilient;
 pub mod result;
 pub mod revised;
@@ -70,7 +71,10 @@ pub use checkpoint::{CheckpointSlot, SolveCheckpoint};
 pub use error::{BackendError, SolveError};
 pub use metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use options::{BasisRepresentation, DegeneracyPolicy, PivotRule, SolverOptions};
-pub use resilient::{ResilienceOptions, ResilientOutcome, ResilientSolver, RetryPolicy};
+pub use pdhg::{crossover_prefers_pdhg, model_density, PdhgOptions, PdhgStdResult};
+pub use resilient::{
+    AlgorithmChoice, ResilienceOptions, ResilientOutcome, ResilientSolver, RetryPolicy,
+};
 pub use result::{LpSolution, Status, StdResult};
 pub use revised::RevisedSimplex;
 pub use solver::{

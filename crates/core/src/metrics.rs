@@ -100,6 +100,9 @@ impl MetricsRegistry {
         self.inc("solve.perturbations", stats.perturbations as u64);
         self.inc("solve.bound_shifts", stats.bound_shifts as u64);
         self.inc("solve.lu.markowitz_rejections", stats.markowitz_rejections);
+        self.inc("solve.pdhg.iterations", stats.pdhg_iterations);
+        self.inc("solve.pdhg.restarts", stats.restarts);
+        self.set_gauge("solve.pdhg.final_gap", stats.final_gap);
         self.set_gauge("solve.max_eta_chain", stats.max_eta_chain as f64);
         self.set_gauge("solve.lu.fill_in", stats.lu_fill_in as f64);
         self.set_gauge("solve.lu.refactor_nnz", stats.lu_refactor_nnz as f64);
@@ -342,6 +345,8 @@ mod tests {
                 "solve.iterations",
                 "solve.lu.markowitz_rejections",
                 "solve.nan_recoveries",
+                "solve.pdhg.iterations",
+                "solve.pdhg.restarts",
                 "solve.perturbations",
                 "solve.phase1.iterations",
                 "solve.phase2.iterations",
@@ -358,6 +363,7 @@ mod tests {
             "solve.wall_seconds",
             "solve.backoff_seconds",
             "solve.max_eta_chain",
+            "solve.pdhg.final_gap",
             "solve.lu.fill_in",
             "solve.lu.refactor_nnz",
         ] {
@@ -382,6 +388,22 @@ mod tests {
                 "device.faults.transfer_timeout",
             ]
         );
+    }
+
+    #[test]
+    fn empty_batch_metrics_stay_finite() {
+        // A zero-job batch (every job filtered out, or a dry run) must not
+        // leak NaN rates into the exporters — `NaN` is not valid JSON and
+        // poisons any downstream comparison.
+        let mut reg = MetricsRegistry::new();
+        reg.observe_batch(&BatchStats::default());
+        reg.observe_solve(&SolveStats::default());
+        let snap = reg.snapshot();
+        for (name, value) in snap.entries() {
+            assert!(value.as_f64().is_finite(), "{name} is not finite");
+        }
+        assert!(!snap.to_json().contains("NaN"));
+        assert!(!snap.to_csv().contains("NaN"));
     }
 
     #[test]

@@ -24,8 +24,26 @@ use lp::LinearProgram;
 use crate::checkpoint::CheckpointSlot;
 use crate::error::SolveError;
 use crate::options::SolverOptions;
+use crate::pdhg::{self, PdhgOptions};
 use crate::result::LpSolution;
 use crate::solver::{try_solve_on_warm_ckpt, BackendKind, WarmContext};
+
+/// Which solver family the resilient ladder runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlgorithmChoice {
+    /// Revised simplex on every backend rung, with a terminal first-order
+    /// (PDHG) safety net after the dense CPU rung — an *algorithm* switch
+    /// rather than a backend switch, reached only when every simplex rung
+    /// has failed (e.g. persistent numerical trouble).
+    #[default]
+    Simplex,
+    /// Restarted PDHG on every backend rung, with a terminal dense-CPU
+    /// simplex safety net for models where the first-order method stalls.
+    Pdhg,
+    /// Pick per job with [`crate::crossover_prefers_pdhg`]: first-order for
+    /// large/sparse models, simplex for small/dense ones.
+    Auto,
+}
 
 /// How many times to re-run a failed attempt on the same rung, and how the
 /// recorded backoff between attempts grows.
@@ -69,6 +87,9 @@ pub struct ResilienceOptions {
     /// simplex loop as [`SolveError::Timeout`]. A timeout is terminal — it
     /// is not retried, because the deadline has already passed.
     pub deadline_seconds: Option<f64>,
+    /// Which algorithm family the ladder runs (simplex, PDHG, or a per-job
+    /// size/density crossover pick).
+    pub algorithm: AlgorithmChoice,
 }
 
 impl Default for ResilienceOptions {
@@ -79,6 +100,7 @@ impl Default for ResilienceOptions {
             degrade: true,
             quarantine_after: 3,
             deadline_seconds: None,
+            algorithm: AlgorithmChoice::Simplex,
         }
     }
 }
@@ -152,6 +174,67 @@ fn ladder(placed: &BackendKind) -> Vec<BackendKind> {
     }
 }
 
+/// One rung of the degradation ladder: which algorithm runs, and where.
+#[derive(Debug, Clone)]
+enum Rung {
+    Simplex(BackendKind),
+    Pdhg(BackendKind),
+}
+
+impl Rung {
+    fn backend(&self) -> &BackendKind {
+        match self {
+            Rung::Simplex(b) | Rung::Pdhg(b) => b,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Rung::Simplex(b) => b.label(),
+            Rung::Pdhg(b) => match b {
+                BackendKind::CpuDense => "pdhg-cpu-dense",
+                BackendKind::CpuSparse => "pdhg-cpu-sparse",
+                BackendKind::GpuDense(_) => "pdhg-gpu-dense",
+                BackendKind::GpuShared(_) => "pdhg-gpu-shared",
+            },
+        }
+    }
+}
+
+/// The full algorithm-aware ladder for one job. Both families end on a rung
+/// of the *other* family: a terminal algorithm switch survives failure modes
+/// that are intrinsic to the method rather than the hardware (a simplex
+/// basis going singular, or a first-order method stalling).
+fn rungs_for(algorithm: AlgorithmChoice, placed: &BackendKind, model: &LinearProgram) -> Vec<Rung> {
+    let algo = match algorithm {
+        AlgorithmChoice::Auto => {
+            if pdhg::crossover_prefers_pdhg(
+                model.num_constraints(),
+                model.num_vars(),
+                pdhg::model_density(model),
+            ) {
+                AlgorithmChoice::Pdhg
+            } else {
+                AlgorithmChoice::Simplex
+            }
+        }
+        fixed => fixed,
+    };
+    match algo {
+        AlgorithmChoice::Simplex => {
+            let mut rungs: Vec<Rung> = ladder(placed).into_iter().map(Rung::Simplex).collect();
+            rungs.push(Rung::Pdhg(BackendKind::CpuSparse));
+            rungs
+        }
+        AlgorithmChoice::Pdhg => {
+            let mut rungs: Vec<Rung> = ladder(placed).into_iter().map(Rung::Pdhg).collect();
+            rungs.push(Rung::Simplex(BackendKind::CpuDense));
+            rungs
+        }
+        AlgorithmChoice::Auto => unreachable!("Auto resolved above"),
+    }
+}
+
 impl ResilientSolver {
     /// Build a solver with the given policy.
     pub fn new(options: ResilienceOptions) -> Self {
@@ -190,13 +273,13 @@ impl ResilientSolver {
         placed: &BackendKind,
         warm: Option<&WarmContext<'_>>,
     ) -> ResilientOutcome {
-        let rungs = ladder(placed);
+        let rungs = rungs_for(self.options.algorithm, placed, model);
         let mut attempts = 0usize;
         let mut retries = 0usize;
         let mut faults = 0u64;
         let mut backoff_seconds = 0.0f64;
         let mut last_err: Option<SolveError> = None;
-        let mut final_backend = placed.label();
+        let mut final_backend = rungs[0].label();
         let mut rungs_descended = 0usize;
         // Checkpoint mailbox shared across every rung and attempt of this
         // job: a snapshot taken on the GPU rung resumes on the CPU rung —
@@ -212,7 +295,10 @@ impl ResilientSolver {
                 break;
             }
             rungs_descended = rung_idx;
-            let on_gpu = matches!(rung, BackendKind::GpuDense(_) | BackendKind::GpuShared(_));
+            let on_gpu = matches!(
+                rung.backend(),
+                BackendKind::GpuDense(_) | BackendKind::GpuShared(_)
+            );
             for attempt in 0..=self.options.retry.max_retries {
                 attempts += 1;
                 if attempt > 0 {
@@ -235,20 +321,43 @@ impl ResilientSolver {
                     opts.time_limit = self.options.deadline_seconds;
                 }
 
-                // Resume from the latest checkpoint instead of restarting:
-                // recovery cost stops scaling with iterations-completed.
-                let resume = if ckpt_enabled {
-                    slot.checkpoint()
-                } else {
-                    None
-                };
-                if resume.is_some() {
-                    checkpoint_resumes += 1;
+                let outcome = match rung {
+                    Rung::Simplex(backend) => {
+                        // Resume from the latest checkpoint instead of
+                        // restarting: recovery cost stops scaling with
+                        // iterations-completed.
+                        let resume = if ckpt_enabled {
+                            slot.checkpoint()
+                        } else {
+                            None
+                        };
+                        if resume.is_some() {
+                            checkpoint_resumes += 1;
+                        }
+                        slot.begin_attempt(resume.as_ref().map_or(0, |cp| cp.stats.iterations));
+                        catch_unwind(AssertUnwindSafe(|| {
+                            try_solve_on_warm_ckpt::<T>(model, &opts, backend, warm, &slot, resume)
+                        }))
+                    }
+                    Rung::Pdhg(backend) => {
+                        // Warm bases and simplex checkpoints don't transfer
+                        // to a first-order method; PDHG attempts start from
+                        // scratch. Re-baseline the slot so a failed PDHG
+                        // attempt doesn't re-bill the previous simplex
+                        // attempt's lost iterations.
+                        slot.begin_attempt(slot.checkpoint().map_or(0, |cp| cp.stats.iterations));
+                        let popts = PdhgOptions {
+                            presolve: opts.presolve,
+                            scale: opts.scale,
+                            time_limit: opts.time_limit,
+                            faults: opts.faults.clone(),
+                            ..PdhgOptions::default()
+                        };
+                        catch_unwind(AssertUnwindSafe(|| {
+                            pdhg::try_solve_on::<T>(model, &popts, backend)
+                        }))
+                    }
                 }
-                slot.begin_attempt(resume.as_ref().map_or(0, |cp| cp.stats.iterations));
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    try_solve_on_warm_ckpt::<T>(model, &opts, rung, warm, &slot, resume)
-                }))
                 .unwrap_or_else(|payload| {
                     let msg = payload
                         .downcast_ref::<&str>()
@@ -444,6 +553,56 @@ mod tests {
             Err(SolveError::Panicked(_)) => {}
             other => panic!("expected Panicked, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn pdhg_ladder_degrades_to_cpu_pdhg_under_certain_faults() {
+        let (model, expected) = fixtures::wyndor();
+        let solver = ResilientSolver::new(ResilienceOptions {
+            faults: Some(FaultConfig::uniform(7, 1.0)),
+            algorithm: AlgorithmChoice::Pdhg,
+            ..Default::default()
+        });
+        let out = solver.solve_job::<f64>(
+            3,
+            &model,
+            &SolverOptions::default(),
+            &BackendKind::GpuDense(DeviceSpec::gtx280()),
+        );
+        let sol = out.result.expect("CPU PDHG rung runs fault-free");
+        assert_eq!(out.final_backend, "pdhg-cpu-dense");
+        assert_eq!(out.degradations, 1);
+        assert!(out.retries > 0);
+        assert!(out.faults > 0);
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - expected).abs() < 1e-5);
+        assert!(sol.stats.pdhg_iterations > 0);
+        assert_eq!(sol.stats.iterations, 0);
+    }
+
+    #[test]
+    fn auto_crossover_picks_by_size_and_density() {
+        // Small and dense: Auto runs the simplex ladder.
+        let (small, _) = fixtures::wyndor();
+        let solver = ResilientSolver::new(ResilienceOptions {
+            algorithm: AlgorithmChoice::Auto,
+            ..Default::default()
+        });
+        let out = solver.solve_job::<f64>(
+            0,
+            &small,
+            &SolverOptions::default(),
+            &BackendKind::CpuSparse,
+        );
+        assert_eq!(out.final_backend, "cpu-sparse");
+        assert!(out.result.unwrap().stats.iterations > 0);
+
+        // Large and sparse: Auto runs the PDHG ladder.
+        let big = lp::generator::sparse_random(300, 360, 0.01, 17);
+        let out =
+            solver.solve_job::<f64>(0, &big, &SolverOptions::default(), &BackendKind::CpuSparse);
+        assert_eq!(out.final_backend, "pdhg-cpu-sparse");
+        assert!(out.result.unwrap().stats.pdhg_iterations > 0);
     }
 
     #[test]

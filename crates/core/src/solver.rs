@@ -291,14 +291,14 @@ pub(crate) fn finalize<T: Scalar>(
         _ => f64::NAN,
     };
     // Duals from the final basis (fresh f64 factorization, so the values
-    // are backend-independent). Reported only when the solved rows are
-    // exactly the original rows (presolve off, or presolve was a no-op).
-    let presolve_was_noop = match restore {
-        None => true,
-        Some(p) => p.removed_rows.is_empty() && p.vars_removed() == 0,
-    };
-    let duals = if res.status == Status::Optimal && presolve_was_noop {
-        compute_duals(sf, &res.basis)
+    // are backend-independent). When presolve reduced the model, the
+    // reduced-row multipliers are unwound back onto the original rows —
+    // removed rows recover the multiplier their bound earned.
+    let duals = if res.status == Status::Optimal {
+        compute_duals(sf, &res.basis).map(|y_red| match restore {
+            Some(p) => p.restore_duals(model, &x, &y_red),
+            None => y_red,
+        })
     } else {
         None
     };

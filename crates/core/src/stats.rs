@@ -149,6 +149,15 @@ pub struct SolveStats {
     /// Pivot candidates rejected by Markowitz threshold pivoting across
     /// all refactorizations (0 unless the sparse-LU representation).
     pub markowitz_rejections: u64,
+    /// First-order (PDHG) iterations executed (0 for a simplex solve; a
+    /// PDHG solve leaves `iterations` at 0 — the two algorithm families
+    /// keep disjoint counters).
+    pub pdhg_iterations: u64,
+    /// Adaptive restarts taken by the PDHG solver (0 for simplex).
+    pub restarts: u64,
+    /// Final normalized duality gap reported by the PDHG convergence
+    /// check (0.0 for simplex solves, so metrics stay finite either way).
+    pub final_gap: f64,
 }
 
 impl SolveStats {

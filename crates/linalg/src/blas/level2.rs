@@ -3,6 +3,24 @@
 use crate::dense::DenseMatrix;
 use crate::scalar::Scalar;
 
+/// β-scale of one output element. With `β = 0` the output is *overwritten*,
+/// so a non-finite previous value must not leak through as `0 · NaN = NaN` —
+/// that would keep a poisoned vector unhealable forever (the PR-8 mega-batch
+/// zeroing bug, now fixed here for the scalar level-2 path too). Finite
+/// values still go through the multiply so `±0` signs are bitwise preserved.
+#[inline]
+pub(crate) fn beta_scale<T: Scalar>(prev: T, beta: T) -> T {
+    if beta == T::ZERO {
+        if prev.is_finite() {
+            prev * beta
+        } else {
+            T::ZERO
+        }
+    } else {
+        prev * beta
+    }
+}
+
 /// `y ← αAx + βy` (no transpose).
 ///
 /// Walks the matrix column-by-column so the inner loop is contiguous — the
@@ -12,7 +30,7 @@ pub fn gemv_n<T: Scalar>(alpha: T, a: &DenseMatrix<T>, x: &[T], beta: T, y: &mut
     assert_eq!(a.cols(), x.len(), "gemv_n: x length mismatch");
     assert_eq!(a.rows(), y.len(), "gemv_n: y length mismatch");
     for v in y.iter_mut() {
-        *v *= beta;
+        *v = beta_scale(*v, beta);
     }
     for (j, &xj) in x.iter().enumerate() {
         let s = alpha * xj;
@@ -34,7 +52,7 @@ pub fn gemv_t<T: Scalar>(alpha: T, a: &DenseMatrix<T>, x: &[T], beta: T, y: &mut
         for (&aij, &xi) in a.col(j).iter().zip(x) {
             acc = aij.mul_add(xi, acc);
         }
-        *yj = alpha * acc + beta * *yj;
+        *yj = alpha * acc + beta_scale(*yj, beta);
     }
 }
 
@@ -95,6 +113,63 @@ mod tests {
         gemv_t(1.0, &a, &x, 0.0, &mut y1);
         gemv_n(1.0, &at, &x, 0.0, &mut y2);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn gemv_n_beta_zero_heals_poisoned_y() {
+        // β = 0 means "overwrite y": a NaN left in y by a faulted kernel
+        // must not survive the zeroing pass as 0 · NaN = NaN. Pre-fix this
+        // produced [NaN, NaN, NaN] and the poison could never be healed.
+        let a = mat();
+        let mut y = vec![f64::NAN, f64::INFINITY, -0.0];
+        gemv_n(1.0, &a, &[1.0, 2.0], 0.0, &mut y);
+        assert_eq!(y, vec![5.0, 11.0, 17.0]);
+        // The x = 0 fast path must not skip the healing either.
+        let mut y = vec![f64::NAN; 3];
+        gemv_n(1.0, &a, &[0.0, 0.0], 0.0, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gemv_t_beta_zero_heals_poisoned_y() {
+        let a = mat();
+        let mut y = vec![f64::NAN, f64::NEG_INFINITY];
+        gemv_t(1.0, &a, &[1.0, 1.0, 1.0], 0.0, &mut y);
+        assert_eq!(y, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn beta_zero_keeps_x_poison_visible() {
+        // Healing is only for the *output* operand: NaN riding in through
+        // x is real data corruption and must propagate, fast paths or not.
+        let a = mat();
+        let mut y = vec![0.0; 3];
+        gemv_n(1.0, &a, &[f64::NAN, 0.0], 0.0, &mut y);
+        assert!(y.iter().all(|v| v.is_nan()));
+        let mut y = vec![0.0; 2];
+        gemv_t(1.0, &a, &[f64::NAN, 0.0, 0.0], 0.0, &mut y);
+        assert!(y.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn beta_nonzero_still_propagates_y() {
+        // With β ≠ 0 the previous y is a real input — poison must survive.
+        let a = mat();
+        let mut y = vec![f64::NAN, 1.0, 1.0];
+        gemv_n(1.0, &a, &[1.0, 2.0], 0.5, &mut y);
+        assert!(y[0].is_nan());
+        assert_eq!(y[1], 11.5);
+    }
+
+    #[test]
+    fn beta_zero_preserves_signed_zero() {
+        // Finite values still take the multiply path so −0.0 · 0.0 = −0.0
+        // keeps its bit pattern through an α = 0 no-op gemv.
+        let a = mat();
+        let mut y = vec![-0.0f64, 0.0, -0.0];
+        gemv_n(0.0, &a, &[0.0, 0.0], 0.0, &mut y);
+        assert_eq!(y[0].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(y[1].to_bits(), 0.0f64.to_bits());
     }
 
     #[test]

@@ -12,5 +12,6 @@ mod level3;
 
 pub use inv::{gauss_jordan_invert, lu_solve};
 pub use level1::{asum, axpy, copy, dot, iamax, nrm2, scal};
+pub(crate) use level2::beta_scale;
 pub use level2::{gemv_n, gemv_t, ger};
 pub use level3::gemm;

@@ -1,0 +1,257 @@
+//! Fused first-order (PDHG) update kernels.
+//!
+//! One restarted-Halpern PDHG iteration on the standardized LP is four
+//! kernels — `spmv_t` (Aᵀy gather), the primal update below, `spmv`
+//! (A·x̄ scatter-free CSR product) and the dual update below — submitted
+//! through one [`Launcher`], so a fused chain charges a single launch
+//! overhead per iteration exactly like the simplex pivot chain does.
+//!
+//! The updates fold three textbook steps into one elementwise pass each:
+//!
+//! ```text
+//! primal:  x⁺ = max(0, x − τ(c − g))        (g = Aᵀy)
+//!          x̄  = 2x⁺ − x                      (reflection)
+//!          x  = λx⁺ + (1−λ)x₀                (Halpern anchor pull)
+//! dual:    y⁺ = y + σ(b − Ax̄)
+//!          y  = λy⁺ + (1−λ)y₀
+//! ```
+//!
+//! with λ = (k+1)/(k+2) and `x₀`/`y₀` the restart anchor. Everything is
+//! coalesced: lane `j` touches only element `j` of each operand.
+
+use gpu_sim::{
+    AccessPattern, DView, DViewMut, DeviceError, Kernel, KernelCost, LaunchConfig, Launcher,
+    ThreadCtx,
+};
+
+use crate::scalar::Scalar;
+
+use super::blas::poison_if_corrupted;
+
+const BLOCK: u32 = 128;
+
+/// Fused PDHG primal step: projection, reflection and Halpern fold.
+pub struct PdhgPrimalK<T: Scalar> {
+    /// Current primal iterate; overwritten with the anchored new iterate.
+    pub x: DViewMut<T>,
+    /// Reflected iterate `2x⁺ − x`, consumed by the following `spmv`.
+    pub xbar: DViewMut<T>,
+    /// `Aᵀy` from the preceding gather.
+    pub g: DView<T>,
+    /// Objective coefficients.
+    pub c: DView<T>,
+    /// Restart anchor `x₀`.
+    pub x0: DView<T>,
+    /// Primal step size τ.
+    pub tau: T,
+    /// Halpern weight λ = (k+1)/(k+2) on the PDHG step.
+    pub lam: T,
+    /// Anchor weight 1 − λ.
+    pub mu: T,
+    /// Vector length.
+    pub n: usize,
+}
+
+impl<T: Scalar> Kernel for PdhgPrimalK<T> {
+    fn name(&self) -> &'static str {
+        "pdhg_primal"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let j = t.global_id();
+        if j >= self.n {
+            return;
+        }
+        let xj = self.x.get(j);
+        let step = xj - self.tau * (self.c.get(j) - self.g.get(j));
+        let xnew = if step > T::ZERO { step } else { T::ZERO };
+        self.xbar.set(j, xnew + xnew - xj);
+        self.x.set(j, self.lam * xnew + self.mu * self.x0.get(j));
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let n = self.n as u64;
+        KernelCost::new()
+            .flops_total(8 * n)
+            .fp64(T::IS_F64)
+            .read(AccessPattern::coalesced::<T>(n))
+            .read(AccessPattern::coalesced::<T>(n))
+            .read(AccessPattern::coalesced::<T>(n))
+            .read(AccessPattern::coalesced::<T>(n))
+            .write(AccessPattern::coalesced::<T>(n))
+            .write(AccessPattern::coalesced::<T>(n))
+            .active_threads(cfg, n)
+    }
+}
+
+/// Fused PDHG dual step: gradient ascent on the residual plus Halpern fold.
+pub struct PdhgDualK<T: Scalar> {
+    /// Current dual iterate; overwritten with the anchored new iterate.
+    pub y: DViewMut<T>,
+    /// `A·x̄` from the preceding product.
+    pub ax: DView<T>,
+    /// Right-hand side.
+    pub b: DView<T>,
+    /// Restart anchor `y₀`.
+    pub y0: DView<T>,
+    /// Dual step size σ.
+    pub sigma: T,
+    /// Halpern weight λ.
+    pub lam: T,
+    /// Anchor weight 1 − λ.
+    pub mu: T,
+    /// Vector length.
+    pub m: usize,
+}
+
+impl<T: Scalar> Kernel for PdhgDualK<T> {
+    fn name(&self) -> &'static str {
+        "pdhg_dual"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let i = t.global_id();
+        if i >= self.m {
+            return;
+        }
+        let ynew = self.yi(i);
+        self.y.set(i, self.lam * ynew + self.mu * self.y0.get(i));
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let m = self.m as u64;
+        KernelCost::new()
+            .flops_total(6 * m)
+            .fp64(T::IS_F64)
+            .read(AccessPattern::coalesced::<T>(m))
+            .read(AccessPattern::coalesced::<T>(m))
+            .read(AccessPattern::coalesced::<T>(m))
+            .read(AccessPattern::coalesced::<T>(m))
+            .write(AccessPattern::coalesced::<T>(m))
+            .active_threads(cfg, m)
+    }
+}
+
+impl<T: Scalar> PdhgDualK<T> {
+    #[inline]
+    fn yi(&self, i: usize) -> T {
+        self.sigma
+            .mul_add(self.b.get(i) - self.ax.get(i), self.y.get(i))
+    }
+}
+
+/// Submit the fused primal update through `l`.
+#[allow(clippy::too_many_arguments)]
+pub fn pdhg_primal_on<T: Scalar>(
+    l: &mut Launcher<'_, '_>,
+    x: DViewMut<T>,
+    xbar: DViewMut<T>,
+    g: DView<T>,
+    c: DView<T>,
+    x0: DView<T>,
+    tau: T,
+    lam: T,
+) -> Result<(), DeviceError> {
+    let n = x.len();
+    assert!(
+        xbar.len() == n && g.len() == n && c.len() == n && x0.len() == n,
+        "pdhg_primal: operand length mismatch"
+    );
+    let out = x;
+    l.try_launch(
+        LaunchConfig::for_elems(n, BLOCK),
+        &PdhgPrimalK {
+            x,
+            xbar,
+            g,
+            c,
+            x0,
+            tau,
+            lam,
+            mu: T::ONE - lam,
+            n,
+        },
+    )?;
+    poison_if_corrupted(l.gpu(), &out);
+    Ok(())
+}
+
+/// Submit the fused dual update through `l`.
+pub fn pdhg_dual_on<T: Scalar>(
+    l: &mut Launcher<'_, '_>,
+    y: DViewMut<T>,
+    ax: DView<T>,
+    b: DView<T>,
+    y0: DView<T>,
+    sigma: T,
+    lam: T,
+) -> Result<(), DeviceError> {
+    let m = y.len();
+    assert!(
+        ax.len() == m && b.len() == m && y0.len() == m,
+        "pdhg_dual: operand length mismatch"
+    );
+    let out = y;
+    l.try_launch(
+        LaunchConfig::for_elems(m, BLOCK),
+        &PdhgDualK {
+            y,
+            ax,
+            b,
+            y0,
+            sigma,
+            lam,
+            mu: T::ONE - lam,
+            m,
+        },
+    )?;
+    poison_if_corrupted(l.gpu(), &out);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceSpec, Gpu};
+
+    #[test]
+    fn primal_projects_reflects_and_anchors() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut x = gpu.htod(&[1.0f64, 0.5, 2.0]);
+        let mut xbar = gpu.alloc(3, 0.0f64);
+        let g = gpu.htod(&[0.0f64, 0.0, 0.0]);
+        let c = gpu.htod(&[1.0f64, 10.0, -1.0]);
+        let x0 = gpu.htod(&[0.0f64, 0.0, 0.0]);
+        // τ = 1, λ = 1/2: x⁺ = max(0, x − c) = [0, 0, 3].
+        pdhg_primal_on(
+            &mut Launcher::Direct(&gpu),
+            x.view_mut(),
+            xbar.view_mut(),
+            g.view(),
+            c.view(),
+            x0.view(),
+            1.0,
+            0.5,
+        )
+        .unwrap();
+        assert_eq!(gpu.dtoh(&xbar), vec![-1.0, -0.5, 4.0]); // 2x⁺ − x
+        assert_eq!(gpu.dtoh(&x), vec![0.0, 0.0, 1.5]); // λx⁺ + (1−λ)x₀
+    }
+
+    #[test]
+    fn dual_ascends_and_anchors() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let mut y = gpu.htod(&[1.0f64, -1.0]);
+        let ax = gpu.htod(&[0.5f64, 2.0]);
+        let b = gpu.htod(&[1.0f64, 1.0]);
+        let y0 = gpu.htod(&[0.0f64, 4.0]);
+        // σ = 2, λ = 3/4: y⁺ = y + 2(b − ax) = [2, −3].
+        pdhg_dual_on(
+            &mut Launcher::Direct(&gpu),
+            y.view_mut(),
+            ax.view(),
+            b.view(),
+            y0.view(),
+            2.0,
+            0.75,
+        )
+        .unwrap();
+        assert_eq!(gpu.dtoh(&y), vec![1.5, -1.25]);
+    }
+}

@@ -191,8 +191,10 @@ impl<T: Scalar> Kernel for GemvNK<T> {
         let a = self.a.as_slice();
         let x = self.x.as_slice();
         let y = self.y.as_mut_slice();
+        // NaN-aware β-scale: with β = 0 the output is overwritten, so a
+        // poisoned previous y must be healed, not kept alive as 0 · NaN.
         for yi in y.iter_mut() {
-            *yi *= self.beta;
+            *yi = crate::blas::beta_scale(*yi, self.beta);
         }
         match self.layout {
             Layout::ColMajor => {
@@ -278,7 +280,8 @@ impl<T: Scalar> Kernel for GemvTNaiveK<T> {
                 }
             }
         }
-        self.y.set(j, self.alpha * acc + self.beta * self.y.get(j));
+        let base = crate::blas::beta_scale(self.y.get(j), self.beta);
+        self.y.set(j, self.alpha * acc + base);
     }
     fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
         let m = self.m as u64;
@@ -374,7 +377,8 @@ impl<T: Scalar> Kernel for GemvTPass2K<T> {
         for &v in &p[j * s..(j + 1) * s] {
             acc += v;
         }
-        self.y.set(j, self.alpha * acc + self.beta * self.y.get(j));
+        let base = crate::blas::beta_scale(self.y.get(j), self.beta);
+        self.y.set(j, self.alpha * acc + base);
     }
     fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
         let n = self.n as u64;

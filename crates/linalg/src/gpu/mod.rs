@@ -20,6 +20,7 @@
 mod algo;
 mod batch_kernels;
 mod blas;
+mod first_order;
 mod gemm;
 mod invert;
 mod kernels;
@@ -38,6 +39,7 @@ pub use blas::{
     gemv_t_cols, gemv_t_cols_on, gemv_t_on, ger, pivot_update, pivot_update_on, scal,
     GemvTStrategy,
 };
+pub use first_order::{pdhg_dual_on, pdhg_primal_on, PdhgDualK, PdhgPrimalK};
 pub use gemm::{gemm, GEMM_TILE};
 pub use invert::invert_gauss_jordan;
 pub use kernels::{CopyK, EtaK, RowExtractK};

@@ -41,4 +41,4 @@ pub use cpu_model::CpuModel;
 pub use dense::DenseMatrix;
 pub use lu::{LuStats, SparseLu};
 pub use scalar::Scalar;
-pub use sparse::{CooMatrix, CscMatrix, CsrMatrix};
+pub use sparse::{CooMatrix, CscMatrix, CsrMatrix, DeviceCsc, DeviceCsr};

@@ -4,7 +4,9 @@
 //! sparse-extension experiment (F5) — the question the follow-on literature
 //! asked of it — plus the sparse instance generators in the `lp` crate.
 
-use gpu_sim::{AccessPattern, DView, DViewMut, Gpu, Kernel, KernelCost, LaunchConfig, ThreadCtx};
+use gpu_sim::{
+    AccessPattern, DView, DViewMut, Gpu, Kernel, KernelCost, LaunchConfig, Launcher, ThreadCtx,
+};
 
 use crate::dense::DenseMatrix;
 use crate::scalar::Scalar;
@@ -323,6 +325,38 @@ impl<T: Scalar> CscMatrix<T> {
         acc
     }
 
+    /// `y ← Ax` (serial CPU, column-wise scatter).
+    ///
+    /// The zeroing pass is an unconditional overwrite, *before* any
+    /// `x[j] == 0` skip: a NaN parked in `y` by a faulted kernel must be
+    /// healed here (β = 0 semantics), while a NaN riding in through `x`
+    /// fails the zero test and still propagates — poison in real inputs
+    /// stays visible.
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(self.cols, x.len(), "csc spmv: x length mismatch");
+        assert_eq!(self.rows, y.len(), "csc spmv: y length mismatch");
+        for v in y.iter_mut() {
+            *v = T::ZERO;
+        }
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == T::ZERO {
+                continue;
+            }
+            for (i, v) in self.col(j) {
+                y[i] = v.mul_add(xj, y[i]);
+            }
+        }
+    }
+
+    /// `y ← Aᵀx` (serial CPU, per-column gather — overwrite semantics).
+    pub fn spmv_t(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(self.rows, x.len(), "csc spmv_t: x length mismatch");
+        assert_eq!(self.cols, y.len(), "csc spmv_t: y length mismatch");
+        for (j, yj) in y.iter_mut().enumerate() {
+            *yj = self.col_dot(j, x);
+        }
+    }
+
     /// Dense copy.
     pub fn to_dense(&self) -> DenseMatrix<T> {
         let mut d = DenseMatrix::zeros(self.rows, self.cols);
@@ -378,6 +412,18 @@ impl<T: Scalar> DeviceCsr<T> {
 
     /// `y ← Ax` on the device.
     pub fn spmv(&self, gpu: &Gpu, x: DView<T>, y: DViewMut<T>) {
+        self.spmv_on(&mut Launcher::Direct(gpu), x, y)
+            .expect("device spmv faulted");
+    }
+
+    /// `y ← Ax` through a [`Launcher`], so the product can join a fused
+    /// kernel chain (one launch overhead for the whole PDHG step).
+    pub fn spmv_on(
+        &self,
+        l: &mut Launcher<'_, '_>,
+        x: DView<T>,
+        y: DViewMut<T>,
+    ) -> Result<(), gpu_sim::DeviceError> {
         assert_eq!(self.cols, x.len(), "device spmv: x length mismatch");
         assert_eq!(self.rows, y.len(), "device spmv: y length mismatch");
         let kernel = SpmvCsrK {
@@ -389,7 +435,7 @@ impl<T: Scalar> DeviceCsr<T> {
             rows: self.rows,
             nnz: self.nnz(),
         };
-        gpu.launch(LaunchConfig::for_elems(self.rows, 128), &kernel);
+        l.try_launch(LaunchConfig::for_elems(self.rows, 128), &kernel)
     }
 }
 
@@ -439,6 +485,128 @@ impl<T: Scalar> Kernel for SpmvCsrK<T> {
             // Ragged rows diverge within warps.
             .divergence(1.5)
             .active_threads(cfg, rows)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Device CSC (one thread per column). `Aᵀx` over CSC is a pure per-column
+// gather — deterministic with no atomics, which is exactly what the PDHG
+// dual update `c − Aᵀy` needs every iteration.
+// --------------------------------------------------------------------------
+
+/// A CSC matrix resident in simulated device memory.
+pub struct DeviceCsc<T: Scalar> {
+    col_ptr: gpu_sim::DeviceBuffer<u32>,
+    row_idx: gpu_sim::DeviceBuffer<u32>,
+    values: gpu_sim::DeviceBuffer<T>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T: Scalar> DeviceCsc<T> {
+    /// Upload a host CSC matrix.
+    pub fn upload(gpu: &Gpu, m: &CscMatrix<T>) -> Self {
+        DeviceCsc {
+            col_ptr: gpu.htod(&m.col_ptr),
+            row_idx: gpu.htod(&m.row_idx),
+            values: gpu.htod(&m.values),
+            rows: m.rows(),
+            cols: m.cols(),
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y ← Aᵀx` on the device.
+    pub fn spmv_t(&self, gpu: &Gpu, x: DView<T>, y: DViewMut<T>) {
+        self.spmv_t_on(&mut Launcher::Direct(gpu), x, y)
+            .expect("device spmv_t faulted");
+    }
+
+    /// `y ← Aᵀx` through a [`Launcher`] (fusable per-column gather).
+    pub fn spmv_t_on(
+        &self,
+        l: &mut Launcher<'_, '_>,
+        x: DView<T>,
+        y: DViewMut<T>,
+    ) -> Result<(), gpu_sim::DeviceError> {
+        assert_eq!(self.rows, x.len(), "device spmv_t: x length mismatch");
+        assert_eq!(self.cols, y.len(), "device spmv_t: y length mismatch");
+        let kernel = SpmvCscTK {
+            col_ptr: self.col_ptr.view(),
+            row_idx: self.row_idx.view(),
+            values: self.values.view(),
+            x,
+            y,
+            cols: self.cols,
+            nnz: self.nnz(),
+        };
+        l.try_launch(LaunchConfig::for_elems(self.cols, 128), &kernel)
+    }
+}
+
+struct SpmvCscTK<T: Scalar> {
+    col_ptr: DView<u32>,
+    row_idx: DView<u32>,
+    values: DView<T>,
+    x: DView<T>,
+    y: DViewMut<T>,
+    cols: usize,
+    nnz: usize,
+}
+
+impl<T: Scalar> Kernel for SpmvCscTK<T> {
+    fn name(&self) -> &'static str {
+        "spmv_t_csc"
+    }
+    fn run(&self, t: &ThreadCtx) {
+        let j = t.global_id();
+        if j >= self.cols {
+            return;
+        }
+        let lo = self.col_ptr.get(j) as usize;
+        let hi = self.col_ptr.get(j + 1) as usize;
+        let vals = self.values.as_slice();
+        let rows = self.row_idx.as_slice();
+        let x = self.x.as_slice();
+        let mut acc = T::ZERO;
+        for k in lo..hi {
+            acc = vals[k].mul_add(x[rows[k] as usize], acc);
+        }
+        // Unconditional overwrite: an empty column writes an exact zero, so
+        // a NaN-poisoned y entry cannot survive the product (no `*= 0`).
+        self.y.set(j, acc);
+    }
+    fn cost(&self, cfg: &LaunchConfig) -> KernelCost {
+        let cols = self.cols as u64;
+        let nnz = self.nnz as u64;
+        KernelCost::new()
+            .flops_total(2 * nnz)
+            .fp64(T::IS_F64)
+            // Mirror image of the scalar CSR kernel: per-lane column walks
+            // scatter the value/index reads, and the x gathers follow the
+            // row indices.
+            .read(AccessPattern::scattered::<T>(nnz))
+            .read(AccessPattern::scattered::<u32>(nnz))
+            .read(AccessPattern::scattered::<T>(nnz))
+            .read(AccessPattern::coalesced::<u32>(2 * cols))
+            .write(AccessPattern::coalesced::<T>(cols))
+            // Ragged columns diverge within warps.
+            .divergence(1.5)
+            .active_threads(cfg, cols)
     }
 }
 
@@ -546,6 +714,78 @@ mod tests {
         let dense = example().to_dense();
         let csr = CsrMatrix::from_dense(&dense, 0.0);
         assert_eq!(csr.to_dense(), dense);
+    }
+
+    #[test]
+    fn csc_spmv_matches_csr() {
+        let csr = example().to_csr();
+        let csc = csr.to_csc();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y_csr = vec![0.0; 3];
+        let mut y_csc = vec![0.0; 3];
+        csr.spmv(&x, &mut y_csr);
+        csc.spmv(&x, &mut y_csc);
+        assert_eq!(y_csr, y_csc);
+        let xt = vec![1.0, -2.0, 0.5];
+        let mut t_csr = vec![0.0; 3];
+        let mut t_csc = vec![0.0; 3];
+        csr.spmv_t(&xt, &mut t_csr);
+        csc.spmv_t(&xt, &mut t_csc);
+        assert_eq!(t_csr, t_csc);
+    }
+
+    #[test]
+    fn sparse_spmv_heals_poisoned_y() {
+        // Overwrite semantics: whatever garbage is sitting in y — NaN from
+        // a faulted kernel included — must be gone after the product. The
+        // row/column with no nonzeros is the trap: a `y[i] *= 0` zeroing
+        // pass (or one skipped on an x == 0 fast path) keeps the NaN alive.
+        let csr = example().to_csr();
+        let csc = csr.to_csc();
+        let x = vec![0.0, 0.0, 0.0]; // exercises every x == 0 fast path
+        let mut y = vec![f64::NAN, f64::NAN, f64::NAN];
+        csr.spmv(&x, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 0.0]);
+        let mut y = vec![f64::NAN, f64::NAN, f64::NAN];
+        csc.spmv(&x, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 0.0]);
+        let mut y = vec![f64::NAN, f64::NAN, f64::NAN];
+        csr.spmv_t(&x, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 0.0]);
+        let mut y = vec![f64::NAN, f64::NAN, f64::NAN];
+        csc.spmv_t(&x, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sparse_spmv_keeps_x_poison_visible() {
+        // The heal is only for the output operand: NaN in x is real data
+        // corruption and must reach every row/column that touches it.
+        let csr = example().to_csr();
+        let csc = csr.to_csc();
+        let x = vec![f64::NAN, 0.0, 0.0];
+        let mut y = vec![0.0; 3];
+        csc.spmv(&x, &mut y); // column 0 has a nonzero in row 2
+        assert!(y[2].is_nan());
+        let mut y = vec![0.0; 3];
+        csr.spmv_t(&x, &mut y); // row 0 hits columns 1 and 2
+        assert!(y[1].is_nan() && y[2].is_nan());
+    }
+
+    #[test]
+    fn device_csc_spmv_t_matches_cpu_and_heals() {
+        let gpu = Gpu::new(DeviceSpec::gtx280());
+        let csr = example().to_csr();
+        let csc = csr.to_csc();
+        let d = DeviceCsc::upload(&gpu, &csc);
+        let x = vec![1.0, -2.0, 0.5];
+        let dx = gpu.htod(&x);
+        // Pre-poison the device output: the gather must overwrite it.
+        let mut dy = gpu.alloc(3, f64::NAN);
+        d.spmv_t(&gpu, dx.view(), dy.view_mut());
+        let mut expect = vec![0.0; 3];
+        csc.spmv_t(&x, &mut expect);
+        assert_eq!(gpu.dtoh(&dy), expect);
     }
 
     #[test]

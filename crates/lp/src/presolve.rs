@@ -35,7 +35,26 @@ pub struct Presolved {
     mapping: Vec<Result<usize, f64>>,
     /// Rows removed (by original index), for reporting.
     pub removed_rows: Vec<usize>,
+    /// Removals in the order presolve performed them, with enough context
+    /// to reconstruct each removed row's dual multiplier.
+    removals: Vec<(usize, RemovedKind)>,
 }
+
+/// Why a row left the model, recorded at removal time.
+#[derive(Debug, Clone)]
+enum RemovedKind {
+    /// The row had no surviving coefficients; its dual is 0 (any residue on
+    /// fixed variables is absorbed by their sign-free reduced costs).
+    Empty,
+    /// `coeff·x[var] rel rhs` became a variable bound. `rhs` is the working
+    /// right-hand side at removal time, i.e. after fixed-variable
+    /// substitution, so `coeff·x[var] = rhs` iff the original row is tight.
+    Singleton { var: usize, coeff: f64, rhs: f64 },
+}
+
+/// Activity tolerance for deciding whether a removed singleton row is tight
+/// at the recovered solution.
+const BIND_TOL: f64 = 1e-7;
 
 impl Presolved {
     /// Expand a solution of the reduced model to the original variables.
@@ -52,6 +71,61 @@ impl Presolved {
     /// Number of variables eliminated.
     pub fn vars_removed(&self) -> usize {
         self.mapping.iter().filter(|m| m.is_err()).count()
+    }
+
+    /// Expand duals of the reduced model to the original rows.
+    ///
+    /// Kept rows take their reduced-model multipliers in order. Empty rows
+    /// get 0. A singleton row that presolve turned into a bound on `v` gets
+    /// the multiplier that bound earned at the optimum: when the row is
+    /// tight and `v` sits strictly inside its own (original) bounds, the
+    /// row must explain `v`'s entire reduced cost, so its dual is
+    /// `(c_v − Σᵢ a_iv·yᵢ)/a_rv`; otherwise `v`'s own bound absorbs the
+    /// reduced cost and the row's dual is 0. Removals are unwound in
+    /// reverse order so stacked singletons on one variable settle onto the
+    /// binding row alone.
+    ///
+    /// `lp` is the *original* model this `Presolved` came from, `x_full`
+    /// the restored primal solution in original variable space.
+    pub fn restore_duals(&self, lp: &LinearProgram, x_full: &[f64], y_reduced: &[f64]) -> Vec<f64> {
+        let m = lp.num_constraints();
+        let mut removed = vec![false; m];
+        for &(ri, _) in &self.removals {
+            removed[ri] = true;
+        }
+        let mut y = vec![0.0; m];
+        let mut k = 0usize;
+        for i in 0..m {
+            if !removed[i] {
+                y[i] = y_reduced.get(k).copied().unwrap_or(0.0);
+                k += 1;
+            }
+        }
+        for &(ri, ref kind) in self.removals.iter().rev() {
+            let &RemovedKind::Singleton { var, coeff, rhs } = kind else {
+                continue;
+            };
+            let xv = x_full[var];
+            let scale = 1.0 + rhs.abs();
+            if (coeff * xv - rhs).abs() > BIND_TOL * scale {
+                continue;
+            }
+            let v = lp.var(VarId(var));
+            let interior = xv > v.lower + BIND_TOL && xv < v.upper - BIND_TOL;
+            if !interior {
+                continue;
+            }
+            let absorbed: f64 = lp
+                .constraints()
+                .iter()
+                .enumerate()
+                .flat_map(|(i, c)| c.coeffs.iter().map(move |&(vid, a)| (i, vid, a)))
+                .filter(|&(_, vid, _)| vid.0 == var)
+                .map(|(i, _, a)| a * y[i])
+                .sum();
+            y[ri] = (v.obj - absorbed) / coeff;
+        }
+        y
     }
 }
 
@@ -96,6 +170,7 @@ pub fn presolve(lp: &LinearProgram) -> PresolveResult {
         .collect();
     let minimize = matches!(lp.sense, crate::model::Sense::Min);
     let mut removed_rows: Vec<usize> = Vec::new();
+    let mut removals: Vec<(usize, RemovedKind)> = Vec::new();
 
     for _sweep in 0..16 {
         let mut changed = false;
@@ -138,6 +213,7 @@ pub fn presolve(lp: &LinearProgram) -> PresolveResult {
                 }
                 rows[ri] = None;
                 removed_rows.push(ri);
+                removals.push((ri, RemovedKind::Empty));
                 changed = true;
                 continue;
             }
@@ -168,6 +244,14 @@ pub fn presolve(lp: &LinearProgram) -> PresolveResult {
                 }
                 rows[ri] = None;
                 removed_rows.push(ri);
+                removals.push((
+                    ri,
+                    RemovedKind::Singleton {
+                        var: vi,
+                        coeff: a,
+                        rhs,
+                    },
+                ));
                 changed = true;
             }
         }
@@ -242,6 +326,7 @@ pub fn presolve(lp: &LinearProgram) -> PresolveResult {
         lp: reduced,
         mapping,
         removed_rows,
+        removals,
     })
 }
 
@@ -354,6 +439,42 @@ mod tests {
         assert_eq!(p.lp.num_vars(), 6);
         assert_eq!(p.lp.num_constraints(), 4);
         assert_eq!(p.vars_removed(), 0);
+    }
+
+    #[test]
+    fn restore_duals_unwinds_singleton_bounds() {
+        // Wyndor: rows 0 (x₁ ≤ 4) and 1 (2x₂ ≤ 12) are singletons and
+        // presolve to bounds, leaving only 3x₁ + 2x₂ ≤ 18. At the optimum
+        // (2, 6) the kept row's dual is 1; unwinding must hand the binding
+        // removed row 2x₂ ≤ 12 its textbook 3/2 and the slack x₁ ≤ 4 a 0.
+        let (lp, _) = crate::generator::fixtures::wyndor();
+        let PresolveResult::Reduced(p) = presolve(&lp) else {
+            panic!("expected reduction")
+        };
+        assert_eq!(p.removed_rows, vec![0, 1]);
+        assert_eq!(p.lp.num_constraints(), 1);
+        let y = p.restore_duals(&lp, &[2.0, 6.0], &[1.0]);
+        let expected = [0.0, 1.5, 1.0];
+        assert_eq!(y.len(), 3);
+        for (a, e) in y.iter().zip(expected) {
+            assert!((a - e).abs() < 1e-12, "duals {y:?}");
+        }
+    }
+
+    #[test]
+    fn restore_duals_zeroes_empty_rows() {
+        let mut lp = LinearProgram::new("empty-dual");
+        let x = lp.add_var_nonneg("x", 1.0);
+        lp.add_constraint("noop", &[], Rel::Le, 3.0);
+        lp.add_constraint("keep", &[(x, 1.0)], Rel::Ge, 2.0);
+        let PresolveResult::Reduced(p) = presolve(&lp) else {
+            panic!("expected reduction")
+        };
+        // The empty row is dropped, the singleton becomes a bound and x is
+        // fixed at 2; its binding row recovers x's full cost.
+        let y = p.restore_duals(&lp, &[2.0], &[]);
+        assert_eq!(y[0], 0.0);
+        assert!((y[1] - 1.0).abs() < 1e-12, "duals {y:?}");
     }
 
     #[test]

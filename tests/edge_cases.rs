@@ -167,19 +167,70 @@ fn huge_coefficient_spread_is_tamed_by_scaling() {
 }
 
 #[test]
-fn duals_absent_when_presolve_rewrites_the_model() {
-    // Presolve fixes a variable → duals are withheld (indices shift).
+fn duals_survive_presolve_rewrites() {
+    // Presolve fixes x, turns the row into a bound on y and solves the
+    // whole model away; the row's dual must still come back (regression:
+    // any presolve reduction used to withhold duals entirely).
     let mut model = LinearProgram::new("fixed-var");
     let x = model.add_var("x", 2.0, 2.0, 1.0);
     let y = model.add_var_nonneg("y", 1.0);
     model.add_constraint("r", &[(x, 1.0), (y, 1.0)], Rel::Ge, 5.0);
+    let with = solve::<f64>(&model, &SolverOptions::default());
+    assert_eq!(with.status, Status::Optimal);
+    let duals = with.duals.as_ref().expect("duals survive presolve");
+    // y = 3 rides the row, so the row carries y's whole reduced cost.
+    assert!((duals[0] - 1.0).abs() < 1e-9, "duals {duals:?}");
+    // And they agree with the untouched-pipeline duals.
+    let raw = solve::<f64>(&model, &raw_opts());
+    assert_eq!(raw.duals.as_ref().map(|d| d.len()), Some(duals.len()));
+    for (a, b) in duals.iter().zip(raw.duals.as_ref().unwrap()) {
+        assert!((a - b).abs() < 1e-9, "{duals:?} vs {:?}", raw.duals);
+    }
+}
+
+#[test]
+fn wyndor_duals_recover_through_presolve() {
+    // Wyndor's two singleton rows (x₁ ≤ 4, 2x₂ ≤ 12) presolve into bounds;
+    // the default pipeline must still report the textbook shadow prices
+    // [0, 1.5, 1] — the slack first row earns 0, the binding second row
+    // earns 3/2 even though the reduced model never saw it.
+    let (model, _) = lp::generator::fixtures::wyndor();
     let sol = solve::<f64>(&model, &SolverOptions::default());
     assert_eq!(sol.status, Status::Optimal);
-    assert!(sol.duals.is_none());
-    // Without presolve the duals appear.
-    let sol = solve::<f64>(&model, &raw_opts());
+    let duals = sol.duals.as_ref().expect("duals survive presolve");
+    let expected = [0.0, 1.5, 1.0];
+    assert_eq!(duals.len(), expected.len());
+    for (d, e) in duals.iter().zip(expected) {
+        assert!((d - e).abs() < 1e-9, "duals {duals:?}");
+    }
+    // Same multipliers as the no-presolve pipeline.
+    let raw = solve::<f64>(&model, &raw_opts());
+    for (a, b) in duals.iter().zip(raw.duals.as_ref().unwrap()) {
+        assert!((a - b).abs() < 1e-9, "{duals:?} vs {:?}", raw.duals);
+    }
+}
+
+#[test]
+fn badly_scaled_duals_recover_through_presolve_and_scaling() {
+    // min 2a + 3b over a+2b ≥ 3 (×1e6), a ≤ 10, a+b = 4 (×1e-3):
+    // optimum a = 4, b = 0, and only the equality row works — its written
+    // dual is 2/1e-3 = 2000. The singleton row a ≤ 10 presolves away slack
+    // (dual 0), and geometric-mean scaling must not leak into any of them.
+    let mut model = LinearProgram::new("scaled-mixed");
+    let a = model.add_var_nonneg("a", 2.0);
+    let b = model.add_var_nonneg("b", 3.0);
+    model.add_constraint("r1", &[(a, 1.0e6), (b, 2.0e6)], Rel::Ge, 3.0e6);
+    model.add_constraint("r2", &[(a, 1.0)], Rel::Le, 10.0);
+    model.add_constraint("r3", &[(a, 1.0e-3), (b, 1.0e-3)], Rel::Eq, 4.0e-3);
+    let sol = solve::<f64>(&model, &SolverOptions::default());
     assert_eq!(sol.status, Status::Optimal);
-    assert!(sol.duals.is_some());
+    assert!((sol.objective - 8.0).abs() < 1e-8);
+    let duals = sol.duals.as_ref().expect("duals survive presolve");
+    let expected = [0.0, 0.0, 2000.0];
+    assert_eq!(duals.len(), expected.len());
+    for (d, e) in duals.iter().zip(expected) {
+        assert!((d - e).abs() < 1e-6 * (1.0 + e.abs()), "duals {duals:?}");
+    }
 }
 
 #[test]

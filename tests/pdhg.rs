@@ -1,0 +1,165 @@
+//! Differential tests for the restarted-PDHG solver family: first-order
+//! and simplex must agree on the shared fixture suite on every backend,
+//! f32 must track f64 to its looser tolerance, restarts must be
+//! deterministic, and the resilient ladder must degrade *across* algorithm
+//! families when a backend is hosed.
+
+use gplex::pdhg::{self, PdhgOptions};
+use gplex::{
+    solve, AlgorithmChoice, BackendKind, ResilienceOptions, ResilientSolver, SolverOptions, Status,
+};
+use gplex_suite::rel_err;
+use gpu_sim::{DeviceSpec, FaultConfig};
+use lp::generator::{self, fixtures};
+
+fn backends() -> Vec<(&'static str, BackendKind)> {
+    vec![
+        ("cpu-dense", BackendKind::CpuDense),
+        ("cpu-sparse", BackendKind::CpuSparse),
+        ("gpu-dense", BackendKind::GpuDense(DeviceSpec::gtx280())),
+    ]
+}
+
+#[test]
+fn pdhg_matches_simplex_on_the_shared_suite_across_backends() {
+    let cases = [
+        fixtures::wyndor(),
+        fixtures::two_phase(),
+        fixtures::diet(),
+        fixtures::production(),
+        fixtures::degenerate(),
+        fixtures::beale_cycling(),
+    ];
+    for (model, expected) in &cases {
+        let golden = solve::<f64>(model, &SolverOptions::default());
+        assert_eq!(golden.status, Status::Optimal, "{}", model.name);
+        for (label, kind) in backends() {
+            let sol = pdhg::try_solve_on::<f64>(model, &PdhgOptions::default(), &kind)
+                .unwrap_or_else(|e| panic!("{} on {label}: {e}", model.name));
+            assert_eq!(sol.status, Status::Optimal, "{} on {label}", model.name);
+            assert!(
+                rel_err(sol.objective, golden.objective) < 1e-6,
+                "{} on {label}: pdhg {} vs simplex {}",
+                model.name,
+                sol.objective,
+                golden.objective
+            );
+            assert!(
+                rel_err(sol.objective, *expected) < 1e-6,
+                "{} on {label}: pdhg {} vs textbook {}",
+                model.name,
+                sol.objective,
+                expected
+            );
+            assert!(sol.stats.pdhg_iterations > 0, "{} on {label}", model.name);
+            assert_eq!(sol.stats.iterations, 0, "{} on {label}", model.name);
+        }
+    }
+}
+
+#[test]
+fn random_sparse_models_agree_on_every_backend() {
+    for seed in [3u64, 11] {
+        let model = generator::sparse_random(48, 64, 0.1, seed);
+        let golden = solve::<f64>(&model, &SolverOptions::default());
+        for (label, kind) in backends() {
+            let sol = pdhg::try_solve_on::<f64>(&model, &PdhgOptions::default(), &kind)
+                .unwrap_or_else(|e| panic!("seed {seed} on {label}: {e}"));
+            assert_eq!(sol.status, Status::Optimal, "seed {seed} on {label}");
+            assert!(
+                rel_err(sol.objective, golden.objective) < 1e-6,
+                "seed {seed} on {label}: {} vs {}",
+                sol.objective,
+                golden.objective
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_tracks_f64_to_its_looser_tolerance() {
+    let (model, _) = fixtures::wyndor();
+    let s64 = pdhg::try_solve_on::<f64>(&model, &PdhgOptions::default(), &BackendKind::CpuSparse)
+        .expect("f64 solves");
+    let s32 = pdhg::try_solve_on::<f32>(&model, &PdhgOptions::default(), &BackendKind::CpuSparse)
+        .expect("f32 solves");
+    assert_eq!(s64.status, Status::Optimal);
+    assert_eq!(s32.status, Status::Optimal);
+    assert!(
+        rel_err(s32.objective, s64.objective) < 1e-3,
+        "f32 {} vs f64 {}",
+        s32.objective,
+        s64.objective
+    );
+}
+
+#[test]
+fn restarts_are_deterministic_bitwise() {
+    // The restart fingerprint folds every restart's iterate; two identical
+    // runs must agree bit for bit, on every backend.
+    let model = generator::sparse_random(24, 32, 0.2, 5);
+    for (label, kind) in backends() {
+        let run = || {
+            pdhg::try_solve_on::<f64>(&model, &PdhgOptions::default(), &kind)
+                .unwrap_or_else(|e| panic!("{label}: {e}"))
+        };
+        let a = run();
+        let b = run();
+        assert!(a.stats.restarts > 0, "{label}: no restart exercised");
+        assert_eq!(
+            a.stats.pivot_fingerprint, b.stats.pivot_fingerprint,
+            "{label}: fingerprint drift"
+        );
+        assert_eq!(
+            a.objective.to_bits(),
+            b.objective.to_bits(),
+            "{label}: objective drift"
+        );
+    }
+}
+
+#[test]
+fn duals_match_simplex_through_the_default_pipeline() {
+    // Wyndor's singleton rows presolve into bounds; PDHG's recovered duals
+    // must still land on the textbook shadow prices, same as simplex.
+    let (model, _) = fixtures::wyndor();
+    let sol = pdhg::try_solve_on::<f64>(&model, &PdhgOptions::default(), &BackendKind::CpuSparse)
+        .expect("pdhg solves");
+    let duals = sol.duals.as_ref().expect("duals survive presolve");
+    let expected = [0.0, 1.5, 1.0];
+    assert_eq!(duals.len(), expected.len());
+    for (d, e) in duals.iter().zip(expected) {
+        assert!((d - e).abs() < 1e-5, "duals {duals:?}");
+    }
+}
+
+#[test]
+fn hosed_gpu_degrades_across_the_pdhg_ladder_and_verifies() {
+    // Every checked op faults on the GPU, so the PDHG ladder must walk down
+    // to the fault-free CPU rung and still match the simplex golden result.
+    let (model, _) = fixtures::wyndor();
+    let golden = solve::<f64>(&model, &SolverOptions::default());
+    let solver = ResilientSolver::new(ResilienceOptions {
+        faults: Some(FaultConfig::uniform(9, 1.0)),
+        algorithm: AlgorithmChoice::Pdhg,
+        ..Default::default()
+    });
+    let out = solver.solve_job::<f64>(
+        5,
+        &model,
+        &SolverOptions::default(),
+        &BackendKind::GpuDense(DeviceSpec::gtx280()),
+    );
+    let sol = out.result.expect("CPU PDHG rung succeeds");
+    assert_eq!(out.final_backend, "pdhg-cpu-dense");
+    assert!(out.degradations > 0);
+    assert!(out.faults > 0);
+    assert_eq!(sol.status, Status::Optimal);
+    assert!(sol.stats.pdhg_iterations > 0);
+    assert!(
+        rel_err(sol.objective, golden.objective) < 1e-6,
+        "degraded pdhg {} vs simplex {}",
+        sol.objective,
+        golden.objective
+    );
+}
